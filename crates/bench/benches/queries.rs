@@ -1,0 +1,101 @@
+//! Criterion bench backing Figure 1b: point-query throughput across
+//! runtime compositions (index kind, crypto, buffer policy).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use fame_bench::Workload;
+use fame_dbms::{BufferConfig, Database, DbmsConfig, IndexKind};
+
+const RECORDS: u32 = 10_000;
+const LIST_RECORDS: u32 = 500;
+
+fn db_with(index: IndexKind, crypto: bool, frames: usize, records: u32) -> Database {
+    let mut config = DbmsConfig::in_memory();
+    config.page_size = 512;
+    config.index = index;
+    config.buffer = Some(BufferConfig {
+        frames,
+        replacement: fame_dbms::fame_buffer::ReplacementKind::Lru,
+        static_alloc: false,
+    });
+    if crypto {
+        config.crypto_key = Some(*b"fame-dbms-key-16");
+    }
+    let mut db = Database::open(config).expect("open");
+    let w = Workload::new(records, 16, 1);
+    for i in 0..records {
+        db.put(&w.key(i), &w.value(i)).expect("put");
+    }
+    db
+}
+
+fn bench_point_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1b/point_queries");
+    group.throughput(Throughput::Elements(1));
+
+    let cases: Vec<(&str, IndexKind, bool, u32)> = vec![
+        ("btree", IndexKind::BTree, false, RECORDS),
+        ("btree+crypto", IndexKind::BTree, true, RECORDS),
+        ("hash", IndexKind::Hash { buckets: 64 }, false, RECORDS),
+        ("list", IndexKind::List, false, LIST_RECORDS),
+    ];
+
+    for (name, index, crypto, records) in cases {
+        let mut db = db_with(index, crypto, 64, records);
+        let mut sampler = Workload::new(records, 16, 2);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let key = sampler.sample_key();
+                std::hint::black_box(db.get(&key).expect("get"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_buffer_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1b/buffer_frames");
+    group.throughput(Throughput::Elements(1));
+    for frames in [8usize, 32, 128, 512] {
+        let mut db = db_with(IndexKind::BTree, false, frames, RECORDS);
+        let mut sampler = Workload::new(RECORDS, 16, 3);
+        group.bench_function(BenchmarkId::from_parameter(frames), |b| {
+            b.iter(|| {
+                let key = sampler.sample_key();
+                std::hint::black_box(db.get(&key).expect("get"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1b/inserts");
+    group.throughput(Throughput::Elements(1));
+    for (name, crypto) in [("btree", false), ("btree+crypto", true)] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut db = db_with(IndexKind::BTree, crypto, 64, 0);
+            let w = Workload::new(u32::MAX, 16, 4);
+            let mut i = 0u32;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                db.put(&w.key(i), &w.value(i)).expect("put")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_point_queries, bench_buffer_sizes, bench_inserts
+}
+criterion_main!(benches);

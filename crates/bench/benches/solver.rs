@@ -1,0 +1,61 @@
+//! §3.2 solver bench: greedy vs exhaustive derivation cost, plus variant
+//! counting and SAT machinery of the feature-model substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fame_derivation::{solve_exhaustive, solve_greedy, Objective, PropertyStore};
+use fame_feature_model::{models, count};
+
+fn bench_solvers(c: &mut Criterion) {
+    let model = models::fame_dbms();
+    let store = PropertyStore::seeded_from(&model);
+
+    let mut group = c.benchmark_group("derivation/solve");
+    for budget_kib in [64u32, 128, 256] {
+        let objective = Objective::rom_budget("perf", f64::from(budget_kib) * 1024.0);
+        group.bench_function(BenchmarkId::new("greedy", budget_kib), |b| {
+            b.iter(|| std::hint::black_box(solve_greedy(&model, &store, &objective)))
+        });
+    }
+    // Exhaustive only once per run — it enumerates the whole variant space.
+    group.sample_size(10);
+    let objective = Objective::rom_budget("perf", 128.0 * 1024.0);
+    group.bench_function("exhaustive/128KiB", |b| {
+        b.iter(|| std::hint::black_box(solve_exhaustive(&model, &store, &objective)))
+    });
+    group.finish();
+}
+
+fn bench_model_ops(c: &mut Criterion) {
+    let fame = models::fame_dbms();
+    let bdb = models::berkeley_db();
+
+    let mut group = c.benchmark_group("feature-model");
+    group.bench_function("count_variants/fame", |b| {
+        b.iter(|| std::hint::black_box(count::count_variants(&fame)))
+    });
+    group.bench_function("count_variants/bdb", |b| {
+        b.iter(|| std::hint::black_box(count::count_variants(&bdb)))
+    });
+    group.bench_function("satisfiable/fame", |b| {
+        b.iter(|| std::hint::black_box(fame.satisfiable()))
+    });
+    group.bench_function("minimal_configuration/fame", |b| {
+        b.iter(|| std::hint::black_box(fame.minimal_configuration()))
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_solvers, bench_model_ops
+}
+criterion_main!(benches);

@@ -1,0 +1,168 @@
+//! Microbenchmarks of the storage substrate: B+-tree operations,
+//! slotted-page manipulation, replacement-policy ablation (LRU vs LFU vs
+//! Clock under different access skews).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use fame_buffer::{BufferPool, ReplacementKind};
+use fame_os::{AllocPolicy, InMemoryDevice};
+use fame_storage::{BTree, PageType, Pager, SlottedPage};
+
+fn pager(frames: usize) -> Pager {
+    let dev = InMemoryDevice::new(512);
+    let pool = BufferPool::new(
+        Box::new(dev),
+        ReplacementKind::Lru,
+        AllocPolicy::Static { frames },
+    );
+    Pager::open(pool).expect("pager")
+}
+
+fn bench_btree_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage/btree");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("insert", |b| {
+        let mut pg = pager(256);
+        let mut tree = BTree::create(&mut pg, 0).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            tree.insert(&mut pg, &i.to_be_bytes(), &[1u8; 16]).unwrap()
+        })
+    });
+
+    group.bench_function("get", |b| {
+        let mut pg = pager(256);
+        let mut tree = BTree::create(&mut pg, 0).unwrap();
+        for i in 0u64..10_000 {
+            tree.insert(&mut pg, &i.to_be_bytes(), &[1u8; 16]).unwrap();
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 10_000;
+            std::hint::black_box(tree.get(&mut pg, &i.to_be_bytes()).unwrap())
+        })
+    });
+
+    group.bench_function("scan_100", |b| {
+        let mut pg = pager(256);
+        let mut tree = BTree::create(&mut pg, 0).unwrap();
+        for i in 0u64..10_000 {
+            tree.insert(&mut pg, &i.to_be_bytes(), &[1u8; 16]).unwrap();
+        }
+        let mut start = 0u64;
+        b.iter(|| {
+            start = (start + 997) % 9_000;
+            let s = start.to_be_bytes();
+            let e = (start + 100).to_be_bytes();
+            std::hint::black_box(tree.scan(&mut pg, Some(&s), Some(&e)).unwrap())
+        })
+    });
+
+    group.bench_function("remove_insert", |b| {
+        let mut pg = pager(256);
+        let mut tree = BTree::create(&mut pg, 0).unwrap();
+        for i in 0u64..5_000 {
+            tree.insert(&mut pg, &i.to_be_bytes(), &[1u8; 16]).unwrap();
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 13) % 5_000;
+            tree.remove(&mut pg, &i.to_be_bytes()).unwrap();
+            tree.insert(&mut pg, &i.to_be_bytes(), &[2u8; 16]).unwrap();
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_slotted_page(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage/slotted_page");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("insert_delete", |b| {
+        let mut buf = vec![0u8; 512];
+        let mut page = SlottedPage::init(&mut buf, PageType::Heap);
+        b.iter(|| {
+            let slot = page.insert(&[0xABu8; 24]).expect("fits");
+            page.delete(slot);
+        })
+    });
+
+    group.bench_function("compact", |b| {
+        b.iter_with_setup(
+            || {
+                let mut buf = vec![0u8; 512];
+                {
+                    let mut page = SlottedPage::init(&mut buf, PageType::Heap);
+                    let mut slots = Vec::new();
+                    while let Some(s) = page.insert(&[1u8; 16]) {
+                        slots.push(s);
+                    }
+                    for s in slots.iter().step_by(2) {
+                        page.delete(*s);
+                    }
+                }
+                buf
+            },
+            |mut buf| {
+                let mut page = SlottedPage::new(&mut buf);
+                page.compact();
+                std::hint::black_box(page.free_space())
+            },
+        )
+    });
+
+    group.finish();
+}
+
+/// Replacement ablation: hit ratios translate to time under skewed access.
+fn bench_replacement_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffer/replacement");
+    group.throughput(Throughput::Elements(1));
+
+    for kind in [
+        ReplacementKind::Lru,
+        ReplacementKind::Lfu,
+        ReplacementKind::Clock,
+    ] {
+        // Hot/cold skew: 90% of accesses to 10% of pages.
+        group.bench_function(BenchmarkId::new("skewed", kind.name()), |b| {
+            let mut dev = InMemoryDevice::new(512);
+            fame_os::BlockDevice::ensure_pages(&mut dev, 256).unwrap();
+            let mut pool = BufferPool::new(
+                Box::new(dev),
+                kind,
+                AllocPolicy::Static { frames: 32 },
+            );
+            let mut x: u64 = 0x12345;
+            b.iter(|| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let page = if x % 10 < 9 {
+                    (x / 10 % 25) as u32 // hot set: 25 pages
+                } else {
+                    (x / 10 % 256) as u32 // cold sweep
+                };
+                pool.with_page(page, |b| b[0]).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_btree_ops, bench_slotted_page, bench_replacement_policies
+}
+criterion_main!(benches);

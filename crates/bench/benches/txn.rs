@@ -1,0 +1,96 @@
+//! Commit-protocol ablation: the paper's only Transaction subfeature axis
+//! (§2.3, "alternative commit protocols"). Measures transactions/s under
+//! Force (sync per commit) vs Group commit (sync per N commits), plus the
+//! cost of transactional vs raw writes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use fame_dbms::{Database, DbmsConfig, TxnConfig};
+use fame_txn::CommitPolicy;
+
+/// File-backed database so that log syncs are real system calls — the
+/// axis the commit protocols differ on. Each call gets a fresh file.
+fn db_with(policy: Option<CommitPolicy>) -> Database {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "fame-txn-bench-{}-{}.db",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_file(&path);
+    let mut cfg = DbmsConfig::on_file(&path);
+    cfg.page_size = 512;
+    cfg.transactions = policy.map(|commit| TxnConfig { commit });
+    Database::open(cfg).expect("open")
+}
+
+fn bench_commit_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("txn/commit_protocol");
+    group.throughput(Throughput::Elements(1));
+
+    let cases: Vec<(&str, CommitPolicy)> = vec![
+        ("force", CommitPolicy::Force),
+        ("group-4", CommitPolicy::Group { group_size: 4 }),
+        ("group-32", CommitPolicy::Group { group_size: 32 }),
+    ];
+
+    for (name, policy) in cases {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut db = db_with(Some(policy));
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let t = db.begin().expect("begin");
+                db.txn_put(t, &i.to_be_bytes(), &[1u8; 16]).expect("put");
+                db.commit(t).expect("commit");
+            })
+        });
+    }
+
+    // Baseline: the same write without the Transaction feature active.
+    group.bench_function(BenchmarkId::from_parameter("no-txn"), |b| {
+        let mut db = db_with(None);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            db.put(&i.to_be_bytes(), &[1u8; 16]).expect("put");
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_abort_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("txn/abort");
+    group.throughput(Throughput::Elements(1));
+    for ops_per_txn in [1usize, 8, 64] {
+        group.bench_function(BenchmarkId::from_parameter(ops_per_txn), |b| {
+            let mut db = db_with(Some(CommitPolicy::Group { group_size: 64 }));
+            let mut i = 0u64;
+            b.iter(|| {
+                let t = db.begin().expect("begin");
+                for _ in 0..ops_per_txn {
+                    i += 1;
+                    db.txn_put(t, &i.to_be_bytes(), &[2u8; 16]).expect("put");
+                }
+                db.abort(t).expect("abort");
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_commit_protocols, bench_abort_cost
+}
+criterion_main!(benches);

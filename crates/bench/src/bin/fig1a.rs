@@ -1,0 +1,179 @@
+//! Figure 1a reproduction: binary size per configuration and composition
+//! technique.
+//!
+//! For each of the paper's eight configurations and each composition axis
+//! (monolithic / coarse "C" / fine "FeatureC++"), this harness invokes
+//! `cargo build --release` on the `variant_probe` example with exactly the
+//! cargo features of that variant and records the stripped binary's size.
+//!
+//! Expected shape (the paper's claims):
+//! * monolithic sizes are flat — no tailoring without static composition;
+//! * coarse and fine sizes are nearly identical on configurations 1-6 —
+//!   feature-oriented composition costs nothing;
+//! * removing features shrinks the binary (2-6 < 1);
+//! * configurations 7-8 exist only under fine composition and are the
+//!   smallest binaries of all.
+//!
+//! Usage: `cargo run -p fame-bench --bin fig1a` (from the repo root).
+//! Results are printed and written to `bench-results/fig1a.tsv`.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use fame_bench::configs::{feature_set, fig1_configs, CompositionAxis};
+use fame_bench::Table;
+
+fn main() {
+    let repo_root = find_repo_root();
+    println!("building Fig. 1a variants from {}", repo_root.display());
+
+    let axes = [
+        CompositionAxis::Monolithic,
+        CompositionAxis::Coarse,
+        CompositionAxis::Fine,
+    ];
+    let configs = fig1_configs();
+
+    let mut table = Table::new([
+        "config",
+        "description",
+        "monolithic [KiB]",
+        "coarse (C) [KiB]",
+        "fine (FeatureC++) [KiB]",
+    ]);
+
+    let mut sizes: Vec<[Option<u64>; 3]> = vec![[None; 3]; configs.len()];
+    let mut cache: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+    for (ci, config) in configs.iter().enumerate() {
+        for (ai, axis) in axes.iter().enumerate() {
+            let Some(features) = feature_set(*axis, config) else {
+                continue;
+            };
+            let key = features.join(",");
+            if let Some(&bytes) = cache.get(&key) {
+                sizes[ci][ai] = Some(bytes);
+                continue;
+            }
+            match build_variant(&repo_root, &features) {
+                Ok(bytes) => {
+                    println!(
+                        "  config {} / {:<18} -> {:>8} bytes ({} features)",
+                        config.number,
+                        axis.label(),
+                        bytes,
+                        features.len()
+                    );
+                    sizes[ci][ai] = Some(bytes);
+                    cache.insert(key, bytes);
+                }
+                Err(e) => {
+                    eprintln!(
+                        "  config {} / {} FAILED: {e}",
+                        config.number,
+                        axis.label()
+                    );
+                }
+            }
+        }
+    }
+
+    for (ci, config) in configs.iter().enumerate() {
+        let cell = |v: Option<u64>| match v {
+            Some(b) => format!("{:.1}", b as f64 / 1024.0),
+            None => "-".to_string(),
+        };
+        table.row([
+            config.number.to_string(),
+            config.description.to_string(),
+            cell(sizes[ci][0]),
+            cell(sizes[ci][1]),
+            cell(sizes[ci][2]),
+        ]);
+    }
+
+    println!("\nFigure 1a — binary size of the embedded benchmark application\n");
+    print!("{}", table.render());
+
+    // Shape checks mirroring the paper's claims.
+    let fine = |i: usize| sizes[i][2].unwrap_or(0);
+    if sizes[0][1].is_some() && sizes[0][2].is_some() {
+        println!("\nshape checks:");
+        check(
+            "coarse == fine on shared configs (no composition overhead)",
+            (0..6).all(|i| match (sizes[i][1], sizes[i][2]) {
+                (Some(a), Some(b)) => (a as f64 - b as f64).abs() / (a as f64) < 0.05,
+                _ => false,
+            }),
+        );
+        check(
+            "feature removal shrinks the binary (configs 2-6 < config 1)",
+            (1..6).all(|i| fine(i) < fine(0)),
+        );
+        check(
+            "fine-only minimal variants are the smallest (7,8 < 6)",
+            fine(6) < fine(5) && fine(7) <= fine(6),
+        );
+        check(
+            "monolithic is flat and never smaller than composed",
+            (0..6).all(|i| sizes[i][0] == sizes[0][0] && sizes[i][0] >= sizes[i][2]),
+        );
+    }
+
+    write_results(&repo_root, "fig1a.tsv", &table);
+}
+
+fn check(what: &str, ok: bool) {
+    println!("  [{}] {}", if ok { "ok" } else { "!!" }, what);
+}
+
+/// Build `variant_probe` with the given features; return the binary size.
+fn build_variant(repo_root: &Path, features: &[&str]) -> Result<u64, String> {
+    let status = Command::new("cargo")
+        .current_dir(repo_root)
+        .args([
+            "build",
+            "--release",
+            "-p",
+            "fame-dbms",
+            "--example",
+            "variant_probe",
+            "--no-default-features",
+            "--features",
+            &features.join(","),
+        ])
+        .env("CARGO_TERM_QUIET", "true")
+        .output()
+        .map_err(|e| format!("spawning cargo: {e}"))?;
+    if !status.status.success() {
+        return Err(String::from_utf8_lossy(&status.stderr)
+            .lines()
+            .rev()
+            .take(5)
+            .collect::<Vec<_>>()
+            .join(" | "));
+    }
+    let bin = repo_root.join("target/release/examples/variant_probe");
+    let meta = std::fs::metadata(&bin).map_err(|e| format!("stat {}: {e}", bin.display()))?;
+    Ok(meta.len())
+}
+
+fn find_repo_root() -> PathBuf {
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            panic!("run from inside the repository");
+        }
+    }
+}
+
+fn write_results(repo_root: &Path, name: &str, table: &Table) {
+    let dir = repo_root.join("bench-results");
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(name);
+    if std::fs::write(&path, table.to_tsv()).is_ok() {
+        println!("\nresults written to {}", path.display());
+    }
+}

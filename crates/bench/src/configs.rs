@@ -1,0 +1,231 @@
+//! The eight configurations of Figure 1 and their mapping onto cargo
+//! features of `fame-dbms`.
+//!
+//! The paper compares the original C Berkeley DB (coarse preprocessor
+//! configuration) against the FeatureC++ refactoring (fine-grained feature
+//! composition) over eight configurations. The Rust mapping (DESIGN.md §2):
+//!
+//! * **Monolithic** axis — everything compiled in, configuration only at
+//!   runtime. Stands in for an engine with *no* static configurability;
+//!   its size is flat across configurations.
+//! * **Coarse** axis — only the four features Berkeley DB's build system
+//!   could already toggle (Crypto, Hash, Replication, Queue) are composed
+//!   statically; all fine-grained functionality is always in. This is the
+//!   "C version" of Figure 1.
+//! * **Fine** axis — the full cargo-feature map, able to express the
+//!   paper's configurations 7 and 8 ("minimal FeatureC++ version"), which
+//!   coarse composition cannot.
+
+/// How the product is composed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompositionAxis {
+    /// All features compiled; runtime flags select behaviour.
+    Monolithic,
+    /// Coarse static composition (the C-preprocessor analog).
+    Coarse,
+    /// Fine-grained static composition (the FeatureC++ analog).
+    Fine,
+}
+
+impl CompositionAxis {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CompositionAxis::Monolithic => "monolithic",
+            CompositionAxis::Coarse => "coarse (C)",
+            CompositionAxis::Fine => "fine (FeatureC++)",
+        }
+    }
+}
+
+/// One configuration of Figure 1.
+#[derive(Debug, Clone)]
+pub struct Fig1Config {
+    /// Configuration number, 1-8, matching the paper.
+    pub number: u8,
+    /// The paper's description.
+    pub description: &'static str,
+    /// Coarse feature removals relative to "complete".
+    pub removed: &'static [&'static str],
+    /// Whether the configuration is expressible per axis (7 and 8 exist
+    /// only under fine composition, exactly as in the paper).
+    pub fine_only: bool,
+}
+
+/// Features common to every coarse-axis build: everything except the four
+/// coarse toggles.
+const COARSE_BASE: &[&str] = &[
+    "api-put",
+    "api-get",
+    "api-remove",
+    "api-update",
+    "sql",
+    "optimizer",
+    "index-btree",
+    "btree-update",
+    "btree-remove",
+    "index-list",
+    "data-types",
+    "buffer",
+    "replace-lru",
+    "replace-lfu",
+    "alloc-static",
+    "alloc-dynamic",
+    "os-std",
+    "os-inmem",
+    "os-flash",
+    "transactions",
+    "commit-force",
+    "commit-group",
+];
+
+/// The four coarse toggles (what Berkeley DB's build system could remove).
+const COARSE_TOGGLES: &[&str] = &["crypto", "index-hash", "replication", "index-queue"];
+
+/// The eight configurations of Figure 1.
+pub fn fig1_configs() -> Vec<Fig1Config> {
+    vec![
+        Fig1Config {
+            number: 1,
+            description: "complete configuration",
+            removed: &[],
+            fine_only: false,
+        },
+        Fig1Config {
+            number: 2,
+            description: "without feature Crypto",
+            removed: &["crypto"],
+            fine_only: false,
+        },
+        Fig1Config {
+            number: 3,
+            description: "without feature Hash",
+            removed: &["index-hash"],
+            fine_only: false,
+        },
+        Fig1Config {
+            number: 4,
+            description: "without feature Replication",
+            removed: &["replication"],
+            fine_only: false,
+        },
+        Fig1Config {
+            number: 5,
+            description: "without feature Queue",
+            removed: &["index-queue"],
+            fine_only: false,
+        },
+        Fig1Config {
+            number: 6,
+            description: "minimal coarse version using B-tree",
+            removed: &["crypto", "index-hash", "replication", "index-queue"],
+            fine_only: false,
+        },
+        Fig1Config {
+            number: 7,
+            description: "minimal fine-grained version using B-tree",
+            removed: &[],
+            fine_only: true,
+        },
+        Fig1Config {
+            number: 8,
+            description: "minimal fine-grained version using List",
+            removed: &[],
+            fine_only: true,
+        },
+    ]
+}
+
+/// Cargo feature list for `(axis, config)`; `None` when the axis cannot
+/// express the configuration.
+pub fn feature_set(axis: CompositionAxis, config: &Fig1Config) -> Option<Vec<&'static str>> {
+    match axis {
+        CompositionAxis::Monolithic => Some(vec!["monolithic"]),
+        CompositionAxis::Coarse => {
+            if config.fine_only {
+                return None; // the whole point of Figure 1's configs 7-8
+            }
+            let mut feats: Vec<&str> = COARSE_BASE.to_vec();
+            for t in COARSE_TOGGLES {
+                if !config.removed.contains(t) {
+                    feats.push(t);
+                }
+            }
+            Some(feats)
+        }
+        CompositionAxis::Fine => Some(match config.number {
+            7 => vec![
+                "api-put",
+                "api-get",
+                "index-btree",
+                "btree-update",
+                "os-inmem",
+            ],
+            8 => vec!["api-put", "api-get", "index-list", "os-inmem"],
+            _ => {
+                // Same coarse removals; fine composition additionally strips
+                // nothing here so that configs 1-6 compare the *technique*,
+                // not the configuration (paper: C and FeatureC++ sizes are
+                // nearly equal for shared configurations).
+                let mut feats: Vec<&str> = COARSE_BASE.to_vec();
+                for t in COARSE_TOGGLES {
+                    if !config.removed.contains(t) {
+                        feats.push(t);
+                    }
+                }
+                feats
+            }
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_configs_like_the_paper() {
+        let cfgs = fig1_configs();
+        assert_eq!(cfgs.len(), 8);
+        assert_eq!(cfgs[0].number, 1);
+        assert!(cfgs[6].fine_only && cfgs[7].fine_only);
+    }
+
+    #[test]
+    fn coarse_axis_cannot_express_7_and_8() {
+        let cfgs = fig1_configs();
+        assert!(feature_set(CompositionAxis::Coarse, &cfgs[6]).is_none());
+        assert!(feature_set(CompositionAxis::Coarse, &cfgs[7]).is_none());
+        assert!(feature_set(CompositionAxis::Fine, &cfgs[6]).is_some());
+    }
+
+    #[test]
+    fn removals_shrink_feature_sets() {
+        let cfgs = fig1_configs();
+        let complete = feature_set(CompositionAxis::Coarse, &cfgs[0]).unwrap();
+        let no_crypto = feature_set(CompositionAxis::Coarse, &cfgs[1]).unwrap();
+        assert!(complete.contains(&"crypto"));
+        assert!(!no_crypto.contains(&"crypto"));
+        assert_eq!(complete.len(), no_crypto.len() + 1);
+    }
+
+    #[test]
+    fn fine_minimal_sets_are_small() {
+        let cfgs = fig1_configs();
+        let c7 = feature_set(CompositionAxis::Fine, &cfgs[6]).unwrap();
+        let c8 = feature_set(CompositionAxis::Fine, &cfgs[7]).unwrap();
+        assert!(c7.len() <= 5);
+        assert!(c8.len() <= 4);
+        assert!(c8.contains(&"index-list"));
+    }
+
+    #[test]
+    fn monolithic_is_always_full() {
+        for c in fig1_configs() {
+            assert_eq!(
+                feature_set(CompositionAxis::Monolithic, &c),
+                Some(vec!["monolithic"])
+            );
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Synthetic Berkeley DB client corpus for the §3.1 derivability
+//! experiment.
+//!
+//! The paper evaluated the analysis tool on "a benchmark application that
+//! uses Berkeley DB". The original application is not available, so this
+//! corpus provides C-style clients of known ground truth (which features
+//! each actually needs). The `fig3_derivation` harness runs the static
+//! analysis over the corpus and scores, per examined feature, whether the
+//! model queries derive the need correctly.
+
+/// One corpus application: name, C-ish source, ground-truth feature needs.
+pub struct CorpusApp {
+    /// Short name.
+    pub name: &'static str,
+    /// Source text (C-style Berkeley DB client).
+    pub source: &'static str,
+    /// Features (of the `berkeley_db` model) the app genuinely needs.
+    pub uses: &'static [&'static str],
+}
+
+/// The corpus. Every API-visible examined feature is used by at least one
+/// app and absent from at least one other, so both precision and recall
+/// are exercised.
+pub fn bdb_corpus() -> Vec<CorpusApp> {
+    vec![
+        CorpusApp {
+            name: "kvstore",
+            source: r#"
+int main(void) {
+    DB *dbp;
+    db_create(&dbp, NULL, 0);
+    dbp->open(dbp, NULL, "data.db", NULL, DB_BTREE, DB_CREATE, 0664);
+    dbp->put(dbp, NULL, &key, &data, 0);
+    dbp->get(dbp, NULL, &key, &data, 0);
+    dbp->close(dbp, 0);
+    return 0;
+}
+"#,
+            uses: &["Btree"],
+        },
+        CorpusApp {
+            name: "banking",
+            source: r#"
+int main(void) {
+    DB_ENV *env;
+    db_env_create(&env, 0);
+    env->open(env, "/bank", DB_CREATE | DB_INIT_TXN | DB_INIT_LOG | DB_INIT_LOCK | DB_INIT_MPOOL, 0);
+    DB_TXN *tid;
+    env->txn_begin(env, NULL, &tid, 0);
+    dbp->open(dbp, tid, "accounts.db", NULL, DB_BTREE, DB_CREATE, 0664);
+    dbp->put(dbp, tid, &key, &data, 0);
+    tid->commit(tid, 0);
+    return 0;
+}
+"#,
+            uses: &["Btree", "Transactions", "Logging", "Locking"],
+        },
+        CorpusApp {
+            name: "session_cache",
+            source: r#"
+int main(void) {
+    dbp->open(dbp, NULL, "sessions.db", NULL, DB_HASH, DB_CREATE, 0);
+    dbp->put(dbp, NULL, &key, &data, 0);
+    DBC *cursorp;
+    dbp->cursor(dbp, NULL, &cursorp, 0);
+    while (cursorp->get(cursorp, &key, &data, DB_NEXT) == 0) {
+        process(&data);
+    }
+    dbp->stat(dbp, NULL, &statp, 0);
+    return 0;
+}
+"#,
+            uses: &["Hash", "Cursors", "Statistics"],
+        },
+        CorpusApp {
+            name: "telemetry_queue",
+            source: r#"
+int main(void) {
+    dbp->set_re_len(dbp, 64);
+    dbp->open(dbp, NULL, "telemetry.db", NULL, DB_QUEUE, DB_CREATE, 0);
+    for (;;) {
+        dbp->put(dbp, NULL, &key, &data, DB_APPEND);
+        dbp->get(dbp, NULL, &key, &data, DB_CONSUME);
+    }
+    return 0;
+}
+"#,
+            uses: &["Queue"],
+        },
+        CorpusApp {
+            name: "secure_vault",
+            source: r#"
+int main(void) {
+    DB_ENV *env;
+    db_env_create(&env, 0);
+    env->set_encrypt(env, passwd, DB_ENCRYPT_AES);
+    env->open(env, "/vault", DB_CREATE | DB_INIT_MPOOL, 0);
+    dbp->open(dbp, NULL, "secrets.db", NULL, DB_BTREE, DB_CREATE | DB_ENCRYPT, 0);
+    dbp->put(dbp, NULL, &key, &data, 0);
+    dbp->verify(dbp, "secrets.db", NULL, NULL, 0);
+    return 0;
+}
+"#,
+            uses: &["Btree", "Crypto", "Verify"],
+        },
+        CorpusApp {
+            name: "replicated_config",
+            source: r#"
+int main(void) {
+    DB_ENV *env;
+    db_env_create(&env, 0);
+    env->open(env, "/cfg", DB_CREATE | DB_INIT_REP | DB_INIT_TXN | DB_INIT_LOG | DB_INIT_LOCK, 0);
+    env->rep_start(env, &cdata, DB_REP_MASTER);
+    dbp->open(dbp, NULL, "config.db", NULL, DB_BTREE, DB_CREATE, 0);
+    dbp->put(dbp, NULL, &key, &data, 0);
+    return 0;
+}
+"#,
+            uses: &["Btree", "Replication", "Transactions", "Logging", "Locking"],
+        },
+        CorpusApp {
+            name: "warehouse",
+            source: r#"
+int main(void) {
+    env->open(env, "/wh", DB_CREATE | DB_INIT_TXN | DB_INIT_LOG | DB_INIT_LOCK | DB_MULTIVERSION, 0);
+    dbp->set_bt_compress(dbp, compress_fn, decompress_fn);
+    dbp->open(dbp, NULL, "items.db", NULL, DB_BTREE, DB_CREATE, 0);
+    dbp->compact(dbp, NULL, NULL, NULL, NULL, DB_FREE_SPACE, NULL);
+    backup(env, "/backup/wh");
+    DBC *c;
+    dbp->cursor(dbp, NULL, &c, 0);
+    return 0;
+}
+"#,
+            uses: &[
+                "Btree",
+                "Transactions",
+                "Logging",
+                "Locking",
+                "MVCC",
+                "Compression",
+                "Compact",
+                "HotBackup",
+                "Cursors",
+            ],
+        },
+        CorpusApp {
+            name: "minimal_logger",
+            // Uses nothing beyond the base engine: the negative control.
+            source: r#"
+int main(void) {
+    dbp->open(dbp, NULL, "log.db", NULL, DB_BTREE, DB_CREATE, 0);
+    dbp->put(dbp, NULL, &key, &data, 0);
+    return 0;
+}
+"#,
+            uses: &["Btree"],
+        },
+    ]
+}
+
+/// The three examined features with no client-API footprint (§3.1: "not
+/// involved in any infrastructure API usage within any application").
+pub const NON_API_FEATURES: &[&str] = &["Diagnostics", "Checksums", "FastMutexes"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fame_feature_model::models;
+
+    #[test]
+    fn ground_truth_features_exist_in_model() {
+        let model = models::berkeley_db();
+        for app in bdb_corpus() {
+            for f in app.uses {
+                assert!(model.by_name(f).is_some(), "{f} not in BDB model");
+            }
+        }
+    }
+
+    #[test]
+    fn every_api_visible_examined_feature_is_covered() {
+        let model = models::berkeley_db();
+        let corpus = bdb_corpus();
+        for (_, f) in model.iter() {
+            if f.attribute("examined") == Some(1.0) && f.attribute("api_visible") == Some(1.0) {
+                let used_somewhere = corpus.iter().any(|a| a.uses.contains(&f.name()));
+                let absent_somewhere = corpus.iter().any(|a| !a.uses.contains(&f.name()));
+                assert!(used_somewhere, "{} never used in corpus", f.name());
+                assert!(absent_somewhere, "{} used everywhere in corpus", f.name());
+            }
+        }
+    }
+
+    #[test]
+    fn non_api_features_match_model_marking() {
+        let model = models::berkeley_db();
+        for f in NON_API_FEATURES {
+            let id = model.by_name(f).expect("exists");
+            assert_eq!(model.feature(id).attribute("api_visible"), Some(0.0));
+            assert_eq!(model.feature(id).attribute("examined"), Some(1.0));
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Deterministic workload generation for the Figure 1b throughput
+//! experiment and the Criterion benches.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A reproducible key/value workload.
+pub struct Workload {
+    rng: StdRng,
+    /// Number of records in the data set.
+    pub records: u32,
+    /// Value size in bytes.
+    pub value_len: usize,
+}
+
+impl Workload {
+    /// Create a workload with a fixed seed (fully reproducible runs).
+    pub fn new(records: u32, value_len: usize, seed: u64) -> Workload {
+        Workload {
+            rng: StdRng::seed_from_u64(seed),
+            records,
+            value_len,
+        }
+    }
+
+    /// Key bytes of record `i` (big-endian u32 — order-preserving).
+    pub fn key(&self, i: u32) -> [u8; 4] {
+        i.to_be_bytes()
+    }
+
+    /// Value bytes of record `i` (deterministic content).
+    pub fn value(&self, i: u32) -> Vec<u8> {
+        let mut v = vec![0u8; self.value_len];
+        let bytes = i.to_le_bytes();
+        for (j, b) in v.iter_mut().enumerate() {
+            *b = bytes[j % 4] ^ (j as u8);
+        }
+        v
+    }
+
+    /// The next random existing key (uniform).
+    pub fn sample_key(&mut self) -> [u8; 4] {
+        let i = self.rng.gen_range(0..self.records);
+        self.key(i)
+    }
+
+    /// The next random record id.
+    pub fn sample_id(&mut self) -> u32 {
+        self.rng.gen_range(0..self.records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Workload::new(1000, 16, 42);
+        let mut b = Workload::new(1000, 16, 42);
+        for _ in 0..100 {
+            assert_eq!(a.sample_key(), b.sample_key());
+        }
+    }
+
+    #[test]
+    fn keys_are_order_preserving() {
+        let w = Workload::new(10, 8, 0);
+        assert!(w.key(1) < w.key(2));
+        assert!(w.key(255) < w.key(256));
+    }
+
+    #[test]
+    fn values_have_requested_length_and_vary() {
+        let w = Workload::new(10, 32, 0);
+        assert_eq!(w.value(1).len(), 32);
+        assert_ne!(w.value(1), w.value(2));
+        assert_eq!(w.value(3), w.value(3));
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let mut w = Workload::new(50, 8, 7);
+        for _ in 0..500 {
+            assert!(w.sample_id() < 50);
+        }
+    }
+}

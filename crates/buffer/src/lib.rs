@@ -1,0 +1,34 @@
+//! Buffer manager of FAME-DBMS (feature *Buffer Manager* in Figure 2).
+//!
+//! The pool caches device pages in RAM frames. Two axes of variability from
+//! the paper's feature diagram:
+//!
+//! * **Replacement** — [`lru::Lru`] vs [`lfu::Lfu`] (cargo features `lru`,
+//!   `lfu`; [`clock::Clock`] is an extension), selected via
+//!   [`ReplacementKind`];
+//! * **Memory Alloc** — `Static` vs `Dynamic` frame allocation, reusing
+//!   [`fame_os::AllocPolicy`].
+//!
+//! The pool can also run in *pass-through* mode ([`BufferPool::unbuffered`]),
+//! which is what a product without the Buffer Manager feature composes:
+//! every access goes straight to the device, no frames are allocated.
+//!
+//! # Access model
+//!
+//! Pages are accessed through short closures ([`BufferPool::with_page`] /
+//! [`BufferPool::with_page_mut`]) rather than long-lived guards: embedded
+//! engines deserialize a node, work on it, and write it back, so frames are
+//! never held across operations and no pin accounting is needed.
+
+pub mod pool;
+pub mod replacement;
+
+#[cfg(feature = "clock")]
+pub use replacement::clock;
+#[cfg(feature = "lfu")]
+pub use replacement::lfu;
+#[cfg(feature = "lru")]
+pub use replacement::lru;
+
+pub use pool::{BufferPool, PoolStats};
+pub use replacement::{FrameIdx, ReplacementKind, ReplacementPolicy};

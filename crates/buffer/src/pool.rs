@@ -1,0 +1,489 @@
+//! The buffer pool: frames, page table, eviction, write-back.
+
+use std::collections::HashMap;
+
+use fame_os::{AllocPolicy, BlockDevice, DeviceStats, FrameAllocator, OsError, PageId};
+
+use crate::replacement::{FrameIdx, ReplacementKind, ReplacementPolicy};
+
+/// Counters of pool behaviour; the NFP experiments and the replacement
+/// ablation bench read these.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Accesses served from a resident frame.
+    pub hits: u64,
+    /// Accesses that had to touch the device.
+    pub misses: u64,
+    /// Frames whose page was replaced.
+    pub evictions: u64,
+    /// Dirty pages written back to the device.
+    pub writebacks: u64,
+}
+
+impl PoolStats {
+    /// Hit ratio in `[0, 1]`; `0` when no access happened yet.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Frame {
+    page: Option<PageId>,
+    data: Box<[u8]>,
+    dirty: bool,
+}
+
+enum Mode {
+    /// No Buffer Manager feature: every access goes to the device through
+    /// one scratch buffer.
+    Unbuffered { scratch: Box<[u8]> },
+    /// Caching pool.
+    Cached {
+        frames: Vec<Frame>,
+        map: HashMap<PageId, FrameIdx>,
+        policy: Box<dyn ReplacementPolicy>,
+        allocator: FrameAllocator,
+        /// Frames currently holding no page (pre-allocated or discarded).
+        free: Vec<FrameIdx>,
+    },
+}
+
+/// A page cache in front of a [`BlockDevice`]. See crate docs for the
+/// access model.
+pub struct BufferPool {
+    device: Box<dyn BlockDevice>,
+    mode: Mode,
+    stats: PoolStats,
+}
+
+impl BufferPool {
+    /// Create a caching pool with the given replacement policy and frame
+    /// allocation policy. Static allocation pre-faults the whole arena.
+    pub fn new(
+        device: Box<dyn BlockDevice>,
+        kind: ReplacementKind,
+        alloc: AllocPolicy,
+    ) -> Self {
+        let page_size = device.page_size();
+        let prealloc = alloc.preallocate();
+        let mut allocator = FrameAllocator::new(alloc);
+        let mut frames = Vec::with_capacity(prealloc);
+        for _ in 0..prealloc {
+            let ok = allocator.try_acquire();
+            debug_assert!(ok, "preallocation within static arena");
+            frames.push(Frame {
+                page: None,
+                data: vec![0u8; page_size].into_boxed_slice(),
+                dirty: false,
+            });
+        }
+        let policy = kind.build(frames.len());
+        let free = (0..frames.len()).rev().collect();
+        BufferPool {
+            device,
+            mode: Mode::Cached {
+                frames,
+                map: HashMap::new(),
+                policy,
+                allocator,
+                free,
+            },
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Create a pass-through pool (product without the Buffer Manager
+    /// feature).
+    pub fn unbuffered(device: Box<dyn BlockDevice>) -> Self {
+        let page_size = device.page_size();
+        BufferPool {
+            device,
+            mode: Mode::Unbuffered {
+                scratch: vec![0u8; page_size].into_boxed_slice(),
+            },
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Page size of the underlying device.
+    pub fn page_size(&self) -> usize {
+        self.device.page_size()
+    }
+
+    /// Number of addressable pages.
+    pub fn num_pages(&self) -> u32 {
+        self.device.num_pages()
+    }
+
+    /// Grow the device (see [`BlockDevice::ensure_pages`]).
+    pub fn ensure_pages(&mut self, pages: u32) -> Result<(), OsError> {
+        self.device.ensure_pages(pages)
+    }
+
+    /// Run `f` over an immutable view of the page.
+    pub fn with_page<R>(
+        &mut self,
+        page: PageId,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R, OsError> {
+        match &mut self.mode {
+            Mode::Unbuffered { scratch } => {
+                self.stats.misses += 1;
+                self.device.read_page(page, scratch)?;
+                Ok(f(scratch))
+            }
+            Mode::Cached { .. } => {
+                let idx = self.frame_for(page)?;
+                let Mode::Cached { frames, .. } = &self.mode else {
+                    unreachable!()
+                };
+                Ok(f(&frames[idx].data))
+            }
+        }
+    }
+
+    /// Run `f` over a mutable view of the page; the page is marked dirty
+    /// and written back on eviction, [`BufferPool::flush`], or drop.
+    pub fn with_page_mut<R>(
+        &mut self,
+        page: PageId,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> Result<R, OsError> {
+        match &mut self.mode {
+            Mode::Unbuffered { scratch } => {
+                self.stats.misses += 1;
+                self.device.read_page(page, scratch)?;
+                let r = f(scratch);
+                self.device.write_page(page, scratch)?;
+                Ok(r)
+            }
+            Mode::Cached { .. } => {
+                let idx = self.frame_for(page)?;
+                let Mode::Cached { frames, .. } = &mut self.mode else {
+                    unreachable!()
+                };
+                frames[idx].dirty = true;
+                Ok(f(&mut frames[idx].data))
+            }
+        }
+    }
+
+    /// Locate (or load) the frame holding `page`.
+    fn frame_for(&mut self, page: PageId) -> Result<FrameIdx, OsError> {
+        let Mode::Cached {
+            frames,
+            map,
+            policy,
+            allocator,
+            free,
+        } = &mut self.mode
+        else {
+            unreachable!("frame_for only called in cached mode")
+        };
+
+        if let Some(&idx) = map.get(&page) {
+            self.stats.hits += 1;
+            policy.on_access(idx);
+            return Ok(idx);
+        }
+        self.stats.misses += 1;
+
+        // Find a frame: an empty pre-allocated one, a fresh allocation, or
+        // an eviction victim.
+        let idx = if let Some(idx) = free.pop() {
+            idx
+        } else if allocator.try_acquire() {
+            let idx = frames.len();
+            frames.push(Frame {
+                page: None,
+                data: vec![0u8; self.device.page_size()].into_boxed_slice(),
+                dirty: false,
+            });
+            policy.resize(frames.len());
+            idx
+        } else {
+            let victim = policy.victim().ok_or_else(|| {
+                OsError::Io("buffer pool has no evictable frame".to_string())
+            })?;
+            let fr = &mut frames[victim];
+            if fr.dirty {
+                let old = fr.page.expect("victim frame holds a page");
+                self.device.write_page(old, &fr.data)?;
+                self.stats.writebacks += 1;
+            }
+            if let Some(old) = fr.page.take() {
+                map.remove(&old);
+            }
+            fr.dirty = false;
+            policy.on_remove(victim);
+            self.stats.evictions += 1;
+            victim
+        };
+
+        self.device.read_page(page, &mut frames[idx].data)?;
+        frames[idx].page = Some(page);
+        map.insert(page, idx);
+        policy.on_insert(idx);
+        Ok(idx)
+    }
+
+    /// Write back every dirty frame (without a device sync).
+    pub fn flush(&mut self) -> Result<(), OsError> {
+        if let Mode::Cached { frames, .. } = &mut self.mode {
+            for fr in frames.iter_mut() {
+                if fr.dirty {
+                    let page = fr.page.expect("dirty frame holds a page");
+                    self.device.write_page(page, &fr.data)?;
+                    fr.dirty = false;
+                    self.stats.writebacks += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush and issue a durability barrier on the device.
+    pub fn sync(&mut self) -> Result<(), OsError> {
+        self.flush()?;
+        self.device.sync()
+    }
+
+    /// Drop `page` from the cache (without write-back); used by the pager
+    /// when a page is freed.
+    pub fn discard(&mut self, page: PageId) {
+        if let Mode::Cached {
+            frames,
+            map,
+            policy,
+            free,
+            ..
+        } = &mut self.mode
+        {
+            if let Some(idx) = map.remove(&page) {
+                frames[idx].page = None;
+                frames[idx].dirty = false;
+                policy.on_remove(idx);
+                free.push(idx);
+            }
+        }
+    }
+
+    /// Is the page currently resident?
+    pub fn contains(&self, page: PageId) -> bool {
+        match &self.mode {
+            Mode::Unbuffered { .. } => false,
+            Mode::Cached { map, .. } => map.contains_key(&page),
+        }
+    }
+
+    /// Number of frames currently allocated.
+    pub fn frame_count(&self) -> usize {
+        match &self.mode {
+            Mode::Unbuffered { .. } => 0,
+            Mode::Cached { frames, .. } => frames.len(),
+        }
+    }
+
+    /// Pool counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Device counters (I/O actually performed).
+    pub fn device_stats(&self) -> DeviceStats {
+        self.device.stats()
+    }
+
+    /// Name of the replacement policy, or `"none"` in pass-through mode.
+    pub fn policy_name(&self) -> &'static str {
+        match &self.mode {
+            Mode::Unbuffered { .. } => "none",
+            Mode::Cached { policy, .. } => policy.name(),
+        }
+    }
+}
+
+impl Drop for BufferPool {
+    fn drop(&mut self) {
+        // Best-effort write-back; errors cannot be surfaced from drop.
+        let _ = self.flush();
+    }
+}
+
+#[cfg(all(test, feature = "lru"))]
+mod tests {
+    use super::*;
+    use fame_os::InMemoryDevice;
+
+    fn pool(frames: usize) -> BufferPool {
+        let mut dev = InMemoryDevice::new(128);
+        dev.ensure_pages(16).unwrap();
+        BufferPool::new(
+            Box::new(dev),
+            ReplacementKind::Lru,
+            AllocPolicy::Static { frames },
+        )
+    }
+
+    #[test]
+    fn read_your_writes() {
+        let mut p = pool(4);
+        p.with_page_mut(3, |b| b[0] = 42).unwrap();
+        let v = p.with_page(3, |b| b[0]).unwrap();
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn hits_and_misses_counted() {
+        let mut p = pool(4);
+        p.with_page(0, |_| ()).unwrap();
+        p.with_page(0, |_| ()).unwrap();
+        p.with_page(1, |_| ()).unwrap();
+        let s = p.stats();
+        assert_eq!((s.hits, s.misses), (1, 2));
+        assert!((s.hit_ratio() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let mut p = pool(2);
+        p.with_page_mut(0, |b| b[0] = 10).unwrap();
+        p.with_page_mut(1, |b| b[0] = 11).unwrap();
+        // Touch two more pages: 0 and 1 get evicted.
+        p.with_page(2, |_| ()).unwrap();
+        p.with_page(3, |_| ()).unwrap();
+        assert!(!p.contains(0));
+        let s = p.stats();
+        assert_eq!(s.evictions, 2);
+        assert_eq!(s.writebacks, 2);
+        // Data survived the round trip through the device.
+        assert_eq!(p.with_page(0, |b| b[0]).unwrap(), 10);
+        assert_eq!(p.with_page(1, |b| b[0]).unwrap(), 11);
+    }
+
+    #[test]
+    fn lru_evicts_coldest_page() {
+        let mut p = pool(2);
+        p.with_page(0, |_| ()).unwrap();
+        p.with_page(1, |_| ()).unwrap();
+        p.with_page(0, |_| ()).unwrap(); // 1 is now coldest
+        p.with_page(2, |_| ()).unwrap(); // evicts 1
+        assert!(p.contains(0));
+        assert!(!p.contains(1));
+        assert!(p.contains(2));
+    }
+
+    #[test]
+    fn static_pool_never_exceeds_arena() {
+        let mut p = pool(3);
+        for page in 0..10 {
+            p.with_page(page, |_| ()).unwrap();
+        }
+        assert_eq!(p.frame_count(), 3);
+    }
+
+    #[test]
+    fn dynamic_pool_grows_to_cap() {
+        let mut dev = InMemoryDevice::new(128);
+        dev.ensure_pages(16).unwrap();
+        let mut p = BufferPool::new(
+            Box::new(dev),
+            ReplacementKind::Lru,
+            AllocPolicy::Dynamic { max_frames: Some(5) },
+        );
+        assert_eq!(p.frame_count(), 0);
+        for page in 0..10 {
+            p.with_page(page, |_| ()).unwrap();
+        }
+        assert_eq!(p.frame_count(), 5);
+    }
+
+    #[test]
+    fn flush_clears_dirt_once() {
+        let mut p = pool(4);
+        p.with_page_mut(0, |b| b[0] = 1).unwrap();
+        p.flush().unwrap();
+        p.flush().unwrap(); // second flush writes nothing
+        assert_eq!(p.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn sync_reaches_device() {
+        let mut p = pool(2);
+        p.with_page_mut(0, |b| b[0] = 9).unwrap();
+        p.sync().unwrap();
+        assert_eq!(p.device_stats().syncs, 1);
+        assert_eq!(p.device_stats().writes, 1);
+    }
+
+    #[test]
+    fn discard_drops_without_writeback() {
+        let mut p = pool(2);
+        p.with_page_mut(0, |b| b[0] = 7).unwrap();
+        p.discard(0);
+        assert!(!p.contains(0));
+        p.flush().unwrap();
+        assert_eq!(p.stats().writebacks, 0);
+        // The write never reached the device.
+        assert_eq!(p.with_page(0, |b| b[0]).unwrap(), 0);
+    }
+
+    #[test]
+    fn unbuffered_mode_passes_through() {
+        let mut dev = InMemoryDevice::new(128);
+        dev.ensure_pages(4).unwrap();
+        let mut p = BufferPool::unbuffered(Box::new(dev));
+        p.with_page_mut(1, |b| b[0] = 5).unwrap();
+        assert_eq!(p.with_page(1, |b| b[0]).unwrap(), 5);
+        assert_eq!(p.frame_count(), 0);
+        assert!(!p.contains(1));
+        assert_eq!(p.policy_name(), "none");
+        // Every access is a device I/O.
+        assert_eq!(p.device_stats().reads, 2);
+        assert_eq!(p.device_stats().writes, 1);
+    }
+
+    #[test]
+    fn drop_flushes_dirty_frames() {
+        let mut dev = InMemoryDevice::new(128);
+        dev.ensure_pages(2).unwrap();
+        // We can't reclaim the device after drop, so observe via a reopen
+        // pattern: write through pool A, drop it, read through pool B
+        // backed by the same file-like device. InMemoryDevice can't be
+        // shared, so instead assert that flush happens by counting writes
+        // before drop through stats() — covered by flush_clears_dirt_once —
+        // and here simply ensure drop does not panic with dirty frames.
+        let mut p = BufferPool::new(
+            Box::new(dev),
+            ReplacementKind::Lru,
+            AllocPolicy::Static { frames: 2 },
+        );
+        p.with_page_mut(0, |b| b[0] = 1).unwrap();
+        drop(p);
+    }
+
+    #[cfg(feature = "lfu")]
+    #[test]
+    fn lfu_pool_keeps_hot_page() {
+        let mut dev = InMemoryDevice::new(128);
+        dev.ensure_pages(16).unwrap();
+        let mut p = BufferPool::new(
+            Box::new(dev),
+            ReplacementKind::Lfu,
+            AllocPolicy::Static { frames: 2 },
+        );
+        for _ in 0..5 {
+            p.with_page(0, |_| ()).unwrap(); // hot
+        }
+        p.with_page(1, |_| ()).unwrap();
+        p.with_page(2, |_| ()).unwrap(); // evicts 1 (cold), not 0
+        assert!(p.contains(0));
+        assert!(!p.contains(1));
+    }
+}

@@ -1,0 +1,403 @@
+//! Replacement policies: the *Replacement* alternative of Figure 2.
+//!
+//! Each policy observes frame accesses and nominates an eviction victim.
+//! The paper's feature diagram offers LRU and LFU; we add Clock (second
+//! chance) as an extension feature to demonstrate how the product line
+//! grows by adding alternatives.
+
+/// Index of a frame inside the pool.
+pub type FrameIdx = usize;
+
+/// Which policy a product composes. Variants exist only when the
+/// corresponding cargo feature is enabled, so a product that selects LRU
+/// does not even link the LFU code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplacementKind {
+    /// Least-recently-used.
+    #[cfg(feature = "lru")]
+    Lru,
+    /// Least-frequently-used.
+    #[cfg(feature = "lfu")]
+    Lfu,
+    /// Clock / second chance (extension, not in the paper's diagram).
+    #[cfg(feature = "clock")]
+    Clock,
+}
+
+impl ReplacementKind {
+    /// Instantiate the policy for a pool of `frames` frames.
+    pub fn build(self, frames: usize) -> Box<dyn ReplacementPolicy> {
+        match self {
+            #[cfg(feature = "lru")]
+            ReplacementKind::Lru => Box::new(lru::Lru::new(frames)),
+            #[cfg(feature = "lfu")]
+            ReplacementKind::Lfu => Box::new(lfu::Lfu::new(frames)),
+            #[cfg(feature = "clock")]
+            ReplacementKind::Clock => Box::new(clock::Clock::new(frames)),
+        }
+    }
+
+    /// Stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            #[cfg(feature = "lru")]
+            ReplacementKind::Lru => "LRU",
+            #[cfg(feature = "lfu")]
+            ReplacementKind::Lfu => "LFU",
+            #[cfg(feature = "clock")]
+            ReplacementKind::Clock => "Clock",
+        }
+    }
+}
+
+/// Interface every replacement policy implements.
+pub trait ReplacementPolicy: Send {
+    /// A resident frame was read or written.
+    fn on_access(&mut self, frame: FrameIdx);
+    /// A page was loaded into the (previously empty) frame.
+    fn on_insert(&mut self, frame: FrameIdx);
+    /// The frame was emptied.
+    fn on_remove(&mut self, frame: FrameIdx);
+    /// Nominate a victim among the currently occupied frames.
+    /// Returns `None` if no frame is occupied.
+    fn victim(&mut self) -> Option<FrameIdx>;
+    /// Grow internal bookkeeping to `frames` frames (dynamic allocation).
+    fn resize(&mut self, frames: usize);
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(feature = "lru")]
+pub mod lru {
+    //! Least-recently-used via a logical access clock.
+    //!
+    //! Victim selection uses a *lazy min-heap*: every access pushes a
+    //! `(stamp, frame)` entry; `victim()` pops entries until one matches
+    //! the frame's current stamp. Amortized `O(log n)` per operation —
+    //! the straightforward "scan all frames" alternative makes every
+    //! buffer miss `O(frames)`, which dominates at realistic pool sizes.
+
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    use super::{FrameIdx, ReplacementPolicy};
+
+    /// LRU: evicts the occupied frame with the oldest access stamp.
+    #[derive(Debug)]
+    pub struct Lru {
+        clock: u64,
+        /// `None` = frame empty; `Some(stamp)` = last access time.
+        stamps: Vec<Option<u64>>,
+        /// Lazy heap of (stamp, frame); stale entries are skipped on pop.
+        heap: BinaryHeap<Reverse<(u64, FrameIdx)>>,
+    }
+
+    impl Lru {
+        /// Policy for a pool of `frames` frames.
+        pub fn new(frames: usize) -> Self {
+            Lru {
+                clock: 0,
+                stamps: vec![None; frames],
+                heap: BinaryHeap::new(),
+            }
+        }
+
+        fn touch(&mut self, frame: FrameIdx) {
+            self.clock += 1;
+            self.stamps[frame] = Some(self.clock);
+            self.heap.push(Reverse((self.clock, frame)));
+        }
+    }
+
+    impl ReplacementPolicy for Lru {
+        fn on_access(&mut self, frame: FrameIdx) {
+            self.touch(frame);
+        }
+
+        fn on_insert(&mut self, frame: FrameIdx) {
+            self.touch(frame);
+        }
+
+        fn on_remove(&mut self, frame: FrameIdx) {
+            self.stamps[frame] = None;
+        }
+
+        fn victim(&mut self) -> Option<FrameIdx> {
+            while let Some(&Reverse((stamp, frame))) = self.heap.peek() {
+                if self.stamps.get(frame).copied().flatten() == Some(stamp) {
+                    return Some(frame);
+                }
+                self.heap.pop(); // stale: frame re-touched or emptied
+            }
+            None
+        }
+
+        fn resize(&mut self, frames: usize) {
+            self.stamps.resize(frames, None);
+        }
+
+        fn name(&self) -> &'static str {
+            "LRU"
+        }
+    }
+}
+
+#[cfg(feature = "lfu")]
+pub mod lfu {
+    //! Least-frequently-used with FIFO tie-breaking.
+    //!
+    //! Uses the same lazy-heap scheme as LRU: `victim()` pops
+    //! `(count, inserted_at, frame)` entries until one matches the frame's
+    //! current state. Amortized `O(log n)` instead of an `O(frames)` scan
+    //! per buffer miss.
+
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    use super::{FrameIdx, ReplacementPolicy};
+
+    /// LFU: evicts the occupied frame with the fewest accesses; ties are
+    /// broken by insertion order (older first) so scans don't thrash a
+    /// single frame.
+    #[derive(Debug)]
+    pub struct Lfu {
+        /// `None` = empty; `Some((count, inserted_at))`.
+        counts: Vec<Option<(u64, u64)>>,
+        insert_clock: u64,
+        /// Lazy heap of (count, inserted_at, frame).
+        heap: BinaryHeap<Reverse<(u64, u64, FrameIdx)>>,
+    }
+
+    impl Lfu {
+        /// Policy for a pool of `frames` frames.
+        pub fn new(frames: usize) -> Self {
+            Lfu {
+                counts: vec![None; frames],
+                insert_clock: 0,
+                heap: BinaryHeap::new(),
+            }
+        }
+    }
+
+    impl ReplacementPolicy for Lfu {
+        fn on_access(&mut self, frame: FrameIdx) {
+            if let Some((c, at)) = &mut self.counts[frame] {
+                *c += 1;
+                let (c, at) = (*c, *at);
+                self.heap.push(Reverse((c, at, frame)));
+            }
+        }
+
+        fn on_insert(&mut self, frame: FrameIdx) {
+            self.insert_clock += 1;
+            self.counts[frame] = Some((1, self.insert_clock));
+            self.heap.push(Reverse((1, self.insert_clock, frame)));
+        }
+
+        fn on_remove(&mut self, frame: FrameIdx) {
+            self.counts[frame] = None;
+        }
+
+        fn victim(&mut self) -> Option<FrameIdx> {
+            while let Some(&Reverse((count, at, frame))) = self.heap.peek() {
+                if self.counts.get(frame).copied().flatten() == Some((count, at)) {
+                    return Some(frame);
+                }
+                self.heap.pop(); // stale
+            }
+            None
+        }
+
+        fn resize(&mut self, frames: usize) {
+            self.counts.resize(frames, None);
+        }
+
+        fn name(&self) -> &'static str {
+            "LFU"
+        }
+    }
+}
+
+#[cfg(feature = "clock")]
+pub mod clock {
+    //! Clock (second chance): an extension alternative.
+
+    use super::{FrameIdx, ReplacementPolicy};
+
+    /// Clock: a rotating hand clears reference bits; the first occupied
+    /// frame found with a clear bit is the victim.
+    #[derive(Debug)]
+    pub struct Clock {
+        /// `None` = empty; `Some(referenced)`.
+        bits: Vec<Option<bool>>,
+        hand: usize,
+    }
+
+    impl Clock {
+        /// Policy for a pool of `frames` frames.
+        pub fn new(frames: usize) -> Self {
+            Clock {
+                bits: vec![None; frames],
+                hand: 0,
+            }
+        }
+    }
+
+    impl ReplacementPolicy for Clock {
+        fn on_access(&mut self, frame: FrameIdx) {
+            if let Some(bit) = &mut self.bits[frame] {
+                *bit = true;
+            }
+        }
+
+        fn on_insert(&mut self, frame: FrameIdx) {
+            self.bits[frame] = Some(true);
+        }
+
+        fn on_remove(&mut self, frame: FrameIdx) {
+            self.bits[frame] = None;
+        }
+
+        fn victim(&mut self) -> Option<FrameIdx> {
+            if self.bits.iter().all(|b| b.is_none()) {
+                return None;
+            }
+            // Two sweeps suffice: the first clears bits, the second must hit.
+            for _ in 0..2 * self.bits.len() {
+                let i = self.hand;
+                self.hand = (self.hand + 1) % self.bits.len();
+                match &mut self.bits[i] {
+                    Some(referenced) if *referenced => *referenced = false,
+                    Some(_) => return Some(i),
+                    None => {}
+                }
+            }
+            unreachable!("occupied frame must be found within two sweeps")
+        }
+
+        fn resize(&mut self, frames: usize) {
+            self.bits.resize(frames, None);
+        }
+
+        fn name(&self) -> &'static str {
+            "Clock"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(feature = "lru")]
+    mod lru_tests {
+        use super::super::lru::Lru;
+        use super::super::ReplacementPolicy;
+
+        #[test]
+        fn evicts_least_recently_used() {
+            let mut p = Lru::new(3);
+            p.on_insert(0);
+            p.on_insert(1);
+            p.on_insert(2);
+            p.on_access(0); // 1 is now the oldest
+            assert_eq!(p.victim(), Some(1));
+        }
+
+        #[test]
+        fn removal_excludes_frame() {
+            let mut p = Lru::new(2);
+            p.on_insert(0);
+            p.on_insert(1);
+            p.on_remove(0);
+            assert_eq!(p.victim(), Some(1));
+        }
+
+        #[test]
+        fn empty_pool_has_no_victim() {
+            let mut p = Lru::new(2);
+            assert_eq!(p.victim(), None);
+        }
+
+        #[test]
+        fn resize_keeps_existing_state() {
+            let mut p = Lru::new(1);
+            p.on_insert(0);
+            p.resize(3);
+            p.on_insert(2);
+            assert_eq!(p.victim(), Some(0));
+        }
+    }
+
+    #[cfg(feature = "lfu")]
+    mod lfu_tests {
+        use super::super::lfu::Lfu;
+        use super::super::ReplacementPolicy;
+
+        #[test]
+        fn evicts_least_frequently_used() {
+            let mut p = Lfu::new(3);
+            p.on_insert(0);
+            p.on_insert(1);
+            p.on_insert(2);
+            p.on_access(0);
+            p.on_access(0);
+            p.on_access(2);
+            assert_eq!(p.victim(), Some(1));
+        }
+
+        #[test]
+        fn ties_break_by_insertion_order() {
+            let mut p = Lfu::new(2);
+            p.on_insert(0);
+            p.on_insert(1);
+            // Both count 1; frame 0 inserted first -> victim.
+            assert_eq!(p.victim(), Some(0));
+        }
+
+        #[test]
+        fn reinsert_resets_count() {
+            let mut p = Lfu::new(2);
+            p.on_insert(0);
+            p.on_access(0);
+            p.on_access(0);
+            p.on_insert(1);
+            p.on_remove(0);
+            p.on_insert(0); // fresh page in frame 0, count back to 1
+            assert_eq!(p.victim(), Some(1)); // 1 older at same count
+        }
+    }
+
+    #[cfg(feature = "clock")]
+    mod clock_tests {
+        use super::super::clock::Clock;
+        use super::super::ReplacementPolicy;
+
+        #[test]
+        fn second_chance_spares_referenced() {
+            let mut p = Clock::new(3);
+            p.on_insert(0);
+            p.on_insert(1);
+            p.on_insert(2);
+            // First sweep clears all bits, second sweep takes frame 0.
+            assert_eq!(p.victim(), Some(0));
+            p.on_remove(0);
+            p.on_access(1); // re-reference 1
+            assert_eq!(p.victim(), Some(2));
+        }
+
+        #[test]
+        fn empty_pool_no_victim() {
+            let mut p = Clock::new(4);
+            assert_eq!(p.victim(), None);
+        }
+    }
+
+    #[test]
+    #[cfg(all(feature = "lru", feature = "lfu"))]
+    fn kind_builds_named_policies() {
+        assert_eq!(ReplacementKind::Lru.build(4).name(), "LRU");
+        assert_eq!(ReplacementKind::Lfu.build(4).name(), "LFU");
+        assert_eq!(ReplacementKind::Lru.name(), "LRU");
+    }
+}

@@ -1,0 +1,959 @@
+//! The [`Database`] facade: one product instance.
+
+use fame_buffer::BufferPool;
+use fame_os::BlockDevice;
+use fame_storage::Pager;
+
+#[cfg(feature = "index-btree")]
+use fame_storage::BTree;
+#[cfg(feature = "index-hash")]
+use fame_storage::HashIndex;
+#[cfg(feature = "index-list")]
+use fame_storage::ListIndex;
+
+use crate::config::{DbmsConfig, IndexKind, OsTarget};
+use crate::error::{DbmsError, Result};
+
+/// Root slot of the primary key/value index.
+const KV_ROOT_SLOT: usize = 0;
+/// Root slot of the optional queue.
+#[cfg(feature = "index-queue")]
+const QUEUE_ROOT_SLOT: usize = 1;
+
+/// The primary index, dispatching over the composed access methods.
+enum Kv {
+    #[cfg(feature = "index-btree")]
+    BTree(BTree),
+    #[cfg(feature = "index-list")]
+    List(ListIndex),
+    #[cfg(feature = "index-hash")]
+    Hash(HashIndex),
+}
+
+/// A running FAME-DBMS instance.
+///
+/// The API surface follows the feature diagram: `put`/`get`/`remove`/
+/// `update` exist only when the corresponding `api-*` cargo feature is
+/// composed; SQL, transactions, replication, and the queue likewise.
+pub struct Database {
+    pager: Pager,
+    kv: Kv,
+    config: DbmsConfig,
+    #[cfg(feature = "transactions")]
+    txn: Option<fame_txn::TxnManager>,
+    #[cfg(feature = "transactions")]
+    txn_pending_ship: std::collections::BTreeMap<fame_txn::TxnId, Vec<ShipOpBuf>>,
+    #[cfg(feature = "replication")]
+    replication: Option<fame_repl::Primary>,
+    #[cfg(feature = "sql")]
+    sql: Option<fame_query::SqlEngine>,
+}
+
+#[cfg(feature = "transactions")]
+type ShipOpBuf = (Vec<u8>, Option<Vec<u8>>); // (key, Some(value)=put / None=remove)
+
+impl Database {
+    /// Open (or create) a database per the configuration.
+    pub fn open(config: DbmsConfig) -> Result<Database> {
+        config.check().map_err(DbmsError::Config)?;
+        let device = make_device(&config)?;
+        let pool = make_pool(&config, device);
+        let mut pager = Pager::open(pool)?;
+
+        let kv = match &config.index {
+            #[cfg(feature = "index-btree")]
+            IndexKind::BTree => Kv::BTree(match pager.root(KV_ROOT_SLOT)? {
+                Some(_) => BTree::open(&mut pager, KV_ROOT_SLOT)?,
+                None => BTree::create(&mut pager, KV_ROOT_SLOT)?,
+            }),
+            #[cfg(feature = "index-list")]
+            IndexKind::List => Kv::List(match pager.root(KV_ROOT_SLOT)? {
+                Some(_) => ListIndex::open(&mut pager, KV_ROOT_SLOT)?,
+                None => ListIndex::create(&mut pager, KV_ROOT_SLOT)?,
+            }),
+            #[cfg(feature = "index-hash")]
+            IndexKind::Hash { buckets } => Kv::Hash(match pager.root(KV_ROOT_SLOT)? {
+                Some(_) => HashIndex::open(&mut pager, KV_ROOT_SLOT)?,
+                None => HashIndex::create(&mut pager, KV_ROOT_SLOT, *buckets)?,
+            }),
+        };
+
+        #[cfg(feature = "transactions")]
+        let txn = match &config.transactions {
+            Some(tc) => {
+                let log_dev = make_log_device(&config)?;
+                let (resume, log_dev) = fame_txn::LogReader::scan_end(log_dev)?;
+                let writer = fame_txn::LogWriter::new(log_dev, resume)?;
+                Some(fame_txn::TxnManager::new(writer, tc.commit))
+            }
+            None => None,
+        };
+
+        #[cfg(feature = "replication")]
+        let replication = config.replication.map(fame_repl::Primary::new);
+
+        #[cfg(feature = "sql")]
+        let sql = None; // lazily initialized: not every instance uses SQL
+
+        let mut db = Database {
+            pager,
+            kv,
+            config,
+            #[cfg(feature = "transactions")]
+            txn,
+            #[cfg(feature = "transactions")]
+            txn_pending_ship: std::collections::BTreeMap::new(),
+            #[cfg(feature = "replication")]
+            replication,
+            #[cfg(feature = "sql")]
+            sql,
+        };
+        #[cfg(feature = "transactions")]
+        db.recover_if_needed()?;
+        let _ = &mut db; // silence "unused mut" when transactions are off
+        Ok(db)
+    }
+
+    /// The configuration this instance runs with.
+    pub fn config(&self) -> &DbmsConfig {
+        &self.config
+    }
+
+    /// Flush everything and issue a durability barrier.
+    pub fn sync(&mut self) -> Result<()> {
+        self.pager.sync()?;
+        #[cfg(feature = "transactions")]
+        if let Some(t) = &mut self.txn {
+            t.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Pager / buffer-pool statistics.
+    pub fn pool_stats(&self) -> fame_buffer::PoolStats {
+        self.pager.pool().stats()
+    }
+
+    /// Device statistics of the data device.
+    pub fn device_stats(&self) -> fame_os::DeviceStats {
+        self.pager.pool().device_stats()
+    }
+
+    // ---- raw byte-string API (Fig. 2: Access -> API, or-group) ----------
+
+    /// Insert or overwrite a key (feature `api-put`).
+    #[cfg(feature = "api-put")]
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.kv_put(key, value)?;
+        #[cfg(feature = "replication")]
+        self.ship_put(key, value)?;
+        Ok(())
+    }
+
+    /// Look up a key (feature `api-get`).
+    #[cfg(feature = "api-get")]
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.kv_get(key)
+    }
+
+    /// Remove a key; returns whether it existed (feature `api-remove`).
+    #[cfg(feature = "api-remove")]
+    pub fn remove(&mut self, key: &[u8]) -> Result<bool> {
+        let removed = self.kv_remove(key)?;
+        #[cfg(feature = "replication")]
+        if removed {
+            self.ship_remove(key)?;
+        }
+        Ok(removed)
+    }
+
+    /// Overwrite an existing key; `false` if absent (feature `api-update`).
+    #[cfg(feature = "api-update")]
+    pub fn update(&mut self, key: &[u8], value: &[u8]) -> Result<bool> {
+        if self.kv_get(key)?.is_none() {
+            return Ok(false);
+        }
+        self.kv_put(key, value)?;
+        #[cfg(feature = "replication")]
+        self.ship_put(key, value)?;
+        Ok(true)
+    }
+
+    /// Number of live keys.
+    pub fn len(&mut self) -> Result<usize> {
+        Ok(match &self.kv {
+            #[cfg(feature = "index-btree")]
+            Kv::BTree(t) => t.len(&mut self.pager)?,
+            #[cfg(feature = "index-list")]
+            Kv::List(l) => l.len(&mut self.pager)?,
+            #[cfg(feature = "index-hash")]
+            Kv::Hash(h) => h.len(&mut self.pager)?,
+        })
+    }
+
+    /// `true` when no keys exist.
+    pub fn is_empty(&mut self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Ordered range scan (B+-tree only; other indexes return
+    /// [`DbmsError::FeatureNotCompiled`]-style config errors).
+    #[cfg(all(feature = "api-get", feature = "index-btree"))]
+    pub fn scan(
+        &mut self,
+        start: Option<&[u8]>,
+        end: Option<&[u8]>,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        match &self.kv {
+            Kv::BTree(t) => Ok(t.scan(&mut self.pager, start, end)?),
+            #[allow(unreachable_patterns)]
+            _ => Err(DbmsError::Config(
+                "range scans need the B+-tree index".into(),
+            )),
+        }
+    }
+
+    // ---- internal index dispatch ---------------------------------------
+
+    #[cfg(any(
+        feature = "api-put",
+        feature = "api-update",
+        feature = "transactions"
+    ))]
+    fn kv_put(&mut self, key: &[u8], value: &[u8]) -> Result<bool> {
+        match &mut self.kv {
+            #[cfg(feature = "index-btree")]
+            Kv::BTree(t) => {
+                #[cfg(feature = "btree-update")]
+                {
+                    Ok(t.insert(&mut self.pager, key, value)?)
+                }
+                #[cfg(not(feature = "btree-update"))]
+                {
+                    let _ = (t, key, value);
+                    Err(DbmsError::FeatureNotCompiled("btree-update"))
+                }
+            }
+            #[cfg(feature = "index-list")]
+            Kv::List(l) => Ok(l.insert(&mut self.pager, key, value)?),
+            #[cfg(feature = "index-hash")]
+            Kv::Hash(h) => Ok(h.insert(&mut self.pager, key, value)?),
+        }
+    }
+
+    fn kv_get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        match &self.kv {
+            #[cfg(feature = "index-btree")]
+            Kv::BTree(t) => Ok(t.get(&mut self.pager, key)?),
+            #[cfg(feature = "index-list")]
+            Kv::List(l) => Ok(l.get(&mut self.pager, key)?),
+            #[cfg(feature = "index-hash")]
+            Kv::Hash(h) => Ok(h.get(&mut self.pager, key)?),
+        }
+    }
+
+    #[cfg(any(feature = "api-remove", feature = "transactions"))]
+    fn kv_remove(&mut self, key: &[u8]) -> Result<bool> {
+        match &mut self.kv {
+            #[cfg(feature = "index-btree")]
+            Kv::BTree(t) => {
+                #[cfg(feature = "btree-remove")]
+                {
+                    Ok(t.remove(&mut self.pager, key)?)
+                }
+                #[cfg(not(feature = "btree-remove"))]
+                {
+                    let _ = (t, key);
+                    Err(DbmsError::FeatureNotCompiled("btree-remove"))
+                }
+            }
+            #[cfg(feature = "index-list")]
+            Kv::List(l) => Ok(l.remove(&mut self.pager, key)?),
+            #[cfg(feature = "index-hash")]
+            Kv::Hash(h) => Ok(h.remove(&mut self.pager, key)?),
+        }
+    }
+
+    // ---- statistics (Berkeley DB STATISTICS, §2.2) ------------------------
+
+    /// A full statistics report of the running product (feature
+    /// `statistics` — the Berkeley DB `->stat()` analog).
+    #[cfg(feature = "statistics")]
+    pub fn stats(&mut self) -> Result<DbStats> {
+        let keys = self.len()?;
+        let pool = self.pool_stats();
+        let device = self.device_stats();
+        Ok(DbStats {
+            keys,
+            index: match &self.kv {
+                #[cfg(feature = "index-btree")]
+                Kv::BTree(_) => "B+-Tree",
+                #[cfg(feature = "index-list")]
+                Kv::List(_) => "List",
+                #[cfg(feature = "index-hash")]
+                Kv::Hash(_) => "Hash",
+            },
+            allocated_pages: self.pager.allocated_pages()?,
+            page_size: self.pager.page_size(),
+            pool,
+            device,
+            #[cfg(feature = "transactions")]
+            txn: self.txn.as_ref().map(|t| t.stats()),
+            #[cfg(feature = "replication")]
+            replication_lag: self.replication_lag(),
+        })
+    }
+
+    // ---- queue access method (Berkeley DB QUEUE, §2.2) -------------------
+
+    /// Create or open the fixed-record queue (feature `index-queue`).
+    #[cfg(feature = "index-queue")]
+    pub fn queue(&mut self, record_len: usize) -> Result<QueueHandle<'_>> {
+        let q = match self.pager.root(QUEUE_ROOT_SLOT)? {
+            Some(_) => fame_storage::Queue::open(&mut self.pager, QUEUE_ROOT_SLOT)?,
+            None => fame_storage::Queue::create(&mut self.pager, QUEUE_ROOT_SLOT, record_len)?,
+        };
+        if q.record_len() != record_len {
+            return Err(DbmsError::Config(format!(
+                "queue exists with record length {}, requested {}",
+                q.record_len(),
+                record_len
+            )));
+        }
+        Ok(QueueHandle {
+            queue: q,
+            pager: &mut self.pager,
+        })
+    }
+
+    // ---- SQL (Fig. 2: Access -> SQL Engine) ------------------------------
+
+    /// Execute a SQL statement (feature `sql`).
+    #[cfg(feature = "sql")]
+    pub fn sql(&mut self, statement: &str) -> Result<fame_query::QueryOutput> {
+        if self.sql.is_none() {
+            self.sql = Some(fame_query::SqlEngine::open_default(&mut self.pager)?);
+        }
+        let engine = self.sql.as_mut().expect("just initialized");
+        Ok(engine.execute(&mut self.pager, statement)?)
+    }
+
+    /// Access path chosen by the last SQL row-sourcing statement
+    /// (optimizer diagnostics).
+    #[cfg(feature = "sql")]
+    pub fn last_access_path(&self) -> Option<&'static str> {
+        self.sql.as_ref().and_then(|e| e.last_access_path())
+    }
+
+    // ---- transactions (Fig. 2: Transaction) -----------------------------
+
+    /// Begin a transaction (feature `transactions`).
+    #[cfg(feature = "transactions")]
+    pub fn begin(&mut self) -> Result<TxnHandle> {
+        let mgr = self
+            .txn
+            .as_mut()
+            .ok_or_else(|| DbmsError::Config("transactions not enabled in config".into()))?;
+        let id = mgr.begin()?;
+        self.txn_pending_ship.insert(id, Vec::new());
+        Ok(TxnHandle { id })
+    }
+
+    /// Transactional put: WAL + lock first, then apply.
+    #[cfg(all(feature = "transactions", feature = "api-put"))]
+    pub fn txn_put(&mut self, txn: TxnHandle, key: &[u8], value: &[u8]) -> Result<()> {
+        let old = self.kv_get(key)?;
+        let mgr = self.txn.as_mut().expect("begin() checked config");
+        mgr.log_put(txn.id, 0, key, old, value)?;
+        self.kv_put(key, value)?;
+        if let Some(pending) = self.txn_pending_ship.get_mut(&txn.id) {
+            pending.push((key.to_vec(), Some(value.to_vec())));
+        }
+        Ok(())
+    }
+
+    /// Transactional get (takes a read lock).
+    #[cfg(all(feature = "transactions", feature = "api-get"))]
+    pub fn txn_get(&mut self, txn: TxnHandle, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mgr = self.txn.as_mut().expect("begin() checked config");
+        mgr.lock_read(txn.id, key)?;
+        self.kv_get(key)
+    }
+
+    /// Transactional remove.
+    #[cfg(all(feature = "transactions", feature = "api-remove"))]
+    pub fn txn_remove(&mut self, txn: TxnHandle, key: &[u8]) -> Result<bool> {
+        let old = self.kv_get(key)?;
+        let Some(old) = old else {
+            return Ok(false);
+        };
+        let mgr = self.txn.as_mut().expect("begin() checked config");
+        mgr.log_remove(txn.id, 0, key, old)?;
+        self.kv_remove(key)?;
+        if let Some(pending) = self.txn_pending_ship.get_mut(&txn.id) {
+            pending.push((key.to_vec(), None));
+        }
+        Ok(true)
+    }
+
+    /// Commit (durability per the composed commit protocol); ships the
+    /// transaction's effects to replicas.
+    #[cfg(feature = "transactions")]
+    pub fn commit(&mut self, txn: TxnHandle) -> Result<()> {
+        let mgr = self.txn.as_mut().expect("begin() checked config");
+        mgr.commit(txn.id)?;
+        let pending = self.txn_pending_ship.remove(&txn.id).unwrap_or_default();
+        #[cfg(feature = "replication")]
+        for (key, op) in pending {
+            match op {
+                Some(value) => self.ship_put(&key, &value)?,
+                None => self.ship_remove(&key)?,
+            }
+        }
+        #[cfg(not(feature = "replication"))]
+        drop(pending);
+        Ok(())
+    }
+
+    /// Abort: applies compensating actions to the index.
+    #[cfg(feature = "transactions")]
+    pub fn abort(&mut self, txn: TxnHandle) -> Result<()> {
+        let mgr = self.txn.as_mut().expect("begin() checked config");
+        let undo = mgr.abort(txn.id)?;
+        self.txn_pending_ship.remove(&txn.id);
+        for action in undo {
+            match action.restore {
+                Some(old) => {
+                    self.kv_put(&action.key, &old)?;
+                }
+                None => {
+                    self.kv_remove(&action.key)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Transaction statistics `(committed, aborted)`.
+    #[cfg(feature = "transactions")]
+    pub fn txn_stats(&self) -> Option<(u64, u64)> {
+        self.txn.as_ref().map(|t| t.stats())
+    }
+
+    /// Log-device sync count (commit-protocol comparison metric).
+    #[cfg(feature = "transactions")]
+    pub fn log_syncs(&self) -> Option<u64> {
+        self.txn.as_ref().map(|t| t.log_syncs())
+    }
+
+    /// Replay the WAL against the store (run automatically at open).
+    #[cfg(feature = "transactions")]
+    fn recover_if_needed(&mut self) -> Result<()> {
+        // Only file-backed products can have a pre-existing log.
+        // In-memory logs are always fresh, so recovery is a no-op there.
+        let Some(_) = &self.txn else { return Ok(()) };
+        let log_dev = make_log_device(&self.config)?;
+        if log_dev.num_pages() == 0 {
+            return Ok(());
+        }
+        let reader = fame_txn::LogReader::new(log_dev);
+        let mut target = RecoverInto {
+            db: self,
+            error: None,
+        };
+        fame_txn::recover(reader, &mut target)?;
+        if let Some(e) = target.error {
+            return Err(e);
+        }
+        self.pager.sync()?;
+        Ok(())
+    }
+
+    // ---- replication (Berkeley DB REPLICATION, §2.2) ----------------------
+
+    /// Attach a replica; pump it with `poll()` or run it with `spawn()`
+    /// (feature `replication`).
+    #[cfg(feature = "replication")]
+    pub fn attach_replica(&mut self) -> Result<fame_repl::Replica> {
+        let r = self
+            .replication
+            .as_mut()
+            .ok_or_else(|| DbmsError::Config("replication not enabled in config".into()))?;
+        Ok(r.add_replica())
+    }
+
+    /// Replication lag: shipped minus acknowledged sequence numbers.
+    #[cfg(feature = "replication")]
+    pub fn replication_lag(&mut self) -> Option<u64> {
+        self.replication
+            .as_mut()
+            .map(|p| p.last_seq() - p.commit_horizon())
+    }
+
+    /// Digest of the primary's KV state; compare with
+    /// [`fame_repl::ReplicaState::digest`] to verify convergence
+    /// (B+-tree index only — the digest needs a deterministic order).
+    #[cfg(all(feature = "replication", feature = "index-btree"))]
+    pub fn state_digest(&mut self) -> Result<u64> {
+        match &self.kv {
+            Kv::BTree(t) => {
+                let entries = t.scan(&mut self.pager, None, None)?;
+                Ok(fame_repl::digest_of(
+                    entries.iter().map(|(k, v)| (0u8, k.as_slice(), v.as_slice())),
+                ))
+            }
+            #[allow(unreachable_patterns)]
+            _ => Err(DbmsError::Config("state digest needs the B+-tree".into())),
+        }
+    }
+
+    #[cfg(feature = "replication")]
+    fn ship_put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        if let Some(p) = &mut self.replication {
+            p.ship(fame_repl::ShipOp::Put {
+                index: 0,
+                key: key.to_vec(),
+                value: value.to_vec(),
+            })?;
+        }
+        Ok(())
+    }
+
+    #[cfg(feature = "replication")]
+    fn ship_remove(&mut self, key: &[u8]) -> Result<()> {
+        if let Some(p) = &mut self.replication {
+            p.ship(fame_repl::ShipOp::Remove {
+                index: 0,
+                key: key.to_vec(),
+            })?;
+        }
+        Ok(())
+    }
+}
+
+/// Product statistics report (feature `statistics`).
+#[cfg(feature = "statistics")]
+#[derive(Debug, Clone)]
+pub struct DbStats {
+    /// Live keys in the primary index.
+    pub keys: usize,
+    /// Name of the composed index.
+    pub index: &'static str,
+    /// Pages the pager has handed out (including meta and free list).
+    pub allocated_pages: u32,
+    /// Page size in bytes.
+    pub page_size: usize,
+    /// Buffer-pool counters.
+    pub pool: fame_buffer::PoolStats,
+    /// Device counters.
+    pub device: fame_os::DeviceStats,
+    /// `(committed, aborted)`, when transactions are configured.
+    #[cfg(feature = "transactions")]
+    pub txn: Option<(u64, u64)>,
+    /// Shipped-minus-acknowledged, when replication is configured.
+    #[cfg(feature = "replication")]
+    pub replication_lag: Option<u64>,
+}
+
+#[cfg(feature = "statistics")]
+impl std::fmt::Display for DbStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "index:            {} ({} keys)", self.index, self.keys)?;
+        writeln!(
+            f,
+            "pages:            {} x {} bytes",
+            self.allocated_pages, self.page_size
+        )?;
+        writeln!(
+            f,
+            "buffer:           {:.1}% hits ({} accesses, {} evictions, {} writebacks)",
+            self.pool.hit_ratio() * 100.0,
+            self.pool.hits + self.pool.misses,
+            self.pool.evictions,
+            self.pool.writebacks
+        )?;
+        write!(
+            f,
+            "device:           {} reads, {} writes, {} syncs, {} erases",
+            self.device.reads, self.device.writes, self.device.syncs, self.device.erases
+        )?;
+        #[cfg(feature = "transactions")]
+        if let Some((c, a)) = self.txn {
+            write!(f, "\ntransactions:     {c} committed, {a} aborted")?;
+        }
+        #[cfg(feature = "replication")]
+        if let Some(lag) = self.replication_lag {
+            write!(f, "\nreplication lag:  {lag}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An open transaction (copyable token; the manager owns the state).
+#[cfg(feature = "transactions")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnHandle {
+    id: fame_txn::TxnId,
+}
+
+#[cfg(feature = "transactions")]
+impl TxnHandle {
+    /// The raw transaction id.
+    pub fn id(&self) -> fame_txn::TxnId {
+        self.id
+    }
+}
+
+/// Borrowed handle to the queue access method.
+#[cfg(feature = "index-queue")]
+pub struct QueueHandle<'a> {
+    queue: fame_storage::Queue,
+    pager: &'a mut Pager,
+}
+
+#[cfg(feature = "index-queue")]
+impl QueueHandle<'_> {
+    /// Append a record; returns its record number.
+    pub fn push(&mut self, record: &[u8]) -> Result<u64> {
+        Ok(self.queue.push(self.pager, record)?)
+    }
+
+    /// Remove and return the oldest record.
+    pub fn pop(&mut self) -> Result<Option<Vec<u8>>> {
+        Ok(self.queue.pop(self.pager)?)
+    }
+
+    /// Read the oldest record without consuming it.
+    pub fn peek(&mut self) -> Result<Option<Vec<u8>>> {
+        Ok(self.queue.peek(self.pager)?)
+    }
+
+    /// Random access by record number.
+    pub fn get(&mut self, recno: u64) -> Result<Option<Vec<u8>>> {
+        Ok(self.queue.get(self.pager, recno)?)
+    }
+
+    /// Live records.
+    pub fn len(&mut self) -> Result<u64> {
+        Ok(self.queue.len(self.pager)?)
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&mut self) -> Result<bool> {
+        Ok(self.queue.is_empty(self.pager)?)
+    }
+}
+
+/// Adapter implementing the recovery callback over the database.
+#[cfg(feature = "transactions")]
+struct RecoverInto<'a> {
+    db: &'a mut Database,
+    error: Option<DbmsError>,
+}
+
+#[cfg(feature = "transactions")]
+impl fame_txn::RecoveryTarget for RecoverInto<'_> {
+    fn apply_put(&mut self, _index: u8, key: &[u8], value: &[u8]) {
+        if self.error.is_none() {
+            if let Err(e) = self.db.kv_put(key, value) {
+                self.error = Some(e);
+            }
+        }
+    }
+
+    fn apply_remove(&mut self, _index: u8, key: &[u8]) {
+        if self.error.is_none() {
+            if let Err(e) = self.db.kv_remove(key) {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+// ---- device construction ---------------------------------------------------
+
+fn make_device(config: &DbmsConfig) -> Result<Box<dyn BlockDevice>> {
+    let dev: Box<dyn BlockDevice> = match &config.os {
+        #[cfg(feature = "os-inmem")]
+        OsTarget::InMemory { capacity_pages } => match capacity_pages {
+            Some(cap) => Box::new(fame_os::InMemoryDevice::with_capacity(
+                config.page_size,
+                *cap,
+            )),
+            None => Box::new(fame_os::InMemoryDevice::new(config.page_size)),
+        },
+        #[cfg(feature = "os-std")]
+        OsTarget::File { path } => {
+            if path.exists() {
+                Box::new(fame_os::FileDevice::open(path, config.page_size)?)
+            } else {
+                Box::new(fame_os::FileDevice::create(path, config.page_size)?)
+            }
+        }
+        #[cfg(feature = "os-flash")]
+        OsTarget::Flash(fc) => Box::new(fame_os::FlashDevice::new(*fc)),
+    };
+
+    #[cfg(feature = "crypto")]
+    if let Some(key) = &config.crypto_key {
+        return Ok(Box::new(WrapCrypto::new(dev, key)));
+    }
+    Ok(dev)
+}
+
+/// The log lives next to the data: `<path>.log` for file targets, a fresh
+/// in-memory device otherwise.
+#[cfg(feature = "transactions")]
+fn make_log_device(config: &DbmsConfig) -> Result<Box<dyn BlockDevice>> {
+    Ok(match &config.os {
+        #[cfg(feature = "os-std")]
+        OsTarget::File { path } => {
+            let mut log_path = path.clone();
+            let mut name = log_path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "fame".to_string());
+            name.push_str(".log");
+            log_path.set_file_name(name);
+            if log_path.exists() {
+                Box::new(fame_os::FileDevice::open(&log_path, config.page_size)?)
+            } else {
+                Box::new(fame_os::FileDevice::create(&log_path, config.page_size)?)
+            }
+        }
+        #[allow(unreachable_patterns)]
+        _ => Box::new(new_inmem_log(config.page_size)),
+    })
+}
+
+#[cfg(feature = "transactions")]
+fn new_inmem_log(page_size: usize) -> impl BlockDevice {
+    // Volatile log: commit protocols still run (and are measured), but a
+    // process restart starts from a clean log. In-memory products are
+    // volatile as a whole, so this is consistent.
+    #[cfg(feature = "os-inmem")]
+    {
+        fame_os::InMemoryDevice::new(page_size)
+    }
+    #[cfg(not(feature = "os-inmem"))]
+    {
+        // Fall back to a flash-simulated log on flash-only builds.
+        fame_os::FlashDevice::new(fame_os::FlashConfig {
+            page_size,
+            pages_per_block: 16,
+            capacity_pages: 16 * 256,
+            erase_endurance: None,
+        })
+    }
+}
+
+/// Crypto wrapper over a boxed device (the generic
+/// `fame_storage::CryptoDevice<D>` needs a concrete `D`; products hold
+/// devices as trait objects).
+#[cfg(feature = "crypto")]
+struct WrapCrypto {
+    inner: Box<dyn BlockDevice>,
+    cipher: fame_storage::crypto::PageCipher,
+}
+
+#[cfg(feature = "crypto")]
+impl WrapCrypto {
+    fn new(inner: Box<dyn BlockDevice>, key: &[u8; 16]) -> Self {
+        WrapCrypto {
+            inner,
+            cipher: fame_storage::crypto::PageCipher::new(key),
+        }
+    }
+}
+
+#[cfg(feature = "crypto")]
+impl BlockDevice for WrapCrypto {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+    fn num_pages(&self) -> u32 {
+        self.inner.num_pages()
+    }
+    fn read_page(&mut self, page: u32, buf: &mut [u8]) -> std::result::Result<(), fame_os::OsError> {
+        self.inner.read_page(page, buf)?;
+        if buf.iter().any(|&b| b != 0) {
+            self.cipher.decrypt_page(page, buf);
+        }
+        Ok(())
+    }
+    fn write_page(&mut self, page: u32, buf: &[u8]) -> std::result::Result<(), fame_os::OsError> {
+        let mut ct = buf.to_vec();
+        self.cipher.encrypt_page(page, &mut ct);
+        self.inner.write_page(page, &ct)
+    }
+    fn ensure_pages(&mut self, pages: u32) -> std::result::Result<(), fame_os::OsError> {
+        self.inner.ensure_pages(pages)
+    }
+    fn sync(&mut self) -> std::result::Result<(), fame_os::OsError> {
+        self.inner.sync()
+    }
+    fn stats(&self) -> fame_os::DeviceStats {
+        self.inner.stats()
+    }
+}
+
+fn make_pool(config: &DbmsConfig, device: Box<dyn BlockDevice>) -> BufferPool {
+    #[cfg(feature = "buffer")]
+    {
+        match &config.buffer {
+            Some(b) => BufferPool::new(device, b.replacement, b.policy()),
+            None => BufferPool::unbuffered(device),
+        }
+    }
+    #[cfg(not(feature = "buffer"))]
+    {
+        let _ = config;
+        BufferPool::unbuffered(device)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        Database::open(DbmsConfig::default_for_build()).unwrap()
+    }
+
+    #[cfg(all(feature = "api-put", feature = "api-get", feature = "api-remove"))]
+    #[test]
+    fn put_get_remove_round_trip() {
+        let mut d = db();
+        d.put(b"k1", b"v1").unwrap();
+        d.put(b"k2", b"v2").unwrap();
+        assert_eq!(d.get(b"k1").unwrap(), Some(b"v1".to_vec()));
+        assert_eq!(d.len().unwrap(), 2);
+        assert!(d.remove(b"k1").unwrap());
+        assert!(!d.remove(b"k1").unwrap());
+        assert_eq!(d.get(b"k1").unwrap(), None);
+    }
+
+    #[cfg(all(feature = "api-put", feature = "api-update", feature = "api-get"))]
+    #[test]
+    fn update_only_touches_existing() {
+        let mut d = db();
+        assert!(!d.update(b"ghost", b"x").unwrap());
+        d.put(b"k", b"v1").unwrap();
+        assert!(d.update(b"k", b"v2").unwrap());
+        assert_eq!(d.get(b"k").unwrap(), Some(b"v2".to_vec()));
+    }
+
+    #[cfg(all(feature = "api-put", feature = "api-get", feature = "index-btree"))]
+    #[test]
+    fn scan_is_ordered() {
+        let mut d = db();
+        for i in [5u32, 1, 9, 3] {
+            d.put(&i.to_be_bytes(), b"x").unwrap();
+        }
+        let all = d.scan(None, None).unwrap();
+        let keys: Vec<u32> = all
+            .iter()
+            .map(|(k, _)| u32::from_be_bytes(k[..4].try_into().unwrap()))
+            .collect();
+        assert_eq!(keys, [1, 3, 5, 9]);
+    }
+
+    #[cfg(all(feature = "sql", feature = "api-put"))]
+    #[test]
+    fn sql_end_to_end() {
+        let mut d = db();
+        d.sql("CREATE TABLE t (id U32, v TEXT)").unwrap();
+        d.sql("INSERT INTO t VALUES (1, 'one'), (2, 'two')").unwrap();
+        let out = d.sql("SELECT v FROM t WHERE id = 2").unwrap();
+        let rows = out.rows().unwrap();
+        assert_eq!(rows[0][0], fame_storage::Value::Str("two".into()));
+    }
+
+    #[cfg(all(
+        feature = "transactions",
+        feature = "commit-force",
+        feature = "api-put",
+        feature = "api-get",
+        feature = "api-remove"
+    ))]
+    #[test]
+    fn transaction_commit_and_abort() {
+        use crate::config::TxnConfig;
+        let mut cfg = DbmsConfig::default_for_build();
+        cfg.transactions = Some(TxnConfig {
+            commit: fame_txn::CommitPolicy::Force,
+        });
+        let mut d = Database::open(cfg).unwrap();
+
+        let t = d.begin().unwrap();
+        d.txn_put(t, b"a", b"1").unwrap();
+        d.commit(t).unwrap();
+        assert_eq!(d.get(b"a").unwrap(), Some(b"1".to_vec()));
+
+        let t = d.begin().unwrap();
+        d.txn_put(t, b"a", b"2").unwrap();
+        d.txn_put(t, b"b", b"new").unwrap();
+        d.txn_remove(t, b"a").unwrap();
+        d.abort(t).unwrap();
+        assert_eq!(d.get(b"a").unwrap(), Some(b"1".to_vec()), "abort restored");
+        assert_eq!(d.get(b"b").unwrap(), None, "created key rolled back");
+        assert_eq!(d.txn_stats(), Some((1, 1)));
+    }
+
+    #[cfg(all(
+        feature = "replication",
+        feature = "api-put",
+        feature = "api-remove",
+        feature = "index-btree"
+    ))]
+    #[test]
+    fn replication_converges() {
+        let mut cfg = DbmsConfig::default_for_build();
+        cfg.replication = Some(fame_repl::AckPolicy::Asynchronous);
+        let mut d = Database::open(cfg).unwrap();
+        let mut replica = d.attach_replica().unwrap();
+        d.put(b"x", b"1").unwrap();
+        d.put(b"y", b"2").unwrap();
+        d.remove(b"x").unwrap();
+        replica.poll();
+        assert_eq!(replica.state().get(0, b"y"), Some(&b"2".to_vec()));
+        assert_eq!(replica.state().get(0, b"x"), None);
+        assert_eq!(replica.state().digest(), d.state_digest().unwrap());
+    }
+
+    #[cfg(feature = "index-queue")]
+    #[test]
+    fn queue_handle_works() {
+        let mut d = db();
+        let mut q = d.queue(8).unwrap();
+        q.push(&[1u8; 8]).unwrap();
+        q.push(&[2u8; 8]).unwrap();
+        assert_eq!(q.peek().unwrap(), Some(vec![1u8; 8]));
+        assert_eq!(q.pop().unwrap(), Some(vec![1u8; 8]));
+        assert_eq!(q.len().unwrap(), 1);
+    }
+
+    #[cfg(all(feature = "statistics", feature = "api-put"))]
+    #[test]
+    fn stats_report_reflects_activity() {
+        let mut d = db();
+        for i in 0u32..50 {
+            d.put(&i.to_be_bytes(), &[1u8; 8]).unwrap();
+        }
+        let s = d.stats().unwrap();
+        assert_eq!(s.keys, 50);
+        assert!(s.allocated_pages >= 2);
+        assert!(s.pool.hits + s.pool.misses > 0);
+        let rendered = s.to_string();
+        assert!(rendered.contains("50 keys"), "{rendered}");
+        assert!(rendered.contains("buffer:"), "{rendered}");
+    }
+
+    #[test]
+    fn pool_stats_available() {
+        let mut d = db();
+        let _ = d.len().unwrap();
+        let s = d.pool_stats();
+        assert!(s.hits + s.misses > 0 || d.device_stats().reads > 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Top-level error type of the product line.
+
+use std::fmt;
+
+use fame_os::OsError;
+use fame_storage::StorageError;
+
+/// Errors surfaced by [`crate::Database`].
+#[derive(Debug)]
+pub enum DbmsError {
+    /// Storage-layer error.
+    Storage(StorageError),
+    /// OS-layer error.
+    Os(OsError),
+    /// Transaction-layer error.
+    #[cfg(feature = "transactions")]
+    Txn(fame_txn::TxnError),
+    /// Query-layer error.
+    #[cfg(feature = "sql")]
+    Query(fame_query::QueryError),
+    /// Replication-layer error.
+    #[cfg(feature = "replication")]
+    Replication(fame_repl::ReplicationError),
+    /// The runtime configuration is invalid for this composition.
+    Config(String),
+    /// The operation needs a feature that was not composed into this
+    /// product (e.g. `remove` on a B+-tree built without `btree-remove`).
+    FeatureNotCompiled(&'static str),
+}
+
+impl fmt::Display for DbmsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbmsError::Storage(e) => write!(f, "{e}"),
+            DbmsError::Os(e) => write!(f, "{e}"),
+            #[cfg(feature = "transactions")]
+            DbmsError::Txn(e) => write!(f, "{e}"),
+            #[cfg(feature = "sql")]
+            DbmsError::Query(e) => write!(f, "{e}"),
+            #[cfg(feature = "replication")]
+            DbmsError::Replication(e) => write!(f, "{e}"),
+            DbmsError::Config(m) => write!(f, "configuration error: {m}"),
+            DbmsError::FeatureNotCompiled(feat) => {
+                write!(f, "feature `{feat}` is not part of this product")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DbmsError {}
+
+impl From<StorageError> for DbmsError {
+    fn from(e: StorageError) -> Self {
+        DbmsError::Storage(e)
+    }
+}
+
+impl From<OsError> for DbmsError {
+    fn from(e: OsError) -> Self {
+        DbmsError::Os(e)
+    }
+}
+
+#[cfg(feature = "transactions")]
+impl From<fame_txn::TxnError> for DbmsError {
+    fn from(e: fame_txn::TxnError) -> Self {
+        DbmsError::Txn(e)
+    }
+}
+
+#[cfg(feature = "sql")]
+impl From<fame_query::QueryError> for DbmsError {
+    fn from(e: fame_query::QueryError) -> Self {
+        DbmsError::Query(e)
+    }
+}
+
+#[cfg(feature = "replication")]
+impl From<fame_repl::ReplicationError> for DbmsError {
+    fn from(e: fame_repl::ReplicationError) -> Self {
+        DbmsError::Replication(e)
+    }
+}
+
+/// Result alias for database operations.
+pub type Result<T> = std::result::Result<T, DbmsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert!(DbmsError::Config("bad".into()).to_string().contains("bad"));
+        assert!(DbmsError::FeatureNotCompiled("x")
+            .to_string()
+            .contains("`x`"));
+        let s: DbmsError = StorageError::NotFound.into();
+        assert!(s.to_string().contains("not found"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Bridge between cargo features (the *composition*) and the executable
+//! Figure 2 feature model (the *specification*).
+//!
+//! [`active_features`] reports which cargo features this product was built
+//! with; [`model_configuration`] translates build + runtime configuration
+//! into a [`fame_feature_model::Configuration`] and validates it against
+//! the FAME-DBMS model — the same check the paper's derivation tooling
+//! performs before generating a product.
+
+use fame_feature_model::{models, ConfigError, Configuration, FeatureModel};
+
+use crate::config::{DbmsConfig, IndexKind, OsTarget};
+
+/// Cargo features compiled into this product, by their manifest names.
+pub fn active_features() -> Vec<&'static str> {
+    let mut out = Vec::new();
+    macro_rules! probe {
+        ($($name:literal),* $(,)?) => {
+            $(if cfg!(feature = $name) { out.push($name); })*
+        };
+    }
+    probe!(
+        "api-put",
+        "api-get",
+        "api-remove",
+        "api-update",
+        "sql",
+        "optimizer",
+        "index-btree",
+        "btree-update",
+        "btree-remove",
+        "index-list",
+        "index-hash",
+        "index-queue",
+        "data-types",
+        "buffer",
+        "replace-lru",
+        "replace-lfu",
+        "alloc-static",
+        "alloc-dynamic",
+        "os-std",
+        "os-inmem",
+        "os-flash",
+        "transactions",
+        "commit-force",
+        "commit-group",
+        "crypto",
+        "replication",
+        "statistics",
+        "monolithic",
+    );
+    out
+}
+
+/// Translate this build plus a runtime configuration into a configuration
+/// of the Figure 2 model, and validate it.
+///
+/// Returns the (validated) configuration and the model, or the validation
+/// errors. The translation selects exactly one alternative per group based
+/// on the *runtime* choices (e.g. which replacement policy the instance
+/// actually uses), which is what distinguishes a product *instance* from
+/// the compiled *product*.
+pub fn model_configuration(
+    config: &DbmsConfig,
+) -> Result<(FeatureModel, Configuration), Vec<ConfigError>> {
+    let model = models::fame_dbms();
+    let mut cfg = Configuration::new();
+    let mut select = |name: &str| {
+        cfg.select(model.id(name));
+    };
+
+    select("FAME-DBMS");
+    select("Access");
+    select("API");
+    if cfg!(feature = "api-put") {
+        select("Put");
+    }
+    if cfg!(feature = "api-get") {
+        select("Get");
+    }
+    if cfg!(feature = "api-remove") {
+        select("Remove");
+    }
+    if cfg!(feature = "api-update") {
+        select("Update");
+    }
+    if cfg!(feature = "sql") {
+        select("SQLEngine");
+    }
+    if cfg!(feature = "optimizer") {
+        select("Optimizer");
+    }
+
+    select("Storage");
+    select("Index");
+    match &config.index {
+        #[cfg(feature = "index-btree")]
+        IndexKind::BTree => {
+            select("B+-Tree");
+            select("BTreeSearch");
+            if cfg!(feature = "btree-update") {
+                select("BTreeUpdate");
+            }
+            if cfg!(feature = "btree-remove") {
+                select("BTreeRemove");
+            }
+        }
+        #[cfg(feature = "index-list")]
+        IndexKind::List => select("List"),
+        #[cfg(feature = "index-hash")]
+        IndexKind::Hash { .. } => {
+            // HASH is a Berkeley DB feature outside Figure 2; model it as
+            // the closest structural equivalent (B+-Tree slot in Index).
+            select("B+-Tree");
+            select("BTreeSearch");
+        }
+    }
+    if cfg!(feature = "data-types") {
+        select("DataTypes");
+    }
+
+    select("OS-Abstraction");
+    match &config.os {
+        #[cfg(feature = "os-inmem")]
+        OsTarget::InMemory { .. } => select("Linux"),
+        #[cfg(feature = "os-std")]
+        OsTarget::File { .. } => select("Linux"),
+        #[cfg(feature = "os-flash")]
+        OsTarget::Flash(_) => select("NutOS"),
+    }
+
+    #[cfg(feature = "buffer")]
+    if let Some(b) = &config.buffer {
+        select("BufferManager");
+        select("Replacement");
+        match b.replacement {
+            #[cfg(feature = "replace-lru")]
+            fame_buffer::ReplacementKind::Lru => select("LRU"),
+            #[cfg(feature = "replace-lfu")]
+            fame_buffer::ReplacementKind::Lfu => select("LFU"),
+            #[allow(unreachable_patterns)]
+            _ => select("LRU"),
+        }
+        select("MemoryAlloc");
+        if b.static_alloc {
+            select("Static");
+        } else {
+            select("Dynamic");
+        }
+    }
+
+    #[cfg(feature = "transactions")]
+    if let Some(t) = &config.transactions {
+        select("Transaction");
+        select("Commit");
+        match t.commit {
+            #[cfg(feature = "commit-force")]
+            fame_txn::CommitPolicy::Force => select("ForceCommit"),
+            #[cfg(feature = "commit-group")]
+            fame_txn::CommitPolicy::Group { .. } => select("GroupCommit"),
+        }
+    }
+
+    model.validate(&cfg)?;
+    Ok((model, cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn active_features_nonempty_and_consistent() {
+        let feats = active_features();
+        // The test build always has at least one index and one OS backend
+        // (enforced by compile_error! in lib.rs).
+        assert!(feats.iter().any(|f| f.starts_with("index-")));
+        assert!(feats.iter().any(|f| f.starts_with("os-")));
+    }
+
+    #[test]
+    fn default_config_maps_to_valid_model_configuration() {
+        let config = DbmsConfig::default_for_build();
+        // This build's standard feature set must be expressible in Fig. 2.
+        let (model, cfg) = model_configuration(&config).expect("valid configuration");
+        assert!(cfg.is_selected(model.id("FAME-DBMS")));
+        assert!(cfg.is_selected(model.id("Storage")));
+    }
+
+    #[cfg(all(feature = "buffer", feature = "replace-lru"))]
+    #[test]
+    fn replacement_choice_is_reflected() {
+        let config = DbmsConfig::default_for_build();
+        let (model, cfg) = model_configuration(&config).unwrap();
+        if config.buffer.is_some() {
+            assert!(cfg.is_selected(model.id("BufferManager")));
+            assert!(
+                cfg.is_selected(model.id("LRU")) ^ cfg.is_selected(model.id("LFU")),
+                "exactly one replacement policy"
+            );
+        }
+    }
+
+    #[cfg(all(feature = "transactions", feature = "commit-force", feature = "buffer"))]
+    #[test]
+    fn transaction_instance_selects_commit_protocol() {
+        use crate::config::TxnConfig;
+        let mut config = DbmsConfig::default_for_build();
+        config.transactions = Some(TxnConfig {
+            commit: fame_txn::CommitPolicy::Force,
+        });
+        let (model, cfg) = model_configuration(&config).unwrap();
+        assert!(cfg.is_selected(model.id("Transaction")));
+        assert!(cfg.is_selected(model.id("ForceCommit")));
+    }
+}

@@ -1,0 +1,28 @@
+//! Page encryption feature of FAME-DBMS (Berkeley DB's CRYPTO feature,
+//! configuration 2 of Figure 1 removes it).
+//!
+//! Everything is implemented from scratch — an embedded product line cannot
+//! assume a platform crypto library:
+//!
+//! * [`xtea`] — the XTEA block cipher (64-bit blocks, 128-bit keys,
+//!   32 rounds), chosen because it is the de-facto standard cipher for
+//!   microcontrollers: tiny code size, no tables, no key schedule storage;
+//! * [`cbc`] — CBC mode over XTEA for whole pages;
+//! * [`page`] — [`page::PageCipher`], a tweaked page encryptor that derives
+//!   the IV from the page number, so identical plaintext pages produce
+//!   different ciphertext;
+//! * [`checksum`] — Fletcher-32 and CRC-32 page checksums (Berkeley DB's
+//!   internal *Checksums* feature; enabled implicitly by Crypto).
+//!
+//! This is demonstration-grade cryptography for a research reproduction —
+//! XTEA/CBC without authenticated encryption is not a modern AEAD and the
+//! crate must not be lifted into unrelated production systems.
+
+pub mod cbc;
+pub mod checksum;
+pub mod page;
+pub mod xtea;
+
+pub use checksum::{crc32, fletcher32};
+pub use page::PageCipher;
+pub use xtea::Xtea;

@@ -1,0 +1,418 @@
+//! The application model of Figure 3: what the static analysis extracts
+//! from client sources.
+//!
+//! The paper builds "a control flow graph with additional data flow and
+//! type information, abstracting from syntactic details". This
+//! reproduction extracts the same *facts* the model queries consume, from
+//! Rust or C-style sources, without a full compiler front end:
+//!
+//! * **method calls** — `recv.name(...)`, `recv->name(...)`, `name(...)`;
+//! * **constants** — `ALL_CAPS` identifiers (the Berkeley DB flag idiom,
+//!   e.g. `DB_INIT_TXN`, whose presence §3.1 uses as a feature signal);
+//! * **paths** — `Type::Variant` references (Rust configuration idioms,
+//!   e.g. `CommitPolicy::Group`).
+//!
+//! For Rust sources the analysis additionally builds a function-level call
+//! graph and keeps only facts *reachable from `main`* — dead code must not
+//! pull features into the product (that is the whole point of tailoring).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One extracted fact.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Fact {
+    /// A function/method call by name (receiver stripped).
+    Call(String),
+    /// An `ALL_CAPS` constant reference.
+    Constant(String),
+    /// A `Type::Variant` path reference.
+    Path(String, String),
+}
+
+impl Fact {
+    /// Human-readable rendering for evidence reports.
+    pub fn describe(&self) -> String {
+        match self {
+            Fact::Call(n) => format!("call to `{n}()`"),
+            Fact::Constant(c) => format!("constant `{c}`"),
+            Fact::Path(t, v) => format!("path `{t}::{v}`"),
+        }
+    }
+}
+
+/// The analyzed application.
+#[derive(Debug, Clone, Default)]
+pub struct AppModel {
+    /// Facts with the source line they were extracted from.
+    facts: BTreeMap<Fact, Vec<u32>>,
+    /// Functions found (Rust sources only).
+    functions: BTreeSet<String>,
+    /// Whether reachability pruning was applied.
+    pruned: bool,
+}
+
+impl AppModel {
+    /// Analyze one source text. `reachability` enables the Rust call-graph
+    /// pruning (keep facts reachable from `main` only); pass `false` for
+    /// C-style sources or fragments.
+    pub fn analyze(source: &str, reachability: bool) -> AppModel {
+        let functions = parse_functions(source);
+        if reachability && functions.iter().any(|f| f.name == "main") {
+            AppModel::from_reachable(&functions)
+        } else {
+            let mut model = AppModel::default();
+            for (line_no, line) in source.lines().enumerate() {
+                extract_facts(line, line_no as u32 + 1, &mut model.facts);
+            }
+            model.functions = functions.into_iter().map(|f| f.name).collect();
+            model
+        }
+    }
+
+    fn from_reachable(functions: &[FnDef]) -> AppModel {
+        // Call graph: function name -> names it calls.
+        let names: BTreeSet<&str> = functions.iter().map(|f| f.name.as_str()).collect();
+        let mut edges: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        let mut facts_per_fn: BTreeMap<&str, BTreeMap<Fact, Vec<u32>>> = BTreeMap::new();
+        for f in functions {
+            let mut facts = BTreeMap::new();
+            for (off, line) in f.body.lines().enumerate() {
+                extract_facts(line, f.first_line + off as u32, &mut facts);
+            }
+            let callees: BTreeSet<&str> = facts
+                .keys()
+                .filter_map(|fact| match fact {
+                    Fact::Call(n) => names.get(n.as_str()).copied(),
+                    _ => None,
+                })
+                .collect();
+            edges.insert(&f.name, callees);
+            facts_per_fn.insert(&f.name, facts);
+        }
+
+        // BFS from main.
+        let mut reachable: BTreeSet<&str> = BTreeSet::new();
+        let mut queue = vec!["main"];
+        while let Some(f) = queue.pop() {
+            if reachable.insert(f) {
+                if let Some(cs) = edges.get(f) {
+                    queue.extend(cs.iter().copied());
+                }
+            }
+        }
+
+        let mut model = AppModel {
+            pruned: true,
+            ..AppModel::default()
+        };
+        for f in &reachable {
+            if let Some(facts) = facts_per_fn.get(f) {
+                for (fact, lines) in facts {
+                    model
+                        .facts
+                        .entry(fact.clone())
+                        .or_default()
+                        .extend(lines.iter().copied());
+                }
+            }
+        }
+        model.functions = functions.iter().map(|f| f.name.clone()).collect();
+        model
+    }
+
+    /// Merge another model (multi-file applications).
+    pub fn merge(&mut self, other: AppModel) {
+        for (fact, lines) in other.facts {
+            self.facts.entry(fact).or_default().extend(lines);
+        }
+        self.functions.extend(other.functions);
+        self.pruned &= other.pruned;
+    }
+
+    /// Does the model contain a call to `name`?
+    pub fn has_call(&self, name: &str) -> bool {
+        self.facts.contains_key(&Fact::Call(name.to_string()))
+    }
+
+    /// Does the model reference constant `name`?
+    pub fn has_constant(&self, name: &str) -> bool {
+        self.facts.contains_key(&Fact::Constant(name.to_string()))
+    }
+
+    /// Does the model reference `Type::Variant`?
+    pub fn has_path(&self, ty: &str, variant: &str) -> bool {
+        self.facts
+            .contains_key(&Fact::Path(ty.to_string(), variant.to_string()))
+    }
+
+    /// Lines where a fact occurs (evidence).
+    pub fn lines_of(&self, fact: &Fact) -> &[u32] {
+        self.facts.get(fact).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// All facts (id order).
+    pub fn facts(&self) -> impl Iterator<Item = (&Fact, &Vec<u32>)> {
+        self.facts.iter()
+    }
+
+    /// Functions found in the sources.
+    pub fn functions(&self) -> &BTreeSet<String> {
+        &self.functions
+    }
+
+    /// Whether dead code was pruned via the call graph.
+    pub fn is_pruned(&self) -> bool {
+        self.pruned
+    }
+}
+
+struct FnDef {
+    name: String,
+    body: String,
+    first_line: u32,
+}
+
+/// Parse Rust `fn name(...) { body }` definitions with brace matching.
+fn parse_functions(source: &str) -> Vec<FnDef> {
+    let bytes = source.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while let Some(pos) = source[i..].find("fn ") {
+        let at = i + pos;
+        // Must be a word boundary ("fn " not "...nfn ").
+        if at > 0 && bytes[at - 1].is_ascii_alphanumeric() {
+            i = at + 3;
+            continue;
+        }
+        let rest = &source[at + 3..];
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if name.is_empty() {
+            i = at + 3;
+            continue;
+        }
+        // Find the opening brace of the body.
+        let Some(brace_rel) = rest.find('{') else {
+            break;
+        };
+        let body_start = at + 3 + brace_rel + 1;
+        // Brace matching.
+        let mut depth = 1;
+        let mut j = body_start;
+        while j < bytes.len() && depth > 0 {
+            match bytes[j] {
+                b'{' => depth += 1,
+                b'}' => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        let body = &source[body_start..j.saturating_sub(1).max(body_start)];
+        let first_line = source[..body_start].lines().count() as u32;
+        out.push(FnDef {
+            name,
+            body: body.to_string(),
+            first_line,
+        });
+        i = j.max(at + 3);
+    }
+    out
+}
+
+/// Extract facts from one line of source.
+fn extract_facts(line: &str, line_no: u32, out: &mut BTreeMap<Fact, Vec<u32>>) {
+    let trimmed = line.trim_start();
+    if trimmed.starts_with("//") || trimmed.starts_with('*') || trimmed.starts_with("/*") {
+        return;
+    }
+
+    let bytes = line.as_bytes();
+    let mut idents: Vec<(usize, usize)> = Vec::new(); // (start, end)
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            idents.push((start, i));
+        } else {
+            i += 1;
+        }
+    }
+
+    for (k, &(start, end)) in idents.iter().enumerate() {
+        let word = &line[start..end];
+        let after = line[end..].trim_start();
+
+        // Call fact: identifier immediately (modulo spaces) before `(`,
+        // excluding definitions (`fn name(`) and control keywords.
+        if after.starts_with('(')
+            && !matches!(
+                word,
+                "if" | "while" | "for" | "match" | "return" | "fn" | "loop" | "switch"
+            )
+        {
+            let is_def = k > 0 && {
+                let (ps, pe) = idents[k - 1];
+                &line[ps..pe] == "fn"
+            };
+            if !is_def {
+                out.entry(Fact::Call(word.to_string()))
+                    .or_default()
+                    .push(line_no);
+            }
+        }
+
+        // Constant fact: ALL_CAPS with at least one underscore or length>2.
+        if word.len() > 2
+            && word
+                .chars()
+                .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+        {
+            out.entry(Fact::Constant(word.to_string()))
+                .or_default()
+                .push(line_no);
+        }
+
+        // Path fact: `word::next` where word starts uppercase.
+        if word.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+            && line[end..].starts_with("::")
+        {
+            if let Some(&(ns, ne)) = idents.get(k + 1) {
+                if ns == end + 2 {
+                    out.entry(Fact::Path(word.to_string(), line[ns..ne].to_string()))
+                        .or_default()
+                        .push(line_no);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_method_calls() {
+        let m = AppModel::analyze("db.put(b\"k\", b\"v\"); store->sync();", false);
+        assert!(m.has_call("put"));
+        assert!(m.has_call("sync"));
+        assert!(!m.has_call("db"));
+    }
+
+    #[test]
+    fn extracts_constants_and_paths() {
+        let m = AppModel::analyze(
+            "env.open(DB_INIT_TXN | DB_INIT_LOG); let p = CommitPolicy::Group { group_size: 4 };",
+            false,
+        );
+        assert!(m.has_constant("DB_INIT_TXN"));
+        assert!(m.has_constant("DB_INIT_LOG"));
+        assert!(m.has_path("CommitPolicy", "Group"));
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let m = AppModel::analyze("// db.remove(key)\n   db.get(key);", false);
+        assert!(!m.has_call("remove"));
+        assert!(m.has_call("get"));
+    }
+
+    #[test]
+    fn keywords_are_not_calls() {
+        let m = AppModel::analyze("if (x) { while (y) { foo(); } }", false);
+        assert!(!m.has_call("if"));
+        assert!(!m.has_call("while"));
+        assert!(m.has_call("foo"));
+    }
+
+    #[test]
+    fn function_definitions_are_not_calls() {
+        let m = AppModel::analyze("fn helper(x: u32) { }", false);
+        assert!(!m.has_call("helper"));
+    }
+
+    #[test]
+    fn lines_recorded_as_evidence() {
+        let m = AppModel::analyze("a();\nb();\na();", false);
+        assert_eq!(m.lines_of(&Fact::Call("a".into())), &[1, 3]);
+        assert_eq!(m.lines_of(&Fact::Call("b".into())), &[2]);
+    }
+
+    #[test]
+    fn reachability_prunes_dead_code() {
+        let src = r#"
+fn main() {
+    used();
+}
+fn used() {
+    db.put(k, v);
+}
+fn dead() {
+    db.attach_replica();
+}
+"#;
+        let m = AppModel::analyze(src, true);
+        assert!(m.is_pruned());
+        assert!(m.has_call("put"));
+        assert!(
+            !m.has_call("attach_replica"),
+            "dead code must not demand features"
+        );
+    }
+
+    #[test]
+    fn reachability_transitive() {
+        let src = r#"
+fn main() { a(); }
+fn a() { b(); }
+fn b() { db.begin(); }
+fn unrelated() { db.sql(q); }
+"#;
+        let m = AppModel::analyze(src, true);
+        assert!(m.has_call("begin"));
+        assert!(!m.has_call("sql"));
+    }
+
+    #[test]
+    fn without_main_no_pruning() {
+        let src = "fn lib_fn() { db.sql(q); }";
+        let m = AppModel::analyze(src, true);
+        assert!(!m.is_pruned());
+        assert!(m.has_call("sql"));
+    }
+
+    #[test]
+    fn merge_combines_facts() {
+        let mut a = AppModel::analyze("db.put(k, v);", false);
+        let b = AppModel::analyze("db.get(k);", false);
+        a.merge(b);
+        assert!(a.has_call("put"));
+        assert!(a.has_call("get"));
+    }
+
+    #[test]
+    fn c_style_sources_work() {
+        let src = r#"
+int main(void) {
+    DB *dbp;
+    db_create(&dbp, env, 0);
+    dbp->open(dbp, NULL, "x.db", NULL, DB_HASH, DB_CREATE, 0);
+    dbp->put(dbp, NULL, &key, &data, 0);
+}
+"#;
+        let m = AppModel::analyze(src, false);
+        assert!(m.has_call("db_create"));
+        assert!(m.has_call("open"));
+        assert!(m.has_call("put"));
+        assert!(m.has_constant("DB_HASH"));
+        assert!(m.has_constant("DB_CREATE"));
+    }
+}

@@ -1,0 +1,204 @@
+//! The detection pipeline of Figure 3: sources → application model →
+//! model queries → needed features → constraint refinement.
+
+use fame_feature_model::{Configuration, FeatureModel};
+
+use crate::appmodel::AppModel;
+use crate::queries::{ModelQuery, Query};
+
+/// Why a feature was selected.
+#[derive(Debug, Clone)]
+pub struct Evidence {
+    /// The feature.
+    pub feature: String,
+    /// Which atomic facts fired, with source lines.
+    pub facts: Vec<(String, Vec<u32>)>,
+}
+
+/// Result of running detection for one application.
+#[derive(Debug, Clone)]
+pub struct Detection {
+    /// Features demanded by the application's API usage.
+    pub detected: Vec<String>,
+    /// Per-feature evidence.
+    pub evidence: Vec<Evidence>,
+    /// The refined full configuration (detected features + tree
+    /// obligations + simple requires-propagation), if it validates.
+    pub configuration: Option<Configuration>,
+    /// Validation errors if the refined configuration is invalid (the
+    /// developer must resolve these manually — §3.1's "manual selection").
+    pub errors: Vec<String>,
+}
+
+/// Run the Figure 3 pipeline: evaluate `queries` against `model_src`,
+/// then refine against the feature model.
+pub fn detect_features(
+    app: &AppModel,
+    queries: &[ModelQuery],
+    feature_model: &FeatureModel,
+) -> Detection {
+    let mut detected = Vec::new();
+    let mut evidence = Vec::new();
+
+    for mq in queries {
+        if !mq.query.matches(app) {
+            continue;
+        }
+        detected.push(mq.feature.to_string());
+        let facts = mq
+            .query
+            .atoms()
+            .into_iter()
+            .filter(|a| a.matches(app))
+            .map(|a| {
+                let (desc, fact) = match &a {
+                    Query::Call(n) => (
+                        format!("call to `{n}()`"),
+                        crate::appmodel::Fact::Call((*n).to_string()),
+                    ),
+                    Query::Constant(c) => (
+                        format!("constant `{c}`"),
+                        crate::appmodel::Fact::Constant((*c).to_string()),
+                    ),
+                    Query::Path(t, v) => (
+                        format!("path `{t}::{v}`"),
+                        crate::appmodel::Fact::Path((*t).to_string(), (*v).to_string()),
+                    ),
+                    _ => unreachable!("atoms() returns atomic queries"),
+                };
+                (desc, app.lines_of(&fact).to_vec())
+            })
+            .collect();
+        evidence.push(Evidence {
+            feature: mq.feature.to_string(),
+            facts,
+        });
+    }
+
+    // Refinement: seed a configuration with the detected features (where
+    // they exist in the model) and complete it.
+    let mut cfg = Configuration::new();
+    for f in &detected {
+        if let Some(id) = feature_model.by_name(f) {
+            cfg.select(id);
+        }
+    }
+    let completed = feature_model.complete(cfg.clone());
+    let (configuration, errors) = match feature_model.validate(&completed) {
+        Ok(()) => (Some(completed), Vec::new()),
+        Err(es) => {
+            // The heuristic completion picked a wrong alternative (e.g.
+            // Dynamic allocation on a NutOS product). Ask the SAT solver
+            // for a completion that satisfies every constraint; DPLL
+            // branches "deselected" first, so the witness stays small.
+            let mut decided = std::collections::BTreeMap::new();
+            for id in cfg.selected() {
+                decided.insert(id, true);
+            }
+            match feature_model.satisfiable_with(&decided) {
+                fame_feature_model::SatResult::Satisfiable(witness) => (Some(witness), Vec::new()),
+                fame_feature_model::SatResult::Unsatisfiable => {
+                    (None, es.into_iter().map(|e| e.to_string()).collect())
+                }
+            }
+        }
+    };
+
+    Detection {
+        detected,
+        evidence,
+        configuration,
+        errors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::standard_fame_queries;
+    use fame_feature_model::models;
+
+    #[test]
+    fn typical_app_yields_valid_configuration() {
+        let src = r#"
+fn main() {
+    let mut db = Database::open(DbmsConfig::in_memory()).unwrap();
+    db.put(b"k", b"v").unwrap();
+    db.get(b"k").unwrap();
+    db.remove(b"k").unwrap();
+}
+"#;
+        let app = AppModel::analyze(src, true);
+        let model = models::fame_dbms();
+        let d = detect_features(&app, &standard_fame_queries(), &model);
+        assert!(d.detected.contains(&"Put".to_string()));
+        assert!(d.detected.contains(&"Get".to_string()));
+        assert!(d.detected.contains(&"Remove".to_string()));
+        let cfg = d.configuration.expect("refines to a valid configuration");
+        assert!(model.validate(&cfg).is_ok());
+        // Completion filled tree obligations the app cannot express.
+        assert!(cfg.is_selected(model.id("OS-Abstraction")));
+        assert!(cfg.is_selected(model.id("Storage")));
+    }
+
+    #[test]
+    fn transactional_app_pulls_buffer_manager() {
+        let src = r#"
+fn main() {
+    let t = db.begin().unwrap();
+    db.txn_put(t, b"a", b"1").unwrap();
+    db.commit(t).unwrap();
+}
+"#;
+        let app = AppModel::analyze(src, true);
+        let model = models::fame_dbms();
+        let d = detect_features(&app, &standard_fame_queries(), &model);
+        assert!(d.detected.contains(&"Transaction".to_string()));
+        let cfg = d.configuration.expect("valid");
+        // Cross-tree constraint: Transaction requires BufferManager.
+        assert!(cfg.is_selected(model.id("BufferManager")));
+        // Mandatory alternative below Transaction got a default.
+        assert!(cfg.is_selected(model.id("Commit")));
+    }
+
+    #[test]
+    fn sql_app_pulls_api_obligations() {
+        let src = r#"fn main() { db.sql("SELECT * FROM t").unwrap(); }"#;
+        let app = AppModel::analyze(src, true);
+        let model = models::fame_dbms();
+        let d = detect_features(&app, &standard_fame_queries(), &model);
+        assert!(d.detected.contains(&"SQLEngine".to_string()));
+        let cfg = d.configuration.expect("valid");
+        // Constraint: SQLEngine -> (Get & Put). `complete` only handles
+        // simple requires, but Get/Put end up selected either via
+        // detection or the or-group default... assert validity covers it.
+        assert!(model.validate(&cfg).is_ok());
+    }
+
+    #[test]
+    fn evidence_cites_lines() {
+        let src = "fn main() {\n  db.put(k, v);\n}";
+        let app = AppModel::analyze(src, true);
+        let model = models::fame_dbms();
+        let d = detect_features(&app, &standard_fame_queries(), &model);
+        let ev = d
+            .evidence
+            .iter()
+            .find(|e| e.feature == "Put")
+            .expect("evidence for Put");
+        assert!(ev.facts.iter().any(|(desc, lines)| {
+            desc.contains("put") && lines.contains(&2)
+        }));
+    }
+
+    #[test]
+    fn empty_app_detects_nothing() {
+        let app = AppModel::analyze("fn main() { println(); }", true);
+        let model = models::fame_dbms();
+        let d = detect_features(&app, &standard_fame_queries(), &model);
+        assert!(d.detected.is_empty());
+        // The completed configuration is the minimal product.
+        let cfg = d.configuration.expect("minimal product is valid");
+        assert!(!cfg.is_selected(model.id("Transaction")));
+    }
+}

@@ -1,0 +1,36 @@
+//! Automated product derivation for FAME-DBMS — the §3 contribution of the
+//! paper.
+//!
+//! Two complementary automations:
+//!
+//! 1. **Functional requirements** (§3.1, Figure 3): a client application's
+//!    *sources* are statically analyzed into an *application model*
+//!    ([`appmodel`]); *model queries* ([`queries`]) — one per detectable
+//!    feature — are evaluated against it; the firing queries yield the set
+//!    of DBMS features the application needs ([`detect`]), which decision
+//!    propagation over the feature model then refines.
+//!
+//! 2. **Non-functional properties** (§3.2): per-feature NFPs (binary size,
+//!    RAM, performance weight) live in a [`nfp::PropertyStore`], seeded
+//!    from model attributes and *calibrated from measured products* via the
+//!    Feedback Approach ([`feedback`]). Constrained derivation ("best
+//!    product under a 64 KiB ROM budget") is the NP-complete CSP the paper
+//!    attacks with a greedy algorithm ([`solver::greedy`]); an exhaustive
+//!    solver ([`solver::exhaustive`]) provides the ground-truth optimum for
+//!    measuring the greedy gap.
+
+pub mod advisor;
+pub mod appmodel;
+pub mod detect;
+pub mod feedback;
+pub mod nfp;
+pub mod queries;
+pub mod solver;
+
+pub use advisor::{advise, IndexChoice, Recommendation, WorkloadProfile};
+pub use appmodel::{AppModel, Fact};
+pub use detect::{detect_features, Detection, Evidence};
+pub use feedback::FeedbackModel;
+pub use nfp::{Property, PropertyStore};
+pub use queries::{standard_bdb_queries, standard_fame_queries, ModelQuery, Query};
+pub use solver::{exhaustive::solve_exhaustive, greedy::solve_greedy, Objective, SolveOutcome};

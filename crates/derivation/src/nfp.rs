@@ -1,0 +1,210 @@
+//! Non-functional properties of features and products (§3.2).
+//!
+//! A [`PropertyStore`] holds per-feature values of named properties
+//! (`rom_bytes`, `ram_bytes`, `perf`, ...). It is seeded from the feature
+//! model's attributes and refined with measurements via the Feedback
+//! Approach ([`crate::feedback`]). Product-level properties are predicted
+//! as the sum over selected features — the additive model the paper's
+//! "properties assigned to features" implies — plus whatever correction
+//! the feedback learned.
+//!
+//! The store serializes to a simple line format (`feature<TAB>property<TAB>
+//! value<TAB>source`) so measured values survive across runs without any
+//! serialization dependency.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use fame_feature_model::{Configuration, FeatureModel};
+
+/// Where a value came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Seeded from the feature model's attributes (a designer estimate).
+    Estimate,
+    /// Derived from measurements of generated products.
+    Measured,
+}
+
+impl fmt::Display for Source {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Source::Estimate => write!(f, "estimate"),
+            Source::Measured => write!(f, "measured"),
+        }
+    }
+}
+
+/// One property value of one feature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Property {
+    /// The value (units depend on the property name).
+    pub value: f64,
+    /// Provenance.
+    pub source: Source,
+}
+
+/// Per-feature property table.
+#[derive(Debug, Clone, Default)]
+pub struct PropertyStore {
+    /// `(feature, property) -> value`
+    values: BTreeMap<(String, String), Property>,
+}
+
+impl PropertyStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        PropertyStore::default()
+    }
+
+    /// Seed from a feature model's attributes (every numeric attribute of
+    /// every feature becomes an `Estimate`).
+    pub fn seeded_from(model: &FeatureModel) -> Self {
+        let mut store = PropertyStore::new();
+        for (_, f) in model.iter() {
+            for (key, &value) in f.attributes() {
+                store.set(f.name(), key, value, Source::Estimate);
+            }
+        }
+        store
+    }
+
+    /// Set a value.
+    pub fn set(&mut self, feature: &str, property: &str, value: f64, source: Source) {
+        self.values
+            .insert((feature.to_string(), property.to_string()), Property { value, source });
+    }
+
+    /// Get a value.
+    pub fn get(&self, feature: &str, property: &str) -> Option<Property> {
+        self.values
+            .get(&(feature.to_string(), property.to_string()))
+            .copied()
+    }
+
+    /// Predicted product-level property: sum over selected features.
+    pub fn predict(&self, model: &FeatureModel, cfg: &Configuration, property: &str) -> f64 {
+        cfg.selected()
+            .filter_map(|id| self.get(model.feature(id).name(), property))
+            .map(|p| p.value)
+            .sum()
+    }
+
+    /// Number of `(feature, property)` entries.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when the store has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Fraction of entries that are measured rather than estimated.
+    pub fn measured_ratio(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let measured = self
+            .values
+            .values()
+            .filter(|p| p.source == Source::Measured)
+            .count();
+        measured as f64 / self.values.len() as f64
+    }
+
+    /// Serialize to the line format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for ((feature, property), p) in &self.values {
+            out.push_str(&format!(
+                "{feature}\t{property}\t{}\t{}\n",
+                p.value, p.source
+            ));
+        }
+        out
+    }
+
+    /// Parse the line format (inverse of [`PropertyStore::to_text`]).
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut store = PropertyStore::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let parts: Vec<&str> = line.split('\t').collect();
+            if parts.len() != 4 {
+                return Err(format!("line {}: expected 4 tab-separated fields", i + 1));
+            }
+            let value: f64 = parts[2]
+                .parse()
+                .map_err(|_| format!("line {}: bad value `{}`", i + 1, parts[2]))?;
+            let source = match parts[3] {
+                "estimate" => Source::Estimate,
+                "measured" => Source::Measured,
+                other => return Err(format!("line {}: bad source `{other}`", i + 1)),
+            };
+            store.set(parts[0], parts[1], value, source);
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fame_feature_model::models;
+
+    #[test]
+    fn seed_from_model() {
+        let model = models::fame_dbms();
+        let store = PropertyStore::seeded_from(&model);
+        assert!(!store.is_empty());
+        let rom = store.get("B+-Tree", "rom_bytes").expect("seeded");
+        assert_eq!(rom.source, Source::Estimate);
+        assert!(rom.value > 0.0);
+    }
+
+    #[test]
+    fn predict_sums_selected_features() {
+        let model = models::fame_dbms();
+        let store = PropertyStore::seeded_from(&model);
+        let minimal = model.minimal_configuration().unwrap();
+        let mut larger = minimal.clone();
+        larger.select(model.id("Transaction"));
+        let a = store.predict(&model, &minimal, "rom_bytes");
+        let b = store.predict(&model, &larger, "rom_bytes");
+        assert!(b > a, "more features, more ROM");
+    }
+
+    #[test]
+    fn measured_overrides_and_ratio() {
+        let model = models::fame_dbms();
+        let mut store = PropertyStore::seeded_from(&model);
+        let before = store.measured_ratio();
+        store.set("B+-Tree", "rom_bytes", 12_345.0, Source::Measured);
+        assert!(store.measured_ratio() > before);
+        assert_eq!(store.get("B+-Tree", "rom_bytes").unwrap().value, 12_345.0);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let mut store = PropertyStore::new();
+        store.set("A", "rom_bytes", 100.5, Source::Estimate);
+        store.set("B", "perf", -3.0, Source::Measured);
+        let text = store.to_text();
+        let parsed = PropertyStore::from_text(&text).unwrap();
+        assert_eq!(parsed.get("A", "rom_bytes").unwrap().value, 100.5);
+        assert_eq!(parsed.get("B", "perf").unwrap().source, Source::Measured);
+        assert_eq!(parsed.len(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(PropertyStore::from_text("one\ttwo\tthree").is_err());
+        assert!(PropertyStore::from_text("a\tb\tnot-a-number\testimate").is_err());
+        assert!(PropertyStore::from_text("a\tb\t1.0\tguess").is_err());
+        // Comments and blank lines are fine.
+        assert!(PropertyStore::from_text("# comment\n\n").is_ok());
+    }
+}

@@ -1,0 +1,253 @@
+//! Model queries: "does the application need feature X?" (Figure 3).
+//!
+//! Each detectable feature gets a [`Query`] over the application model's
+//! facts. The paper's example — a flag combination passed to the Berkeley
+//! DB environment-open call signals the TRANSACTION feature — maps to
+//! [`Query::Constant`]`("DB_INIT_TXN")` here.
+//!
+//! Two standard query sets ship with the crate: one for FAME-DBMS client
+//! applications ([`standard_fame_queries`], used by the `tailor` example)
+//! and one for Berkeley DB clients ([`standard_bdb_queries`], used by the
+//! Fig. 3 reproduction). Features with no client-API footprint have no
+//! query — exactly the 3-of-18 the paper reports as not derivable.
+
+use crate::appmodel::AppModel;
+
+/// A predicate over the application model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// A call to this function/method occurs.
+    Call(&'static str),
+    /// This `ALL_CAPS` constant occurs.
+    Constant(&'static str),
+    /// This `Type::Variant` path occurs.
+    Path(&'static str, &'static str),
+    /// Any sub-query fires.
+    Any(Vec<Query>),
+    /// All sub-queries fire.
+    All(Vec<Query>),
+}
+
+impl Query {
+    /// Evaluate against a model.
+    pub fn matches(&self, model: &AppModel) -> bool {
+        match self {
+            Query::Call(n) => model.has_call(n),
+            Query::Constant(c) => model.has_constant(c),
+            Query::Path(t, v) => model.has_path(t, v),
+            Query::Any(qs) => qs.iter().any(|q| q.matches(model)),
+            Query::All(qs) => qs.iter().all(|q| q.matches(model)),
+        }
+    }
+
+    /// The atomic facts this query can cite as evidence.
+    pub fn atoms(&self) -> Vec<Query> {
+        match self {
+            Query::Any(qs) | Query::All(qs) => qs.iter().flat_map(|q| q.atoms()).collect(),
+            atom => vec![atom.clone()],
+        }
+    }
+}
+
+/// A named query bound to a feature of the product line.
+#[derive(Debug, Clone)]
+pub struct ModelQuery {
+    /// Feature name in the feature model.
+    pub feature: &'static str,
+    /// The detection predicate.
+    pub query: Query,
+}
+
+/// Queries for FAME-DBMS client applications (feature names of the
+/// Figure 2 model).
+pub fn standard_fame_queries() -> Vec<ModelQuery> {
+    use Query::*;
+    vec![
+        ModelQuery {
+            feature: "Put",
+            query: Any(vec![Call("put"), Call("txn_put")]),
+        },
+        ModelQuery {
+            feature: "Get",
+            query: Any(vec![Call("get"), Call("txn_get"), Call("scan")]),
+        },
+        ModelQuery {
+            feature: "Remove",
+            query: Any(vec![Call("remove"), Call("txn_remove")]),
+        },
+        ModelQuery {
+            feature: "Update",
+            query: Call("update"),
+        },
+        ModelQuery {
+            feature: "SQLEngine",
+            query: Call("sql"),
+        },
+        ModelQuery {
+            feature: "Transaction",
+            query: Any(vec![Call("begin"), Call("commit"), Call("txn_put")]),
+        },
+        ModelQuery {
+            feature: "ForceCommit",
+            query: Path("CommitPolicy", "Force"),
+        },
+        ModelQuery {
+            feature: "GroupCommit",
+            query: Path("CommitPolicy", "Group"),
+        },
+        ModelQuery {
+            feature: "BufferManager",
+            query: Any(vec![Call("pool_stats"), Path("BufferConfig", "frames")]),
+        },
+        ModelQuery {
+            feature: "LFU",
+            query: Path("ReplacementKind", "Lfu"),
+        },
+        ModelQuery {
+            feature: "LRU",
+            query: Path("ReplacementKind", "Lru"),
+        },
+        ModelQuery {
+            feature: "NutOS",
+            query: Any(vec![Path("OsTarget", "Flash"), Call("on_flash")]),
+        },
+        ModelQuery {
+            feature: "B+-Tree",
+            // Range scans need ordered keys.
+            query: Any(vec![Call("scan"), Path("IndexKind", "BTree")]),
+        },
+        ModelQuery {
+            feature: "List",
+            query: Path("IndexKind", "List"),
+        },
+        ModelQuery {
+            feature: "DataTypes",
+            query: Any(vec![Call("sql"), Path("Value", "U32"), Path("Value", "Str")]),
+        },
+    ]
+}
+
+/// Queries for Berkeley DB client applications (feature names of the §2.2
+/// model, `fame_feature_model::models::berkeley_db`).
+///
+/// The 18 *examined* features of the paper split into 15 with an API
+/// footprint (queries below) and 3 internal ones — `Diagnostics`,
+/// `Checksums`, `FastMutexes` — that deliberately have **no** query:
+/// "they are not involved in any infrastructure API usage within any
+/// application" (§3.1).
+pub fn standard_bdb_queries() -> Vec<ModelQuery> {
+    use Query::*;
+    vec![
+        ModelQuery {
+            feature: "Btree",
+            query: Constant("DB_BTREE"),
+        },
+        ModelQuery {
+            feature: "Hash",
+            query: Constant("DB_HASH"),
+        },
+        ModelQuery {
+            feature: "Queue",
+            query: Constant("DB_QUEUE"),
+        },
+        ModelQuery {
+            feature: "Transactions",
+            query: Any(vec![Constant("DB_INIT_TXN"), Call("txn_begin")]),
+        },
+        ModelQuery {
+            feature: "Logging",
+            query: Any(vec![Constant("DB_INIT_LOG"), Call("log_archive")]),
+        },
+        ModelQuery {
+            feature: "Locking",
+            query: Any(vec![Constant("DB_INIT_LOCK"), Call("lock_get")]),
+        },
+        ModelQuery {
+            feature: "MVCC",
+            query: Any(vec![Constant("DB_MULTIVERSION"), Constant("DB_TXN_SNAPSHOT")]),
+        },
+        ModelQuery {
+            feature: "Crypto",
+            query: Any(vec![Call("set_encrypt"), Constant("DB_ENCRYPT")]),
+        },
+        ModelQuery {
+            feature: "Replication",
+            query: Any(vec![Constant("DB_INIT_REP"), Call("rep_start")]),
+        },
+        ModelQuery {
+            feature: "Cursors",
+            query: Call("cursor"),
+        },
+        ModelQuery {
+            feature: "Statistics",
+            query: Any(vec![Call("stat"), Call("stat_print")]),
+        },
+        ModelQuery {
+            feature: "Verify",
+            query: Call("verify"),
+        },
+        ModelQuery {
+            feature: "Compression",
+            query: Call("set_bt_compress"),
+        },
+        ModelQuery {
+            feature: "Compact",
+            query: Call("compact"),
+        },
+        ModelQuery {
+            feature: "HotBackup",
+            query: Any(vec![Call("backup"), Call("hotbackup")]),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atoms_flatten_nested_queries() {
+        let q = Query::Any(vec![
+            Query::Call("a"),
+            Query::All(vec![Query::Constant("B"), Query::Path("C", "D")]),
+        ]);
+        assert_eq!(q.atoms().len(), 3);
+    }
+
+    #[test]
+    fn query_matching() {
+        let m = AppModel::analyze("db.put(k, v); env.open(DB_INIT_TXN);", false);
+        assert!(Query::Call("put").matches(&m));
+        assert!(Query::Constant("DB_INIT_TXN").matches(&m));
+        assert!(!Query::Call("remove").matches(&m));
+        assert!(Query::Any(vec![Query::Call("nope"), Query::Call("put")]).matches(&m));
+        assert!(!Query::All(vec![Query::Call("nope"), Query::Call("put")]).matches(&m));
+    }
+
+    #[test]
+    fn bdb_query_set_covers_15_features() {
+        assert_eq!(standard_bdb_queries().len(), 15);
+    }
+
+    #[test]
+    fn fame_queries_fire_on_typical_app() {
+        let src = r#"
+fn main() {
+    let mut db = Database::open(DbmsConfig::in_memory()).unwrap();
+    db.put(b"k", b"v").unwrap();
+    let rows = db.scan(None, None).unwrap();
+}
+"#;
+        let m = AppModel::analyze(src, true);
+        let fired: Vec<&str> = standard_fame_queries()
+            .iter()
+            .filter(|q| q.query.matches(&m))
+            .map(|q| q.feature)
+            .collect();
+        assert!(fired.contains(&"Put"));
+        assert!(fired.contains(&"Get"), "scan implies Get");
+        assert!(fired.contains(&"B+-Tree"), "scan implies ordered index");
+        assert!(!fired.contains(&"Transaction"));
+        assert!(!fired.contains(&"SQLEngine"));
+    }
+}

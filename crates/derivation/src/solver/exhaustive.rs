@@ -1,0 +1,121 @@
+//! Exhaustive (optimal) derivation by enumerating every valid variant.
+//!
+//! Exponential — usable on prototype-scale models only; the benches use it
+//! as ground truth for the greedy solver's optimality gap.
+
+use fame_feature_model::count::enumerate_variants;
+use fame_feature_model::{Configuration, FeatureModel};
+
+use crate::nfp::PropertyStore;
+use crate::solver::{Objective, SolveOutcome};
+
+/// Enumerate all valid configurations; return the one maximizing the
+/// objective within budgets. Ties break toward fewer features (smaller
+/// products), then lexicographically (determinism).
+pub fn solve_exhaustive(
+    model: &FeatureModel,
+    store: &PropertyStore,
+    objective: &Objective,
+) -> SolveOutcome {
+    let required: Vec<_> = objective
+        .required
+        .iter()
+        .map(|name| model.id(name))
+        .collect();
+
+    let mut best: Option<(f64, usize, Configuration)> = None;
+    let mut examined = 0;
+
+    for variant in enumerate_variants(model) {
+        examined += 1;
+        if !required.iter().all(|r| variant.contains(r)) {
+            continue;
+        }
+        let cfg = Configuration::from_ids(variant.iter().copied());
+        if !within_budgets(model, store, &cfg, objective) {
+            continue;
+        }
+        let value = store.predict(model, &cfg, &objective.maximize);
+        let size = cfg.len();
+        let better = match &best {
+            None => true,
+            Some((bv, bs, _)) => value > *bv || (value == *bv && size < *bs),
+        };
+        if better {
+            best = Some((value, size, cfg));
+        }
+    }
+
+    match best {
+        Some((value, _, cfg)) => SolveOutcome {
+            configuration: Some(cfg),
+            objective: value,
+            examined,
+        },
+        None => SolveOutcome {
+            configuration: None,
+            objective: f64::NEG_INFINITY,
+            examined,
+        },
+    }
+}
+
+pub(crate) fn within_budgets(
+    model: &FeatureModel,
+    store: &PropertyStore,
+    cfg: &Configuration,
+    objective: &Objective,
+) -> bool {
+    objective
+        .budgets
+        .iter()
+        .all(|(prop, max)| store.predict(model, cfg, prop) <= *max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fame_feature_model::models;
+    use crate::nfp::PropertyStore;
+
+    #[test]
+    fn finds_optimum_on_fame_model() {
+        let model = models::fame_dbms();
+        let store = PropertyStore::seeded_from(&model);
+        let obj = Objective::rom_budget("perf", 120_000.0);
+        let out = solve_exhaustive(&model, &store, &obj);
+        let cfg = out.configuration.expect("budget admits some product");
+        assert!(model.validate(&cfg).is_ok());
+        assert!(store.predict(&model, &cfg, "rom_bytes") <= 120_000.0);
+        assert!(out.objective > 0.0, "something with perf weight fits");
+        assert!(out.examined > 100, "actually enumerated the space");
+    }
+
+    #[test]
+    fn impossible_budget_yields_none() {
+        let model = models::fame_dbms();
+        let store = PropertyStore::seeded_from(&model);
+        let obj = Objective::rom_budget("perf", 1.0); // less than the root alone
+        let out = solve_exhaustive(&model, &store, &obj);
+        assert!(out.configuration.is_none());
+    }
+
+    #[test]
+    fn required_features_are_honoured() {
+        let model = models::fame_dbms();
+        let store = PropertyStore::seeded_from(&model);
+        let obj = Objective::rom_budget("perf", 500_000.0).require("Transaction");
+        let out = solve_exhaustive(&model, &store, &obj);
+        let cfg = out.configuration.expect("fits");
+        assert!(cfg.is_selected(model.id("Transaction")));
+    }
+
+    #[test]
+    fn tighter_budget_never_beats_looser() {
+        let model = models::fame_dbms();
+        let store = PropertyStore::seeded_from(&model);
+        let tight = solve_exhaustive(&model, &store, &Objective::rom_budget("perf", 80_000.0));
+        let loose = solve_exhaustive(&model, &store, &Objective::rom_budget("perf", 200_000.0));
+        assert!(loose.objective >= tight.objective);
+    }
+}

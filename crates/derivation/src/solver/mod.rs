@@ -1,0 +1,72 @@
+//! Constrained product derivation: "the best valid configuration within
+//! the resource budget" (§3.2).
+//!
+//! The paper notes this is an instance of the NP-complete constraint
+//! satisfaction problem and uses a greedy algorithm "to cope with the
+//! complexity". This module provides both:
+//!
+//! * [`greedy::solve_greedy`] — the paper's approach: grow a valid
+//!   configuration by the best benefit/cost feature that still fits;
+//! * [`exhaustive::solve_exhaustive`] — ground truth by enumeration,
+//!   feasible for prototype-scale models; the benches compare both.
+
+pub mod exhaustive;
+pub mod greedy;
+
+use fame_feature_model::Configuration;
+
+/// What to optimize and under which budgets.
+#[derive(Debug, Clone)]
+pub struct Objective {
+    /// Property to maximize (summed over selected features), e.g. `perf`.
+    pub maximize: String,
+    /// Budgets: property name -> maximum allowed sum (e.g. `rom_bytes` ->
+    /// 64 KiB).
+    pub budgets: Vec<(String, f64)>,
+    /// Features that must be in the product (the functional requirements
+    /// detected by the Figure 3 pipeline).
+    pub required: Vec<String>,
+}
+
+impl Objective {
+    /// Maximize `maximize` under a single `rom_bytes` budget.
+    pub fn rom_budget(maximize: impl Into<String>, rom_bytes: f64) -> Objective {
+        Objective {
+            maximize: maximize.into(),
+            budgets: vec![("rom_bytes".into(), rom_bytes)],
+            required: Vec::new(),
+        }
+    }
+
+    /// Add a required feature.
+    pub fn require(mut self, feature: impl Into<String>) -> Objective {
+        self.required.push(feature.into());
+        self
+    }
+}
+
+/// A solver's answer.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// The chosen configuration, or `None` when no valid configuration
+    /// satisfies budgets + requirements.
+    pub configuration: Option<Configuration>,
+    /// Objective value of the chosen configuration.
+    pub objective: f64,
+    /// Configurations the solver examined (work metric for the
+    /// greedy-vs-exhaustive comparison).
+    pub examined: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objective_builder() {
+        let o = Objective::rom_budget("perf", 64_000.0).require("Transaction");
+        assert_eq!(o.maximize, "perf");
+        assert_eq!(o.budgets.len(), 1);
+        assert_eq!(o.required, ["Transaction"]);
+    }
+}

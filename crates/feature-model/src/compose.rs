@@ -1,0 +1,158 @@
+//! Multi-SPL composition — the paper's future-work item: "we plan … to
+//! extend SPL composition and optimization to cover multiple SPLs (e.g.,
+//! including the operating system and client applications) to optimize the
+//! software of an embedded system as a whole" (§5).
+//!
+//! [`compose`] merges several feature models under a fresh root (each
+//! becomes a mandatory subtree, keeping its groups, attributes and
+//! constraints), returning a [`ModelBuilder`] so the caller can add
+//! *cross-SPL* constraints (e.g. *DBMS NutOS port requires OS feature
+//! FlashDriver*) before building. The combined model works with every
+//! facility of this crate — validation, SAT, counting — and with the NFP
+//! solvers of `fame-derivation`, which is what "optimize the system as a
+//! whole" means in practice.
+
+use crate::constraint::Prop;
+use crate::model::{FeatureId, FeatureModel, ModelBuilder, Optionality};
+
+/// Merge `parts` as mandatory subtrees of a new root named `name`.
+/// Feature names must be unique across all parts ([`crate::ModelError::DuplicateName`]
+/// surfaces at `build()` otherwise).
+pub fn compose(name: &str, parts: &[&FeatureModel]) -> ModelBuilder {
+    let mut b = ModelBuilder::new(name);
+    let root = b.root(name);
+    for part in parts {
+        copy_subtree(&mut b, part, part.root(), root, Optionality::Mandatory);
+        for c in part.constraints() {
+            let remapped = remap_prop(c.prop(), part, &b);
+            b.constraint(c.label().to_string(), remapped);
+        }
+    }
+    b
+}
+
+fn copy_subtree(
+    b: &mut ModelBuilder,
+    src: &FeatureModel,
+    node: FeatureId,
+    parent: FeatureId,
+    optionality: Optionality,
+) {
+    let f = src.feature(node);
+    let new_id = match optionality {
+        Optionality::Mandatory => b.mandatory(parent, f.name()),
+        Optionality::Optional => b.optional(parent, f.name()),
+    };
+    b.group(new_id, f.group());
+    for (k, &v) in f.attributes() {
+        b.attr(new_id, k, v);
+    }
+    if !f.doc().is_empty() {
+        b.doc(new_id, f.doc());
+    }
+    for &child in f.children() {
+        copy_subtree(b, src, child, new_id, src.feature(child).optionality());
+    }
+}
+
+fn remap_prop(p: &Prop, src: &FeatureModel, b: &ModelBuilder) -> Prop {
+    match p {
+        Prop::Var(id) => {
+            let name = src.feature(*id).name();
+            Prop::Var(b.peek(name).expect("copied feature exists"))
+        }
+        Prop::Not(inner) => Prop::not(remap_prop(inner, src, b)),
+        Prop::And(parts) => Prop::And(parts.iter().map(|q| remap_prop(q, src, b)).collect()),
+        Prop::Or(parts) => Prop::Or(parts.iter().map(|q| remap_prop(q, src, b)).collect()),
+        Prop::Implies(a, c) => Prop::implies(remap_prop(a, src, b), remap_prop(c, src, b)),
+        Prop::Iff(a, c) => Prop::iff(remap_prop(a, src, b), remap_prop(c, src, b)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::GroupKind;
+    use crate::models;
+
+    #[test]
+    fn composed_model_contains_both_parts() {
+        let dbms = models::fame_dbms();
+        let os = models::nut_os();
+        let combined = compose("EmbeddedSystem", &[&dbms, &os]).build().unwrap();
+        assert!(combined.by_name("B+-Tree").is_some());
+        assert!(combined.by_name("FlashDriver").is_some());
+        assert_eq!(
+            combined.len(),
+            dbms.len() + os.len() + 1,
+            "all features plus the new root"
+        );
+    }
+
+    #[test]
+    fn constraints_survive_remapping() {
+        let dbms = models::fame_dbms();
+        let os = models::nut_os();
+        let combined = compose("EmbeddedSystem", &[&dbms, &os]).build().unwrap();
+        // `Optimizer requires SQLEngine` must still bite.
+        let mut cfg = combined.minimal_configuration().unwrap();
+        cfg.select(combined.id("Optimizer"));
+        assert!(combined.validate(&cfg).is_err());
+    }
+
+    #[test]
+    fn variant_count_multiplies_without_cross_constraints() {
+        let dbms = models::fame_dbms();
+        let os = models::nut_os();
+        let combined = compose("EmbeddedSystem", &[&dbms, &os]).build().unwrap();
+        assert_eq!(
+            combined.count_variants(),
+            dbms.count_variants() * os.count_variants(),
+            "independent SPLs multiply"
+        );
+    }
+
+    #[test]
+    fn cross_spl_constraints_prune_the_combined_space() {
+        let dbms = models::fame_dbms();
+        let os = models::nut_os();
+        let mut b = compose("EmbeddedSystem", &[&dbms, &os]);
+        // The DBMS's NutOS port needs the OS's flash driver, and the DBMS
+        // buffer manager needs the OS heap when allocation is dynamic.
+        b.requires("NutOS", "FlashDriver").unwrap();
+        b.requires("Dynamic", "Heap").unwrap();
+        let combined = b.build().unwrap();
+
+        let unconstrained = dbms.count_variants() * os.count_variants();
+        let constrained = combined.count_variants();
+        assert!(constrained < unconstrained);
+
+        // A configuration violating the cross-SPL constraint is invalid.
+        let mut decided = std::collections::BTreeMap::new();
+        decided.insert(combined.id("NutOS"), true);
+        decided.insert(combined.id("FlashDriver"), false);
+        assert!(!combined.satisfiable_with(&decided).is_sat());
+    }
+
+    #[test]
+    fn attributes_and_groups_are_copied() {
+        let dbms = models::fame_dbms();
+        let os = models::nut_os();
+        let combined = compose("EmbeddedSystem", &[&dbms, &os]).build().unwrap();
+        let btree = combined.feature(combined.id("B+-Tree"));
+        assert_eq!(
+            btree.attribute("rom_bytes"),
+            dbms.feature(dbms.id("B+-Tree")).attribute("rom_bytes")
+        );
+        let repl = combined.feature(combined.id("Replacement"));
+        assert_eq!(repl.group(), GroupKind::Alternative);
+    }
+
+    #[test]
+    fn name_collisions_are_rejected() {
+        let a = models::fame_dbms();
+        let b_model = models::fame_dbms();
+        let r = compose("Twice", &[&a, &b_model]).build();
+        assert!(r.is_err(), "same feature names twice must fail");
+    }
+}

@@ -1,0 +1,475 @@
+//! Configurations (products) of a feature model and their validation.
+//!
+//! A [`Configuration`] is the set of selected features. [`FeatureModel::validate`]
+//! checks the feature-diagram semantics of the EDBT'08 paper's Figure 2:
+//! the root is always selected, selection is closed under parents, mandatory
+//! children follow their parents, or-groups need at least one member,
+//! alternative-groups exactly one, and all cross-tree constraints hold.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::model::{FeatureId, FeatureModel, GroupKind, Optionality};
+
+/// A (possibly invalid) set of selected features.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Configuration {
+    selected: BTreeSet<FeatureId>,
+}
+
+impl Configuration {
+    /// The empty selection.
+    pub fn new() -> Self {
+        Configuration::default()
+    }
+
+    /// Build from an iterator of feature ids.
+    pub fn from_ids(ids: impl IntoIterator<Item = FeatureId>) -> Self {
+        Configuration {
+            selected: ids.into_iter().collect(),
+        }
+    }
+
+    /// Build from feature names, resolving against a model.
+    /// Unknown names are reported as an error.
+    pub fn from_names<'a>(
+        model: &FeatureModel,
+        names: impl IntoIterator<Item = &'a str>,
+    ) -> Result<Self, ConfigError> {
+        let mut cfg = Configuration::new();
+        for n in names {
+            let id = model
+                .by_name(n)
+                .ok_or_else(|| ConfigError::UnknownFeature(n.to_string()))?;
+            cfg.select(id);
+        }
+        Ok(cfg)
+    }
+
+    /// Select a feature.
+    pub fn select(&mut self, id: FeatureId) -> &mut Self {
+        self.selected.insert(id);
+        self
+    }
+
+    /// Deselect a feature.
+    pub fn deselect(&mut self, id: FeatureId) -> &mut Self {
+        self.selected.remove(&id);
+        self
+    }
+
+    /// Whether a feature is selected.
+    pub fn is_selected(&self, id: FeatureId) -> bool {
+        self.selected.contains(&id)
+    }
+
+    /// Iterate over selected feature ids in id order.
+    pub fn selected(&self) -> impl Iterator<Item = FeatureId> + '_ {
+        self.selected.iter().copied()
+    }
+
+    /// Number of selected features.
+    pub fn len(&self) -> usize {
+        self.selected.len()
+    }
+
+    /// `true` if nothing is selected.
+    pub fn is_empty(&self) -> bool {
+        self.selected.is_empty()
+    }
+
+    /// Names of the selected features, in id order.
+    pub fn names<'m>(&self, model: &'m FeatureModel) -> Vec<&'m str> {
+        self.selected().map(|id| model.feature(id).name()).collect()
+    }
+}
+
+impl FromIterator<FeatureId> for Configuration {
+    fn from_iter<T: IntoIterator<Item = FeatureId>>(iter: T) -> Self {
+        Configuration::from_ids(iter)
+    }
+}
+
+/// Why a configuration is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The root feature is not selected.
+    RootNotSelected,
+    /// A feature is selected but its parent is not.
+    OrphanSelected { feature: String, parent: String },
+    /// A mandatory child of a selected parent is missing.
+    MandatoryMissing { feature: String, parent: String },
+    /// An or-group has no selected member.
+    OrGroupEmpty { parent: String },
+    /// An alternative-group has zero or more than one selected member.
+    AlternativeViolated { parent: String, selected: usize },
+    /// A cross-tree constraint is violated.
+    ConstraintViolated { label: String },
+    /// A feature name could not be resolved.
+    UnknownFeature(String),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::RootNotSelected => write!(f, "root feature not selected"),
+            ConfigError::OrphanSelected { feature, parent } => {
+                write!(f, "`{feature}` selected but its parent `{parent}` is not")
+            }
+            ConfigError::MandatoryMissing { feature, parent } => {
+                write!(f, "mandatory `{feature}` missing below selected `{parent}`")
+            }
+            ConfigError::OrGroupEmpty { parent } => {
+                write!(f, "or-group of `{parent}` has no selected member")
+            }
+            ConfigError::AlternativeViolated { parent, selected } => write!(
+                f,
+                "alternative-group of `{parent}` needs exactly 1 member, found {selected}"
+            ),
+            ConfigError::ConstraintViolated { label } => {
+                write!(f, "cross-tree constraint violated: {label}")
+            }
+            ConfigError::UnknownFeature(n) => write!(f, "unknown feature `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl FeatureModel {
+    /// Check a configuration against the model. Returns every violation
+    /// (not just the first) so tooling can present a complete report.
+    pub fn validate(&self, cfg: &Configuration) -> Result<(), Vec<ConfigError>> {
+        let mut errors = Vec::new();
+
+        if !cfg.is_selected(self.root()) {
+            errors.push(ConfigError::RootNotSelected);
+        }
+
+        for (id, feature) in self.iter() {
+            // Orphans: selected feature with unselected parent.
+            if cfg.is_selected(id) {
+                if let Some(p) = feature.parent() {
+                    if !cfg.is_selected(p) {
+                        errors.push(ConfigError::OrphanSelected {
+                            feature: feature.name().to_string(),
+                            parent: self.feature(p).name().to_string(),
+                        });
+                    }
+                }
+            }
+
+            // Group semantics below selected parents.
+            if cfg.is_selected(id) && !feature.children().is_empty() {
+                let selected_children = feature
+                    .children()
+                    .iter()
+                    .filter(|c| cfg.is_selected(**c))
+                    .count();
+                match feature.group() {
+                    GroupKind::And => {
+                        for &c in feature.children() {
+                            let child = self.feature(c);
+                            if child.optionality() == Optionality::Mandatory
+                                && !cfg.is_selected(c)
+                            {
+                                errors.push(ConfigError::MandatoryMissing {
+                                    feature: child.name().to_string(),
+                                    parent: feature.name().to_string(),
+                                });
+                            }
+                        }
+                    }
+                    GroupKind::Or => {
+                        if selected_children == 0 {
+                            errors.push(ConfigError::OrGroupEmpty {
+                                parent: feature.name().to_string(),
+                            });
+                        }
+                    }
+                    GroupKind::Alternative => {
+                        if selected_children != 1 {
+                            errors.push(ConfigError::AlternativeViolated {
+                                parent: feature.name().to_string(),
+                                selected: selected_children,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        let sel = |id: FeatureId| cfg.is_selected(id);
+        for c in self.constraints() {
+            if !c.prop().eval(&sel) {
+                errors.push(ConfigError::ConstraintViolated {
+                    label: c.describe(self),
+                });
+            }
+        }
+
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// Close a partial selection under tree obligations: add all ancestors
+    /// of selected features, then repeatedly add mandatory children of
+    /// selected parents and satisfy or-/alternative-groups by picking their
+    /// first child (a deterministic default). Cross-tree `requires`
+    /// constraints of the simple `a -> b` shape are honoured as well.
+    ///
+    /// The result is *not* guaranteed valid for models with richer
+    /// constraints; callers should [`FeatureModel::validate`] afterwards.
+    pub fn complete(&self, mut cfg: Configuration) -> Configuration {
+        cfg.select(self.root());
+        loop {
+            let mut changed = false;
+
+            // Parents of everything selected.
+            for id in cfg.selected().collect::<Vec<_>>() {
+                for anc in self.ancestors(id) {
+                    if !cfg.is_selected(anc) {
+                        cfg.select(anc);
+                        changed = true;
+                    }
+                }
+            }
+
+            // Group obligations below selected parents.
+            for (id, feature) in self.iter() {
+                if !cfg.is_selected(id) || feature.children().is_empty() {
+                    continue;
+                }
+                let selected_children = feature
+                    .children()
+                    .iter()
+                    .filter(|c| cfg.is_selected(**c))
+                    .count();
+                match feature.group() {
+                    GroupKind::And => {
+                        for &c in feature.children() {
+                            if self.feature(c).optionality() == Optionality::Mandatory
+                                && !cfg.is_selected(c)
+                            {
+                                cfg.select(c);
+                                changed = true;
+                            }
+                        }
+                    }
+                    GroupKind::Or | GroupKind::Alternative => {
+                        if selected_children == 0 {
+                            cfg.select(feature.children()[0]);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+
+            // Simple requires propagation: `a -> b` and `a -> (b & c & …)`
+            // with bare variables (richer formulas need the SAT machinery).
+            for c in self.constraints() {
+                if let crate::Prop::Implies(a, consequent) = c.prop() {
+                    let crate::Prop::Var(a) = &**a else { continue };
+                    if !cfg.is_selected(*a) {
+                        continue;
+                    }
+                    let targets: Vec<crate::model::FeatureId> = match &**consequent {
+                        crate::Prop::Var(b) => vec![*b],
+                        crate::Prop::And(parts) => {
+                            let vars: Option<Vec<_>> = parts
+                                .iter()
+                                .map(|p| match p {
+                                    crate::Prop::Var(v) => Some(*v),
+                                    _ => None,
+                                })
+                                .collect();
+                            vars.unwrap_or_default()
+                        }
+                        _ => vec![],
+                    };
+                    for b in targets {
+                        if !cfg.is_selected(b) {
+                            cfg.select(b);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+
+            if !changed {
+                return cfg;
+            }
+        }
+    }
+
+    /// A deterministic minimal-ish valid configuration: close the root under
+    /// obligations, then validate. Returns `None` if the default choices
+    /// violate a constraint (callers can then fall back to SAT search via
+    /// [`crate::sat`]).
+    pub fn minimal_configuration(&self) -> Option<Configuration> {
+        let cfg = self.complete(Configuration::new());
+        self.validate(&cfg).ok().map(|_| cfg)
+    }
+
+    /// The full configuration: every feature selected. Valid only for
+    /// models without alternative-groups or excludes-constraints; mainly
+    /// used by the "monolithic baseline" of the size experiment.
+    pub fn full_configuration(&self) -> Configuration {
+        Configuration::from_ids(self.iter().map(|(id, _)| id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{GroupKind, ModelBuilder};
+
+    /// Root
+    /// ├── Core (mandatory)
+    /// ├── Index (mandatory, or-group: BTree | List)
+    /// ├── Repl (alternative-group: LRU | LFU) [optional]
+    /// └── Opt (optional), Sql (optional), Opt requires Sql
+    fn model() -> FeatureModel {
+        let mut b = ModelBuilder::new("M");
+        let r = b.root("M");
+        b.mandatory(r, "Core");
+        let idx = b.mandatory(r, "Index");
+        b.group(idx, GroupKind::Or);
+        b.optional(idx, "BTree");
+        b.optional(idx, "List");
+        let repl = b.optional(r, "Repl");
+        b.group(repl, GroupKind::Alternative);
+        b.optional(repl, "LRU");
+        b.optional(repl, "LFU");
+        b.optional(r, "Sql");
+        b.optional(r, "Opt");
+        b.requires("Opt", "Sql").unwrap();
+        b.build().unwrap()
+    }
+
+    fn cfg(m: &FeatureModel, names: &[&str]) -> Configuration {
+        Configuration::from_names(m, names.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn valid_minimal() {
+        let m = model();
+        let c = cfg(&m, &["M", "Core", "Index", "BTree"]);
+        assert!(m.validate(&c).is_ok());
+    }
+
+    #[test]
+    fn root_missing() {
+        let m = model();
+        let c = cfg(&m, &["Core"]);
+        let errs = m.validate(&c).unwrap_err();
+        assert!(errs.contains(&ConfigError::RootNotSelected));
+    }
+
+    #[test]
+    fn orphan_detected() {
+        let m = model();
+        let c = cfg(&m, &["M", "Core", "Index", "BTree", "LRU"]);
+        let errs = m.validate(&c).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ConfigError::OrphanSelected { feature, .. } if feature == "LRU")));
+    }
+
+    #[test]
+    fn mandatory_missing_detected() {
+        let m = model();
+        let c = cfg(&m, &["M", "Index", "BTree"]);
+        let errs = m.validate(&c).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ConfigError::MandatoryMissing { feature, .. } if feature == "Core")));
+    }
+
+    #[test]
+    fn or_group_needs_member() {
+        let m = model();
+        let c = cfg(&m, &["M", "Core", "Index"]);
+        let errs = m.validate(&c).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ConfigError::OrGroupEmpty { parent } if parent == "Index")));
+    }
+
+    #[test]
+    fn or_group_allows_both() {
+        let m = model();
+        let c = cfg(&m, &["M", "Core", "Index", "BTree", "List"]);
+        assert!(m.validate(&c).is_ok());
+    }
+
+    #[test]
+    fn alternative_group_exactly_one() {
+        let m = model();
+        let both = cfg(&m, &["M", "Core", "Index", "BTree", "Repl", "LRU", "LFU"]);
+        let errs = m.validate(&both).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ConfigError::AlternativeViolated { selected: 2, .. })));
+
+        let none = cfg(&m, &["M", "Core", "Index", "BTree", "Repl"]);
+        let errs = m.validate(&none).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ConfigError::AlternativeViolated { selected: 0, .. })));
+
+        let one = cfg(&m, &["M", "Core", "Index", "BTree", "Repl", "LFU"]);
+        assert!(m.validate(&one).is_ok());
+    }
+
+    #[test]
+    fn requires_enforced() {
+        let m = model();
+        let c = cfg(&m, &["M", "Core", "Index", "BTree", "Opt"]);
+        let errs = m.validate(&c).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ConfigError::ConstraintViolated { .. })));
+        let ok = cfg(&m, &["M", "Core", "Index", "BTree", "Opt", "Sql"]);
+        assert!(m.validate(&ok).is_ok());
+    }
+
+    #[test]
+    fn complete_fills_obligations() {
+        let m = model();
+        let partial = cfg(&m, &["LFU", "Opt"]);
+        let full = m.complete(partial);
+        assert!(m.validate(&full).is_ok(), "{:?}", m.validate(&full));
+        assert!(full.is_selected(m.id("Repl")));
+        assert!(full.is_selected(m.id("Sql"))); // Opt requires Sql
+        assert!(full.is_selected(m.id("BTree"))); // or-group default
+        assert!(!full.is_selected(m.id("LRU"))); // alternative kept at LFU
+    }
+
+    #[test]
+    fn minimal_configuration_is_valid() {
+        let m = model();
+        let c = m.minimal_configuration().unwrap();
+        assert!(m.validate(&c).is_ok());
+        assert!(!c.is_selected(m.id("Repl"))); // optional stays off
+    }
+
+    #[test]
+    fn from_names_unknown() {
+        let m = model();
+        assert!(matches!(
+            Configuration::from_names(&m, ["Nope"]),
+            Err(ConfigError::UnknownFeature(_))
+        ));
+    }
+
+    #[test]
+    fn names_round_trip() {
+        let m = model();
+        let c = cfg(&m, &["M", "Core"]);
+        assert_eq!(c.names(&m), vec!["M", "Core"]);
+    }
+}

@@ -1,0 +1,355 @@
+//! Cross-tree constraints: propositional formulas over features.
+//!
+//! The feature tree expresses hierarchical variability; everything the tree
+//! cannot express (e.g. *Optimizer requires SQL Engine* across subtrees) is a
+//! cross-tree constraint. Constraints are arbitrary propositional formulas
+//! ([`Prop`]) over feature variables, with `requires`/`excludes` as the
+//! common shorthands.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::model::{FeatureId, FeatureModel};
+
+/// A propositional formula over features.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Prop {
+    /// The feature is selected.
+    Var(FeatureId),
+    /// Negation.
+    Not(Box<Prop>),
+    /// Conjunction (empty = true).
+    And(Vec<Prop>),
+    /// Disjunction (empty = false).
+    Or(Vec<Prop>),
+    /// Implication `lhs -> rhs`.
+    Implies(Box<Prop>, Box<Prop>),
+    /// Bi-implication `lhs <-> rhs`.
+    Iff(Box<Prop>, Box<Prop>),
+}
+
+impl Prop {
+    /// Shorthand for a feature variable.
+    pub fn var(id: FeatureId) -> Prop {
+        Prop::Var(id)
+    }
+
+    /// Shorthand for negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(p: Prop) -> Prop {
+        Prop::Not(Box::new(p))
+    }
+
+    /// Shorthand for implication.
+    pub fn implies(a: Prop, b: Prop) -> Prop {
+        Prop::Implies(Box::new(a), Box::new(b))
+    }
+
+    /// Shorthand for bi-implication.
+    pub fn iff(a: Prop, b: Prop) -> Prop {
+        Prop::Iff(Box::new(a), Box::new(b))
+    }
+
+    /// Evaluate under a total assignment: `sel(f)` returns whether feature
+    /// `f` is selected.
+    pub fn eval(&self, sel: &impl Fn(FeatureId) -> bool) -> bool {
+        match self {
+            Prop::Var(f) => sel(*f),
+            Prop::Not(p) => !p.eval(sel),
+            Prop::And(ps) => ps.iter().all(|p| p.eval(sel)),
+            Prop::Or(ps) => ps.iter().any(|p| p.eval(sel)),
+            Prop::Implies(a, b) => !a.eval(sel) || b.eval(sel),
+            Prop::Iff(a, b) => a.eval(sel) == b.eval(sel),
+        }
+    }
+
+    /// Collect every feature referenced by the formula.
+    pub fn variables(&self, out: &mut BTreeSet<FeatureId>) {
+        match self {
+            Prop::Var(f) => {
+                out.insert(*f);
+            }
+            Prop::Not(p) => p.variables(out),
+            Prop::And(ps) | Prop::Or(ps) => ps.iter().for_each(|p| p.variables(out)),
+            Prop::Implies(a, b) | Prop::Iff(a, b) => {
+                a.variables(out);
+                b.variables(out);
+            }
+        }
+    }
+
+    /// Convert to conjunctive normal form as clauses of literals
+    /// `(feature, polarity)`. Suitable for the small models this crate
+    /// handles; uses naive distribution (no Tseitin variables) which is
+    /// exponential only for pathological formulas.
+    pub fn to_cnf(&self) -> Vec<Vec<(FeatureId, bool)>> {
+        fn nnf(p: &Prop, neg: bool) -> Prop {
+            match p {
+                Prop::Var(f) => {
+                    if neg {
+                        Prop::not(Prop::Var(*f))
+                    } else {
+                        Prop::Var(*f)
+                    }
+                }
+                Prop::Not(inner) => nnf(inner, !neg),
+                Prop::And(ps) => {
+                    let parts = ps.iter().map(|q| nnf(q, neg)).collect();
+                    if neg {
+                        Prop::Or(parts)
+                    } else {
+                        Prop::And(parts)
+                    }
+                }
+                Prop::Or(ps) => {
+                    let parts = ps.iter().map(|q| nnf(q, neg)).collect();
+                    if neg {
+                        Prop::And(parts)
+                    } else {
+                        Prop::Or(parts)
+                    }
+                }
+                Prop::Implies(a, b) => {
+                    // a -> b  ==  !a | b
+                    nnf(&Prop::Or(vec![Prop::not((**a).clone()), (**b).clone()]), neg)
+                }
+                Prop::Iff(a, b) => {
+                    // a <-> b == (a -> b) & (b -> a)
+                    nnf(
+                        &Prop::And(vec![
+                            Prop::implies((**a).clone(), (**b).clone()),
+                            Prop::implies((**b).clone(), (**a).clone()),
+                        ]),
+                        neg,
+                    )
+                }
+            }
+        }
+
+        // After NNF: only Var, Not(Var), And, Or remain.
+        fn cnf(p: &Prop) -> Vec<Vec<(FeatureId, bool)>> {
+            match p {
+                Prop::Var(f) => vec![vec![(*f, true)]],
+                Prop::Not(inner) => match **inner {
+                    Prop::Var(f) => vec![vec![(f, false)]],
+                    _ => unreachable!("NNF guarantees negations apply to vars only"),
+                },
+                Prop::And(ps) => ps.iter().flat_map(cnf).collect(),
+                Prop::Or(ps) => {
+                    // Distribute: OR of CNFs -> cross product of clauses.
+                    let mut acc: Vec<Vec<(FeatureId, bool)>> = vec![vec![]];
+                    for sub in ps {
+                        let sub_cnf = cnf(sub);
+                        let mut next = Vec::with_capacity(acc.len() * sub_cnf.len());
+                        for a in &acc {
+                            for clause in &sub_cnf {
+                                let mut merged = a.clone();
+                                merged.extend_from_slice(clause);
+                                next.push(merged);
+                            }
+                        }
+                        acc = next;
+                    }
+                    acc
+                }
+                _ => unreachable!("NNF eliminates Implies/Iff"),
+            }
+        }
+
+        cnf(&nnf(self, false))
+    }
+}
+
+/// A labelled cross-tree constraint of a feature model.
+#[derive(Debug, Clone)]
+pub struct CrossTreeConstraint {
+    label: String,
+    prop: Prop,
+}
+
+impl CrossTreeConstraint {
+    /// Create a constraint with an explanatory label (used in error
+    /// messages, reports, and DOT output).
+    pub fn new(label: impl Into<String>, prop: Prop) -> Self {
+        CrossTreeConstraint {
+            label: label.into(),
+            prop,
+        }
+    }
+
+    /// `a requires b`.
+    pub fn requires(a: FeatureId, b: FeatureId) -> Self {
+        CrossTreeConstraint::new(
+            format!("{a} requires {b}"),
+            Prop::implies(Prop::var(a), Prop::var(b)),
+        )
+    }
+
+    /// `a excludes b`.
+    pub fn excludes(a: FeatureId, b: FeatureId) -> Self {
+        CrossTreeConstraint::new(
+            format!("{a} excludes {b}"),
+            Prop::implies(Prop::var(a), Prop::not(Prop::var(b))),
+        )
+    }
+
+    /// The constraint's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The underlying formula.
+    pub fn prop(&self) -> &Prop {
+        &self.prop
+    }
+
+    /// Human-readable rendering using feature names from the model.
+    pub fn describe(&self, model: &FeatureModel) -> String {
+        fn go(p: &Prop, m: &FeatureModel, out: &mut String) {
+            match p {
+                Prop::Var(f) => out.push_str(m.feature(*f).name()),
+                Prop::Not(q) => {
+                    out.push('!');
+                    go(q, m, out);
+                }
+                Prop::And(ps) => join(ps, " & ", m, out),
+                Prop::Or(ps) => join(ps, " | ", m, out),
+                Prop::Implies(a, b) => {
+                    out.push('(');
+                    go(a, m, out);
+                    out.push_str(" -> ");
+                    go(b, m, out);
+                    out.push(')');
+                }
+                Prop::Iff(a, b) => {
+                    out.push('(');
+                    go(a, m, out);
+                    out.push_str(" <-> ");
+                    go(b, m, out);
+                    out.push(')');
+                }
+            }
+        }
+        fn join(ps: &[Prop], sep: &str, m: &FeatureModel, out: &mut String) {
+            out.push('(');
+            for (i, p) in ps.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(sep);
+                }
+                go(p, m, out);
+            }
+            out.push(')');
+        }
+        let mut s = String::new();
+        go(&self.prop, model, &mut s);
+        s
+    }
+}
+
+impl fmt::Display for CrossTreeConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u32) -> FeatureId {
+        FeatureId(i)
+    }
+
+    #[test]
+    fn eval_basic_connectives() {
+        let sel = |id: FeatureId| id.0 % 2 == 0; // even ids selected
+        assert!(Prop::var(f(0)).eval(&sel));
+        assert!(!Prop::var(f(1)).eval(&sel));
+        assert!(Prop::not(Prop::var(f(1))).eval(&sel));
+        assert!(Prop::And(vec![Prop::var(f(0)), Prop::var(f(2))]).eval(&sel));
+        assert!(!Prop::And(vec![Prop::var(f(0)), Prop::var(f(1))]).eval(&sel));
+        assert!(Prop::Or(vec![Prop::var(f(1)), Prop::var(f(2))]).eval(&sel));
+        assert!(Prop::implies(Prop::var(f(1)), Prop::var(f(3))).eval(&sel));
+        assert!(Prop::iff(Prop::var(f(1)), Prop::var(f(3))).eval(&sel));
+        assert!(!Prop::iff(Prop::var(f(0)), Prop::var(f(3))).eval(&sel));
+    }
+
+    #[test]
+    fn empty_and_or() {
+        let sel = |_: FeatureId| false;
+        assert!(Prop::And(vec![]).eval(&sel));
+        assert!(!Prop::Or(vec![]).eval(&sel));
+    }
+
+    #[test]
+    fn variables_collects_all() {
+        let p = Prop::implies(
+            Prop::And(vec![Prop::var(f(1)), Prop::not(Prop::var(f(2)))]),
+            Prop::iff(Prop::var(f(3)), Prop::var(f(1))),
+        );
+        let mut vars = BTreeSet::new();
+        p.variables(&mut vars);
+        assert_eq!(vars.into_iter().collect::<Vec<_>>(), vec![f(1), f(2), f(3)]);
+    }
+
+    /// Brute-force check that the CNF of a formula has the same models as
+    /// the formula itself.
+    fn assert_cnf_equivalent(p: &Prop, nvars: u32) {
+        let cnf = p.to_cnf();
+        for mask in 0..(1u32 << nvars) {
+            let sel = |id: FeatureId| mask & (1 << id.0) != 0;
+            let direct = p.eval(&sel);
+            let via_cnf = cnf
+                .iter()
+                .all(|clause| clause.iter().any(|&(v, pol)| sel(v) == pol));
+            assert_eq!(direct, via_cnf, "mismatch at mask {mask:b} for {p:?}");
+        }
+    }
+
+    #[test]
+    fn cnf_requires() {
+        assert_cnf_equivalent(&Prop::implies(Prop::var(f(0)), Prop::var(f(1))), 2);
+    }
+
+    #[test]
+    fn cnf_excludes() {
+        assert_cnf_equivalent(
+            &Prop::implies(Prop::var(f(0)), Prop::not(Prop::var(f(1)))),
+            2,
+        );
+    }
+
+    #[test]
+    fn cnf_iff_nested() {
+        let p = Prop::iff(
+            Prop::var(f(0)),
+            Prop::And(vec![Prop::var(f(1)), Prop::Or(vec![Prop::var(f(2)), Prop::var(f(3))])]),
+        );
+        assert_cnf_equivalent(&p, 4);
+    }
+
+    #[test]
+    fn cnf_double_negation() {
+        let p = Prop::not(Prop::not(Prop::var(f(0))));
+        assert_cnf_equivalent(&p, 1);
+    }
+
+    #[test]
+    fn cnf_demorgan() {
+        let p = Prop::not(Prop::And(vec![Prop::var(f(0)), Prop::var(f(1))]));
+        assert_cnf_equivalent(&p, 2);
+    }
+
+    #[test]
+    fn describe_uses_feature_names() {
+        use crate::model::ModelBuilder;
+        let mut b = ModelBuilder::new("M");
+        let r = b.root("M");
+        b.optional(r, "SQL");
+        b.optional(r, "Optimizer");
+        b.requires("Optimizer", "SQL").unwrap();
+        let m = b.build().unwrap();
+        let d = m.constraints()[0].describe(&m);
+        assert_eq!(d, "(Optimizer -> SQL)");
+    }
+}

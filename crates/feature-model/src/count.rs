@@ -1,0 +1,366 @@
+//! Exact variant counting for feature models.
+//!
+//! The paper motivates automated product derivation by the size of the
+//! configuration space ("variability also increases the configuration
+//! space"). This module computes that size exactly.
+//!
+//! Counting valid configurations of a pure feature *tree* is a simple
+//! product/sum dynamic program over the tree. Cross-tree constraints break
+//! the independence between subtrees, so we use *projected* counting: the DP
+//! tracks, per subtree, a table from assignments of the constraint-relevant
+//! features inside the subtree to the number of sub-configurations realizing
+//! that assignment. Tables from sibling subtrees combine by convolution over
+//! disjoint bit masks; at the root, entries whose assignment violates a
+//! constraint are dropped. This is exact and fast as long as constraints
+//! mention at most 64 distinct features (far beyond the FAME models).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::model::{FeatureId, FeatureModel, GroupKind, Optionality};
+
+/// Count the valid configurations (products) of a model. See module docs.
+///
+/// Panics if the cross-tree constraints of the model mention more than 64
+/// distinct features (not the case for any model in this workspace).
+pub fn count_variants(model: &FeatureModel) -> u128 {
+    // Collect constraint-relevant features and give them bit positions.
+    let mut relevant: BTreeSet<FeatureId> = BTreeSet::new();
+    for c in model.constraints() {
+        c.prop().variables(&mut relevant);
+    }
+    assert!(
+        relevant.len() <= 64,
+        "projected counting supports at most 64 constraint variables"
+    );
+    let bit: BTreeMap<FeatureId, u32> = relevant
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| (f, i as u32))
+        .collect();
+
+    let table = subtree_table(model, model.root(), &bit);
+
+    table
+        .iter()
+        .filter(|(&mask, _)| {
+            // Features outside every constraint never reach eval because
+            // constraint formulas only mention relevant features.
+            let sel = |id: FeatureId| match bit.get(&id) {
+                Some(&b) => mask & (1 << b) != 0,
+                None => unreachable!("constraint mentions non-relevant feature"),
+            };
+            model.constraints().iter().all(|c| c.prop().eval(&sel))
+        })
+        .map(|(_, &n)| n)
+        .sum()
+}
+
+impl FeatureModel {
+    /// Convenience wrapper around [`count_variants`].
+    pub fn count_variants(&self) -> u128 {
+        count_variants(self)
+    }
+}
+
+/// Table for the subtree of `f`, **given `f` is selected**: mask over the
+/// relevant features inside the subtree -> number of sub-configurations.
+fn subtree_table(
+    model: &FeatureModel,
+    f: FeatureId,
+    bit: &BTreeMap<FeatureId, u32>,
+) -> HashMap<u64, u128> {
+    let own_mask = bit.get(&f).map(|&b| 1u64 << b).unwrap_or(0);
+    let feature = model.feature(f);
+    let children = feature.children();
+
+    let mut acc: HashMap<u64, u128> = HashMap::new();
+    acc.insert(own_mask, 1);
+
+    if children.is_empty() {
+        return acc;
+    }
+
+    match feature.group() {
+        GroupKind::And => {
+            for &c in children {
+                let sel = subtree_table(model, c, bit);
+                let options = if model.feature(c).optionality() == Optionality::Mandatory {
+                    sel
+                } else {
+                    // deselected subtree = all-zero mask, exactly one way
+                    let mut both = sel;
+                    *both.entry(0).or_insert(0) += 1;
+                    both
+                };
+                acc = convolve(&acc, &options);
+            }
+        }
+        GroupKind::Or => {
+            // Product over (selected + deselected), minus the combination
+            // where every child is deselected.
+            let mut all = acc.clone();
+            for &c in children {
+                let mut options = subtree_table(model, c, bit);
+                *options.entry(0).or_insert(0) += 1;
+                all = convolve(&all, &options);
+            }
+            // The all-deselected combination contributes exactly 1 at
+            // mask == own_mask.
+            let entry = all.get_mut(&own_mask).expect("all-deselected entry exists");
+            *entry -= 1;
+            if *entry == 0 {
+                all.remove(&own_mask);
+            }
+            acc = all;
+        }
+        GroupKind::Alternative => {
+            let base = acc;
+            let mut sum: HashMap<u64, u128> = HashMap::new();
+            for &c in children {
+                let sel = subtree_table(model, c, bit);
+                for (mask, n) in convolve(&base, &sel) {
+                    *sum.entry(mask).or_insert(0) += n;
+                }
+            }
+            acc = sum;
+        }
+    }
+    acc
+}
+
+/// Combine tables of disjoint variable sets: counts multiply, masks OR.
+fn convolve(a: &HashMap<u64, u128>, b: &HashMap<u64, u128>) -> HashMap<u64, u128> {
+    let mut out = HashMap::with_capacity(a.len() * b.len());
+    for (&ma, &na) in a {
+        for (&mb, &nb) in b {
+            debug_assert_eq!(ma & mb, 0, "sibling subtrees share a constraint variable");
+            *out.entry(ma | mb).or_insert(0) += na * nb;
+        }
+    }
+    out
+}
+
+/// Brute-force enumeration of all valid configurations. Exponential; only
+/// for small models (tests and reports). Returns configurations as sets of
+/// feature ids.
+pub fn enumerate_variants(model: &FeatureModel) -> Vec<BTreeSet<FeatureId>> {
+    fn subtree_configs(model: &FeatureModel, f: FeatureId) -> Vec<BTreeSet<FeatureId>> {
+        let feature = model.feature(f);
+        let mut base = BTreeSet::new();
+        base.insert(f);
+        let mut acc = vec![base];
+        let children = feature.children();
+        if children.is_empty() {
+            return acc;
+        }
+        match feature.group() {
+            GroupKind::And => {
+                for &c in children {
+                    let sel = subtree_configs(model, c);
+                    let optional = model.feature(c).optionality() == Optionality::Optional;
+                    let mut next = Vec::new();
+                    for a in &acc {
+                        if optional {
+                            next.push(a.clone());
+                        }
+                        for s in &sel {
+                            let mut merged = a.clone();
+                            merged.extend(s.iter().copied());
+                            next.push(merged);
+                        }
+                    }
+                    acc = next;
+                }
+            }
+            GroupKind::Or => {
+                for &c in children {
+                    let sel = subtree_configs(model, c);
+                    let mut next = Vec::new();
+                    for a in &acc {
+                        next.push(a.clone());
+                        for s in &sel {
+                            let mut merged = a.clone();
+                            merged.extend(s.iter().copied());
+                            next.push(merged);
+                        }
+                    }
+                    acc = next;
+                }
+                // Remove combos where no child is selected.
+                acc.retain(|cfg| children.iter().any(|c| cfg.contains(c)));
+            }
+            GroupKind::Alternative => {
+                let base = acc;
+                let mut sum = Vec::new();
+                for &c in children {
+                    for s in subtree_configs(model, c) {
+                        for a in &base {
+                            let mut merged = a.clone();
+                            merged.extend(s.iter().copied());
+                            sum.push(merged);
+                        }
+                    }
+                }
+                acc = sum;
+            }
+        }
+        acc
+    }
+
+    subtree_configs(model, model.root())
+        .into_iter()
+        .filter(|cfg| {
+            let sel = |id: FeatureId| cfg.contains(&id);
+            model.constraints().iter().all(|c| c.prop().eval(&sel))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{GroupKind, ModelBuilder};
+
+    fn check_agreement(model: &FeatureModel) {
+        let dp = count_variants(model);
+        let brute = enumerate_variants(model);
+        assert_eq!(dp, brute.len() as u128, "DP vs enumeration mismatch");
+        // Every enumerated variant must validate.
+        for cfg in &brute {
+            let c = crate::Configuration::from_ids(cfg.iter().copied());
+            assert!(model.validate(&c).is_ok(), "{:?}", model.validate(&c));
+        }
+    }
+
+    #[test]
+    fn single_feature() {
+        let mut b = ModelBuilder::new("One");
+        b.root("One");
+        let m = b.build().unwrap();
+        assert_eq!(count_variants(&m), 1);
+    }
+
+    #[test]
+    fn independent_optionals_multiply() {
+        let mut b = ModelBuilder::new("Opt");
+        let r = b.root("Opt");
+        for name in ["A", "B", "C"] {
+            b.optional(r, name);
+        }
+        let m = b.build().unwrap();
+        assert_eq!(count_variants(&m), 8);
+        check_agreement(&m);
+    }
+
+    #[test]
+    fn mandatory_does_not_multiply() {
+        let mut b = ModelBuilder::new("Mand");
+        let r = b.root("Mand");
+        b.mandatory(r, "A");
+        b.optional(r, "B");
+        let m = b.build().unwrap();
+        assert_eq!(count_variants(&m), 2);
+        check_agreement(&m);
+    }
+
+    #[test]
+    fn or_group_counts() {
+        let mut b = ModelBuilder::new("Org");
+        let r = b.root("Org");
+        let g = b.mandatory(r, "G");
+        b.group(g, GroupKind::Or);
+        b.optional(g, "A");
+        b.optional(g, "B");
+        b.optional(g, "C");
+        let m = b.build().unwrap();
+        assert_eq!(count_variants(&m), 7); // 2^3 - 1
+        check_agreement(&m);
+    }
+
+    #[test]
+    fn alternative_group_counts() {
+        let mut b = ModelBuilder::new("Alt");
+        let r = b.root("Alt");
+        let g = b.mandatory(r, "G");
+        b.group(g, GroupKind::Alternative);
+        b.optional(g, "A");
+        b.optional(g, "B");
+        b.optional(g, "C");
+        let m = b.build().unwrap();
+        assert_eq!(count_variants(&m), 3);
+        check_agreement(&m);
+    }
+
+    #[test]
+    fn optional_group_parent() {
+        // Optional parent with alternative children: 1 (off) + 2 (on).
+        let mut b = ModelBuilder::new("OptAlt");
+        let r = b.root("OptAlt");
+        let g = b.optional(r, "G");
+        b.group(g, GroupKind::Alternative);
+        b.optional(g, "A");
+        b.optional(g, "B");
+        let m = b.build().unwrap();
+        assert_eq!(count_variants(&m), 3);
+        check_agreement(&m);
+    }
+
+    #[test]
+    fn requires_constraint_prunes() {
+        let mut b = ModelBuilder::new("Req");
+        let r = b.root("Req");
+        b.optional(r, "A");
+        b.optional(r, "B");
+        b.requires("A", "B").unwrap();
+        let m = b.build().unwrap();
+        // {}, {B}, {A,B}
+        assert_eq!(count_variants(&m), 3);
+        check_agreement(&m);
+    }
+
+    #[test]
+    fn excludes_constraint_prunes() {
+        let mut b = ModelBuilder::new("Exc");
+        let r = b.root("Exc");
+        b.optional(r, "A");
+        b.optional(r, "B");
+        b.excludes("A", "B").unwrap();
+        let m = b.build().unwrap();
+        // {}, {A}, {B}
+        assert_eq!(count_variants(&m), 3);
+        check_agreement(&m);
+    }
+
+    #[test]
+    fn nested_mixed_model() {
+        let mut b = ModelBuilder::new("Mix");
+        let r = b.root("Mix");
+        let idx = b.mandatory(r, "Index");
+        b.group(idx, GroupKind::Or);
+        let bt = b.optional(idx, "BTree");
+        b.optional(bt, "Remove");
+        b.optional(idx, "List");
+        let buf = b.optional(r, "Buffer");
+        b.group(buf, GroupKind::Alternative);
+        b.optional(buf, "LRU");
+        b.optional(buf, "LFU");
+        b.optional(r, "Txn");
+        b.requires("Txn", "Buffer").unwrap();
+        let m = b.build().unwrap();
+        check_agreement(&m);
+        // Index: BTree{,Remove} | List | both => 2 + 1 + 2 = 5
+        // Buffer: off | LRU | LFU = 3; Txn: free unless Buffer off.
+        // Total = 5 * (1*1 + 2*2) = 5 * 5 = 25.
+        assert_eq!(count_variants(&m), 25);
+    }
+
+    #[test]
+    fn built_in_models_agree_with_enumeration_shape() {
+        // The FAME model is big; just assert DP produces something > 0 and
+        // that the count is stable (regression guard).
+        let m = crate::models::fame_dbms();
+        let n = count_variants(&m);
+        assert!(n > 0);
+        assert_eq!(n, count_variants(&m), "deterministic");
+    }
+}

@@ -1,0 +1,85 @@
+//! GraphViz DOT export of feature diagrams.
+//!
+//! Useful to regenerate Figure 2 of the paper from the executable model:
+//! `dot -Tsvg <(cargo run -p fame-bench --bin variants -- --dot) -o fig2.svg`.
+
+use std::fmt::Write as _;
+
+use crate::model::{FeatureModel, GroupKind, Optionality};
+
+/// Render a feature model as a GraphViz `digraph`.
+///
+/// Mandatory features get filled dots on their incoming edge (modelled here
+/// with `arrowhead=dot`), optional ones hollow dots (`odot`); or-groups and
+/// alternative-groups are annotated on the parent node label.
+pub fn to_dot(model: &FeatureModel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", model.name());
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"Helvetica\"];");
+
+    for (id, f) in model.iter() {
+        let group = match f.group() {
+            GroupKind::And => "",
+            GroupKind::Or => "\\n<or>",
+            GroupKind::Alternative => "\\n<alt>",
+        };
+        let _ = writeln!(out, "  {} [label=\"{}{}\"];", id, escape(f.name()), group);
+    }
+
+    for (id, f) in model.iter() {
+        if let Some(p) = f.parent() {
+            let arrow = match f.optionality() {
+                Optionality::Mandatory => "dot",
+                Optionality::Optional => "odot",
+            };
+            let _ = writeln!(out, "  {p} -> {id} [arrowhead={arrow}];");
+        }
+    }
+
+    for (i, c) in model.constraints().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  constraint{i} [shape=note, label=\"{}\"];",
+            escape(&c.describe(model))
+        );
+    }
+
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+
+    #[test]
+    fn dot_contains_all_features() {
+        let m = models::fame_dbms();
+        let dot = to_dot(&m);
+        for (_, f) in m.iter() {
+            assert!(dot.contains(f.name()), "missing {}", f.name());
+        }
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_annotates_groups_and_constraints() {
+        let m = models::fame_dbms();
+        let dot = to_dot(&m);
+        assert!(dot.contains("<alt>"));
+        assert!(dot.contains("<or>"));
+        assert!(dot.contains("constraint0"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
+    }
+}

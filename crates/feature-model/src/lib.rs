@@ -1,0 +1,42 @@
+//! Feature models for the FAME-DBMS software product line.
+//!
+//! This crate implements the variability-modelling substrate of the
+//! FAME-DBMS reproduction (Rosenmüller et al., EDBT 2008): feature diagrams
+//! with mandatory/optional features and or-/alternative-groups (Figure 2 of
+//! the paper), cross-tree constraints, configuration validation, decision
+//! propagation, and exact variant counting.
+//!
+//! A *feature model* describes the configuration space of a product line; a
+//! *configuration* is a set of selected features. Deriving a concrete
+//! FAME-DBMS instance means choosing a valid configuration and composing the
+//! implementation units of the selected features (in this reproduction:
+//! cargo features of the `fame-dbms` crate).
+//!
+//! # Example
+//!
+//! ```
+//! use fame_feature_model::models;
+//!
+//! let model = models::fame_dbms();
+//! // A minimal valid product: everything mandatory plus defaults.
+//! let cfg = model.minimal_configuration().expect("model is satisfiable");
+//! assert!(model.validate(&cfg).is_ok());
+//! // The configuration space of the prototype is large:
+//! assert!(model.count_variants() > 1_000);
+//! ```
+
+pub mod compose;
+pub mod config;
+pub mod constraint;
+pub mod count;
+pub mod dot;
+pub mod model;
+pub mod models;
+pub mod sat;
+
+pub use compose::compose;
+pub use config::{ConfigError, Configuration};
+pub use constraint::{CrossTreeConstraint, Prop};
+pub use count::count_variants;
+pub use model::{Feature, FeatureId, FeatureModel, GroupKind, ModelBuilder, ModelError, Optionality};
+pub use sat::{Propagation, SatResult};

@@ -1,0 +1,518 @@
+//! Feature-diagram representation and the builder used to construct models.
+//!
+//! A [`FeatureModel`] is a rooted tree of [`Feature`]s. Every non-root
+//! feature is either [`Optionality::Mandatory`] or [`Optionality::Optional`]
+//! with respect to its parent, and the children of a feature form a group
+//! ([`GroupKind`]): a plain and-group, an or-group (at least one child when
+//! the parent is selected) or an alternative-group (exactly one child).
+//! Cross-tree constraints (requires/excludes and arbitrary propositional
+//! formulas) are kept alongside the tree.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::constraint::{CrossTreeConstraint, Prop};
+
+/// Index of a feature inside its [`FeatureModel`].
+///
+/// Ids are dense (`0..model.len()`); the root is always id `0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FeatureId(pub(crate) u32);
+
+impl FeatureId {
+    /// Numeric index of the feature (dense, root = 0).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FeatureId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Whether a feature must be selected whenever its parent is selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Optionality {
+    /// Selected whenever the parent is selected.
+    Mandatory,
+    /// May be freely selected or deselected (subject to its group).
+    Optional,
+}
+
+/// The kind of group formed by a feature's children.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GroupKind {
+    /// Ordinary and-group: each child is independently mandatory/optional.
+    #[default]
+    And,
+    /// At least one child must be selected when the parent is selected.
+    Or,
+    /// Exactly one child must be selected when the parent is selected.
+    Alternative,
+}
+
+/// One node of the feature diagram.
+#[derive(Debug, Clone)]
+pub struct Feature {
+    pub(crate) name: String,
+    pub(crate) parent: Option<FeatureId>,
+    pub(crate) optionality: Optionality,
+    pub(crate) group: GroupKind,
+    pub(crate) children: Vec<FeatureId>,
+    /// Non-functional attributes (e.g. `rom_bytes`, `ram_bytes`, `perf`).
+    pub(crate) attributes: BTreeMap<String, f64>,
+    /// Free-form documentation shown in reports and DOT output.
+    pub(crate) doc: String,
+}
+
+impl Feature {
+    /// Feature name as used in the diagram (unique within the model).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The feature's parent, or `None` for the root.
+    pub fn parent(&self) -> Option<FeatureId> {
+        self.parent
+    }
+
+    /// Whether the feature is mandatory below its parent.
+    pub fn optionality(&self) -> Optionality {
+        self.optionality
+    }
+
+    /// Group kind formed by this feature's children.
+    pub fn group(&self) -> GroupKind {
+        self.group
+    }
+
+    /// Ids of the feature's children, in insertion order.
+    pub fn children(&self) -> &[FeatureId] {
+        &self.children
+    }
+
+    /// Look up a non-functional attribute (e.g. `"rom_bytes"`).
+    pub fn attribute(&self, key: &str) -> Option<f64> {
+        self.attributes.get(key).copied()
+    }
+
+    /// All non-functional attributes of the feature.
+    pub fn attributes(&self) -> &BTreeMap<String, f64> {
+        &self.attributes
+    }
+
+    /// Documentation string attached to the feature.
+    pub fn doc(&self) -> &str {
+        &self.doc
+    }
+
+    /// `true` if the feature is a leaf of the diagram.
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+/// Errors raised while building a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// Two features share the same name.
+    DuplicateName(String),
+    /// A constraint references an unknown feature name.
+    UnknownFeature(String),
+    /// A group kind was assigned to a feature without children.
+    EmptyGroup(String),
+    /// The builder was finalized without a root feature.
+    NoRoot,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateName(n) => write!(f, "duplicate feature name `{n}`"),
+            ModelError::UnknownFeature(n) => write!(f, "unknown feature `{n}`"),
+            ModelError::EmptyGroup(n) => write!(f, "feature `{n}` has a group kind but no children"),
+            ModelError::NoRoot => write!(f, "model has no root feature"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// A complete feature diagram plus its cross-tree constraints.
+#[derive(Debug, Clone)]
+pub struct FeatureModel {
+    name: String,
+    features: Vec<Feature>,
+    by_name: BTreeMap<String, FeatureId>,
+    constraints: Vec<CrossTreeConstraint>,
+}
+
+impl FeatureModel {
+    /// The model's name (e.g. `"FAME-DBMS"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Id of the root feature (always `FeatureId(0)`).
+    pub fn root(&self) -> FeatureId {
+        FeatureId(0)
+    }
+
+    /// Number of features in the model.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// `true` if the model has no features (never true for built models).
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Access a feature by id. Panics on out-of-range ids (ids are only
+    /// handed out by this model, so that indicates a logic error).
+    pub fn feature(&self, id: FeatureId) -> &Feature {
+        &self.features[id.index()]
+    }
+
+    /// Look up a feature id by name.
+    pub fn by_name(&self, name: &str) -> Option<FeatureId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Look up a feature id by name, panicking with a useful message if
+    /// absent. Convenient in tests and model-internal wiring.
+    pub fn id(&self, name: &str) -> FeatureId {
+        self.by_name(name)
+            .unwrap_or_else(|| panic!("feature `{name}` not in model `{}`", self.name))
+    }
+
+    /// Iterate over `(id, feature)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (FeatureId, &Feature)> {
+        self.features
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FeatureId(i as u32), f))
+    }
+
+    /// The cross-tree constraints of the model.
+    pub fn constraints(&self) -> &[CrossTreeConstraint] {
+        &self.constraints
+    }
+
+    /// All features that are optional with respect to their parent,
+    /// or members of an or-/alternative-group (i.e. represent real
+    /// configuration choices). This is the number the paper quotes as
+    /// "24 optional features" for the refactored Berkeley DB.
+    pub fn optional_features(&self) -> Vec<FeatureId> {
+        self.iter()
+            .filter(|(id, f)| {
+                *id != self.root()
+                    && (f.optionality == Optionality::Optional
+                        || f.parent
+                            .map(|p| self.feature(p).group != GroupKind::And)
+                            .unwrap_or(false))
+            })
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Depth of a feature below the root (root = 0).
+    pub fn depth(&self, id: FeatureId) -> usize {
+        let mut d = 0;
+        let mut cur = id;
+        while let Some(p) = self.feature(cur).parent {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// All transitive ancestors of `id`, nearest first (excluding `id`).
+    pub fn ancestors(&self, id: FeatureId) -> Vec<FeatureId> {
+        let mut out = Vec::new();
+        let mut cur = id;
+        while let Some(p) = self.feature(cur).parent {
+            out.push(p);
+            cur = p;
+        }
+        out
+    }
+
+    /// All features of the subtree rooted at `id` (including `id`),
+    /// in pre-order.
+    pub fn subtree(&self, id: FeatureId) -> Vec<FeatureId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(f) = stack.pop() {
+            out.push(f);
+            // Reverse so that pre-order matches child insertion order.
+            for &c in self.feature(f).children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Sum a numeric attribute over the selected features of a configuration.
+    /// Missing attributes count as `0`.
+    pub fn sum_attribute(&self, cfg: &crate::Configuration, key: &str) -> f64 {
+        cfg.selected()
+            .map(|id| self.feature(id).attribute(key).unwrap_or(0.0))
+            .sum()
+    }
+}
+
+/// Builder for [`FeatureModel`].
+///
+/// ```
+/// use fame_feature_model::{ModelBuilder, GroupKind};
+///
+/// let mut b = ModelBuilder::new("Demo");
+/// let root = b.root("Demo");
+/// let idx = b.mandatory(root, "Index");
+/// b.group(idx, GroupKind::Or);
+/// b.optional(idx, "BTree");
+/// b.optional(idx, "List");
+/// b.requires("BTree", "Index").unwrap();
+/// let model = b.build().unwrap();
+/// assert_eq!(model.len(), 4);
+/// ```
+#[derive(Debug)]
+pub struct ModelBuilder {
+    name: String,
+    features: Vec<Feature>,
+    by_name: BTreeMap<String, FeatureId>,
+    constraints: Vec<CrossTreeConstraint>,
+    errors: Vec<ModelError>,
+}
+
+impl ModelBuilder {
+    /// Start building a model with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ModelBuilder {
+            name: name.into(),
+            features: Vec::new(),
+            by_name: BTreeMap::new(),
+            constraints: Vec::new(),
+            errors: Vec::new(),
+        }
+    }
+
+    fn add(&mut self, name: &str, parent: Option<FeatureId>, opt: Optionality) -> FeatureId {
+        let id = FeatureId(self.features.len() as u32);
+        if self.by_name.insert(name.to_string(), id).is_some() {
+            self.errors.push(ModelError::DuplicateName(name.to_string()));
+        }
+        self.features.push(Feature {
+            name: name.to_string(),
+            parent,
+            optionality: opt,
+            group: GroupKind::And,
+            children: Vec::new(),
+            attributes: BTreeMap::new(),
+            doc: String::new(),
+        });
+        if let Some(p) = parent {
+            self.features[p.index()].children.push(id);
+        }
+        id
+    }
+
+    /// Create the root feature. Must be called exactly once, first.
+    pub fn root(&mut self, name: &str) -> FeatureId {
+        debug_assert!(self.features.is_empty(), "root must be the first feature");
+        self.add(name, None, Optionality::Mandatory)
+    }
+
+    /// Add a mandatory child feature.
+    pub fn mandatory(&mut self, parent: FeatureId, name: &str) -> FeatureId {
+        self.add(name, Some(parent), Optionality::Mandatory)
+    }
+
+    /// Add an optional child feature.
+    pub fn optional(&mut self, parent: FeatureId, name: &str) -> FeatureId {
+        self.add(name, Some(parent), Optionality::Optional)
+    }
+
+    /// Set the group kind of a feature's children.
+    pub fn group(&mut self, parent: FeatureId, kind: GroupKind) {
+        self.features[parent.index()].group = kind;
+    }
+
+    /// Attach a numeric attribute to a feature.
+    pub fn attr(&mut self, id: FeatureId, key: &str, value: f64) {
+        self.features[id.index()]
+            .attributes
+            .insert(key.to_string(), value);
+    }
+
+    /// Attach a documentation string to a feature.
+    pub fn doc(&mut self, id: FeatureId, doc: &str) {
+        self.features[id.index()].doc = doc.to_string();
+    }
+
+    /// Look up an already-added feature by name while still building.
+    pub fn peek(&self, name: &str) -> Option<FeatureId> {
+        self.by_name.get(name).copied()
+    }
+
+    fn lookup(&self, name: &str) -> Result<FeatureId, ModelError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| ModelError::UnknownFeature(name.to_string()))
+    }
+
+    /// Add a `a requires b` cross-tree constraint (by feature name).
+    pub fn requires(&mut self, a: &str, b: &str) -> Result<(), ModelError> {
+        let (a, b) = (self.lookup(a)?, self.lookup(b)?);
+        self.constraints.push(CrossTreeConstraint::requires(a, b));
+        Ok(())
+    }
+
+    /// Add an `a excludes b` cross-tree constraint (by feature name).
+    pub fn excludes(&mut self, a: &str, b: &str) -> Result<(), ModelError> {
+        let (a, b) = (self.lookup(a)?, self.lookup(b)?);
+        self.constraints.push(CrossTreeConstraint::excludes(a, b));
+        Ok(())
+    }
+
+    /// Add an arbitrary propositional cross-tree constraint.
+    pub fn constraint(&mut self, label: impl Into<String>, prop: Prop) {
+        self.constraints.push(CrossTreeConstraint::new(label, prop));
+    }
+
+    /// Finalize the model.
+    pub fn build(mut self) -> Result<FeatureModel, ModelError> {
+        if self.features.is_empty() {
+            return Err(ModelError::NoRoot);
+        }
+        if let Some(e) = self.errors.pop() {
+            return Err(e);
+        }
+        for f in &self.features {
+            if f.group != GroupKind::And && f.children.is_empty() {
+                return Err(ModelError::EmptyGroup(f.name.clone()));
+            }
+        }
+        Ok(FeatureModel {
+            name: self.name,
+            features: self.features,
+            by_name: self.by_name,
+            constraints: self.constraints,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FeatureModel {
+        let mut b = ModelBuilder::new("Tiny");
+        let r = b.root("Tiny");
+        let a = b.mandatory(r, "A");
+        b.optional(r, "B");
+        b.group(a, GroupKind::Alternative);
+        b.optional(a, "A1");
+        b.optional(a, "A2");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let m = tiny();
+        assert_eq!(m.root(), FeatureId(0));
+        assert_eq!(m.len(), 5);
+        assert_eq!(m.id("A1").index(), 3);
+    }
+
+    #[test]
+    fn parent_child_wiring() {
+        let m = tiny();
+        let a = m.id("A");
+        assert_eq!(m.feature(a).children().len(), 2);
+        assert_eq!(m.feature(m.id("A1")).parent(), Some(a));
+        assert_eq!(m.feature(m.root()).parent(), None);
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut b = ModelBuilder::new("Dup");
+        let r = b.root("Dup");
+        b.mandatory(r, "X");
+        b.mandatory(r, "X");
+        assert!(matches!(b.build(), Err(ModelError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn group_without_children_rejected() {
+        let mut b = ModelBuilder::new("Empty");
+        let r = b.root("Empty");
+        let x = b.mandatory(r, "X");
+        b.group(x, GroupKind::Or);
+        assert!(matches!(b.build(), Err(ModelError::EmptyGroup(_))));
+    }
+
+    #[test]
+    fn unknown_constraint_feature_rejected() {
+        let mut b = ModelBuilder::new("U");
+        b.root("U");
+        assert!(matches!(
+            b.requires("U", "Nope"),
+            Err(ModelError::UnknownFeature(_))
+        ));
+    }
+
+    #[test]
+    fn subtree_preorder() {
+        let m = tiny();
+        let names: Vec<_> = m
+            .subtree(m.root())
+            .into_iter()
+            .map(|id| m.feature(id).name().to_string())
+            .collect();
+        assert_eq!(names, ["Tiny", "A", "A1", "A2", "B"]);
+    }
+
+    #[test]
+    fn ancestors_and_depth() {
+        let m = tiny();
+        let a1 = m.id("A1");
+        assert_eq!(m.depth(a1), 2);
+        let anc: Vec<_> = m
+            .ancestors(a1)
+            .into_iter()
+            .map(|id| m.feature(id).name().to_string())
+            .collect();
+        assert_eq!(anc, ["A", "Tiny"]);
+    }
+
+    #[test]
+    fn optional_features_counts_group_members() {
+        let m = tiny();
+        let names: Vec<_> = m
+            .optional_features()
+            .into_iter()
+            .map(|id| m.feature(id).name().to_string())
+            .collect();
+        // B is optional; A1/A2 are alternative-group members. A is mandatory
+        // in an and-group and therefore not a configuration choice.
+        assert_eq!(names, ["B", "A1", "A2"]);
+    }
+
+    #[test]
+    fn attributes_round_trip() {
+        let mut b = ModelBuilder::new("Attr");
+        let r = b.root("Attr");
+        let x = b.optional(r, "X");
+        b.attr(x, "rom_bytes", 1024.0);
+        b.doc(x, "test feature");
+        let m = b.build().unwrap();
+        assert_eq!(m.feature(m.id("X")).attribute("rom_bytes"), Some(1024.0));
+        assert_eq!(m.feature(m.id("X")).attribute("missing"), None);
+        assert_eq!(m.feature(m.id("X")).doc(), "test feature");
+    }
+}

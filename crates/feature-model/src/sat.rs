@@ -1,0 +1,317 @@
+//! Satisfiability and decision propagation for feature models.
+//!
+//! The classic translation of a feature diagram to propositional logic
+//! (Batory, SPLC'05) turns the tree and its cross-tree constraints into CNF;
+//! a small DPLL solver then answers the two questions interactive
+//! configuration tools need:
+//!
+//! * is a partial configuration still completable? ([`FeatureModel::satisfiable_with`])
+//! * which undecided features are already forced on or off?
+//!   ([`FeatureModel::propagate`]) — the paper's §3.1 calls this "refining the
+//!   feature list by analyzing constraints between features".
+
+use std::collections::BTreeMap;
+
+use crate::config::Configuration;
+use crate::model::{FeatureId, FeatureModel, GroupKind, Optionality};
+
+/// A literal: feature id plus polarity (`true` = selected).
+pub type Lit = (FeatureId, bool);
+
+/// A clause: disjunction of literals.
+pub type Clause = Vec<Lit>;
+
+/// Result of a satisfiability query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// A valid completion exists; the witness assigns every feature.
+    Satisfiable(Configuration),
+    /// No valid completion exists.
+    Unsatisfiable,
+}
+
+impl SatResult {
+    /// `true` if satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Satisfiable(_))
+    }
+}
+
+/// Outcome of decision propagation over a partial configuration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Propagation {
+    /// Undecided features that must be selected in every valid completion.
+    pub forced_on: Vec<FeatureId>,
+    /// Undecided features that cannot be selected in any valid completion.
+    pub forced_off: Vec<FeatureId>,
+    /// `true` if the partial configuration admits no valid completion.
+    pub contradiction: bool,
+}
+
+impl FeatureModel {
+    /// Translate the model (tree + constraints) to CNF over feature ids.
+    pub fn to_cnf(&self) -> Vec<Clause> {
+        let mut clauses: Vec<Clause> = Vec::new();
+        // Root is always selected.
+        clauses.push(vec![(self.root(), true)]);
+
+        for (id, feature) in self.iter() {
+            if let Some(p) = feature.parent() {
+                // child -> parent
+                clauses.push(vec![(id, false), (p, true)]);
+            }
+            let children = feature.children();
+            if children.is_empty() {
+                continue;
+            }
+            match feature.group() {
+                GroupKind::And => {
+                    for &c in children {
+                        if self.feature(c).optionality() == Optionality::Mandatory {
+                            // parent -> mandatory child
+                            clauses.push(vec![(id, false), (c, true)]);
+                        }
+                    }
+                }
+                GroupKind::Or => {
+                    // parent -> (c1 | ... | cn)
+                    let mut cl: Clause = vec![(id, false)];
+                    cl.extend(children.iter().map(|&c| (c, true)));
+                    clauses.push(cl);
+                }
+                GroupKind::Alternative => {
+                    let mut cl: Clause = vec![(id, false)];
+                    cl.extend(children.iter().map(|&c| (c, true)));
+                    clauses.push(cl);
+                    for (i, &a) in children.iter().enumerate() {
+                        for &b in &children[i + 1..] {
+                            clauses.push(vec![(a, false), (b, false)]);
+                        }
+                    }
+                }
+            }
+        }
+
+        for c in self.constraints() {
+            clauses.extend(c.prop().to_cnf());
+        }
+        clauses
+    }
+
+    /// Is there a valid configuration consistent with the given partial
+    /// decisions? `decided` maps features to forced values; undecided
+    /// features are free.
+    pub fn satisfiable_with(&self, decided: &BTreeMap<FeatureId, bool>) -> SatResult {
+        let clauses = self.to_cnf();
+        let n = self.len();
+        let mut assign: Vec<Option<bool>> = vec![None; n];
+        for (&f, &v) in decided {
+            assign[f.index()] = Some(v);
+        }
+        if dpll(&clauses, &mut assign) {
+            let cfg = Configuration::from_ids(
+                assign
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| **v == Some(true))
+                    .map(|(i, _)| FeatureId(i as u32)),
+            );
+            SatResult::Satisfiable(cfg)
+        } else {
+            SatResult::Unsatisfiable
+        }
+    }
+
+    /// Is the model itself satisfiable (has at least one valid product)?
+    pub fn satisfiable(&self) -> bool {
+        self.satisfiable_with(&BTreeMap::new()).is_sat()
+    }
+
+    /// Decision propagation: given partial decisions, compute which
+    /// undecided features are forced on/off in all valid completions.
+    ///
+    /// Complexity is two SAT calls per undecided feature, which is fine for
+    /// the model sizes of this product line (tens of features).
+    pub fn propagate(&self, decided: &BTreeMap<FeatureId, bool>) -> Propagation {
+        let mut out = Propagation::default();
+        if !self.satisfiable_with(decided).is_sat() {
+            out.contradiction = true;
+            return out;
+        }
+        for (id, _) in self.iter() {
+            if decided.contains_key(&id) {
+                continue;
+            }
+            let mut with_on = decided.clone();
+            with_on.insert(id, true);
+            let mut with_off = decided.clone();
+            with_off.insert(id, false);
+            let can_on = self.satisfiable_with(&with_on).is_sat();
+            let can_off = self.satisfiable_with(&with_off).is_sat();
+            match (can_on, can_off) {
+                (true, false) => out.forced_on.push(id),
+                (false, true) => out.forced_off.push(id),
+                (true, true) => {}
+                (false, false) => unreachable!("partial config was satisfiable"),
+            }
+        }
+        out
+    }
+}
+
+/// Plain DPLL with unit propagation. `assign` holds pre-decided values on
+/// entry and a full model on successful exit.
+fn dpll(clauses: &[Clause], assign: &mut Vec<Option<bool>>) -> bool {
+    // Unit propagation to fixpoint.
+    let mut trail: Vec<usize> = Vec::new();
+    loop {
+        let mut unit: Option<Lit> = None;
+        for clause in clauses {
+            let mut satisfied = false;
+            let mut unassigned: Option<Lit> = None;
+            let mut unassigned_count = 0;
+            for &(f, pol) in clause {
+                match assign[f.index()] {
+                    Some(v) if v == pol => {
+                        satisfied = true;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        unassigned = Some((f, pol));
+                        unassigned_count += 1;
+                    }
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match unassigned_count {
+                0 => {
+                    // Conflict: undo trail.
+                    for &i in &trail {
+                        assign[i] = None;
+                    }
+                    return false;
+                }
+                1 => {
+                    unit = unassigned;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        match unit {
+            Some((f, pol)) => {
+                assign[f.index()] = Some(pol);
+                trail.push(f.index());
+            }
+            None => break,
+        }
+    }
+
+    // Pick a branching variable.
+    let branch = assign.iter().position(|v| v.is_none());
+    let var = match branch {
+        None => return true, // fully assigned and no conflicts -> model
+        Some(i) => i,
+    };
+
+    for value in [false, true] {
+        assign[var] = Some(value);
+        if dpll(clauses, assign) {
+            return true;
+        }
+        assign[var] = None;
+    }
+
+    for &i in &trail {
+        assign[i] = None;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{GroupKind, ModelBuilder};
+
+    fn model() -> FeatureModel {
+        // Root with an alternative {A, B}, optional C, C requires A.
+        let mut b = ModelBuilder::new("S");
+        let r = b.root("S");
+        let g = b.mandatory(r, "G");
+        b.group(g, GroupKind::Alternative);
+        b.optional(g, "A");
+        b.optional(g, "B");
+        b.optional(r, "C");
+        b.requires("C", "A").unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn model_is_satisfiable() {
+        let m = model();
+        assert!(m.satisfiable());
+    }
+
+    #[test]
+    fn witness_is_valid() {
+        let m = model();
+        if let SatResult::Satisfiable(cfg) = m.satisfiable_with(&BTreeMap::new()) {
+            assert!(m.validate(&cfg).is_ok(), "{:?}", m.validate(&cfg));
+        } else {
+            panic!("expected SAT");
+        }
+    }
+
+    #[test]
+    fn contradictory_decisions_unsat() {
+        let m = model();
+        let mut d = BTreeMap::new();
+        d.insert(m.id("C"), true);
+        d.insert(m.id("A"), false);
+        assert_eq!(m.satisfiable_with(&d), SatResult::Unsatisfiable);
+    }
+
+    #[test]
+    fn propagation_forces_requires_chain() {
+        let m = model();
+        let mut d = BTreeMap::new();
+        d.insert(m.id("C"), true);
+        let p = m.propagate(&d);
+        assert!(!p.contradiction);
+        assert!(p.forced_on.contains(&m.id("A")), "{p:?}");
+        // A selected in an alternative group forces B off.
+        assert!(p.forced_off.contains(&m.id("B")), "{p:?}");
+    }
+
+    #[test]
+    fn propagation_detects_contradiction() {
+        let m = model();
+        let mut d = BTreeMap::new();
+        d.insert(m.id("C"), true);
+        d.insert(m.id("B"), true); // B excludes A via alternative, but C requires A
+        let p = m.propagate(&d);
+        assert!(p.contradiction);
+    }
+
+    #[test]
+    fn propagation_empty_decision_forces_mandatory() {
+        let m = model();
+        let p = m.propagate(&BTreeMap::new());
+        assert!(p.forced_on.contains(&m.id("G")));
+        assert!(p.forced_on.contains(&m.root()));
+    }
+
+    #[test]
+    fn unsat_model_detected() {
+        let mut b = ModelBuilder::new("U");
+        let r = b.root("U");
+        b.mandatory(r, "X");
+        b.mandatory(r, "Y");
+        b.excludes("X", "Y").unwrap();
+        let m = b.build().unwrap();
+        assert!(!m.satisfiable());
+    }
+}

@@ -1,0 +1,214 @@
+//! Fault injection: wrap any [`BlockDevice`] and make it fail on demand.
+//!
+//! Crash-recovery code is only trustworthy if it is tested against actual
+//! failures. [`FaultDevice`] injects the two classic storage failure modes:
+//! hard I/O errors after a countdown, and *torn writes* (a crash mid-page
+//! leaves the first half new and the second half old), which is exactly the
+//! case write-ahead logging must survive.
+
+use crate::device::{BlockDevice, DeviceStats, OsError, PageId, Result};
+
+/// What to inject and when. Counters tick on write operations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultPlan {
+    /// Fail every operation after this many successful writes.
+    pub fail_after_writes: Option<u64>,
+    /// On the failing write, persist only the first half of the page
+    /// (a torn write) instead of failing cleanly.
+    pub tear_final_write: bool,
+    /// Fail reads of this page with an I/O error (bad sector).
+    pub bad_page: Option<PageId>,
+}
+
+/// A [`BlockDevice`] wrapper that injects failures per a [`FaultPlan`].
+pub struct FaultDevice<D: BlockDevice> {
+    inner: D,
+    plan: FaultPlan,
+    writes_done: u64,
+    /// Once tripped, every subsequent operation fails (the device is
+    /// "powered off") until [`FaultDevice::heal`] is called.
+    tripped: bool,
+}
+
+impl<D: BlockDevice> FaultDevice<D> {
+    /// Wrap a device with a fault plan.
+    pub fn new(inner: D, plan: FaultPlan) -> Self {
+        FaultDevice {
+            inner,
+            plan,
+            writes_done: 0,
+            tripped: false,
+        }
+    }
+
+    /// Whether the failure has been triggered.
+    pub fn is_tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// Clear the failure state and the plan: simulates the system coming
+    /// back up after the crash, with the data as the device last saw it.
+    pub fn heal(&mut self) {
+        self.tripped = false;
+        self.plan = FaultPlan::default();
+    }
+
+    /// Access the wrapped device (e.g. to inspect flash wear).
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Unwrap the device.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+
+    fn check_tripped(&self) -> Result<()> {
+        if self.tripped {
+            Err(OsError::Io("injected fault: device offline".into()))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for FaultDevice<D> {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn num_pages(&self) -> u32 {
+        self.inner.num_pages()
+    }
+
+    fn read_page(&mut self, page: PageId, buf: &mut [u8]) -> Result<()> {
+        self.check_tripped()?;
+        if self.plan.bad_page == Some(page) {
+            return Err(OsError::Io(format!("injected fault: bad sector {page}")));
+        }
+        self.inner.read_page(page, buf)
+    }
+
+    fn write_page(&mut self, page: PageId, buf: &[u8]) -> Result<()> {
+        self.check_tripped()?;
+        if let Some(limit) = self.plan.fail_after_writes {
+            if self.writes_done >= limit {
+                self.tripped = true;
+                if self.plan.tear_final_write {
+                    // Persist a torn page: new first half, old second half.
+                    let ps = self.inner.page_size();
+                    let mut old = vec![0u8; ps];
+                    self.inner.read_page(page, &mut old)?;
+                    let mut torn = old.clone();
+                    torn[..ps / 2].copy_from_slice(&buf[..ps / 2]);
+                    self.inner.write_page(page, &torn)?;
+                }
+                return Err(OsError::Io("injected fault: power loss on write".into()));
+            }
+        }
+        self.writes_done += 1;
+        self.inner.write_page(page, buf)
+    }
+
+    fn ensure_pages(&mut self, pages: u32) -> Result<()> {
+        self.check_tripped()?;
+        self.inner.ensure_pages(pages)
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.check_tripped()?;
+        self.inner.sync()
+    }
+
+    fn stats(&self) -> DeviceStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(all(test, feature = "inmem"))]
+mod tests {
+    use super::*;
+    use crate::memory::InMemoryDevice;
+
+    #[test]
+    fn passes_through_without_plan() {
+        let mut d = FaultDevice::new(InMemoryDevice::new(128), FaultPlan::default());
+        d.ensure_pages(1).unwrap();
+        d.write_page(0, &vec![1u8; 128]).unwrap();
+        let mut out = vec![0; 128];
+        d.read_page(0, &mut out).unwrap();
+        assert_eq!(out, vec![1u8; 128]);
+        assert!(!d.is_tripped());
+    }
+
+    #[test]
+    fn fails_after_n_writes_and_stays_down() {
+        let plan = FaultPlan {
+            fail_after_writes: Some(2),
+            ..Default::default()
+        };
+        let mut d = FaultDevice::new(InMemoryDevice::new(128), plan);
+        d.ensure_pages(4).unwrap();
+        let buf = vec![1u8; 128];
+        d.write_page(0, &buf).unwrap();
+        d.write_page(1, &buf).unwrap();
+        assert!(d.write_page(2, &buf).is_err());
+        assert!(d.is_tripped());
+        // Everything fails now, including reads and sync.
+        let mut out = vec![0; 128];
+        assert!(d.read_page(0, &mut out).is_err());
+        assert!(d.sync().is_err());
+    }
+
+    #[test]
+    fn heal_brings_device_back_with_old_data() {
+        let plan = FaultPlan {
+            fail_after_writes: Some(1),
+            ..Default::default()
+        };
+        let mut d = FaultDevice::new(InMemoryDevice::new(128), plan);
+        d.ensure_pages(2).unwrap();
+        d.write_page(0, &vec![7u8; 128]).unwrap();
+        assert!(d.write_page(1, &vec![8u8; 128]).is_err());
+        d.heal();
+        let mut out = vec![0; 128];
+        d.read_page(0, &mut out).unwrap();
+        assert_eq!(out, vec![7u8; 128]); // survived
+        d.read_page(1, &mut out).unwrap();
+        assert_eq!(out, vec![0u8; 128]); // never written
+    }
+
+    #[test]
+    fn torn_write_leaves_half_page() {
+        let plan = FaultPlan {
+            fail_after_writes: Some(0),
+            tear_final_write: true,
+            ..Default::default()
+        };
+        let mut inner = InMemoryDevice::new(128);
+        inner.ensure_pages(1).unwrap();
+        inner.write_page(0, &vec![0xAAu8; 128]).unwrap();
+        let mut d = FaultDevice::new(inner, plan);
+        assert!(d.write_page(0, &vec![0xBBu8; 128]).is_err());
+        d.heal();
+        let mut out = vec![0; 128];
+        d.read_page(0, &mut out).unwrap();
+        assert!(out[..64].iter().all(|&b| b == 0xBB), "new first half");
+        assert!(out[64..].iter().all(|&b| b == 0xAA), "old second half");
+    }
+
+    #[test]
+    fn bad_sector_fails_reads_only() {
+        let plan = FaultPlan {
+            bad_page: Some(1),
+            ..Default::default()
+        };
+        let mut d = FaultDevice::new(InMemoryDevice::new(128), plan);
+        d.ensure_pages(2).unwrap();
+        let buf = vec![1u8; 128];
+        d.write_page(1, &buf).unwrap(); // writes still work
+        let mut out = vec![0; 128];
+        assert!(d.read_page(1, &mut out).is_err());
+        assert!(d.read_page(0, &mut out).is_ok());
+    }
+}

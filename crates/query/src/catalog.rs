@@ -1,0 +1,229 @@
+//! The catalog: table name → (schema, root slot), itself stored in a
+//! B+-tree.
+//!
+//! Embedded products have a fixed, small number of named roots
+//! ([`fame_storage::pager::ROOT_SLOTS`]); the catalog occupies one of them
+//! and hands the rest of a configurable range to user tables. Each table is
+//! a B+-tree keyed by the order-preserving encoding of its first column.
+
+use fame_storage::{BTree, Pager, Schema};
+
+use crate::error::{QueryError, QueryResult};
+
+/// Root slot the catalog uses by default (the last one).
+pub const DEFAULT_CATALOG_SLOT: usize = 15;
+/// Root slots handed to user tables by default.
+pub const DEFAULT_TABLE_SLOTS: std::ops::Range<usize> = 8..15;
+
+/// A resolved table.
+#[derive(Debug, Clone)]
+pub struct TableInfo {
+    /// Table name.
+    pub name: String,
+    /// Root slot of the table's B+-tree.
+    pub slot: usize,
+    /// The table's schema.
+    pub schema: Schema,
+}
+
+/// Table directory over a dedicated B+-tree.
+pub struct Catalog {
+    tree: BTree,
+    table_slots: std::ops::Range<usize>,
+}
+
+impl Catalog {
+    /// Open (or create) the catalog in `catalog_slot`, allocating user
+    /// tables from `table_slots`.
+    pub fn open(
+        pager: &mut Pager,
+        catalog_slot: usize,
+        table_slots: std::ops::Range<usize>,
+    ) -> QueryResult<Catalog> {
+        assert!(
+            !table_slots.contains(&catalog_slot),
+            "catalog slot must not overlap table slots"
+        );
+        let tree = match pager.root(catalog_slot)? {
+            Some(_) => BTree::open(pager, catalog_slot)?,
+            None => BTree::create(pager, catalog_slot)?,
+        };
+        Ok(Catalog { tree, table_slots })
+    }
+
+    /// Open with the default slot layout.
+    pub fn open_default(pager: &mut Pager) -> QueryResult<Catalog> {
+        Catalog::open(pager, DEFAULT_CATALOG_SLOT, DEFAULT_TABLE_SLOTS)
+    }
+
+    /// Look up a table.
+    pub fn table(&self, pager: &mut Pager, name: &str) -> QueryResult<TableInfo> {
+        match self.tree.get(pager, name.as_bytes())? {
+            None => Err(QueryError::NoSuchTable(name.to_string())),
+            Some(entry) => {
+                let (&slot, schema_bytes) = entry
+                    .split_first()
+                    .ok_or_else(|| QueryError::Parse("corrupt catalog entry".into()))?;
+                Ok(TableInfo {
+                    name: name.to_string(),
+                    slot: slot as usize,
+                    schema: Schema::decode(schema_bytes)?,
+                })
+            }
+        }
+    }
+
+    /// Does the table exist?
+    pub fn exists(&self, pager: &mut Pager, name: &str) -> QueryResult<bool> {
+        Ok(self.tree.contains(pager, name.as_bytes())?)
+    }
+
+    /// All tables, in name order.
+    pub fn tables(&self, pager: &mut Pager) -> QueryResult<Vec<TableInfo>> {
+        self.tree
+            .scan(pager, None, None)?
+            .into_iter()
+            .map(|(name, entry)| {
+                let (&slot, schema_bytes) = entry
+                    .split_first()
+                    .ok_or_else(|| QueryError::Parse("corrupt catalog entry".into()))?;
+                Ok(TableInfo {
+                    name: String::from_utf8_lossy(&name).into_owned(),
+                    slot: slot as usize,
+                    schema: Schema::decode(schema_bytes)?,
+                })
+            })
+            .collect()
+    }
+
+    /// Create a table: pick a free root slot, create its tree, record it.
+    pub fn create_table(
+        &mut self,
+        pager: &mut Pager,
+        name: &str,
+        schema: &Schema,
+    ) -> QueryResult<TableInfo> {
+        if self.exists(pager, name)? {
+            return Err(QueryError::TableExists(name.to_string()));
+        }
+        let mut slot = None;
+        for s in self.table_slots.clone() {
+            if pager.root(s)?.is_none() {
+                slot = Some(s);
+                break;
+            }
+        }
+        let slot = slot.ok_or(QueryError::TooManyTables)?;
+        BTree::create(pager, slot)?;
+        let mut entry = vec![slot as u8];
+        entry.extend_from_slice(&schema.encode());
+        self.tree.insert(pager, name.as_bytes(), &entry)?;
+        Ok(TableInfo {
+            name: name.to_string(),
+            slot,
+            schema: schema.clone(),
+        })
+    }
+
+    /// Drop a table: remove the catalog entry and release the root slot.
+    /// (Data pages are reclaimed lazily by future trees; a full vacuum is
+    /// future work, as it was for the paper's prototype.)
+    pub fn drop_table(&mut self, pager: &mut Pager, name: &str) -> QueryResult<()> {
+        let info = self.table(pager, name)?;
+        self.tree.remove(pager, name.as_bytes())?;
+        pager.set_root(info.slot, None)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fame_buffer::{BufferPool, ReplacementKind};
+    use fame_os::{AllocPolicy, InMemoryDevice};
+    use fame_storage::DataType;
+
+    fn pager() -> Pager {
+        let dev = InMemoryDevice::new(512);
+        let pool = BufferPool::new(
+            Box::new(dev),
+            ReplacementKind::Lru,
+            AllocPolicy::Dynamic { max_frames: Some(64) },
+        );
+        Pager::open(pool).unwrap()
+    }
+
+    fn schema() -> Schema {
+        Schema::new([("id", DataType::U32), ("name", DataType::Str)])
+    }
+
+    #[test]
+    fn create_lookup_drop() {
+        let mut pg = pager();
+        let mut c = Catalog::open_default(&mut pg).unwrap();
+        let info = c.create_table(&mut pg, "users", &schema()).unwrap();
+        assert!(DEFAULT_TABLE_SLOTS.contains(&info.slot));
+        let found = c.table(&mut pg, "users").unwrap();
+        assert_eq!(found.slot, info.slot);
+        assert_eq!(found.schema, schema());
+        c.drop_table(&mut pg, "users").unwrap();
+        assert!(matches!(
+            c.table(&mut pg, "users"),
+            Err(QueryError::NoSuchTable(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut pg = pager();
+        let mut c = Catalog::open_default(&mut pg).unwrap();
+        c.create_table(&mut pg, "t", &schema()).unwrap();
+        assert!(matches!(
+            c.create_table(&mut pg, "t", &schema()),
+            Err(QueryError::TableExists(_))
+        ));
+    }
+
+    #[test]
+    fn slot_exhaustion_and_reuse() {
+        let mut pg = pager();
+        let mut c = Catalog::open_default(&mut pg).unwrap();
+        let n = DEFAULT_TABLE_SLOTS.len();
+        for i in 0..n {
+            c.create_table(&mut pg, &format!("t{i}"), &schema()).unwrap();
+        }
+        assert!(matches!(
+            c.create_table(&mut pg, "overflow", &schema()),
+            Err(QueryError::TooManyTables)
+        ));
+        c.drop_table(&mut pg, "t0").unwrap();
+        assert!(c.create_table(&mut pg, "reuse", &schema()).is_ok());
+    }
+
+    #[test]
+    fn tables_listing_sorted() {
+        let mut pg = pager();
+        let mut c = Catalog::open_default(&mut pg).unwrap();
+        for name in ["zeta", "alpha", "mid"] {
+            c.create_table(&mut pg, name, &schema()).unwrap();
+        }
+        let names: Vec<String> = c
+            .tables(&mut pg)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.name)
+            .collect();
+        assert_eq!(names, ["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn catalog_survives_reopen() {
+        let mut pg = pager();
+        {
+            let mut c = Catalog::open_default(&mut pg).unwrap();
+            c.create_table(&mut pg, "persist", &schema()).unwrap();
+        }
+        let c = Catalog::open_default(&mut pg).unwrap();
+        assert!(c.exists(&mut pg, "persist").unwrap());
+    }
+}

@@ -1,0 +1,81 @@
+//! Query-layer errors.
+
+use std::fmt;
+
+use fame_storage::StorageError;
+
+/// Errors of the SQL engine.
+#[derive(Debug)]
+pub enum QueryError {
+    /// Lexical error with position.
+    Lex {
+        /// Byte offset in the input.
+        at: usize,
+        /// Description.
+        msg: String,
+    },
+    /// Parse error.
+    Parse(String),
+    /// The named table does not exist.
+    NoSuchTable(String),
+    /// The named column does not exist in the table.
+    NoSuchColumn(String),
+    /// A table with that name already exists.
+    TableExists(String),
+    /// The catalog ran out of root slots for new tables.
+    TooManyTables,
+    /// Type error during evaluation or insertion.
+    Type(String),
+    /// A duplicate primary key on INSERT.
+    DuplicateKey(String),
+    /// Propagated storage error.
+    Storage(StorageError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Lex { at, msg } => write!(f, "lex error at byte {at}: {msg}"),
+            QueryError::Parse(m) => write!(f, "parse error: {m}"),
+            QueryError::NoSuchTable(t) => write!(f, "no such table `{t}`"),
+            QueryError::NoSuchColumn(c) => write!(f, "no such column `{c}`"),
+            QueryError::TableExists(t) => write!(f, "table `{t}` already exists"),
+            QueryError::TooManyTables => write!(f, "catalog is full"),
+            QueryError::Type(m) => write!(f, "type error: {m}"),
+            QueryError::DuplicateKey(k) => write!(f, "duplicate primary key {k}"),
+            QueryError::Storage(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for QueryError {
+    fn from(e: StorageError) -> Self {
+        QueryError::Storage(e)
+    }
+}
+
+/// Result alias for the query layer.
+pub type QueryResult<T> = std::result::Result<T, QueryError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(QueryError::NoSuchTable("t".into()).to_string().contains("`t`"));
+        assert!(QueryError::Parse("x".into()).to_string().contains("parse"));
+        assert!(QueryError::Lex { at: 3, msg: "bad".into() }
+            .to_string()
+            .contains("byte 3"));
+    }
+}

@@ -1,0 +1,804 @@
+//! Statement execution against catalog tables.
+
+use fame_storage::{BTree, DataType, Pager, Schema, Value};
+
+use crate::catalog::{Catalog, TableInfo};
+use crate::error::{QueryError, QueryResult};
+use crate::plan::AccessPath;
+#[cfg(not(feature = "optimizer"))]
+use crate::plan::Plan;
+use crate::sql::ast::{BinOp, Expr, OrderBy, SelectCols, Stmt};
+use crate::sql::parser::parse;
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutput {
+    /// `CREATE TABLE` succeeded.
+    Created,
+    /// `DROP TABLE` succeeded.
+    Dropped,
+    /// Rows inserted.
+    Inserted(usize),
+    /// Rows updated.
+    Updated(usize),
+    /// Rows deleted.
+    Deleted(usize),
+    /// A result set.
+    Rows {
+        /// Column names, in output order.
+        columns: Vec<String>,
+        /// Row values.
+        rows: Vec<Vec<Value>>,
+    },
+    /// `SELECT COUNT(*)`.
+    Count(u64),
+}
+
+impl QueryOutput {
+    /// The result set's rows, if this is one (test convenience).
+    pub fn rows(&self) -> Option<&Vec<Vec<Value>>> {
+        match self {
+            QueryOutput::Rows { rows, .. } => Some(rows),
+            _ => None,
+        }
+    }
+}
+
+/// The SQL engine: parser + planner + executor over a [`Catalog`].
+pub struct SqlEngine {
+    catalog: Catalog,
+    /// Access-path labels of executed SELECT/UPDATE/DELETE statements
+    /// (diagnostics for the optimizer ablation).
+    last_path: Option<&'static str>,
+}
+
+impl SqlEngine {
+    /// Create an engine over an opened catalog.
+    pub fn new(catalog: Catalog) -> Self {
+        SqlEngine {
+            catalog,
+            last_path: None,
+        }
+    }
+
+    /// Open an engine with the default catalog layout.
+    pub fn open_default(pager: &mut Pager) -> QueryResult<Self> {
+        Ok(SqlEngine::new(Catalog::open_default(pager)?))
+    }
+
+    /// The catalog (e.g. for listing tables).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Access path chosen by the last row-sourcing statement.
+    pub fn last_access_path(&self) -> Option<&'static str> {
+        self.last_path
+    }
+
+    /// Parse and execute one statement.
+    pub fn execute(&mut self, pager: &mut Pager, sql: &str) -> QueryResult<QueryOutput> {
+        let stmt = parse(sql)?;
+        self.execute_stmt(pager, stmt)
+    }
+
+    /// Execute an already-parsed statement.
+    pub fn execute_stmt(&mut self, pager: &mut Pager, stmt: Stmt) -> QueryResult<QueryOutput> {
+        match stmt {
+            Stmt::CreateTable { name, columns } => {
+                let schema = Schema::new(columns);
+                let keyable = matches!(
+                    schema.columns()[0].ty,
+                    DataType::U32 | DataType::I64 | DataType::Str | DataType::Bytes
+                );
+                if !keyable {
+                    return Err(QueryError::Type(format!(
+                        "first column `{}` must have a key-encodable type",
+                        schema.columns()[0].name
+                    )));
+                }
+                self.catalog.create_table(pager, &name, &schema)?;
+                Ok(QueryOutput::Created)
+            }
+            Stmt::DropTable { name } => {
+                self.catalog.drop_table(pager, &name)?;
+                Ok(QueryOutput::Dropped)
+            }
+            Stmt::Insert { table, rows } => {
+                let info = self.catalog.table(pager, &table)?;
+                let mut tree = BTree::open(pager, info.slot)?;
+                let mut n = 0;
+                for row in rows {
+                    let row = coerce_row(&info.schema, row)?;
+                    let key = key_of(&info.schema, &row)?;
+                    if tree.contains(pager, &key)? {
+                        return Err(QueryError::DuplicateKey(format!("{}", row[0])));
+                    }
+                    let bytes = info.schema.encode_row(&row)?;
+                    tree.insert(pager, &key, &bytes)?;
+                    n += 1;
+                }
+                Ok(QueryOutput::Inserted(n))
+            }
+            Stmt::Select {
+                cols,
+                table,
+                predicate,
+                order_by,
+                limit,
+            } => {
+                let info = self.catalog.table(pager, &table)?;
+                validate_columns(&info, &cols, &predicate, &order_by)?;
+                let matching = self.matching_rows(pager, &info, predicate)?;
+                self.project(info, matching, cols, order_by, limit)
+            }
+            Stmt::Update {
+                table,
+                sets,
+                predicate,
+            } => {
+                let info = self.catalog.table(pager, &table)?;
+                for (col, _) in &sets {
+                    if info.schema.column_index(col).is_none() {
+                        return Err(QueryError::NoSuchColumn(col.clone()));
+                    }
+                }
+                validate_predicate(&info, &predicate)?;
+                let matching = self.matching_rows(pager, &info, predicate)?;
+                let mut tree = BTree::open(pager, info.slot)?;
+                let mut n = 0;
+                for (old_key, mut row) in matching {
+                    for (col, value) in &sets {
+                        let idx = info.schema.column_index(col).expect("validated");
+                        row[idx] = coerce(value.clone(), info.schema.columns()[idx].ty)?;
+                    }
+                    info.schema.check_row(&row).map_err(QueryError::from)?;
+                    let new_key = key_of(&info.schema, &row)?;
+                    let bytes = info.schema.encode_row(&row)?;
+                    if new_key != old_key {
+                        if tree.contains(pager, &new_key)? {
+                            return Err(QueryError::DuplicateKey(format!("{}", row[0])));
+                        }
+                        tree.remove(pager, &old_key)?;
+                    }
+                    tree.insert(pager, &new_key, &bytes)?;
+                    n += 1;
+                }
+                Ok(QueryOutput::Updated(n))
+            }
+            Stmt::Delete { table, predicate } => {
+                let info = self.catalog.table(pager, &table)?;
+                validate_predicate(&info, &predicate)?;
+                let matching = self.matching_rows(pager, &info, predicate)?;
+                let mut tree = BTree::open(pager, info.slot)?;
+                let mut n = 0;
+                for (key, _) in matching {
+                    tree.remove(pager, &key)?;
+                    n += 1;
+                }
+                Ok(QueryOutput::Deleted(n))
+            }
+            Stmt::Explain(inner) => self.explain(pager, *inner),
+        }
+    }
+
+    /// `EXPLAIN`: plan the statement's row source without executing it.
+    fn explain(&mut self, pager: &mut Pager, stmt: Stmt) -> QueryResult<QueryOutput> {
+        let (table, predicate) = match stmt {
+            Stmt::Select { table, predicate, .. }
+            | Stmt::Update { table, predicate, .. }
+            | Stmt::Delete { table, predicate } => (table, predicate),
+            other => {
+                return Err(QueryError::Parse(format!(
+                    "EXPLAIN supports SELECT/UPDATE/DELETE, got {other:?}"
+                )))
+            }
+        };
+        let info = self.catalog.table(pager, &table)?;
+        validate_predicate(&info, &predicate)?;
+
+        #[cfg(feature = "optimizer")]
+        let plan = crate::optimizer::optimize(&info.schema, predicate);
+        #[cfg(not(feature = "optimizer"))]
+        let plan = crate::plan::Plan::full_scan(predicate);
+
+        let mut steps = vec![format!("table: {}", info.name)];
+        steps.push(match &plan.path {
+            AccessPath::FullScan => "access: full leaf scan".to_string(),
+            AccessPath::Point(_) => format!(
+                "access: point lookup on primary key `{}`",
+                info.schema.columns()[0].name
+            ),
+            AccessPath::Range { start, end } => format!(
+                "access: range scan on primary key `{}` ({}, {})",
+                info.schema.columns()[0].name,
+                if start.is_some() { "bounded below" } else { "open below" },
+                if end.is_some() { "bounded above" } else { "open above" },
+            ),
+        });
+        steps.push(match &plan.residual {
+            Some(_) => "filter: residual predicate re-checked per row".to_string(),
+            None => "filter: none".to_string(),
+        });
+        if !cfg!(feature = "optimizer") {
+            steps.push("note: optimizer feature not composed; no pruning".to_string());
+        }
+        self.last_path = Some(plan.path.label());
+        Ok(QueryOutput::Rows {
+            columns: vec!["plan".to_string()],
+            rows: steps.into_iter().map(|s| vec![Value::Str(s)]).collect(),
+        })
+    }
+
+    /// Fetch `(key, row)` pairs matching the predicate, via the planned
+    /// access path.
+    fn matching_rows(
+        &mut self,
+        pager: &mut Pager,
+        info: &TableInfo,
+        predicate: Option<Expr>,
+    ) -> QueryResult<Vec<(Vec<u8>, Vec<Value>)>> {
+        #[cfg(feature = "optimizer")]
+        let plan = crate::optimizer::optimize(&info.schema, predicate);
+        #[cfg(not(feature = "optimizer"))]
+        let plan = Plan::full_scan(predicate);
+
+        self.last_path = Some(plan.path.label());
+        let tree = BTree::open(pager, info.slot)?;
+        let candidates: Vec<(Vec<u8>, Vec<u8>)> = match &plan.path {
+            AccessPath::FullScan => tree.scan(pager, None, None)?,
+            AccessPath::Point(key) => match tree.get(pager, key)? {
+                Some(v) => vec![(key.clone(), v)],
+                None => vec![],
+            },
+            AccessPath::Range { start, end } => {
+                tree.scan(pager, start.as_deref(), end.as_deref())?
+            }
+        };
+
+        let mut out = Vec::new();
+        for (key, bytes) in candidates {
+            let row = info.schema.decode_row(&bytes)?;
+            let keep = match &plan.residual {
+                None => true,
+                Some(pred) => {
+                    matches!(eval(pred, &info.schema, &row)?, Value::Bool(true))
+                }
+            };
+            if keep {
+                out.push((key, row));
+            }
+        }
+        Ok(out)
+    }
+
+    fn project(
+        &mut self,
+        info: TableInfo,
+        matching: Vec<(Vec<u8>, Vec<Value>)>,
+        cols: SelectCols,
+        order_by: Option<OrderBy>,
+        limit: Option<usize>,
+    ) -> QueryResult<QueryOutput> {
+        let mut rows: Vec<Vec<Value>> = matching.into_iter().map(|(_, r)| r).collect();
+
+        if let Some(ob) = &order_by {
+            let idx = info
+                .schema
+                .column_index(&ob.column)
+                .ok_or_else(|| QueryError::NoSuchColumn(ob.column.clone()))?;
+            rows.sort_by(|a, b| {
+                let ord = a[idx]
+                    .compare(&b[idx])
+                    .unwrap_or(std::cmp::Ordering::Equal);
+                if ob.desc {
+                    ord.reverse()
+                } else {
+                    ord
+                }
+            });
+        }
+        if let Some(n) = limit {
+            rows.truncate(n);
+        }
+
+        match cols {
+            SelectCols::CountStar => Ok(QueryOutput::Count(rows.len() as u64)),
+            SelectCols::All => Ok(QueryOutput::Rows {
+                columns: info
+                    .schema
+                    .columns()
+                    .iter()
+                    .map(|c| c.name.clone())
+                    .collect(),
+                rows,
+            }),
+            SelectCols::Some(names) => {
+                let mut idxs = Vec::with_capacity(names.len());
+                for n in &names {
+                    idxs.push(
+                        info.schema
+                            .column_index(n)
+                            .ok_or_else(|| QueryError::NoSuchColumn(n.clone()))?,
+                    );
+                }
+                let rows = rows
+                    .into_iter()
+                    .map(|r| idxs.iter().map(|&i| r[i].clone()).collect())
+                    .collect();
+                Ok(QueryOutput::Rows {
+                    columns: names,
+                    rows,
+                })
+            }
+        }
+    }
+}
+
+/// Validate column references before execution.
+fn validate_columns(
+    info: &TableInfo,
+    cols: &SelectCols,
+    predicate: &Option<Expr>,
+    order_by: &Option<OrderBy>,
+) -> QueryResult<()> {
+    if let SelectCols::Some(names) = cols {
+        for n in names {
+            if info.schema.column_index(n).is_none() {
+                return Err(QueryError::NoSuchColumn(n.clone()));
+            }
+        }
+    }
+    if let Some(ob) = order_by {
+        if info.schema.column_index(&ob.column).is_none() {
+            return Err(QueryError::NoSuchColumn(ob.column.clone()));
+        }
+    }
+    validate_predicate(info, predicate)
+}
+
+fn validate_predicate(info: &TableInfo, predicate: &Option<Expr>) -> QueryResult<()> {
+    fn walk(e: &Expr, schema: &Schema) -> QueryResult<()> {
+        match e {
+            Expr::Column(c) => {
+                if schema.column_index(c).is_none() {
+                    return Err(QueryError::NoSuchColumn(c.clone()));
+                }
+                Ok(())
+            }
+            Expr::Literal(_) => Ok(()),
+            Expr::Binary { lhs, rhs, .. } => {
+                walk(lhs, schema)?;
+                walk(rhs, schema)
+            }
+            Expr::Not(inner) => walk(inner, schema),
+        }
+    }
+    match predicate {
+        None => Ok(()),
+        Some(p) => walk(p, &info.schema),
+    }
+}
+
+/// Evaluate an expression over a row (SQL three-valued logic; `Null`
+/// stands for UNKNOWN).
+pub fn eval(e: &Expr, schema: &Schema, row: &[Value]) -> QueryResult<Value> {
+    Ok(match e {
+        Expr::Column(c) => {
+            let idx = schema
+                .column_index(c)
+                .ok_or_else(|| QueryError::NoSuchColumn(c.clone()))?;
+            row[idx].clone()
+        }
+        Expr::Literal(v) => v.clone(),
+        Expr::Not(inner) => match eval(inner, schema, row)? {
+            Value::Bool(b) => Value::Bool(!b),
+            Value::Null => Value::Null,
+            other => {
+                return Err(QueryError::Type(format!("NOT applied to {other}")));
+            }
+        },
+        Expr::Binary { op, lhs, rhs } => {
+            let l = eval(lhs, schema, row)?;
+            let r = eval(rhs, schema, row)?;
+            match op {
+                BinOp::And => kleene_and(to_truth(&l)?, to_truth(&r)?),
+                BinOp::Or => kleene_or(to_truth(&l)?, to_truth(&r)?),
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    match l.compare(&r) {
+                        None => Value::Null,
+                        Some(ord) => Value::Bool(match op {
+                            BinOp::Eq => ord.is_eq(),
+                            BinOp::Ne => ord.is_ne(),
+                            BinOp::Lt => ord.is_lt(),
+                            BinOp::Le => ord.is_le(),
+                            BinOp::Gt => ord.is_gt(),
+                            BinOp::Ge => ord.is_ge(),
+                            _ => unreachable!(),
+                        }),
+                    }
+                }
+            }
+        }
+    })
+}
+
+fn to_truth(v: &Value) -> QueryResult<Option<bool>> {
+    match v {
+        Value::Bool(b) => Ok(Some(*b)),
+        Value::Null => Ok(None),
+        other => Err(QueryError::Type(format!(
+            "expected boolean condition, got {other}"
+        ))),
+    }
+}
+
+fn kleene_and(a: Option<bool>, b: Option<bool>) -> Value {
+    match (a, b) {
+        (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+        (Some(true), Some(true)) => Value::Bool(true),
+        _ => Value::Null,
+    }
+}
+
+fn kleene_or(a: Option<bool>, b: Option<bool>) -> Value {
+    match (a, b) {
+        (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+        (Some(false), Some(false)) => Value::Bool(false),
+        _ => Value::Null,
+    }
+}
+
+/// Coerce a literal to a column type where lossless (ints widen, ints
+/// float, U32↔I64 in range).
+pub fn coerce(v: Value, ty: DataType) -> QueryResult<Value> {
+    Ok(match (v, ty) {
+        (Value::Null, _) => Value::Null,
+        (Value::U32(x), DataType::U32) => Value::U32(x),
+        (Value::U32(x), DataType::I64) => Value::I64(i64::from(x)),
+        (Value::U32(x), DataType::F64) => Value::F64(f64::from(x)),
+        (Value::I64(x), DataType::I64) => Value::I64(x),
+        (Value::I64(x), DataType::U32) if (0..=i64::from(u32::MAX)).contains(&x) => {
+            Value::U32(x as u32)
+        }
+        (Value::I64(x), DataType::F64) => Value::F64(x as f64),
+        (Value::F64(x), DataType::F64) => Value::F64(x),
+        (Value::Bool(b), DataType::Bool) => Value::Bool(b),
+        (Value::Str(s), DataType::Str) => Value::Str(s),
+        (Value::Bytes(b), DataType::Bytes) => Value::Bytes(b),
+        (v, ty) => {
+            return Err(QueryError::Type(format!("cannot store {v} in a {ty} column")));
+        }
+    })
+}
+
+fn coerce_row(schema: &Schema, row: Vec<Value>) -> QueryResult<Vec<Value>> {
+    if row.len() != schema.arity() {
+        return Err(QueryError::Type(format!(
+            "expected {} values, got {}",
+            schema.arity(),
+            row.len()
+        )));
+    }
+    row.into_iter()
+        .zip(schema.columns())
+        .map(|(v, c)| coerce(v, c.ty))
+        .collect()
+}
+
+fn key_of(schema: &Schema, row: &[Value]) -> QueryResult<Vec<u8>> {
+    row[0].to_key_bytes().ok_or_else(|| {
+        QueryError::Type(format!(
+            "column `{}` value {} is not key-encodable",
+            schema.columns()[0].name,
+            row[0]
+        ))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fame_buffer::{BufferPool, ReplacementKind};
+    use fame_os::{AllocPolicy, InMemoryDevice};
+
+    fn setup() -> (Pager, SqlEngine) {
+        let dev = InMemoryDevice::new(512);
+        let pool = BufferPool::new(
+            Box::new(dev),
+            ReplacementKind::Lru,
+            AllocPolicy::Dynamic { max_frames: Some(128) },
+        );
+        let mut pager = Pager::open(pool).unwrap();
+        let engine = SqlEngine::open_default(&mut pager).unwrap();
+        (pager, engine)
+    }
+
+    fn seed(pager: &mut Pager, e: &mut SqlEngine) {
+        e.execute(pager, "CREATE TABLE users (id U32, name TEXT, age U32)")
+            .unwrap();
+        e.execute(
+            pager,
+            "INSERT INTO users VALUES (1, 'alice', 30), (2, 'bob', 25), (3, 'carol', 35)",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn create_insert_select_star() {
+        let (mut pg, mut e) = setup();
+        seed(&mut pg, &mut e);
+        let out = e.execute(&mut pg, "SELECT * FROM users").unwrap();
+        let QueryOutput::Rows { columns, rows } = out else {
+            panic!()
+        };
+        assert_eq!(columns, ["id", "name", "age"]);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0][1], Value::Str("alice".into()));
+    }
+
+    #[test]
+    fn select_projection_and_where() {
+        let (mut pg, mut e) = setup();
+        seed(&mut pg, &mut e);
+        let out = e
+            .execute(&mut pg, "SELECT name FROM users WHERE age > 26")
+            .unwrap();
+        let rows = out.rows().unwrap();
+        assert_eq!(rows.len(), 2);
+        let names: Vec<&Value> = rows.iter().map(|r| &r[0]).collect();
+        assert_eq!(
+            names,
+            [&Value::Str("alice".into()), &Value::Str("carol".into())]
+        );
+    }
+
+    #[cfg(feature = "optimizer")]
+    #[test]
+    fn pk_equality_uses_point_lookup() {
+        let (mut pg, mut e) = setup();
+        seed(&mut pg, &mut e);
+        let out = e
+            .execute(&mut pg, "SELECT name FROM users WHERE id = 2")
+            .unwrap();
+        assert_eq!(out.rows().unwrap()[0][0], Value::Str("bob".into()));
+        assert_eq!(e.last_access_path(), Some("point-lookup"));
+    }
+
+    #[cfg(feature = "optimizer")]
+    #[test]
+    fn pk_range_uses_range_scan() {
+        let (mut pg, mut e) = setup();
+        seed(&mut pg, &mut e);
+        let out = e
+            .execute(&mut pg, "SELECT id FROM users WHERE id >= 2 AND id <= 3")
+            .unwrap();
+        assert_eq!(out.rows().unwrap().len(), 2);
+        assert_eq!(e.last_access_path(), Some("range-scan"));
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let (mut pg, mut e) = setup();
+        seed(&mut pg, &mut e);
+        let out = e
+            .execute(&mut pg, "SELECT name FROM users ORDER BY age DESC LIMIT 2")
+            .unwrap();
+        let rows = out.rows().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0], Value::Str("carol".into()));
+        assert_eq!(rows[1][0], Value::Str("alice".into()));
+    }
+
+    #[test]
+    fn count_star() {
+        let (mut pg, mut e) = setup();
+        seed(&mut pg, &mut e);
+        let out = e
+            .execute(&mut pg, "SELECT COUNT(*) FROM users WHERE age < 31")
+            .unwrap();
+        assert_eq!(out, QueryOutput::Count(2));
+    }
+
+    #[test]
+    fn update_rows() {
+        let (mut pg, mut e) = setup();
+        seed(&mut pg, &mut e);
+        let out = e
+            .execute(&mut pg, "UPDATE users SET age = 26 WHERE name = 'bob'")
+            .unwrap();
+        assert_eq!(out, QueryOutput::Updated(1));
+        let rows = e
+            .execute(&mut pg, "SELECT age FROM users WHERE id = 2")
+            .unwrap();
+        assert_eq!(rows.rows().unwrap()[0][0], Value::U32(26));
+    }
+
+    #[test]
+    fn update_primary_key_moves_row() {
+        let (mut pg, mut e) = setup();
+        seed(&mut pg, &mut e);
+        e.execute(&mut pg, "UPDATE users SET id = 99 WHERE id = 1")
+            .unwrap();
+        assert_eq!(
+            e.execute(&mut pg, "SELECT COUNT(*) FROM users").unwrap(),
+            QueryOutput::Count(3)
+        );
+        let out = e
+            .execute(&mut pg, "SELECT name FROM users WHERE id = 99")
+            .unwrap();
+        assert_eq!(out.rows().unwrap()[0][0], Value::Str("alice".into()));
+    }
+
+    #[test]
+    fn update_pk_duplicate_rejected() {
+        let (mut pg, mut e) = setup();
+        seed(&mut pg, &mut e);
+        let err = e
+            .execute(&mut pg, "UPDATE users SET id = 2 WHERE id = 1")
+            .unwrap_err();
+        assert!(matches!(err, QueryError::DuplicateKey(_)));
+    }
+
+    #[test]
+    fn delete_rows() {
+        let (mut pg, mut e) = setup();
+        seed(&mut pg, &mut e);
+        let out = e
+            .execute(&mut pg, "DELETE FROM users WHERE age >= 30")
+            .unwrap();
+        assert_eq!(out, QueryOutput::Deleted(2));
+        assert_eq!(
+            e.execute(&mut pg, "SELECT COUNT(*) FROM users").unwrap(),
+            QueryOutput::Count(1)
+        );
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let (mut pg, mut e) = setup();
+        seed(&mut pg, &mut e);
+        let err = e
+            .execute(&mut pg, "INSERT INTO users VALUES (1, 'dup', 1)")
+            .unwrap_err();
+        assert!(matches!(err, QueryError::DuplicateKey(_)));
+    }
+
+    #[test]
+    fn unknown_table_and_column() {
+        let (mut pg, mut e) = setup();
+        seed(&mut pg, &mut e);
+        assert!(matches!(
+            e.execute(&mut pg, "SELECT * FROM nope"),
+            Err(QueryError::NoSuchTable(_))
+        ));
+        assert!(matches!(
+            e.execute(&mut pg, "SELECT missing FROM users"),
+            Err(QueryError::NoSuchColumn(_))
+        ));
+        assert!(matches!(
+            e.execute(&mut pg, "SELECT * FROM users WHERE ghost = 1"),
+            Err(QueryError::NoSuchColumn(_))
+        ));
+    }
+
+    #[test]
+    fn null_semantics_in_where() {
+        let (mut pg, mut e) = setup();
+        e.execute(&mut pg, "CREATE TABLE t (id U32, v U32)").unwrap();
+        e.execute(&mut pg, "INSERT INTO t VALUES (1, 10), (2, NULL)")
+            .unwrap();
+        // NULL comparisons are UNKNOWN and excluded.
+        let out = e.execute(&mut pg, "SELECT id FROM t WHERE v > 5").unwrap();
+        assert_eq!(out.rows().unwrap().len(), 1);
+        let out = e
+            .execute(&mut pg, "SELECT id FROM t WHERE NOT (v > 5)")
+            .unwrap();
+        assert_eq!(out.rows().unwrap().len(), 0, "NOT UNKNOWN is UNKNOWN");
+    }
+
+    #[test]
+    fn type_errors() {
+        let (mut pg, mut e) = setup();
+        e.execute(&mut pg, "CREATE TABLE t (id U32, v U32)").unwrap();
+        assert!(matches!(
+            e.execute(&mut pg, "INSERT INTO t VALUES ('str', 1)"),
+            Err(QueryError::Type(_))
+        ));
+        assert!(matches!(
+            e.execute(&mut pg, "INSERT INTO t VALUES (1)"),
+            Err(QueryError::Type(_))
+        ));
+        // F64 primary keys are not key-encodable.
+        assert!(matches!(
+            e.execute(&mut pg, "CREATE TABLE bad (x F64)"),
+            Err(QueryError::Type(_))
+        ));
+    }
+
+    #[test]
+    fn int_coercion_into_i64_and_f64() {
+        let (mut pg, mut e) = setup();
+        e.execute(&mut pg, "CREATE TABLE t (id U32, big I64, f F64)")
+            .unwrap();
+        e.execute(&mut pg, "INSERT INTO t VALUES (1, 5, 5)").unwrap();
+        let out = e.execute(&mut pg, "SELECT big, f FROM t").unwrap();
+        let rows = out.rows().unwrap();
+        assert_eq!(rows[0][0], Value::I64(5));
+        assert_eq!(rows[0][1], Value::F64(5.0));
+    }
+
+    #[test]
+    fn drop_table_removes_data() {
+        let (mut pg, mut e) = setup();
+        seed(&mut pg, &mut e);
+        e.execute(&mut pg, "DROP TABLE users").unwrap();
+        assert!(matches!(
+            e.execute(&mut pg, "SELECT * FROM users"),
+            Err(QueryError::NoSuchTable(_))
+        ));
+        // The slot is reusable.
+        e.execute(&mut pg, "CREATE TABLE users (id U32, x U32)").unwrap();
+        assert_eq!(
+            e.execute(&mut pg, "SELECT COUNT(*) FROM users").unwrap(),
+            QueryOutput::Count(0)
+        );
+    }
+
+    #[cfg(feature = "optimizer")]
+    #[test]
+    fn explain_reports_access_paths() {
+        let (mut pg, mut e) = setup();
+        seed(&mut pg, &mut e);
+        let out = e.execute(&mut pg, "EXPLAIN SELECT * FROM users WHERE id = 2").unwrap();
+        let rows = out.rows().unwrap();
+        let text: Vec<String> = rows.iter().map(|r| r[0].to_string()).collect();
+        assert!(text.iter().any(|s| s.contains("point lookup")), "{text:?}");
+
+        let out = e
+            .execute(&mut pg, "EXPLAIN SELECT * FROM users WHERE id >= 1 AND id < 3")
+            .unwrap();
+        let text: Vec<String> = out.rows().unwrap().iter().map(|r| r[0].to_string()).collect();
+        assert!(text.iter().any(|s| s.contains("range scan")), "{text:?}");
+
+        let out = e
+            .execute(&mut pg, "EXPLAIN DELETE FROM users WHERE name = 'bob'")
+            .unwrap();
+        let text: Vec<String> = out.rows().unwrap().iter().map(|r| r[0].to_string()).collect();
+        assert!(text.iter().any(|s| s.contains("full leaf scan")), "{text:?}");
+        // EXPLAIN must not execute: bob is still there.
+        assert_eq!(
+            e.execute(&mut pg, "SELECT COUNT(*) FROM users").unwrap(),
+            QueryOutput::Count(3)
+        );
+    }
+
+    #[test]
+    fn explain_rejects_non_row_statements() {
+        let (mut pg, mut e) = setup();
+        assert!(e.execute(&mut pg, "EXPLAIN CREATE TABLE t (id U32)").is_err());
+        let _ = pg;
+    }
+
+    #[test]
+    fn string_primary_keys() {
+        let (mut pg, mut e) = setup();
+        e.execute(&mut pg, "CREATE TABLE cfg (key TEXT, val TEXT)").unwrap();
+        e.execute(
+            &mut pg,
+            "INSERT INTO cfg VALUES ('b', '2'), ('a', '1'), ('c', '3')",
+        )
+        .unwrap();
+        let out = e.execute(&mut pg, "SELECT key FROM cfg").unwrap();
+        let keys: Vec<&Value> = out.rows().unwrap().iter().map(|r| &r[0]).collect();
+        // Primary-index order = sorted keys.
+        assert_eq!(
+            keys,
+            [
+                &Value::Str("a".into()),
+                &Value::Str("b".into()),
+                &Value::Str("c".into())
+            ]
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Access layer of FAME-DBMS: the *SQL Engine* and *Optimizer* features of
+//! Figure 2.
+//!
+//! The paper's feature diagram places declarative access (SQL Engine) and
+//! the Optimizer as optional features above the storage manager — most
+//! deeply embedded products compose only the procedural `put`/`get` API,
+//! while larger ones add SQL. Accordingly:
+//!
+//! * the whole crate is optional (cargo feature `sql` of `fame-dbms`);
+//! * [`optimizer`] is optional *within* it (cargo feature `optimizer`) —
+//!   without it every query runs as a full scan; with it, point and range
+//!   predicates on the primary key use the B+-tree ([`plan::AccessPath`]).
+//!
+//! Pipeline: SQL text → [`sql::lexer`] → [`sql::parser`] → [`sql::ast`] →
+//! [`plan`] (+ [`optimizer`]) → [`exec`] against [`catalog`] tables.
+//!
+//! The dialect covers what the paper's scenarios need: `CREATE TABLE`,
+//! `DROP TABLE`, `INSERT`, `SELECT` (projection, `WHERE`, `ORDER BY`,
+//! `LIMIT`, `COUNT(*)`), `UPDATE`, and `DELETE`.
+
+pub mod catalog;
+pub mod error;
+pub mod exec;
+#[cfg(feature = "optimizer")]
+pub mod optimizer;
+pub mod plan;
+pub mod sql;
+
+pub use catalog::{Catalog, TableInfo};
+pub use error::{QueryError, QueryResult as Result};
+pub use exec::{QueryOutput, SqlEngine};
+pub use plan::{AccessPath, Plan};

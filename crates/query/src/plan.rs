@@ -1,0 +1,80 @@
+//! Physical access planning.
+//!
+//! A [`Plan`] says how the executor fetches candidate rows: a full scan of
+//! the table's B+-tree, a single point lookup, or a bounded range scan.
+//! Without the Optimizer feature every statement gets [`AccessPath::FullScan`];
+//! with it, [`crate::optimizer::optimize`] narrows the path using primary-key
+//! predicates. The full predicate is always re-checked on fetched rows
+//! (`residual`), so the optimizer can only *prune*, never change results —
+//! which is what makes the optimizer-on/off ablation a pure performance
+//! experiment.
+
+use crate::sql::ast::Expr;
+
+/// How rows are fetched from the primary index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Walk every leaf.
+    FullScan,
+    /// Single key lookup.
+    Point(Vec<u8>),
+    /// Bounded leaf-chain walk; `start` inclusive, `end` exclusive.
+    Range {
+        /// Inclusive lower bound (None = from the smallest key).
+        start: Option<Vec<u8>>,
+        /// Exclusive upper bound (None = to the largest key).
+        end: Option<Vec<u8>>,
+    },
+}
+
+impl AccessPath {
+    /// Short display label used by `EXPLAIN`-style reporting and benches.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AccessPath::FullScan => "full-scan",
+            AccessPath::Point(_) => "point-lookup",
+            AccessPath::Range { .. } => "range-scan",
+        }
+    }
+}
+
+/// An executable plan for one statement's row source.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Access path into the primary index.
+    pub path: AccessPath,
+    /// Predicate re-checked on every fetched row.
+    pub residual: Option<Expr>,
+}
+
+impl Plan {
+    /// The unoptimized plan: full scan plus the whole predicate.
+    pub fn full_scan(predicate: Option<Expr>) -> Plan {
+        Plan {
+            path: AccessPath::FullScan,
+            residual: predicate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(AccessPath::FullScan.label(), "full-scan");
+        assert_eq!(AccessPath::Point(vec![1]).label(), "point-lookup");
+        assert_eq!(
+            AccessPath::Range { start: None, end: None }.label(),
+            "range-scan"
+        );
+    }
+
+    #[test]
+    fn full_scan_keeps_predicate() {
+        let p = Plan::full_scan(Some(Expr::Column("x".into())));
+        assert_eq!(p.path, AccessPath::FullScan);
+        assert!(p.residual.is_some());
+    }
+}

@@ -1,0 +1,149 @@
+//! Abstract syntax of the FAME-DBMS SQL dialect.
+
+use fame_storage::{DataType, Value};
+
+/// Binary operators in expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+/// A scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference.
+    Column(String),
+    /// Literal value.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Logical negation.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for binary nodes.
+    pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+}
+
+/// Projection list of a SELECT.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectCols {
+    /// `*`
+    All,
+    /// Explicit column names.
+    Some(Vec<String>),
+    /// `COUNT(*)`
+    CountStar,
+}
+
+/// `ORDER BY` clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderBy {
+    /// Sort column.
+    pub column: String,
+    /// Descending?
+    pub desc: bool,
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `CREATE TABLE name (col TYPE, ...)` — first column is the key.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Columns in order.
+        columns: Vec<(String, DataType)>,
+    },
+    /// `DROP TABLE name`
+    DropTable {
+        /// Table name.
+        name: String,
+    },
+    /// `INSERT INTO name VALUES (v, ...), (v, ...)`
+    Insert {
+        /// Table name.
+        table: String,
+        /// One or more rows of literals.
+        rows: Vec<Vec<Value>>,
+    },
+    /// `SELECT cols FROM name [WHERE e] [ORDER BY c [DESC]] [LIMIT n]`
+    Select {
+        /// Projection.
+        cols: SelectCols,
+        /// Table name.
+        table: String,
+        /// Filter, if any.
+        predicate: Option<Expr>,
+        /// Ordering, if any.
+        order_by: Option<OrderBy>,
+        /// Row limit, if any.
+        limit: Option<usize>,
+    },
+    /// `UPDATE name SET c = v, ... [WHERE e]`
+    Update {
+        /// Table name.
+        table: String,
+        /// Column assignments (literals only).
+        sets: Vec<(String, Value)>,
+        /// Filter, if any.
+        predicate: Option<Expr>,
+    },
+    /// `DELETE FROM name [WHERE e]`
+    Delete {
+        /// Table name.
+        table: String,
+        /// Filter, if any.
+        predicate: Option<Expr>,
+    },
+    /// `EXPLAIN <select|update|delete>` — show the access plan instead of
+    /// executing.
+    Explain(Box<Stmt>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_builder() {
+        let e = Expr::binary(
+            BinOp::And,
+            Expr::Column("a".into()),
+            Expr::Literal(Value::Bool(true)),
+        );
+        match e {
+            Expr::Binary { op: BinOp::And, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! SQL front end: lexer, AST, parser.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{BinOp, Expr, OrderBy, SelectCols, Stmt};
+pub use lexer::{lex, Token};
+pub use parser::parse;

@@ -1,0 +1,26 @@
+//! Replication feature of FAME-DBMS (Berkeley DB's REPLICATION;
+//! configuration 4 of Figure 1 removes it).
+//!
+//! A single primary ships committed operations to any number of replicas.
+//! The paper's evaluation hardware (networked embedded nodes) is not
+//! available, so links are in-process channels (`crossbeam`) — the code
+//! paths exercised (serialize, ship, acknowledge, apply, converge) are the
+//! same ones a socket transport would drive.
+//!
+//! Two acknowledgement policies:
+//!
+//! * [`AckPolicy::Asynchronous`] — ship and return; replicas converge
+//!   eventually. Fast, but a primary crash can lose the in-flight suffix.
+//! * [`AckPolicy::Synchronous`] — block until every replica acknowledged
+//!   the sequence number. Slow, but no committed operation is ever lost.
+//!
+//! [`Replica`]s can be pumped manually ([`Replica::poll`], deterministic —
+//! used by tests) or run on a thread ([`Replica::spawn`]).
+
+pub mod message;
+pub mod primary;
+pub mod replica;
+
+pub use message::{ReplMsg, ShipOp};
+pub use primary::{AckPolicy, Primary, ReplicationError};
+pub use replica::{digest_of, Replica, ReplicaHandle, ReplicaState};

@@ -1,0 +1,57 @@
+//! Messages on the replication link.
+
+/// A shipped operation (the committed effect, not the transaction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShipOp {
+    /// Insert or overwrite a key in an index.
+    Put {
+        /// Target index of the product.
+        index: u8,
+        /// Key.
+        key: Vec<u8>,
+        /// Value.
+        value: Vec<u8>,
+    },
+    /// Remove a key from an index.
+    Remove {
+        /// Target index of the product.
+        index: u8,
+        /// Key.
+        key: Vec<u8>,
+    },
+}
+
+/// A framed message: monotone sequence number + operation (or control).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplMsg {
+    /// Apply an operation.
+    Op {
+        /// Primary-assigned, gapless, starting at 1.
+        seq: u64,
+        /// The operation.
+        op: ShipOp,
+    },
+    /// Liveness probe; replicas acknowledge their applied sequence.
+    Heartbeat,
+    /// Orderly shutdown of the replica loop.
+    Shutdown,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_cloneable_and_comparable() {
+        let m = ReplMsg::Op {
+            seq: 1,
+            op: ShipOp::Put {
+                index: 0,
+                key: b"k".to_vec(),
+                value: b"v".to_vec(),
+            },
+        };
+        assert_eq!(m.clone(), m);
+        assert_ne!(m, ReplMsg::Heartbeat);
+    }
+}

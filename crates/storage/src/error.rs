@@ -1,0 +1,83 @@
+//! Storage-layer errors.
+
+use std::fmt;
+
+use fame_os::OsError;
+
+/// Errors of the storage manager and its access methods.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Propagated device/buffer error.
+    Os(OsError),
+    /// The key (or record) is too large for the page size in use.
+    RecordTooLarge { size: usize, max: usize },
+    /// A page did not contain what its type byte promised.
+    Corrupt { page: u32, reason: String },
+    /// The on-device image was not produced by this engine (bad magic).
+    NotFormatted,
+    /// The requested key/record does not exist.
+    NotFound,
+    /// A key being inserted already exists (indexes enforce uniqueness).
+    DuplicateKey,
+    /// A structural capacity was exceeded (e.g. queue directory full).
+    CapacityExceeded(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Os(e) => write!(f, "{e}"),
+            StorageError::RecordTooLarge { size, max } => {
+                write!(f, "record of {size} bytes exceeds maximum {max}")
+            }
+            StorageError::Corrupt { page, reason } => {
+                write!(f, "page {page} corrupt: {reason}")
+            }
+            StorageError::NotFormatted => write!(f, "device is not a FAME-DBMS image"),
+            StorageError::NotFound => write!(f, "key not found"),
+            StorageError::DuplicateKey => write!(f, "duplicate key"),
+            StorageError::CapacityExceeded(what) => write!(f, "capacity exceeded: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Os(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OsError> for StorageError {
+    fn from(e: OsError) -> Self {
+        StorageError::Os(e)
+    }
+}
+
+/// Result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(StorageError::NotFound.to_string().contains("not found"));
+        assert!(StorageError::DuplicateKey.to_string().contains("duplicate"));
+        assert!(StorageError::RecordTooLarge { size: 900, max: 100 }
+            .to_string()
+            .contains("900"));
+        assert!(StorageError::NotFormatted.to_string().contains("image"));
+    }
+
+    #[test]
+    fn os_error_chains_as_source() {
+        use std::error::Error;
+        let e = StorageError::from(OsError::Io("x".into()));
+        assert!(e.source().is_some());
+        assert!(StorageError::NotFound.source().is_none());
+    }
+}

@@ -1,0 +1,56 @@
+//! Storage manager of FAME-DBMS (feature *Storage* in Figure 2).
+//!
+//! The crate provides the access methods of the product line. Each access
+//! method lives behind its own cargo feature so that composing it out of a
+//! product removes its code from the binary — the mechanism behind the
+//! Fig. 1a size experiment:
+//!
+//! | cargo feature | paper feature | module |
+//! |---------------|---------------|--------|
+//! | `btree`       | Storage → Index → B+-Tree | [`btree`] |
+//! | `list`        | Storage → Index → List    | [`list`]  |
+//! | `hash`        | Berkeley DB HASH (§2.2)   | [`hash`]  |
+//! | `queue`       | Berkeley DB QUEUE (§2.2)  | [`queue`] |
+//! | `data-types`  | Storage → Data Types      | [`types`] |
+//! | `crypto`      | Berkeley DB CRYPTO (§2.2) | [`crypto`] |
+//!
+//! Below the access methods sit the feature-independent substrate:
+//! [`page`] (slotted pages), [`pager`] (page allocation, free list, named
+//! roots) and [`record`] (record identifiers). All I/O flows through a
+//! [`fame_buffer::BufferPool`], so every access method automatically
+//! benefits from (or runs without) the Buffer Manager feature.
+
+pub mod error;
+pub mod page;
+pub mod pager;
+pub mod record;
+
+#[cfg(feature = "btree")]
+pub mod btree;
+#[cfg(feature = "crypto")]
+pub mod crypto;
+#[cfg(feature = "hash")]
+pub mod hash;
+#[cfg(feature = "list")]
+pub mod list;
+#[cfg(feature = "queue")]
+pub mod queue;
+#[cfg(feature = "data-types")]
+pub mod types;
+
+#[cfg(feature = "btree")]
+pub use btree::{BTree, Cursor};
+#[cfg(feature = "crypto")]
+pub use crypto::CryptoDevice;
+pub use error::{Result, StorageError};
+#[cfg(feature = "hash")]
+pub use hash::HashIndex;
+#[cfg(feature = "list")]
+pub use list::ListIndex;
+pub use page::{PageType, SlottedPage, PAGE_HEADER_SIZE};
+pub use pager::Pager;
+#[cfg(feature = "queue")]
+pub use queue::Queue;
+pub use record::RecordId;
+#[cfg(feature = "data-types")]
+pub use types::{DataType, Schema, Value};

@@ -1,0 +1,279 @@
+//! The pager: page allocation, free list, and named roots.
+//!
+//! Page 0 is the metadata page:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "FAME"
+//! 4       2     format version (currently 1)
+//! 6       2     page size (must match the device)
+//! 8       4     free-list head page (NO_PAGE = empty)
+//! 12      4     number of allocated pages (including meta)
+//! 16      4*16  named roots (NO_PAGE = unset)
+//! ```
+//!
+//! Freed pages are chained through their first 4 payload bytes. Access
+//! methods obtain pages via [`Pager::allocate`], return them via
+//! [`Pager::free`], and persist their root page numbers in one of the 16
+//! named root slots — which is how a database image is reopened.
+
+use fame_buffer::BufferPool;
+use fame_os::PageId;
+
+use crate::error::{Result, StorageError};
+use crate::page::NO_PAGE;
+
+const MAGIC: &[u8; 4] = b"FAME";
+const VERSION: u16 = 1;
+/// Number of named root slots in the meta page.
+pub const ROOT_SLOTS: usize = 16;
+
+const OFF_MAGIC: usize = 0;
+const OFF_VERSION: usize = 4;
+const OFF_PAGE_SIZE: usize = 6;
+const OFF_FREE_HEAD: usize = 8;
+const OFF_PAGE_COUNT: usize = 12;
+const OFF_ROOTS: usize = 16;
+
+/// Page allocator and root directory over a [`BufferPool`].
+pub struct Pager {
+    pool: BufferPool,
+}
+
+impl Pager {
+    /// Open a pager over a pool. A zero-page or empty device is formatted;
+    /// an existing image is verified (magic, version, page size).
+    pub fn open(mut pool: BufferPool) -> Result<Self> {
+        if pool.num_pages() == 0 {
+            pool.ensure_pages(1)?;
+            let page_size = pool.page_size();
+            pool.with_page_mut(0, |buf| {
+                buf.fill(0);
+                buf[OFF_MAGIC..OFF_MAGIC + 4].copy_from_slice(MAGIC);
+                buf[OFF_VERSION..OFF_VERSION + 2].copy_from_slice(&VERSION.to_le_bytes());
+                buf[OFF_PAGE_SIZE..OFF_PAGE_SIZE + 2]
+                    .copy_from_slice(&(page_size as u16).to_le_bytes());
+                buf[OFF_FREE_HEAD..OFF_FREE_HEAD + 4].copy_from_slice(&NO_PAGE.to_le_bytes());
+                buf[OFF_PAGE_COUNT..OFF_PAGE_COUNT + 4].copy_from_slice(&1u32.to_le_bytes());
+                for i in 0..ROOT_SLOTS {
+                    let at = OFF_ROOTS + 4 * i;
+                    buf[at..at + 4].copy_from_slice(&NO_PAGE.to_le_bytes());
+                }
+            })?;
+            // The format must survive a crash even if nothing else does:
+            // recovery after a crash-before-first-sync needs a valid
+            // (empty) image to replay the WAL into.
+            pool.sync()?;
+            return Ok(Pager { pool });
+        }
+
+        let expected_page_size = pool.page_size();
+        let ok = pool.with_page(0, |buf| {
+            &buf[OFF_MAGIC..OFF_MAGIC + 4] == MAGIC
+                && u16::from_le_bytes([buf[OFF_VERSION], buf[OFF_VERSION + 1]]) == VERSION
+                && u16::from_le_bytes([buf[OFF_PAGE_SIZE], buf[OFF_PAGE_SIZE + 1]]) as usize
+                    == expected_page_size
+        })?;
+        if !ok {
+            return Err(StorageError::NotFormatted);
+        }
+        Ok(Pager { pool })
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.pool.page_size()
+    }
+
+    fn meta_u32(&mut self, off: usize) -> Result<u32> {
+        Ok(self.pool.with_page(0, |buf| {
+            u32::from_le_bytes(buf[off..off + 4].try_into().expect("4 bytes"))
+        })?)
+    }
+
+    fn set_meta_u32(&mut self, off: usize, v: u32) -> Result<()> {
+        Ok(self.pool.with_page_mut(0, |buf| {
+            buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
+        })?)
+    }
+
+    /// Number of pages the pager has handed out (including meta and freed
+    /// pages still owned by the free list).
+    pub fn allocated_pages(&mut self) -> Result<u32> {
+        self.meta_u32(OFF_PAGE_COUNT)
+    }
+
+    /// Allocate a page: pop the free list or grow the device.
+    /// The returned page's contents are unspecified; callers initialize it.
+    pub fn allocate(&mut self) -> Result<PageId> {
+        let head = self.meta_u32(OFF_FREE_HEAD)?;
+        if head != NO_PAGE {
+            let next = self.pool.with_page(head, |buf| {
+                u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"))
+            })?;
+            self.set_meta_u32(OFF_FREE_HEAD, next)?;
+            return Ok(head);
+        }
+        let count = self.meta_u32(OFF_PAGE_COUNT)?;
+        self.pool.ensure_pages(count + 1)?;
+        self.set_meta_u32(OFF_PAGE_COUNT, count + 1)?;
+        Ok(count)
+    }
+
+    /// Return a page to the free list.
+    pub fn free(&mut self, page: PageId) -> Result<()> {
+        debug_assert_ne!(page, 0, "meta page cannot be freed");
+        let head = self.meta_u32(OFF_FREE_HEAD)?;
+        self.pool.with_page_mut(page, |buf| {
+            buf[0] = 0; // PageType::Free
+            buf[1..4].fill(0);
+            buf[0..4].copy_from_slice(&head.to_le_bytes());
+        })?;
+        self.set_meta_u32(OFF_FREE_HEAD, page)?;
+        Ok(())
+    }
+
+    /// Read a named root pointer.
+    pub fn root(&mut self, slot: usize) -> Result<Option<PageId>> {
+        assert!(slot < ROOT_SLOTS, "root slot out of range");
+        let v = self.meta_u32(OFF_ROOTS + 4 * slot)?;
+        Ok(if v == NO_PAGE { None } else { Some(v) })
+    }
+
+    /// Persist a named root pointer.
+    pub fn set_root(&mut self, slot: usize, page: Option<PageId>) -> Result<()> {
+        assert!(slot < ROOT_SLOTS, "root slot out of range");
+        self.set_meta_u32(OFF_ROOTS + 4 * slot, page.unwrap_or(NO_PAGE))
+    }
+
+    /// Run `f` over an immutable page view.
+    pub fn with_page<R>(&mut self, page: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        Ok(self.pool.with_page(page, f)?)
+    }
+
+    /// Run `f` over a mutable page view (marks the page dirty).
+    pub fn with_page_mut<R>(
+        &mut self,
+        page: PageId,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> Result<R> {
+        Ok(self.pool.with_page_mut(page, f)?)
+    }
+
+    /// Flush dirty frames and issue a device durability barrier.
+    pub fn sync(&mut self) -> Result<()> {
+        Ok(self.pool.sync()?)
+    }
+
+    /// Access the underlying pool (statistics, tests).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Mutable access to the underlying pool.
+    pub fn pool_mut(&mut self) -> &mut BufferPool {
+        &mut self.pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fame_os::{AllocPolicy, InMemoryDevice};
+
+    fn pager() -> Pager {
+        let dev = InMemoryDevice::new(256);
+        let pool = BufferPool::new(
+            Box::new(dev),
+            fame_buffer::ReplacementKind::Lru,
+            AllocPolicy::Dynamic { max_frames: Some(8) },
+        );
+        Pager::open(pool).unwrap()
+    }
+
+    #[test]
+    fn formats_fresh_device() {
+        let mut p = pager();
+        assert_eq!(p.allocated_pages().unwrap(), 1);
+        assert_eq!(p.root(0).unwrap(), None);
+    }
+
+    #[test]
+    fn allocate_grows_then_reuses_freed() {
+        let mut p = pager();
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        assert_eq!((a, b), (1, 2));
+        p.free(a).unwrap();
+        let c = p.allocate().unwrap();
+        assert_eq!(c, a, "free list reuse");
+        let d = p.allocate().unwrap();
+        assert_eq!(d, 3, "growth resumes after free list empty");
+    }
+
+    #[test]
+    fn free_list_is_lifo_chain() {
+        let mut p = pager();
+        let pages: Vec<_> = (0..3).map(|_| p.allocate().unwrap()).collect();
+        for &pg in &pages {
+            p.free(pg).unwrap();
+        }
+        // LIFO: last freed comes back first.
+        assert_eq!(p.allocate().unwrap(), pages[2]);
+        assert_eq!(p.allocate().unwrap(), pages[1]);
+        assert_eq!(p.allocate().unwrap(), pages[0]);
+    }
+
+    #[test]
+    fn roots_persist() {
+        let mut p = pager();
+        p.set_root(0, Some(5)).unwrap();
+        p.set_root(3, Some(9)).unwrap();
+        assert_eq!(p.root(0).unwrap(), Some(5));
+        assert_eq!(p.root(3).unwrap(), Some(9));
+        p.set_root(0, None).unwrap();
+        assert_eq!(p.root(0).unwrap(), None);
+    }
+
+    #[test]
+    fn reopen_keeps_state() {
+        // Reopen requires reclaiming the device, so run against a file
+        // device.
+        let path = std::env::temp_dir().join(format!("fame-pager-{}", std::process::id()));
+        {
+            let fdev = fame_os::FileDevice::create(&path, 256).unwrap();
+            let pool = BufferPool::unbuffered(Box::new(fdev));
+            let mut p = Pager::open(pool).unwrap();
+            let pg = p.allocate().unwrap();
+            p.set_root(1, Some(pg)).unwrap();
+            p.sync().unwrap();
+        }
+        {
+            let fdev = fame_os::FileDevice::open(&path, 256).unwrap();
+            let pool = BufferPool::unbuffered(Box::new(fdev));
+            let mut p = Pager::open(pool).unwrap();
+            assert_eq!(p.root(1).unwrap(), Some(1));
+            assert_eq!(p.allocated_pages().unwrap(), 2);
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn garbage_device_rejected() {
+        use fame_os::BlockDevice;
+        let mut dev = InMemoryDevice::new(256);
+        dev.ensure_pages(1).unwrap();
+        let mut junk = vec![0u8; 256];
+        junk[0..4].copy_from_slice(b"JUNK");
+        dev.write_page(0, &junk).unwrap();
+        let pool = BufferPool::unbuffered(Box::new(dev));
+        assert!(matches!(Pager::open(pool), Err(StorageError::NotFormatted)));
+    }
+
+    #[test]
+    #[should_panic(expected = "root slot out of range")]
+    fn root_slot_bounds_checked() {
+        let mut p = pager();
+        let _ = p.root(ROOT_SLOTS);
+    }
+}

@@ -1,0 +1,68 @@
+//! Record identifiers: stable addresses of heap records.
+
+use std::fmt;
+
+/// Address of a record in heap storage: `(page, slot)`.
+///
+/// Record ids are stable across unrelated insertions and deletions (the
+/// slotted page's stable-slot discipline guarantees it), but an in-place
+/// update that no longer fits the page relocates the record and yields a
+/// new id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecordId {
+    /// Page number of the heap page holding the record.
+    pub page: u32,
+    /// Slot within the page.
+    pub slot: u16,
+}
+
+impl RecordId {
+    /// Construct from parts.
+    pub fn new(page: u32, slot: u16) -> Self {
+        RecordId { page, slot }
+    }
+
+    /// Pack into 6 bytes (LE page, LE slot) for embedding in index values.
+    pub fn to_bytes(self) -> [u8; 6] {
+        let mut b = [0u8; 6];
+        b[0..4].copy_from_slice(&self.page.to_le_bytes());
+        b[4..6].copy_from_slice(&self.slot.to_le_bytes());
+        b
+    }
+
+    /// Unpack from the 6-byte form.
+    pub fn from_bytes(b: &[u8; 6]) -> Self {
+        RecordId {
+            page: u32::from_le_bytes(b[0..4].try_into().expect("4 bytes")),
+            slot: u16::from_le_bytes(b[4..6].try_into().expect("2 bytes")),
+        }
+    }
+}
+
+impl fmt::Display for RecordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.page, self.slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_round_trip() {
+        let r = RecordId::new(0xDEADBEEF, 0x1234);
+        assert_eq!(RecordId::from_bytes(&r.to_bytes()), r);
+    }
+
+    #[test]
+    fn ordering_is_page_major() {
+        assert!(RecordId::new(1, 9) < RecordId::new(2, 0));
+        assert!(RecordId::new(1, 1) < RecordId::new(1, 2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(RecordId::new(7, 3).to_string(), "7:3");
+    }
+}

@@ -1,0 +1,209 @@
+//! No-wait key-level lock manager (two-phase locking).
+//!
+//! Conflicting requests fail immediately with [`LockConflict`] instead of
+//! blocking — the *no-wait* deadlock-avoidance protocol. No waits-for graph
+//! can form, so the embedded engine needs neither a detector thread nor
+//! timeouts; callers retry or abort, which is the standard discipline for
+//! control-loop code.
+
+use std::collections::HashMap;
+
+use crate::wal::TxnId;
+
+/// Requested access mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared (readers).
+    Shared,
+    /// Exclusive (writers).
+    Exclusive,
+}
+
+/// A conflicting lock request (the no-wait protocol's only error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockConflict {
+    /// The key that could not be locked.
+    pub key: Vec<u8>,
+    /// The transaction that requested it.
+    pub requester: TxnId,
+}
+
+impl std::fmt::Display for LockConflict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lock conflict on key {:?} for txn {}", self.key, self.requester)
+    }
+}
+
+impl std::error::Error for LockConflict {}
+
+#[derive(Debug, Default)]
+struct Entry {
+    /// Holders in shared mode (or exactly one in exclusive mode).
+    holders: Vec<TxnId>,
+    exclusive: bool,
+}
+
+/// Key-level 2PL lock table.
+#[derive(Debug, Default)]
+pub struct LockManager {
+    table: HashMap<Vec<u8>, Entry>,
+}
+
+impl LockManager {
+    /// Create an empty lock table.
+    pub fn new() -> Self {
+        LockManager::default()
+    }
+
+    /// Acquire (or upgrade) a lock. No-wait: conflicts fail immediately.
+    /// Re-acquisition by the holder is a no-op; a shared holder that is the
+    /// *only* holder may upgrade to exclusive.
+    pub fn acquire(
+        &mut self,
+        txn: TxnId,
+        key: &[u8],
+        mode: LockMode,
+    ) -> Result<(), LockConflict> {
+        let entry = self.table.entry(key.to_vec()).or_default();
+        let held_by_me = entry.holders.contains(&txn);
+
+        match mode {
+            LockMode::Shared => {
+                if entry.exclusive && !held_by_me {
+                    return Err(LockConflict {
+                        key: key.to_vec(),
+                        requester: txn,
+                    });
+                }
+                if !held_by_me {
+                    entry.holders.push(txn);
+                }
+                Ok(())
+            }
+            LockMode::Exclusive => {
+                if held_by_me && entry.holders.len() == 1 {
+                    entry.exclusive = true; // idempotent or upgrade
+                    return Ok(());
+                }
+                if entry.holders.is_empty() {
+                    entry.holders.push(txn);
+                    entry.exclusive = true;
+                    return Ok(());
+                }
+                Err(LockConflict {
+                    key: key.to_vec(),
+                    requester: txn,
+                })
+            }
+        }
+    }
+
+    /// Release every lock of a transaction (commit/abort).
+    pub fn release_all(&mut self, txn: TxnId) {
+        self.table.retain(|_, e| {
+            e.holders.retain(|&h| h != txn);
+            if e.holders.is_empty() {
+                false
+            } else {
+                // Exclusive implies a single holder; if that holder left,
+                // the entry was removed above. Remaining holders mean the
+                // lock was shared all along.
+                e.exclusive = e.exclusive && e.holders.len() == 1;
+                true
+            }
+        });
+    }
+
+    /// Who currently holds a key (tests/diagnostics).
+    pub fn holders(&self, key: &[u8]) -> Vec<TxnId> {
+        self.table
+            .get(key)
+            .map(|e| e.holders.clone())
+            .unwrap_or_default()
+    }
+
+    /// Number of keys with live locks.
+    pub fn locked_keys(&self) -> usize {
+        self.table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_locks_coexist() {
+        let mut lm = LockManager::new();
+        assert!(lm.acquire(1, b"k", LockMode::Shared).is_ok());
+        assert!(lm.acquire(2, b"k", LockMode::Shared).is_ok());
+        assert_eq!(lm.holders(b"k").len(), 2);
+    }
+
+    #[test]
+    fn exclusive_blocks_everyone() {
+        let mut lm = LockManager::new();
+        assert!(lm.acquire(1, b"k", LockMode::Exclusive).is_ok());
+        assert!(lm.acquire(2, b"k", LockMode::Shared).is_err());
+        assert!(lm.acquire(2, b"k", LockMode::Exclusive).is_err());
+    }
+
+    #[test]
+    fn shared_blocks_exclusive() {
+        let mut lm = LockManager::new();
+        lm.acquire(1, b"k", LockMode::Shared).unwrap();
+        lm.acquire(2, b"k", LockMode::Shared).unwrap();
+        assert!(lm.acquire(3, b"k", LockMode::Exclusive).is_err());
+    }
+
+    #[test]
+    fn sole_shared_holder_upgrades() {
+        let mut lm = LockManager::new();
+        lm.acquire(1, b"k", LockMode::Shared).unwrap();
+        assert!(lm.acquire(1, b"k", LockMode::Exclusive).is_ok());
+        assert!(lm.acquire(2, b"k", LockMode::Shared).is_err());
+    }
+
+    #[test]
+    fn upgrade_with_other_readers_fails() {
+        let mut lm = LockManager::new();
+        lm.acquire(1, b"k", LockMode::Shared).unwrap();
+        lm.acquire(2, b"k", LockMode::Shared).unwrap();
+        assert!(lm.acquire(1, b"k", LockMode::Exclusive).is_err());
+    }
+
+    #[test]
+    fn reacquire_is_noop() {
+        let mut lm = LockManager::new();
+        lm.acquire(1, b"k", LockMode::Exclusive).unwrap();
+        assert!(lm.acquire(1, b"k", LockMode::Exclusive).is_ok());
+        assert!(lm.acquire(1, b"k", LockMode::Shared).is_ok());
+        assert_eq!(lm.holders(b"k"), vec![1]);
+    }
+
+    #[test]
+    fn release_frees_keys() {
+        let mut lm = LockManager::new();
+        lm.acquire(1, b"a", LockMode::Exclusive).unwrap();
+        lm.acquire(1, b"b", LockMode::Shared).unwrap();
+        lm.acquire(2, b"b", LockMode::Shared).unwrap();
+        lm.release_all(1);
+        assert_eq!(lm.locked_keys(), 1, "only b remains (held by 2)");
+        assert!(lm.acquire(3, b"a", LockMode::Exclusive).is_ok());
+    }
+
+    #[test]
+    fn no_wait_means_no_deadlock() {
+        // The canonical deadlock pattern: T1 holds a wants b, T2 holds b
+        // wants a. Under no-wait the second acquisition of each simply
+        // fails, so no cycle can ever form.
+        let mut lm = LockManager::new();
+        lm.acquire(1, b"a", LockMode::Exclusive).unwrap();
+        lm.acquire(2, b"b", LockMode::Exclusive).unwrap();
+        assert!(lm.acquire(1, b"b", LockMode::Exclusive).is_err());
+        assert!(lm.acquire(2, b"a", LockMode::Exclusive).is_err());
+        // One of them aborts (releases) and the other proceeds.
+        lm.release_all(2);
+        assert!(lm.acquire(1, b"b", LockMode::Exclusive).is_ok());
+    }
+}

@@ -1,0 +1,324 @@
+//! Append-only log storage over a [`BlockDevice`].
+//!
+//! The log treats the device as a byte stream: records are framed as
+//! `[len:u32][checksum:u32][payload]` and packed back to back across page
+//! boundaries. The writer keeps the tail page in memory and writes it out
+//! on every append (embedded logs are small; correctness first), so after
+//! a crash the reader sees every appended byte up to the last device write
+//! and stops at the first frame whose length or checksum is implausible —
+//! the torn tail.
+
+use fame_os::{BlockDevice, OsError, PageId};
+
+use crate::wal::{checksum, LogRecord};
+
+/// Byte offset of a record in the log.
+pub type Lsn = u64;
+
+const FRAME_HEADER: usize = 8;
+
+/// Appends records to a log device.
+pub struct LogWriter {
+    device: Box<dyn BlockDevice>,
+    /// Next byte to write.
+    tail: u64,
+    /// In-memory image of the page containing `tail`.
+    tail_page: Vec<u8>,
+    tail_page_no: PageId,
+    /// Records appended since the last sync.
+    unsynced: u64,
+}
+
+impl LogWriter {
+    /// Start a writer at byte `tail` (0 for a fresh log; use
+    /// [`LogReader::scan_end`] to resume an existing one).
+    pub fn new(mut device: Box<dyn BlockDevice>, tail: u64) -> Result<Self, OsError> {
+        let ps = device.page_size() as u64;
+        let tail_page_no = (tail / ps) as PageId;
+        let mut tail_page = vec![0u8; ps as usize];
+        if tail_page_no < device.num_pages() {
+            device.read_page(tail_page_no, &mut tail_page)?;
+        }
+        Ok(LogWriter {
+            device,
+            tail,
+            tail_page,
+            tail_page_no,
+            unsynced: 0,
+        })
+    }
+
+    /// Current end of the log.
+    pub fn tail(&self) -> Lsn {
+        self.tail
+    }
+
+    /// Records appended but not yet synced.
+    pub fn unsynced(&self) -> u64 {
+        self.unsynced
+    }
+
+    /// Append a record; returns its LSN. The record is written to the
+    /// device but NOT synced — call [`LogWriter::sync`] per the commit
+    /// protocol.
+    pub fn append(&mut self, record: &LogRecord) -> Result<Lsn, OsError> {
+        let payload = record.encode();
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&checksum(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+
+        let lsn = self.tail;
+        self.write_bytes(&frame)?;
+        self.unsynced += 1;
+        Ok(lsn)
+    }
+
+    fn write_bytes(&mut self, mut data: &[u8]) -> Result<(), OsError> {
+        let ps = self.device.page_size();
+        while !data.is_empty() {
+            let page_no = (self.tail / ps as u64) as PageId;
+            let off = (self.tail % ps as u64) as usize;
+
+            if page_no != self.tail_page_no {
+                // Crossed into a fresh page.
+                self.tail_page_no = page_no;
+                self.tail_page.fill(0);
+            }
+            self.device.ensure_pages(page_no + 1)?;
+
+            let n = (ps - off).min(data.len());
+            self.tail_page[off..off + n].copy_from_slice(&data[..n]);
+            self.device.write_page(page_no, &self.tail_page)?;
+            self.tail += n as u64;
+            data = &data[n..];
+        }
+        Ok(())
+    }
+
+    /// Durability barrier on the log device.
+    pub fn sync(&mut self) -> Result<(), OsError> {
+        self.device.sync()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Device counters (syncs per commit protocol, bytes written, ...).
+    pub fn device_stats(&self) -> fame_os::DeviceStats {
+        self.device.stats()
+    }
+
+    /// Reclaim the device (tests).
+    pub fn into_device(self) -> Box<dyn BlockDevice> {
+        self.device
+    }
+}
+
+/// Reads a log from the beginning, stopping at the torn tail.
+pub struct LogReader {
+    device: Box<dyn BlockDevice>,
+    pos: u64,
+    end: u64,
+}
+
+impl LogReader {
+    /// Open a reader over the whole device.
+    pub fn new(device: Box<dyn BlockDevice>) -> Self {
+        let end = u64::from(device.num_pages()) * device.page_size() as u64;
+        LogReader { device, pos: 0, end }
+    }
+
+    /// Current read position.
+    pub fn position(&self) -> Lsn {
+        self.pos
+    }
+
+    fn read_bytes(&mut self, len: usize) -> Result<Option<Vec<u8>>, OsError> {
+        if self.pos + len as u64 > self.end {
+            return Ok(None);
+        }
+        let ps = self.device.page_size();
+        let mut out = Vec::with_capacity(len);
+        let mut pos = self.pos;
+        let mut page_buf = vec![0u8; ps];
+        let mut remaining = len;
+        while remaining > 0 {
+            let page_no = (pos / ps as u64) as PageId;
+            let off = (pos % ps as u64) as usize;
+            self.device.read_page(page_no, &mut page_buf)?;
+            let n = (ps - off).min(remaining);
+            out.extend_from_slice(&page_buf[off..off + n]);
+            pos += n as u64;
+            remaining -= n;
+        }
+        self.pos = pos;
+        Ok(Some(out))
+    }
+
+    /// Read the next record; `None` at the (possibly torn) end of the log.
+    pub fn next_record(&mut self) -> Result<Option<(Lsn, LogRecord)>, OsError> {
+        let lsn = self.pos;
+        let header = match self.read_bytes(FRAME_HEADER)? {
+            Some(h) => h,
+            None => return Ok(None),
+        };
+        let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+        let want_sum = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        // A zero length means we ran into the zero-filled tail; an
+        // implausibly large one means torn garbage.
+        if len == 0 || len > 1 << 20 {
+            self.pos = lsn;
+            return Ok(None);
+        }
+        let payload = match self.read_bytes(len)? {
+            Some(p) => p,
+            None => {
+                self.pos = lsn;
+                return Ok(None);
+            }
+        };
+        if checksum(&payload) != want_sum {
+            self.pos = lsn;
+            return Ok(None);
+        }
+        match LogRecord::decode(&payload) {
+            Some(r) => Ok(Some((lsn, r))),
+            None => {
+                self.pos = lsn;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Read every valid record and return them with the end-of-log LSN
+    /// (where a resumed writer should continue).
+    pub fn read_all(&mut self) -> Result<(Vec<(Lsn, LogRecord)>, Lsn), OsError> {
+        let mut out = Vec::new();
+        while let Some(item) = self.next_record()? {
+            out.push(item);
+        }
+        Ok((out, self.pos))
+    }
+
+    /// Scan to the end of the log; returns the resume LSN.
+    pub fn scan_end(device: Box<dyn BlockDevice>) -> Result<(Lsn, Box<dyn BlockDevice>), OsError> {
+        let mut r = LogReader::new(device);
+        while r.next_record()?.is_some() {}
+        let pos = r.pos;
+        Ok((pos, r.device))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fame_os::InMemoryDevice;
+
+    fn records(n: u64) -> Vec<LogRecord> {
+        (0..n)
+            .map(|i| LogRecord::Put {
+                txn: i,
+                index: (i % 3) as u8,
+                key: format!("key{i}").into_bytes(),
+                old: if i % 2 == 0 { None } else { Some(vec![1u8; i as usize % 40]) },
+                new: vec![i as u8; (i as usize * 3) % 60],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut w = LogWriter::new(Box::new(InMemoryDevice::new(128)), 0).unwrap();
+        let recs = records(50);
+        let mut lsns = Vec::new();
+        for r in &recs {
+            lsns.push(w.append(r).unwrap());
+        }
+        assert!(lsns.windows(2).all(|p| p[0] < p[1]), "LSNs increase");
+        w.sync().unwrap();
+        let mut r = LogReader::new(w.into_device());
+        let (read, _end) = r.read_all().unwrap();
+        assert_eq!(read.len(), 50);
+        for ((lsn, rec), (want_lsn, want)) in read.iter().zip(lsns.iter().zip(&recs)) {
+            assert_eq!(lsn, want_lsn);
+            assert_eq!(rec, want);
+        }
+    }
+
+    #[test]
+    fn records_span_page_boundaries() {
+        // 128-byte pages, 100-byte values force spanning.
+        let mut w = LogWriter::new(Box::new(InMemoryDevice::new(128)), 0).unwrap();
+        let r = LogRecord::Put {
+            txn: 1,
+            index: 0,
+            key: vec![7u8; 90],
+            old: Some(vec![8u8; 90]),
+            new: vec![9u8; 90],
+        };
+        w.append(&r).unwrap();
+        w.append(&r).unwrap();
+        let mut reader = LogReader::new(w.into_device());
+        let (read, _) = reader.read_all().unwrap();
+        assert_eq!(read.len(), 2);
+        assert_eq!(read[1].1, r);
+    }
+
+    #[test]
+    fn torn_tail_is_ignored() {
+        use fame_os::BlockDevice;
+        let mut w = LogWriter::new(Box::new(InMemoryDevice::new(128)), 0).unwrap();
+        for r in records(10) {
+            w.append(&r).unwrap();
+        }
+        let tail = w.tail();
+        let mut dev = w.into_device();
+        // Corrupt the middle of the last record.
+        let ps = dev.page_size() as u64;
+        let last_page = ((tail - 1) / ps) as u32;
+        let mut buf = vec![0u8; ps as usize];
+        dev.read_page(last_page, &mut buf).unwrap();
+        let off = ((tail - 1) % ps) as usize;
+        buf[off] ^= 0xFF;
+        dev.write_page(last_page, &buf).unwrap();
+
+        let mut r = LogReader::new(dev);
+        let (read, end) = r.read_all().unwrap();
+        assert_eq!(read.len(), 9, "last record dropped as torn");
+        assert!(end < tail);
+    }
+
+    #[test]
+    fn resume_writing_after_scan_end() {
+        let mut w = LogWriter::new(Box::new(InMemoryDevice::new(128)), 0).unwrap();
+        for r in records(5) {
+            w.append(&r).unwrap();
+        }
+        let dev = w.into_device();
+        let (end, dev) = LogReader::scan_end(dev).unwrap();
+        let mut w = LogWriter::new(dev, end).unwrap();
+        w.append(&LogRecord::Checkpoint).unwrap();
+        let mut r = LogReader::new(w.into_device());
+        let (read, _) = r.read_all().unwrap();
+        assert_eq!(read.len(), 6);
+        assert_eq!(read.last().unwrap().1, LogRecord::Checkpoint);
+    }
+
+    #[test]
+    fn empty_log_reads_nothing() {
+        let mut r = LogReader::new(Box::new(InMemoryDevice::new(128)));
+        let (read, end) = r.read_all().unwrap();
+        assert!(read.is_empty());
+        assert_eq!(end, 0);
+    }
+
+    #[test]
+    fn unsynced_counter() {
+        let mut w = LogWriter::new(Box::new(InMemoryDevice::new(128)), 0).unwrap();
+        w.append(&LogRecord::Begin { txn: 1 }).unwrap();
+        w.append(&LogRecord::Commit { txn: 1 }).unwrap();
+        assert_eq!(w.unsynced(), 2);
+        w.sync().unwrap();
+        assert_eq!(w.unsynced(), 0);
+    }
+}

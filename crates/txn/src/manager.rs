@@ -1,0 +1,408 @@
+//! The transaction manager: transaction table, WAL integration, commit
+//! protocols, and undo generation for aborts.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use fame_os::OsError;
+
+use crate::locks::{LockConflict, LockManager, LockMode};
+use crate::log::{LogWriter, Lsn};
+use crate::wal::LogRecord;
+
+pub use crate::wal::TxnId;
+
+/// How commits reach the platter — the paper's "alternative commit
+/// protocols" subfeature (§2.3). Each variant exists only when its cargo
+/// feature (`commit-force` / `commit-group`) is composed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitPolicy {
+    /// Sync the log on every commit. Durable immediately; one device sync
+    /// per transaction.
+    #[cfg(feature = "commit-force")]
+    Force,
+    /// Sync once per `group_size` commits (or on [`TxnManager::flush`]).
+    /// Amortizes syncs; the last group may be lost on a crash.
+    #[cfg(feature = "commit-group")]
+    Group {
+        /// Commits per sync.
+        group_size: u32,
+    },
+}
+
+/// Transaction-layer errors.
+#[derive(Debug)]
+pub enum TxnError {
+    /// The transaction id is unknown (never began, or already finished).
+    UnknownTxn(TxnId),
+    /// A no-wait lock conflict; the caller should abort and retry.
+    Conflict(LockConflict),
+    /// Log device failure.
+    Os(OsError),
+}
+
+impl fmt::Display for TxnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnError::UnknownTxn(t) => write!(f, "unknown transaction {t}"),
+            TxnError::Conflict(c) => write!(f, "{c}"),
+            TxnError::Os(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+impl From<OsError> for TxnError {
+    fn from(e: OsError) -> Self {
+        TxnError::Os(e)
+    }
+}
+
+impl From<LockConflict> for TxnError {
+    fn from(e: LockConflict) -> Self {
+        TxnError::Conflict(e)
+    }
+}
+
+/// One compensating action produced by an abort; the storage owner applies
+/// it (restore the old value or remove the key).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UndoAction {
+    /// Index the original operation targeted.
+    pub index: u8,
+    /// Key to repair.
+    pub key: Vec<u8>,
+    /// `Some(old)` = restore this value; `None` = the key did not exist,
+    /// remove it.
+    pub restore: Option<Vec<u8>>,
+}
+
+#[derive(Debug, Default)]
+struct TxnState {
+    undo: Vec<UndoAction>,
+}
+
+/// Transaction table + WAL + locks + commit protocol.
+pub struct TxnManager {
+    log: LogWriter,
+    locks: LockManager,
+    active: BTreeMap<TxnId, TxnState>,
+    next_id: TxnId,
+    policy: CommitPolicy,
+    commits_since_sync: u32,
+    committed: u64,
+    aborted: u64,
+}
+
+impl TxnManager {
+    /// Create a manager writing to `log` under the given commit policy.
+    pub fn new(log: LogWriter, policy: CommitPolicy) -> Self {
+        TxnManager {
+            log,
+            locks: LockManager::new(),
+            active: BTreeMap::new(),
+            next_id: 1,
+            policy,
+            commits_since_sync: 0,
+            committed: 0,
+            aborted: 0,
+        }
+    }
+
+    /// The commit policy in force.
+    pub fn policy(&self) -> CommitPolicy {
+        self.policy
+    }
+
+    /// Ids of active transactions.
+    pub fn active(&self) -> Vec<TxnId> {
+        self.active.keys().copied().collect()
+    }
+
+    /// `(committed, aborted)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.committed, self.aborted)
+    }
+
+    /// Start a transaction.
+    pub fn begin(&mut self) -> Result<TxnId, TxnError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.log.append(&LogRecord::Begin { txn: id })?;
+        self.active.insert(id, TxnState::default());
+        Ok(id)
+    }
+
+    fn state(&mut self, txn: TxnId) -> Result<&mut TxnState, TxnError> {
+        self.active.get_mut(&txn).ok_or(TxnError::UnknownTxn(txn))
+    }
+
+    /// Take a read lock on a key.
+    pub fn lock_read(&mut self, txn: TxnId, key: &[u8]) -> Result<(), TxnError> {
+        self.state(txn)?;
+        self.locks.acquire(txn, key, LockMode::Shared)?;
+        Ok(())
+    }
+
+    /// Log a put *before* the caller applies it to storage (WAL rule).
+    /// Takes the exclusive lock.
+    pub fn log_put(
+        &mut self,
+        txn: TxnId,
+        index: u8,
+        key: &[u8],
+        old: Option<Vec<u8>>,
+        new: &[u8],
+    ) -> Result<Lsn, TxnError> {
+        self.state(txn)?;
+        self.locks.acquire(txn, key, LockMode::Exclusive)?;
+        let lsn = self.log.append(&LogRecord::Put {
+            txn,
+            index,
+            key: key.to_vec(),
+            old: old.clone(),
+            new: new.to_vec(),
+        })?;
+        self.state(txn)?.undo.push(UndoAction {
+            index,
+            key: key.to_vec(),
+            restore: old,
+        });
+        Ok(lsn)
+    }
+
+    /// Log a remove *before* the caller applies it. Takes the exclusive
+    /// lock.
+    pub fn log_remove(
+        &mut self,
+        txn: TxnId,
+        index: u8,
+        key: &[u8],
+        old: Vec<u8>,
+    ) -> Result<Lsn, TxnError> {
+        self.state(txn)?;
+        self.locks.acquire(txn, key, LockMode::Exclusive)?;
+        let lsn = self.log.append(&LogRecord::Remove {
+            txn,
+            index,
+            key: key.to_vec(),
+            old: old.clone(),
+        })?;
+        self.state(txn)?.undo.push(UndoAction {
+            index,
+            key: key.to_vec(),
+            restore: Some(old),
+        });
+        Ok(lsn)
+    }
+
+    /// Commit: append the commit record and sync per the protocol.
+    pub fn commit(&mut self, txn: TxnId) -> Result<(), TxnError> {
+        if self.active.remove(&txn).is_none() {
+            return Err(TxnError::UnknownTxn(txn));
+        }
+        self.log.append(&LogRecord::Commit { txn })?;
+        self.locks.release_all(txn);
+        self.committed += 1;
+        match self.policy {
+            #[cfg(feature = "commit-force")]
+            CommitPolicy::Force => self.log.sync()?,
+            #[cfg(feature = "commit-group")]
+            CommitPolicy::Group { group_size } => {
+                self.commits_since_sync += 1;
+                if self.commits_since_sync >= group_size {
+                    self.log.sync()?;
+                    self.commits_since_sync = 0;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Abort: append the abort record and hand back the compensating
+    /// actions (newest first) for the caller to apply to storage.
+    pub fn abort(&mut self, txn: TxnId) -> Result<Vec<UndoAction>, TxnError> {
+        let state = self
+            .active
+            .remove(&txn)
+            .ok_or(TxnError::UnknownTxn(txn))?;
+        self.log.append(&LogRecord::Abort { txn })?;
+        self.locks.release_all(txn);
+        self.aborted += 1;
+        let mut undo = state.undo;
+        undo.reverse();
+        Ok(undo)
+    }
+
+    /// Force any buffered group commit to the device.
+    pub fn flush(&mut self) -> Result<(), TxnError> {
+        self.log.sync()?;
+        self.commits_since_sync = 0;
+        Ok(())
+    }
+
+    /// Write a checkpoint record (call after flushing data pages).
+    pub fn checkpoint(&mut self) -> Result<(), TxnError> {
+        self.log.append(&LogRecord::Checkpoint)?;
+        self.log.sync()?;
+        self.commits_since_sync = 0;
+        Ok(())
+    }
+
+    /// Syncs issued on the log device so far (protocol comparison metric).
+    pub fn log_syncs(&self) -> u64 {
+        self.log_device_stats().syncs
+    }
+
+    /// Raw device counters of the log device.
+    pub fn log_device_stats(&self) -> fame_os::DeviceStats {
+        self.log.device_stats()
+    }
+
+    /// Reclaim the log device (tests/recovery round trips).
+    pub fn into_log(self) -> LogWriter {
+        self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fame_os::InMemoryDevice;
+
+    fn manager(policy: CommitPolicy) -> TxnManager {
+        let log = LogWriter::new(Box::new(InMemoryDevice::new(128)), 0).unwrap();
+        TxnManager::new(log, policy)
+    }
+
+    #[cfg(feature = "commit-force")]
+    #[test]
+    fn begin_commit_lifecycle() {
+        let mut m = manager(CommitPolicy::Force);
+        let t = m.begin().unwrap();
+        assert_eq!(m.active(), vec![t]);
+        m.log_put(t, 0, b"k", None, b"v").unwrap();
+        m.commit(t).unwrap();
+        assert!(m.active().is_empty());
+        assert_eq!(m.stats(), (1, 0));
+    }
+
+    #[cfg(feature = "commit-force")]
+    #[test]
+    fn force_syncs_every_commit() {
+        let mut m = manager(CommitPolicy::Force);
+        for _ in 0..5 {
+            let t = m.begin().unwrap();
+            m.log_put(t, 0, b"k", None, b"v").unwrap();
+            m.commit(t).unwrap();
+        }
+        assert_eq!(m.log_device_stats().syncs, 5);
+    }
+
+    #[cfg(feature = "commit-group")]
+    #[test]
+    fn group_commit_amortizes_syncs() {
+        let mut m = manager(CommitPolicy::Group { group_size: 4 });
+        for _ in 0..8 {
+            let t = m.begin().unwrap();
+            m.log_put(t, 0, b"k", None, b"v").unwrap();
+            m.commit(t).unwrap();
+        }
+        assert_eq!(m.log_device_stats().syncs, 2, "8 commits / group of 4");
+        // A ninth commit sits unsynced until flush.
+        let t = m.begin().unwrap();
+        m.commit(t).unwrap();
+        assert_eq!(m.log_device_stats().syncs, 2);
+        m.flush().unwrap();
+        assert_eq!(m.log_device_stats().syncs, 3);
+    }
+
+    #[cfg(feature = "commit-force")]
+    #[test]
+    fn abort_returns_undo_in_reverse() {
+        let mut m = manager(CommitPolicy::Force);
+        let t = m.begin().unwrap();
+        m.log_put(t, 0, b"a", None, b"1").unwrap();
+        m.log_put(t, 0, b"a", Some(b"1".to_vec()), b"2").unwrap();
+        m.log_remove(t, 1, b"b", b"old-b".to_vec()).unwrap();
+        let undo = m.abort(t).unwrap();
+        assert_eq!(undo.len(), 3);
+        assert_eq!(undo[0].key, b"b");
+        assert_eq!(undo[0].restore, Some(b"old-b".to_vec()));
+        assert_eq!(undo[1].restore, Some(b"1".to_vec()));
+        assert_eq!(undo[2].restore, None, "first put created the key");
+        assert_eq!(m.stats(), (0, 1));
+    }
+
+    #[cfg(feature = "commit-force")]
+    #[test]
+    fn unknown_txn_rejected() {
+        let mut m = manager(CommitPolicy::Force);
+        assert!(matches!(m.commit(99), Err(TxnError::UnknownTxn(99))));
+        assert!(matches!(
+            m.log_put(99, 0, b"k", None, b"v"),
+            Err(TxnError::UnknownTxn(99))
+        ));
+    }
+
+    #[cfg(feature = "commit-force")]
+    #[test]
+    fn write_conflict_between_transactions() {
+        let mut m = manager(CommitPolicy::Force);
+        let t1 = m.begin().unwrap();
+        let t2 = m.begin().unwrap();
+        m.log_put(t1, 0, b"k", None, b"v1").unwrap();
+        assert!(matches!(
+            m.log_put(t2, 0, b"k", None, b"v2"),
+            Err(TxnError::Conflict(_))
+        ));
+        // After t1 commits, t2 can proceed.
+        m.commit(t1).unwrap();
+        m.log_put(t2, 0, b"k", Some(b"v1".to_vec()), b"v2").unwrap();
+        m.commit(t2).unwrap();
+    }
+
+    #[cfg(feature = "commit-force")]
+    #[test]
+    fn readers_share_then_block_writer() {
+        let mut m = manager(CommitPolicy::Force);
+        let t1 = m.begin().unwrap();
+        let t2 = m.begin().unwrap();
+        m.lock_read(t1, b"k").unwrap();
+        m.lock_read(t2, b"k").unwrap();
+        let t3 = m.begin().unwrap();
+        assert!(matches!(
+            m.log_put(t3, 0, b"k", None, b"v"),
+            Err(TxnError::Conflict(_))
+        ));
+    }
+
+    #[cfg(feature = "commit-force")]
+    #[test]
+    fn log_contains_full_history() {
+        use crate::log::LogReader;
+        let mut m = manager(CommitPolicy::Force);
+        let t = m.begin().unwrap();
+        m.log_put(t, 0, b"k", None, b"v").unwrap();
+        m.commit(t).unwrap();
+        let t2 = m.begin().unwrap();
+        m.abort(t2).unwrap();
+        m.checkpoint().unwrap();
+
+        let dev = m.into_log().into_device();
+        let (records, _) = LogReader::new(dev).read_all().unwrap();
+        let kinds: Vec<u8> = records
+            .iter()
+            .map(|(_, r)| match r {
+                LogRecord::Begin { .. } => 1,
+                LogRecord::Commit { .. } => 2,
+                LogRecord::Abort { .. } => 3,
+                LogRecord::Put { .. } => 4,
+                LogRecord::Remove { .. } => 5,
+                LogRecord::Checkpoint => 6,
+            })
+            .collect();
+        assert_eq!(kinds, [1, 4, 2, 1, 3, 6]);
+    }
+}

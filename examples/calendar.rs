@@ -1,0 +1,76 @@
+//! Personal calendar: the client application §3.1 of the paper uses as
+//! its running example ("e.g., a personal calendar application").
+//!
+//! A larger product: SQL engine + optimizer on top of the standard stack.
+//! The Fig. 3 tooling (see the `tailor` example) can analyze THIS file and
+//! derive that the product needs SQLEngine, Put, Get, ...
+//!
+//! Run with: `cargo run -p fame-dbms --example calendar --features sql,optimizer`
+
+use fame_dbms::{Database, DbmsConfig, QueryOutput};
+
+fn main() {
+    let mut db = Database::open(DbmsConfig::in_memory()).expect("open database");
+
+    db.sql("CREATE TABLE events (id U32, day U32, start_min U32, title TEXT, done BOOL)")
+        .unwrap();
+
+    db.sql(
+        "INSERT INTO events VALUES \
+         (1, 20260706, 540, 'standup', FALSE), \
+         (2, 20260706, 600, 'review FAME-DBMS paper', FALSE), \
+         (3, 20260706, 720, 'lunch', FALSE), \
+         (4, 20260707, 540, 'standup', FALSE), \
+         (5, 20260707, 660, 'write EXPERIMENTS.md', FALSE), \
+         (6, 20260708, 900, 'dentist', FALSE)",
+    )
+    .unwrap();
+
+    println!("agenda for 2026-07-06:");
+    let out = db
+        .sql("SELECT start_min, title FROM events WHERE day = 20260706 ORDER BY start_min")
+        .unwrap();
+    print_rows(&out);
+
+    // Mark one done, reschedule another.
+    db.sql("UPDATE events SET done = TRUE WHERE id = 1").unwrap();
+    db.sql("UPDATE events SET start_min = 630 WHERE id = 2").unwrap();
+
+    println!("\nopen items this week:");
+    let out = db
+        .sql(
+            "SELECT day, title FROM events \
+             WHERE done = FALSE AND day >= 20260706 AND day <= 20260712 \
+             ORDER BY day LIMIT 10",
+        )
+        .unwrap();
+    print_rows(&out);
+
+    // The optimizer feature turns primary-key predicates into B+-tree
+    // lookups instead of full scans:
+    let _ = db.sql("SELECT title FROM events WHERE id = 5").unwrap();
+    if let Some(path) = db.last_access_path() {
+        println!("\naccess path for `id = 5`: {path}");
+    }
+
+    let QueryOutput::Count(n) = db.sql("SELECT COUNT(*) FROM events").unwrap() else {
+        unreachable!()
+    };
+    println!("total events stored: {n}");
+
+    db.sql("DELETE FROM events WHERE done = TRUE").unwrap();
+    let QueryOutput::Count(n) = db.sql("SELECT COUNT(*) FROM events").unwrap() else {
+        unreachable!()
+    };
+    println!("after cleanup: {n}");
+}
+
+fn print_rows(out: &QueryOutput) {
+    if let QueryOutput::Rows { columns, rows } = out {
+        println!("  {}", columns.join(" | "));
+        for row in rows {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            println!("  {}", cells.join(" | "));
+        }
+    }
+}

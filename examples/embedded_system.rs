@@ -1,0 +1,83 @@
+//! Whole-system optimization: the paper's future-work plan, working.
+//!
+//! §5 of the paper: "we will … extend SPL composition and optimization to
+//! cover multiple SPLs (e.g., including the operating system …) to
+//! optimize the software of an embedded system as a whole" and "the data
+//! that is to be stored could be considered to statically select the
+//! optimal index".
+//!
+//! This example does both: it composes the FAME-DBMS feature model with a
+//! NutOS-like operating-system model (plus cross-SPL constraints), lets
+//! the index advisor pick the access method from a workload profile, and
+//! derives the best *combined* OS+DBMS product under one shared ROM
+//! budget.
+//!
+//! Run with: `cargo run -p fame-dbms --example embedded_system`
+
+use fame_derivation::{advise, solve_greedy, Objective, PropertyStore, WorkloadProfile};
+use fame_dbms::fame_feature_model::{compose, models};
+
+fn main() {
+    // ---- 1. Compose the two product lines -----------------------------
+    let dbms = models::fame_dbms();
+    let os = models::nut_os();
+    let mut builder = compose("EmbeddedSystem", &[&dbms, &os]);
+    // Cross-SPL constraints: the DBMS's NutOS port needs the OS flash
+    // driver; dynamic buffer allocation needs the OS heap.
+    builder.requires("NutOS", "FlashDriver").unwrap();
+    builder.requires("Dynamic", "Heap").unwrap();
+    let system = builder.build().expect("combined model is well-formed");
+
+    println!("combined model: {} features", system.len());
+    println!(
+        "  FAME-DBMS alone: {:>10} variants",
+        dbms.count_variants()
+    );
+    println!("  NutOS alone:     {:>10} variants", os.count_variants());
+    println!(
+        "  combined:        {:>10} variants (cross-SPL constraints pruned {})",
+        system.count_variants(),
+        dbms.count_variants() * os.count_variants() - system.count_variants()
+    );
+
+    // ---- 2. Let the workload pick the index ---------------------------
+    let workload = WorkloadProfile {
+        point_reads: 500,
+        writes: 100,
+        range_scans: 20, // daily report scans per-sensor time ranges
+        fifo_ops: 0,
+        records: 50_000,
+        rom_constrained: true,
+    };
+    let rec = advise(&workload);
+    println!("\nindex advisor:");
+    for line in &rec.rationale {
+        println!("  {line}");
+    }
+
+    // ---- 3. Derive the best whole system under one ROM budget ----------
+    let store = PropertyStore::seeded_from(&system);
+    let mut objective = Objective::rom_budget("perf", 128.0 * 1024.0);
+    objective = objective.require("NutOS"); // the hardware is fixed
+    if let Some(feature) = rec.best().fame_feature() {
+        objective = objective.require(feature);
+    }
+
+    match solve_greedy(&system, &store, &objective).configuration {
+        Some(cfg) => {
+            let rom = store.predict(&system, &cfg, "rom_bytes");
+            let ram = store.predict(&system, &cfg, "ram_bytes");
+            println!("\nderived whole-system product (128 KiB ROM budget):");
+            println!("  predicted ROM {:.1} KiB, RAM {:.1} KiB", rom / 1024.0, ram / 1024.0);
+            let names: Vec<&str> = cfg
+                .selected()
+                .map(|id| system.feature(id).name())
+                .collect();
+            println!("  {} features: {}", names.len(), names.join(", "));
+            // The cross-SPL constraint did its job:
+            assert!(cfg.is_selected(system.id("FlashDriver")));
+            println!("  cross-SPL constraint satisfied: NutOS -> FlashDriver");
+        }
+        None => println!("no valid whole-system product fits the budget"),
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: the procedural API of a standard FAME-DBMS product.
+//!
+//! Run with: `cargo run -p fame-dbms --example quickstart`
+
+use fame_dbms::{Database, DbmsConfig};
+
+fn main() {
+    // A standard product: in-memory device, B+-tree index, LRU buffer.
+    let mut db = Database::open(DbmsConfig::in_memory()).expect("open database");
+
+    // The four API subfeatures of the Access feature (Fig. 2): put, get,
+    // update, remove.
+    db.put(b"device:1:name", b"thermostat-living-room").unwrap();
+    db.put(b"device:2:name", b"humidity-basement").unwrap();
+    db.put(b"device:1:temp", b"21.5").unwrap();
+
+    let name = db.get(b"device:1:name").unwrap();
+    println!("device 1: {}", String::from_utf8_lossy(&name.unwrap()));
+
+    db.update(b"device:1:temp", b"22.0").unwrap();
+    println!(
+        "device 1 temperature: {}",
+        String::from_utf8_lossy(&db.get(b"device:1:temp").unwrap().unwrap())
+    );
+
+    // Ordered range scans come with the B+-tree index.
+    println!("\nall keys of device 1:");
+    for (k, v) in db.scan(Some(b"device:1:"), Some(b"device:2:")).unwrap() {
+        println!("  {} = {}", String::from_utf8_lossy(&k), String::from_utf8_lossy(&v));
+    }
+
+    let removed = db.remove(b"device:2:name").unwrap();
+    println!("\nremoved device 2: {removed}");
+    println!("keys remaining: {}", db.len().unwrap());
+
+    // Every product can report which features it was composed from.
+    println!("\nthis product was composed from cargo features:");
+    for f in fame_dbms::active_features() {
+        println!("  - {f}");
+    }
+
+    // ... and validate its configuration against the Figure 2 model.
+    match fame_dbms::model_configuration(db.config()) {
+        Ok((model, cfg)) => {
+            println!(
+                "\nvalid product of the {} model ({} of {} features selected)",
+                model.name(),
+                cfg.len(),
+                model.len()
+            );
+        }
+        Err(errors) => {
+            println!("\ninvalid composition:");
+            for e in errors {
+                println!("  ! {e}");
+            }
+        }
+    }
+
+    db.sync().unwrap();
+}

@@ -1,0 +1,93 @@
+//! Tailor: the automated product-derivation pipeline of §3 / Figure 3,
+//! run on the other examples of this repository.
+//!
+//! For each client application it (1) statically analyzes the sources into
+//! an application model, (2) evaluates the model queries, (3) refines the
+//! detected features against the Figure 2 feature model, and (4) derives
+//! the cheapest/fastest valid product for a ROM budget with the greedy
+//! NFP solver.
+//!
+//! Run with: `cargo run -p fame-dbms --example tailor`
+
+use fame_derivation::{
+    detect_features, solve_greedy, standard_fame_queries, AppModel, Objective, PropertyStore,
+};
+use fame_feature_model::models;
+
+fn main() {
+    let model = models::fame_dbms();
+    let store = PropertyStore::seeded_from(&model);
+    let queries = standard_fame_queries();
+
+    let apps = [
+        ("quickstart", "examples/quickstart.rs"),
+        ("sensor_logger", "examples/sensor_logger.rs"),
+        ("calendar", "examples/calendar.rs"),
+    ];
+
+    for (name, path) in apps {
+        let Ok(source) = std::fs::read_to_string(path) else {
+            eprintln!("skipping {name}: cannot read {path} (run from the repo root)");
+            continue;
+        };
+        let app = AppModel::analyze(&source, true);
+        let detection = detect_features(&app, &queries, &model);
+
+        println!("=== application `{name}` ({path})");
+        println!(
+            "  analysis: {} facts, dead-code pruning {}",
+            app.facts().count(),
+            if app.is_pruned() { "on" } else { "off" }
+        );
+        println!("  detected features: {}", detection.detected.join(", "));
+        for ev in &detection.evidence {
+            for (what, lines) in &ev.facts {
+                let lines: Vec<String> = lines.iter().take(3).map(|l| l.to_string()).collect();
+                println!("    {} <- {} (line {})", ev.feature, what, lines.join(", "));
+            }
+        }
+        match &detection.configuration {
+            Some(cfg) => {
+                let rom = store.predict(&model, cfg, "rom_bytes");
+                println!(
+                    "  refined to a valid product: {} features, predicted ROM {:.1} KiB",
+                    cfg.len(),
+                    rom / 1024.0
+                );
+            }
+            None => {
+                println!("  could not refine automatically; manual selection needed:");
+                for e in &detection.errors {
+                    println!("    ! {e}");
+                }
+            }
+        }
+
+        // NFP-constrained derivation: best product for a 96 KiB ROM budget
+        // that still contains everything the application needs.
+        let mut objective = Objective::rom_budget("perf", 96.0 * 1024.0);
+        for f in &detection.detected {
+            if model.by_name(f).is_some() {
+                objective = objective.require(f.clone());
+            }
+        }
+        match solve_greedy(&model, &store, &objective).configuration {
+            Some(cfg) => {
+                let rom = store.predict(&model, &cfg, "rom_bytes");
+                let perf = store.predict(&model, &cfg, "perf");
+                let names: Vec<&str> = cfg
+                    .selected()
+                    .map(|id| model.feature(id).name())
+                    .filter(|n| *n != "FAME-DBMS")
+                    .collect();
+                println!(
+                    "  greedy product under 96 KiB: ROM {:.1} KiB, perf score {perf:.1}",
+                    rom / 1024.0
+                );
+                println!("    features: {}", names.join(", "));
+            }
+            None => println!("  no valid product fits 96 KiB with these requirements"),
+        }
+        println!();
+    }
+}

@@ -1,0 +1,106 @@
+//! Variant probe: the measurement binary of the Figure 1 experiments.
+//!
+//! This tiny application embeds the FAME-DBMS product that the selected
+//! cargo features compose, exercises every composed feature once (so the
+//! linker cannot discard them), and reports what it contains. The `fig1a`
+//! harness builds it once per configuration and records the stripped
+//! binary size; `fig1b` reuses the same workload shape for throughput.
+//!
+//! It deliberately compiles under *any* feature combination that satisfies
+//! the composition rules (at least one index, one OS backend).
+
+use fame_dbms::{Database, DbmsConfig};
+
+fn main() {
+    let mut config = DbmsConfig::default_for_build();
+    config.page_size = 512;
+
+    #[cfg(all(feature = "transactions", any(feature = "commit-force", feature = "commit-group")))]
+    {
+        config.transactions = Some(fame_dbms::TxnConfig {
+            commit: default_commit(),
+        });
+    }
+    #[cfg(feature = "crypto")]
+    {
+        config.crypto_key = Some(*b"fame-dbms-key-16");
+    }
+    #[cfg(feature = "replication")]
+    {
+        config.replication = Some(fame_dbms::fame_repl::AckPolicy::Asynchronous);
+    }
+
+    let mut db = Database::open(config).expect("open");
+
+    #[cfg(feature = "replication")]
+    let mut replica = db.attach_replica().expect("replica");
+
+    // Exercise the API subfeatures that are composed in.
+    #[cfg(feature = "api-put")]
+    for i in 0u32..100 {
+        db.put(&i.to_be_bytes(), &[i as u8; 16]).expect("put");
+    }
+    #[cfg(feature = "api-get")]
+    {
+        let mut hits = 0;
+        for i in 0u32..100 {
+            if db.get(&i.to_be_bytes()).expect("get").is_some() {
+                hits += 1;
+            }
+        }
+        println!("gets: {hits}");
+    }
+    #[cfg(feature = "api-update")]
+    {
+        let _ = db.update(&1u32.to_be_bytes(), b"updated-value---").expect("update");
+    }
+    #[cfg(feature = "api-remove")]
+    {
+        let _ = db.remove(&2u32.to_be_bytes()).expect("remove");
+    }
+
+    #[cfg(all(feature = "transactions", any(feature = "commit-force", feature = "commit-group")))]
+    {
+        let t = db.begin().expect("begin");
+        #[cfg(feature = "api-put")]
+        db.txn_put(t, b"txn-key", b"txn-value").expect("txn_put");
+        db.commit(t).expect("commit");
+    }
+
+    #[cfg(feature = "sql")]
+    {
+        db.sql("CREATE TABLE probe (id U32, v TEXT)").expect("create");
+        db.sql("INSERT INTO probe VALUES (1, 'x'), (2, 'y')").expect("insert");
+        let out = db.sql("SELECT COUNT(*) FROM probe WHERE id >= 1").expect("select");
+        println!("sql: {out:?}");
+    }
+
+    #[cfg(feature = "index-queue")]
+    {
+        let mut q = db.queue(16).expect("queue");
+        q.push(&[7u8; 16]).expect("push");
+        let _ = q.pop().expect("pop");
+    }
+
+    #[cfg(feature = "replication")]
+    {
+        let applied = replica.poll();
+        println!("replicated ops: {applied}");
+    }
+
+    db.sync().expect("sync");
+    println!("features: {}", fame_dbms::active_features().join(","));
+    println!("keys: {}", db.len().expect("len"));
+}
+
+#[cfg(all(feature = "transactions", any(feature = "commit-force", feature = "commit-group")))]
+fn default_commit() -> fame_dbms::fame_txn::CommitPolicy {
+    #[cfg(feature = "commit-group")]
+    {
+        fame_dbms::fame_txn::CommitPolicy::Group { group_size: 8 }
+    }
+    #[cfg(all(not(feature = "commit-group"), feature = "commit-force"))]
+    {
+        fame_dbms::fame_txn::CommitPolicy::Force
+    }
+}

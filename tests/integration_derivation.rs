@@ -1,0 +1,135 @@
+//! Integration: the Figure 3 derivation pipeline against this
+//! repository's real example applications, and the NFP solvers against
+//! the Figure 2 model.
+
+use fame_derivation::{
+    detect_features, solve_exhaustive, solve_greedy, standard_fame_queries, AppModel, Objective,
+    PropertyStore,
+};
+use fame_feature_model::models;
+
+fn example_source(name: &str) -> Option<String> {
+    // Tests run with the crate as CWD ambiguity; try both locations.
+    for base in ["examples", "../../examples"] {
+        let p = std::path::Path::new(base).join(name);
+        if let Ok(s) = std::fs::read_to_string(p) {
+            return Some(s);
+        }
+    }
+    None
+}
+
+#[test]
+fn quickstart_derives_its_feature_needs() {
+    let Some(src) = example_source("quickstart.rs") else {
+        eprintln!("examples not found from test CWD; skipping");
+        return;
+    };
+    let model = models::fame_dbms();
+    let d = detect_features(
+        &AppModel::analyze(&src, true),
+        &standard_fame_queries(),
+        &model,
+    );
+    for f in ["Put", "Get", "Remove", "Update"] {
+        assert!(d.detected.contains(&f.to_string()), "missing {f}");
+    }
+    assert!(
+        !d.detected.contains(&"Transaction".to_string()),
+        "quickstart does not use transactions"
+    );
+    let cfg = d.configuration.expect("valid configuration");
+    assert!(model.validate(&cfg).is_ok());
+}
+
+#[test]
+fn calendar_derives_sql_need() {
+    let Some(src) = example_source("calendar.rs") else {
+        eprintln!("examples not found from test CWD; skipping");
+        return;
+    };
+    let model = models::fame_dbms();
+    let d = detect_features(
+        &AppModel::analyze(&src, true),
+        &standard_fame_queries(),
+        &model,
+    );
+    assert!(d.detected.contains(&"SQLEngine".to_string()));
+    let cfg = d.configuration.expect("valid configuration");
+    // The SQLEngine -> (Get & Put) constraint must be honoured.
+    assert!(cfg.is_selected(model.id("Get")));
+    assert!(cfg.is_selected(model.id("Put")));
+}
+
+#[test]
+fn sensor_logger_derives_embedded_product() {
+    let Some(src) = example_source("sensor_logger.rs") else {
+        eprintln!("examples not found from test CWD; skipping");
+        return;
+    };
+    let model = models::fame_dbms();
+    let d = detect_features(
+        &AppModel::analyze(&src, true),
+        &standard_fame_queries(),
+        &model,
+    );
+    assert!(d.detected.contains(&"NutOS".to_string()));
+    assert!(d.detected.contains(&"BufferManager".to_string()));
+    let cfg = d.configuration.expect("valid configuration");
+    // (NutOS & BufferManager) -> Static must be resolved automatically.
+    assert!(cfg.is_selected(model.id("Static")));
+    assert!(!cfg.is_selected(model.id("Dynamic")));
+}
+
+#[test]
+fn greedy_matches_exhaustive_on_most_budgets() {
+    let model = models::fame_dbms();
+    let store = PropertyStore::seeded_from(&model);
+    let mut exact = 0;
+    let budgets = [60.0, 90.0, 120.0, 180.0, 240.0];
+    for b in budgets {
+        let obj = Objective::rom_budget("perf", b * 1024.0);
+        let g = solve_greedy(&model, &store, &obj);
+        let e = solve_exhaustive(&model, &store, &obj);
+        assert!(g.objective <= e.objective + 1e-9);
+        if (e.objective - g.objective).abs() < 1e-9 {
+            exact += 1;
+        }
+    }
+    assert!(
+        exact >= budgets.len() - 2,
+        "greedy should be optimal on most budgets ({exact}/{})",
+        budgets.len()
+    );
+}
+
+#[test]
+fn derived_requirements_plus_budget_compose() {
+    // End-to-end §3: detect features from sources, then derive the best
+    // product under a budget that honours them.
+    let Some(src) = example_source("quickstart.rs") else {
+        eprintln!("examples not found from test CWD; skipping");
+        return;
+    };
+    let model = models::fame_dbms();
+    let store = PropertyStore::seeded_from(&model);
+    let d = detect_features(
+        &AppModel::analyze(&src, true),
+        &standard_fame_queries(),
+        &model,
+    );
+    let mut obj = Objective::rom_budget("perf", 128.0 * 1024.0);
+    for f in &d.detected {
+        if model.by_name(f).is_some() {
+            obj = obj.require(f.clone());
+        }
+    }
+    let out = solve_greedy(&model, &store, &obj);
+    let cfg = out.configuration.expect("fits the budget");
+    for f in &d.detected {
+        if let Some(id) = model.by_name(f) {
+            assert!(cfg.is_selected(id), "requirement {f} dropped");
+        }
+    }
+    assert!(store.predict(&model, &cfg, "rom_bytes") <= 128.0 * 1024.0);
+}

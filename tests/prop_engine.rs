@@ -1,0 +1,186 @@
+//! Property tests over the whole engine (full feature build): the
+//! database facade behaves like a model map under arbitrary operation
+//! sequences, for every index kind, with and without crypto.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+use fame_dbms::{BufferConfig, Database, DbmsConfig, IndexKind};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(Vec<u8>, Vec<u8>),
+    Get(Vec<u8>),
+    Remove(Vec<u8>),
+    Update(Vec<u8>, Vec<u8>),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let key = prop::collection::vec(any::<u8>(), 1..10);
+    let val = prop::collection::vec(any::<u8>(), 0..20);
+    prop_oneof![
+        (key.clone(), val.clone()).prop_map(|(k, v)| Op::Put(k, v)),
+        key.clone().prop_map(Op::Get),
+        key.clone().prop_map(Op::Remove),
+        (key, val).prop_map(|(k, v)| Op::Update(k, v)),
+    ]
+}
+
+fn run_ops(mut db: Database, ops: Vec<Op>) -> Result<(), TestCaseError> {
+    let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    for op in ops {
+        match op {
+            Op::Put(k, v) => {
+                db.put(&k, &v).unwrap();
+                model.insert(k, v);
+            }
+            Op::Get(k) => {
+                prop_assert_eq!(db.get(&k).unwrap(), model.get(&k).cloned());
+            }
+            Op::Remove(k) => {
+                let removed = db.remove(&k).unwrap();
+                prop_assert_eq!(removed, model.remove(&k).is_some());
+            }
+            Op::Update(k, v) => {
+                let updated = db.update(&k, &v).unwrap();
+                if updated {
+                    model.insert(k, v);
+                } else {
+                    prop_assert!(!model.contains_key(&k));
+                }
+            }
+        }
+    }
+    prop_assert_eq!(db.len().unwrap(), model.len());
+    for (k, v) in &model {
+        let got = db.get(k).unwrap();
+        prop_assert_eq!(got.as_ref(), Some(v));
+    }
+    Ok(())
+}
+
+fn config_for(index: IndexKind, crypto: bool, frames: usize) -> DbmsConfig {
+    let mut cfg = DbmsConfig::in_memory();
+    cfg.page_size = 256;
+    cfg.index = index;
+    cfg.buffer = Some(BufferConfig {
+        frames,
+        replacement: fame_dbms::fame_buffer::ReplacementKind::Lru,
+        static_alloc: false,
+    });
+    if crypto {
+        cfg.crypto_key = Some(*b"fame-dbms-key-16");
+    }
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn btree_product_behaves_like_map(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let db = Database::open(config_for(IndexKind::BTree, false, 16)).unwrap();
+        run_ops(db, ops)?;
+    }
+
+    #[test]
+    fn hash_product_behaves_like_map(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let db = Database::open(config_for(IndexKind::Hash { buckets: 8 }, false, 16)).unwrap();
+        run_ops(db, ops)?;
+    }
+
+    #[test]
+    fn list_product_behaves_like_map(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let db = Database::open(config_for(IndexKind::List, false, 16)).unwrap();
+        run_ops(db, ops)?;
+    }
+
+    #[test]
+    fn encrypted_product_behaves_like_map(ops in prop::collection::vec(op_strategy(), 1..100)) {
+        // A tiny pool forces constant decrypt/encrypt round trips.
+        let db = Database::open(config_for(IndexKind::BTree, true, 2)).unwrap();
+        run_ops(db, ops)?;
+    }
+
+    #[test]
+    fn scan_agrees_with_sorted_model(
+        entries in prop::collection::btree_map(
+            prop::collection::vec(any::<u8>(), 1..8),
+            prop::collection::vec(any::<u8>(), 0..16),
+            0..80,
+        )
+    ) {
+        let mut db = Database::open(config_for(IndexKind::BTree, false, 16)).unwrap();
+        for (k, v) in &entries {
+            db.put(k, v).unwrap();
+        }
+        let scanned = db.scan(None, None).unwrap();
+        let expected: Vec<(Vec<u8>, Vec<u8>)> =
+            entries.into_iter().collect();
+        prop_assert_eq!(scanned, expected);
+    }
+
+    #[test]
+    fn transactional_commit_equals_direct_writes(
+        kvs in prop::collection::vec(
+            (prop::collection::vec(any::<u8>(), 1..6),
+             prop::collection::vec(any::<u8>(), 0..12)),
+            1..40,
+        )
+    ) {
+        let mut cfg = config_for(IndexKind::BTree, false, 16);
+        cfg.transactions = Some(fame_dbms::TxnConfig {
+            commit: fame_dbms::fame_txn::CommitPolicy::Force,
+        });
+        let mut db = Database::open(cfg).unwrap();
+        let t = db.begin().unwrap();
+        let mut model = BTreeMap::new();
+        for (k, v) in kvs {
+            // no-wait locking: re-puts of the same key by the same txn are fine
+            db.txn_put(t, &k, &v).unwrap();
+            model.insert(k, v);
+        }
+        db.commit(t).unwrap();
+        for (k, v) in &model {
+            let got = db.get(k).unwrap();
+            prop_assert_eq!(got.as_ref(), Some(v));
+        }
+    }
+
+    #[test]
+    fn abort_is_a_perfect_undo(
+        before in prop::collection::btree_map(
+            prop::collection::vec(any::<u8>(), 1..6),
+            prop::collection::vec(any::<u8>(), 0..12),
+            0..30,
+        ),
+        churn in prop::collection::vec(
+            (prop::collection::vec(any::<u8>(), 1..6),
+             prop::option::of(prop::collection::vec(any::<u8>(), 0..12))),
+            1..40,
+        )
+    ) {
+        let mut cfg = config_for(IndexKind::BTree, false, 16);
+        cfg.transactions = Some(fame_dbms::TxnConfig {
+            commit: fame_dbms::fame_txn::CommitPolicy::Force,
+        });
+        let mut db = Database::open(cfg).unwrap();
+        for (k, v) in &before {
+            db.put(k, v).unwrap();
+        }
+        let snapshot = db.scan(None, None).unwrap();
+
+        let t = db.begin().unwrap();
+        for (k, op) in churn {
+            match op {
+                Some(v) => db.txn_put(t, &k, &v).unwrap(),
+                None => {
+                    let _ = db.txn_remove(t, &k).unwrap();
+                }
+            }
+        }
+        db.abort(t).unwrap();
+
+        prop_assert_eq!(db.scan(None, None).unwrap(), snapshot);
+    }
+}
