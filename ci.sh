@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Repository CI gate: formatting, lints on the static-analysis crate,
+# release build, the full test suite, and the §3.1 derivability
+# reproduction. Run from the repo root: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== clippy (fame-derivation, warnings are errors)"
+cargo clippy -p fame-derivation --all-targets -- -D warnings
+
+echo "== build --release"
+cargo build --release --workspace
+
+echo "== test"
+cargo test -q --workspace
+
+echo "== fig3_derivation (§3.1 reproduction)"
+cargo run --release -p fame-bench --bin fig3_derivation | tail -n 20
+
+echo "== CI OK"

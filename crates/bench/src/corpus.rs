@@ -156,6 +156,67 @@ int main(void) {
 "#,
             uses: &["Btree"],
         },
+        CorpusApp {
+            name: "flag_via_variable",
+            // Flags assembled in a local before the open call: only the
+            // data-flow engine (not a lexical scan of the call site)
+            // attributes DB_INIT_TXN / DB_INIT_LOCK to the sink.
+            source: r#"
+int main(void) {
+    DB_ENV *env;
+    u_int32_t flags;
+    db_env_create(&env, 0);
+    flags = DB_CREATE | DB_INIT_TXN | DB_INIT_LOCK | DB_INIT_MPOOL;
+    env->open(env, "/vardb", flags, 0);
+    env->txn_begin(env, NULL, &tid, 0);
+    dbp->open(dbp, tid, "t.db", NULL, DB_BTREE, DB_CREATE, 0);
+    dbp->put(dbp, tid, &key, &data, 0);
+    return 0;
+}
+"#,
+            uses: &["Btree", "Transactions", "Locking"],
+        },
+        CorpusApp {
+            name: "flag_via_helper",
+            // Flags produced by a helper function: needs the
+            // interprocedural return-summary propagation.
+            source: r#"
+u_int32_t vault_flags(void) {
+    u_int32_t f = DB_CREATE | DB_INIT_TXN | DB_INIT_LOG;
+    return f;
+}
+
+int main(void) {
+    DB_ENV *env;
+    db_env_create(&env, 0);
+    env->open(env, "/helper", vault_flags(), 0);
+    env->txn_begin(env, NULL, &tid, 0);
+    dbp->open(dbp, tid, "h.db", NULL, DB_HASH, DB_CREATE, 0);
+    dbp->put(dbp, tid, &key, &data, 0);
+    return 0;
+}
+"#,
+            uses: &["Hash", "Transactions", "Logging"],
+        },
+        CorpusApp {
+            name: "dead_branch_decoy",
+            // Encryption/replication code behind `if (0)`: a purely
+            // textual scan reports three false positives here; the
+            // flow-confirmed tier prunes the dead branch.
+            source: r#"
+int main(void) {
+    dbp->open(dbp, NULL, "plain.db", NULL, DB_BTREE, DB_CREATE, 0);
+    dbp->put(dbp, NULL, &key, &data, 0);
+    if (0) {
+        env->set_encrypt(env, passwd, DB_ENCRYPT_AES);
+        env->open(env, "/x", DB_CREATE | DB_INIT_TXN | DB_INIT_REP, 0);
+        env->rep_start(env, &cdata, DB_REP_MASTER);
+    }
+    return 0;
+}
+"#,
+            uses: &["Btree"],
+        },
     ]
 }
 
@@ -189,6 +250,45 @@ mod tests {
                 assert!(used_somewhere, "{} never used in corpus", f.name());
                 assert!(absent_somewhere, "{} used everywhere in corpus", f.name());
             }
+        }
+    }
+
+    /// Detected feature set for one app at one tier.
+    fn detect_at(
+        app: &CorpusApp,
+        tier: fame_derivation::Confidence,
+    ) -> std::collections::BTreeSet<&'static str> {
+        let model = fame_derivation::AppModel::from_source(app.source);
+        fame_derivation::standard_bdb_queries()
+            .iter()
+            .filter(|q| q.query.matches_at(&model, tier))
+            .map(|q| q.feature)
+            .collect()
+    }
+
+    #[test]
+    fn flow_sensitive_apps_are_exact_at_flow_confirmed_tier() {
+        use fame_derivation::Confidence;
+        for name in ["flag_via_variable", "flag_via_helper", "dead_branch_decoy"] {
+            let corpus = bdb_corpus();
+            let app = corpus.iter().find(|a| a.name == name).expect("in corpus");
+            let detected = detect_at(app, Confidence::FlowConfirmed);
+            let truth: std::collections::BTreeSet<&str> = app.uses.iter().copied().collect();
+            assert_eq!(detected, truth, "{name}: zero FP/FN at FlowConfirmed");
+        }
+    }
+
+    #[test]
+    fn dead_branch_decoy_fools_the_syntactic_tier() {
+        use fame_derivation::Confidence;
+        let corpus = bdb_corpus();
+        let app = corpus
+            .iter()
+            .find(|a| a.name == "dead_branch_decoy")
+            .expect("in corpus");
+        let loose = detect_at(app, Confidence::Syntactic);
+        for fp in ["Crypto", "Transactions", "Replication"] {
+            assert!(loose.contains(fp), "textual scan reports {fp}");
         }
     }
 

@@ -15,6 +15,8 @@
 
 use fame_feature_model::{Configuration, FeatureModel};
 
+use crate::appmodel::{AppModel, Confidence, Fact};
+
 /// Expected workload of the application, as operation counts per "period"
 /// (absolute scale cancels out; only ratios and `records` matter).
 #[derive(Debug, Clone, Copy)]
@@ -43,6 +45,54 @@ impl WorkloadProfile {
             fifo_ops: 0,
             records,
             rom_constrained: false,
+        }
+    }
+
+    /// Derive a profile from a statically analyzed application: call-site
+    /// counts stand in for operation frequencies (the §5 "consider the
+    /// data that is to be stored" item, approximated from code shape).
+    /// Only facts at `min_tier` or better count, so a
+    /// [`Confidence::FlowConfirmed`] profile ignores dead branches and
+    /// `cfg`-gated code. `records` is domain knowledge the sources cannot
+    /// express; pass the expected live-record count.
+    pub fn from_app_model(app: &AppModel, min_tier: Confidence, records: u64) -> WorkloadProfile {
+        let calls = |names: &[&str]| -> u64 {
+            names
+                .iter()
+                .map(|n| {
+                    let f = Fact::Call((*n).to_string());
+                    if app.holds(&f, min_tier) {
+                        app.lines_of(&f).len() as u64
+                    } else {
+                        0
+                    }
+                })
+                .sum()
+        };
+        let consts = |names: &[&str]| -> u64 {
+            names
+                .iter()
+                .map(|n| {
+                    let f = Fact::Constant((*n).to_string());
+                    if app.holds(&f, min_tier) {
+                        app.lines_of(&f).len() as u64
+                    } else {
+                        0
+                    }
+                })
+                .sum()
+        };
+        WorkloadProfile {
+            point_reads: calls(&["get", "txn_get"]),
+            writes: calls(&["put", "txn_put", "update", "remove", "txn_remove"]),
+            range_scans: calls(&["scan", "cursor"]),
+            fifo_ops: calls(&["push", "pop", "enqueue", "dequeue"])
+                + consts(&["DB_APPEND", "DB_CONSUME"]),
+            records,
+            rom_constrained: app.holds(
+                &Fact::Path("OsTarget".to_string(), "Flash".to_string()),
+                min_tier,
+            ) || app.holds(&Fact::Call("on_flash".to_string()), min_tier),
         }
     }
 }
@@ -116,12 +166,24 @@ pub fn advise(profile: &WorkloadProfile) -> Recommendation {
         } else {
             0.0
         }
-        + if profile.fifo_ops > 0 { unsupported } else { 0.0 }
+        + if profile.fifo_ops > 0 {
+            unsupported
+        } else {
+            0.0
+        }
         + if profile.rom_constrained { 2.0 } else { 0.0 };
 
     let hash = (profile.point_reads + profile.writes) as f64 * 2.0
-        + if profile.range_scans > 0 { unsupported } else { 0.0 }
-        + if profile.fifo_ops > 0 { unsupported } else { 0.0 }
+        + if profile.range_scans > 0 {
+            unsupported
+        } else {
+            0.0
+        }
+        + if profile.fifo_ops > 0 {
+            unsupported
+        } else {
+            0.0
+        }
         + if profile.rom_constrained { 30.0 } else { 0.0 };
 
     let queue = profile.fifo_ops as f64 * 1.0
@@ -260,6 +322,52 @@ mod tests {
         if let Some(name) = rec.best().fame_feature() {
             assert!(cfg.is_selected(model.id(name)));
         }
+    }
+
+    #[test]
+    fn profile_derived_from_app_model() {
+        let src = r#"
+fn main() {
+    let mut config = DbmsConfig::on_flash(flash);
+    db.put(&key, &value).unwrap();
+    db.put(&key2, &value2).unwrap();
+    db.get(&key).unwrap();
+    for (k, v) in db.scan(None, None).unwrap() {
+        use_row(k, v);
+    }
+}
+"#;
+        let app = AppModel::from_source(src);
+        let p = WorkloadProfile::from_app_model(&app, Confidence::FlowConfirmed, 10_000);
+        assert_eq!(p.writes, 2);
+        assert_eq!(p.point_reads, 1);
+        assert_eq!(p.range_scans, 1);
+        assert!(p.rom_constrained, "on_flash marks the embedded target");
+        assert_eq!(
+            advise(&p).best(),
+            IndexChoice::BTree,
+            "scans force the tree"
+        );
+    }
+
+    #[test]
+    fn dead_branch_ops_do_not_skew_the_profile() {
+        let src = r#"
+int main(void) {
+    dbp->get(dbp, NULL, &key, &data, 0);
+    if (0) {
+        dbp->put(dbp, NULL, &key, &data, DB_APPEND);
+        dbp->get(dbp, NULL, &key, &data, DB_CONSUME);
+    }
+    return 0;
+}
+"#;
+        let app = AppModel::from_source(src);
+        let strict = WorkloadProfile::from_app_model(&app, Confidence::FlowConfirmed, 100);
+        assert_eq!(strict.writes, 0, "dead put must not count");
+        assert_eq!(strict.fifo_ops, 0, "dead queue flags must not count");
+        let loose = WorkloadProfile::from_app_model(&app, Confidence::Syntactic, 100);
+        assert!(loose.writes > 0, "syntactic tier keeps the old behavior");
     }
 
     #[test]

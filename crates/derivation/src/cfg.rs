@@ -1,0 +1,1018 @@
+//! Per-function control-flow graphs — stage two of the §3.1 pipeline.
+//!
+//! The token stream ([`crate::lexer`]) is parsed into function definitions
+//! (Rust `fn name(..) { .. }` or C `type name(..) { .. }`), each body into
+//! a structured statement tree ([`Node`]), and the tree is lowered into a
+//! basic-block CFG with explicit edges. Branch conditions are classified
+//! ([`Cond`]): a constant-false condition (`if (0)`, `if false`,
+//! `while (0)`) produces a block with **no incoming edge**, so the
+//! data-flow stage sees the branch as unreachable and its facts never rise
+//! above the `Syntactic` confidence tier — dead code must not pull
+//! features into the product. `cfg!`-gated and `#[cfg]`-gated code stays
+//! reachable but is *tier-capped*: present in the sources, not provably in
+//! the product.
+
+use crate::lexer::{TokKind, Token};
+
+/// Source language of an analyzed text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lang {
+    /// Rust: functions declared with the `fn` keyword.
+    Rust,
+    /// C-style: `return-type name(params) { ... }` definitions.
+    CStyle,
+}
+
+/// Auto-detect the source language: Rust sources declare functions with
+/// the `fn` keyword, C-style sources never do.
+pub fn detect_lang(tokens: &[Token]) -> Lang {
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_ident("fn") && tokens.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident) {
+            return Lang::Rust;
+        }
+        i += 1;
+    }
+    Lang::CStyle
+}
+
+/// One parsed function definition.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// Body tokens (between, not including, the outer braces).
+    pub body: Vec<Token>,
+    /// First line of the definition.
+    pub line: u32,
+    /// Whether the definition carries a `#[cfg(..)]` attribute — its facts
+    /// are capped at the `Syntactic` tier.
+    pub gated: bool,
+}
+
+const C_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "do", "switch", "case", "return", "sizeof", "struct", "union",
+    "enum", "typedef", "goto",
+];
+
+/// Parse all function definitions out of a token stream.
+pub fn parse_functions(tokens: &[Token], lang: Lang) -> Vec<FnDef> {
+    parse_program(tokens, lang).0
+}
+
+/// Parse a whole program: function definitions plus the leftover
+/// top-level tokens (globals, prototypes, `impl`/`use` scaffolding) that
+/// belong to no function body. The leftovers form the `<toplevel>`
+/// pseudo-function so facts outside functions are still seen.
+pub fn parse_program(tokens: &[Token], lang: Lang) -> (Vec<FnDef>, Vec<Token>) {
+    match lang {
+        Lang::Rust => parse_rust_program(tokens),
+        Lang::CStyle => parse_c_program(tokens),
+    }
+}
+
+fn parse_rust_program(tokens: &[Token]) -> (Vec<FnDef>, Vec<Token>) {
+    let mut out = Vec::new();
+    let mut extra = Vec::new();
+    let mut i = 0;
+    let mut pending_cfg = false;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+            let (end, has_cfg) = scan_attribute(tokens, i + 1);
+            pending_cfg = pending_cfg || has_cfg;
+            i = end;
+            continue;
+        }
+        if t.is_ident("fn") && tokens.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident) {
+            let name = tokens[i + 1].text.clone();
+            let line = t.line;
+            // The body is the first `{` at zero paren/bracket depth after
+            // the name (where-clauses and return types contain no braces).
+            let mut j = i + 2;
+            let mut depth = 0i32;
+            let mut open = None;
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 && tokens[j].kind == TokKind::Punct => {
+                        open = Some(j);
+                        break;
+                    }
+                    ";" if depth == 0 => break, // trait method signature
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(open) = open {
+                let close = match_brace(tokens, open);
+                out.push(FnDef {
+                    name,
+                    body: tokens[open + 1..close].to_vec(),
+                    line,
+                    gated: pending_cfg,
+                });
+                pending_cfg = false;
+                i = close + 1;
+                continue;
+            }
+        }
+        if matches!(t.text.as_str(), ";" | "{" | "}") {
+            pending_cfg = false;
+        }
+        extra.push(t.clone());
+        i += 1;
+    }
+    (out, extra)
+}
+
+fn parse_c_program(tokens: &[Token]) -> (Vec<FnDef>, Vec<Token>) {
+    let mut out = Vec::new();
+    let mut extra = Vec::new();
+    let mut i = 0;
+    let mut depth = 0i32;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => depth -= 1,
+            _ => {}
+        }
+        // At file scope: `ret-type name ( params ) {` is a definition.
+        if depth == 0
+            && t.kind == TokKind::Ident
+            && !C_KEYWORDS.contains(&t.text.as_str())
+            && i > 0
+            && (tokens[i - 1].kind == TokKind::Ident || tokens[i - 1].is_punct("*"))
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct("("))
+        {
+            if let Some(close_paren) = match_paren(tokens, i + 1) {
+                if tokens.get(close_paren + 1).is_some_and(|t| t.is_punct("{")) {
+                    let open = close_paren + 1;
+                    let close = match_brace(tokens, open);
+                    out.push(FnDef {
+                        name: t.text.clone(),
+                        body: tokens[open + 1..close].to_vec(),
+                        line: t.line,
+                        gated: false,
+                    });
+                    i = close + 1;
+                    continue;
+                }
+            }
+        }
+        extra.push(t.clone());
+        i += 1;
+    }
+    (out, extra)
+}
+
+/// Scan a `[...]` attribute starting at the `[`; returns (index past `]`,
+/// whether it mentions `cfg`).
+fn scan_attribute(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut has_cfg = false;
+    let mut j = open;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return (j + 1, has_cfg);
+                }
+            }
+            "cfg" | "cfg_attr" if tokens[j].kind == TokKind::Ident => has_cfg = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    (j, has_cfg)
+}
+
+/// Index of the `}` matching the `{` at `open` (or end of stream).
+fn match_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Index of the `)` matching the `(` at `open`, if balanced.
+pub(crate) fn match_paren(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Branch-condition classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cond {
+    /// Condition is a compile-time constant (`if false`, `while (0)`).
+    Const(bool),
+    /// Condition is `cfg!(..)`-gated: both arms possible, tier-capped.
+    CfgGated,
+    /// Anything else: both arms possible.
+    Opaque,
+}
+
+/// Classify condition tokens.
+pub fn classify_cond(cond: &[Token]) -> Cond {
+    let mut c = cond;
+    // Strip balanced outer parens.
+    while c.len() >= 2 && c[0].is_punct("(") && match_paren(c, 0) == Some(c.len() - 1) {
+        c = &c[1..c.len() - 1];
+    }
+    if c.len() == 1 {
+        match c[0].text.as_str() {
+            "false" | "0" => return Cond::Const(false),
+            "true" | "1" => return Cond::Const(true),
+            _ => {}
+        }
+    }
+    if c.is_empty() {
+        return Cond::Const(true); // C `for (;;)`
+    }
+    if c.windows(2)
+        .any(|w| w[0].is_ident("cfg") && w[1].is_punct("!"))
+    {
+        return Cond::CfgGated;
+    }
+    Cond::Opaque
+}
+
+/// One flat statement: balanced tokens, no control-flow keywords at the
+/// top level (those become [`Node::If`]/[`Node::Loop`]).
+#[derive(Debug, Clone)]
+pub struct Stmt {
+    /// The statement's tokens (without the trailing `;`).
+    pub tokens: Vec<Token>,
+    /// `return expr;` statement.
+    pub is_return: bool,
+    /// Rust tail expression (no trailing `;` at the end of a region) —
+    /// contributes to the function's return flag-set like a `return`.
+    pub is_tail: bool,
+}
+
+impl Stmt {
+    /// Source line of the statement.
+    pub fn line(&self) -> u32 {
+        self.tokens.first().map_or(0, |t| t.line)
+    }
+}
+
+/// Structured statement tree of one function body.
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// A straight-line statement.
+    Stmt(Stmt),
+    /// A conditional with optional else branch.
+    If {
+        /// Classification of the condition.
+        cond: Cond,
+        /// Condition tokens (evaluated before the branch; calls inside the
+        /// condition are real calls).
+        cond_tokens: Vec<Token>,
+        /// Then branch.
+        then_branch: Vec<Node>,
+        /// Else branch (possibly empty).
+        else_branch: Vec<Node>,
+    },
+    /// A loop (`while`, `for`, `loop`).
+    Loop {
+        /// Classification of the condition.
+        cond: Cond,
+        /// Condition/header tokens (for Rust `for x in expr`, the whole
+        /// header — the iterator expression contains real calls).
+        cond_tokens: Vec<Token>,
+        /// Loop body.
+        body: Vec<Node>,
+    },
+}
+
+/// Parse a function body into a statement tree.
+pub fn parse_nodes(tokens: &[Token], lang: Lang) -> Vec<Node> {
+    let mut p = NodeParser { tokens, i: 0, lang };
+    p.region(false)
+}
+
+struct NodeParser<'a> {
+    tokens: &'a [Token],
+    i: usize,
+    lang: Lang,
+}
+
+impl<'a> NodeParser<'a> {
+    fn peek(&self) -> Option<&'a Token> {
+        self.tokens.get(self.i)
+    }
+
+    /// Parse statements until the end of the current token slice.
+    /// `match_arms` additionally ends statements at depth-0 `,` (match-arm
+    /// separators).
+    fn region(&mut self, match_arms: bool) -> Vec<Node> {
+        let mut nodes = Vec::new();
+        let mut pending_gate = false;
+        while let Some(t) = self.peek() {
+            let before = nodes.len();
+            match t.text.as_str() {
+                ";" | "," if t.kind == TokKind::Punct => {
+                    self.i += 1;
+                    continue;
+                }
+                "if" if t.kind == TokKind::Ident => {
+                    let node = self.parse_if();
+                    nodes.push(node);
+                }
+                "while" if t.kind == TokKind::Ident => {
+                    self.i += 1;
+                    let cond_tokens = self.cond_tokens();
+                    let body = self.braced_or_single();
+                    nodes.push(Node::Loop {
+                        cond: classify_cond(&cond_tokens),
+                        cond_tokens,
+                        body,
+                    });
+                }
+                "loop" if t.kind == TokKind::Ident => {
+                    self.i += 1;
+                    let body = self.braced_or_single();
+                    nodes.push(Node::Loop {
+                        cond: Cond::Const(true),
+                        cond_tokens: Vec::new(),
+                        body,
+                    });
+                }
+                "for" if t.kind == TokKind::Ident => {
+                    self.i += 1;
+                    nodes.extend(self.parse_for());
+                }
+                "match" if t.kind == TokKind::Ident => {
+                    self.i += 1;
+                    let expr = self.until_open_brace();
+                    if !expr.is_empty() {
+                        nodes.push(Node::Stmt(Stmt {
+                            tokens: expr,
+                            is_return: false,
+                            is_tail: false,
+                        }));
+                    }
+                    let body = self.braced_region(true);
+                    nodes.extend(body);
+                }
+                "switch" if t.kind == TokKind::Ident => {
+                    self.i += 1;
+                    let expr = self.cond_tokens();
+                    if !expr.is_empty() {
+                        nodes.push(Node::Stmt(Stmt {
+                            tokens: expr,
+                            is_return: false,
+                            is_tail: false,
+                        }));
+                    }
+                    nodes.extend(self.braced_or_single());
+                }
+                "unsafe" | "async" | "do" if t.kind == TokKind::Ident => {
+                    self.i += 1;
+                }
+                "else" if t.kind == TokKind::Ident => {
+                    // Dangling else (shouldn't happen); skip.
+                    self.i += 1;
+                }
+                "fn" if t.kind == TokKind::Ident && self.lang == Lang::Rust => {
+                    // Nested fn definition: skip it wholesale (it only runs
+                    // if called, and nested fns are parsed separately from
+                    // the flat scan only at top level — rare enough).
+                    self.skip_nested_fn();
+                }
+                "#" if t.kind == TokKind::Punct
+                    && self.tokens.get(self.i + 1).is_some_and(|t| t.is_punct("[")) =>
+                {
+                    let (end, has_cfg) = scan_attribute(self.tokens, self.i + 1);
+                    self.i = end;
+                    pending_gate = pending_gate || has_cfg;
+                    continue;
+                }
+                "{" if t.kind == TokKind::Punct => {
+                    nodes.extend(self.braced_region(false));
+                }
+                ")" | "]" | "}" if t.kind == TokKind::Punct => {
+                    // Stray closer at region level: only possible in
+                    // unbalanced sources (region slices are brace-matched).
+                    // Skip it — `stmt_tokens` would stop here forever.
+                    self.i += 1;
+                }
+                "return" if t.kind == TokKind::Ident => {
+                    self.i += 1;
+                    let (tokens, _) = self.stmt_tokens(match_arms);
+                    nodes.push(Node::Stmt(Stmt {
+                        tokens,
+                        is_return: true,
+                        is_tail: false,
+                    }));
+                }
+                _ => {
+                    let (tokens, terminated) = self.stmt_tokens(match_arms);
+                    if !tokens.is_empty() {
+                        let is_tail =
+                            !terminated && self.lang == Lang::Rust && self.peek().is_none();
+                        nodes.push(Node::Stmt(Stmt {
+                            tokens,
+                            is_return: false,
+                            is_tail,
+                        }));
+                    }
+                }
+            }
+            // Wrap the node that a `#[cfg(..)]` attribute preceded.
+            if pending_gate && nodes.len() > before {
+                let node = nodes.pop().expect("just pushed");
+                nodes.push(Node::If {
+                    cond: Cond::CfgGated,
+                    cond_tokens: Vec::new(),
+                    then_branch: vec![node],
+                    else_branch: Vec::new(),
+                });
+                pending_gate = false;
+            }
+        }
+        nodes
+    }
+
+    fn parse_if(&mut self) -> Node {
+        self.i += 1; // past `if`
+        let cond_tokens = self.cond_tokens();
+        let then_branch = self.braced_or_single();
+        let mut else_branch = Vec::new();
+        if self.peek().is_some_and(|t| t.is_ident("else")) {
+            self.i += 1;
+            if self.peek().is_some_and(|t| t.is_ident("if")) {
+                else_branch.push(self.parse_if());
+            } else {
+                else_branch = self.braced_or_single();
+            }
+        }
+        Node::If {
+            cond: classify_cond(&cond_tokens),
+            cond_tokens,
+            then_branch,
+            else_branch,
+        }
+    }
+
+    /// C `for (init; cond; step) body` or Rust `for pat in expr body`.
+    fn parse_for(&mut self) -> Vec<Node> {
+        if self.lang == Lang::CStyle {
+            if self.peek().is_some_and(|t| t.is_punct("(")) {
+                let close = match_paren(self.tokens, self.i);
+                let inner_range = match close {
+                    Some(c) => {
+                        let r = self.i + 1..c;
+                        self.i = c + 1;
+                        r
+                    }
+                    None => {
+                        self.i = self.tokens.len();
+                        return Vec::new();
+                    }
+                };
+                let inner = &self.tokens[inner_range];
+                let parts = split_depth0(inner, ";");
+                let mut nodes = Vec::new();
+                let init = parts.first().copied().unwrap_or(&[]);
+                if !init.is_empty() {
+                    nodes.push(Node::Stmt(Stmt {
+                        tokens: init.to_vec(),
+                        is_return: false,
+                        is_tail: false,
+                    }));
+                }
+                let cond = parts.get(1).copied().unwrap_or(&[]);
+                let step = parts.get(2).copied().unwrap_or(&[]);
+                let mut body = self.braced_or_single();
+                if !step.is_empty() {
+                    body.push(Node::Stmt(Stmt {
+                        tokens: step.to_vec(),
+                        is_return: false,
+                        is_tail: false,
+                    }));
+                }
+                nodes.push(Node::Loop {
+                    cond: classify_cond(cond),
+                    cond_tokens: cond.to_vec(),
+                    body,
+                });
+                return nodes;
+            }
+            return Vec::new();
+        }
+        // Rust: header up to the body brace; the iterator expression is
+        // evaluated once, so it belongs in the header statement.
+        let header = self.until_open_brace();
+        let body = self.braced_or_single();
+        vec![Node::Loop {
+            cond: Cond::Opaque,
+            cond_tokens: header,
+            body,
+        }]
+    }
+
+    /// Condition tokens: for C a balanced `( .. )`; for Rust everything up
+    /// to the body `{` at depth 0.
+    fn cond_tokens(&mut self) -> Vec<Token> {
+        if self.peek().is_some_and(|t| t.is_punct("(")) && self.lang == Lang::CStyle {
+            if let Some(close) = match_paren(self.tokens, self.i) {
+                let toks = self.tokens[self.i + 1..close].to_vec();
+                self.i = close + 1;
+                return toks;
+            }
+        }
+        self.until_open_brace()
+    }
+
+    /// Tokens up to (not including) the next `{` at depth 0.
+    fn until_open_brace(&mut self) -> Vec<Token> {
+        let mut depth = 0i32;
+        let mut out = Vec::new();
+        while let Some(t) = self.peek() {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 && t.kind == TokKind::Punct => return out,
+                ";" if depth == 0 => return out,
+                _ => {}
+            }
+            out.push(t.clone());
+            self.i += 1;
+        }
+        out
+    }
+
+    /// A `{ .. }` region (parsed recursively) or a single statement.
+    fn braced_or_single(&mut self) -> Vec<Node> {
+        if self.peek().is_some_and(|t| t.is_punct("{")) {
+            return self.braced_region(false);
+        }
+        // Single-statement branch: `if (0) foo();`
+        let (tokens, _) = self.stmt_tokens(false);
+        if tokens.is_empty() {
+            Vec::new()
+        } else {
+            vec![Node::Stmt(Stmt {
+                tokens,
+                is_return: false,
+                is_tail: false,
+            })]
+        }
+    }
+
+    /// Parse the `{ .. }` at the cursor as a nested region.
+    fn braced_region(&mut self, match_arms: bool) -> Vec<Node> {
+        let close = match_brace(self.tokens, self.i);
+        let inner = &self.tokens[self.i + 1..close.min(self.tokens.len())];
+        let mut p = NodeParser {
+            tokens: inner,
+            i: 0,
+            lang: self.lang,
+        };
+        let nodes = p.region(match_arms);
+        self.i = (close + 1).min(self.tokens.len());
+        nodes
+    }
+
+    /// Accumulate one flat statement: until `;` at depth 0 (or `,` in
+    /// match-arm context), consuming nested `{..}` (struct literals,
+    /// `match`/`if` used as expressions) balanced into the statement.
+    /// Returns (tokens, was-terminated-by-separator).
+    fn stmt_tokens(&mut self, match_arms: bool) -> (Vec<Token>, bool) {
+        let mut depth = 0i32;
+        let mut out = Vec::new();
+        while let Some(t) = self.peek() {
+            match t.text.as_str() {
+                "(" | "[" | "{" if t.kind == TokKind::Punct => depth += 1,
+                ")" | "]" | "}" if t.kind == TokKind::Punct => {
+                    if depth == 0 {
+                        // End of the enclosing region.
+                        return (out, false);
+                    }
+                    depth -= 1;
+                }
+                ";" if depth == 0 => {
+                    self.i += 1;
+                    return (out, true);
+                }
+                "," if depth == 0 && match_arms => {
+                    self.i += 1;
+                    return (out, true);
+                }
+                _ => {}
+            }
+            out.push(t.clone());
+            self.i += 1;
+        }
+        (out, false)
+    }
+
+    /// Skip a nested `fn name(..) {..}` definition.
+    fn skip_nested_fn(&mut self) {
+        self.i += 1; // `fn`
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 && t.kind == TokKind::Punct => {
+                    let close = match_brace(self.tokens, self.i);
+                    self.i = (close + 1).min(self.tokens.len());
+                    return;
+                }
+                ";" if depth == 0 => {
+                    self.i += 1;
+                    return;
+                }
+                _ => {}
+            }
+            self.i += 1;
+        }
+    }
+}
+
+/// Split tokens on a depth-0 separator.
+fn split_depth0<'a>(tokens: &'a [Token], sep: &str) -> Vec<&'a [Token]> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    for (k, t) in tokens.iter().enumerate() {
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            s if s == sep && depth == 0 && t.kind == TokKind::Punct => {
+                parts.push(&tokens[start..k]);
+                start = k + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&tokens[start..]);
+    parts
+}
+
+/// One basic block of the lowered CFG.
+#[derive(Debug, Default)]
+pub struct BasicBlock {
+    /// Straight-line statements.
+    pub stmts: Vec<Stmt>,
+    /// Successor block indices.
+    pub succs: Vec<usize>,
+    /// Facts in this block are capped at the `Syntactic` tier
+    /// (`cfg!`/`#[cfg]`-gated code: present in the sources, not provably
+    /// part of the product).
+    pub gated: bool,
+}
+
+/// A per-function control-flow graph. Block 0 is the entry.
+#[derive(Debug)]
+pub struct Cfg {
+    /// The blocks; index 0 is the function entry.
+    pub blocks: Vec<BasicBlock>,
+}
+
+impl Cfg {
+    /// Lower a statement tree into a CFG.
+    pub fn build(nodes: &[Node]) -> Cfg {
+        let mut cfg = Cfg {
+            blocks: vec![BasicBlock::default()],
+        };
+        cfg.lower(nodes, 0, false);
+        cfg
+    }
+
+    /// Like [`Cfg::build`] but with every block tier-capped (for
+    /// `#[cfg]`-gated function definitions).
+    pub fn build_gated(nodes: &[Node]) -> Cfg {
+        let mut cfg = Cfg {
+            blocks: vec![BasicBlock {
+                gated: true,
+                ..BasicBlock::default()
+            }],
+        };
+        cfg.lower(nodes, 0, true);
+        cfg
+    }
+
+    fn new_block(&mut self, gated: bool) -> usize {
+        self.blocks.push(BasicBlock {
+            gated,
+            ..BasicBlock::default()
+        });
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if !self.blocks[from].succs.contains(&to) {
+            self.blocks[from].succs.push(to);
+        }
+    }
+
+    fn lower(&mut self, nodes: &[Node], mut cur: usize, gated: bool) -> usize {
+        for node in nodes {
+            match node {
+                Node::Stmt(s) => self.blocks[cur].stmts.push(s.clone()),
+                Node::If {
+                    cond,
+                    cond_tokens,
+                    then_branch,
+                    else_branch,
+                } => {
+                    if !cond_tokens.is_empty() {
+                        self.blocks[cur].stmts.push(Stmt {
+                            tokens: cond_tokens.clone(),
+                            is_return: false,
+                            is_tail: false,
+                        });
+                    }
+                    let branch_gated = gated || *cond == Cond::CfgGated;
+                    let t_entry = self.new_block(branch_gated);
+                    let t_exit = self.lower(then_branch, t_entry, branch_gated);
+                    let e_entry = self.new_block(branch_gated);
+                    let e_exit = self.lower(else_branch, e_entry, branch_gated);
+                    let join = self.new_block(gated);
+                    match cond {
+                        Cond::Const(false) => self.edge(cur, e_entry),
+                        Cond::Const(true) => self.edge(cur, t_entry),
+                        _ => {
+                            self.edge(cur, t_entry);
+                            self.edge(cur, e_entry);
+                        }
+                    }
+                    self.edge(t_exit, join);
+                    self.edge(e_exit, join);
+                    cur = join;
+                }
+                Node::Loop {
+                    cond,
+                    cond_tokens,
+                    body,
+                } => {
+                    let head = self.new_block(gated);
+                    self.edge(cur, head);
+                    if !cond_tokens.is_empty() {
+                        self.blocks[head].stmts.push(Stmt {
+                            tokens: cond_tokens.clone(),
+                            is_return: false,
+                            is_tail: false,
+                        });
+                    }
+                    let body_gated = gated || *cond == Cond::CfgGated;
+                    let b_entry = self.new_block(body_gated);
+                    let b_exit = self.lower(body, b_entry, body_gated);
+                    self.edge(b_exit, head); // back edge
+                    let after = self.new_block(gated);
+                    if *cond != Cond::Const(false) {
+                        self.edge(head, b_entry);
+                    }
+                    // Loop exit (over-approximates `break` out of `loop {}`).
+                    self.edge(head, after);
+                    cur = after;
+                }
+            }
+        }
+        cur
+    }
+
+    /// Which blocks are reachable from the entry.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut stack = vec![0usize];
+        while let Some(b) = stack.pop() {
+            if seen[b] {
+                continue;
+            }
+            seen[b] = true;
+            stack.extend(self.blocks[b].succs.iter().copied());
+        }
+        seen
+    }
+
+    /// Predecessor lists (index-parallel to `blocks`).
+    pub fn preds(&self) -> Vec<Vec<usize>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (b, blk) in self.blocks.iter().enumerate() {
+            for &s in &blk.succs {
+                preds[s].push(b);
+            }
+        }
+        preds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn rust_fns(src: &str) -> Vec<FnDef> {
+        parse_functions(&lex(src), Lang::Rust)
+    }
+
+    fn c_fns(src: &str) -> Vec<FnDef> {
+        parse_functions(&lex(src), Lang::CStyle)
+    }
+
+    #[test]
+    fn detects_language() {
+        assert_eq!(detect_lang(&lex("fn main() {}")), Lang::Rust);
+        assert_eq!(
+            detect_lang(&lex("int main(void) { return 0; }")),
+            Lang::CStyle
+        );
+        assert_eq!(detect_lang(&lex("db.put(k, v);")), Lang::CStyle);
+    }
+
+    #[test]
+    fn parses_rust_functions() {
+        let fns = rust_fns("fn main() { a(); }\nfn helper(x: u32) -> u32 { x }");
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].name, "main");
+        assert_eq!(fns[1].name, "helper");
+    }
+
+    #[test]
+    fn parses_c_functions() {
+        let fns =
+            c_fns("int main(void) { go(); return 0; }\nu_int32_t flags_of(void) { return 0; }");
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].name, "main");
+        assert_eq!(fns[1].name, "flags_of");
+    }
+
+    #[test]
+    fn cfg_gated_fn_is_marked() {
+        let fns = rust_fns("#[cfg(feature = \"x\")]\nfn gated() {}\nfn plain() {}");
+        assert!(fns[0].gated);
+        assert!(!fns[1].gated);
+    }
+
+    #[test]
+    fn const_false_branch_is_unreachable() {
+        let toks = lex("a(); if (0) { b(); } c();");
+        let cfg = Cfg::build(&parse_nodes(&toks, Lang::CStyle));
+        let reach = cfg.reachable();
+        // Find the block containing b()'s call.
+        let b_block = cfg
+            .blocks
+            .iter()
+            .position(|blk| {
+                blk.stmts
+                    .iter()
+                    .any(|s| s.tokens.iter().any(|t| t.is_ident("b")))
+            })
+            .expect("b() lowered");
+        assert!(!reach[b_block], "if (0) branch must be unreachable");
+        let c_block = cfg
+            .blocks
+            .iter()
+            .position(|blk| {
+                blk.stmts
+                    .iter()
+                    .any(|s| s.tokens.iter().any(|t| t.is_ident("c")))
+            })
+            .expect("c() lowered");
+        assert!(reach[c_block], "code after the dead branch continues");
+    }
+
+    #[test]
+    fn rust_if_false_is_unreachable_and_else_lives() {
+        let toks = lex("if false { dead(); } else { live(); }");
+        let cfg = Cfg::build(&parse_nodes(&toks, Lang::Rust));
+        let reach = cfg.reachable();
+        let find = |name: &str| {
+            cfg.blocks.iter().position(|blk| {
+                blk.stmts
+                    .iter()
+                    .any(|s| s.tokens.iter().any(|t| t.is_ident(name)))
+            })
+        };
+        assert!(!reach[find("dead").unwrap()]);
+        assert!(reach[find("live").unwrap()]);
+    }
+
+    #[test]
+    fn loop_bodies_are_reachable() {
+        let toks = lex("for (;;) { put(); } while (x) { get(); } ");
+        let cfg = Cfg::build(&parse_nodes(&toks, Lang::CStyle));
+        let reach = cfg.reachable();
+        for name in ["put", "get"] {
+            let blk = cfg
+                .blocks
+                .iter()
+                .position(|blk| {
+                    blk.stmts
+                        .iter()
+                        .any(|s| s.tokens.iter().any(|t| t.is_ident(name)))
+                })
+                .expect("body lowered");
+            assert!(reach[blk], "{name} body must be reachable");
+        }
+    }
+
+    #[test]
+    fn while_zero_body_is_dead() {
+        let toks = lex("while (0) { never(); } after();");
+        let cfg = Cfg::build(&parse_nodes(&toks, Lang::CStyle));
+        let reach = cfg.reachable();
+        let never = cfg
+            .blocks
+            .iter()
+            .position(|blk| {
+                blk.stmts
+                    .iter()
+                    .any(|s| s.tokens.iter().any(|t| t.is_ident("never")))
+            })
+            .unwrap();
+        assert!(!reach[never]);
+    }
+
+    #[test]
+    fn cfg_gated_blocks_are_capped_not_dead() {
+        let toks = lex("if cfg!(feature = \"net\") { rep_start(); }");
+        let cfg = Cfg::build(&parse_nodes(&toks, Lang::Rust));
+        let reach = cfg.reachable();
+        let blk = cfg
+            .blocks
+            .iter()
+            .position(|b| {
+                b.stmts
+                    .iter()
+                    .any(|s| s.tokens.iter().any(|t| t.is_ident("rep_start")))
+            })
+            .unwrap();
+        assert!(reach[blk], "cfg-gated code is reachable");
+        assert!(cfg.blocks[blk].gated, "but tier-capped");
+    }
+
+    #[test]
+    fn struct_literals_stay_inside_one_statement() {
+        let toks = lex("let p = CommitPolicy::Group { group_size: 4 }; q();");
+        let nodes = parse_nodes(&toks, Lang::Rust);
+        assert_eq!(nodes.len(), 2, "literal braces must not split the stmt");
+    }
+
+    #[test]
+    fn unbalanced_sources_terminate() {
+        // Stray closers must not hang the region parser (they reach it
+        // through the `<toplevel>` pseudo-function on malformed input).
+        for src in ["}}}}", ")", "]", "fn main() { }", "int x; } db.put(k);"] {
+            let tokens = lex(src);
+            let lang = detect_lang(&tokens);
+            let (fns, extra) = parse_program(&tokens, lang);
+            for f in &fns {
+                let _ = Cfg::build(&parse_nodes(&f.body, lang));
+            }
+            let _ = Cfg::build(&parse_nodes(&extra, lang));
+        }
+    }
+
+    #[test]
+    fn single_statement_branches_parse() {
+        let toks = lex("if (0) dead(); live();");
+        let cfg = Cfg::build(&parse_nodes(&toks, Lang::CStyle));
+        let reach = cfg.reachable();
+        let dead = cfg
+            .blocks
+            .iter()
+            .position(|b| {
+                b.stmts
+                    .iter()
+                    .any(|s| s.tokens.iter().any(|t| t.is_ident("dead")))
+            })
+            .unwrap();
+        assert!(!reach[dead]);
+    }
+}

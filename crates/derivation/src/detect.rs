@@ -3,16 +3,31 @@
 
 use fame_feature_model::{Configuration, FeatureModel};
 
-use crate::appmodel::AppModel;
-use crate::queries::{ModelQuery, Query};
+use crate::appmodel::{render_flow, AppModel, Confidence};
+use crate::queries::ModelQuery;
+
+/// One atomic fact cited as evidence, with its confidence and (for
+/// flow-confirmed constants) the def-use chain that carried it to a sink.
+#[derive(Debug, Clone)]
+pub struct EvidenceFact {
+    /// Human-readable fact description (`call to \`put()\``).
+    pub desc: String,
+    /// Source lines the fact occurs on.
+    pub lines: Vec<u32>,
+    /// Best confidence tier of the fact.
+    pub tier: Confidence,
+    /// Rendered def-use chain (`DB_INIT_TXN@3 -> flags@3 -> open(..)@5`),
+    /// when the fact was carried to a call sink by data flow.
+    pub flow: Option<String>,
+}
 
 /// Why a feature was selected.
 #[derive(Debug, Clone)]
 pub struct Evidence {
     /// The feature.
     pub feature: String,
-    /// Which atomic facts fired, with source lines.
-    pub facts: Vec<(String, Vec<u32>)>,
+    /// Which atomic facts fired.
+    pub facts: Vec<EvidenceFact>,
 }
 
 /// Result of running detection for one application.
@@ -22,6 +37,8 @@ pub struct Detection {
     pub detected: Vec<String>,
     /// Per-feature evidence.
     pub evidence: Vec<Evidence>,
+    /// Confidence tier the detection ran at.
+    pub min_tier: Confidence,
     /// The refined full configuration (detected features + tree
     /// obligations + simple requires-propagation), if it validates.
     pub configuration: Option<Configuration>,
@@ -30,18 +47,32 @@ pub struct Detection {
     pub errors: Vec<String>,
 }
 
-/// Run the Figure 3 pipeline: evaluate `queries` against `model_src`,
-/// then refine against the feature model.
+/// Run the Figure 3 pipeline at the `Syntactic` tier (every textual fact
+/// counts — the old contract).
 pub fn detect_features(
     app: &AppModel,
     queries: &[ModelQuery],
     feature_model: &FeatureModel,
 ) -> Detection {
+    detect_features_at(app, queries, feature_model, Confidence::Syntactic)
+}
+
+/// Run the Figure 3 pipeline: evaluate `queries` against the application
+/// model at the given minimum confidence tier, then refine against the
+/// feature model. `Confidence::FlowConfirmed` ignores facts in dead
+/// branches, `cfg`-gated code, and constants that never flow into an API
+/// call.
+pub fn detect_features_at(
+    app: &AppModel,
+    queries: &[ModelQuery],
+    feature_model: &FeatureModel,
+    min_tier: Confidence,
+) -> Detection {
     let mut detected = Vec::new();
     let mut evidence = Vec::new();
 
     for mq in queries {
-        if !mq.query.matches(app) {
+        if !mq.query.matches_at(app, min_tier) {
             continue;
         }
         detected.push(mq.feature.to_string());
@@ -49,24 +80,13 @@ pub fn detect_features(
             .query
             .atoms()
             .into_iter()
-            .filter(|a| a.matches(app))
-            .map(|a| {
-                let (desc, fact) = match &a {
-                    Query::Call(n) => (
-                        format!("call to `{n}()`"),
-                        crate::appmodel::Fact::Call((*n).to_string()),
-                    ),
-                    Query::Constant(c) => (
-                        format!("constant `{c}`"),
-                        crate::appmodel::Fact::Constant((*c).to_string()),
-                    ),
-                    Query::Path(t, v) => (
-                        format!("path `{t}::{v}`"),
-                        crate::appmodel::Fact::Path((*t).to_string(), (*v).to_string()),
-                    ),
-                    _ => unreachable!("atoms() returns atomic queries"),
-                };
-                (desc, app.lines_of(&fact).to_vec())
+            .filter(|a| a.matches_at(app, min_tier))
+            .filter_map(|a| a.as_fact())
+            .map(|fact| EvidenceFact {
+                desc: fact.describe(),
+                lines: app.lines_of(&fact).to_vec(),
+                tier: app.tier_of(&fact).unwrap_or(Confidence::Syntactic),
+                flow: app.flows_of(&fact).first().map(|c| render_flow(c)),
             })
             .collect();
         evidence.push(Evidence {
@@ -107,6 +127,7 @@ pub fn detect_features(
     Detection {
         detected,
         evidence,
+        min_tier,
         configuration,
         errors,
     }
@@ -128,7 +149,7 @@ fn main() {
     db.remove(b"k").unwrap();
 }
 "#;
-        let app = AppModel::analyze(src, true);
+        let app = AppModel::from_source(src);
         let model = models::fame_dbms();
         let d = detect_features(&app, &standard_fame_queries(), &model);
         assert!(d.detected.contains(&"Put".to_string()));
@@ -150,7 +171,7 @@ fn main() {
     db.commit(t).unwrap();
 }
 "#;
-        let app = AppModel::analyze(src, true);
+        let app = AppModel::from_source(src);
         let model = models::fame_dbms();
         let d = detect_features(&app, &standard_fame_queries(), &model);
         assert!(d.detected.contains(&"Transaction".to_string()));
@@ -164,7 +185,7 @@ fn main() {
     #[test]
     fn sql_app_pulls_api_obligations() {
         let src = r#"fn main() { db.sql("SELECT * FROM t").unwrap(); }"#;
-        let app = AppModel::analyze(src, true);
+        let app = AppModel::from_source(src);
         let model = models::fame_dbms();
         let d = detect_features(&app, &standard_fame_queries(), &model);
         assert!(d.detected.contains(&"SQLEngine".to_string()));
@@ -178,7 +199,7 @@ fn main() {
     #[test]
     fn evidence_cites_lines() {
         let src = "fn main() {\n  db.put(k, v);\n}";
-        let app = AppModel::analyze(src, true);
+        let app = AppModel::from_source(src);
         let model = models::fame_dbms();
         let d = detect_features(&app, &standard_fame_queries(), &model);
         let ev = d
@@ -186,14 +207,73 @@ fn main() {
             .iter()
             .find(|e| e.feature == "Put")
             .expect("evidence for Put");
-        assert!(ev.facts.iter().any(|(desc, lines)| {
-            desc.contains("put") && lines.contains(&2)
-        }));
+        assert!(ev
+            .facts
+            .iter()
+            .any(|f| f.desc.contains("put") && f.lines.contains(&2)));
+    }
+
+    #[test]
+    fn tiered_detection_ignores_dead_branches() {
+        let src = r#"
+int main(void) {
+    dbp->open(dbp, NULL, "d.db", NULL, DB_BTREE, DB_CREATE, 0);
+    dbp->put(dbp, NULL, &key, &data, 0);
+    if (0) { env->rep_start(env, &cdata, DB_REP_MASTER); }
+    return 0;
+}
+"#;
+        let app = AppModel::from_source(src);
+        let model = models::berkeley_db();
+        let queries = crate::queries::standard_bdb_queries();
+
+        let loose = detect_features_at(&app, &queries, &model, Confidence::Syntactic);
+        assert!(
+            loose.detected.contains(&"Replication".to_string()),
+            "syntactic tier over-approximates into the dead branch"
+        );
+
+        let strict = detect_features_at(&app, &queries, &model, Confidence::FlowConfirmed);
+        assert_eq!(strict.min_tier, Confidence::FlowConfirmed);
+        assert!(
+            !strict.detected.contains(&"Replication".to_string()),
+            "flow-confirmed tier prunes the dead branch"
+        );
+        assert!(strict.detected.contains(&"Btree".to_string()));
+    }
+
+    #[test]
+    fn evidence_carries_flow_provenance() {
+        let src = r#"
+int main(void) {
+    u_int32_t flags = DB_CREATE | DB_INIT_TXN;
+    env->open(env, "/x", flags, 0);
+    return 0;
+}
+"#;
+        let app = AppModel::from_source(src);
+        let model = models::berkeley_db();
+        let queries = crate::queries::standard_bdb_queries();
+        let d = detect_features_at(&app, &queries, &model, Confidence::FlowConfirmed);
+        let ev = d
+            .evidence
+            .iter()
+            .find(|e| e.feature == "Transactions")
+            .expect("transactions detected via the variable");
+        let fact = ev
+            .facts
+            .iter()
+            .find(|f| f.desc.contains("DB_INIT_TXN"))
+            .expect("constant cited");
+        assert_eq!(fact.tier, Confidence::FlowConfirmed);
+        let flow = fact.flow.as_deref().expect("def-use chain rendered");
+        assert!(flow.contains("flags@"), "{flow}");
+        assert!(flow.contains("open(..)@"), "{flow}");
     }
 
     #[test]
     fn empty_app_detects_nothing() {
-        let app = AppModel::analyze("fn main() { println(); }", true);
+        let app = AppModel::from_source("fn main() { println(); }");
         let model = models::fame_dbms();
         let d = detect_features(&app, &standard_fame_queries(), &model);
         assert!(d.detected.is_empty());

@@ -105,8 +105,7 @@ impl FeedbackModel {
                     .iter()
                     .map(|f| store.get(f, property).map(|p| p.value).unwrap_or(0.0))
                     .sum();
-                let correction =
-                    (s.value - predicted) * self.learning_rate / selected.len() as f64;
+                let correction = (s.value - predicted) * self.learning_rate / selected.len() as f64;
                 for f in &selected {
                     let current = store.get(f, property).map(|p| p.value).unwrap_or(0.0);
                     // Physical properties cannot go negative.
@@ -201,7 +200,10 @@ mod tests {
         let mut store = PropertyStore::seeded_from(&model);
         let mut fb = FeedbackModel::new();
         // Absurd measurement of zero for a big product.
-        fb.add_sample(cfg_with(&model, &["Transaction", "SQLEngine", "Get", "Put"]), 0.0);
+        fb.add_sample(
+            cfg_with(&model, &["Transaction", "SQLEngine", "Get", "Put"]),
+            0.0,
+        );
         fb.calibrate(&model, &mut store, "rom_bytes");
         for (_, f) in model.iter() {
             if let Some(p) = store.get(f.name(), "rom_bytes") {

@@ -1,0 +1,356 @@
+//! Token stream for the §3.1 static analysis — stage one of the
+//! lexer → CFG → data-flow pipeline.
+//!
+//! The paper's analysis works on "a control flow graph with additional
+//! data flow and type information, abstracting from syntactic details".
+//! This lexer does the syntactic abstraction: it turns Rust or C-style
+//! client sources into a flat token stream with line numbers, discarding
+//! everything the later stages must not see:
+//!
+//! * line comments, block comments (nested, multi-line — the old
+//!   line-oriented extractor missed facts "commented out" across lines);
+//! * string/char literals (a flag name *inside a string* is not API
+//!   usage — the old extractor produced false facts from SQL text);
+//! * C preprocessor directive lines (`#include <db.h>` must not yield
+//!   identifier facts).
+//!
+//! Multi-character operators are lexed as single punctuation tokens so the
+//! parser can tell `=` (assignment, kills a flag set) from `==`
+//! (comparison) and `|=` (bit-or accumulation, unions a flag set).
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (including suffixed/based forms like `0664`, `0u32`).
+    Num,
+    /// Punctuation / operator (possibly multi-character, e.g. `::`, `|=`).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokKind,
+    /// The token text.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Is this the identifier `s`?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this the punctuation `s`?
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "|=", "&=",
+    "^=", "+=", "-=", "*=", "/=", "%=", "<<", ">>", "..",
+];
+
+/// C preprocessor directives whose whole line is skipped. `if`/`else`/
+/// `endif` lines are dropped but the guarded region itself is kept (both
+/// arms), which over-approximates — the CFG stage handles `if (0)`-style
+/// runtime dead code, not compile-time exclusion.
+const PREPROC: &[&str] = &[
+    "include", "define", "undef", "ifdef", "ifndef", "if", "elif", "else", "endif", "pragma",
+    "error", "warning", "line",
+];
+
+/// Lex a source text into tokens.
+pub fn lex(source: &str) -> Vec<Token> {
+    let b = source.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    // True while only whitespace has been seen on the current line; used
+    // to recognize C preprocessor directives.
+    let mut at_line_start = true;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                at_line_start = true;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                i = skip_string(b, i, &mut line);
+                at_line_start = false;
+            }
+            b'\'' => {
+                i = skip_char_or_lifetime(b, i, &mut line);
+                at_line_start = false;
+            }
+            b'#' if at_line_start && is_preproc_line(b, i) => {
+                // Skip the directive line (respecting `\` continuations).
+                while i < b.len() && b[i] != b'\n' {
+                    if b[i] == b'\\' && b.get(i + 1) == Some(&b'\n') {
+                        line += 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                // String-literal prefixes: `b"..."`, `r"..."`, `r#"..."#`.
+                if matches!(text, "b" | "r" | "br") && matches!(b.get(i), Some(&b'"') | Some(&b'#'))
+                {
+                    i = skip_maybe_raw_string(b, i, &mut line);
+                } else {
+                    toks.push(Token {
+                        kind: TokKind::Ident,
+                        text: text.to_string(),
+                        line,
+                    });
+                }
+                at_line_start = false;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                {
+                    // Stop before a `..` range operator.
+                    if b[i] == b'.' && b.get(i + 1) == Some(&b'.') {
+                        break;
+                    }
+                    i += 1;
+                }
+                toks.push(Token {
+                    kind: TokKind::Num,
+                    text: source[start..i].to_string(),
+                    line,
+                });
+                at_line_start = false;
+            }
+            _ => {
+                let rest = &source[i..];
+                let text = PUNCTS
+                    .iter()
+                    .find(|p| rest.starts_with(*p))
+                    .map_or_else(|| &source[i..i + 1], |p| *p);
+                toks.push(Token {
+                    kind: TokKind::Punct,
+                    text: text.to_string(),
+                    line,
+                });
+                i += text.len();
+                at_line_start = false;
+            }
+        }
+    }
+    toks
+}
+
+/// Is the `#` at `i` the start of a C preprocessor directive line?
+fn is_preproc_line(b: &[u8], i: usize) -> bool {
+    let mut j = i + 1;
+    while j < b.len() && (b[j] == b' ' || b[j] == b'\t') {
+        j += 1;
+    }
+    let start = j;
+    while j < b.len() && b[j].is_ascii_alphabetic() {
+        j += 1;
+    }
+    let word = std::str::from_utf8(&b[start..j]).unwrap_or("");
+    PREPROC.contains(&word)
+}
+
+/// Skip a `"`-delimited string with escapes; returns the index past the
+/// closing quote.
+fn skip_string(b: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Skip a possibly-raw string after a `b`/`r`/`br` prefix (cursor on `"`
+/// or the first `#`).
+fn skip_maybe_raw_string(b: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut hashes = 0usize;
+    let mut j = i;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) != Some(&b'"') {
+        // Not a string after all (e.g. `r#raw_ident`); re-lex from `#`.
+        return i;
+    }
+    if hashes == 0 {
+        return skip_string(b, j, line);
+    }
+    j += 1;
+    while j < b.len() {
+        if b[j] == b'\n' {
+            *line += 1;
+            j += 1;
+        } else if b[j] == b'"'
+            && b[j + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|c| **c == b'#')
+                .count()
+                == hashes
+        {
+            return j + 1 + hashes;
+        } else {
+            j += 1;
+        }
+    }
+    j
+}
+
+/// Skip a char literal (`'x'`, `'\n'`) or a lifetime (`'a`); returns the
+/// index past it.
+fn skip_char_or_lifetime(b: &[u8], i: usize, line: &mut u32) -> usize {
+    // Escaped char.
+    if b.get(i + 1) == Some(&b'\\') {
+        let mut j = i + 2;
+        while j < b.len() && b[j] != b'\'' {
+            if b[j] == b'\n' {
+                *line += 1;
+            }
+            j += 1;
+        }
+        return (j + 1).min(b.len());
+    }
+    // Plain char `'x'`.
+    if b.get(i + 2) == Some(&b'\'') {
+        return i + 3;
+    }
+    // Lifetime: skip the identifier after the quote.
+    let mut j = i + 1;
+    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_puncts() {
+        assert_eq!(
+            texts("db.put(k, 0664);"),
+            ["db", ".", "put", "(", "k", ",", "0664", ")", ";"]
+        );
+    }
+
+    #[test]
+    fn multichar_operators_are_single_tokens() {
+        assert_eq!(
+            texts("a |= B::C->d == e"),
+            ["a", "|=", "B", "::", "C", "->", "d", "==", "e"]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_including_multiline_blocks() {
+        let src = "a(); // b();\n/* c();\n   d(); */ e();";
+        assert_eq!(texts(src), ["a", "(", ")", ";", "e", "(", ")", ";"]);
+        // Lines still tracked across the block comment.
+        let toks = lex(src);
+        assert_eq!(toks.last().unwrap().line, 3);
+    }
+
+    #[test]
+    fn strings_yield_no_tokens() {
+        assert_eq!(
+            texts(r#"db.sql("SELECT COUNT(*) FROM t");"#),
+            ["db", ".", "sql", "(", ")", ";"]
+        );
+        assert_eq!(
+            texts(r#"db.put(b"DB_KEY", v);"#),
+            ["db", ".", "put", "(", ",", "v", ")", ";"]
+        );
+    }
+
+    #[test]
+    fn preprocessor_lines_are_skipped() {
+        let src = "#include <db.h>\n#define FLAGS (DB_CREATE)\nint main(void) {}";
+        assert_eq!(texts(src), ["int", "main", "(", "void", ")", "{", "}"]);
+    }
+
+    #[test]
+    fn rust_attributes_survive() {
+        // `#[cfg(...)]` is not a preprocessor directive; the parser needs it.
+        let src = "#[cfg(feature = \"x\")]\nfn f() {}";
+        let t = texts(src);
+        assert_eq!(&t[..3], ["#", "[", "cfg"]);
+    }
+
+    #[test]
+    fn char_and_lifetime_literals_are_skipped() {
+        assert_eq!(
+            texts("let c = 'x'; foo::<'a>(y)"),
+            ["let", "c", "=", ";", "foo", "::", "<", ">", "(", "y", ")"]
+        );
+    }
+
+    #[test]
+    fn line_numbers_are_one_based() {
+        let toks = lex("a\nb\nc");
+        assert_eq!(
+            toks.iter().map(|t| t.line).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+    }
+}

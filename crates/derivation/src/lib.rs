@@ -5,10 +5,14 @@
 //!
 //! 1. **Functional requirements** (§3.1, Figure 3): a client application's
 //!    *sources* are statically analyzed into an *application model*
-//!    ([`appmodel`]); *model queries* ([`queries`]) — one per detectable
-//!    feature — are evaluated against it; the firing queries yield the set
-//!    of DBMS features the application needs ([`detect`]), which decision
-//!    propagation over the feature model then refines.
+//!    ([`appmodel`]) by a staged flow-sensitive engine — token stream
+//!    ([`lexer`]), per-function control-flow graphs with dead-branch
+//!    pruning ([`cfg`]), constant/flag data-flow with def-use provenance
+//!    ([`dataflow`]); *model queries* ([`queries`]) — one per detectable
+//!    feature — are evaluated against it at a chosen confidence tier; the
+//!    firing queries yield the set of DBMS features the application needs
+//!    ([`detect`]), which decision propagation over the feature model then
+//!    refines.
 //!
 //! 2. **Non-functional properties** (§3.2): per-feature NFPs (binary size,
 //!    RAM, performance weight) live in a [`nfp::PropertyStore`], seeded
@@ -21,15 +25,20 @@
 
 pub mod advisor;
 pub mod appmodel;
+pub mod cfg;
+pub mod dataflow;
 pub mod detect;
 pub mod feedback;
+pub mod lexer;
 pub mod nfp;
 pub mod queries;
 pub mod solver;
 
 pub use advisor::{advise, IndexChoice, Recommendation, WorkloadProfile};
-pub use appmodel::{AppModel, Fact};
-pub use detect::{detect_features, Detection, Evidence};
+pub use appmodel::{render_flow, AppModel, Confidence, Fact, FactInfo, FlowStep};
+pub use cfg::Lang;
+pub use dataflow::{FactRecord, FlagSet};
+pub use detect::{detect_features, detect_features_at, Detection, Evidence, EvidenceFact};
 pub use feedback::FeedbackModel;
 pub use nfp::{Property, PropertyStore};
 pub use queries::{standard_bdb_queries, standard_fame_queries, ModelQuery, Query};

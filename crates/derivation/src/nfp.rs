@@ -71,8 +71,10 @@ impl PropertyStore {
 
     /// Set a value.
     pub fn set(&mut self, feature: &str, property: &str, value: f64, source: Source) {
-        self.values
-            .insert((feature.to_string(), property.to_string()), Property { value, source });
+        self.values.insert(
+            (feature.to_string(), property.to_string()),
+            Property { value, source },
+        );
     }
 
     /// Get a value.

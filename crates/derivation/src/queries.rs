@@ -11,7 +11,7 @@
 //! Fig. 3 reproduction). Features with no client-API footprint have no
 //! query — exactly the 3-of-18 the paper reports as not derivable.
 
-use crate::appmodel::AppModel;
+use crate::appmodel::{AppModel, Confidence, Fact};
 
 /// A predicate over the application model.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,14 +29,33 @@ pub enum Query {
 }
 
 impl Query {
-    /// Evaluate against a model.
+    /// Evaluate against a model at any confidence tier (the old,
+    /// over-approximating contract).
     pub fn matches(&self, model: &AppModel) -> bool {
+        self.matches_at(model, Confidence::Syntactic)
+    }
+
+    /// Evaluate against a model, counting only facts that hold at
+    /// `min_tier` or better. `Confidence::FlowConfirmed` ignores facts in
+    /// dead branches, `cfg`-gated code, and constants that never reach an
+    /// API call.
+    pub fn matches_at(&self, model: &AppModel, min_tier: Confidence) -> bool {
         match self {
-            Query::Call(n) => model.has_call(n),
-            Query::Constant(c) => model.has_constant(c),
-            Query::Path(t, v) => model.has_path(t, v),
-            Query::Any(qs) => qs.iter().any(|q| q.matches(model)),
-            Query::All(qs) => qs.iter().all(|q| q.matches(model)),
+            Query::Call(_) | Query::Constant(_) | Query::Path(_, _) => {
+                self.as_fact().is_some_and(|f| model.holds(&f, min_tier))
+            }
+            Query::Any(qs) => qs.iter().any(|q| q.matches_at(model, min_tier)),
+            Query::All(qs) => qs.iter().all(|q| q.matches_at(model, min_tier)),
+        }
+    }
+
+    /// The fact an atomic query tests (`None` for `Any`/`All`).
+    pub fn as_fact(&self) -> Option<Fact> {
+        match self {
+            Query::Call(n) => Some(Fact::Call((*n).to_string())),
+            Query::Constant(c) => Some(Fact::Constant((*c).to_string())),
+            Query::Path(t, v) => Some(Fact::Path((*t).to_string(), (*v).to_string())),
+            Query::Any(_) | Query::All(_) => None,
         }
     }
 
@@ -122,7 +141,11 @@ pub fn standard_fame_queries() -> Vec<ModelQuery> {
         },
         ModelQuery {
             feature: "DataTypes",
-            query: Any(vec![Call("sql"), Path("Value", "U32"), Path("Value", "Str")]),
+            query: Any(vec![
+                Call("sql"),
+                Path("Value", "U32"),
+                Path("Value", "Str"),
+            ]),
         },
     ]
 }
@@ -164,7 +187,10 @@ pub fn standard_bdb_queries() -> Vec<ModelQuery> {
         },
         ModelQuery {
             feature: "MVCC",
-            query: Any(vec![Constant("DB_MULTIVERSION"), Constant("DB_TXN_SNAPSHOT")]),
+            query: Any(vec![
+                Constant("DB_MULTIVERSION"),
+                Constant("DB_TXN_SNAPSHOT"),
+            ]),
         },
         ModelQuery {
             feature: "Crypto",
@@ -216,12 +242,49 @@ mod tests {
 
     #[test]
     fn query_matching() {
-        let m = AppModel::analyze("db.put(k, v); env.open(DB_INIT_TXN);", false);
+        let m = AppModel::syntactic("db.put(k, v); env.open(DB_INIT_TXN);");
         assert!(Query::Call("put").matches(&m));
         assert!(Query::Constant("DB_INIT_TXN").matches(&m));
         assert!(!Query::Call("remove").matches(&m));
         assert!(Query::Any(vec![Query::Call("nope"), Query::Call("put")]).matches(&m));
         assert!(!Query::All(vec![Query::Call("nope"), Query::Call("put")]).matches(&m));
+    }
+
+    #[test]
+    fn tiered_matching_filters_dead_branches() {
+        let src = r#"
+int main(void) {
+    dbp->open(dbp, NULL, "d.db", NULL, DB_BTREE, DB_CREATE, 0);
+    if (0) { env->rep_start(env, &cdata, DB_REP_MASTER); }
+    return 0;
+}
+"#;
+        let m = AppModel::from_source(src);
+        let rep = Query::Any(vec![
+            Query::Constant("DB_INIT_REP"),
+            Query::Call("rep_start"),
+        ]);
+        assert!(rep.matches(&m), "syntactic tier sees the dead branch");
+        assert!(
+            !rep.matches_at(&m, Confidence::FlowConfirmed),
+            "flow-confirmed tier does not"
+        );
+        assert!(Query::Constant("DB_BTREE").matches_at(&m, Confidence::FlowConfirmed));
+    }
+
+    #[test]
+    fn flow_confirmed_match_implies_syntactic_match() {
+        let m =
+            AppModel::from_source("int main(void) { dbp->cursor(dbp, NULL, &c, 0); return 0; }");
+        for q in standard_bdb_queries() {
+            if q.query.matches_at(&m, Confidence::FlowConfirmed) {
+                assert!(
+                    q.query.matches(&m),
+                    "{} violates tier monotonicity",
+                    q.feature
+                );
+            }
+        }
     }
 
     #[test]
@@ -238,7 +301,7 @@ fn main() {
     let rows = db.scan(None, None).unwrap();
 }
 "#;
-        let m = AppModel::analyze(src, true);
+        let m = AppModel::from_source(src);
         let fired: Vec<&str> = standard_fame_queries()
             .iter()
             .filter(|q| q.query.matches(&m))

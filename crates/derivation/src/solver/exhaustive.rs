@@ -75,8 +75,8 @@ pub(crate) fn within_budgets(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fame_feature_model::models;
     use crate::nfp::PropertyStore;
+    use fame_feature_model::models;
 
     #[test]
     fn finds_optimum_on_fame_model() {

@@ -176,7 +176,11 @@ mod tests {
         let store = PropertyStore::seeded_from(&model);
         let minimal = model.minimal_configuration().unwrap();
         let minimal_rom = store.predict(&model, &minimal, "rom_bytes");
-        let out = solve_greedy(&model, &store, &Objective::rom_budget("perf", minimal_rom + 1.0));
+        let out = solve_greedy(
+            &model,
+            &store,
+            &Objective::rom_budget("perf", minimal_rom + 1.0),
+        );
         let cfg = out.configuration.expect("minimal product fits");
         assert!(model.validate(&cfg).is_ok());
     }

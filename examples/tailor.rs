@@ -30,20 +30,30 @@ fn main() {
             eprintln!("skipping {name}: cannot read {path} (run from the repo root)");
             continue;
         };
-        let app = AppModel::analyze(&source, true);
+        let app = AppModel::from_source(&source);
         let detection = detect_features(&app, &queries, &model);
 
         println!("=== application `{name}` ({path})");
         println!(
-            "  analysis: {} facts, dead-code pruning {}",
+            "  analysis: {} facts ({} sources), dead-code pruning {}",
             app.facts().count(),
+            app.lang().map_or("unknown".into(), |l| format!("{l:?}")),
             if app.is_pruned() { "on" } else { "off" }
         );
         println!("  detected features: {}", detection.detected.join(", "));
         for ev in &detection.evidence {
-            for (what, lines) in &ev.facts {
-                let lines: Vec<String> = lines.iter().take(3).map(|l| l.to_string()).collect();
-                println!("    {} <- {} (line {})", ev.feature, what, lines.join(", "));
+            for fact in &ev.facts {
+                let lines: Vec<String> = fact.lines.iter().take(3).map(|l| l.to_string()).collect();
+                println!(
+                    "    {} <- {} (line {}, {:?})",
+                    ev.feature,
+                    fact.desc,
+                    lines.join(", "),
+                    fact.tier
+                );
+                if let Some(flow) = &fact.flow {
+                    println!("       flow: {flow}");
+                }
             }
         }
         match &detection.configuration {

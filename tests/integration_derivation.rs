@@ -27,7 +27,7 @@ fn quickstart_derives_its_feature_needs() {
     };
     let model = models::fame_dbms();
     let d = detect_features(
-        &AppModel::analyze(&src, true),
+        &AppModel::from_source(&src),
         &standard_fame_queries(),
         &model,
     );
@@ -50,7 +50,7 @@ fn calendar_derives_sql_need() {
     };
     let model = models::fame_dbms();
     let d = detect_features(
-        &AppModel::analyze(&src, true),
+        &AppModel::from_source(&src),
         &standard_fame_queries(),
         &model,
     );
@@ -69,7 +69,7 @@ fn sensor_logger_derives_embedded_product() {
     };
     let model = models::fame_dbms();
     let d = detect_features(
-        &AppModel::analyze(&src, true),
+        &AppModel::from_source(&src),
         &standard_fame_queries(),
         &model,
     );
@@ -114,7 +114,7 @@ fn derived_requirements_plus_budget_compose() {
     let model = models::fame_dbms();
     let store = PropertyStore::seeded_from(&model);
     let d = detect_features(
-        &AppModel::analyze(&src, true),
+        &AppModel::from_source(&src),
         &standard_fame_queries(),
         &model,
     );

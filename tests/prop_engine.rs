@@ -1,9 +1,13 @@
 //! Property tests over the whole engine (full feature build): the
 //! database facade behaves like a model map under arbitrary operation
-//! sequences, for every index kind, with and without crypto.
+//! sequences, for every index kind, with and without crypto; and the
+//! derivation pipeline's `Query` evaluation obeys its algebraic laws
+//! against randomized application models.
 
 use proptest::prelude::*;
 use std::collections::BTreeMap;
+
+use fame_derivation::{AppModel, Confidence, Fact, Query};
 
 use fame_dbms::{BufferConfig, Database, DbmsConfig, IndexKind};
 
@@ -182,5 +186,130 @@ proptest! {
         db.abort(t).unwrap();
 
         prop_assert_eq!(db.scan(None, None).unwrap(), snapshot);
+    }
+}
+
+// --- Query evaluation laws (Figure 3 derivation pipeline) ---------------
+//
+// Queries are a positive boolean algebra (Any/All, no negation) over an
+// application model's fact set, evaluated at a confidence tier. The laws
+// below must hold for every model and every tier.
+
+const CALL_POOL: &[&str] = &["put", "get", "remove", "open", "cursor", "sql", "begin"];
+const CONST_POOL: &[&str] = &[
+    "DB_BTREE",
+    "DB_INIT_TXN",
+    "DB_INIT_LOCK",
+    "DB_ENCRYPT",
+    "DB_QUEUE",
+];
+const PATH_POOL: &[(&str, &str)] = &[
+    ("CommitPolicy", "Force"),
+    ("IndexKind", "BTree"),
+    ("OsTarget", "Flash"),
+    ("Value", "U32"),
+];
+
+fn arb_fact() -> impl Strategy<Value = Fact> {
+    prop_oneof![
+        prop::sample::select(CALL_POOL).prop_map(|c| Fact::Call(c.to_string())),
+        prop::sample::select(CONST_POOL).prop_map(|c| Fact::Constant(c.to_string())),
+        prop::sample::select(PATH_POOL).prop_map(|(t, v)| Fact::Path(t.to_string(), v.to_string())),
+    ]
+}
+
+fn arb_tier() -> impl Strategy<Value = Confidence> {
+    prop_oneof![Just(Confidence::Syntactic), Just(Confidence::FlowConfirmed),]
+}
+
+fn arb_app_model() -> impl Strategy<Value = AppModel> {
+    prop::collection::vec((arb_fact(), arb_tier(), 1u32..200), 0..12).prop_map(AppModel::from_facts)
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    let leaf = prop_oneof![
+        prop::sample::select(CALL_POOL).prop_map(Query::Call),
+        prop::sample::select(CONST_POOL).prop_map(Query::Constant),
+        prop::sample::select(PATH_POOL).prop_map(|(t, v)| Query::Path(t, v)),
+    ];
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Query::Any),
+            prop::collection::vec(inner, 0..4).prop_map(Query::All),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn empty_connectives_are_identities(m in arb_app_model(), tier in arb_tier()) {
+        // Any([]) is the identity of Any (false); All([]) of All (true).
+        prop_assert!(!Query::Any(vec![]).matches_at(&m, tier));
+        prop_assert!(Query::All(vec![]).matches_at(&m, tier));
+    }
+
+    #[test]
+    fn singleton_wrappers_are_identity(
+        m in arb_app_model(),
+        q in arb_query(),
+        tier in arb_tier(),
+    ) {
+        let direct = q.matches_at(&m, tier);
+        prop_assert_eq!(Query::Any(vec![q.clone()]).matches_at(&m, tier), direct);
+        prop_assert_eq!(Query::All(vec![q]).matches_at(&m, tier), direct);
+    }
+
+    #[test]
+    fn de_morgan_duals_hold(
+        m in arb_app_model(),
+        qs in prop::collection::vec(arb_query(), 0..5),
+        tier in arb_tier(),
+    ) {
+        // Any(qs) == not All(not q); All(qs) == not Any(not q).
+        let any = Query::Any(qs.clone()).matches_at(&m, tier);
+        let all = Query::All(qs.clone()).matches_at(&m, tier);
+        prop_assert_eq!(any, !qs.iter().all(|q| !q.matches_at(&m, tier)));
+        prop_assert_eq!(all, !qs.iter().any(|q| !q.matches_at(&m, tier)));
+    }
+
+    #[test]
+    fn operand_order_is_irrelevant(
+        (qs, shuffled) in prop::collection::vec(arb_query(), 0..5)
+            .prop_flat_map(|qs| (Just(qs.clone()), Just(qs).prop_shuffle())),
+        m in arb_app_model(),
+        tier in arb_tier(),
+    ) {
+        prop_assert_eq!(
+            Query::Any(qs.clone()).matches_at(&m, tier),
+            Query::Any(shuffled.clone()).matches_at(&m, tier),
+        );
+        prop_assert_eq!(
+            Query::All(qs).matches_at(&m, tier),
+            Query::All(shuffled).matches_at(&m, tier),
+        );
+    }
+
+    #[test]
+    fn duplicated_operands_are_idempotent(
+        m in arb_app_model(),
+        q in arb_query(),
+        tier in arb_tier(),
+    ) {
+        let direct = q.matches_at(&m, tier);
+        prop_assert_eq!(Query::Any(vec![q.clone(), q.clone()]).matches_at(&m, tier), direct);
+        prop_assert_eq!(Query::All(vec![q.clone(), q]).matches_at(&m, tier), direct);
+    }
+
+    #[test]
+    fn flow_confirmed_match_implies_syntactic_match(
+        m in arb_app_model(),
+        q in arb_query(),
+    ) {
+        // Positive formulas are monotone in the confidence tier.
+        if q.matches_at(&m, Confidence::FlowConfirmed) {
+            prop_assert!(q.matches_at(&m, Confidence::Syntactic));
+        }
     }
 }
