@@ -20,4 +20,7 @@ cargo test -q --workspace
 echo "== fig3_derivation (§3.1 reproduction)"
 cargo run --release -p fame-bench --bin fig3_derivation | tail -n 20
 
+echo "== crash torture (E7, bounded sweep; exits non-zero on any violation)"
+cargo run --release -p fame-bench --bin crash_torture -- --quick | tail -n 10
+
 echo "== CI OK"

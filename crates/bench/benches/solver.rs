@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use fame_derivation::{solve_exhaustive, solve_greedy, Objective, PropertyStore};
-use fame_feature_model::{models, count};
+use fame_feature_model::{count, models};
 
 fn bench_solvers(c: &mut Criterion) {
     let model = models::fame_dbms();

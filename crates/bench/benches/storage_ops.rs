@@ -131,11 +131,7 @@ fn bench_replacement_policies(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("skewed", kind.name()), |b| {
             let mut dev = InMemoryDevice::new(512);
             fame_os::BlockDevice::ensure_pages(&mut dev, 256).unwrap();
-            let mut pool = BufferPool::new(
-                Box::new(dev),
-                kind,
-                AllocPolicy::Static { frames: 32 },
-            );
+            let mut pool = BufferPool::new(Box::new(dev), kind, AllocPolicy::Static { frames: 32 });
             let mut x: u64 = 0x12345;
             b.iter(|| {
                 x ^= x << 13;

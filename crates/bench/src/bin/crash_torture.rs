@@ -1,0 +1,72 @@
+//! Experiment E7: crash-point torture sweep.
+//!
+//! For every product variant in the default matrix, records a workload's
+//! write/sync schedule, then crashes it at every swept write index (clean
+//! and torn on the log device, clean on the data device, plus failing
+//! barriers), recovers, and checks durability, atomicity, and storage
+//! integrity. Writes one row per crash point to
+//! `bench-results/torture_run.tsv`.
+//!
+//! Usage: `cargo run --release -p fame-bench --bin crash_torture`
+//! (`--quick` thins every sweep by 8× for CI gates).
+
+use std::io::Write as _;
+
+use fame_bench::torture::{default_specs, torture};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut specs = default_specs();
+    if quick {
+        for s in &mut specs {
+            s.stride *= 8;
+        }
+    }
+
+    std::fs::create_dir_all("bench-results").expect("create bench-results/");
+    let mut out =
+        std::fs::File::create("bench-results/torture_run.tsv").expect("create torture_run.tsv");
+    writeln!(
+        out,
+        "variant\tmode\tcrash_at\tcompleted_commits\tdurable_commits\trecovered_prefix\tviolations"
+    )
+    .unwrap();
+
+    let mut total_points = 0usize;
+    let mut total_violations = 0usize;
+    for spec in &specs {
+        let result = torture(spec);
+        let points = result.crash_points();
+        let violations = result.violations();
+        total_points += points;
+        total_violations += violations;
+        for r in &result.rows {
+            writeln!(
+                out,
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                r.variant,
+                r.mode,
+                r.crash_at,
+                r.completed,
+                r.durable,
+                r.recovered.map_or_else(|| "-".into(), |m| m.to_string()),
+                if r.violations.is_empty() {
+                    "-".to_string()
+                } else {
+                    r.violations.join("; ")
+                },
+            )
+            .unwrap();
+        }
+        println!(
+            "{:28} {:5} crash points, {} violations",
+            spec.name, points, violations
+        );
+    }
+
+    println!("\ntotal: {total_points} crash points, {total_violations} violations");
+    println!("wrote bench-results/torture_run.tsv");
+    if total_violations > 0 {
+        std::process::exit(1);
+    }
+}

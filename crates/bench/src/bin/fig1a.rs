@@ -67,11 +67,7 @@ fn main() {
                     cache.insert(key, bytes);
                 }
                 Err(e) => {
-                    eprintln!(
-                        "  config {} / {} FAILED: {e}",
-                        config.number,
-                        axis.label()
-                    );
+                    eprintln!("  config {} / {} FAILED: {e}", config.number, axis.label());
                 }
             }
         }

@@ -11,9 +11,7 @@
 use std::time::Instant;
 
 use fame_bench::Table;
-use fame_derivation::{
-    solve_exhaustive, solve_greedy, FeedbackModel, Objective, PropertyStore,
-};
+use fame_derivation::{solve_exhaustive, solve_greedy, FeedbackModel, Objective, PropertyStore};
 use fame_feature_model::{models, Configuration};
 
 fn main() {

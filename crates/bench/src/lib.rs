@@ -17,6 +17,7 @@
 pub mod configs;
 pub mod corpus;
 pub mod table;
+pub mod torture;
 pub mod workload;
 
 pub use configs::{fig1_configs, CompositionAxis, Fig1Config};

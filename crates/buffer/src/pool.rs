@@ -65,11 +65,7 @@ pub struct BufferPool {
 impl BufferPool {
     /// Create a caching pool with the given replacement policy and frame
     /// allocation policy. Static allocation pre-faults the whole arena.
-    pub fn new(
-        device: Box<dyn BlockDevice>,
-        kind: ReplacementKind,
-        alloc: AllocPolicy,
-    ) -> Self {
+    pub fn new(device: Box<dyn BlockDevice>, kind: ReplacementKind, alloc: AllocPolicy) -> Self {
         let page_size = device.page_size();
         let prealloc = alloc.preallocate();
         let mut allocator = FrameAllocator::new(alloc);
@@ -127,11 +123,7 @@ impl BufferPool {
     }
 
     /// Run `f` over an immutable view of the page.
-    pub fn with_page<R>(
-        &mut self,
-        page: PageId,
-        f: impl FnOnce(&[u8]) -> R,
-    ) -> Result<R, OsError> {
+    pub fn with_page<R>(&mut self, page: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R, OsError> {
         match &mut self.mode {
             Mode::Unbuffered { scratch } => {
                 self.stats.misses += 1;
@@ -208,9 +200,9 @@ impl BufferPool {
             policy.resize(frames.len());
             idx
         } else {
-            let victim = policy.victim().ok_or_else(|| {
-                OsError::Io("buffer pool has no evictable frame".to_string())
-            })?;
+            let victim = policy
+                .victim()
+                .ok_or_else(|| OsError::Io("buffer pool has no evictable frame".to_string()))?;
             let fr = &mut frames[victim];
             if fr.dirty {
                 let old = fr.page.expect("victim frame holds a page");
@@ -395,7 +387,9 @@ mod tests {
         let mut p = BufferPool::new(
             Box::new(dev),
             ReplacementKind::Lru,
-            AllocPolicy::Dynamic { max_frames: Some(5) },
+            AllocPolicy::Dynamic {
+                max_frames: Some(5),
+            },
         );
         assert_eq!(p.frame_count(), 0);
         for page in 0..10 {

@@ -96,7 +96,9 @@ pub struct BufferConfig {
 impl BufferConfig {
     fn alloc_policy(&self) -> fame_os::AllocPolicy {
         if self.static_alloc {
-            fame_os::AllocPolicy::Static { frames: self.frames }
+            fame_os::AllocPolicy::Static {
+                frames: self.frames,
+            }
         } else {
             fame_os::AllocPolicy::Dynamic {
                 max_frames: Some(self.frames),
@@ -204,7 +206,10 @@ impl DbmsConfig {
     /// Basic sanity checks of the runtime values.
     pub fn check(&self) -> Result<(), String> {
         if !(64..=32 * 1024).contains(&self.page_size) {
-            return Err(format!("page size {} out of range 64..=32768", self.page_size));
+            return Err(format!(
+                "page size {} out of range 64..=32768",
+                self.page_size
+            ));
         }
         #[cfg(feature = "os-flash")]
         #[allow(irrefutable_let_patterns)]
@@ -248,7 +253,11 @@ fn default_os() -> OsTarget {
             path: std::env::temp_dir().join("fame-dbms.db"),
         }
     }
-    #[cfg(all(not(feature = "os-inmem"), not(feature = "os-std"), feature = "os-flash"))]
+    #[cfg(all(
+        not(feature = "os-inmem"),
+        not(feature = "os-std"),
+        feature = "os-flash"
+    ))]
     {
         OsTarget::Flash(FlashConfig::default())
     }

@@ -43,6 +43,8 @@ pub struct Database {
     txn: Option<fame_txn::TxnManager>,
     #[cfg(feature = "transactions")]
     txn_pending_ship: std::collections::BTreeMap<fame_txn::TxnId, Vec<ShipOpBuf>>,
+    #[cfg(feature = "transactions")]
+    last_recovery: Option<fame_txn::RecoveryStats>,
     #[cfg(feature = "replication")]
     replication: Option<fame_repl::Primary>,
     #[cfg(feature = "sql")]
@@ -57,6 +59,36 @@ impl Database {
     pub fn open(config: DbmsConfig) -> Result<Database> {
         config.check().map_err(DbmsError::Config)?;
         let device = make_device(&config)?;
+        #[cfg(feature = "transactions")]
+        let log_device = match &config.transactions {
+            Some(_) => Some(make_log_device(&config)?),
+            None => None,
+        };
+        #[cfg(not(feature = "transactions"))]
+        let log_device = None;
+        Self::open_inner(config, device, log_device)
+    }
+
+    /// Open over caller-supplied devices, bypassing [`make_device`].
+    ///
+    /// The crash-torture harness uses this to hand the engine clones of a
+    /// [`fame_os::SharedDevice`]-wrapped fault injector while keeping side
+    /// handles for tripping, healing, and counter inspection. `log_device`
+    /// must be `Some` iff the configuration enables transactions.
+    pub fn open_with_devices(
+        config: DbmsConfig,
+        device: Box<dyn BlockDevice>,
+        log_device: Option<Box<dyn BlockDevice>>,
+    ) -> Result<Database> {
+        config.check().map_err(DbmsError::Config)?;
+        Self::open_inner(config, device, log_device)
+    }
+
+    fn open_inner(
+        config: DbmsConfig,
+        device: Box<dyn BlockDevice>,
+        log_device: Option<Box<dyn BlockDevice>>,
+    ) -> Result<Database> {
         let pool = make_pool(&config, device);
         let mut pager = Pager::open(pool)?;
 
@@ -78,16 +110,29 @@ impl Database {
             }),
         };
 
+        // Read the surviving log back *before* attaching the writer: the
+        // records both position the writer's resume LSN and drive recovery
+        // once the facade is assembled.
         #[cfg(feature = "transactions")]
-        let txn = match &config.transactions {
-            Some(tc) => {
-                let log_dev = make_log_device(&config)?;
-                let (resume, log_dev) = fame_txn::LogReader::scan_end(log_dev)?;
-                let writer = fame_txn::LogWriter::new(log_dev, resume)?;
-                Some(fame_txn::TxnManager::new(writer, tc.commit))
+        let (txn, replay) = match (&config.transactions, log_device) {
+            (Some(tc), Some(log_dev)) => {
+                let mut reader = fame_txn::LogReader::new(log_dev);
+                let (records, resume) = reader.read_all()?;
+                let writer = fame_txn::LogWriter::new(reader.into_device(), resume)?;
+                (
+                    Some(fame_txn::TxnManager::new(writer, tc.commit)),
+                    Some((records, resume)),
+                )
             }
-            None => None,
+            (Some(_), None) => {
+                return Err(DbmsError::Config(
+                    "transactions enabled but no log device supplied".into(),
+                ))
+            }
+            (None, _) => (None, None),
         };
+        #[cfg(not(feature = "transactions"))]
+        drop(log_device);
 
         #[cfg(feature = "replication")]
         let replication = config.replication.map(fame_repl::Primary::new);
@@ -103,13 +148,17 @@ impl Database {
             txn,
             #[cfg(feature = "transactions")]
             txn_pending_ship: std::collections::BTreeMap::new(),
+            #[cfg(feature = "transactions")]
+            last_recovery: None,
             #[cfg(feature = "replication")]
             replication,
             #[cfg(feature = "sql")]
             sql,
         };
         #[cfg(feature = "transactions")]
-        db.recover_if_needed()?;
+        if let Some((records, resume)) = replay {
+            db.recover_from_records(&records, resume)?;
+        }
         let _ = &mut db; // silence "unused mut" when transactions are off
         Ok(db)
     }
@@ -120,13 +169,25 @@ impl Database {
     }
 
     /// Flush everything and issue a durability barrier.
+    ///
+    /// Order matters: the WAL rule requires the log to be durable *before*
+    /// the data pages it describes. Flushing the pager first would let a
+    /// crash between the two barriers leave unlogged page images on disk —
+    /// uncommitted effects recovery can no longer undo.
     pub fn sync(&mut self) -> Result<()> {
-        self.pager.sync()?;
         #[cfg(feature = "transactions")]
         if let Some(t) = &mut self.txn {
             t.flush()?;
         }
+        self.pager.sync()?;
         Ok(())
+    }
+
+    /// Walk the whole storage image and report every violated structural
+    /// invariant (meta page, free list, index structures). The crash-torture
+    /// harness runs this after every simulated crash + recovery.
+    pub fn verify_integrity(&mut self) -> Result<fame_storage::IntegrityReport> {
+        Ok(fame_storage::check_pager(&mut self.pager)?)
     }
 
     /// Pager / buffer-pool statistics.
@@ -215,11 +276,7 @@ impl Database {
 
     // ---- internal index dispatch ---------------------------------------
 
-    #[cfg(any(
-        feature = "api-put",
-        feature = "api-update",
-        feature = "transactions"
-    ))]
+    #[cfg(any(feature = "api-put", feature = "api-update", feature = "transactions"))]
     fn kv_put(&mut self, key: &[u8], value: &[u8]) -> Result<bool> {
         match &mut self.kv {
             #[cfg(feature = "index-btree")]
@@ -446,27 +503,45 @@ impl Database {
         self.txn.as_ref().map(|t| t.log_syncs())
     }
 
-    /// Replay the WAL against the store (run automatically at open).
+    /// Replay captured WAL records against the store (run at open).
     #[cfg(feature = "transactions")]
-    fn recover_if_needed(&mut self) -> Result<()> {
-        // Only file-backed products can have a pre-existing log.
-        // In-memory logs are always fresh, so recovery is a no-op there.
-        let Some(_) = &self.txn else { return Ok(()) };
-        let log_dev = make_log_device(&self.config)?;
-        if log_dev.num_pages() == 0 {
+    fn recover_from_records(
+        &mut self,
+        records: &[(fame_txn::Lsn, fame_txn::LogRecord)],
+        resume: u64,
+    ) -> Result<()> {
+        if records.is_empty() {
             return Ok(());
         }
-        let reader = fame_txn::LogReader::new(log_dev);
         let mut target = RecoverInto {
             db: self,
             error: None,
         };
-        fame_txn::recover(reader, &mut target)?;
+        let stats = fame_txn::recover_records(records, resume, &mut target);
         if let Some(e) = target.error {
             return Err(e);
         }
+        // Seal the recovery: force the replayed pages to disk, then append
+        // terminal Aborts for the losers plus a checkpoint so the *next*
+        // open replays nothing. Without this, every reopen redoes winners
+        // and re-undoes losers — on a log that only grows, recovery time
+        // grows without bound.
         self.pager.sync()?;
+        let sealed = matches!(records.last(), Some((_, fame_txn::LogRecord::Checkpoint)))
+            && stats.losers.is_empty();
+        if !sealed {
+            if let Some(t) = &mut self.txn {
+                t.seal_recovery(&stats.losers)?;
+            }
+        }
+        self.last_recovery = Some(stats);
         Ok(())
+    }
+
+    /// What recovery did at open, if a non-empty log was replayed.
+    #[cfg(feature = "transactions")]
+    pub fn last_recovery(&self) -> Option<&fame_txn::RecoveryStats> {
+        self.last_recovery.as_ref()
     }
 
     // ---- replication (Berkeley DB REPLICATION, §2.2) ----------------------
@@ -499,7 +574,9 @@ impl Database {
             Kv::BTree(t) => {
                 let entries = t.scan(&mut self.pager, None, None)?;
                 Ok(fame_repl::digest_of(
-                    entries.iter().map(|(k, v)| (0u8, k.as_slice(), v.as_slice())),
+                    entries
+                        .iter()
+                        .map(|(k, v)| (0u8, k.as_slice(), v.as_slice())),
                 ))
             }
             #[allow(unreachable_patterns)]
@@ -774,7 +851,11 @@ impl BlockDevice for WrapCrypto {
     fn num_pages(&self) -> u32 {
         self.inner.num_pages()
     }
-    fn read_page(&mut self, page: u32, buf: &mut [u8]) -> std::result::Result<(), fame_os::OsError> {
+    fn read_page(
+        &mut self,
+        page: u32,
+        buf: &mut [u8],
+    ) -> std::result::Result<(), fame_os::OsError> {
         self.inner.read_page(page, buf)?;
         if buf.iter().any(|&b| b != 0) {
             self.cipher.decrypt_page(page, buf);
@@ -863,7 +944,8 @@ mod tests {
     fn sql_end_to_end() {
         let mut d = db();
         d.sql("CREATE TABLE t (id U32, v TEXT)").unwrap();
-        d.sql("INSERT INTO t VALUES (1, 'one'), (2, 'two')").unwrap();
+        d.sql("INSERT INTO t VALUES (1, 'one'), (2, 'two')")
+            .unwrap();
         let out = d.sql("SELECT v FROM t WHERE id = 2").unwrap();
         let rows = out.rows().unwrap();
         assert_eq!(rows[0][0], fame_storage::Value::Str("two".into()));

@@ -61,17 +61,17 @@ pub mod db;
 pub mod error;
 pub mod features;
 
-pub use config::{BufferConfig, DbmsConfig, IndexKind, OsTarget};
 #[cfg(feature = "transactions")]
 pub use config::TxnConfig;
+pub use config::{BufferConfig, DbmsConfig, IndexKind, OsTarget};
 pub use db::Database;
 pub use error::DbmsError;
 pub use features::{active_features, model_configuration};
 
-#[cfg(feature = "transactions")]
-pub use db::TxnHandle;
 #[cfg(feature = "statistics")]
 pub use db::DbStats;
+#[cfg(feature = "transactions")]
+pub use db::TxnHandle;
 
 // Re-export the substrate crates so applications need only one dependency.
 pub use fame_buffer;

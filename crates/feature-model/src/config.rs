@@ -170,8 +170,7 @@ impl FeatureModel {
                     GroupKind::And => {
                         for &c in feature.children() {
                             let child = self.feature(c);
-                            if child.optionality() == Optionality::Mandatory
-                                && !cfg.is_selected(c)
+                            if child.optionality() == Optionality::Mandatory && !cfg.is_selected(c)
                             {
                                 errors.push(ConfigError::MandatoryMissing {
                                     feature: child.name().to_string(),
@@ -384,9 +383,9 @@ mod tests {
         let m = model();
         let c = cfg(&m, &["M", "Index", "BTree"]);
         let errs = m.validate(&c).unwrap_err();
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, ConfigError::MandatoryMissing { feature, .. } if feature == "Core")));
+        assert!(errs.iter().any(
+            |e| matches!(e, ConfigError::MandatoryMissing { feature, .. } if feature == "Core")
+        ));
     }
 
     #[test]

@@ -111,7 +111,10 @@ impl Prop {
                 }
                 Prop::Implies(a, b) => {
                     // a -> b  ==  !a | b
-                    nnf(&Prop::Or(vec![Prop::not((**a).clone()), (**b).clone()]), neg)
+                    nnf(
+                        &Prop::Or(vec![Prop::not((**a).clone()), (**b).clone()]),
+                        neg,
+                    )
                 }
                 Prop::Iff(a, b) => {
                     // a <-> b == (a -> b) & (b -> a)
@@ -323,7 +326,10 @@ mod tests {
     fn cnf_iff_nested() {
         let p = Prop::iff(
             Prop::var(f(0)),
-            Prop::And(vec![Prop::var(f(1)), Prop::Or(vec![Prop::var(f(2)), Prop::var(f(3))])]),
+            Prop::And(vec![
+                Prop::var(f(1)),
+                Prop::Or(vec![Prop::var(f(2)), Prop::var(f(3))]),
+            ]),
         );
         assert_cnf_equivalent(&p, 4);
     }

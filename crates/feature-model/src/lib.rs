@@ -38,5 +38,7 @@ pub use compose::compose;
 pub use config::{ConfigError, Configuration};
 pub use constraint::{CrossTreeConstraint, Prop};
 pub use count::count_variants;
-pub use model::{Feature, FeatureId, FeatureModel, GroupKind, ModelBuilder, ModelError, Optionality};
+pub use model::{
+    Feature, FeatureId, FeatureModel, GroupKind, ModelBuilder, ModelError, Optionality,
+};
 pub use sat::{Propagation, SatResult};

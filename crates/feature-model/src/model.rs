@@ -132,7 +132,9 @@ impl fmt::Display for ModelError {
         match self {
             ModelError::DuplicateName(n) => write!(f, "duplicate feature name `{n}`"),
             ModelError::UnknownFeature(n) => write!(f, "unknown feature `{n}`"),
-            ModelError::EmptyGroup(n) => write!(f, "feature `{n}` has a group kind but no children"),
+            ModelError::EmptyGroup(n) => {
+                write!(f, "feature `{n}` has a group kind but no children")
+            }
             ModelError::NoRoot => write!(f, "model has no root feature"),
         }
     }
@@ -303,7 +305,8 @@ impl ModelBuilder {
     fn add(&mut self, name: &str, parent: Option<FeatureId>, opt: Optionality) -> FeatureId {
         let id = FeatureId(self.features.len() as u32);
         if self.by_name.insert(name.to_string(), id).is_some() {
-            self.errors.push(ModelError::DuplicateName(name.to_string()));
+            self.errors
+                .push(ModelError::DuplicateName(name.to_string()));
         }
         self.features.push(Feature {
             name: name.to_string(),

@@ -58,14 +58,20 @@ pub fn fame_dbms() -> FeatureModel {
     // --- OS abstraction -------------------------------------------------
     let os = b.mandatory(root, "OS-Abstraction");
     b.group(os, GroupKind::Alternative);
-    b.doc(os, "Lowest layer: storage device + memory services of the target OS");
+    b.doc(
+        os,
+        "Lowest layer: storage device + memory services of the target OS",
+    );
     let linux = b.optional(os, "Linux");
     b.attr(linux, "rom_bytes", 6_000.0);
     let win = b.optional(os, "Win32");
     b.attr(win, "rom_bytes", 7_000.0);
     let nutos = b.optional(os, "NutOS");
     b.attr(nutos, "rom_bytes", 3_500.0);
-    b.doc(nutos, "Deeply embedded target (simulated flash device in this repo)");
+    b.doc(
+        nutos,
+        "Deeply embedded target (simulated flash device in this repo)",
+    );
 
     // --- Buffer manager --------------------------------------------------
     let buf = b.optional(root, "BufferManager");
@@ -96,7 +102,10 @@ pub fn fame_dbms() -> FeatureModel {
     let btree = b.optional(index, "B+-Tree");
     b.attr(btree, "rom_bytes", 16_000.0);
     b.attr(btree, "perf", 6.0);
-    b.doc(btree, "Fine-grained decomposition: search is mandatory, update/remove optional");
+    b.doc(
+        btree,
+        "Fine-grained decomposition: search is mandatory, update/remove optional",
+    );
     let bts = b.mandatory(btree, "BTreeSearch");
     b.attr(bts, "rom_bytes", 4_000.0);
     let btu = b.optional(btree, "BTreeUpdate");
@@ -106,16 +115,27 @@ pub fn fame_dbms() -> FeatureModel {
     let list = b.optional(index, "List");
     b.attr(list, "rom_bytes", 3_000.0);
     b.attr(list, "perf", 1.0);
-    b.doc(list, "Unsorted list storage for minimal footprints (linear scan)");
+    b.doc(
+        list,
+        "Unsorted list storage for minimal footprints (linear scan)",
+    );
     let dtypes = b.optional(storage, "DataTypes");
     b.attr(dtypes, "rom_bytes", 5_000.0);
-    b.doc(dtypes, "Typed records and schemas instead of raw byte strings");
+    b.doc(
+        dtypes,
+        "Typed records and schemas instead of raw byte strings",
+    );
 
     // --- Access -----------------------------------------------------------
     let access = b.mandatory(root, "Access");
     let api = b.mandatory(access, "API");
     b.group(api, GroupKind::Or);
-    for (name, rom) in [("Put", 1_200.0), ("Get", 800.0), ("Remove", 1_000.0), ("Update", 1_100.0)] {
+    for (name, rom) in [
+        ("Put", 1_200.0),
+        ("Get", 800.0),
+        ("Remove", 1_000.0),
+        ("Update", 1_100.0),
+    ] {
         let f = b.optional(api, name);
         b.attr(f, "rom_bytes", rom);
     }
@@ -133,7 +153,10 @@ pub fn fame_dbms() -> FeatureModel {
     let txn = b.optional(root, "Transaction");
     b.attr(txn, "rom_bytes", 21_000.0);
     b.attr(txn, "ram_bytes", 8_192.0);
-    b.doc(txn, "Coarse-grained feature (paper §2.3): only commit protocol varies");
+    b.doc(
+        txn,
+        "Coarse-grained feature (paper §2.3): only commit protocol varies",
+    );
     let commit = b.mandatory(txn, "Commit");
     b.group(commit, GroupKind::Alternative);
     let force = b.optional(commit, "ForceCommit");
@@ -150,7 +173,10 @@ pub fn fame_dbms() -> FeatureModel {
         let sql = Prop::var(sql);
         let get = Prop::var(b.peek("Get").unwrap());
         let put = Prop::var(b.peek("Put").unwrap());
-        b.constraint("SQLEngine -> (Get & Put)", Prop::implies(sql, Prop::And(vec![get, put])));
+        b.constraint(
+            "SQLEngine -> (Get & Put)",
+            Prop::implies(sql, Prop::And(vec![get, put])),
+        );
     }
     {
         let nutos = Prop::var(nutos);
@@ -259,7 +285,10 @@ pub fn nut_os() -> FeatureModel {
 
     let heap = b.optional(root, "Heap");
     b.attr(heap, "rom_bytes", 2_200.0);
-    b.doc(heap, "Dynamic memory allocator; absent on the smallest parts");
+    b.doc(
+        heap,
+        "Dynamic memory allocator; absent on the smallest parts",
+    );
 
     let drivers = b.mandatory(root, "Drivers");
     b.group(drivers, GroupKind::Or);
@@ -330,9 +359,21 @@ mod tests {
     fn fame_nutos_static_alloc_constraint() {
         let m = fame_dbms();
         let names = [
-            "FAME-DBMS", "OS-Abstraction", "NutOS", "Storage", "Index", "B+-Tree",
-            "BTreeSearch", "Access", "API", "Get", "BufferManager", "Replacement",
-            "LRU", "MemoryAlloc", "Dynamic",
+            "FAME-DBMS",
+            "OS-Abstraction",
+            "NutOS",
+            "Storage",
+            "Index",
+            "B+-Tree",
+            "BTreeSearch",
+            "Access",
+            "API",
+            "Get",
+            "BufferManager",
+            "Replacement",
+            "LRU",
+            "MemoryAlloc",
+            "Dynamic",
         ];
         let c = Configuration::from_names(&m, names).unwrap();
         let errs = m.validate(&c).unwrap_err();

@@ -47,7 +47,9 @@ impl fmt::Display for AllocPolicy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AllocPolicy::Static { frames } => write!(f, "static({frames})"),
-            AllocPolicy::Dynamic { max_frames: Some(m) } => write!(f, "dynamic(max {m})"),
+            AllocPolicy::Dynamic {
+                max_frames: Some(m),
+            } => write!(f, "dynamic(max {m})"),
             AllocPolicy::Dynamic { max_frames: None } => write!(f, "dynamic"),
         }
     }
@@ -135,7 +137,9 @@ mod tests {
 
     #[test]
     fn dynamic_capped_stops_at_cap() {
-        let mut a = FrameAllocator::new(AllocPolicy::Dynamic { max_frames: Some(3) });
+        let mut a = FrameAllocator::new(AllocPolicy::Dynamic {
+            max_frames: Some(3),
+        });
         assert!(a.try_acquire());
         assert!(a.try_acquire());
         assert!(a.try_acquire());
@@ -157,7 +161,10 @@ mod tests {
     fn display_forms() {
         assert_eq!(AllocPolicy::Static { frames: 8 }.to_string(), "static(8)");
         assert_eq!(
-            AllocPolicy::Dynamic { max_frames: Some(4) }.to_string(),
+            AllocPolicy::Dynamic {
+                max_frames: Some(4)
+            }
+            .to_string(),
             "dynamic(max 4)"
         );
         assert_eq!(

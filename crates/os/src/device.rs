@@ -120,7 +120,10 @@ mod tests {
     fn error_display() {
         let e = OsError::OutOfRange { page: 9, pages: 4 };
         assert_eq!(e.to_string(), "page 9 out of range (device has 4 pages)");
-        let e = OsError::BadBufferSize { expected: 512, got: 100 };
+        let e = OsError::BadBufferSize {
+            expected: 512,
+            got: 100,
+        };
         assert!(e.to_string().contains("512"));
         let e = OsError::DeviceFull { capacity_pages: 64 };
         assert!(e.to_string().contains("64"));

@@ -86,8 +86,7 @@ impl BlockDevice for FileDevice {
 
     fn ensure_pages(&mut self, pages: u32) -> Result<()> {
         if pages > self.num_pages {
-            self.file
-                .set_len(pages as u64 * self.page_size as u64)?;
+            self.file.set_len(pages as u64 * self.page_size as u64)?;
             self.num_pages = pages;
         }
         Ok(())

@@ -29,6 +29,7 @@ pub mod file;
 pub mod flash;
 #[cfg(feature = "inmem")]
 pub mod memory;
+pub mod shared;
 
 pub use alloc::{AllocPolicy, FrameAllocator};
 pub use device::{BlockDevice, DeviceStats, OsError, PageId, Result};
@@ -40,3 +41,4 @@ pub use file::FileDevice;
 pub use flash::{FlashConfig, FlashDevice};
 #[cfg(feature = "inmem")]
 pub use memory::InMemoryDevice;
+pub use shared::SharedDevice;

@@ -66,11 +66,14 @@ impl BlockDevice for InMemoryDevice {
     fn ensure_pages(&mut self, pages: u32) -> Result<()> {
         if let Some(cap) = self.capacity_pages {
             if pages > cap {
-                return Err(OsError::DeviceFull { capacity_pages: cap });
+                return Err(OsError::DeviceFull {
+                    capacity_pages: cap,
+                });
             }
         }
         while self.pages.len() < pages as usize {
-            self.pages.push(vec![0u8; self.page_size].into_boxed_slice());
+            self.pages
+                .push(vec![0u8; self.page_size].into_boxed_slice());
         }
         Ok(())
     }

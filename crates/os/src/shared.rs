@@ -1,0 +1,99 @@
+//! A clonable, shared handle to a [`BlockDevice`].
+//!
+//! The crash-torture harness needs two views of the same device: the
+//! `Database` owns it as a `Box<dyn BlockDevice>`, while the harness keeps a
+//! side handle to trip faults, heal, and read counters between runs.
+//! [`SharedDevice`] provides exactly that: an `Arc<Mutex<D>>` wrapper that
+//! itself implements [`BlockDevice`], so a clone can be handed to the engine
+//! while the original stays with the test driver.
+
+use std::sync::{Arc, Mutex};
+
+use crate::device::{BlockDevice, DeviceStats, PageId, Result};
+
+/// Shared ownership of a block device. Cloning is cheap; all clones address
+/// the same underlying device.
+pub struct SharedDevice<D: BlockDevice> {
+    inner: Arc<Mutex<D>>,
+}
+
+impl<D: BlockDevice> SharedDevice<D> {
+    pub fn new(device: D) -> Self {
+        SharedDevice {
+            inner: Arc::new(Mutex::new(device)),
+        }
+    }
+
+    /// Run `f` with exclusive access to the wrapped device — the harness
+    /// side-channel for things not on the [`BlockDevice`] trait (tripping
+    /// faults, healing, reading fault counters).
+    pub fn with<R>(&self, f: impl FnOnce(&mut D) -> R) -> R {
+        let mut guard = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        f(&mut guard)
+    }
+}
+
+impl<D: BlockDevice> Clone for SharedDevice<D> {
+    fn clone(&self) -> Self {
+        SharedDevice {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for SharedDevice<D> {
+    fn page_size(&self) -> usize {
+        self.with(|d| d.page_size())
+    }
+
+    fn num_pages(&self) -> u32 {
+        self.with(|d| d.num_pages())
+    }
+
+    fn read_page(&mut self, page: PageId, buf: &mut [u8]) -> Result<()> {
+        self.with(|d| d.read_page(page, buf))
+    }
+
+    fn write_page(&mut self, page: PageId, buf: &[u8]) -> Result<()> {
+        self.with(|d| d.write_page(page, buf))
+    }
+
+    fn ensure_pages(&mut self, pages: u32) -> Result<()> {
+        self.with(|d| d.ensure_pages(pages))
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.with(|d| d.sync())
+    }
+
+    fn stats(&self) -> DeviceStats {
+        self.with(|d| d.stats())
+    }
+}
+
+#[cfg(all(test, feature = "inmem"))]
+mod tests {
+    use super::*;
+    use crate::memory::InMemoryDevice;
+
+    #[test]
+    fn clones_see_the_same_data() {
+        let mut a = SharedDevice::new(InMemoryDevice::new(64));
+        let mut b = a.clone();
+        a.ensure_pages(1).unwrap();
+        a.write_page(0, &vec![9u8; 64]).unwrap();
+        let mut out = vec![0u8; 64];
+        b.read_page(0, &mut out).unwrap();
+        assert_eq!(out, vec![9u8; 64]);
+    }
+
+    #[test]
+    fn with_gives_exclusive_access() {
+        let d = SharedDevice::new(InMemoryDevice::new(64));
+        let pages = d.with(|dev| {
+            dev.ensure_pages(3).unwrap();
+            dev.num_pages()
+        });
+        assert_eq!(pages, 3);
+    }
+}

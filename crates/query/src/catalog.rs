@@ -148,7 +148,9 @@ mod tests {
         let pool = BufferPool::new(
             Box::new(dev),
             ReplacementKind::Lru,
-            AllocPolicy::Dynamic { max_frames: Some(64) },
+            AllocPolicy::Dynamic {
+                max_frames: Some(64),
+            },
         );
         Pager::open(pool).unwrap()
     }
@@ -190,7 +192,8 @@ mod tests {
         let mut c = Catalog::open_default(&mut pg).unwrap();
         let n = DEFAULT_TABLE_SLOTS.len();
         for i in 0..n {
-            c.create_table(&mut pg, &format!("t{i}"), &schema()).unwrap();
+            c.create_table(&mut pg, &format!("t{i}"), &schema())
+                .unwrap();
         }
         assert!(matches!(
             c.create_table(&mut pg, "overflow", &schema()),

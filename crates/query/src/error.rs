@@ -72,10 +72,15 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(QueryError::NoSuchTable("t".into()).to_string().contains("`t`"));
-        assert!(QueryError::Parse("x".into()).to_string().contains("parse"));
-        assert!(QueryError::Lex { at: 3, msg: "bad".into() }
+        assert!(QueryError::NoSuchTable("t".into())
             .to_string()
-            .contains("byte 3"));
+            .contains("`t`"));
+        assert!(QueryError::Parse("x".into()).to_string().contains("parse"));
+        assert!(QueryError::Lex {
+            at: 3,
+            msg: "bad".into()
+        }
+        .to_string()
+        .contains("byte 3"));
     }
 }

@@ -185,8 +185,12 @@ impl SqlEngine {
     /// `EXPLAIN`: plan the statement's row source without executing it.
     fn explain(&mut self, pager: &mut Pager, stmt: Stmt) -> QueryResult<QueryOutput> {
         let (table, predicate) = match stmt {
-            Stmt::Select { table, predicate, .. }
-            | Stmt::Update { table, predicate, .. }
+            Stmt::Select {
+                table, predicate, ..
+            }
+            | Stmt::Update {
+                table, predicate, ..
+            }
             | Stmt::Delete { table, predicate } => (table, predicate),
             other => {
                 return Err(QueryError::Parse(format!(
@@ -212,8 +216,16 @@ impl SqlEngine {
             AccessPath::Range { start, end } => format!(
                 "access: range scan on primary key `{}` ({}, {})",
                 info.schema.columns()[0].name,
-                if start.is_some() { "bounded below" } else { "open below" },
-                if end.is_some() { "bounded above" } else { "open above" },
+                if start.is_some() {
+                    "bounded below"
+                } else {
+                    "open below"
+                },
+                if end.is_some() {
+                    "bounded above"
+                } else {
+                    "open above"
+                },
             ),
         });
         steps.push(match &plan.residual {
@@ -288,9 +300,7 @@ impl SqlEngine {
                 .column_index(&ob.column)
                 .ok_or_else(|| QueryError::NoSuchColumn(ob.column.clone()))?;
             rows.sort_by(|a, b| {
-                let ord = a[idx]
-                    .compare(&b[idx])
-                    .unwrap_or(std::cmp::Ordering::Equal);
+                let ord = a[idx].compare(&b[idx]).unwrap_or(std::cmp::Ordering::Equal);
                 if ob.desc {
                     ord.reverse()
                 } else {
@@ -467,7 +477,9 @@ pub fn coerce(v: Value, ty: DataType) -> QueryResult<Value> {
         (Value::Str(s), DataType::Str) => Value::Str(s),
         (Value::Bytes(b), DataType::Bytes) => Value::Bytes(b),
         (v, ty) => {
-            return Err(QueryError::Type(format!("cannot store {v} in a {ty} column")));
+            return Err(QueryError::Type(format!(
+                "cannot store {v} in a {ty} column"
+            )));
         }
     })
 }
@@ -507,7 +519,9 @@ mod tests {
         let pool = BufferPool::new(
             Box::new(dev),
             ReplacementKind::Lru,
-            AllocPolicy::Dynamic { max_frames: Some(128) },
+            AllocPolicy::Dynamic {
+                max_frames: Some(128),
+            },
         );
         let mut pager = Pager::open(pool).unwrap();
         let engine = SqlEngine::open_default(&mut pager).unwrap();
@@ -685,7 +699,8 @@ mod tests {
     #[test]
     fn null_semantics_in_where() {
         let (mut pg, mut e) = setup();
-        e.execute(&mut pg, "CREATE TABLE t (id U32, v U32)").unwrap();
+        e.execute(&mut pg, "CREATE TABLE t (id U32, v U32)")
+            .unwrap();
         e.execute(&mut pg, "INSERT INTO t VALUES (1, 10), (2, NULL)")
             .unwrap();
         // NULL comparisons are UNKNOWN and excluded.
@@ -700,7 +715,8 @@ mod tests {
     #[test]
     fn type_errors() {
         let (mut pg, mut e) = setup();
-        e.execute(&mut pg, "CREATE TABLE t (id U32, v U32)").unwrap();
+        e.execute(&mut pg, "CREATE TABLE t (id U32, v U32)")
+            .unwrap();
         assert!(matches!(
             e.execute(&mut pg, "INSERT INTO t VALUES ('str', 1)"),
             Err(QueryError::Type(_))
@@ -721,7 +737,8 @@ mod tests {
         let (mut pg, mut e) = setup();
         e.execute(&mut pg, "CREATE TABLE t (id U32, big I64, f F64)")
             .unwrap();
-        e.execute(&mut pg, "INSERT INTO t VALUES (1, 5, 5)").unwrap();
+        e.execute(&mut pg, "INSERT INTO t VALUES (1, 5, 5)")
+            .unwrap();
         let out = e.execute(&mut pg, "SELECT big, f FROM t").unwrap();
         let rows = out.rows().unwrap();
         assert_eq!(rows[0][0], Value::I64(5));
@@ -738,7 +755,8 @@ mod tests {
             Err(QueryError::NoSuchTable(_))
         ));
         // The slot is reusable.
-        e.execute(&mut pg, "CREATE TABLE users (id U32, x U32)").unwrap();
+        e.execute(&mut pg, "CREATE TABLE users (id U32, x U32)")
+            .unwrap();
         assert_eq!(
             e.execute(&mut pg, "SELECT COUNT(*) FROM users").unwrap(),
             QueryOutput::Count(0)
@@ -750,22 +768,40 @@ mod tests {
     fn explain_reports_access_paths() {
         let (mut pg, mut e) = setup();
         seed(&mut pg, &mut e);
-        let out = e.execute(&mut pg, "EXPLAIN SELECT * FROM users WHERE id = 2").unwrap();
+        let out = e
+            .execute(&mut pg, "EXPLAIN SELECT * FROM users WHERE id = 2")
+            .unwrap();
         let rows = out.rows().unwrap();
         let text: Vec<String> = rows.iter().map(|r| r[0].to_string()).collect();
         assert!(text.iter().any(|s| s.contains("point lookup")), "{text:?}");
 
         let out = e
-            .execute(&mut pg, "EXPLAIN SELECT * FROM users WHERE id >= 1 AND id < 3")
+            .execute(
+                &mut pg,
+                "EXPLAIN SELECT * FROM users WHERE id >= 1 AND id < 3",
+            )
             .unwrap();
-        let text: Vec<String> = out.rows().unwrap().iter().map(|r| r[0].to_string()).collect();
+        let text: Vec<String> = out
+            .rows()
+            .unwrap()
+            .iter()
+            .map(|r| r[0].to_string())
+            .collect();
         assert!(text.iter().any(|s| s.contains("range scan")), "{text:?}");
 
         let out = e
             .execute(&mut pg, "EXPLAIN DELETE FROM users WHERE name = 'bob'")
             .unwrap();
-        let text: Vec<String> = out.rows().unwrap().iter().map(|r| r[0].to_string()).collect();
-        assert!(text.iter().any(|s| s.contains("full leaf scan")), "{text:?}");
+        let text: Vec<String> = out
+            .rows()
+            .unwrap()
+            .iter()
+            .map(|r| r[0].to_string())
+            .collect();
+        assert!(
+            text.iter().any(|s| s.contains("full leaf scan")),
+            "{text:?}"
+        );
         // EXPLAIN must not execute: bob is still there.
         assert_eq!(
             e.execute(&mut pg, "SELECT COUNT(*) FROM users").unwrap(),
@@ -776,14 +812,17 @@ mod tests {
     #[test]
     fn explain_rejects_non_row_statements() {
         let (mut pg, mut e) = setup();
-        assert!(e.execute(&mut pg, "EXPLAIN CREATE TABLE t (id U32)").is_err());
+        assert!(e
+            .execute(&mut pg, "EXPLAIN CREATE TABLE t (id U32)")
+            .is_err());
         let _ = pg;
     }
 
     #[test]
     fn string_primary_keys() {
         let (mut pg, mut e) = setup();
-        e.execute(&mut pg, "CREATE TABLE cfg (key TEXT, val TEXT)").unwrap();
+        e.execute(&mut pg, "CREATE TABLE cfg (key TEXT, val TEXT)")
+            .unwrap();
         e.execute(
             &mut pg,
             "INSERT INTO cfg VALUES ('b', '2'), ('a', '1'), ('c', '3')",

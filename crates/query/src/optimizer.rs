@@ -194,7 +194,10 @@ mod tests {
 
     #[test]
     fn equality_becomes_point_lookup() {
-        let p = optimize(&schema(), Some(Expr::binary(BinOp::Eq, col("id"), lit_u32(42))));
+        let p = optimize(
+            &schema(),
+            Some(Expr::binary(BinOp::Eq, col("id"), lit_u32(42))),
+        );
         assert_eq!(p.path, AccessPath::Point(42u32.to_be_bytes().to_vec()));
         assert!(p.residual.is_some(), "predicate still re-checked");
     }
@@ -227,7 +230,13 @@ mod tests {
         let p = optimize(&schema(), Some(pred));
         let mut want = 9u32.to_be_bytes().to_vec();
         want.push(0);
-        assert_eq!(p.path, AccessPath::Range { start: None, end: Some(want) });
+        assert_eq!(
+            p.path,
+            AccessPath::Range {
+                start: None,
+                end: Some(want)
+            }
+        );
     }
 
     #[test]
@@ -273,7 +282,11 @@ mod tests {
 
     #[test]
     fn fold_null_propagates() {
-        let e = fold(Expr::binary(BinOp::Eq, Expr::Literal(Value::Null), lit_u32(1)));
+        let e = fold(Expr::binary(
+            BinOp::Eq,
+            Expr::Literal(Value::Null),
+            lit_u32(1),
+        ));
         assert_eq!(e, Expr::Literal(Value::Null));
     }
 
@@ -317,7 +330,10 @@ mod tests {
         );
         let p = optimize(&schema(), Some(pred));
         match p.path {
-            AccessPath::Range { start: Some(s), end: Some(e) } => assert!(s > e),
+            AccessPath::Range {
+                start: Some(s),
+                end: Some(e),
+            } => assert!(s > e),
             other => panic!("unexpected {other:?}"),
         }
     }

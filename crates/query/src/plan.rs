@@ -66,7 +66,11 @@ mod tests {
         assert_eq!(AccessPath::FullScan.label(), "full-scan");
         assert_eq!(AccessPath::Point(vec![1]).label(), "point-lookup");
         assert_eq!(
-            AccessPath::Range { start: None, end: None }.label(),
+            AccessPath::Range {
+                start: None,
+                end: None
+            }
+            .label(),
             "range-scan"
         );
     }

@@ -249,13 +249,18 @@ mod tests {
     #[test]
     fn comparison_operators() {
         let t = lex("a != b <> c <= d < e >= f > g = h").unwrap();
-        let ops: Vec<&Token> = t
-            .iter()
-            .filter(|t| !matches!(t, Token::Word(_)))
-            .collect();
+        let ops: Vec<&Token> = t.iter().filter(|t| !matches!(t, Token::Word(_))).collect();
         assert_eq!(
             ops,
-            vec![&Token::Ne, &Token::Ne, &Token::Le, &Token::Lt, &Token::Ge, &Token::Gt, &Token::Eq]
+            vec![
+                &Token::Ne,
+                &Token::Ne,
+                &Token::Le,
+                &Token::Lt,
+                &Token::Ge,
+                &Token::Gt,
+                &Token::Eq
+            ]
         );
     }
 

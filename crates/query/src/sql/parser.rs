@@ -74,7 +74,9 @@ impl Parser {
     fn identifier(&mut self) -> QueryResult<String> {
         match self.next()? {
             Token::Word(w) => Ok(w),
-            got => Err(QueryError::Parse(format!("expected identifier, got {got:?}"))),
+            got => Err(QueryError::Parse(format!(
+                "expected identifier, got {got:?}"
+            ))),
         }
     }
 
@@ -98,7 +100,9 @@ impl Parser {
             Some(Token::Word(w)) if w.eq_ignore_ascii_case("SELECT") => self.select(),
             Some(Token::Word(w)) if w.eq_ignore_ascii_case("UPDATE") => self.update(),
             Some(Token::Word(w)) if w.eq_ignore_ascii_case("DELETE") => self.delete(),
-            other => Err(QueryError::Parse(format!("expected a statement, got {other:?}"))),
+            other => Err(QueryError::Parse(format!(
+                "expected a statement, got {other:?}"
+            ))),
         }
     }
 
@@ -229,7 +233,11 @@ impl Parser {
             self.keyword("LIMIT")?;
             match self.next()? {
                 Token::Int(n) if n >= 0 => Some(n as usize),
-                got => return Err(QueryError::Parse(format!("expected LIMIT count, got {got:?}"))),
+                got => {
+                    return Err(QueryError::Parse(format!(
+                        "expected LIMIT count, got {got:?}"
+                    )))
+                }
             }
         } else {
             None
@@ -418,7 +426,10 @@ mod tests {
         let s = parse("SELECT COUNT(*) FROM t WHERE x = 1").unwrap();
         assert!(matches!(
             s,
-            Stmt::Select { cols: SelectCols::CountStar, .. }
+            Stmt::Select {
+                cols: SelectCols::CountStar,
+                ..
+            }
         ));
     }
 
@@ -426,24 +437,39 @@ mod tests {
     fn update_and_delete() {
         let s = parse("UPDATE t SET a = 1, b = 'x' WHERE id = 3").unwrap();
         match s {
-            Stmt::Update { sets, predicate: Some(_), .. } => {
+            Stmt::Update {
+                sets,
+                predicate: Some(_),
+                ..
+            } => {
                 assert_eq!(sets.len(), 2);
             }
             other => panic!("unexpected {other:?}"),
         }
         let s = parse("DELETE FROM t").unwrap();
-        assert!(matches!(s, Stmt::Delete { predicate: None, .. }));
+        assert!(matches!(
+            s,
+            Stmt::Delete {
+                predicate: None,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn operator_precedence() {
         // a = 1 OR b = 2 AND c = 3  ==  a=1 OR (b=2 AND c=3)
         let s = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
-        let Stmt::Select { predicate: Some(p), .. } = s else {
+        let Stmt::Select {
+            predicate: Some(p), ..
+        } = s
+        else {
             panic!()
         };
         match p {
-            Expr::Binary { op: BinOp::Or, rhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Or, rhs, ..
+            } => {
                 assert!(matches!(*rhs, Expr::Binary { op: BinOp::And, .. }));
             }
             other => panic!("unexpected {other:?}"),
@@ -453,7 +479,11 @@ mod tests {
     #[test]
     fn not_and_parens() {
         let s = parse("SELECT * FROM t WHERE NOT (a = 1)").unwrap();
-        let Stmt::Select { predicate: Some(Expr::Not(_)), .. } = s else {
+        let Stmt::Select {
+            predicate: Some(Expr::Not(_)),
+            ..
+        } = s
+        else {
             panic!("expected NOT")
         };
     }
@@ -461,7 +491,9 @@ mod tests {
     #[test]
     fn literals_all_kinds() {
         let s = parse("INSERT INTO t VALUES (NULL, TRUE, FALSE, -7, 2.5, 'txt', x'FF00')").unwrap();
-        let Stmt::Insert { rows, .. } = s else { panic!() };
+        let Stmt::Insert { rows, .. } = s else {
+            panic!()
+        };
         assert_eq!(
             rows[0],
             vec![
@@ -489,7 +521,9 @@ mod tests {
     #[test]
     fn negative_int_literal_is_i64() {
         let s = parse("INSERT INTO t VALUES (-1)").unwrap();
-        let Stmt::Insert { rows, .. } = s else { panic!() };
+        let Stmt::Insert { rows, .. } = s else {
+            panic!()
+        };
         assert_eq!(rows[0][0], Value::I64(-1));
     }
 }

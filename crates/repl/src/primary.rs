@@ -106,7 +106,10 @@ impl Primary {
         let seq = self.seq;
         for (i, link) in self.links.iter().enumerate() {
             link.tx
-                .send(ReplMsg::Op { seq, op: op.clone() })
+                .send(ReplMsg::Op {
+                    seq,
+                    op: op.clone(),
+                })
                 .map_err(|_| ReplicationError::ReplicaDown(i))?;
         }
         if self.policy == AckPolicy::Synchronous {
@@ -121,9 +124,7 @@ impl Primary {
             while link.acked < seq {
                 match link.ack_rx.recv_timeout(self.ack_timeout) {
                     Ok(a) => link.acked = link.acked.max(a),
-                    Err(_) => {
-                        return Err(ReplicationError::AckTimeout { replica: i, seq })
-                    }
+                    Err(_) => return Err(ReplicationError::AckTimeout { replica: i, seq }),
                 }
             }
         }

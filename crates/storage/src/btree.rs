@@ -269,7 +269,7 @@ impl BTree {
         let fit = pager.with_page_mut(page, |buf| {
             let mut p = SlottedPage::new(buf);
             let idx = match search(&p.view(), &sep) {
-                Ok(i) => i,      // cannot happen with unique separators
+                Ok(i) => i, // cannot happen with unique separators
                 Err(i) => i,
             };
             p.insert_at(idx, &cell)
@@ -479,10 +479,10 @@ impl BTree {
         // child is the parent's last child, use the left neighbor instead.
         let n_cells = pager.with_page(parent, |buf| PageView::new(buf).slot_count())?;
         let right_cell_idx = match child_cell {
-            None => 0,                 // leftmost child: right neighbor = cell 0
+            None => 0, // leftmost child: right neighbor = cell 0
             Some(i) if i + 1 < n_cells => i + 1,
             Some(i) if i > 0 || n_cells > 0 => i, // child is last: merge left neighbor into it
-            _ => return Ok(()),        // only child; nothing to merge with
+            _ => return Ok(()),                   // only child; nothing to merge with
         };
         if n_cells == 0 {
             return Ok(());
@@ -642,7 +642,10 @@ impl Cursor {
                 let v = PageView::new(buf);
                 if self.idx < v.slot_count() {
                     let cell = v.cell_at(self.idx);
-                    (Some((cell_key(cell).to_vec(), leaf_value(cell).to_vec())), None)
+                    (
+                        Some((cell_key(cell).to_vec(), leaf_value(cell).to_vec())),
+                        None,
+                    )
                 } else {
                     (None, v.next_page())
                 }
@@ -791,7 +794,9 @@ mod tests {
         let pool = BufferPool::new(
             Box::new(dev),
             ReplacementKind::Lru,
-            AllocPolicy::Dynamic { max_frames: Some(64) },
+            AllocPolicy::Dynamic {
+                max_frames: Some(64),
+            },
         );
         Pager::open(pool).unwrap()
     }
@@ -830,7 +835,10 @@ mod tests {
         let mut t = BTree::create(&mut pg, 0).unwrap();
         assert!(t.insert(&mut pg, b"k", b"old").unwrap());
         assert!(!t.insert(&mut pg, b"k", b"new-longer-value").unwrap());
-        assert_eq!(t.get(&mut pg, b"k").unwrap(), Some(b"new-longer-value".to_vec()));
+        assert_eq!(
+            t.get(&mut pg, b"k").unwrap(),
+            Some(b"new-longer-value".to_vec())
+        );
         assert_eq!(t.len(&mut pg).unwrap(), 1);
     }
 
@@ -1056,7 +1064,9 @@ mod proptests {
         let pool = BufferPool::new(
             Box::new(dev),
             ReplacementKind::Lru,
-            AllocPolicy::Dynamic { max_frames: Some(32) },
+            AllocPolicy::Dynamic {
+                max_frames: Some(32),
+            },
         );
         Pager::open(pool).unwrap()
     }

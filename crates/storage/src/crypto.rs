@@ -106,7 +106,7 @@ mod tests {
         d.write_page(0, &data).unwrap();
         let mut raw = vec![0; 128];
         d.inner().stats(); // keep inner alive
-        // Read the raw stored bytes via the inner device.
+                           // Read the raw stored bytes via the inner device.
         let inner = d.into_inner();
         let mut inner = inner;
         inner.read_page(0, &mut raw).unwrap();
@@ -145,7 +145,9 @@ mod tests {
         let pool = BufferPool::new(
             Box::new(dev),
             ReplacementKind::Lru,
-            AllocPolicy::Dynamic { max_frames: Some(8) },
+            AllocPolicy::Dynamic {
+                max_frames: Some(8),
+            },
         );
         let mut pager = Pager::open(pool).unwrap();
         let pg = pager.allocate().unwrap();
@@ -175,7 +177,8 @@ mod tests {
         let mut pager = Pager::open(pool).unwrap();
         let mut t = BTree::create(&mut pager, 0).unwrap();
         for i in 0..200u32 {
-            t.insert(&mut pager, &i.to_be_bytes(), &[i as u8; 8]).unwrap();
+            t.insert(&mut pager, &i.to_be_bytes(), &[i as u8; 8])
+                .unwrap();
         }
         for i in 0..200u32 {
             assert_eq!(

@@ -67,9 +67,12 @@ mod tests {
     fn display_variants() {
         assert!(StorageError::NotFound.to_string().contains("not found"));
         assert!(StorageError::DuplicateKey.to_string().contains("duplicate"));
-        assert!(StorageError::RecordTooLarge { size: 900, max: 100 }
-            .to_string()
-            .contains("900"));
+        assert!(StorageError::RecordTooLarge {
+            size: 900,
+            max: 100
+        }
+        .to_string()
+        .contains("900"));
         assert!(StorageError::NotFormatted.to_string().contains("image"));
     }
 

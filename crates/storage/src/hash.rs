@@ -89,12 +89,12 @@ impl HashIndex {
     /// Open the index persisted in `root_slot`.
     pub fn open(pager: &mut Pager, root_slot: usize) -> Result<HashIndex> {
         let dir = pager.root(root_slot)?.ok_or(StorageError::NotFound)?;
-        let buckets = pager.with_page(dir, |buf| PageView::new(buf).aux())?.ok_or(
-            StorageError::Corrupt {
+        let buckets = pager
+            .with_page(dir, |buf| PageView::new(buf).aux())?
+            .ok_or(StorageError::Corrupt {
                 page: dir,
                 reason: "hash directory missing bucket count".into(),
-            },
-        )?;
+            })?;
         Ok(HashIndex {
             dir,
             buckets,
@@ -156,7 +156,8 @@ impl HashIndex {
             });
         }
         if let Some((page, slot)) = self.locate(pager, key)? {
-            let updated = pager.with_page_mut(page, |buf| SlottedPage::new(buf).update(slot, &c))?;
+            let updated =
+                pager.with_page_mut(page, |buf| SlottedPage::new(buf).update(slot, &c))?;
             if !updated {
                 pager.with_page_mut(page, |buf| {
                     SlottedPage::new(buf).delete(slot);
@@ -259,7 +260,9 @@ mod tests {
         let pool = BufferPool::new(
             Box::new(dev),
             ReplacementKind::Lru,
-            AllocPolicy::Dynamic { max_frames: Some(64) },
+            AllocPolicy::Dynamic {
+                max_frames: Some(64),
+            },
         );
         Pager::open(pool).unwrap()
     }
@@ -289,7 +292,9 @@ mod tests {
         let mut pg = pager();
         let mut h = HashIndex::create(&mut pg, 0, 4).unwrap();
         assert!(h.insert(&mut pg, b"k", b"short").unwrap());
-        assert!(!h.insert(&mut pg, b"k", b"a-considerably-longer-value").unwrap());
+        assert!(!h
+            .insert(&mut pg, b"k", b"a-considerably-longer-value")
+            .unwrap());
         assert_eq!(
             h.get(&mut pg, b"k").unwrap(),
             Some(b"a-considerably-longer-value".to_vec())

@@ -20,6 +20,7 @@
 //! [`fame_buffer::BufferPool`], so every access method automatically
 //! benefits from (or runs without) the Buffer Manager feature.
 
+pub mod check;
 pub mod error;
 pub mod page;
 pub mod pager;
@@ -40,6 +41,7 @@ pub mod types;
 
 #[cfg(feature = "btree")]
 pub use btree::{BTree, Cursor};
+pub use check::{check_pager, IntegrityReport, Violation};
 #[cfg(feature = "crypto")]
 pub use crypto::CryptoDevice;
 pub use error::{Result, StorageError};

@@ -103,7 +103,8 @@ impl ListIndex {
         }
 
         if let Some((page, slot)) = self.locate(pager, key)? {
-            let updated = pager.with_page_mut(page, |buf| SlottedPage::new(buf).update(slot, &c))?;
+            let updated =
+                pager.with_page_mut(page, |buf| SlottedPage::new(buf).update(slot, &c))?;
             if updated {
                 return Ok(false);
             }
@@ -221,7 +222,9 @@ mod tests {
         let pool = BufferPool::new(
             Box::new(dev),
             ReplacementKind::Lru,
-            AllocPolicy::Dynamic { max_frames: Some(32) },
+            AllocPolicy::Dynamic {
+                max_frames: Some(32),
+            },
         );
         Pager::open(pool).unwrap()
     }

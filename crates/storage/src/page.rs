@@ -106,7 +106,10 @@ impl<'a> PageView<'a> {
     /// Wrap a raw page buffer.
     pub fn new(buf: &'a [u8]) -> Self {
         debug_assert!(buf.len() >= PAGE_HEADER_SIZE + 4);
-        debug_assert!(buf.len() <= 32 * 1024, "page sizes above 32 KiB unsupported");
+        debug_assert!(
+            buf.len() <= 32 * 1024,
+            "page sizes above 32 KiB unsupported"
+        );
         PageView { buf }
     }
 
@@ -197,7 +200,10 @@ impl<'a> SlottedPage<'a> {
     /// Wrap an existing, already-initialized page buffer.
     pub fn new(buf: &'a mut [u8]) -> Self {
         debug_assert!(buf.len() >= PAGE_HEADER_SIZE + 4);
-        debug_assert!(buf.len() <= 32 * 1024, "page sizes above 32 KiB unsupported");
+        debug_assert!(
+            buf.len() <= 32 * 1024,
+            "page sizes above 32 KiB unsupported"
+        );
         SlottedPage { buf }
     }
 

@@ -12,8 +12,10 @@
 //! 16      4*16  named roots (NO_PAGE = unset)
 //! ```
 //!
-//! Freed pages are chained through their first 4 payload bytes. Access
-//! methods obtain pages via [`Pager::allocate`], return them via
+//! Freed pages are reformatted as empty `PageType::Free` pages and chained
+//! through the standard page-header next-page field, so a freed page stays
+//! identifiable as free on disk (the integrity checker depends on this).
+//! Access methods obtain pages via [`Pager::allocate`], return them via
 //! [`Pager::free`], and persist their root page numbers in one of the 16
 //! named root slots — which is how a database image is reopened.
 
@@ -21,19 +23,19 @@ use fame_buffer::BufferPool;
 use fame_os::PageId;
 
 use crate::error::{Result, StorageError};
-use crate::page::NO_PAGE;
+use crate::page::{PageType, PageView, SlottedPage, NO_PAGE};
 
-const MAGIC: &[u8; 4] = b"FAME";
-const VERSION: u16 = 1;
+pub(crate) const MAGIC: &[u8; 4] = b"FAME";
+pub(crate) const VERSION: u16 = 1;
 /// Number of named root slots in the meta page.
 pub const ROOT_SLOTS: usize = 16;
 
-const OFF_MAGIC: usize = 0;
-const OFF_VERSION: usize = 4;
-const OFF_PAGE_SIZE: usize = 6;
-const OFF_FREE_HEAD: usize = 8;
-const OFF_PAGE_COUNT: usize = 12;
-const OFF_ROOTS: usize = 16;
+pub(crate) const OFF_MAGIC: usize = 0;
+pub(crate) const OFF_VERSION: usize = 4;
+pub(crate) const OFF_PAGE_SIZE: usize = 6;
+pub(crate) const OFF_FREE_HEAD: usize = 8;
+pub(crate) const OFF_PAGE_COUNT: usize = 12;
+pub(crate) const OFF_ROOTS: usize = 16;
 
 /// Page allocator and root directory over a [`BufferPool`].
 pub struct Pager {
@@ -103,13 +105,19 @@ impl Pager {
         self.meta_u32(OFF_PAGE_COUNT)
     }
 
+    /// Head of the free list, `None` when empty.
+    pub fn free_head(&mut self) -> Result<Option<PageId>> {
+        let v = self.meta_u32(OFF_FREE_HEAD)?;
+        Ok(if v == NO_PAGE { None } else { Some(v) })
+    }
+
     /// Allocate a page: pop the free list or grow the device.
     /// The returned page's contents are unspecified; callers initialize it.
     pub fn allocate(&mut self) -> Result<PageId> {
         let head = self.meta_u32(OFF_FREE_HEAD)?;
         if head != NO_PAGE {
             let next = self.pool.with_page(head, |buf| {
-                u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"))
+                PageView::new(buf).next_page().unwrap_or(NO_PAGE)
             })?;
             self.set_meta_u32(OFF_FREE_HEAD, next)?;
             return Ok(head);
@@ -120,14 +128,16 @@ impl Pager {
         Ok(count)
     }
 
-    /// Return a page to the free list.
+    /// Return a page to the free list. The page is reformatted as an empty
+    /// `PageType::Free` page chained to the previous head through the
+    /// standard header next-page field, so the type tag stays intact and
+    /// free pages are recognizable (the integrity checker relies on this).
     pub fn free(&mut self, page: PageId) -> Result<()> {
         debug_assert_ne!(page, 0, "meta page cannot be freed");
         let head = self.meta_u32(OFF_FREE_HEAD)?;
         self.pool.with_page_mut(page, |buf| {
-            buf[0] = 0; // PageType::Free
-            buf[1..4].fill(0);
-            buf[0..4].copy_from_slice(&head.to_le_bytes());
+            let mut pg = SlottedPage::init(buf, PageType::Free);
+            pg.set_next_page(if head == NO_PAGE { None } else { Some(head) });
         })?;
         self.set_meta_u32(OFF_FREE_HEAD, page)?;
         Ok(())
@@ -152,11 +162,7 @@ impl Pager {
     }
 
     /// Run `f` over a mutable page view (marks the page dirty).
-    pub fn with_page_mut<R>(
-        &mut self,
-        page: PageId,
-        f: impl FnOnce(&mut [u8]) -> R,
-    ) -> Result<R> {
+    pub fn with_page_mut<R>(&mut self, page: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
         Ok(self.pool.with_page_mut(page, f)?)
     }
 
@@ -186,7 +192,9 @@ mod tests {
         let pool = BufferPool::new(
             Box::new(dev),
             fame_buffer::ReplacementKind::Lru,
-            AllocPolicy::Dynamic { max_frames: Some(8) },
+            AllocPolicy::Dynamic {
+                max_frames: Some(8),
+            },
         );
         Pager::open(pool).unwrap()
     }
@@ -209,6 +217,34 @@ mod tests {
         assert_eq!(c, a, "free list reuse");
         let d = p.allocate().unwrap();
         assert_eq!(d, 3, "growth resumes after free list empty");
+    }
+
+    #[test]
+    fn freed_pages_keep_their_type_tag() {
+        let mut p = pager();
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        p.free(a).unwrap();
+        p.free(b).unwrap();
+        assert_eq!(p.free_head().unwrap(), Some(b));
+        // Both pages must be recognizable as free on disk, with the chain
+        // in the header next field rather than clobbering the tag.
+        let (ty_b, next_b) = p
+            .with_page(b, |buf| {
+                let v = PageView::new(buf);
+                (v.page_type(), v.next_page())
+            })
+            .unwrap();
+        assert_eq!(ty_b, Some(PageType::Free));
+        assert_eq!(next_b, Some(a));
+        let (ty_a, next_a) = p
+            .with_page(a, |buf| {
+                let v = PageView::new(buf);
+                (v.page_type(), v.next_page())
+            })
+            .unwrap();
+        assert_eq!(ty_a, Some(PageType::Free));
+        assert_eq!(next_a, None);
     }
 
     #[test]

@@ -295,7 +295,9 @@ mod tests {
         let pool = BufferPool::new(
             Box::new(dev),
             ReplacementKind::Lru,
-            AllocPolicy::Dynamic { max_frames: Some(64) },
+            AllocPolicy::Dynamic {
+                max_frames: Some(64),
+            },
         );
         Pager::open(pool).unwrap()
     }

@@ -135,7 +135,9 @@ impl Value {
         Ok(match tag {
             0 => (Value::Null, rest),
             1 => {
-                let (&b, rest) = rest.split_first().ok_or_else(|| corrupt("truncated bool"))?;
+                let (&b, rest) = rest
+                    .split_first()
+                    .ok_or_else(|| corrupt("truncated bool"))?;
                 (Value::Bool(b != 0), rest)
             }
             2 => {
@@ -291,7 +293,10 @@ impl Schema {
     /// Type-check a row against the schema (NULL allowed anywhere but the
     /// key column 0).
     pub fn check_row(&self, row: &[Value]) -> Result<()> {
-        let mismatch = |msg: String| StorageError::Corrupt { page: 0, reason: msg };
+        let mismatch = |msg: String| StorageError::Corrupt {
+            page: 0,
+            reason: msg,
+        };
         if row.len() != self.arity() {
             return Err(mismatch(format!(
                 "row arity {} != schema arity {}",
@@ -365,7 +370,9 @@ impl Schema {
         let (&n, mut rest) = data.split_first().ok_or_else(|| corrupt("empty"))?;
         let mut columns = Vec::with_capacity(n as usize);
         for _ in 0..n {
-            let (&tag, r) = rest.split_first().ok_or_else(|| corrupt("truncated type"))?;
+            let (&tag, r) = rest
+                .split_first()
+                .ok_or_else(|| corrupt("truncated type"))?;
             let ty = match tag {
                 1 => DataType::Bool,
                 2 => DataType::U32,
@@ -560,11 +567,7 @@ mod tests {
             ("name", DataType::Str),
             ("balance", DataType::I64),
         ]);
-        let row = vec![
-            Value::U32(7),
-            Value::Str("alice".into()),
-            Value::I64(-250),
-        ];
+        let row = vec![Value::U32(7), Value::Str("alice".into()), Value::I64(-250)];
         let bytes = s.encode_row(&row).unwrap();
         assert_eq!(s.decode_row(&bytes).unwrap(), row);
     }
@@ -575,9 +578,7 @@ mod tests {
         // wrong arity
         assert!(s.encode_row(&[Value::U32(1)]).is_err());
         // wrong type
-        assert!(s
-            .encode_row(&[Value::U32(1), Value::I64(2)])
-            .is_err());
+        assert!(s.encode_row(&[Value::U32(1), Value::I64(2)]).is_err());
         // NULL key
         assert!(s
             .encode_row(&[Value::Null, Value::Str("x".into())])

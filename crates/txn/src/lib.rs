@@ -37,5 +37,5 @@ pub mod wal;
 pub use locks::{LockManager, LockMode};
 pub use log::{LogReader, LogWriter, Lsn};
 pub use manager::{CommitPolicy, TxnError, TxnId, TxnManager, UndoAction};
-pub use recovery::{recover, RecoveryStats, RecoveryTarget};
+pub use recovery::{recover, recover_records, RecoveryStats, RecoveryTarget};
 pub use wal::LogRecord;

@@ -30,7 +30,11 @@ pub struct LockConflict {
 
 impl std::fmt::Display for LockConflict {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "lock conflict on key {:?} for txn {}", self.key, self.requester)
+        write!(
+            f,
+            "lock conflict on key {:?} for txn {}",
+            self.key, self.requester
+        )
     }
 }
 
@@ -58,12 +62,7 @@ impl LockManager {
     /// Acquire (or upgrade) a lock. No-wait: conflicts fail immediately.
     /// Re-acquisition by the holder is a no-op; a shared holder that is the
     /// *only* holder may upgrade to exclusive.
-    pub fn acquire(
-        &mut self,
-        txn: TxnId,
-        key: &[u8],
-        mode: LockMode,
-    ) -> Result<(), LockConflict> {
+    pub fn acquire(&mut self, txn: TxnId, key: &[u8], mode: LockMode) -> Result<(), LockConflict> {
         let entry = self.table.entry(key.to_vec()).or_default();
         let held_by_me = entry.holders.contains(&txn);
 

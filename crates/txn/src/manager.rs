@@ -198,35 +198,43 @@ impl TxnManager {
     }
 
     /// Commit: append the commit record and sync per the protocol.
+    ///
+    /// The transaction leaves the active table — and drops its locks and
+    /// undo information — only after the protocol's durability step
+    /// succeeds. If the append or sync fails, the transaction stays fully
+    /// active, so the caller can retry the commit or abort it; the old code
+    /// released everything *before* syncing, leaving a half-committed,
+    /// unabortable transaction behind a failed sync.
     pub fn commit(&mut self, txn: TxnId) -> Result<(), TxnError> {
-        if self.active.remove(&txn).is_none() {
+        if !self.active.contains_key(&txn) {
             return Err(TxnError::UnknownTxn(txn));
         }
         self.log.append(&LogRecord::Commit { txn })?;
-        self.locks.release_all(txn);
-        self.committed += 1;
         match self.policy {
             #[cfg(feature = "commit-force")]
             CommitPolicy::Force => self.log.sync()?,
             #[cfg(feature = "commit-group")]
             CommitPolicy::Group { group_size } => {
-                self.commits_since_sync += 1;
-                if self.commits_since_sync >= group_size {
+                if self.commits_since_sync + 1 >= group_size {
                     self.log.sync()?;
                     self.commits_since_sync = 0;
+                } else {
+                    self.commits_since_sync += 1;
                 }
             }
         }
+        // Point of no return: the commit record is as durable as the
+        // protocol promises. Now release.
+        self.active.remove(&txn);
+        self.locks.release_all(txn);
+        self.committed += 1;
         Ok(())
     }
 
     /// Abort: append the abort record and hand back the compensating
     /// actions (newest first) for the caller to apply to storage.
     pub fn abort(&mut self, txn: TxnId) -> Result<Vec<UndoAction>, TxnError> {
-        let state = self
-            .active
-            .remove(&txn)
-            .ok_or(TxnError::UnknownTxn(txn))?;
+        let state = self.active.remove(&txn).ok_or(TxnError::UnknownTxn(txn))?;
         self.log.append(&LogRecord::Abort { txn })?;
         self.locks.release_all(txn);
         self.aborted += 1;
@@ -244,6 +252,21 @@ impl TxnManager {
 
     /// Write a checkpoint record (call after flushing data pages).
     pub fn checkpoint(&mut self) -> Result<(), TxnError> {
+        self.log.append(&LogRecord::Checkpoint)?;
+        self.log.sync()?;
+        self.commits_since_sync = 0;
+        Ok(())
+    }
+
+    /// Seal a completed recovery. The losers' effects were just compensated
+    /// by replay, so give each a terminal `Abort` record (otherwise every
+    /// future recovery re-undoes them — undo scans the whole log), then a
+    /// `Checkpoint`, and force the batch out. After this, a reopen without
+    /// intervening writes replays nothing.
+    pub fn seal_recovery(&mut self, losers: &[TxnId]) -> Result<(), TxnError> {
+        for &t in losers {
+            self.log.append(&LogRecord::Abort { txn: t })?;
+        }
         self.log.append(&LogRecord::Checkpoint)?;
         self.log.sync()?;
         self.commits_since_sync = 0;
@@ -376,6 +399,67 @@ mod tests {
             m.log_put(t3, 0, b"k", None, b"v"),
             Err(TxnError::Conflict(_))
         ));
+    }
+
+    #[cfg(feature = "commit-force")]
+    #[test]
+    fn failed_commit_sync_keeps_txn_active_and_retriable() {
+        use fame_os::{FaultDevice, FaultPlan, SharedDevice};
+        let plan = FaultPlan {
+            fail_after_syncs: Some(0),
+            ..Default::default()
+        };
+        let fault = SharedDevice::new(FaultDevice::new(InMemoryDevice::new(128), plan));
+        let handle = fault.clone();
+        let log = LogWriter::new(Box::new(fault), 0).unwrap();
+        let mut m = TxnManager::new(log, CommitPolicy::Force);
+
+        let t = m.begin().unwrap();
+        m.log_put(t, 0, b"k", None, b"v").unwrap();
+        assert!(m.commit(t).is_err(), "sync fails");
+
+        // The transaction must still be fully active: in the table, not
+        // counted committed, lock still held.
+        assert_eq!(m.active(), vec![t]);
+        assert_eq!(m.stats(), (0, 0));
+
+        // Once the device recovers: the lock is still held against other
+        // transactions, and the commit can be retried (roll forward).
+        handle.with(|d| d.heal());
+        let t2 = m.begin().unwrap();
+        assert!(
+            matches!(
+                m.log_put(t2, 0, b"k", None, b"x"),
+                Err(TxnError::Conflict(_))
+            ),
+            "t still holds its exclusive lock after the failed commit"
+        );
+        m.commit(t).unwrap();
+        assert!(!m.active().contains(&t));
+        assert_eq!(m.stats(), (1, 0));
+    }
+
+    #[cfg(feature = "commit-force")]
+    #[test]
+    fn failed_commit_sync_still_allows_abort() {
+        use fame_os::{FaultDevice, FaultPlan, SharedDevice};
+        let plan = FaultPlan {
+            fail_after_syncs: Some(0),
+            ..Default::default()
+        };
+        let fault = SharedDevice::new(FaultDevice::new(InMemoryDevice::new(128), plan));
+        let handle = fault.clone();
+        let log = LogWriter::new(Box::new(fault), 0).unwrap();
+        let mut m = TxnManager::new(log, CommitPolicy::Force);
+
+        let t = m.begin().unwrap();
+        m.log_put(t, 0, b"k", None, b"v").unwrap();
+        assert!(m.commit(t).is_err());
+
+        handle.with(|d| d.heal());
+        let undo = m.abort(t).unwrap();
+        assert_eq!(undo.len(), 1, "undo information survived the failed commit");
+        assert_eq!(m.stats(), (0, 1));
     }
 
     #[cfg(feature = "commit-force")]

@@ -1,7 +1,13 @@
 //! Crash recovery: redo winners, undo losers.
 //!
-//! The log is scanned once to classify transactions (a `Commit` record
-//! makes a winner; everything else is a loser), then:
+//! The log is scanned once to classify transactions. A transaction's fate
+//! is decided by its **last terminal record**: a final `Commit` makes a
+//! winner, a final `Abort` marks it compensated online, and no terminal at
+//! all makes a loser. Last-record-wins matters because a commit whose
+//! durability sync fails leaves a `Commit` record in the buffered log while
+//! the transaction stays active; if the application then aborts it, the log
+//! legitimately contains `Commit` followed by `Abort` for the same id, and
+//! the abort is authoritative. After classification:
 //!
 //! 1. **Redo** — winners' `Put`/`Remove` operations are re-applied in log
 //!    order. Logical operations are idempotent (`put` overwrites, `remove`
@@ -18,7 +24,7 @@
 
 use fame_os::OsError;
 
-use crate::log::LogReader;
+use crate::log::{LogReader, Lsn};
 use crate::wal::{LogRecord, TxnId};
 
 /// Where recovery applies its effects.
@@ -50,19 +56,28 @@ pub fn recover<T: RecoveryTarget>(
     target: &mut T,
 ) -> Result<RecoveryStats, OsError> {
     let (records, resume_lsn) = reader.read_all()?;
+    Ok(recover_records(&records, resume_lsn, target))
+}
 
-    // Pass 1: classify, find last checkpoint.
-    let mut winners = std::collections::BTreeSet::new();
+/// Recovery over an already-materialised record list. Split from
+/// [`recover`] so the integrity checker and the torture harness can replay
+/// a log they captured without round-tripping through a device.
+pub fn recover_records<T: RecoveryTarget>(
+    records: &[(Lsn, LogRecord)],
+    resume_lsn: u64,
+    target: &mut T,
+) -> RecoveryStats {
+    // Pass 1: classify by last terminal record, find last checkpoint.
+    let mut terminal: std::collections::BTreeMap<TxnId, bool> = std::collections::BTreeMap::new(); // txn -> last terminal was Commit
     let mut seen = std::collections::BTreeSet::new();
-    let mut aborted = std::collections::BTreeSet::new();
     let mut last_checkpoint = 0usize;
     for (i, (_, r)) in records.iter().enumerate() {
         match r {
             LogRecord::Commit { txn } => {
-                winners.insert(*txn);
+                terminal.insert(*txn, true);
             }
             LogRecord::Abort { txn } => {
-                aborted.insert(*txn);
+                terminal.insert(*txn, false);
             }
             LogRecord::Checkpoint => last_checkpoint = i + 1,
             _ => {}
@@ -71,12 +86,17 @@ pub fn recover<T: RecoveryTarget>(
             seen.insert(t);
         }
     }
-    // Aborted transactions were already compensated online; treat them as
-    // neither winners nor losers.
+    let winners: std::collections::BTreeSet<TxnId> = terminal
+        .iter()
+        .filter(|(_, committed)| **committed)
+        .map(|(t, _)| *t)
+        .collect();
+    // Transactions whose last terminal record is an Abort were already
+    // compensated online; treat them as neither winners nor losers.
     let losers: Vec<TxnId> = seen
         .iter()
         .copied()
-        .filter(|t| !winners.contains(t) && !aborted.contains(t))
+        .filter(|t| !terminal.contains_key(t))
         .collect();
 
     let mut stats = RecoveryStats {
@@ -90,11 +110,19 @@ pub fn recover<T: RecoveryTarget>(
     // Pass 2: redo winners from the last checkpoint on.
     for (_, r) in &records[last_checkpoint..] {
         match r {
-            LogRecord::Put { txn, index, key, new, .. } if winners.contains(txn) => {
+            LogRecord::Put {
+                txn,
+                index,
+                key,
+                new,
+                ..
+            } if winners.contains(txn) => {
                 target.apply_put(*index, key, new);
                 stats.redo_applied += 1;
             }
-            LogRecord::Remove { txn, index, key, .. } if winners.contains(txn) => {
+            LogRecord::Remove {
+                txn, index, key, ..
+            } if winners.contains(txn) => {
                 target.apply_remove(*index, key);
                 stats.redo_applied += 1;
             }
@@ -107,14 +135,25 @@ pub fn recover<T: RecoveryTarget>(
     let loser_set: std::collections::BTreeSet<TxnId> = losers.into_iter().collect();
     for (_, r) in records.iter().rev() {
         match r {
-            LogRecord::Put { txn, index, key, old, .. } if loser_set.contains(txn) => {
+            LogRecord::Put {
+                txn,
+                index,
+                key,
+                old,
+                ..
+            } if loser_set.contains(txn) => {
                 match old {
                     Some(v) => target.apply_put(*index, key, v),
                     None => target.apply_remove(*index, key),
                 }
                 stats.undo_applied += 1;
             }
-            LogRecord::Remove { txn, index, key, old } if loser_set.contains(txn) => {
+            LogRecord::Remove {
+                txn,
+                index,
+                key,
+                old,
+            } if loser_set.contains(txn) => {
                 target.apply_put(*index, key, old);
                 stats.undo_applied += 1;
             }
@@ -122,7 +161,7 @@ pub fn recover<T: RecoveryTarget>(
         }
     }
 
-    Ok(stats)
+    stats
 }
 
 #[cfg(test)]
@@ -202,7 +241,11 @@ mod tests {
         assert_eq!(stats.losers, vec![1]);
         assert_eq!(stats.undo_applied, 2);
         assert_eq!(mem.data.get(&(0, b"a".to_vec())), Some(&b"orig".to_vec()));
-        assert_eq!(mem.data.get(&(0, b"b".to_vec())), None, "created key removed");
+        assert_eq!(
+            mem.data.get(&(0, b"b".to_vec())),
+            None,
+            "created key removed"
+        );
     }
 
     #[test]
@@ -226,6 +269,58 @@ mod tests {
         assert!(stats.losers.is_empty());
         assert_eq!(stats.undo_applied, 0);
         assert_eq!(mem.data.get(&(0, b"a".to_vec())), Some(&b"orig".to_vec()));
+    }
+
+    #[test]
+    fn commit_then_abort_means_aborted() {
+        // A failed commit-sync leaves the Commit record in the log while the
+        // txn stays active; a subsequent abort appends Abort. The abort is
+        // authoritative: no redo, and no double-undo either.
+        let mut w = writer();
+        w.append(&LogRecord::Begin { txn: 1 }).unwrap();
+        w.append(&LogRecord::Put {
+            txn: 1,
+            index: 0,
+            key: b"a".to_vec(),
+            old: Some(b"orig".to_vec()),
+            new: b"tmp".to_vec(),
+        })
+        .unwrap();
+        w.append(&LogRecord::Commit { txn: 1 }).unwrap();
+        w.append(&LogRecord::Abort { txn: 1 }).unwrap();
+
+        let mut mem = Mem::default();
+        mem.apply_put(0, b"a", b"orig"); // state after online undo
+        let stats = recover(LogReader::new(w.into_device()), &mut mem).unwrap();
+        assert!(stats.winners.is_empty(), "late Abort overrides Commit");
+        assert!(stats.losers.is_empty());
+        assert_eq!(stats.redo_applied, 0);
+        assert_eq!(stats.undo_applied, 0);
+        assert_eq!(mem.data.get(&(0, b"a".to_vec())), Some(&b"orig".to_vec()));
+    }
+
+    #[test]
+    fn recover_records_matches_recover() {
+        let mut w = writer();
+        w.append(&LogRecord::Begin { txn: 7 }).unwrap();
+        w.append(&LogRecord::Put {
+            txn: 7,
+            index: 1,
+            key: b"k".to_vec(),
+            old: None,
+            new: b"v".to_vec(),
+        })
+        .unwrap();
+        w.append(&LogRecord::Commit { txn: 7 }).unwrap();
+
+        let mut reader = LogReader::new(w.into_device());
+        let (records, resume) = reader.read_all().unwrap();
+        let mut a = Mem::default();
+        let sa = recover_records(&records, resume, &mut a);
+        let mut b = Mem::default();
+        let sb = recover(LogReader::new(reader.into_device()), &mut b).unwrap();
+        assert_eq!(sa, sb);
+        assert_eq!(a, b);
     }
 
     #[test]

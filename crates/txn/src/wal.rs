@@ -145,9 +145,15 @@ impl LogRecord {
 
         let (&tag, _) = data.split_first()?;
         Some(match tag {
-            1 => LogRecord::Begin { txn: get_u64(data, 1)? },
-            2 => LogRecord::Commit { txn: get_u64(data, 1)? },
-            3 => LogRecord::Abort { txn: get_u64(data, 1)? },
+            1 => LogRecord::Begin {
+                txn: get_u64(data, 1)?,
+            },
+            2 => LogRecord::Commit {
+                txn: get_u64(data, 1)?,
+            },
+            3 => LogRecord::Abort {
+                txn: get_u64(data, 1)?,
+            },
             4 => {
                 let txn = get_u64(data, 1)?;
                 let index = *data.get(9)?;
@@ -215,15 +221,20 @@ mod proptests {
             any::<u64>().prop_map(|txn| LogRecord::Begin { txn }),
             any::<u64>().prop_map(|txn| LogRecord::Commit { txn }),
             any::<u64>().prop_map(|txn| LogRecord::Abort { txn }),
-            (any::<u64>(), any::<u8>(), bytes(), prop::option::of(bytes()), bytes()).prop_map(
-                |(txn, index, key, old, new)| LogRecord::Put {
+            (
+                any::<u64>(),
+                any::<u8>(),
+                bytes(),
+                prop::option::of(bytes()),
+                bytes()
+            )
+                .prop_map(|(txn, index, key, old, new)| LogRecord::Put {
                     txn,
                     index,
                     key,
                     old,
                     new,
-                }
-            ),
+                }),
             (any::<u64>(), any::<u8>(), bytes(), bytes()).prop_map(|(txn, index, key, old)| {
                 LogRecord::Remove {
                     txn,

@@ -109,9 +109,7 @@ fn power_loss_mid_append_preserves_prefix() {
 
         // "Reboot": read the surviving image. Every fully persisted record
         // must parse and the reader must stop cleanly at the torn tail.
-        let (records, _) = LogReader::new(Box::new(shared.image()))
-            .read_all()
-            .unwrap();
+        let (records, _) = LogReader::new(Box::new(shared.image())).read_all().unwrap();
         assert!(records.len() <= appended as usize + 1);
         for (i, (_, r)) in records.iter().enumerate() {
             assert_eq!(*r, LogRecord::Begin { txn: i as u64 });

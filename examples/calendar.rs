@@ -33,8 +33,10 @@ fn main() {
     print_rows(&out);
 
     // Mark one done, reschedule another.
-    db.sql("UPDATE events SET done = TRUE WHERE id = 1").unwrap();
-    db.sql("UPDATE events SET start_min = 630 WHERE id = 2").unwrap();
+    db.sql("UPDATE events SET done = TRUE WHERE id = 1")
+        .unwrap();
+    db.sql("UPDATE events SET start_min = 630 WHERE id = 2")
+        .unwrap();
 
     println!("\nopen items this week:");
     let out = db

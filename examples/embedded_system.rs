@@ -14,8 +14,8 @@
 //!
 //! Run with: `cargo run -p fame-dbms --example embedded_system`
 
-use fame_derivation::{advise, solve_greedy, Objective, PropertyStore, WorkloadProfile};
 use fame_dbms::fame_feature_model::{compose, models};
+use fame_derivation::{advise, solve_greedy, Objective, PropertyStore, WorkloadProfile};
 
 fn main() {
     // ---- 1. Compose the two product lines -----------------------------
@@ -29,10 +29,7 @@ fn main() {
     let system = builder.build().expect("combined model is well-formed");
 
     println!("combined model: {} features", system.len());
-    println!(
-        "  FAME-DBMS alone: {:>10} variants",
-        dbms.count_variants()
-    );
+    println!("  FAME-DBMS alone: {:>10} variants", dbms.count_variants());
     println!("  NutOS alone:     {:>10} variants", os.count_variants());
     println!(
         "  combined:        {:>10} variants (cross-SPL constraints pruned {})",
@@ -68,11 +65,12 @@ fn main() {
             let rom = store.predict(&system, &cfg, "rom_bytes");
             let ram = store.predict(&system, &cfg, "ram_bytes");
             println!("\nderived whole-system product (128 KiB ROM budget):");
-            println!("  predicted ROM {:.1} KiB, RAM {:.1} KiB", rom / 1024.0, ram / 1024.0);
-            let names: Vec<&str> = cfg
-                .selected()
-                .map(|id| system.feature(id).name())
-                .collect();
+            println!(
+                "  predicted ROM {:.1} KiB, RAM {:.1} KiB",
+                rom / 1024.0,
+                ram / 1024.0
+            );
+            let names: Vec<&str> = cfg.selected().map(|id| system.feature(id).name()).collect();
             println!("  {} features: {}", names.len(), names.join(", "));
             // The cross-SPL constraint did its job:
             assert!(cfg.is_selected(system.id("FlashDriver")));

@@ -26,7 +26,11 @@ fn main() {
     // Ordered range scans come with the B+-tree index.
     println!("\nall keys of device 1:");
     for (k, v) in db.scan(Some(b"device:1:"), Some(b"device:2:")).unwrap() {
-        println!("  {} = {}", String::from_utf8_lossy(&k), String::from_utf8_lossy(&v));
+        println!(
+            "  {} = {}",
+            String::from_utf8_lossy(&k),
+            String::from_utf8_lossy(&v)
+        );
     }
 
     let removed = db.remove(b"device:2:name").unwrap();

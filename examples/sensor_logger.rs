@@ -70,7 +70,10 @@ fn main() {
     println!("logged {logged} readings to flash");
 
     // Point query: sensor 1 at 12:00.
-    let noon = db.get(&key_of(1, 12 * 60)).unwrap().expect("reading exists");
+    let noon = db
+        .get(&key_of(1, 12 * 60))
+        .unwrap()
+        .expect("reading exists");
     let (s, t, rh) = decode_reading(&noon);
     println!(
         "sensor {s} at 12:00 -> {:.2} degC, {:.2}% RH",

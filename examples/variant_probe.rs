@@ -15,7 +15,10 @@ fn main() {
     let mut config = DbmsConfig::default_for_build();
     config.page_size = 512;
 
-    #[cfg(all(feature = "transactions", any(feature = "commit-force", feature = "commit-group")))]
+    #[cfg(all(
+        feature = "transactions",
+        any(feature = "commit-force", feature = "commit-group")
+    ))]
     {
         config.transactions = Some(fame_dbms::TxnConfig {
             commit: default_commit(),
@@ -52,14 +55,19 @@ fn main() {
     }
     #[cfg(feature = "api-update")]
     {
-        let _ = db.update(&1u32.to_be_bytes(), b"updated-value---").expect("update");
+        let _ = db
+            .update(&1u32.to_be_bytes(), b"updated-value---")
+            .expect("update");
     }
     #[cfg(feature = "api-remove")]
     {
         let _ = db.remove(&2u32.to_be_bytes()).expect("remove");
     }
 
-    #[cfg(all(feature = "transactions", any(feature = "commit-force", feature = "commit-group")))]
+    #[cfg(all(
+        feature = "transactions",
+        any(feature = "commit-force", feature = "commit-group")
+    ))]
     {
         let t = db.begin().expect("begin");
         #[cfg(feature = "api-put")]
@@ -69,9 +77,13 @@ fn main() {
 
     #[cfg(feature = "sql")]
     {
-        db.sql("CREATE TABLE probe (id U32, v TEXT)").expect("create");
-        db.sql("INSERT INTO probe VALUES (1, 'x'), (2, 'y')").expect("insert");
-        let out = db.sql("SELECT COUNT(*) FROM probe WHERE id >= 1").expect("select");
+        db.sql("CREATE TABLE probe (id U32, v TEXT)")
+            .expect("create");
+        db.sql("INSERT INTO probe VALUES (1, 'x'), (2, 'y')")
+            .expect("insert");
+        let out = db
+            .sql("SELECT COUNT(*) FROM probe WHERE id >= 1")
+            .expect("select");
         println!("sql: {out:?}");
     }
 
@@ -93,7 +105,10 @@ fn main() {
     println!("keys: {}", db.len().expect("len"));
 }
 
-#[cfg(all(feature = "transactions", any(feature = "commit-force", feature = "commit-group")))]
+#[cfg(all(
+    feature = "transactions",
+    any(feature = "commit-force", feature = "commit-group")
+))]
 fn default_commit() -> fame_dbms::fame_txn::CommitPolicy {
     #[cfg(feature = "commit-group")]
     {

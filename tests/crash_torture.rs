@@ -1,0 +1,339 @@
+//! Integration: crash-point torture against the composed engine.
+//!
+//! A bounded, self-contained edition of experiment E7 (the full sweep lives
+//! in `fame-bench`'s `crash_torture` binary): the database runs on
+//! write-back [`FaultDevice`]s whose writes stage in a volatile cache until
+//! a successful `sync()`, so a crash loses exactly what a real power cut
+//! would. The tests pin the two durability-ordering bugs this PR fixes:
+//!
+//! * `Database::sync` must issue the *log* barrier before the *data*
+//!   barrier (the WAL rule) — observable by failing the log barrier and
+//!   checking the data device never synced.
+//! * `commit()` must not acknowledge (release locks, count the commit)
+//!   before its durability sync — observable by crashing at every log
+//!   write/sync index and checking the recovered state against a pure
+//!   model of the committed prefixes.
+
+#![cfg(all(
+    feature = "transactions",
+    feature = "commit-force",
+    feature = "commit-group"
+))]
+
+use std::collections::BTreeMap;
+
+use fame_dbms::fame_os::{BlockDevice, FaultDevice, FaultPlan, InMemoryDevice, SharedDevice};
+use fame_dbms::fame_txn::CommitPolicy;
+use fame_dbms::{BufferConfig, Database, DbmsConfig, IndexKind, TxnConfig};
+
+type Dev = SharedDevice<FaultDevice<InMemoryDevice>>;
+type Model = BTreeMap<Vec<u8>, Vec<u8>>;
+
+const PAGE: usize = 512;
+const TXNS: usize = 6;
+const OPS: usize = 3;
+const KEYS: usize = 8;
+
+fn fresh_dev() -> Dev {
+    SharedDevice::new(FaultDevice::write_back(
+        InMemoryDevice::new(PAGE),
+        FaultPlan::default(),
+    ))
+}
+
+fn config(commit: CommitPolicy) -> DbmsConfig {
+    let mut cfg = DbmsConfig::in_memory();
+    cfg.index = IndexKind::BTree;
+    cfg.buffer = Some(BufferConfig {
+        frames: 16,
+        replacement: fame_dbms::fame_buffer::ReplacementKind::Lru,
+        static_alloc: false,
+    });
+    cfg.transactions = Some(TxnConfig { commit });
+    cfg
+}
+
+fn open(data: &Dev, log: &Dev, commit: CommitPolicy) -> Result<Database, fame_dbms::DbmsError> {
+    Database::open_with_devices(
+        config(commit),
+        Box::new(data.clone()),
+        Some(Box::new(log.clone()) as Box<dyn BlockDevice>),
+    )
+}
+
+fn key(n: usize) -> Vec<u8> {
+    format!("k{:02}", n % KEYS).into_bytes()
+}
+
+fn value(j: usize, i: usize) -> Vec<u8> {
+    format!("v-{j}-{i}-{}", "y".repeat(1 + (j * 5 + i) % 17)).into_bytes()
+}
+
+fn aborts(j: usize) -> bool {
+    j == 2
+}
+
+/// Pure model: state after each committed prefix (`states[0]` is empty).
+fn committed_states() -> Vec<Model> {
+    let mut states = vec![Model::new()];
+    let mut cur = Model::new();
+    for j in 0..TXNS {
+        let mut draft = cur.clone();
+        for i in 0..OPS {
+            draft.insert(key(j * OPS + i), value(j, i));
+        }
+        if !aborts(j) {
+            cur = draft;
+            states.push(cur.clone());
+        }
+    }
+    states
+}
+
+/// Run the workload until completion or the first device trip; returns the
+/// log-device sync count sampled just before each `commit()`.
+fn run_workload(db: &mut Database, log: &Dev) -> Vec<u64> {
+    let mut syncs_before_commit = Vec::new();
+    for j in 0..TXNS {
+        let Ok(t) = db.begin() else {
+            return syncs_before_commit;
+        };
+        for i in 0..OPS {
+            if db.txn_put(t, &key(j * OPS + i), &value(j, i)).is_err() {
+                return syncs_before_commit;
+            }
+            // Mid-transaction barrier: dirty pages hold uncommitted effects,
+            // so the sync ordering inside `Database::sync` is load-bearing.
+            if i == 1 && j % 2 == 1 && db.sync().is_err() {
+                return syncs_before_commit;
+            }
+        }
+        if aborts(j) {
+            if db.abort(t).is_err() {
+                return syncs_before_commit;
+            }
+        } else {
+            let before = log.with(|d| d.syncs_done());
+            if db.commit(t).is_err() {
+                return syncs_before_commit;
+            }
+            syncs_before_commit.push(before);
+        }
+    }
+    syncs_before_commit
+}
+
+fn read_state(db: &mut Database) -> Model {
+    let mut m = Model::new();
+    for n in 0..KEYS {
+        let k = key(n);
+        if let Some(v) = db.get(&k).expect("post-recovery read") {
+            m.insert(k, v);
+        }
+    }
+    m
+}
+
+/// One crash point: arm `plan` on the log device of a fresh universe, run
+/// into the crash, heal, reopen, and judge durability + atomicity +
+/// integrity. Returns the matched committed prefix.
+fn crash_and_judge(commit: CommitPolicy, plan: FaultPlan, label: &str) -> usize {
+    let states = committed_states();
+    let data = fresh_dev();
+    let log = fresh_dev();
+    log.with(|d| d.set_plan(plan));
+
+    let (completed, durable) = match open(&data, &log, commit) {
+        Ok(mut db) => {
+            let samples = run_workload(&mut db, &log);
+            let final_syncs = log.with(|d| d.syncs_done());
+            let durable = samples.iter().filter(|&&b| final_syncs > b).count();
+            // One power supply: trip both devices before the buffer pool's
+            // Drop impl can flush dirty frames past the power loss.
+            log.with(|d| d.trip_now());
+            data.with(|d| d.trip_now());
+            drop(db);
+            (samples.len(), durable)
+        }
+        Err(_) => {
+            log.with(|d| d.trip_now());
+            data.with(|d| d.trip_now());
+            (0, 0)
+        }
+    };
+
+    data.with(|d| d.heal());
+    log.with(|d| d.heal());
+
+    let mut db = open(&data, &log, commit).unwrap_or_else(|e| {
+        panic!("{label}: reopen after crash failed: {e:?}");
+    });
+    let report = db.verify_integrity().expect("integrity check runs");
+    assert!(report.is_ok(), "{label}: integrity violations: {report}");
+
+    let recovered = read_state(&mut db);
+    let matched = (0..states.len()).find(|&m| states[m] == recovered);
+    let Some(m) = matched else {
+        panic!("{label}: recovered state matches no committed prefix (atomicity broken)");
+    };
+    assert!(
+        m >= durable,
+        "{label}: durability broken — {durable} commits synced, only {m} survived"
+    );
+    // `completed + 1` allows the one in-flight commit whose record reached
+    // the media even though `commit()` never returned.
+    assert!(
+        m <= completed + 1,
+        "{label}: recovered {m} commits but only {completed} completed"
+    );
+    m
+}
+
+/// Satellite (a): `Database::sync` must make the log durable *before* the
+/// data pages. With the log barrier armed to fail, a correctly ordered sync
+/// errors out before ever issuing the data barrier.
+#[test]
+fn sync_orders_log_barrier_before_data_barrier() {
+    let data = fresh_dev();
+    let log = fresh_dev();
+    let mut db = open(&data, &log, CommitPolicy::Force).expect("open");
+
+    // Leave a transaction in flight so the log holds undo records that the
+    // barrier must make durable before any uncommitted page can.
+    let t = db.begin().expect("begin");
+    for i in 0..4 {
+        db.txn_put(t, &key(i), b"uncommitted").expect("txn_put");
+    }
+
+    let data_syncs_before = data.with(|d| d.syncs_done());
+    log.with(|d| {
+        let done = d.syncs_done();
+        d.set_plan(FaultPlan {
+            fail_after_syncs: Some(done),
+            ..FaultPlan::default()
+        });
+    });
+
+    assert!(
+        db.sync().is_err(),
+        "sync must report the failed log barrier"
+    );
+    assert_eq!(
+        data.with(|d| d.syncs_done()),
+        data_syncs_before,
+        "data barrier issued although the log barrier failed: \
+         uncommitted pages could outlive their undo records"
+    );
+
+    // After the log heals the same barrier goes through, data included.
+    log.with(|d| d.heal());
+    db.sync().expect("sync after heal");
+    assert!(
+        data.with(|d| d.syncs_done()) > 0,
+        "healed sync should reach the data device"
+    );
+}
+
+/// Satellite (e): recovery seals the log (terminal records for losers plus
+/// a checkpoint), so a second open finds nothing to replay.
+#[test]
+fn recovery_seals_log_and_second_open_replays_nothing() {
+    let data = fresh_dev();
+    let log = fresh_dev();
+    {
+        let mut db = open(&data, &log, CommitPolicy::Force).expect("open");
+        for j in 0..3 {
+            let t = db.begin().expect("begin");
+            for i in 0..OPS {
+                db.txn_put(t, &key(j * OPS + i), &value(j, i)).expect("put");
+            }
+            db.commit(t).expect("commit");
+        }
+        // Crash with committed work not yet on the data media: redo exists.
+        log.with(|d| d.trip_now());
+        data.with(|d| d.trip_now());
+    }
+
+    data.with(|d| d.heal());
+    log.with(|d| d.heal());
+
+    {
+        let mut db = open(&data, &log, CommitPolicy::Force).expect("first reopen");
+        let stats = db.last_recovery().expect("first reopen recovers");
+        assert!(stats.redo_applied > 0, "the crash left committed redo work");
+        let mut expected = Model::new();
+        for j in 0..3 {
+            for i in 0..OPS {
+                expected.insert(key(j * OPS + i), value(j, i));
+            }
+        }
+        assert_eq!(read_state(&mut db), expected);
+    }
+    {
+        let db = open(&data, &log, CommitPolicy::Force).expect("second reopen");
+        let stats = db.last_recovery().expect("stats recorded");
+        assert_eq!(
+            (stats.redo_applied, stats.undo_applied),
+            (0, 0),
+            "second open replayed work after a sealed recovery"
+        );
+    }
+}
+
+/// Bounded sweep, Force commits: crash cleanly at every 3rd log write.
+#[test]
+fn crash_sweep_force_clean() {
+    for k in (1..200).step_by(3) {
+        crash_and_judge(
+            CommitPolicy::Force,
+            FaultPlan {
+                fail_after_writes: Some(k),
+                ..FaultPlan::default()
+            },
+            &format!("force/log-clean@{k}"),
+        );
+    }
+}
+
+/// Bounded sweep, Force commits: torn final write at every 5th log write.
+#[test]
+fn crash_sweep_force_torn() {
+    for k in (1..200).step_by(5) {
+        crash_and_judge(
+            CommitPolicy::Force,
+            FaultPlan {
+                fail_after_writes: Some(k),
+                tear_offset: Some(1 + (k as usize * 37) % (PAGE - 1)),
+                ..FaultPlan::default()
+            },
+            &format!("force/log-torn@{k}"),
+        );
+    }
+}
+
+/// Bounded sweep, Group(2) commits: crash at every 4th log write and at
+/// every failing barrier.
+#[test]
+fn crash_sweep_group_clean_and_sync_fail() {
+    let group = CommitPolicy::Group { group_size: 2 };
+    for k in (1..200).step_by(4) {
+        crash_and_judge(
+            group,
+            FaultPlan {
+                fail_after_writes: Some(k),
+                ..FaultPlan::default()
+            },
+            &format!("group2/log-clean@{k}"),
+        );
+    }
+    for s in 0..12 {
+        crash_and_judge(
+            group,
+            FaultPlan {
+                fail_after_syncs: Some(s),
+                ..FaultPlan::default()
+            },
+            &format!("group2/log-sync-fail@{s}"),
+        );
+    }
+}

@@ -24,7 +24,8 @@ fn file_backed_data_survives_reopen() {
     {
         let mut db = Database::open(DbmsConfig::on_file(&path)).unwrap();
         for i in 0u32..500 {
-            db.put(&i.to_be_bytes(), format!("value-{i}").as_bytes()).unwrap();
+            db.put(&i.to_be_bytes(), format!("value-{i}").as_bytes())
+                .unwrap();
         }
         db.remove(&7u32.to_be_bytes()).unwrap();
         db.sync().unwrap();
@@ -83,7 +84,11 @@ fn committed_transactions_survive_crash() {
             Some(b"100".to_vec()),
             "loser's overwrite undone"
         );
-        assert_eq!(db.get(b"uncommitted").unwrap(), None, "loser's insert undone");
+        assert_eq!(
+            db.get(b"uncommitted").unwrap(),
+            None,
+            "loser's insert undone"
+        );
     }
     cleanup(&path);
 }

@@ -46,7 +46,11 @@ fn every_enumerated_fame_variant_validates() {
 #[test]
 fn bdb_model_reproduces_paper_numbers() {
     let model = models::berkeley_db();
-    assert_eq!(model.optional_features().len(), 24, "24 optional features (§2.2)");
+    assert_eq!(
+        model.optional_features().len(),
+        24,
+        "24 optional features (§2.2)"
+    );
     let examined = model
         .iter()
         .filter(|(_, f)| f.attribute("examined") == Some(1.0))

@@ -1,7 +1,7 @@
 //! Integration: the SQL engine end-to-end over the full storage stack.
 
-use fame_dbms::{Database, DbmsConfig, QueryOutput};
 use fame_dbms::fame_storage::Value;
+use fame_dbms::{Database, DbmsConfig, QueryOutput};
 
 fn db() -> Database {
     Database::open(DbmsConfig::in_memory()).unwrap()
@@ -10,21 +10,26 @@ fn db() -> Database {
 #[test]
 fn crud_round_trip() {
     let mut d = db();
-    d.sql("CREATE TABLE readings (id U32, sensor TEXT, celsius F64)").unwrap();
+    d.sql("CREATE TABLE readings (id U32, sensor TEXT, celsius F64)")
+        .unwrap();
     let out = d
         .sql("INSERT INTO readings VALUES (1, 'kitchen', 21.5), (2, 'attic', 27.25), (3, 'cellar', 14.0)")
         .unwrap();
     assert_eq!(out, QueryOutput::Inserted(3));
 
-    let out = d.sql("SELECT sensor FROM readings WHERE celsius > 20").unwrap();
+    let out = d
+        .sql("SELECT sensor FROM readings WHERE celsius > 20")
+        .unwrap();
     assert_eq!(out.rows().unwrap().len(), 2);
 
     assert_eq!(
-        d.sql("UPDATE readings SET celsius = 22.0 WHERE id = 1").unwrap(),
+        d.sql("UPDATE readings SET celsius = 22.0 WHERE id = 1")
+            .unwrap(),
         QueryOutput::Updated(1)
     );
     assert_eq!(
-        d.sql("DELETE FROM readings WHERE sensor = 'attic'").unwrap(),
+        d.sql("DELETE FROM readings WHERE sensor = 'attic'")
+            .unwrap(),
         QueryOutput::Deleted(1)
     );
     assert_eq!(
@@ -57,14 +62,17 @@ fn optimizer_selects_access_paths() {
         let rows: Vec<String> = (chunk * 100..(chunk + 1) * 100)
             .map(|i| format!("({i}, {})", i % 7))
             .collect();
-        d.sql(&format!("INSERT INTO t VALUES {}", rows.join(", "))).unwrap();
+        d.sql(&format!("INSERT INTO t VALUES {}", rows.join(", ")))
+            .unwrap();
     }
 
     let out = d.sql("SELECT v FROM t WHERE id = 500").unwrap();
     assert_eq!(out.rows().unwrap().len(), 1);
     assert_eq!(d.last_access_path(), Some("point-lookup"));
 
-    let out = d.sql("SELECT id FROM t WHERE id >= 100 AND id < 200").unwrap();
+    let out = d
+        .sql("SELECT id FROM t WHERE id >= 100 AND id < 200")
+        .unwrap();
     assert_eq!(out.rows().unwrap().len(), 100);
     assert_eq!(d.last_access_path(), Some("range-scan"));
 
@@ -77,9 +85,12 @@ fn optimizer_selects_access_paths() {
 fn multi_table_workload() {
     let mut d = db();
     d.sql("CREATE TABLE users (id U32, name TEXT)").unwrap();
-    d.sql("CREATE TABLE events (id U32, user_id U32, kind TEXT)").unwrap();
-    d.sql("INSERT INTO users VALUES (1, 'ada'), (2, 'grace')").unwrap();
-    d.sql("INSERT INTO events VALUES (10, 1, 'login'), (11, 1, 'logout'), (12, 2, 'login')").unwrap();
+    d.sql("CREATE TABLE events (id U32, user_id U32, kind TEXT)")
+        .unwrap();
+    d.sql("INSERT INTO users VALUES (1, 'ada'), (2, 'grace')")
+        .unwrap();
+    d.sql("INSERT INTO events VALUES (10, 1, 'login'), (11, 1, 'logout'), (12, 2, 'login')")
+        .unwrap();
 
     // Application-level join (the dialect has no JOIN — future work, as in
     // the prototype).
@@ -103,8 +114,11 @@ fn multi_table_workload() {
 fn order_by_desc_with_limit() {
     let mut d = db();
     d.sql("CREATE TABLE scores (id U32, pts U32)").unwrap();
-    d.sql("INSERT INTO scores VALUES (1, 50), (2, 90), (3, 70), (4, 90), (5, 10)").unwrap();
-    let out = d.sql("SELECT id, pts FROM scores ORDER BY pts DESC LIMIT 3").unwrap();
+    d.sql("INSERT INTO scores VALUES (1, 50), (2, 90), (3, 70), (4, 90), (5, 10)")
+        .unwrap();
+    let out = d
+        .sql("SELECT id, pts FROM scores ORDER BY pts DESC LIMIT 3")
+        .unwrap();
     let rows = out.rows().unwrap();
     assert_eq!(rows.len(), 3);
     assert_eq!(rows[0][1], Value::U32(90));
@@ -130,8 +144,11 @@ fn errors_do_not_poison_the_engine() {
 fn string_keys_and_blobs() {
     let mut d = db();
     d.sql("CREATE TABLE cfg (name TEXT, blob BYTES)").unwrap();
-    d.sql("INSERT INTO cfg VALUES ('firmware', x'DEADBEEF'), ('bootloader', x'00FF')").unwrap();
-    let out = d.sql("SELECT blob FROM cfg WHERE name = 'firmware'").unwrap();
+    d.sql("INSERT INTO cfg VALUES ('firmware', x'DEADBEEF'), ('bootloader', x'00FF')")
+        .unwrap();
+    let out = d
+        .sql("SELECT blob FROM cfg WHERE name = 'firmware'")
+        .unwrap();
     assert_eq!(
         out.rows().unwrap()[0][0],
         Value::Bytes(vec![0xDE, 0xAD, 0xBE, 0xEF])
@@ -142,7 +159,8 @@ fn string_keys_and_blobs() {
 fn null_handling_three_valued() {
     let mut d = db();
     d.sql("CREATE TABLE t (id U32, v U32)").unwrap();
-    d.sql("INSERT INTO t VALUES (1, 5), (2, NULL), (3, 10)").unwrap();
+    d.sql("INSERT INTO t VALUES (1, 5), (2, NULL), (3, 10)")
+        .unwrap();
     // NULL never matches a comparison, in either direction.
     assert_eq!(
         d.sql("SELECT COUNT(*) FROM t WHERE v > 0").unwrap(),

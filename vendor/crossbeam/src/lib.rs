@@ -1,0 +1,94 @@
+//! Offline stub of the `crossbeam::channel` surface this workspace uses,
+//! implemented over `std::sync::mpsc`.
+//!
+//! The build environment cannot reach crates.io, so the workspace patches
+//! `crossbeam` to this vendored shim. Only the unbounded MPSC channel is
+//! provided (`unbounded`, `Sender`, `Receiver` with `send`/`recv`/
+//! `try_recv`/`recv_timeout`) — exactly what the replication crate needs
+//! for its in-process links.
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg)
+        }
+    }
+
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+
+        pub fn try_iter(&self) -> mpsc::TryIter<'_, T> {
+            self.0.try_iter()
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv() {
+            let (tx, rx) = unbounded();
+            tx.send(42u32).unwrap();
+            assert_eq!(rx.recv().unwrap(), 42);
+        }
+
+        #[test]
+        fn try_recv_empty() {
+            let (_tx, rx) = unbounded::<u8>();
+            assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+        }
+
+        #[test]
+        fn timeout_elapses() {
+            let (_tx, rx) = unbounded::<u8>();
+            let r = rx.recv_timeout(Duration::from_millis(5));
+            assert!(matches!(r, Err(RecvTimeoutError::Timeout)));
+        }
+
+        #[test]
+        fn clone_sender_across_threads() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            std::thread::spawn(move || tx2.send(7u64).unwrap())
+                .join()
+                .unwrap();
+            assert_eq!(rx.recv().unwrap(), 7);
+        }
+    }
+}

@@ -1,0 +1,906 @@
+//! Offline stub of the `proptest` API surface this workspace uses.
+//!
+//! The build environment cannot reach crates.io, so the workspace patches
+//! `proptest` to this vendored mini-implementation. It keeps the property
+//! tests *running* — deterministic random generation, strategy combinators,
+//! `proptest!`/`prop_assert*!` macros — but deliberately omits the hard
+//! parts of the real crate: there is NO shrinking (a failing case reports
+//! the raw generated input, not a minimal one), no persisted failure seeds,
+//! and the `&str` strategy understands only the simple `X{a,b}` repetition
+//! patterns the workspace actually uses, not full regex.
+//!
+//! Generation is fully deterministic per test (seeded from the test name),
+//! so failures reproduce across runs.
+
+pub mod test_runner {
+    /// Subset of `proptest::test_runner::Config`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// Upper bound on `prop_assume!` rejections before giving up.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // The real default is 256; 64 keeps the suite quick while still
+            // exercising plenty of inputs. Tests override via
+            // `proptest_config` where they care.
+            Config {
+                cases: 64,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config {
+                cases,
+                ..Config::default()
+            }
+        }
+    }
+
+    /// Why a single generated case did not count as a success.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assert*!` failed: the property is violated.
+        Fail(String),
+        /// `prop_assume!` rejected the input: generate a fresh one.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Deterministic splitmix64 generator used for all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from an arbitrary tag (the test function name) so each test
+        /// gets an independent, reproducible stream.
+        pub fn deterministic(tag: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+            for b in tag.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h | 1 }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: usize) -> usize {
+            (self.next_u64() % n as u64) as usize
+        }
+
+        /// Uniform value in `[lo, hi]`.
+        pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+            debug_assert!(lo <= hi);
+            let span = hi - lo;
+            if span == u64::MAX {
+                return self.next_u64();
+            }
+            lo + self.next_u64() % (span + 1)
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::sync::Arc;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike the real crate there is no `ValueTree`/shrinking layer: a
+    /// strategy simply produces a value from the deterministic RNG.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { source: self, f }
+        }
+
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                source: self,
+                whence,
+                f,
+            }
+        }
+
+        /// Shuffle the generated collection (only `Vec` values supported).
+        fn prop_shuffle(self) -> Shuffle<Self>
+        where
+            Self: Sized,
+        {
+            Shuffle(self)
+        }
+
+        /// Build a recursive strategy: at each of `depth` levels the result
+        /// is a uniform choice between the leaf and one more application of
+        /// `recurse`. The `_desired_size`/`_branch` hints of the real crate
+        /// are accepted and ignored.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf: BoxedStrategy<Self::Value> = self.boxed();
+            let mut cur = leaf.clone();
+            for _ in 0..depth {
+                let deeper = recurse(cur).boxed();
+                cur = Union::new(vec![leaf.clone(), deeper]).boxed();
+            }
+            cur
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy handle.
+    pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.source.generate(rng)).generate(rng)
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        source: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.source.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter({}) rejected 10000 consecutive values", self.whence)
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct Shuffle<S>(S);
+
+    impl<S, T> Strategy for Shuffle<S>
+    where
+        S: Strategy<Value = Vec<T>>,
+    {
+        type Value = Vec<T>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let mut v = self.0.generate(rng);
+            // Fisher–Yates.
+            for i in (1..v.len()).rev() {
+                let j = rng.below(i + 1);
+                v.swap(i, j);
+            }
+            v
+        }
+    }
+
+    /// Uniform choice between branches (what `prop_oneof!` builds).
+    pub struct Union<T> {
+        branches: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                branches: self.branches.clone(),
+            }
+        }
+    }
+
+    impl<T> Union<T> {
+        pub fn new(branches: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!branches.is_empty(), "prop_oneof! needs at least one branch");
+            Union { branches }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.branches.len());
+            self.branches[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + (rng.next_u64() % span) as i128) as $t
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as i128 + (rng.next_u64() % (span + 1)) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($S:ident . $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A.0);
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+    /// `&str` as a pattern strategy. Supports the `X{a,b}` repetition form
+    /// (with `X` = `.` meaning "any char"); any other pattern is treated as
+    /// a literal. This is NOT a regex engine.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            if let Some((lo, hi)) = parse_repeat_pattern(self) {
+                let len = rng.range_u64(lo as u64, hi as u64) as usize;
+                (0..len).map(|_| random_char(rng)).collect()
+            } else {
+                (*self).to_string()
+            }
+        }
+    }
+
+    fn parse_repeat_pattern(pat: &str) -> Option<(usize, usize)> {
+        let rest = pat.strip_prefix('.')?;
+        let body = rest.strip_prefix('{')?.strip_suffix('}')?;
+        let (lo, hi) = body.split_once(',')?;
+        Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+    }
+
+    fn random_char(rng: &mut TestRng) -> char {
+        // Mostly printable ASCII, with occasional multi-byte characters so
+        // UTF-8 handling gets exercised.
+        match rng.below(8) {
+            0 => ['é', 'ß', '☃', '中', '𝄞', '🦀'][rng.below(6)],
+            _ => (0x20u8 + rng.below(0x5F) as u8) as char,
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "generate anything" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    pub struct Any<A>(PhantomData<A>);
+
+    impl<A> Clone for Any<A> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<A> Copy for Any<A> {}
+
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+
+        fn generate(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    // Bias 1-in-8 toward boundary values: off-by-one bugs
+                    // live at the edges and uniform draws rarely hit them.
+                    if rng.below(8) == 0 {
+                        [0 as $t, 1 as $t, <$t>::MAX, <$t>::MIN][rng.below(4)]
+                    } else {
+                        rng.next_u64() as $t
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            char::from_u32(rng.next_u64() as u32 % 0xD800).unwrap_or('a')
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::collections::BTreeMap;
+
+    /// Inclusive size bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.range_u64(self.lo as u64, self.hi as u64) as usize
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: SizeRange,
+    }
+
+    pub fn btree_map<K, V>(keys: K, values: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            keys,
+            values,
+            size: size.into(),
+        }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut map = BTreeMap::new();
+            // Duplicate keys shrink the map below target; retry a bounded
+            // number of times rather than looping forever on tiny key spaces.
+            let mut attempts = 0;
+            while map.len() < target && attempts < target * 16 + 16 {
+                map.insert(self.keys.generate(rng), self.values.generate(rng));
+                attempts += 1;
+            }
+            map
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    #[derive(Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// `Option<T>` strategy: `None` roughly a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod sample {
+    use super::arbitrary::Arbitrary;
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    #[derive(Clone, Copy)]
+    pub struct Select<T: 'static>(&'static [T]);
+
+    /// Uniformly select one element of a static slice.
+    pub fn select<T: Clone + 'static>(items: &'static [T]) -> Select<T> {
+        assert!(!items.is_empty(), "select() needs a non-empty slice");
+        Select(items)
+    }
+
+    impl<T: Clone + 'static> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len())].clone()
+        }
+    }
+
+    /// An index into a collection whose length is only known at use time.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(usize);
+
+    impl Index {
+        pub fn index(&self, size: usize) -> usize {
+            assert!(size > 0, "Index::index on empty collection");
+            self.0 % size
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64() as usize)
+        }
+    }
+}
+
+pub mod num {
+    pub mod f64 {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        #[derive(Debug, Clone, Copy)]
+        pub struct NormalF64;
+
+        /// Finite, normal (non-zero, non-subnormal) doubles.
+        pub const NORMAL: NormalF64 = NormalF64;
+
+        impl Strategy for NormalF64 {
+            type Value = f64;
+
+            fn generate(&self, rng: &mut TestRng) -> f64 {
+                loop {
+                    let x = f64::from_bits(rng.next_u64());
+                    if x.is_normal() {
+                        return x;
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// Mirrors the real prelude's `prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::num;
+        pub use crate::option;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "msg {}", x)`
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`", l, r),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l == r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` != `{:?}`", l, r),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($branch:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($branch)),+
+        ])
+    };
+}
+
+/// The test-harness macro. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` (callers write the `#[test]` attribute themselves,
+/// as with the real crate) that runs `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{cfg = $cfg; $($rest)*}
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{cfg = $crate::test_runner::Config::default(); $($rest)*}
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut passed: u32 = 0;
+            let mut rejected: u32 = 0;
+            while passed < cfg.cases {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let case = move || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                };
+                match case() {
+                    ::core::result::Result::Ok(()) => passed += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        if rejected > cfg.max_global_rejects {
+                            panic!(
+                                "proptest {}: too many prop_assume! rejections ({})",
+                                stringify!($name),
+                                rejected
+                            );
+                        }
+                    }
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("proptest {} failed after {} cases: {}", stringify!($name), passed, msg);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 10u32..20, y in 0usize..4) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn vec_sizes_respect_bounds(v in prop::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![
+            any::<u8>().prop_map(|x| x as u32),
+            (200u32..300).prop_map(|x| x),
+        ]) {
+            prop_assert!(v < 256 || (200..300).contains(&v));
+        }
+
+        #[test]
+        fn assume_rejects_cases(x in any::<u8>()) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+
+        #[test]
+        fn string_pattern_lengths(s in ".{0,20}") {
+            prop_assert!(s.chars().count() <= 20);
+        }
+
+        #[test]
+        fn normal_floats_are_normal(x in prop::num::f64::NORMAL) {
+            prop_assert!(x.is_normal());
+        }
+
+        #[test]
+        fn shuffle_preserves_elements(
+            (orig, shuffled) in prop::collection::vec(any::<u8>(), 0..8)
+                .prop_flat_map(|v| (Just(v.clone()), Just(v).prop_shuffle()))
+        ) {
+            let mut a = orig.clone();
+            let mut b = shuffled.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn btree_map_sizes(m in prop::collection::btree_map(any::<u32>(), any::<u8>(), 0..6)) {
+            prop_assert!(m.len() < 6);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = crate::collection::vec(any::<u64>(), 3..4);
+        let a = s.generate(&mut TestRng::deterministic("tag"));
+        let b = s.generate(&mut TestRng::deterministic("tag"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+
+        let leaf = any::<u8>().prop_map(Tree::Leaf).boxed();
+        let s = leaf.prop_recursive(3, 16, 4, |inner| {
+            crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+        });
+        let mut rng = TestRng::deterministic("rec");
+        for _ in 0..50 {
+            let _ = s.generate(&mut rng);
+        }
+    }
+}
