@@ -23,4 +23,10 @@ cargo run --release -p fame-bench --bin fig3_derivation | tail -n 20
 echo "== crash torture (E7, bounded sweep; exits non-zero on any violation)"
 cargo run --release -p fame-bench --bin crash_torture -- --quick | tail -n 10
 
+echo "== concurrent readers stress (E8 correctness)"
+cargo test -q -p fame-dbms --features concurrency-multi --test concurrent_readers
+
+echo "== fig1b_mt smoke (E8 scalability; scaling asserts auto-skip below 2 cores)"
+cargo run --release -p fame-bench --bin fig1b_mt -- --quick --assert-scaling | tail -n 8
+
 echo "== CI OK"

@@ -22,6 +22,8 @@
 
 pub mod pool;
 pub mod replacement;
+#[cfg(feature = "shared")]
+pub mod shared;
 
 #[cfg(feature = "clock")]
 pub use replacement::clock;
@@ -32,3 +34,27 @@ pub use replacement::lru;
 
 pub use pool::{BufferPool, PoolStats};
 pub use replacement::{FrameIdx, ReplacementKind, ReplacementPolicy};
+#[cfg(feature = "shared")]
+pub use shared::{SharedBufferPool, DEFAULT_SHARDS};
+
+/// Feature *Buffer Manager → Concurrency* (this reproduction's extension
+/// to Figure 2): how many threads may work against one pool image.
+///
+/// The type exists in every product so configs can name it, but the
+/// [`Concurrency::MultiReader`] alternative only compiles with the `shared`
+/// cargo feature — Single products carry today's exclusive pool with zero
+/// new indirection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Concurrency {
+    /// One thread owns the engine (`&mut` everywhere). The seed behaviour.
+    #[default]
+    Single,
+    /// Sharded latch-based pool; point reads scale across threads. See
+    /// [`shared::SharedBufferPool`].
+    #[cfg(feature = "shared")]
+    MultiReader {
+        /// Page-table shards (power of two); 0 means
+        /// [`shared::DEFAULT_SHARDS`].
+        shards: usize,
+    },
+}

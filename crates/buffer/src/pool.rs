@@ -39,27 +39,151 @@ struct Frame {
     dirty: bool,
 }
 
+/// State of the caching mode: frame arena, page table, eviction machinery.
+struct Cached {
+    frames: Vec<Frame>,
+    map: HashMap<PageId, FrameIdx>,
+    policy: Box<dyn ReplacementPolicy>,
+    allocator: FrameAllocator,
+    /// Frames currently holding no page (pre-allocated or discarded).
+    free: Vec<FrameIdx>,
+}
+
+impl Cached {
+    /// Locate (or load) the frame holding `page`.
+    fn frame_for(
+        &mut self,
+        device: &mut dyn BlockDevice,
+        stats: &mut PoolStats,
+        page: PageId,
+    ) -> Result<FrameIdx, OsError> {
+        if let Some(&idx) = self.map.get(&page) {
+            stats.hits += 1;
+            self.policy.on_access(idx);
+            return Ok(idx);
+        }
+        stats.misses += 1;
+
+        // Find a frame: an empty pre-allocated one, a fresh allocation, or
+        // an eviction victim.
+        let idx = if let Some(idx) = self.free.pop() {
+            idx
+        } else if self.allocator.try_acquire() {
+            let idx = self.frames.len();
+            self.frames.push(Frame {
+                page: None,
+                data: vec![0u8; device.page_size()].into_boxed_slice(),
+                dirty: false,
+            });
+            self.policy.resize(self.frames.len());
+            idx
+        } else {
+            let victim = self
+                .policy
+                .victim()
+                .ok_or_else(|| OsError::Io("buffer pool has no evictable frame".to_string()))?;
+            let fr = &mut self.frames[victim];
+            if fr.dirty {
+                let old = fr.page.expect("victim frame holds a page");
+                device.write_page(old, &fr.data)?;
+                stats.writebacks += 1;
+            }
+            if let Some(old) = fr.page.take() {
+                self.map.remove(&old);
+            }
+            fr.dirty = false;
+            self.policy.on_remove(victim);
+            stats.evictions += 1;
+            victim
+        };
+
+        device.read_page(page, &mut self.frames[idx].data)?;
+        self.frames[idx].page = Some(page);
+        self.map.insert(page, idx);
+        self.policy.on_insert(idx);
+        Ok(idx)
+    }
+}
+
 enum Mode {
     /// No Buffer Manager feature: every access goes to the device through
     /// one scratch buffer.
     Unbuffered { scratch: Box<[u8]> },
     /// Caching pool.
-    Cached {
-        frames: Vec<Frame>,
-        map: HashMap<PageId, FrameIdx>,
-        policy: Box<dyn ReplacementPolicy>,
-        allocator: FrameAllocator,
-        /// Frames currently holding no page (pre-allocated or discarded).
-        free: Vec<FrameIdx>,
-    },
+    Cached(Cached),
+}
+
+/// Single-threaded pool: exclusive device, no synchronization.
+struct Exclusive {
+    device: Box<dyn BlockDevice>,
+    mode: Mode,
+    stats: PoolStats,
+}
+
+impl Exclusive {
+    fn with_page<R>(&mut self, page: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R, OsError> {
+        match &mut self.mode {
+            Mode::Unbuffered { scratch } => {
+                self.stats.misses += 1;
+                self.device.read_page(page, scratch)?;
+                Ok(f(scratch))
+            }
+            Mode::Cached(c) => {
+                let idx = c.frame_for(&mut *self.device, &mut self.stats, page)?;
+                Ok(f(&c.frames[idx].data))
+            }
+        }
+    }
+
+    fn with_page_mut<R>(
+        &mut self,
+        page: PageId,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> Result<R, OsError> {
+        match &mut self.mode {
+            Mode::Unbuffered { scratch } => {
+                // One access, one miss — the read+write pair is a single
+                // logical page touch.
+                self.stats.misses += 1;
+                self.device.read_page(page, scratch)?;
+                let r = f(scratch);
+                self.device.write_page(page, scratch)?;
+                Ok(r)
+            }
+            Mode::Cached(c) => {
+                let idx = c.frame_for(&mut *self.device, &mut self.stats, page)?;
+                c.frames[idx].dirty = true;
+                Ok(f(&mut c.frames[idx].data))
+            }
+        }
+    }
+
+    fn flush(&mut self) -> Result<(), OsError> {
+        if let Mode::Cached(c) = &mut self.mode {
+            for fr in c.frames.iter_mut() {
+                if fr.dirty {
+                    let page = fr.page.expect("dirty frame holds a page");
+                    self.device.write_page(page, &fr.data)?;
+                    fr.dirty = false;
+                    self.stats.writebacks += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+enum Repr {
+    Exclusive(Exclusive),
+    /// Feature *Concurrency → MultiReader*: sharded latched pool.
+    #[cfg(feature = "shared")]
+    Shared(crate::shared::SharedBufferPool),
 }
 
 /// A page cache in front of a [`BlockDevice`]. See crate docs for the
 /// access model.
 pub struct BufferPool {
-    device: Box<dyn BlockDevice>,
-    mode: Mode,
-    stats: PoolStats,
+    repr: Repr,
 }
 
 impl BufferPool {
@@ -82,15 +206,17 @@ impl BufferPool {
         let policy = kind.build(frames.len());
         let free = (0..frames.len()).rev().collect();
         BufferPool {
-            device,
-            mode: Mode::Cached {
-                frames,
-                map: HashMap::new(),
-                policy,
-                allocator,
-                free,
-            },
-            stats: PoolStats::default(),
+            repr: Repr::Exclusive(Exclusive {
+                device,
+                mode: Mode::Cached(Cached {
+                    frames,
+                    map: HashMap::new(),
+                    policy,
+                    allocator,
+                    free,
+                }),
+                stats: PoolStats::default(),
+            }),
         }
     }
 
@@ -99,44 +225,84 @@ impl BufferPool {
     pub fn unbuffered(device: Box<dyn BlockDevice>) -> Self {
         let page_size = device.page_size();
         BufferPool {
-            device,
-            mode: Mode::Unbuffered {
-                scratch: vec![0u8; page_size].into_boxed_slice(),
-            },
-            stats: PoolStats::default(),
+            repr: Repr::Exclusive(Exclusive {
+                device,
+                mode: Mode::Unbuffered {
+                    scratch: vec![0u8; page_size].into_boxed_slice(),
+                },
+                stats: PoolStats::default(),
+            }),
+        }
+    }
+
+    /// Create a sharded caching pool usable from many reader threads; see
+    /// [`crate::shared::SharedBufferPool`]. `shards` must be a power of two.
+    #[cfg(feature = "shared")]
+    pub fn new_shared(
+        device: Box<dyn BlockDevice>,
+        kind: ReplacementKind,
+        alloc: AllocPolicy,
+        shards: usize,
+    ) -> Self {
+        BufferPool {
+            repr: Repr::Shared(crate::shared::SharedBufferPool::new(
+                device, kind, alloc, shards,
+            )),
+        }
+    }
+
+    /// Create a pass-through pool whose reads may run concurrently.
+    #[cfg(feature = "shared")]
+    pub fn unbuffered_shared(device: Box<dyn BlockDevice>) -> Self {
+        BufferPool {
+            repr: Repr::Shared(crate::shared::SharedBufferPool::unbuffered(device)),
+        }
+    }
+
+    /// A cheap clonable `Send + Sync` handle onto this pool, when it was
+    /// built in a shared mode ([`BufferPool::new_shared`] /
+    /// [`BufferPool::unbuffered_shared`]); `None` for exclusive pools.
+    #[cfg(feature = "shared")]
+    pub fn shared_handle(&self) -> Option<crate::shared::SharedBufferPool> {
+        match &self.repr {
+            Repr::Exclusive(_) => None,
+            Repr::Shared(s) => Some(s.clone()),
         }
     }
 
     /// Page size of the underlying device.
     pub fn page_size(&self) -> usize {
-        self.device.page_size()
+        match &self.repr {
+            Repr::Exclusive(x) => x.device.page_size(),
+            #[cfg(feature = "shared")]
+            Repr::Shared(s) => s.page_size(),
+        }
     }
 
     /// Number of addressable pages.
     pub fn num_pages(&self) -> u32 {
-        self.device.num_pages()
+        match &self.repr {
+            Repr::Exclusive(x) => x.device.num_pages(),
+            #[cfg(feature = "shared")]
+            Repr::Shared(s) => s.num_pages(),
+        }
     }
 
     /// Grow the device (see [`BlockDevice::ensure_pages`]).
     pub fn ensure_pages(&mut self, pages: u32) -> Result<(), OsError> {
-        self.device.ensure_pages(pages)
+        match &mut self.repr {
+            Repr::Exclusive(x) => x.device.ensure_pages(pages),
+            #[cfg(feature = "shared")]
+            Repr::Shared(s) => s.ensure_pages(pages),
+        }
     }
 
     /// Run `f` over an immutable view of the page.
     pub fn with_page<R>(&mut self, page: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R, OsError> {
-        match &mut self.mode {
-            Mode::Unbuffered { scratch } => {
-                self.stats.misses += 1;
-                self.device.read_page(page, scratch)?;
-                Ok(f(scratch))
-            }
-            Mode::Cached { .. } => {
-                let idx = self.frame_for(page)?;
-                let Mode::Cached { frames, .. } = &self.mode else {
-                    unreachable!()
-                };
-                Ok(f(&frames[idx].data))
-            }
+        match &mut self.repr {
+            Repr::Exclusive(x) => x.with_page(page, f),
+            #[cfg(feature = "shared")]
+            Repr::Shared(s) => s.with_page(page, f),
         }
     }
 
@@ -147,156 +313,104 @@ impl BufferPool {
         page: PageId,
         f: impl FnOnce(&mut [u8]) -> R,
     ) -> Result<R, OsError> {
-        match &mut self.mode {
-            Mode::Unbuffered { scratch } => {
-                self.stats.misses += 1;
-                self.device.read_page(page, scratch)?;
-                let r = f(scratch);
-                self.device.write_page(page, scratch)?;
-                Ok(r)
-            }
-            Mode::Cached { .. } => {
-                let idx = self.frame_for(page)?;
-                let Mode::Cached { frames, .. } = &mut self.mode else {
-                    unreachable!()
-                };
-                frames[idx].dirty = true;
-                Ok(f(&mut frames[idx].data))
-            }
+        match &mut self.repr {
+            Repr::Exclusive(x) => x.with_page_mut(page, f),
+            #[cfg(feature = "shared")]
+            Repr::Shared(s) => s.with_page_mut(page, f),
         }
-    }
-
-    /// Locate (or load) the frame holding `page`.
-    fn frame_for(&mut self, page: PageId) -> Result<FrameIdx, OsError> {
-        let Mode::Cached {
-            frames,
-            map,
-            policy,
-            allocator,
-            free,
-        } = &mut self.mode
-        else {
-            unreachable!("frame_for only called in cached mode")
-        };
-
-        if let Some(&idx) = map.get(&page) {
-            self.stats.hits += 1;
-            policy.on_access(idx);
-            return Ok(idx);
-        }
-        self.stats.misses += 1;
-
-        // Find a frame: an empty pre-allocated one, a fresh allocation, or
-        // an eviction victim.
-        let idx = if let Some(idx) = free.pop() {
-            idx
-        } else if allocator.try_acquire() {
-            let idx = frames.len();
-            frames.push(Frame {
-                page: None,
-                data: vec![0u8; self.device.page_size()].into_boxed_slice(),
-                dirty: false,
-            });
-            policy.resize(frames.len());
-            idx
-        } else {
-            let victim = policy
-                .victim()
-                .ok_or_else(|| OsError::Io("buffer pool has no evictable frame".to_string()))?;
-            let fr = &mut frames[victim];
-            if fr.dirty {
-                let old = fr.page.expect("victim frame holds a page");
-                self.device.write_page(old, &fr.data)?;
-                self.stats.writebacks += 1;
-            }
-            if let Some(old) = fr.page.take() {
-                map.remove(&old);
-            }
-            fr.dirty = false;
-            policy.on_remove(victim);
-            self.stats.evictions += 1;
-            victim
-        };
-
-        self.device.read_page(page, &mut frames[idx].data)?;
-        frames[idx].page = Some(page);
-        map.insert(page, idx);
-        policy.on_insert(idx);
-        Ok(idx)
     }
 
     /// Write back every dirty frame (without a device sync).
     pub fn flush(&mut self) -> Result<(), OsError> {
-        if let Mode::Cached { frames, .. } = &mut self.mode {
-            for fr in frames.iter_mut() {
-                if fr.dirty {
-                    let page = fr.page.expect("dirty frame holds a page");
-                    self.device.write_page(page, &fr.data)?;
-                    fr.dirty = false;
-                    self.stats.writebacks += 1;
-                }
-            }
+        match &mut self.repr {
+            Repr::Exclusive(x) => x.flush(),
+            #[cfg(feature = "shared")]
+            Repr::Shared(s) => s.flush(),
         }
-        Ok(())
     }
 
     /// Flush and issue a durability barrier on the device.
     pub fn sync(&mut self) -> Result<(), OsError> {
-        self.flush()?;
-        self.device.sync()
+        match &mut self.repr {
+            Repr::Exclusive(x) => {
+                x.flush()?;
+                x.device.sync()
+            }
+            #[cfg(feature = "shared")]
+            Repr::Shared(s) => s.sync(),
+        }
     }
 
     /// Drop `page` from the cache (without write-back); used by the pager
     /// when a page is freed.
     pub fn discard(&mut self, page: PageId) {
-        if let Mode::Cached {
-            frames,
-            map,
-            policy,
-            free,
-            ..
-        } = &mut self.mode
-        {
-            if let Some(idx) = map.remove(&page) {
-                frames[idx].page = None;
-                frames[idx].dirty = false;
-                policy.on_remove(idx);
-                free.push(idx);
+        match &mut self.repr {
+            Repr::Exclusive(x) => {
+                if let Mode::Cached(c) = &mut x.mode {
+                    if let Some(idx) = c.map.remove(&page) {
+                        c.frames[idx].page = None;
+                        c.frames[idx].dirty = false;
+                        c.policy.on_remove(idx);
+                        c.free.push(idx);
+                    }
+                }
             }
+            #[cfg(feature = "shared")]
+            Repr::Shared(s) => s.discard(page),
         }
     }
 
     /// Is the page currently resident?
     pub fn contains(&self, page: PageId) -> bool {
-        match &self.mode {
-            Mode::Unbuffered { .. } => false,
-            Mode::Cached { map, .. } => map.contains_key(&page),
+        match &self.repr {
+            Repr::Exclusive(x) => match &x.mode {
+                Mode::Unbuffered { .. } => false,
+                Mode::Cached(c) => c.map.contains_key(&page),
+            },
+            #[cfg(feature = "shared")]
+            Repr::Shared(s) => s.contains(page),
         }
     }
 
     /// Number of frames currently allocated.
     pub fn frame_count(&self) -> usize {
-        match &self.mode {
-            Mode::Unbuffered { .. } => 0,
-            Mode::Cached { frames, .. } => frames.len(),
+        match &self.repr {
+            Repr::Exclusive(x) => match &x.mode {
+                Mode::Unbuffered { .. } => 0,
+                Mode::Cached(c) => c.frames.len(),
+            },
+            #[cfg(feature = "shared")]
+            Repr::Shared(s) => s.frame_count(),
         }
     }
 
     /// Pool counters.
     pub fn stats(&self) -> PoolStats {
-        self.stats
+        match &self.repr {
+            Repr::Exclusive(x) => x.stats,
+            #[cfg(feature = "shared")]
+            Repr::Shared(s) => s.stats(),
+        }
     }
 
     /// Device counters (I/O actually performed).
     pub fn device_stats(&self) -> DeviceStats {
-        self.device.stats()
+        match &self.repr {
+            Repr::Exclusive(x) => x.device.stats(),
+            #[cfg(feature = "shared")]
+            Repr::Shared(s) => s.device_stats(),
+        }
     }
 
     /// Name of the replacement policy, or `"none"` in pass-through mode.
     pub fn policy_name(&self) -> &'static str {
-        match &self.mode {
-            Mode::Unbuffered { .. } => "none",
-            Mode::Cached { policy, .. } => policy.name(),
+        match &self.repr {
+            Repr::Exclusive(x) => match &x.mode {
+                Mode::Unbuffered { .. } => "none",
+                Mode::Cached(c) => c.policy.name(),
+            },
+            #[cfg(feature = "shared")]
+            Repr::Shared(s) => s.policy_name(),
         }
     }
 }
@@ -441,6 +555,19 @@ mod tests {
         // Every access is a device I/O.
         assert_eq!(p.device_stats().reads, 2);
         assert_eq!(p.device_stats().writes, 1);
+    }
+
+    #[test]
+    fn unbuffered_mutation_counts_one_access() {
+        let mut dev = InMemoryDevice::new(128);
+        dev.ensure_pages(4).unwrap();
+        let mut p = BufferPool::unbuffered(Box::new(dev));
+        p.with_page_mut(0, |b| b[0] = 1).unwrap();
+        p.with_page(0, |_| ()).unwrap();
+        // One miss per logical access, even though the mutation issued a
+        // device read *and* a device write.
+        let s = p.stats();
+        assert_eq!((s.hits, s.misses), (0, 2));
     }
 
     #[test]

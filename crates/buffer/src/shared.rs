@@ -1,0 +1,695 @@
+//! Sharded latch-based buffer pool: feature *Buffer Manager → Concurrency
+//! → MultiReader* of the (extended) Figure 2 diagram.
+//!
+//! [`SharedBufferPool`] is a cheap-clone `Send + Sync` handle onto one pool
+//! image shared by many threads. The page table and frame arena are split
+//! into `N` power-of-two shards, each behind its own `parking_lot::RwLock`,
+//! so point reads on different shards never contend:
+//!
+//! * a **hit** takes only the shard's *read* latch — many readers proceed
+//!   in parallel — and records recency/frequency in per-frame atomics;
+//! * a **miss** upgrades to the shard's *write* latch, picks a victim by
+//!   scanning the shard's (small) frame arena, writes back dirty victims,
+//!   and loads the page — via [`fame_os::BlockDevice::read_page_at`]
+//!   (pread-style, under the device's read latch) when the device supports
+//!   shared reads, else under the device's write latch;
+//! * **mutations** ([`SharedBufferPool::with_page_mut`]) take the shard's
+//!   write latch; the engine above remains single-writer.
+//!
+//! Lock order is always shard latch → device latch; no path holds two
+//! shard latches, so the pool is deadlock-free by construction.
+//!
+//! The exclusive pool's heap-based [`crate::ReplacementPolicy`] objects
+//! need `&mut self` on every access and therefore cannot run under a read
+//! latch. The shared pool instead keeps an `AtomicU64` recency stamp and
+//! access count per frame (updated with relaxed stores on the hit path)
+//! and derives the victim at eviction time: minimum stamp for LRU/Clock,
+//! minimum `(count, stamp)` for LFU. The policies' *selection* behaviour is
+//! preserved; only the bookkeeping moved from heaps to per-frame atomics.
+//!
+//! Per-frame pin counts are an invariant guard: under the current protocol
+//! the shard latch already excludes eviction while a reader is inside the
+//! closure, and the victim scan additionally refuses pinned frames, so the
+//! pool stays correct if the latching is ever relaxed to per-frame locks.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+use fame_os::{AllocPolicy, BlockDevice, DeviceStats, FrameAllocator, OsError, PageId};
+use parking_lot::RwLock;
+
+use crate::pool::PoolStats;
+use crate::replacement::ReplacementKind;
+
+/// Default shard count used when a product enables MultiReader without
+/// choosing one.
+pub const DEFAULT_SHARDS: usize = 8;
+
+struct SharedFrame {
+    page: Option<PageId>,
+    data: Box<[u8]>,
+    dirty: bool,
+    /// Tick of the most recent access (global clock); LRU victim = minimum.
+    stamp: AtomicU64,
+    /// Number of accesses since load; LFU victim = minimum `(count, stamp)`.
+    count: AtomicU64,
+    /// Readers currently inside the access closure.
+    pins: AtomicU32,
+}
+
+impl SharedFrame {
+    fn new(page_size: usize) -> Self {
+        SharedFrame {
+            page: None,
+            data: vec![0u8; page_size].into_boxed_slice(),
+            dirty: false,
+            stamp: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            pins: AtomicU32::new(0),
+        }
+    }
+
+    fn touch(&self, clock: &AtomicU64) {
+        self.stamp.store(clock.fetch_add(1, Relaxed) + 1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+    }
+}
+
+struct Shard {
+    frames: Vec<SharedFrame>,
+    map: HashMap<PageId, usize>,
+    free: Vec<usize>,
+    allocator: FrameAllocator,
+}
+
+enum SharedMode {
+    /// Pass-through: every access touches the device (thread-local scratch).
+    Unbuffered,
+    /// Sharded cache.
+    Cached {
+        kind: ReplacementKind,
+        shards: Vec<RwLock<Shard>>,
+        /// `shards.len() - 1`; shard of page `p` is `p & mask`.
+        mask: usize,
+        /// Global access tick for recency stamps.
+        clock: AtomicU64,
+    },
+}
+
+#[derive(Default)]
+struct AtomicStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    writebacks: AtomicU64,
+}
+
+struct PoolInner {
+    device: RwLock<Box<dyn BlockDevice>>,
+    /// Captured at construction; devices never change their answer.
+    shared_read: bool,
+    page_size: usize,
+    mode: SharedMode,
+    stats: AtomicStats,
+}
+
+/// The `Send + Sync` sharded pool handle. Cloning is cheap (one `Arc`);
+/// all clones address the same frames, page table, and device.
+pub struct SharedBufferPool {
+    inner: Arc<PoolInner>,
+}
+
+impl Clone for SharedBufferPool {
+    fn clone(&self) -> Self {
+        SharedBufferPool {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// This shard's slice of the pool-wide frame budget, remainder spread over
+/// the low shards, at least one frame each so every shard can make progress.
+fn shard_share(total: usize, shard: usize, n: usize) -> usize {
+    (total / n + usize::from(shard < total % n)).max(1)
+}
+
+fn shard_alloc(alloc: AllocPolicy, shard: usize, n: usize) -> AllocPolicy {
+    match alloc {
+        AllocPolicy::Static { frames } => AllocPolicy::Static {
+            frames: shard_share(frames, shard, n),
+        },
+        AllocPolicy::Dynamic { max_frames } => AllocPolicy::Dynamic {
+            max_frames: max_frames.map(|m| shard_share(m, shard, n)),
+        },
+    }
+}
+
+thread_local! {
+    /// Scratch page for unbuffered shared access. Thread-local because the
+    /// closure API hands out `&[u8]` without `&mut self` to borrow from.
+    static SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
+
+impl SharedBufferPool {
+    /// Create a sharded caching pool. `shards` must be a power of two
+    /// (panics otherwise); the frame budget of `alloc` is split across
+    /// shards.
+    pub fn new(
+        device: Box<dyn BlockDevice>,
+        kind: ReplacementKind,
+        alloc: AllocPolicy,
+        shards: usize,
+    ) -> Self {
+        assert!(
+            shards.is_power_of_two(),
+            "shard count {shards} is not a power of two"
+        );
+        let page_size = device.page_size();
+        let shared_read = device.supports_shared_read();
+        let mut vec = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let alloc = shard_alloc(alloc, i, shards);
+            let prealloc = alloc.preallocate();
+            let mut allocator = FrameAllocator::new(alloc);
+            let mut frames = Vec::with_capacity(prealloc);
+            for _ in 0..prealloc {
+                let ok = allocator.try_acquire();
+                debug_assert!(ok, "preallocation within static arena");
+                frames.push(SharedFrame::new(page_size));
+            }
+            let free = (0..frames.len()).rev().collect();
+            vec.push(RwLock::new(Shard {
+                frames,
+                map: HashMap::new(),
+                free,
+                allocator,
+            }));
+        }
+        SharedBufferPool {
+            inner: Arc::new(PoolInner {
+                device: RwLock::new(device),
+                shared_read,
+                page_size,
+                mode: SharedMode::Cached {
+                    kind,
+                    mask: shards - 1,
+                    shards: vec,
+                    clock: AtomicU64::new(0),
+                },
+                stats: AtomicStats::default(),
+            }),
+        }
+    }
+
+    /// Create a pass-through pool whose reads may run concurrently (the
+    /// unbuffered configurations of the E8 experiment).
+    pub fn unbuffered(device: Box<dyn BlockDevice>) -> Self {
+        let page_size = device.page_size();
+        let shared_read = device.supports_shared_read();
+        SharedBufferPool {
+            inner: Arc::new(PoolInner {
+                device: RwLock::new(device),
+                shared_read,
+                page_size,
+                mode: SharedMode::Unbuffered,
+                stats: AtomicStats::default(),
+            }),
+        }
+    }
+
+    /// Page size of the underlying device.
+    pub fn page_size(&self) -> usize {
+        self.inner.page_size
+    }
+
+    /// Number of addressable pages.
+    pub fn num_pages(&self) -> u32 {
+        self.inner.device.read().num_pages()
+    }
+
+    /// Grow the device (see [`BlockDevice::ensure_pages`]).
+    pub fn ensure_pages(&self, pages: u32) -> Result<(), OsError> {
+        self.inner.device.write().ensure_pages(pages)
+    }
+
+    /// Read a page from the device into `buf` — concurrently with other
+    /// readers when the device supports it, else under the write latch.
+    fn device_read(&self, page: PageId, buf: &mut [u8]) -> Result<(), OsError> {
+        if self.inner.shared_read {
+            self.inner.device.read().read_page_at(page, buf)
+        } else {
+            self.inner.device.write().read_page(page, buf)
+        }
+    }
+
+    /// Run `f` over an immutable view of the page. Hits take only the
+    /// shard's read latch.
+    pub fn with_page<R>(&self, page: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R, OsError> {
+        match &self.inner.mode {
+            SharedMode::Unbuffered => {
+                self.inner.stats.misses.fetch_add(1, Relaxed);
+                SCRATCH.with(|s| {
+                    let mut s = s.borrow_mut();
+                    s.resize(self.inner.page_size, 0);
+                    self.device_read(page, &mut s)?;
+                    Ok(f(&s))
+                })
+            }
+            SharedMode::Cached {
+                shards,
+                mask,
+                clock,
+                ..
+            } => {
+                let shard = &shards[page as usize & mask];
+                {
+                    let s = shard.read();
+                    if let Some(&idx) = s.map.get(&page) {
+                        let fr = &s.frames[idx];
+                        fr.pins.fetch_add(1, Relaxed);
+                        fr.touch(clock);
+                        self.inner.stats.hits.fetch_add(1, Relaxed);
+                        let r = f(&fr.data);
+                        fr.pins.fetch_sub(1, Relaxed);
+                        return Ok(r);
+                    }
+                }
+                let mut s = shard.write();
+                let idx = self.frame_for(&mut s, page)?;
+                Ok(f(&s.frames[idx].data))
+            }
+        }
+    }
+
+    /// Run `f` over a mutable view of the page (shard write latch). The
+    /// engine above stays single-writer; this exists so the one writer can
+    /// share the pool image with its readers.
+    pub fn with_page_mut<R>(
+        &self,
+        page: PageId,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> Result<R, OsError> {
+        match &self.inner.mode {
+            SharedMode::Unbuffered => {
+                self.inner.stats.misses.fetch_add(1, Relaxed);
+                SCRATCH.with(|s| {
+                    let mut s = s.borrow_mut();
+                    s.resize(self.inner.page_size, 0);
+                    // Hold the device write latch across read-modify-write
+                    // so readers never observe a half-applied page.
+                    let mut dev = self.inner.device.write();
+                    dev.read_page(page, &mut s)?;
+                    let r = f(&mut s);
+                    dev.write_page(page, &s)?;
+                    Ok(r)
+                })
+            }
+            SharedMode::Cached { shards, mask, .. } => {
+                let shard = &shards[page as usize & mask];
+                let mut s = shard.write();
+                let idx = self.frame_for(&mut s, page)?;
+                let fr = &mut s.frames[idx];
+                fr.dirty = true;
+                Ok(f(&mut fr.data))
+            }
+        }
+    }
+
+    /// Locate (or load) the frame for `page` within its shard, with the
+    /// shard write latch held.
+    fn frame_for(&self, s: &mut Shard, page: PageId) -> Result<usize, OsError> {
+        let SharedMode::Cached { kind, clock, .. } = &self.inner.mode else {
+            unreachable!("frame_for only called in cached mode");
+        };
+        // Re-check under the write latch: another thread may have loaded
+        // the page between our read probe and here.
+        if let Some(&idx) = s.map.get(&page) {
+            self.inner.stats.hits.fetch_add(1, Relaxed);
+            s.frames[idx].touch(clock);
+            return Ok(idx);
+        }
+        self.inner.stats.misses.fetch_add(1, Relaxed);
+
+        let idx = if let Some(idx) = s.free.pop() {
+            idx
+        } else if s.allocator.try_acquire() {
+            let idx = s.frames.len();
+            s.frames.push(SharedFrame::new(self.inner.page_size));
+            idx
+        } else {
+            let victim = pick_victim(s, *kind)
+                .ok_or_else(|| OsError::Io("buffer shard has no evictable frame".to_string()))?;
+            let fr = &mut s.frames[victim];
+            if fr.dirty {
+                let old = fr.page.expect("victim frame holds a page");
+                self.inner.device.write().write_page(old, &fr.data)?;
+                self.inner.stats.writebacks.fetch_add(1, Relaxed);
+            }
+            if let Some(old) = fr.page.take() {
+                s.map.remove(&old);
+            }
+            fr.dirty = false;
+            self.inner.stats.evictions.fetch_add(1, Relaxed);
+            victim
+        };
+
+        self.device_read(page, &mut s.frames[idx].data)?;
+        let fr = &mut s.frames[idx];
+        fr.page = Some(page);
+        fr.count.store(0, Relaxed);
+        fr.touch(clock);
+        s.map.insert(page, idx);
+        Ok(idx)
+    }
+
+    /// Write back every dirty frame (no device sync).
+    pub fn flush(&self) -> Result<(), OsError> {
+        if let SharedMode::Cached { shards, .. } = &self.inner.mode {
+            for shard in shards {
+                let mut s = shard.write();
+                for fr in s.frames.iter_mut() {
+                    if fr.dirty {
+                        let page = fr.page.expect("dirty frame holds a page");
+                        self.inner.device.write().write_page(page, &fr.data)?;
+                        fr.dirty = false;
+                        self.inner.stats.writebacks.fetch_add(1, Relaxed);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush and issue a durability barrier on the device.
+    pub fn sync(&self) -> Result<(), OsError> {
+        self.flush()?;
+        self.inner.device.write().sync()
+    }
+
+    /// Drop `page` from the cache without write-back.
+    pub fn discard(&self, page: PageId) {
+        if let SharedMode::Cached { shards, mask, .. } = &self.inner.mode {
+            let mut s = shards[page as usize & mask].write();
+            if let Some(idx) = s.map.remove(&page) {
+                s.frames[idx].page = None;
+                s.frames[idx].dirty = false;
+                s.free.push(idx);
+            }
+        }
+    }
+
+    /// Is the page currently resident?
+    pub fn contains(&self, page: PageId) -> bool {
+        match &self.inner.mode {
+            SharedMode::Unbuffered => false,
+            SharedMode::Cached { shards, mask, .. } => {
+                shards[page as usize & mask].read().map.contains_key(&page)
+            }
+        }
+    }
+
+    /// Total frames currently allocated across all shards.
+    pub fn frame_count(&self) -> usize {
+        match &self.inner.mode {
+            SharedMode::Unbuffered => 0,
+            SharedMode::Cached { shards, .. } => shards.iter().map(|s| s.read().frames.len()).sum(),
+        }
+    }
+
+    /// Number of shards (1 in pass-through mode).
+    pub fn shard_count(&self) -> usize {
+        match &self.inner.mode {
+            SharedMode::Unbuffered => 1,
+            SharedMode::Cached { shards, .. } => shards.len(),
+        }
+    }
+
+    /// Pool counters (aggregated over all threads).
+    pub fn stats(&self) -> PoolStats {
+        let s = &self.inner.stats;
+        PoolStats {
+            hits: s.hits.load(Relaxed),
+            misses: s.misses.load(Relaxed),
+            evictions: s.evictions.load(Relaxed),
+            writebacks: s.writebacks.load(Relaxed),
+        }
+    }
+
+    /// Device counters.
+    pub fn device_stats(&self) -> DeviceStats {
+        self.inner.device.read().stats()
+    }
+
+    /// Replacement policy name, or `"none"` in pass-through mode.
+    pub fn policy_name(&self) -> &'static str {
+        match &self.inner.mode {
+            SharedMode::Unbuffered => "none",
+            SharedMode::Cached { kind, .. } => kind.name(),
+        }
+    }
+}
+
+impl Drop for PoolInner {
+    fn drop(&mut self) {
+        // Best-effort write-back when the last handle goes away. `&mut
+        // self` proves exclusivity, so plain lock calls cannot deadlock.
+        if let SharedMode::Cached { shards, .. } = &mut self.mode {
+            let dev = self.device.get_mut();
+            for shard in shards {
+                let s = shard.get_mut();
+                for fr in s.frames.iter_mut() {
+                    if fr.dirty {
+                        if let Some(page) = fr.page {
+                            let _ = dev.write_page(page, &fr.data);
+                            fr.dirty = false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Victim selection by scanning the shard's frames: LRU (and Clock, which
+/// approximates recency) evict the minimum stamp, LFU the minimum
+/// `(count, stamp)`. Pinned frames are never chosen.
+fn pick_victim(s: &Shard, kind: ReplacementKind) -> Option<usize> {
+    let mut best: Option<(u128, usize)> = None;
+    for (i, fr) in s.frames.iter().enumerate() {
+        if fr.page.is_none() || fr.pins.load(Relaxed) != 0 {
+            continue;
+        }
+        let stamp = fr.stamp.load(Relaxed) as u128;
+        let score = match kind {
+            #[cfg(feature = "lfu")]
+            ReplacementKind::Lfu => ((fr.count.load(Relaxed) as u128) << 64) | stamp,
+            _ => stamp,
+        };
+        if best.map(|(b, _)| score < b).unwrap_or(true) {
+            best = Some((score, i));
+        }
+    }
+    best.map(|(_, i)| i)
+}
+
+#[cfg(all(test, feature = "lru"))]
+mod tests {
+    use super::*;
+    use fame_os::InMemoryDevice;
+    use std::thread;
+
+    fn device(pages: u32) -> Box<dyn BlockDevice> {
+        let mut dev = InMemoryDevice::new(128);
+        dev.ensure_pages(pages).unwrap();
+        Box::new(dev)
+    }
+
+    fn pool(frames: usize, shards: usize) -> SharedBufferPool {
+        SharedBufferPool::new(
+            device(64),
+            ReplacementKind::Lru,
+            AllocPolicy::Static { frames },
+            shards,
+        )
+    }
+
+    #[test]
+    fn read_your_writes() {
+        let p = pool(8, 4);
+        p.with_page_mut(3, |b| b[0] = 42).unwrap();
+        assert_eq!(p.with_page(3, |b| b[0]).unwrap(), 42);
+    }
+
+    #[test]
+    fn clones_share_one_image() {
+        let a = pool(8, 2);
+        let b = a.clone();
+        a.with_page_mut(5, |buf| buf[0] = 9).unwrap();
+        assert_eq!(b.with_page(5, |buf| buf[0]).unwrap(), 9);
+        // One hit was counted somewhere in the two accesses.
+        assert_eq!(b.stats().hits + a.stats().misses, 2);
+    }
+
+    #[test]
+    fn eviction_writes_back_and_reloads() {
+        // 1 shard, 2 frames: third page forces an eviction.
+        let p = pool(2, 1);
+        p.with_page_mut(0, |b| b[0] = 10).unwrap();
+        p.with_page_mut(1, |b| b[0] = 11).unwrap();
+        p.with_page(2, |_| ()).unwrap();
+        p.with_page(3, |_| ()).unwrap();
+        assert!(!p.contains(0));
+        let s = p.stats();
+        assert_eq!(s.evictions, 2);
+        assert_eq!(s.writebacks, 2);
+        assert_eq!(p.with_page(0, |b| b[0]).unwrap(), 10);
+        assert_eq!(p.with_page(1, |b| b[0]).unwrap(), 11);
+    }
+
+    #[test]
+    fn lru_scan_evicts_coldest() {
+        let p = pool(2, 1);
+        p.with_page(0, |_| ()).unwrap();
+        p.with_page(1, |_| ()).unwrap();
+        p.with_page(0, |_| ()).unwrap(); // 1 is now coldest
+        p.with_page(2, |_| ()).unwrap(); // evicts 1
+        assert!(p.contains(0));
+        assert!(!p.contains(1));
+        assert!(p.contains(2));
+    }
+
+    #[cfg(feature = "lfu")]
+    #[test]
+    fn lfu_scan_keeps_hot_page() {
+        let p = SharedBufferPool::new(
+            device(64),
+            ReplacementKind::Lfu,
+            AllocPolicy::Static { frames: 2 },
+            1,
+        );
+        for _ in 0..5 {
+            p.with_page(0, |_| ()).unwrap();
+        }
+        p.with_page(1, |_| ()).unwrap();
+        p.with_page(2, |_| ()).unwrap(); // evicts 1 (cold), not 0
+        assert!(p.contains(0));
+        assert!(!p.contains(1));
+    }
+
+    #[test]
+    fn shards_partition_pages() {
+        let p = pool(8, 4);
+        for page in 0..16 {
+            p.with_page(page, |_| ()).unwrap();
+        }
+        assert_eq!(p.shard_count(), 4);
+        // Static budget of 8 split over 4 shards = 2 frames per shard.
+        assert_eq!(p.frame_count(), 8);
+    }
+
+    #[test]
+    fn unbuffered_passes_through() {
+        let p = SharedBufferPool::unbuffered(device(8));
+        p.with_page_mut(1, |b| b[0] = 5).unwrap();
+        assert_eq!(p.with_page(1, |b| b[0]).unwrap(), 5);
+        assert_eq!(p.frame_count(), 0);
+        assert!(!p.contains(1));
+        assert_eq!(p.policy_name(), "none");
+        let s = p.stats();
+        assert_eq!((s.hits, s.misses), (0, 2));
+    }
+
+    #[test]
+    fn flush_clears_dirt_once() {
+        let p = pool(8, 2);
+        p.with_page_mut(0, |b| b[0] = 1).unwrap();
+        p.flush().unwrap();
+        p.flush().unwrap();
+        assert_eq!(p.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn discard_drops_without_writeback() {
+        let p = pool(4, 2);
+        p.with_page_mut(0, |b| b[0] = 7).unwrap();
+        p.discard(0);
+        assert!(!p.contains(0));
+        p.flush().unwrap();
+        assert_eq!(p.stats().writebacks, 0);
+        assert_eq!(p.with_page(0, |b| b[0]).unwrap(), 0);
+    }
+
+    #[test]
+    fn last_handle_flushes_on_drop() {
+        let dev = fame_os::SharedDevice::new({
+            let mut d = InMemoryDevice::new(128);
+            d.ensure_pages(4).unwrap();
+            d
+        });
+        let side = dev.clone();
+        let p = SharedBufferPool::new(
+            Box::new(dev),
+            ReplacementKind::Lru,
+            AllocPolicy::Static { frames: 4 },
+            2,
+        );
+        p.with_page_mut(2, |b| b[0] = 77).unwrap();
+        drop(p);
+        let mut out = vec![0u8; 128];
+        side.with(|d| d.read_page(2, &mut out)).unwrap();
+        assert_eq!(out[0], 77);
+    }
+
+    /// The satellite stress test at pool level: concurrent readers vs a
+    /// churn thread, every read must observe the model value.
+    #[test]
+    fn concurrent_readers_with_eviction_churn() {
+        const PAGES: u32 = 48;
+        // Small arena so the workload constantly evicts.
+        let p = SharedBufferPool::new(
+            device(PAGES),
+            ReplacementKind::Lru,
+            AllocPolicy::Static { frames: 8 },
+            4,
+        );
+        // Each page's bytes are its page id (stable model).
+        for page in 0..PAGES {
+            p.with_page_mut(page, |b| b.fill(page as u8)).unwrap();
+        }
+
+        thread::scope(|scope| {
+            for t in 0..4usize {
+                let p = p.clone();
+                scope.spawn(move || {
+                    let mut x: u64 = 0x9E3779B97F4A7C15 ^ t as u64;
+                    for _ in 0..2_000 {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let page = (x % PAGES as u64) as u32;
+                        let ok = p
+                            .with_page(page, |b| b.iter().all(|&v| v == page as u8))
+                            .unwrap();
+                        assert!(ok, "reader {t} saw torn page {page}");
+                    }
+                });
+            }
+            // Churn: rewrite pages to the same model value, forcing dirty
+            // evictions and write-backs while readers run.
+            let churn = p.clone();
+            scope.spawn(move || {
+                for round in 0..40 {
+                    for page in (round % 2..PAGES).step_by(2) {
+                        churn.with_page_mut(page, |b| b.fill(page as u8)).unwrap();
+                    }
+                }
+            });
+        });
+
+        let s = p.stats();
+        assert!(s.hits > 0, "workload must hit the cache");
+        assert!(s.evictions > 0, "workload must churn the cache");
+    }
+}

@@ -138,6 +138,12 @@ pub struct DbmsConfig {
     /// Buffer manager; `None` composes it out at runtime (pass-through).
     #[cfg(feature = "buffer")]
     pub buffer: Option<BufferConfig>,
+    /// Concurrency discipline of the pool (*Buffer Manager → Concurrency*,
+    /// alternative group: Single | MultiReader). `MultiReader` exists only
+    /// when the `concurrency-multi` feature is composed; `Single` products
+    /// compile to the exclusive pool with no latches.
+    #[cfg(feature = "buffer")]
+    pub concurrency: fame_buffer::Concurrency,
     /// Transactions.
     #[cfg(feature = "transactions")]
     pub transactions: Option<TxnConfig>,
@@ -164,6 +170,8 @@ impl DbmsConfig {
                 replacement: default_replacement(),
                 static_alloc: cfg!(feature = "alloc-static") && !cfg!(feature = "alloc-dynamic"),
             }),
+            #[cfg(feature = "buffer")]
+            concurrency: fame_buffer::Concurrency::default(),
             #[cfg(feature = "transactions")]
             transactions: None,
             #[cfg(feature = "crypto")]
@@ -225,6 +233,16 @@ impl DbmsConfig {
         if let Some(b) = &self.buffer {
             if b.frames == 0 {
                 return Err("buffer needs at least one frame".into());
+            }
+        }
+        #[cfg(feature = "concurrency-multi")]
+        if let fame_buffer::Concurrency::MultiReader { shards } = self.concurrency {
+            // 0 means "use the default"; anything else must be a power of
+            // two so the page-to-shard map stays a mask.
+            if shards != 0 && !shards.is_power_of_two() {
+                return Err(format!(
+                    "shard count {shards} must be 0 (default) or a power of two"
+                ));
             }
         }
         #[cfg(feature = "transactions")]

@@ -10,6 +10,8 @@ use fame_storage::BTree;
 use fame_storage::HashIndex;
 #[cfg(feature = "index-list")]
 use fame_storage::ListIndex;
+#[cfg(feature = "concurrency-multi")]
+use fame_storage::SharedPager;
 
 use crate::config::{DbmsConfig, IndexKind, OsTarget};
 use crate::error::{DbmsError, Result};
@@ -190,6 +192,37 @@ impl Database {
         Ok(fame_storage::check_pager(&mut self.pager)?)
     }
 
+    /// A shared read handle (feature `concurrency-multi`).
+    ///
+    /// The handle clones cheaply (an `Arc` bump), is `Send`, and answers
+    /// point lookups against the sharded pool without the writer — spawn
+    /// one clone per reader thread. Readers are safe alongside each other
+    /// and alongside buffer churn (evictions, write-backs); structural
+    /// *mutations* still belong to the single writer, so interleave them
+    /// with reads only at quiescent points.
+    ///
+    /// Errors when this instance runs `Concurrency::Single`: the product
+    /// then owns an exclusive pool with no latches to share.
+    #[cfg(feature = "concurrency-multi")]
+    pub fn reader(&self) -> Result<DbReader> {
+        let pager = self.pager.shared().ok_or_else(|| {
+            DbmsError::Config(
+                "reader() needs Concurrency::MultiReader in the runtime configuration".into(),
+            )
+        })?;
+        let kv = match &self.kv {
+            #[cfg(feature = "index-btree")]
+            Kv::BTree(_) => ReaderKv::BTree {
+                root_slot: KV_ROOT_SLOT,
+            },
+            #[cfg(feature = "index-list")]
+            Kv::List(l) => ReaderKv::List(*l),
+            #[cfg(feature = "index-hash")]
+            Kv::Hash(h) => ReaderKv::Hash(*h),
+        };
+        Ok(DbReader { pager, kv })
+    }
+
     /// Pager / buffer-pool statistics.
     pub fn pool_stats(&self) -> fame_buffer::PoolStats {
         self.pager.pool().stats()
@@ -214,7 +247,22 @@ impl Database {
     /// Look up a key (feature `api-get`).
     #[cfg(feature = "api-get")]
     pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        self.kv_get(key)
+        self.get_with(key, |v| v.to_vec())
+    }
+
+    /// Allocation-free lookup: run `f` over the value bytes in place,
+    /// without copying them out of the frame (feature `api-get`).
+    /// [`get`](Self::get) is the `to_vec` wrapper over this.
+    #[cfg(feature = "api-get")]
+    pub fn get_with<R>(&mut self, key: &[u8], f: impl FnOnce(&[u8]) -> R) -> Result<Option<R>> {
+        match &self.kv {
+            #[cfg(feature = "index-btree")]
+            Kv::BTree(t) => Ok(t.get_with(&mut self.pager, key, f)?),
+            #[cfg(feature = "index-list")]
+            Kv::List(l) => Ok(l.get_with(&mut self.pager, key, f)?),
+            #[cfg(feature = "index-hash")]
+            Kv::Hash(h) => Ok(h.get_with(&mut self.pager, key, f)?),
+        }
     }
 
     /// Remove a key; returns whether it existed (feature `api-remove`).
@@ -681,6 +729,70 @@ impl TxnHandle {
     }
 }
 
+/// Read-only dispatch state of a [`DbReader`]: which index to search and
+/// where its root lives. All three handles are `Copy`; only the B+-tree's
+/// root page can move (splits), so the reader re-resolves it per lookup.
+#[cfg(feature = "concurrency-multi")]
+#[derive(Clone, Copy)]
+enum ReaderKv {
+    #[cfg(feature = "index-btree")]
+    BTree { root_slot: usize },
+    #[cfg(feature = "index-list")]
+    List(ListIndex),
+    #[cfg(feature = "index-hash")]
+    Hash(HashIndex),
+}
+
+/// A concurrent read handle obtained from [`Database::reader`] (feature
+/// `concurrency-multi`).
+///
+/// Internally an `Arc` over the sharded pool: cloning is cheap and each
+/// clone serves lookups independently, taking only per-shard read latches
+/// on cache hits. The `&mut self` receivers are a formality of the
+/// [`fame_storage::PageRead`] trait — no writer lock exists on this path.
+#[cfg(feature = "concurrency-multi")]
+#[derive(Clone)]
+pub struct DbReader {
+    pager: SharedPager,
+    kv: ReaderKv,
+}
+
+#[cfg(feature = "concurrency-multi")]
+impl DbReader {
+    /// Look up a key.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.get_with(key, |v| v.to_vec())
+    }
+
+    /// Allocation-free lookup: run `f` over the value bytes in place.
+    pub fn get_with<R>(&mut self, key: &[u8], f: impl FnOnce(&[u8]) -> R) -> Result<Option<R>> {
+        match self.kv {
+            #[cfg(feature = "index-btree")]
+            ReaderKv::BTree { root_slot } => {
+                let root = self
+                    .pager
+                    .root(root_slot)?
+                    .ok_or(fame_storage::StorageError::NotFound)?;
+                Ok(BTree::at_root(root, root_slot).get_with(&mut self.pager, key, f)?)
+            }
+            #[cfg(feature = "index-list")]
+            ReaderKv::List(l) => Ok(l.get_with(&mut self.pager, key, f)?),
+            #[cfg(feature = "index-hash")]
+            ReaderKv::Hash(h) => Ok(h.get_with(&mut self.pager, key, f)?),
+        }
+    }
+
+    /// `true` when the key exists.
+    pub fn contains(&mut self, key: &[u8]) -> Result<bool> {
+        Ok(self.get_with(key, |_| ())?.is_some())
+    }
+
+    /// Counters of the shared pool (aggregated over all handles).
+    pub fn pool_stats(&self) -> fame_buffer::PoolStats {
+        self.pager.pool().stats()
+    }
+}
+
 /// Borrowed handle to the queue access method.
 #[cfg(feature = "index-queue")]
 pub struct QueueHandle<'a> {
@@ -881,6 +993,18 @@ impl BlockDevice for WrapCrypto {
 fn make_pool(config: &DbmsConfig, device: Box<dyn BlockDevice>) -> BufferPool {
     #[cfg(feature = "buffer")]
     {
+        #[cfg(feature = "concurrency-multi")]
+        if let fame_buffer::Concurrency::MultiReader { shards } = config.concurrency {
+            let shards = if shards == 0 {
+                fame_buffer::DEFAULT_SHARDS
+            } else {
+                shards
+            };
+            return match &config.buffer {
+                Some(b) => BufferPool::new_shared(device, b.replacement, b.policy(), shards),
+                None => BufferPool::unbuffered_shared(device),
+            };
+        }
         match &config.buffer {
             Some(b) => BufferPool::new(device, b.replacement, b.policy()),
             None => BufferPool::unbuffered(device),

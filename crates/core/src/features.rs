@@ -36,6 +36,7 @@ pub fn active_features() -> Vec<&'static str> {
         "buffer",
         "replace-lru",
         "replace-lfu",
+        "concurrency-multi",
         "alloc-static",
         "alloc-dynamic",
         "os-std",
@@ -146,6 +147,19 @@ pub fn model_configuration(
             select("Static");
         } else {
             select("Dynamic");
+        }
+        select("Concurrency");
+        #[cfg(feature = "concurrency-multi")]
+        let multi = matches!(
+            config.concurrency,
+            fame_buffer::Concurrency::MultiReader { .. }
+        );
+        #[cfg(not(feature = "concurrency-multi"))]
+        let multi = false;
+        if multi {
+            select("MultiReader");
+        } else {
+            select("Single");
         }
     }
 

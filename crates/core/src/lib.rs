@@ -68,10 +68,14 @@ pub use db::Database;
 pub use error::DbmsError;
 pub use features::{active_features, model_configuration};
 
+#[cfg(feature = "concurrency-multi")]
+pub use db::DbReader;
 #[cfg(feature = "statistics")]
 pub use db::DbStats;
 #[cfg(feature = "transactions")]
 pub use db::TxnHandle;
+#[cfg(feature = "buffer")]
+pub use fame_buffer::Concurrency;
 
 // Re-export the substrate crates so applications need only one dependency.
 pub use fame_buffer;

@@ -28,7 +28,8 @@ use crate::model::{FeatureModel, GroupKind, ModelBuilder};
 /// ├── OS-Abstraction            (mandatory; alternative: Linux | Win32 | NutOS)
 /// ├── BufferManager             (optional)
 /// │   ├── Replacement           (mandatory; alternative: LFU | LRU)
-/// │   └── MemoryAlloc           (mandatory; alternative: Dynamic | Static)
+/// │   ├── MemoryAlloc           (mandatory; alternative: Dynamic | Static)
+/// │   └── Concurrency           (mandatory; alternative: Single | MultiReader)
 /// ├── Storage                   (mandatory)
 /// │   ├── Index                 (mandatory; or: B+-Tree | List)
 /// │   │   ├── B+-Tree: BTreeSearch (mand.), BTreeUpdate, BTreeRemove (opt.)
@@ -93,6 +94,30 @@ pub fn fame_dbms() -> FeatureModel {
     b.attr(dynamic, "ram_bytes", 4_096.0);
     let stat = b.optional(alloc, "Static");
     b.attr(stat, "rom_bytes", 400.0);
+    // Concurrency is not drawn in Figure 2, but §2.1 lists "concurrency
+    // control strategies" among the dimensions an embedded DBMS must be
+    // tailored in; it slots below BufferManager because the latch protocol
+    // lives in the frame table. `Single` is listed first so heuristic
+    // completion defaults to the sequential product.
+    let conc = b.mandatory(buf, "Concurrency");
+    b.group(conc, GroupKind::Alternative);
+    let single = b.optional(conc, "Single");
+    b.attr(single, "rom_bytes", 0.0);
+    b.doc(
+        single,
+        "Exclusive single-threaded pool; no latches compiled in",
+    );
+    // No `perf` attribute on MultiReader: the scalar models per-access
+    // speed, and latching makes a single access marginally *slower*. The
+    // win — aggregate read throughput scaling with threads — is outside
+    // what a per-product scalar can express; experiment E8 measures it.
+    let multi = b.optional(conc, "MultiReader");
+    b.attr(multi, "rom_bytes", 2_600.0);
+    b.attr(multi, "ram_bytes", 512.0);
+    b.doc(
+        multi,
+        "Sharded latch-based pool: concurrent readers, single writer",
+    );
 
     // --- Storage ----------------------------------------------------------
     let storage = b.mandatory(root, "Storage");

@@ -68,7 +68,7 @@ pub struct DeviceStats {
 /// All engine I/O goes through this trait, which is the whole point of the
 /// *OS-Abstraction* feature: swapping the target platform never touches the
 /// layers above.
-pub trait BlockDevice: Send {
+pub trait BlockDevice: Send + Sync {
     /// Size of one page in bytes (constant for the device's lifetime).
     fn page_size(&self) -> usize;
 
@@ -77,6 +77,26 @@ pub trait BlockDevice: Send {
 
     /// Read page `page` into `buf` (`buf.len() == page_size()`).
     fn read_page(&mut self, page: PageId, buf: &mut [u8]) -> Result<()>;
+
+    /// `true` when [`BlockDevice::read_page_at`] works: the device can
+    /// serve page reads through `&self`, so multiple threads may read at
+    /// once (the MultiReader buffer pool exploits this on cache misses).
+    fn supports_shared_read(&self) -> bool {
+        false
+    }
+
+    /// Positional read through a shared reference, pread-style: the same
+    /// contract as [`BlockDevice::read_page`] but callable concurrently
+    /// with other readers. Only meaningful when
+    /// [`BlockDevice::supports_shared_read`] is `true`; the default
+    /// implementation always fails so exclusive-only devices (flash FTL,
+    /// fault injection) keep their sequential semantics.
+    fn read_page_at(&self, page: PageId, buf: &mut [u8]) -> Result<()> {
+        let _ = buf;
+        Err(OsError::Io(format!(
+            "device does not support shared reads (page {page})"
+        )))
+    }
 
     /// Write `buf` to page `page` (`buf.len() == page_size()`).
     fn write_page(&mut self, page: PageId, buf: &[u8]) -> Result<()>;

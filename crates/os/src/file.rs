@@ -3,6 +3,7 @@
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::device::{check_buf, check_range, BlockDevice, DeviceStats, PageId, Result};
 
@@ -14,6 +15,8 @@ pub struct FileDevice {
     page_size: usize,
     num_pages: u32,
     stats: DeviceStats,
+    // pread-style reads go through `&self`; counted separately.
+    shared_reads: AtomicU64,
 }
 
 impl FileDevice {
@@ -31,6 +34,7 @@ impl FileDevice {
             page_size,
             num_pages: 0,
             stats: DeviceStats::default(),
+            shared_reads: AtomicU64::new(0),
         })
     }
 
@@ -49,6 +53,7 @@ impl FileDevice {
             page_size,
             num_pages: (len / page_size as u64) as u32,
             stats: DeviceStats::default(),
+            shared_reads: AtomicU64::new(0),
         })
     }
 
@@ -98,8 +103,24 @@ impl BlockDevice for FileDevice {
         Ok(())
     }
 
+    fn supports_shared_read(&self) -> bool {
+        cfg!(unix)
+    }
+
+    #[cfg(unix)]
+    fn read_page_at(&self, page: PageId, buf: &mut [u8]) -> Result<()> {
+        use std::os::unix::fs::FileExt;
+        check_buf(self.page_size, buf.len())?;
+        check_range(page, self.num_pages)?;
+        self.file.read_exact_at(buf, self.offset(page))?;
+        self.shared_reads.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
     fn stats(&self) -> DeviceStats {
-        self.stats
+        let mut s = self.stats;
+        s.reads += self.shared_reads.load(Ordering::Relaxed);
+        s
     }
 }
 
@@ -154,6 +175,25 @@ mod tests {
         let mut out = vec![1u8; 128];
         d.read_page(1, &mut out).unwrap();
         assert!(out.iter().all(|&b| b == 0));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn positional_read_sees_exclusive_writes() {
+        let path = tmp("pread");
+        let mut d = FileDevice::create(&path, 128).unwrap();
+        d.ensure_pages(3).unwrap();
+        d.write_page(2, &vec![0x77; 128]).unwrap();
+        assert!(d.supports_shared_read());
+        let mut out = vec![0; 128];
+        d.read_page_at(2, &mut out).unwrap();
+        assert_eq!(out, vec![0x77; 128]);
+        // Positional reads do not disturb the seek-based path.
+        let mut out2 = vec![0; 128];
+        d.read_page(2, &mut out2).unwrap();
+        assert_eq!(out2, vec![0x77; 128]);
+        assert_eq!(d.stats().reads, 2);
         std::fs::remove_file(path).unwrap();
     }
 

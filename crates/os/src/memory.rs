@@ -1,5 +1,7 @@
 //! RAM-backed block device: the default target for tests and benchmarks.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use crate::device::{check_buf, check_range, BlockDevice, DeviceStats, OsError, PageId, Result};
 
 /// A growable in-memory device. `capacity_pages` optionally caps growth to
@@ -10,6 +12,8 @@ pub struct InMemoryDevice {
     pages: Vec<Box<[u8]>>,
     capacity_pages: Option<u32>,
     stats: DeviceStats,
+    // Reads through `&self` can race each other, so they count separately.
+    shared_reads: AtomicU64,
 }
 
 impl InMemoryDevice {
@@ -21,6 +25,7 @@ impl InMemoryDevice {
             pages: Vec::new(),
             capacity_pages: None,
             stats: DeviceStats::default(),
+            shared_reads: AtomicU64::new(0),
         }
     }
 
@@ -83,8 +88,22 @@ impl BlockDevice for InMemoryDevice {
         Ok(())
     }
 
+    fn supports_shared_read(&self) -> bool {
+        true
+    }
+
+    fn read_page_at(&self, page: PageId, buf: &mut [u8]) -> Result<()> {
+        check_buf(self.page_size, buf.len())?;
+        check_range(page, self.num_pages())?;
+        buf.copy_from_slice(&self.pages[page as usize]);
+        self.shared_reads.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
     fn stats(&self) -> DeviceStats {
-        self.stats
+        let mut s = self.stats;
+        s.reads += self.shared_reads.load(Ordering::Relaxed);
+        s
     }
 }
 
@@ -163,6 +182,22 @@ mod tests {
         d.sync().unwrap();
         let s = d.stats();
         assert_eq!((s.reads, s.writes, s.syncs, s.erases), (2, 1, 1, 0));
+    }
+
+    #[test]
+    fn shared_reads_match_exclusive_reads() {
+        let mut d = InMemoryDevice::new(128);
+        d.ensure_pages(2).unwrap();
+        d.write_page(1, &vec![0x42; 128]).unwrap();
+        assert!(d.supports_shared_read());
+        let mut out = vec![0; 128];
+        d.read_page_at(1, &mut out).unwrap();
+        assert_eq!(out, vec![0x42; 128]);
+        assert!(matches!(
+            d.read_page_at(7, &mut out),
+            Err(OsError::OutOfRange { .. })
+        ));
+        assert_eq!(d.stats().reads, 1, "shared reads fold into the counter");
     }
 
     #[test]

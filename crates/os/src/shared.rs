@@ -66,6 +66,16 @@ impl<D: BlockDevice> BlockDevice for SharedDevice<D> {
         self.with(|d| d.sync())
     }
 
+    fn supports_shared_read(&self) -> bool {
+        true
+    }
+
+    fn read_page_at(&self, page: PageId, buf: &mut [u8]) -> Result<()> {
+        // Serialized through the mutex so the wrapped device's exclusive
+        // semantics (fault injection, wear counters) are preserved.
+        self.with(|d| d.read_page(page, buf))
+    }
+
     fn stats(&self) -> DeviceStats {
         self.with(|d| d.stats())
     }

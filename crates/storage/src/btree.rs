@@ -24,7 +24,7 @@ use fame_os::PageId;
 
 use crate::error::{Result, StorageError};
 use crate::page::{expect_type, PageType, PageView, SlottedPage, PAGE_HEADER_SIZE};
-use crate::pager::Pager;
+use crate::pager::{PageRead, Pager};
 
 /// Fraction of the page below which a node is considered under-full.
 const UNDERFLOW_DIVISOR: usize = 4;
@@ -125,6 +125,14 @@ impl BTree {
         Ok(BTree { root, root_slot })
     }
 
+    /// Reconstruct a handle from a known root page. The shared read path
+    /// uses this: a reader resolves `root_slot` through its own pager view
+    /// on every lookup, so a root moved by the writer (split, collapse) is
+    /// picked up without reopening.
+    pub fn at_root(root: PageId, root_slot: usize) -> BTree {
+        BTree { root, root_slot }
+    }
+
     /// The current root page (tests, diagnostics).
     pub fn root_page(&self) -> PageId {
         self.root
@@ -143,13 +151,29 @@ impl BTree {
 
     // ---- search (mandatory subfeature) ------------------------------------
 
-    /// Look up a key; returns its value if present.
-    pub fn get(&self, pager: &mut Pager, key: &[u8]) -> Result<Option<Vec<u8>>> {
+    /// Look up a key; returns its value if present. Works against any
+    /// [`PageRead`] source: the exclusive pager or a shared reader view.
+    pub fn get<P: PageRead>(&self, pager: &mut P, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.get_with(pager, key, |v| v.to_vec())
+    }
+
+    /// Allocation-free lookup: run `f` over the value bytes in place (no
+    /// `Vec` clone). Returns `None` without calling `f` when the key is
+    /// absent.
+    pub fn get_with<P: PageRead, R>(
+        &self,
+        pager: &mut P,
+        key: &[u8],
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<Option<R>> {
+        // The descent visits exactly one leaf, so `f` runs at most once;
+        // `Option` carries it into the access closure.
+        let mut f = Some(f);
         let mut page = self.root;
         loop {
-            enum Step {
+            enum Step<R> {
                 Descend(PageId),
-                Found(Vec<u8>),
+                Found(R),
                 Missing,
             }
             let step = pager.with_page(page, |buf| {
@@ -157,7 +181,10 @@ impl BTree {
                 match view.page_type() {
                     Some(PageType::BTreeInternal) => Step::Descend(descend_child(&view, key).0),
                     Some(PageType::BTreeLeaf) => match search(&view, key) {
-                        Ok(i) => Step::Found(leaf_value(view.cell_at(i)).to_vec()),
+                        Ok(i) => {
+                            let f = f.take().expect("descent reaches one leaf");
+                            Step::Found(f(leaf_value(view.cell_at(i))))
+                        }
                         Err(_) => Step::Missing,
                     },
                     other => panic!("page {page} has unexpected type {other:?}"),
@@ -172,12 +199,12 @@ impl BTree {
     }
 
     /// Does the key exist?
-    pub fn contains(&self, pager: &mut Pager, key: &[u8]) -> Result<bool> {
-        Ok(self.get(pager, key)?.is_some())
+    pub fn contains<P: PageRead>(&self, pager: &mut P, key: &[u8]) -> Result<bool> {
+        Ok(self.get_with(pager, key, |_| ())?.is_some())
     }
 
     /// Number of entries (walks every leaf).
-    pub fn len(&self, pager: &mut Pager) -> Result<usize> {
+    pub fn len<P: PageRead>(&self, pager: &mut P) -> Result<usize> {
         let mut page = self.leftmost_leaf(pager)?;
         let mut n = 0;
         loop {
@@ -194,11 +221,11 @@ impl BTree {
     }
 
     /// `true` when the tree holds no entries.
-    pub fn is_empty(&self, pager: &mut Pager) -> Result<bool> {
+    pub fn is_empty<P: PageRead>(&self, pager: &mut P) -> Result<bool> {
         Ok(self.len(pager)? == 0)
     }
 
-    fn leftmost_leaf(&self, pager: &mut Pager) -> Result<PageId> {
+    fn leftmost_leaf<P: PageRead>(&self, pager: &mut P) -> Result<PageId> {
         let mut page = self.root;
         loop {
             let next = pager.with_page(page, |buf| {
@@ -575,7 +602,7 @@ impl BTree {
 
     /// Open a cursor at the first key `>= start` (or the smallest key when
     /// `start` is `None`).
-    pub fn cursor(&self, pager: &mut Pager, start: Option<&[u8]>) -> Result<Cursor> {
+    pub fn cursor<P: PageRead>(&self, pager: &mut P, start: Option<&[u8]>) -> Result<Cursor> {
         let mut page = self.root;
         loop {
             let step = pager.with_page(page, |buf| {
@@ -603,9 +630,9 @@ impl BTree {
 
     /// Collect all `(key, value)` pairs with `start <= key < end` (open
     /// bounds when `None`).
-    pub fn scan(
+    pub fn scan<P: PageRead>(
         &self,
-        pager: &mut Pager,
+        pager: &mut P,
         start: Option<&[u8]>,
         end: Option<&[u8]>,
     ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
@@ -636,7 +663,7 @@ impl Cursor {
     ///
     /// The cursor is stable under concurrent *reads*; interleaved writes to
     /// the same tree invalidate it (single-writer engine).
-    pub fn next(&mut self, pager: &mut Pager) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+    pub fn next<P: PageRead>(&mut self, pager: &mut P) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
         loop {
             let (item, next_page) = pager.with_page(self.page, |buf| {
                 let v = PageView::new(buf);

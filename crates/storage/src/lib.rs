@@ -50,7 +50,9 @@ pub use hash::HashIndex;
 #[cfg(feature = "list")]
 pub use list::ListIndex;
 pub use page::{PageType, SlottedPage, PAGE_HEADER_SIZE};
-pub use pager::Pager;
+#[cfg(feature = "shared")]
+pub use pager::SharedPager;
+pub use pager::{PageRead, Pager};
 #[cfg(feature = "queue")]
 pub use queue::Queue;
 pub use record::RecordId;

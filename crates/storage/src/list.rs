@@ -10,7 +10,7 @@ use fame_os::PageId;
 
 use crate::error::{Result, StorageError};
 use crate::page::{PageType, PageView, SlottedPage};
-use crate::pager::Pager;
+use crate::pager::{PageRead, Pager};
 
 fn cell(key: &[u8], value: &[u8]) -> Vec<u8> {
     let mut c = Vec::with_capacity(2 + key.len() + value.len());
@@ -71,7 +71,7 @@ impl ListIndex {
     }
 
     /// Find `(page, slot)` of a key.
-    fn locate(&self, pager: &mut Pager, key: &[u8]) -> Result<Option<(PageId, u16)>> {
+    fn locate<P: PageRead>(&self, pager: &mut P, key: &[u8]) -> Result<Option<(PageId, u16)>> {
         let mut page = self.head;
         loop {
             let (hit, next) = pager.with_page(page, |buf| {
@@ -147,11 +147,21 @@ impl ListIndex {
     }
 
     /// Look up a key.
-    pub fn get(&self, pager: &mut Pager, key: &[u8]) -> Result<Option<Vec<u8>>> {
+    pub fn get<P: PageRead>(&self, pager: &mut P, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.get_with(pager, key, |v| v.to_vec())
+    }
+
+    /// Allocation-free lookup: run `f` over the value bytes in place.
+    pub fn get_with<P: PageRead, R>(
+        &self,
+        pager: &mut P,
+        key: &[u8],
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<Option<R>> {
         match self.locate(pager, key)? {
             None => Ok(None),
             Some((page, slot)) => Ok(pager.with_page(page, |buf| {
-                PageView::new(buf).get(slot).map(|c| cell_value(c).to_vec())
+                PageView::new(buf).get(slot).map(|c| f(cell_value(c)))
             })?),
         }
     }

@@ -37,9 +37,36 @@ pub(crate) const OFF_FREE_HEAD: usize = 8;
 pub(crate) const OFF_PAGE_COUNT: usize = 12;
 pub(crate) const OFF_ROOTS: usize = 16;
 
+/// In-memory copy of the meta-page header, maintained write-through:
+/// every mutation lands on page 0 immediately, reads never touch the pool.
+/// Safe because the pager is the only writer of these fields.
+#[derive(Debug, Clone, Copy)]
+struct MetaCache {
+    free_head: u32,
+    page_count: u32,
+    roots: [u32; ROOT_SLOTS],
+}
+
+impl MetaCache {
+    fn load(buf: &[u8]) -> Self {
+        let u32_at =
+            |off: usize| u32::from_le_bytes(buf[off..off + 4].try_into().expect("4 bytes"));
+        let mut roots = [NO_PAGE; ROOT_SLOTS];
+        for (i, r) in roots.iter_mut().enumerate() {
+            *r = u32_at(OFF_ROOTS + 4 * i);
+        }
+        MetaCache {
+            free_head: u32_at(OFF_FREE_HEAD),
+            page_count: u32_at(OFF_PAGE_COUNT),
+            roots,
+        }
+    }
+}
+
 /// Page allocator and root directory over a [`BufferPool`].
 pub struct Pager {
     pool: BufferPool,
+    meta: MetaCache,
 }
 
 impl Pager {
@@ -66,20 +93,28 @@ impl Pager {
             // recovery after a crash-before-first-sync needs a valid
             // (empty) image to replay the WAL into.
             pool.sync()?;
-            return Ok(Pager { pool });
+            return Ok(Pager {
+                pool,
+                meta: MetaCache {
+                    free_head: NO_PAGE,
+                    page_count: 1,
+                    roots: [NO_PAGE; ROOT_SLOTS],
+                },
+            });
         }
 
         let expected_page_size = pool.page_size();
-        let ok = pool.with_page(0, |buf| {
-            &buf[OFF_MAGIC..OFF_MAGIC + 4] == MAGIC
+        let meta = pool.with_page(0, |buf| {
+            let ok = &buf[OFF_MAGIC..OFF_MAGIC + 4] == MAGIC
                 && u16::from_le_bytes([buf[OFF_VERSION], buf[OFF_VERSION + 1]]) == VERSION
                 && u16::from_le_bytes([buf[OFF_PAGE_SIZE], buf[OFF_PAGE_SIZE + 1]]) as usize
-                    == expected_page_size
+                    == expected_page_size;
+            ok.then(|| MetaCache::load(buf))
         })?;
-        if !ok {
-            return Err(StorageError::NotFormatted);
+        match meta {
+            Some(meta) => Ok(Pager { pool, meta }),
+            None => Err(StorageError::NotFormatted),
         }
-        Ok(Pager { pool })
     }
 
     /// Page size in bytes.
@@ -87,13 +122,9 @@ impl Pager {
         self.pool.page_size()
     }
 
-    fn meta_u32(&mut self, off: usize) -> Result<u32> {
-        Ok(self.pool.with_page(0, |buf| {
-            u32::from_le_bytes(buf[off..off + 4].try_into().expect("4 bytes"))
-        })?)
-    }
-
-    fn set_meta_u32(&mut self, off: usize, v: u32) -> Result<()> {
+    /// Write-through: put `v` at `off` on page 0 (the caller updates the
+    /// cache).
+    fn write_meta_u32(&mut self, off: usize, v: u32) -> Result<()> {
         Ok(self.pool.with_page_mut(0, |buf| {
             buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
         })?)
@@ -101,30 +132,32 @@ impl Pager {
 
     /// Number of pages the pager has handed out (including meta and freed
     /// pages still owned by the free list).
-    pub fn allocated_pages(&mut self) -> Result<u32> {
-        self.meta_u32(OFF_PAGE_COUNT)
+    pub fn allocated_pages(&self) -> Result<u32> {
+        Ok(self.meta.page_count)
     }
 
     /// Head of the free list, `None` when empty.
-    pub fn free_head(&mut self) -> Result<Option<PageId>> {
-        let v = self.meta_u32(OFF_FREE_HEAD)?;
+    pub fn free_head(&self) -> Result<Option<PageId>> {
+        let v = self.meta.free_head;
         Ok(if v == NO_PAGE { None } else { Some(v) })
     }
 
     /// Allocate a page: pop the free list or grow the device.
     /// The returned page's contents are unspecified; callers initialize it.
     pub fn allocate(&mut self) -> Result<PageId> {
-        let head = self.meta_u32(OFF_FREE_HEAD)?;
+        let head = self.meta.free_head;
         if head != NO_PAGE {
             let next = self.pool.with_page(head, |buf| {
                 PageView::new(buf).next_page().unwrap_or(NO_PAGE)
             })?;
-            self.set_meta_u32(OFF_FREE_HEAD, next)?;
+            self.write_meta_u32(OFF_FREE_HEAD, next)?;
+            self.meta.free_head = next;
             return Ok(head);
         }
-        let count = self.meta_u32(OFF_PAGE_COUNT)?;
+        let count = self.meta.page_count;
         self.pool.ensure_pages(count + 1)?;
-        self.set_meta_u32(OFF_PAGE_COUNT, count + 1)?;
+        self.write_meta_u32(OFF_PAGE_COUNT, count + 1)?;
+        self.meta.page_count = count + 1;
         Ok(count)
     }
 
@@ -134,26 +167,30 @@ impl Pager {
     /// free pages are recognizable (the integrity checker relies on this).
     pub fn free(&mut self, page: PageId) -> Result<()> {
         debug_assert_ne!(page, 0, "meta page cannot be freed");
-        let head = self.meta_u32(OFF_FREE_HEAD)?;
+        let head = self.meta.free_head;
         self.pool.with_page_mut(page, |buf| {
             let mut pg = SlottedPage::init(buf, PageType::Free);
             pg.set_next_page(if head == NO_PAGE { None } else { Some(head) });
         })?;
-        self.set_meta_u32(OFF_FREE_HEAD, page)?;
+        self.write_meta_u32(OFF_FREE_HEAD, page)?;
+        self.meta.free_head = page;
         Ok(())
     }
 
     /// Read a named root pointer.
-    pub fn root(&mut self, slot: usize) -> Result<Option<PageId>> {
+    pub fn root(&self, slot: usize) -> Result<Option<PageId>> {
         assert!(slot < ROOT_SLOTS, "root slot out of range");
-        let v = self.meta_u32(OFF_ROOTS + 4 * slot)?;
+        let v = self.meta.roots[slot];
         Ok(if v == NO_PAGE { None } else { Some(v) })
     }
 
     /// Persist a named root pointer.
     pub fn set_root(&mut self, slot: usize, page: Option<PageId>) -> Result<()> {
         assert!(slot < ROOT_SLOTS, "root slot out of range");
-        self.set_meta_u32(OFF_ROOTS + 4 * slot, page.unwrap_or(NO_PAGE))
+        let v = page.unwrap_or(NO_PAGE);
+        self.write_meta_u32(OFF_ROOTS + 4 * slot, v)?;
+        self.meta.roots[slot] = v;
+        Ok(())
     }
 
     /// Run `f` over an immutable page view.
@@ -180,6 +217,91 @@ impl Pager {
     pub fn pool_mut(&mut self) -> &mut BufferPool {
         &mut self.pool
     }
+
+    /// A read-only view onto the same pool image, when the pool was built
+    /// in a shared mode; `None` for exclusive pools. Clones of the view
+    /// are cheap and `Send`, so each reader thread carries its own.
+    #[cfg(feature = "shared")]
+    pub fn shared(&self) -> Option<SharedPager> {
+        self.pool.shared_handle().map(|pool| SharedPager { pool })
+    }
+}
+
+/// Read-only page access, the capability the index *search* paths need.
+/// Implemented by the exclusive [`Pager`] and by the cheap-clone
+/// [`SharedPager`] view, so one generic `get` serves both the
+/// single-threaded product and concurrent readers.
+///
+/// The `&mut self` receiver matches the pager's exclusive access model;
+/// shared implementations take it too (cheaply) so the single-threaded
+/// path keeps zero indirection.
+pub trait PageRead {
+    /// Page size in bytes.
+    fn page_size(&self) -> usize;
+
+    /// Run `f` over an immutable page view.
+    fn with_page<R>(&mut self, page: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R>;
+}
+
+impl PageRead for Pager {
+    fn page_size(&self) -> usize {
+        Pager::page_size(self)
+    }
+
+    fn with_page<R>(&mut self, page: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        Pager::with_page(self, page, f)
+    }
+}
+
+/// A `Send` read-only pager view over a [`fame_buffer::SharedBufferPool`].
+/// Obtained from [`Pager::shared`]; clone one per reader thread.
+#[cfg(feature = "shared")]
+#[derive(Clone)]
+pub struct SharedPager {
+    pool: fame_buffer::SharedBufferPool,
+}
+
+#[cfg(feature = "shared")]
+impl SharedPager {
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.pool.page_size()
+    }
+
+    /// Run `f` over an immutable page view (takes at most the page's
+    /// shard read latch on a cache hit).
+    pub fn with_page<R>(&self, page: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        Ok(self.pool.with_page(page, f)?)
+    }
+
+    /// Read a named root pointer from the meta page. Unlike the exclusive
+    /// [`Pager`] this goes through the pool: a reader handle must observe
+    /// root moves (B+-tree splits) the writer published since the handle
+    /// was cloned.
+    pub fn root(&self, slot: usize) -> Result<Option<PageId>> {
+        assert!(slot < ROOT_SLOTS, "root slot out of range");
+        let v = self.with_page(0, |buf| {
+            let at = OFF_ROOTS + 4 * slot;
+            u32::from_le_bytes(buf[at..at + 4].try_into().unwrap())
+        })?;
+        Ok(if v == NO_PAGE { None } else { Some(v) })
+    }
+
+    /// The underlying shared pool (statistics).
+    pub fn pool(&self) -> &fame_buffer::SharedBufferPool {
+        &self.pool
+    }
+}
+
+#[cfg(feature = "shared")]
+impl PageRead for SharedPager {
+    fn page_size(&self) -> usize {
+        SharedPager::page_size(self)
+    }
+
+    fn with_page<R>(&mut self, page: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        SharedPager::with_page(self, page, f)
+    }
 }
 
 #[cfg(test)]
@@ -201,7 +323,7 @@ mod tests {
 
     #[test]
     fn formats_fresh_device() {
-        let mut p = pager();
+        let p = pager();
         assert_eq!(p.allocated_pages().unwrap(), 1);
         assert_eq!(p.root(0).unwrap(), None);
     }
@@ -287,7 +409,7 @@ mod tests {
         {
             let fdev = fame_os::FileDevice::open(&path, 256).unwrap();
             let pool = BufferPool::unbuffered(Box::new(fdev));
-            let mut p = Pager::open(pool).unwrap();
+            let p = Pager::open(pool).unwrap();
             assert_eq!(p.root(1).unwrap(), Some(1));
             assert_eq!(p.allocated_pages().unwrap(), 2);
         }
@@ -307,9 +429,45 @@ mod tests {
     }
 
     #[test]
+    fn meta_reads_bypass_the_pool() {
+        let mut p = pager();
+        p.set_root(0, Some(5)).unwrap();
+        let before = p.pool().stats();
+        for _ in 0..100 {
+            let _ = p.allocated_pages().unwrap();
+            let _ = p.free_head().unwrap();
+            let _ = p.root(0).unwrap();
+        }
+        assert_eq!(p.pool().stats(), before, "header reads served from cache");
+    }
+
+    #[cfg(feature = "shared")]
+    #[test]
+    fn shared_view_sees_writer_pages() {
+        let dev = InMemoryDevice::new(256);
+        let pool = BufferPool::new_shared(
+            Box::new(dev),
+            fame_buffer::ReplacementKind::Lru,
+            AllocPolicy::Dynamic {
+                max_frames: Some(8),
+            },
+            2,
+        );
+        let mut p = Pager::open(pool).unwrap();
+        let pg = p.allocate().unwrap();
+        p.with_page_mut(pg, |buf| buf[10] = 99).unwrap();
+        let view = p.shared().expect("pool is shared");
+        assert_eq!(view.with_page(pg, |buf| buf[10]).unwrap(), 99);
+        assert_eq!(view.page_size(), 256);
+        // Exclusive pools expose no shared view.
+        let excl = Pager::open(BufferPool::unbuffered(Box::new(InMemoryDevice::new(256))));
+        assert!(excl.unwrap().shared().is_none());
+    }
+
+    #[test]
     #[should_panic(expected = "root slot out of range")]
     fn root_slot_bounds_checked() {
-        let mut p = pager();
+        let p = pager();
         let _ = p.root(ROOT_SLOTS);
     }
 }

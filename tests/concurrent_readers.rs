@@ -1,0 +1,180 @@
+//! Integration: the MultiReader concurrency feature (*Buffer Manager →
+//! Concurrency* in the extended Figure 2 model).
+//!
+//! Covers the three contracts of the shared read path: reader handles
+//! return exactly what the single writer stored (even while eviction churn
+//! recycles frames under them), `Single` products expose no reader and
+//! behave like the sequential seed, and `get_with` observes the same bytes
+//! as the copying `get`.
+
+use fame_dbms::{Concurrency, Database, DbReader, DbmsConfig};
+
+fn value_of(i: u32) -> Vec<u8> {
+    let mut v = i.to_le_bytes().repeat(4);
+    v.push(i as u8);
+    v
+}
+
+fn multi_config(frames: usize, shards: usize) -> DbmsConfig {
+    let mut cfg = DbmsConfig::in_memory();
+    if let Some(b) = &mut cfg.buffer {
+        b.frames = frames;
+    }
+    cfg.concurrency = Concurrency::MultiReader { shards };
+    cfg
+}
+
+#[test]
+fn readers_agree_with_model_under_eviction_churn() {
+    // 8 frames over 4 shards against a few hundred keys: nearly every get
+    // misses, so readers constantly race evictions and write-backs.
+    const KEYS: u32 = 300;
+    let mut db = Database::open(multi_config(8, 4)).unwrap();
+    for i in 0..KEYS {
+        db.put(&i.to_be_bytes(), &value_of(i)).unwrap();
+    }
+
+    let reader = db.reader().unwrap();
+    std::thread::scope(|s| {
+        for t in 0u32..4 {
+            let mut r = reader.clone();
+            s.spawn(move || {
+                let mut x = 0x9e37_79b9u32 ^ (t + 1);
+                for _ in 0..2000 {
+                    // xorshift32: each thread walks its own key sequence.
+                    x ^= x << 13;
+                    x ^= x >> 17;
+                    x ^= x << 5;
+                    let k = x % KEYS;
+                    let got = r.get(&k.to_be_bytes()).unwrap().expect("key present");
+                    assert_eq!(got, value_of(k), "reader {t} saw a torn value for {k}");
+                }
+            });
+        }
+        // Churn thread: sequential sweeps evict whatever the point readers
+        // just pinned and released.
+        let mut churn = reader.clone();
+        s.spawn(move || {
+            for _ in 0..10 {
+                for i in 0..KEYS {
+                    assert!(churn.contains(&i.to_be_bytes()).unwrap());
+                }
+            }
+        });
+    });
+
+    let stats = reader.pool_stats();
+    assert!(stats.evictions > 0, "pool never churned: {stats:?}");
+    assert!(stats.hits > 0, "pool never hit: {stats:?}");
+}
+
+#[test]
+fn reader_follows_root_splits_between_reads() {
+    // The B+-tree root moves when it splits. A reader handle created
+    // before the split must still resolve keys afterwards (it re-reads the
+    // root slot per lookup instead of caching the root page).
+    let mut db = Database::open(multi_config(64, 2)).unwrap();
+    db.put(b"seed", b"v").unwrap();
+    let mut r = db.reader().unwrap();
+    assert_eq!(r.get(b"seed").unwrap(), Some(b"v".to_vec()));
+
+    // Force several levels of splits (quiescent point: no reads in
+    // flight; readers-during-structural-writes is out of contract).
+    for i in 0u32..2_000 {
+        db.put(&i.to_be_bytes(), &value_of(i)).unwrap();
+    }
+    for i in (0u32..2_000).step_by(97) {
+        assert_eq!(r.get(&i.to_be_bytes()).unwrap(), Some(value_of(i)));
+    }
+    assert_eq!(r.get(b"seed").unwrap(), Some(b"v".to_vec()));
+}
+
+#[test]
+fn unbuffered_multireader_serves_correct_values() {
+    let mut cfg = multi_config(8, 2);
+    cfg.buffer = None; // Buffer Manager composed out at runtime
+    let mut db = Database::open(cfg).unwrap();
+    for i in 0..100u32 {
+        db.put(&i.to_be_bytes(), &value_of(i)).unwrap();
+    }
+    let reader = db.reader().unwrap();
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            let mut r = reader.clone();
+            s.spawn(move || {
+                for i in 0..100u32 {
+                    assert_eq!(r.get(&i.to_be_bytes()).unwrap(), Some(value_of(i)));
+                }
+            });
+        }
+    });
+    assert_eq!(reader.pool_stats().hits, 0, "no cache without the feature");
+}
+
+#[test]
+fn single_concurrency_exposes_no_reader() {
+    // The default configuration is Concurrency::Single even in builds
+    // that compile the MultiReader code path.
+    let db = Database::open(DbmsConfig::in_memory()).unwrap();
+    assert!(matches!(db.config().concurrency, Concurrency::Single));
+    let Err(err) = db.reader() else {
+        panic!("Single product must not hand out readers");
+    };
+    assert!(err.to_string().contains("MultiReader"), "{err}");
+}
+
+#[test]
+fn single_and_multi_products_agree() {
+    // The same workload through a Single and a MultiReader instance must
+    // produce identical observable state — the concurrency feature changes
+    // the locking discipline, never the semantics.
+    let run = |cfg: DbmsConfig| {
+        let mut db = Database::open(cfg).unwrap();
+        for i in 0..200u32 {
+            db.put(&i.to_be_bytes(), &value_of(i)).unwrap();
+        }
+        for i in (0..200u32).step_by(3) {
+            db.remove(&i.to_be_bytes()).unwrap();
+        }
+        db.update(&7u32.to_be_bytes(), b"updated").unwrap();
+        (db.len().unwrap(), db.scan(None, None).unwrap())
+    };
+    let single = run(DbmsConfig::in_memory());
+    let multi = run(multi_config(64, 8));
+    assert_eq!(single, multi);
+}
+
+#[test]
+fn get_with_equals_get() {
+    let mut db = Database::open(multi_config(64, 8)).unwrap();
+    for i in 0..50u32 {
+        db.put(&i.to_be_bytes(), &value_of(i)).unwrap();
+    }
+    // Writer-side get_with against writer-side get.
+    for i in 0..50u32 {
+        let k = i.to_be_bytes();
+        let copied = db.get(&k).unwrap();
+        let in_place = db.get_with(&k, |v| v.to_vec()).unwrap();
+        assert_eq!(copied, in_place);
+        assert_eq!(
+            db.get_with(&k, |v| v.len()).unwrap(),
+            copied.as_ref().map(|v| v.len())
+        );
+    }
+    assert_eq!(db.get_with(b"missing", |v| v.len()).unwrap(), None);
+
+    // Reader-side get_with agrees with the writer.
+    let mut r: DbReader = db.reader().unwrap();
+    for i in 0..50u32 {
+        let k = i.to_be_bytes();
+        assert_eq!(r.get_with(&k, |v| v.to_vec()).unwrap(), db.get(&k).unwrap());
+    }
+}
+
+#[test]
+fn shard_count_must_be_power_of_two() {
+    let mut cfg = multi_config(64, 3);
+    assert!(Database::open(cfg.clone()).is_err());
+    cfg.concurrency = Concurrency::MultiReader { shards: 0 }; // 0 = default
+    assert!(Database::open(cfg).is_ok());
+}
