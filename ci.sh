@@ -11,6 +11,9 @@ cargo fmt --all -- --check
 echo "== clippy (fame-derivation, warnings are errors)"
 cargo clippy -p fame-derivation --all-targets -- -D warnings
 
+echo "== clippy (fame-obs, warnings are errors)"
+cargo clippy -p fame-obs --all-targets -- -D warnings
+
 echo "== build --release"
 cargo build --release --workspace
 
@@ -23,10 +26,20 @@ cargo run --release -p fame-bench --bin fig3_derivation | tail -n 20
 echo "== crash torture (E7, bounded sweep; exits non-zero on any violation)"
 cargo run --release -p fame-bench --bin crash_torture -- --quick | tail -n 10
 
-echo "== concurrent readers stress (E8 correctness)"
-cargo test -q -p fame-dbms --features concurrency-multi --test concurrent_readers
+echo "== concurrent readers stress (E8 correctness + E9 snapshot coherence)"
+cargo test -q -p fame-dbms --features concurrency-multi,statistics --test concurrent_readers
 
 echo "== fig1b_mt smoke (E8 scalability; scaling asserts auto-skip below 2 cores)"
 cargo run --release -p fame-bench --bin fig1b_mt -- --quick --assert-scaling | tail -n 8
+
+echo "== nfp_probe smoke (E9 NFP feedback loop; asserts Measured round-trip)"
+cargo run --release -p fame-bench --bin nfp_probe -- --quick | tail -n 4
+
+echo "== statistics-off composition (E9 zero-cost gate: no fame-obs in the graph)"
+if cargo tree -p fame-dbms --no-default-features --features standard -e normal | grep -q fame-obs; then
+    echo "FAIL: fame-obs is linked into a product without the statistics feature" >&2
+    exit 1
+fi
+cargo run -q --release -p fame-dbms --no-default-features --features standard --example fig1b_micro
 
 echo "== CI OK"

@@ -1,0 +1,270 @@
+//! Experiment E9 — closing the §3.2 NFP feedback loop with the
+//! Statistics feature.
+//!
+//! The paper's Feedback Approach needs *measured* non-functional
+//! properties of generated products. This probe is the measuring
+//! instrument: it runs the Figure 1b point-query workload across several
+//! runtime configurations of one statistics-enabled product, harvests
+//! `perf` (throughput) and `ram` (resident buffer bytes) from
+//! `Database::stats()`, and feeds the measurements back into a
+//! `PropertyStore` through `FeedbackModel::calibrate` — turning designer
+//! estimates into `Measured` per-feature values.
+//!
+//! Usage: `cargo run --release -p fame-bench --bin nfp_probe [-- --quick]`
+//!
+//! Writes `bench-results/nfp_probe.tsv` (schema in EXPERIMENTS.md §E9).
+
+use std::time::Instant;
+
+use fame_bench::{Table, Workload};
+use fame_dbms::fame_feature_model::Configuration;
+use fame_dbms::{BufferConfig, Database, DbmsConfig, IndexKind, StatsSnapshot};
+use fame_derivation::nfp::Source;
+use fame_derivation::{FeedbackModel, PropertyStore};
+
+const VALUE_LEN: usize = 16;
+
+struct ProbeConfig {
+    name: &'static str,
+    description: &'static str,
+    frames: usize,
+    crypto: bool,
+    multi_reader: bool,
+    static_alloc: bool,
+}
+
+fn probe_configs() -> Vec<ProbeConfig> {
+    vec![
+        ProbeConfig {
+            name: "minimal",
+            description: "B+-tree, 64-frame LRU buffer",
+            frames: 64,
+            crypto: false,
+            multi_reader: false,
+            static_alloc: false,
+        },
+        ProbeConfig {
+            name: "buffered",
+            description: "B+-tree, 2048-frame LRU buffer (hot set resident)",
+            frames: 2048,
+            crypto: false,
+            multi_reader: false,
+            static_alloc: false,
+        },
+        ProbeConfig {
+            name: "static",
+            description: "B+-tree, 512-frame static arena",
+            frames: 512,
+            crypto: false,
+            multi_reader: false,
+            static_alloc: true,
+        },
+        ProbeConfig {
+            name: "crypto",
+            description: "B+-tree, 2048 frames, pages encrypted",
+            frames: 2048,
+            crypto: true,
+            multi_reader: false,
+            static_alloc: false,
+        },
+        ProbeConfig {
+            name: "multireader",
+            description: "B+-tree, 2048 frames, 4 concurrent readers",
+            frames: 2048,
+            crypto: false,
+            multi_reader: true,
+            static_alloc: false,
+        },
+    ]
+}
+
+struct Measurement {
+    qps: f64,
+    stats: StatsSnapshot,
+    model_cfg: Configuration,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (records, queries): (u32, u32) = if quick {
+        (5_000, 20_000)
+    } else {
+        (50_000, 200_000)
+    };
+    println!(
+        "E9 — NFP probe: {queries} point queries over {records} records per configuration{}\n",
+        if quick { " (quick)" } else { "" }
+    );
+
+    let mut table = Table::new([
+        "config",
+        "description",
+        "perf_mio_qps",
+        "ram_frame_bytes",
+        "hit_pct",
+        "pool_hits",
+        "pool_misses",
+        "latch_waits",
+        "pager_page_reads",
+        "io_read_p99_ns",
+        "ops_traced",
+    ]);
+
+    let mut perf_feedback = FeedbackModel::new();
+    let mut ram_feedback = FeedbackModel::new();
+    let mut model = None;
+
+    for pc in probe_configs() {
+        let m = run_config(&pc, records, queries);
+        let s = &m.stats;
+        assert_eq!(
+            s.frame_bytes,
+            s.frames * s.page_size,
+            "snapshot ram accounting is self-consistent"
+        );
+        table.row([
+            pc.name.to_string(),
+            pc.description.to_string(),
+            format!("{:.3}", m.qps / 1e6),
+            s.frame_bytes.to_string(),
+            format!("{:.1}", s.pool.hit_ratio() * 100.0),
+            s.pool.hits.to_string(),
+            s.pool.misses.to_string(),
+            s.pool.latch_waits.to_string(),
+            s.pager_ops.page_reads.to_string(),
+            s.io.read.percentile_ns(99).to_string(),
+            s.ops_traced.to_string(),
+        ]);
+        println!(
+            "  {:<12} {:>8.3} Mio q/s, {:>9} frame bytes, {:>5.1}% hits ({})",
+            pc.name,
+            m.qps / 1e6,
+            s.frame_bytes,
+            s.pool.hit_ratio() * 100.0,
+            pc.description
+        );
+
+        // One Sample per product instance: the model configuration this
+        // build+runtime pair composes to, plus the measured NFP.
+        perf_feedback.add_sample(m.model_cfg.clone(), m.qps / 1e6);
+        ram_feedback.add_sample(m.model_cfg, s.frame_bytes as f64);
+        if model.is_none() {
+            let (fm, _) = fame_dbms::model_configuration(&DbmsConfig::in_memory())
+                .expect("default config validates");
+            model = Some(fm);
+        }
+    }
+    let model = model.expect("at least one configuration ran");
+
+    // Feedback path (§3.2): estimates in, measurements out.
+    let mut store = PropertyStore::seeded_from(&model);
+    let perf_rms = perf_feedback.calibrate(&model, &mut store, "perf");
+    let ram_rms = ram_feedback.calibrate(&model, &mut store, "ram_bytes");
+    println!(
+        "\nfeedback: {} samples, perf RMS {:.3} Mio q/s, ram RMS {:.0} bytes",
+        perf_feedback.sample_count(),
+        perf_rms,
+        ram_rms
+    );
+    println!(
+        "property store: {:.0}% of values now Measured",
+        store.measured_ratio() * 100.0
+    );
+
+    // The loop is only closed if the measurements actually landed as
+    // Measured — and survive the store's text round-trip.
+    let perf = store
+        .get("B+-Tree", "perf")
+        .expect("B+-Tree has a perf value");
+    assert_eq!(perf.source, Source::Measured, "perf fed back as Measured");
+    let reloaded = PropertyStore::from_text(&store.to_text()).expect("store round-trips");
+    assert_eq!(
+        reloaded.get("B+-Tree", "perf").map(|p| p.source),
+        Some(Source::Measured),
+        "Measured provenance survives serialization"
+    );
+    assert!(perf_rms.is_finite() && ram_rms.is_finite());
+
+    println!("\n{}", table.render());
+    let dir = std::path::Path::new("bench-results");
+    let _ = std::fs::create_dir_all(dir);
+    let _ = std::fs::write(dir.join("nfp_probe.tsv"), table.to_tsv());
+    println!("results written to bench-results/nfp_probe.tsv");
+}
+
+fn run_config(pc: &ProbeConfig, records: u32, queries: u32) -> Measurement {
+    let mut config = DbmsConfig::in_memory();
+    config.page_size = 512;
+    config.index = IndexKind::BTree;
+    config.buffer = Some(BufferConfig {
+        frames: pc.frames,
+        replacement: fame_dbms::fame_buffer::ReplacementKind::Lru,
+        static_alloc: pc.static_alloc,
+    });
+    if pc.multi_reader {
+        config.concurrency = fame_dbms::Concurrency::MultiReader { shards: 0 };
+    }
+    if pc.crypto {
+        config.crypto_key = Some(*b"fame-dbms-key-16");
+    }
+
+    let mut db = Database::open(config).expect("open");
+    let w = Workload::new(records, VALUE_LEN, 0xFA3E);
+    for i in 0..records {
+        db.put(&w.key(i), &w.value(i)).expect("put");
+    }
+
+    let qps = if pc.multi_reader {
+        run_readers(&db, records, queries)
+    } else {
+        let mut sampler = Workload::new(records, VALUE_LEN, 0xBEEF);
+        let start = Instant::now();
+        let mut found = 0u32;
+        for _ in 0..queries {
+            if db
+                .get_with(&sampler.sample_key(), |v| v.len())
+                .expect("get")
+                .is_some()
+            {
+                found += 1;
+            }
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(found, queries, "every sampled key exists");
+        f64::from(queries) / elapsed
+    };
+
+    db.verify_integrity().expect("clean image");
+    let stats = db.stats().expect("statistics composed in");
+    let (_, model_cfg) = fame_dbms::model_configuration(db.config())
+        .expect("running instance maps to a valid model configuration");
+    Measurement {
+        qps,
+        stats,
+        model_cfg,
+    }
+}
+
+/// Aggregate throughput of 4 reader threads over the shared pool.
+fn run_readers(db: &Database, records: u32, queries: u32) -> f64 {
+    const THREADS: u32 = 4;
+    let per_thread = queries / THREADS;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let mut reader = db.reader().expect("MultiReader configured");
+            scope.spawn(move || {
+                let mut sampler = Workload::new(records, VALUE_LEN, 0xBEEF ^ u64::from(t));
+                for _ in 0..per_thread {
+                    let found = reader
+                        .get_with(&sampler.sample_key(), |v| v.len())
+                        .expect("get")
+                        .is_some();
+                    assert!(found, "every sampled key exists");
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    f64::from(per_thread * THREADS) / elapsed
+}

@@ -24,6 +24,7 @@ pub mod pool;
 pub mod replacement;
 #[cfg(feature = "shared")]
 pub mod shared;
+pub mod stats;
 
 #[cfg(feature = "clock")]
 pub use replacement::clock;
@@ -32,10 +33,11 @@ pub use replacement::lfu;
 #[cfg(feature = "lru")]
 pub use replacement::lru;
 
-pub use pool::{BufferPool, PoolStats};
+pub use pool::BufferPool;
 pub use replacement::{FrameIdx, ReplacementKind, ReplacementPolicy};
 #[cfg(feature = "shared")]
 pub use shared::{SharedBufferPool, DEFAULT_SHARDS};
+pub use stats::{AtomicPoolStats, PoolStats};
 
 /// Feature *Buffer Manager → Concurrency* (this reproduction's extension
 /// to Figure 2): how many threads may work against one pool image.

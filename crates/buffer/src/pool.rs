@@ -5,32 +5,8 @@ use std::collections::HashMap;
 use fame_os::{AllocPolicy, BlockDevice, DeviceStats, FrameAllocator, OsError, PageId};
 
 use crate::replacement::{FrameIdx, ReplacementKind, ReplacementPolicy};
-
-/// Counters of pool behaviour; the NFP experiments and the replacement
-/// ablation bench read these.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct PoolStats {
-    /// Accesses served from a resident frame.
-    pub hits: u64,
-    /// Accesses that had to touch the device.
-    pub misses: u64,
-    /// Frames whose page was replaced.
-    pub evictions: u64,
-    /// Dirty pages written back to the device.
-    pub writebacks: u64,
-}
-
-impl PoolStats {
-    /// Hit ratio in `[0, 1]`; `0` when no access happened yet.
-    pub fn hit_ratio(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.hits as f64 / total as f64
-        }
-    }
-}
+use crate::stats::AtomicPoolStats;
+pub use crate::stats::PoolStats;
 
 #[derive(Debug)]
 struct Frame {
@@ -54,15 +30,15 @@ impl Cached {
     fn frame_for(
         &mut self,
         device: &mut dyn BlockDevice,
-        stats: &mut PoolStats,
+        stats: &AtomicPoolStats,
         page: PageId,
     ) -> Result<FrameIdx, OsError> {
         if let Some(&idx) = self.map.get(&page) {
-            stats.hits += 1;
+            stats.hits.inc();
             self.policy.on_access(idx);
             return Ok(idx);
         }
-        stats.misses += 1;
+        stats.misses.inc();
 
         // Find a frame: an empty pre-allocated one, a fresh allocation, or
         // an eviction victim.
@@ -86,14 +62,14 @@ impl Cached {
             if fr.dirty {
                 let old = fr.page.expect("victim frame holds a page");
                 device.write_page(old, &fr.data)?;
-                stats.writebacks += 1;
+                stats.writebacks.inc();
             }
             if let Some(old) = fr.page.take() {
                 self.map.remove(&old);
             }
             fr.dirty = false;
             self.policy.on_remove(victim);
-            stats.evictions += 1;
+            stats.evictions.inc();
             victim
         };
 
@@ -113,23 +89,24 @@ enum Mode {
     Cached(Cached),
 }
 
-/// Single-threaded pool: exclusive device, no synchronization.
+/// Single-threaded pool: exclusive device, no synchronization beyond the
+/// (relaxed, uncontended) stat counters shared with the snapshot path.
 struct Exclusive {
     device: Box<dyn BlockDevice>,
     mode: Mode,
-    stats: PoolStats,
+    stats: AtomicPoolStats,
 }
 
 impl Exclusive {
     fn with_page<R>(&mut self, page: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R, OsError> {
         match &mut self.mode {
             Mode::Unbuffered { scratch } => {
-                self.stats.misses += 1;
+                self.stats.misses.inc();
                 self.device.read_page(page, scratch)?;
                 Ok(f(scratch))
             }
             Mode::Cached(c) => {
-                let idx = c.frame_for(&mut *self.device, &mut self.stats, page)?;
+                let idx = c.frame_for(&mut *self.device, &self.stats, page)?;
                 Ok(f(&c.frames[idx].data))
             }
         }
@@ -144,14 +121,14 @@ impl Exclusive {
             Mode::Unbuffered { scratch } => {
                 // One access, one miss — the read+write pair is a single
                 // logical page touch.
-                self.stats.misses += 1;
+                self.stats.misses.inc();
                 self.device.read_page(page, scratch)?;
                 let r = f(scratch);
                 self.device.write_page(page, scratch)?;
                 Ok(r)
             }
             Mode::Cached(c) => {
-                let idx = c.frame_for(&mut *self.device, &mut self.stats, page)?;
+                let idx = c.frame_for(&mut *self.device, &self.stats, page)?;
                 c.frames[idx].dirty = true;
                 Ok(f(&mut c.frames[idx].data))
             }
@@ -165,7 +142,7 @@ impl Exclusive {
                     let page = fr.page.expect("dirty frame holds a page");
                     self.device.write_page(page, &fr.data)?;
                     fr.dirty = false;
-                    self.stats.writebacks += 1;
+                    self.stats.writebacks.inc();
                 }
             }
         }
@@ -215,7 +192,7 @@ impl BufferPool {
                     allocator,
                     free,
                 }),
-                stats: PoolStats::default(),
+                stats: AtomicPoolStats::default(),
             }),
         }
     }
@@ -230,7 +207,7 @@ impl BufferPool {
                 mode: Mode::Unbuffered {
                     scratch: vec![0u8; page_size].into_boxed_slice(),
                 },
-                stats: PoolStats::default(),
+                stats: AtomicPoolStats::default(),
             }),
         }
     }
@@ -387,7 +364,7 @@ impl BufferPool {
     /// Pool counters.
     pub fn stats(&self) -> PoolStats {
         match &self.repr {
-            Repr::Exclusive(x) => x.stats,
+            Repr::Exclusive(x) => x.stats.snapshot(),
             #[cfg(feature = "shared")]
             Repr::Shared(s) => s.stats(),
         }

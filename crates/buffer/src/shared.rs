@@ -40,8 +40,10 @@ use std::sync::Arc;
 use fame_os::{AllocPolicy, BlockDevice, DeviceStats, FrameAllocator, OsError, PageId};
 use parking_lot::RwLock;
 
-use crate::pool::PoolStats;
 use crate::replacement::ReplacementKind;
+#[cfg(feature = "obs")]
+use crate::stats::Counter;
+use crate::stats::{AtomicPoolStats, PoolStats};
 
 /// Default shard count used when a product enables MultiReader without
 /// choosing one.
@@ -98,21 +100,17 @@ enum SharedMode {
     },
 }
 
-#[derive(Default)]
-struct AtomicStats {
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    writebacks: AtomicU64,
-}
-
 struct PoolInner {
     device: RwLock<Box<dyn BlockDevice>>,
     /// Captured at construction; devices never change their answer.
     shared_read: bool,
     page_size: usize,
     mode: SharedMode,
-    stats: AtomicStats,
+    stats: AtomicPoolStats,
+    /// Statistics feature: latch acquisitions that found the shard latch
+    /// held, one counter per shard (index = `page & mask`).
+    #[cfg(feature = "obs")]
+    latch_waits: Box<[Counter]>,
 }
 
 /// The `Send + Sync` sharded pool handle. Cloning is cheap (one `Arc`);
@@ -198,7 +196,9 @@ impl SharedBufferPool {
                     shards: vec,
                     clock: AtomicU64::new(0),
                 },
-                stats: AtomicStats::default(),
+                stats: AtomicPoolStats::default(),
+                #[cfg(feature = "obs")]
+                latch_waits: (0..shards).map(|_| Counter::new()).collect(),
             }),
         }
     }
@@ -214,7 +214,9 @@ impl SharedBufferPool {
                 shared_read,
                 page_size,
                 mode: SharedMode::Unbuffered,
-                stats: AtomicStats::default(),
+                stats: AtomicPoolStats::default(),
+                #[cfg(feature = "obs")]
+                latch_waits: std::iter::once(Counter::new()).collect(),
             }),
         }
     }
@@ -234,6 +236,45 @@ impl SharedBufferPool {
         self.inner.device.write().ensure_pages(pages)
     }
 
+    /// Take a shard's read latch. With the Statistics feature the
+    /// contended case is counted per shard; the fast path (uncontended
+    /// `try_read`) costs the same compare-exchange the plain `read` does.
+    fn shard_read<'a>(
+        &self,
+        shard: &'a RwLock<Shard>,
+        idx: usize,
+    ) -> parking_lot::RwLockReadGuard<'a, Shard> {
+        #[cfg(feature = "obs")]
+        {
+            if let Some(g) = shard.try_read() {
+                return g;
+            }
+            self.inner.latch_waits[idx].inc();
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = idx;
+        shard.read()
+    }
+
+    /// Take a shard's write latch, counting contention like
+    /// [`SharedBufferPool::shard_read`].
+    fn shard_write<'a>(
+        &self,
+        shard: &'a RwLock<Shard>,
+        idx: usize,
+    ) -> parking_lot::RwLockWriteGuard<'a, Shard> {
+        #[cfg(feature = "obs")]
+        {
+            if let Some(g) = shard.try_write() {
+                return g;
+            }
+            self.inner.latch_waits[idx].inc();
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = idx;
+        shard.write()
+    }
+
     /// Read a page from the device into `buf` — concurrently with other
     /// readers when the device supports it, else under the write latch.
     fn device_read(&self, page: PageId, buf: &mut [u8]) -> Result<(), OsError> {
@@ -249,7 +290,7 @@ impl SharedBufferPool {
     pub fn with_page<R>(&self, page: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R, OsError> {
         match &self.inner.mode {
             SharedMode::Unbuffered => {
-                self.inner.stats.misses.fetch_add(1, Relaxed);
+                self.inner.stats.misses.inc();
                 SCRATCH.with(|s| {
                     let mut s = s.borrow_mut();
                     s.resize(self.inner.page_size, 0);
@@ -263,20 +304,21 @@ impl SharedBufferPool {
                 clock,
                 ..
             } => {
-                let shard = &shards[page as usize & mask];
+                let shard_idx = page as usize & mask;
+                let shard = &shards[shard_idx];
                 {
-                    let s = shard.read();
+                    let s = self.shard_read(shard, shard_idx);
                     if let Some(&idx) = s.map.get(&page) {
                         let fr = &s.frames[idx];
                         fr.pins.fetch_add(1, Relaxed);
                         fr.touch(clock);
-                        self.inner.stats.hits.fetch_add(1, Relaxed);
+                        self.inner.stats.hits.inc();
                         let r = f(&fr.data);
                         fr.pins.fetch_sub(1, Relaxed);
                         return Ok(r);
                     }
                 }
-                let mut s = shard.write();
+                let mut s = self.shard_write(shard, shard_idx);
                 let idx = self.frame_for(&mut s, page)?;
                 Ok(f(&s.frames[idx].data))
             }
@@ -293,7 +335,7 @@ impl SharedBufferPool {
     ) -> Result<R, OsError> {
         match &self.inner.mode {
             SharedMode::Unbuffered => {
-                self.inner.stats.misses.fetch_add(1, Relaxed);
+                self.inner.stats.misses.inc();
                 SCRATCH.with(|s| {
                     let mut s = s.borrow_mut();
                     s.resize(self.inner.page_size, 0);
@@ -307,8 +349,8 @@ impl SharedBufferPool {
                 })
             }
             SharedMode::Cached { shards, mask, .. } => {
-                let shard = &shards[page as usize & mask];
-                let mut s = shard.write();
+                let shard_idx = page as usize & mask;
+                let mut s = self.shard_write(&shards[shard_idx], shard_idx);
                 let idx = self.frame_for(&mut s, page)?;
                 let fr = &mut s.frames[idx];
                 fr.dirty = true;
@@ -326,11 +368,11 @@ impl SharedBufferPool {
         // Re-check under the write latch: another thread may have loaded
         // the page between our read probe and here.
         if let Some(&idx) = s.map.get(&page) {
-            self.inner.stats.hits.fetch_add(1, Relaxed);
+            self.inner.stats.hits.inc();
             s.frames[idx].touch(clock);
             return Ok(idx);
         }
-        self.inner.stats.misses.fetch_add(1, Relaxed);
+        self.inner.stats.misses.inc();
 
         let idx = if let Some(idx) = s.free.pop() {
             idx
@@ -345,13 +387,13 @@ impl SharedBufferPool {
             if fr.dirty {
                 let old = fr.page.expect("victim frame holds a page");
                 self.inner.device.write().write_page(old, &fr.data)?;
-                self.inner.stats.writebacks.fetch_add(1, Relaxed);
+                self.inner.stats.writebacks.inc();
             }
             if let Some(old) = fr.page.take() {
                 s.map.remove(&old);
             }
             fr.dirty = false;
-            self.inner.stats.evictions.fetch_add(1, Relaxed);
+            self.inner.stats.evictions.inc();
             victim
         };
 
@@ -374,7 +416,7 @@ impl SharedBufferPool {
                         let page = fr.page.expect("dirty frame holds a page");
                         self.inner.device.write().write_page(page, &fr.data)?;
                         fr.dirty = false;
-                        self.inner.stats.writebacks.fetch_add(1, Relaxed);
+                        self.inner.stats.writebacks.inc();
                     }
                 }
             }
@@ -426,15 +468,22 @@ impl SharedBufferPool {
         }
     }
 
-    /// Pool counters (aggregated over all threads).
+    /// Pool counters (aggregated over all threads and shards).
     pub fn stats(&self) -> PoolStats {
-        let s = &self.inner.stats;
-        PoolStats {
-            hits: s.hits.load(Relaxed),
-            misses: s.misses.load(Relaxed),
-            evictions: s.evictions.load(Relaxed),
-            writebacks: s.writebacks.load(Relaxed),
+        #[allow(unused_mut)]
+        let mut s = self.inner.stats.snapshot();
+        #[cfg(feature = "obs")]
+        {
+            s.latch_waits = self.inner.latch_waits.iter().map(|c| c.get()).sum();
         }
+        s
+    }
+
+    /// Statistics feature: latch-contention counts per shard, index =
+    /// `page & (shards - 1)`.
+    #[cfg(feature = "obs")]
+    pub fn latch_waits_per_shard(&self) -> Vec<u64> {
+        self.inner.latch_waits.iter().map(|c| c.get()).collect()
     }
 
     /// Device counters.

@@ -125,6 +125,28 @@ pub struct TxnConfig {
     pub commit: fame_txn::CommitPolicy,
 }
 
+/// Statistics settings (feature `statistics`).
+///
+/// The counters and histograms are always on when the feature is composed
+/// (they are cheaper than a branch to skip them); this only sizes the
+/// op-trace ring, which is the one part that owns memory.
+#[cfg(feature = "statistics")]
+#[derive(Debug, Clone, Copy)]
+pub struct StatsConfig {
+    /// Capacity of the op-trace ring (events; allocated once at open,
+    /// oldest entries overwritten). 0 is clamped to 1.
+    pub trace_capacity: usize,
+}
+
+#[cfg(feature = "statistics")]
+impl Default for StatsConfig {
+    fn default() -> Self {
+        StatsConfig {
+            trace_capacity: 256,
+        }
+    }
+}
+
 /// Complete runtime configuration of one product instance.
 #[derive(Debug, Clone)]
 pub struct DbmsConfig {
@@ -153,6 +175,9 @@ pub struct DbmsConfig {
     /// Replication acknowledgement policy.
     #[cfg(feature = "replication")]
     pub replication: Option<fame_repl::AckPolicy>,
+    /// Statistics settings (op-trace ring size).
+    #[cfg(feature = "statistics")]
+    pub stats: StatsConfig,
 }
 
 impl DbmsConfig {
@@ -178,6 +203,8 @@ impl DbmsConfig {
             crypto_key: None,
             #[cfg(feature = "replication")]
             replication: None,
+            #[cfg(feature = "statistics")]
+            stats: StatsConfig::default(),
         }
     }
 

@@ -51,6 +51,15 @@ pub struct Database {
     replication: Option<fame_repl::Primary>,
     #[cfg(feature = "sql")]
     sql: Option<fame_query::SqlEngine>,
+    /// I/O latency histograms of the data device (feature `statistics`).
+    #[cfg(feature = "statistics")]
+    io: std::sync::Arc<fame_os::IoTiming>,
+    /// Fixed-capacity op-trace ring (feature `statistics`).
+    #[cfg(feature = "statistics")]
+    trace: fame_obs::TraceRing,
+    /// What the last [`Database::verify_integrity`] walk found.
+    #[cfg(feature = "statistics")]
+    last_integrity: Option<IntegritySummary>,
 }
 
 #[cfg(feature = "transactions")]
@@ -91,6 +100,15 @@ impl Database {
         device: Box<dyn BlockDevice>,
         log_device: Option<Box<dyn BlockDevice>>,
     ) -> Result<Database> {
+        // Statistics: interpose the timing wrapper between pool and device
+        // so page-I/O latencies land in histograms. Outermost wrapper, so
+        // crypto cost (when composed inside) is part of the measured read.
+        #[cfg(feature = "statistics")]
+        let (device, io) = {
+            let observed = fame_os::ObservedDevice::new(device);
+            let io = observed.timing();
+            (Box::new(observed) as Box<dyn BlockDevice>, io)
+        };
         let pool = make_pool(&config, device);
         let mut pager = Pager::open(pool)?;
 
@@ -142,6 +160,8 @@ impl Database {
         #[cfg(feature = "sql")]
         let sql = None; // lazily initialized: not every instance uses SQL
 
+        #[cfg(feature = "statistics")]
+        let trace = fame_obs::TraceRing::new(config.stats.trace_capacity);
         let mut db = Database {
             pager,
             kv,
@@ -156,6 +176,12 @@ impl Database {
             replication,
             #[cfg(feature = "sql")]
             sql,
+            #[cfg(feature = "statistics")]
+            io,
+            #[cfg(feature = "statistics")]
+            trace,
+            #[cfg(feature = "statistics")]
+            last_integrity: None,
         };
         #[cfg(feature = "transactions")]
         if let Some((records, resume)) = replay {
@@ -182,6 +208,8 @@ impl Database {
             t.flush()?;
         }
         self.pager.sync()?;
+        #[cfg(feature = "statistics")]
+        self.trace.record(fame_obs::OpKind::Sync, 0, 0);
         Ok(())
     }
 
@@ -189,7 +217,15 @@ impl Database {
     /// invariant (meta page, free list, index structures). The crash-torture
     /// harness runs this after every simulated crash + recovery.
     pub fn verify_integrity(&mut self) -> Result<fame_storage::IntegrityReport> {
-        Ok(fame_storage::check_pager(&mut self.pager)?)
+        let report = fame_storage::check_pager(&mut self.pager)?;
+        #[cfg(feature = "statistics")]
+        {
+            self.last_integrity = Some(IntegritySummary {
+                violations: report.violations.len(),
+                leaked_pages: report.leaked_pages,
+            });
+        }
+        Ok(report)
     }
 
     /// A shared read handle (feature `concurrency-multi`).
@@ -241,6 +277,9 @@ impl Database {
         self.kv_put(key, value)?;
         #[cfg(feature = "replication")]
         self.ship_put(key, value)?;
+        #[cfg(feature = "statistics")]
+        self.trace
+            .record(fame_obs::OpKind::Put, key.len() as u64, value.len() as u64);
         Ok(())
     }
 
@@ -255,14 +294,21 @@ impl Database {
     /// [`get`](Self::get) is the `to_vec` wrapper over this.
     #[cfg(feature = "api-get")]
     pub fn get_with<R>(&mut self, key: &[u8], f: impl FnOnce(&[u8]) -> R) -> Result<Option<R>> {
-        match &self.kv {
+        let found = match &self.kv {
             #[cfg(feature = "index-btree")]
-            Kv::BTree(t) => Ok(t.get_with(&mut self.pager, key, f)?),
+            Kv::BTree(t) => t.get_with(&mut self.pager, key, f)?,
             #[cfg(feature = "index-list")]
-            Kv::List(l) => Ok(l.get_with(&mut self.pager, key, f)?),
+            Kv::List(l) => l.get_with(&mut self.pager, key, f)?,
             #[cfg(feature = "index-hash")]
-            Kv::Hash(h) => Ok(h.get_with(&mut self.pager, key, f)?),
-        }
+            Kv::Hash(h) => h.get_with(&mut self.pager, key, f)?,
+        };
+        #[cfg(feature = "statistics")]
+        self.trace.record(
+            fame_obs::OpKind::Get,
+            key.len() as u64,
+            found.is_some() as u64,
+        );
+        Ok(found)
     }
 
     /// Remove a key; returns whether it existed (feature `api-remove`).
@@ -273,6 +319,9 @@ impl Database {
         if removed {
             self.ship_remove(key)?;
         }
+        #[cfg(feature = "statistics")]
+        self.trace
+            .record(fame_obs::OpKind::Remove, key.len() as u64, removed as u64);
         Ok(removed)
     }
 
@@ -285,6 +334,12 @@ impl Database {
         self.kv_put(key, value)?;
         #[cfg(feature = "replication")]
         self.ship_put(key, value)?;
+        #[cfg(feature = "statistics")]
+        self.trace.record(
+            fame_obs::OpKind::Update,
+            key.len() as u64,
+            value.len() as u64,
+        );
         Ok(true)
     }
 
@@ -383,12 +438,18 @@ impl Database {
 
     /// A full statistics report of the running product (feature
     /// `statistics` — the Berkeley DB `->stat()` analog).
+    ///
+    /// The snapshot is *coherent* under concurrent readers: every counter
+    /// is read once from its atomic, so repeated calls observe each field
+    /// monotonically non-decreasing and never torn.
     #[cfg(feature = "statistics")]
-    pub fn stats(&mut self) -> Result<DbStats> {
+    pub fn stats(&mut self) -> Result<StatsSnapshot> {
         let keys = self.len()?;
         let pool = self.pool_stats();
         let device = self.device_stats();
-        Ok(DbStats {
+        let frames = self.pager.pool().frame_count();
+        let page_size = self.pager.page_size();
+        Ok(StatsSnapshot {
             keys,
             index: match &self.kv {
                 #[cfg(feature = "index-btree")]
@@ -399,14 +460,39 @@ impl Database {
                 Kv::Hash(_) => "Hash",
             },
             allocated_pages: self.pager.allocated_pages()?,
-            page_size: self.pager.page_size(),
+            page_size,
             pool,
             device,
+            pager_ops: self.pager.ops(),
+            io: self.io.snapshot(),
+            frames,
+            frame_bytes: frames * page_size,
+            ops_traced: self.trace.recorded(),
+            integrity: self.last_integrity,
             #[cfg(feature = "transactions")]
             txn: self.txn.as_ref().map(|t| t.stats()),
+            #[cfg(feature = "transactions")]
+            log_syncs: self.txn.as_ref().map(|t| t.log_syncs()),
+            #[cfg(feature = "transactions")]
+            log_bytes: self.txn.as_ref().map(|t| t.log_bytes()),
+            #[cfg(feature = "transactions")]
+            commit_latency: self.txn.as_ref().map(|t| t.obs().commit_latency.snapshot()),
+            #[cfg(feature = "transactions")]
+            recovery_redo: self.last_recovery.as_ref().map_or(0, |r| r.redo_applied),
+            #[cfg(feature = "transactions")]
+            recovery_undo: self.last_recovery.as_ref().map_or(0, |r| r.undo_applied),
+            #[cfg(feature = "sql")]
+            query: self.sql.as_ref().map(|e| e.obs()),
             #[cfg(feature = "replication")]
             replication_lag: self.replication_lag(),
         })
+    }
+
+    /// The op-trace ring, oldest first (feature `statistics`). At most
+    /// [`crate::config::StatsConfig::trace_capacity`] most-recent events.
+    #[cfg(feature = "statistics")]
+    pub fn op_trace(&self) -> Vec<fame_obs::TraceEvent> {
+        self.trace.dump()
     }
 
     // ---- queue access method (Berkeley DB QUEUE, §2.2) -------------------
@@ -440,7 +526,11 @@ impl Database {
             self.sql = Some(fame_query::SqlEngine::open_default(&mut self.pager)?);
         }
         let engine = self.sql.as_mut().expect("just initialized");
-        Ok(engine.execute(&mut self.pager, statement)?)
+        let out = engine.execute(&mut self.pager, statement)?;
+        #[cfg(feature = "statistics")]
+        self.trace
+            .record(fame_obs::OpKind::Query, statement.len() as u64, 0);
+        Ok(out)
     }
 
     /// Access path chosen by the last SQL row-sourcing statement
@@ -461,6 +551,8 @@ impl Database {
             .ok_or_else(|| DbmsError::Config("transactions not enabled in config".into()))?;
         let id = mgr.begin()?;
         self.txn_pending_ship.insert(id, Vec::new());
+        #[cfg(feature = "statistics")]
+        self.trace.record(fame_obs::OpKind::TxnBegin, id, 0);
         Ok(TxnHandle { id })
     }
 
@@ -517,6 +609,8 @@ impl Database {
         }
         #[cfg(not(feature = "replication"))]
         drop(pending);
+        #[cfg(feature = "statistics")]
+        self.trace.record(fame_obs::OpKind::TxnCommit, txn.id, 0);
         Ok(())
     }
 
@@ -536,6 +630,8 @@ impl Database {
                 }
             }
         }
+        #[cfg(feature = "statistics")]
+        self.trace.record(fame_obs::OpKind::TxnAbort, txn.id, 0);
         Ok(())
     }
 
@@ -582,6 +678,12 @@ impl Database {
                 t.seal_recovery(&stats.losers)?;
             }
         }
+        #[cfg(feature = "statistics")]
+        self.trace.record(
+            fame_obs::OpKind::Recovery,
+            stats.redo_applied as u64,
+            stats.undo_applied as u64,
+        );
         self.last_recovery = Some(stats);
         Ok(())
     }
@@ -656,10 +758,25 @@ impl Database {
     }
 }
 
+/// Summary of the last [`Database::verify_integrity`] walk, kept for the
+/// statistics report (feature `statistics`).
+#[cfg(feature = "statistics")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntegritySummary {
+    /// Structural invariants found violated.
+    pub violations: usize,
+    /// Allocated pages neither reachable nor free.
+    pub leaked_pages: u32,
+}
+
 /// Product statistics report (feature `statistics`).
+///
+/// Coherent point-in-time copy: every field is a plain value read once
+/// from its atomic source, safe to take while concurrent [`DbReader`]s
+/// run. Formerly `DbStats` — the alias still works.
 #[cfg(feature = "statistics")]
 #[derive(Debug, Clone)]
-pub struct DbStats {
+pub struct StatsSnapshot {
     /// Live keys in the primary index.
     pub keys: usize,
     /// Name of the composed index.
@@ -668,20 +785,140 @@ pub struct DbStats {
     pub allocated_pages: u32,
     /// Page size in bytes.
     pub page_size: usize,
-    /// Buffer-pool counters.
+    /// Buffer-pool counters (hits/misses/evictions/writebacks/latch waits).
     pub pool: fame_buffer::PoolStats,
     /// Device counters.
     pub device: fame_os::DeviceStats,
+    /// Logical pager operations (page reads/writes, allocs/frees).
+    pub pager_ops: fame_storage::PagerOpsSnapshot,
+    /// Data-device I/O latency histograms.
+    pub io: fame_os::IoTimingSnapshot,
+    /// Buffer frames currently resident.
+    pub frames: usize,
+    /// Bytes those frames pin (`frames * page_size`) — the `ram` NFP of
+    /// the buffer.
+    pub frame_bytes: usize,
+    /// Events recorded into the op-trace ring since open.
+    pub ops_traced: u64,
+    /// What the last [`Database::verify_integrity`] found; `None` until
+    /// it has been run on this instance.
+    pub integrity: Option<IntegritySummary>,
     /// `(committed, aborted)`, when transactions are configured.
     #[cfg(feature = "transactions")]
     pub txn: Option<(u64, u64)>,
+    /// Log-device sync count, when transactions are configured.
+    #[cfg(feature = "transactions")]
+    pub log_syncs: Option<u64>,
+    /// Bytes appended to the WAL (the log tail offset).
+    #[cfg(feature = "transactions")]
+    pub log_bytes: Option<u64>,
+    /// Commit-latency histogram of successful commits.
+    #[cfg(feature = "transactions")]
+    pub commit_latency: Option<fame_obs::HistogramSnapshot>,
+    /// Redo operations applied by recovery at open (0 = clean open).
+    #[cfg(feature = "transactions")]
+    pub recovery_redo: usize,
+    /// Undo operations applied by recovery at open.
+    #[cfg(feature = "transactions")]
+    pub recovery_undo: usize,
+    /// SQL executor counters; `None` until the engine has been used.
+    #[cfg(feature = "sql")]
+    pub query: Option<fame_query::QueryObsSnapshot>,
     /// Shipped-minus-acknowledged, when replication is configured.
     #[cfg(feature = "replication")]
     pub replication_lag: Option<u64>,
 }
 
+/// Pre-rename alias of [`StatsSnapshot`].
 #[cfg(feature = "statistics")]
-impl std::fmt::Display for DbStats {
+pub type DbStats = StatsSnapshot;
+
+#[cfg(feature = "statistics")]
+impl StatsSnapshot {
+    /// Flat `metric<TAB>value` export, one line per scalar — the format
+    /// the E9 probe and external collectors scrape. Histogram fields
+    /// export count/mean/p50/p99/max.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        let mut put = |k: &str, v: u64| {
+            out.push_str(k);
+            out.push('\t');
+            out.push_str(&v.to_string());
+            out.push('\n');
+        };
+        put("keys", self.keys as u64);
+        put("allocated_pages", u64::from(self.allocated_pages));
+        put("page_size", self.page_size as u64);
+        put("pool.hits", self.pool.hits);
+        put("pool.misses", self.pool.misses);
+        put("pool.evictions", self.pool.evictions);
+        put("pool.writebacks", self.pool.writebacks);
+        put("pool.latch_waits", self.pool.latch_waits);
+        put("pool.frames", self.frames as u64);
+        put("pool.frame_bytes", self.frame_bytes as u64);
+        put("device.reads", self.device.reads);
+        put("device.writes", self.device.writes);
+        put("device.syncs", self.device.syncs);
+        put("device.erases", self.device.erases);
+        put("pager.page_reads", self.pager_ops.page_reads);
+        put("pager.page_writes", self.pager_ops.page_writes);
+        put("pager.allocs", self.pager_ops.allocs);
+        put("pager.frees", self.pager_ops.frees);
+        for (name, h) in [
+            ("io.read", &self.io.read),
+            ("io.write", &self.io.write),
+            ("io.sync", &self.io.sync),
+        ] {
+            put(&format!("{name}.count"), h.count);
+            put(&format!("{name}.mean_ns"), h.mean_ns());
+            put(&format!("{name}.p50_ns"), h.percentile_ns(50));
+            put(&format!("{name}.p99_ns"), h.percentile_ns(99));
+            put(&format!("{name}.max_ns"), h.max_ns);
+        }
+        put("ops_traced", self.ops_traced);
+        if let Some(i) = &self.integrity {
+            put("integrity.violations", i.violations as u64);
+            put("integrity.leaked_pages", u64::from(i.leaked_pages));
+        }
+        #[cfg(feature = "transactions")]
+        {
+            if let Some((c, a)) = self.txn {
+                put("txn.committed", c);
+                put("txn.aborted", a);
+            }
+            if let Some(s) = self.log_syncs {
+                put("txn.log_syncs", s);
+            }
+            if let Some(b) = self.log_bytes {
+                put("txn.log_bytes", b);
+            }
+            if let Some(h) = &self.commit_latency {
+                put("txn.commit.count", h.count);
+                put("txn.commit.mean_ns", h.mean_ns());
+                put("txn.commit.p50_ns", h.percentile_ns(50));
+                put("txn.commit.p99_ns", h.percentile_ns(99));
+                put("txn.commit.max_ns", h.max_ns);
+            }
+            put("recovery.redo", self.recovery_redo as u64);
+            put("recovery.undo", self.recovery_undo as u64);
+        }
+        #[cfg(feature = "sql")]
+        if let Some(q) = &self.query {
+            put("query.rows_scanned", q.rows_scanned);
+            put("query.full_scans", q.full_scans);
+            put("query.point_lookups", q.point_lookups);
+            put("query.range_scans", q.range_scans);
+        }
+        #[cfg(feature = "replication")]
+        if let Some(lag) = self.replication_lag {
+            put("replication.lag", lag);
+        }
+        out
+    }
+}
+
+#[cfg(feature = "statistics")]
+impl std::fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "index:            {} ({} keys)", self.index, self.keys)?;
         writeln!(
@@ -691,20 +928,68 @@ impl std::fmt::Display for DbStats {
         )?;
         writeln!(
             f,
-            "buffer:           {:.1}% hits ({} accesses, {} evictions, {} writebacks)",
+            "buffer:           {:.1}% hits ({} accesses, {} evictions, {} writebacks, {} latch waits)",
             self.pool.hit_ratio() * 100.0,
             self.pool.hits + self.pool.misses,
             self.pool.evictions,
-            self.pool.writebacks
+            self.pool.writebacks,
+            self.pool.latch_waits
         )?;
-        write!(
+        writeln!(
+            f,
+            "frames:           {} resident ({} bytes)",
+            self.frames, self.frame_bytes
+        )?;
+        writeln!(
+            f,
+            "pager:            {} page reads, {} page writes, {} allocs, {} frees",
+            self.pager_ops.page_reads,
+            self.pager_ops.page_writes,
+            self.pager_ops.allocs,
+            self.pager_ops.frees
+        )?;
+        writeln!(
             f,
             "device:           {} reads, {} writes, {} syncs, {} erases",
             self.device.reads, self.device.writes, self.device.syncs, self.device.erases
         )?;
+        write!(f, "io read:          {}", self.io.read)?;
+        write!(f, "\nio write:         {}", self.io.write)?;
+        write!(f, "\nio sync:          {}", self.io.sync)?;
+        write!(f, "\nops traced:       {}", self.ops_traced)?;
+        if let Some(i) = &self.integrity {
+            write!(
+                f,
+                "\nintegrity:        {} violations, {} leaked pages",
+                i.violations, i.leaked_pages
+            )?;
+        }
         #[cfg(feature = "transactions")]
-        if let Some((c, a)) = self.txn {
-            write!(f, "\ntransactions:     {c} committed, {a} aborted")?;
+        {
+            if let Some((c, a)) = self.txn {
+                write!(f, "\ntransactions:     {c} committed, {a} aborted")?;
+            }
+            if let (Some(s), Some(b)) = (self.log_syncs, self.log_bytes) {
+                write!(f, "\nwal:              {s} syncs, {b} bytes")?;
+            }
+            if let Some(h) = &self.commit_latency {
+                write!(f, "\ncommit latency:   {h}")?;
+            }
+            if self.recovery_redo + self.recovery_undo > 0 {
+                write!(
+                    f,
+                    "\nrecovery:         {} redo, {} undo",
+                    self.recovery_redo, self.recovery_undo
+                )?;
+            }
+        }
+        #[cfg(feature = "sql")]
+        if let Some(q) = &self.query {
+            write!(
+                f,
+                "\nquery:            {} rows scanned ({} point, {} range, {} full)",
+                q.rows_scanned, q.point_lookups, q.range_scans, q.full_scans
+            )?;
         }
         #[cfg(feature = "replication")]
         if let Some(lag) = self.replication_lag {
@@ -1153,6 +1438,72 @@ mod tests {
         let rendered = s.to_string();
         assert!(rendered.contains("50 keys"), "{rendered}");
         assert!(rendered.contains("buffer:"), "{rendered}");
+    }
+
+    #[cfg(all(feature = "statistics", feature = "api-put", feature = "api-get"))]
+    #[test]
+    fn stats_snapshot_covers_all_layers() {
+        let mut d = db();
+        for i in 0u32..100 {
+            d.put(&i.to_be_bytes(), &[7u8; 16]).unwrap();
+        }
+        for i in 0u32..100 {
+            assert!(d.get(&i.to_be_bytes()).unwrap().is_some());
+        }
+        d.sync().unwrap();
+
+        let s = d.stats().unwrap();
+        assert!(s.pager_ops.page_reads > 0, "pager reads counted");
+        assert!(s.pager_ops.allocs > 0, "pager allocs counted");
+        assert!(s.frames > 0);
+        assert_eq!(s.frame_bytes, s.frames * s.page_size);
+        // 100 puts + 100 gets + 1 sync flowed through the trace ring.
+        assert_eq!(s.ops_traced, 201);
+        let trace = d.op_trace();
+        assert!(!trace.is_empty());
+        assert!(trace.len() <= d.config().stats.trace_capacity.max(1));
+        // Ring holds the most recent events: the last one is the sync.
+        assert_eq!(trace.last().unwrap().op, fame_obs::OpKind::Sync);
+
+        // Integrity findings are absent until verified, cached afterwards.
+        assert!(s.integrity.is_none());
+        d.verify_integrity().unwrap();
+        let s2 = d.stats().unwrap();
+        let integ = s2.integrity.expect("cached after verify_integrity");
+        assert_eq!(integ.violations, 0);
+
+        let tsv = s2.to_tsv();
+        for key in [
+            "pool.hits\t",
+            "pool.latch_waits\t",
+            "pager.page_reads\t",
+            "io.read.count\t",
+            "ops_traced\t",
+            "integrity.violations\t0",
+        ] {
+            assert!(tsv.contains(key), "missing {key:?} in:\n{tsv}");
+        }
+    }
+
+    #[cfg(all(feature = "statistics", feature = "api-put", feature = "api-get"))]
+    #[test]
+    fn stats_counters_never_decrease() {
+        let mut d = db();
+        let mut prev = d.stats().unwrap();
+        for round in 0u32..20 {
+            for i in 0..50u32 {
+                d.put(&(round * 50 + i).to_be_bytes(), &[3u8; 8]).unwrap();
+                d.get(&i.to_be_bytes()).unwrap();
+            }
+            let s = d.stats().unwrap();
+            assert!(s.pool.hits >= prev.pool.hits);
+            assert!(s.pool.misses >= prev.pool.misses);
+            assert!(s.pool.evictions >= prev.pool.evictions);
+            assert!(s.pool.writebacks >= prev.pool.writebacks);
+            assert!(s.pager_ops.page_reads >= prev.pager_ops.page_reads);
+            assert!(s.ops_traced > prev.ops_traced);
+            prev = s;
+        }
     }
 
     #[test]

@@ -121,6 +121,7 @@ pub fn model_configuration(
     }
 
     select("OS-Abstraction");
+    select("Platform");
     match &config.os {
         #[cfg(feature = "os-inmem")]
         OsTarget::InMemory { .. } => select("Linux"),
@@ -128,6 +129,9 @@ pub fn model_configuration(
         OsTarget::File { .. } => select("Linux"),
         #[cfg(feature = "os-flash")]
         OsTarget::Flash(_) => select("NutOS"),
+    }
+    if cfg!(feature = "statistics") {
+        select("Statistics");
     }
 
     #[cfg(feature = "buffer")]

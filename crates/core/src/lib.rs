@@ -68,12 +68,14 @@ pub use db::Database;
 pub use error::DbmsError;
 pub use features::{active_features, model_configuration};
 
+#[cfg(feature = "statistics")]
+pub use config::StatsConfig;
 #[cfg(feature = "concurrency-multi")]
 pub use db::DbReader;
-#[cfg(feature = "statistics")]
-pub use db::DbStats;
 #[cfg(feature = "transactions")]
 pub use db::TxnHandle;
+#[cfg(feature = "statistics")]
+pub use db::{DbStats, IntegritySummary, StatsSnapshot};
 #[cfg(feature = "buffer")]
 pub use fame_buffer::Concurrency;
 
@@ -83,6 +85,8 @@ pub use fame_feature_model;
 pub use fame_os;
 pub use fame_storage;
 
+#[cfg(feature = "statistics")]
+pub use fame_obs;
 #[cfg(feature = "sql")]
 pub use fame_query;
 #[cfg(feature = "replication")]

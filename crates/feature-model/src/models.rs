@@ -25,7 +25,9 @@ use crate::model::{FeatureModel, GroupKind, ModelBuilder};
 ///
 /// ```text
 /// FAME-DBMS
-/// ├── OS-Abstraction            (mandatory; alternative: Linux | Win32 | NutOS)
+/// ├── OS-Abstraction            (mandatory)
+/// │   ├── Platform              (mandatory; alternative: Linux | Win32 | NutOS)
+/// │   └── Statistics            (optional; counters, histograms, op trace)
 /// ├── BufferManager             (optional)
 /// │   ├── Replacement           (mandatory; alternative: LFU | LRU)
 /// │   ├── MemoryAlloc           (mandatory; alternative: Dynamic | Static)
@@ -58,20 +60,34 @@ pub fn fame_dbms() -> FeatureModel {
 
     // --- OS abstraction -------------------------------------------------
     let os = b.mandatory(root, "OS-Abstraction");
-    b.group(os, GroupKind::Alternative);
     b.doc(
         os,
         "Lowest layer: storage device + memory services of the target OS",
     );
-    let linux = b.optional(os, "Linux");
+    // The target platform is the exactly-one choice; Statistics rides
+    // alongside it so the alternative group cannot sit on OS-Abstraction
+    // itself.
+    let platform = b.mandatory(os, "Platform");
+    b.group(platform, GroupKind::Alternative);
+    let linux = b.optional(platform, "Linux");
     b.attr(linux, "rom_bytes", 6_000.0);
-    let win = b.optional(os, "Win32");
+    let win = b.optional(platform, "Win32");
     b.attr(win, "rom_bytes", 7_000.0);
-    let nutos = b.optional(os, "NutOS");
+    let nutos = b.optional(platform, "NutOS");
     b.attr(nutos, "rom_bytes", 3_500.0);
     b.doc(
         nutos,
         "Deeply embedded target (simulated flash device in this repo)",
+    );
+    // Statistics (§2.2 lists it among Berkeley DB's examined features; in
+    // FAME-DBMS it instruments the OS layer's devices and everything
+    // above). Optional: off = no counters in the binary.
+    let stats = b.optional(os, "Statistics");
+    b.attr(stats, "rom_bytes", 2_500.0);
+    b.attr(stats, "ram_bytes", 2_048.0);
+    b.doc(
+        stats,
+        "Atomic counters, latency histograms, op-trace ring (NFP feedback)",
     );
 
     // --- Buffer manager --------------------------------------------------
@@ -386,6 +402,7 @@ mod tests {
         let names = [
             "FAME-DBMS",
             "OS-Abstraction",
+            "Platform",
             "NutOS",
             "Storage",
             "Index",

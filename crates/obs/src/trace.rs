@@ -1,0 +1,205 @@
+//! Fixed-capacity ring of recent operations for post-mortem dumps.
+
+use std::fmt;
+use std::sync::Mutex;
+
+/// Kind of a traced operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum OpKind {
+    Put,
+    Get,
+    Remove,
+    Update,
+    TxnBegin,
+    TxnCommit,
+    TxnAbort,
+    Sync,
+    Checkpoint,
+    Query,
+    Recovery,
+}
+
+impl OpKind {
+    /// Stable lower-case label, used by the dump format.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::Put => "put",
+            OpKind::Get => "get",
+            OpKind::Remove => "remove",
+            OpKind::Update => "update",
+            OpKind::TxnBegin => "txn-begin",
+            OpKind::TxnCommit => "txn-commit",
+            OpKind::TxnAbort => "txn-abort",
+            OpKind::Sync => "sync",
+            OpKind::Checkpoint => "checkpoint",
+            OpKind::Query => "query",
+            OpKind::Recovery => "recovery",
+        }
+    }
+}
+
+/// One traced operation. `a`/`b` are op-specific details (e.g. key length
+/// and value length for a put; redo and undo counts for a recovery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotonic sequence number, 0-based over the ring's lifetime.
+    pub seq: u64,
+    /// [`crate::monotonic_ns`] timestamp at record time.
+    pub at_ns: u64,
+    pub op: OpKind,
+    pub a: u64,
+    pub b: u64,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#{} +{}ns {} a={} b={}",
+            self.seq,
+            self.at_ns,
+            self.op.label(),
+            self.a,
+            self.b
+        )
+    }
+}
+
+struct RingInner {
+    /// Slot storage, allocated once; length is the capacity.
+    slots: Box<[TraceEvent]>,
+    /// Total events ever recorded; `next % capacity` is the write slot.
+    next: u64,
+}
+
+/// A bounded trace of recent operations.
+///
+/// Capacity is fixed at construction and the ring never allocates
+/// afterwards — old events are overwritten, which is exactly what an
+/// embedded post-mortem buffer wants. Recording takes an uncontended
+/// mutex; in FAME-DBMS only the single writer thread records, so the lock
+/// is there to keep [`TraceRing::dump`] (callable from any thread holding
+/// a reference) coherent, not to arbitrate writers.
+pub struct TraceRing {
+    inner: Mutex<RingInner>,
+}
+
+impl TraceRing {
+    /// A ring holding the last `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let blank = TraceEvent {
+            seq: 0,
+            at_ns: 0,
+            op: OpKind::Sync,
+            a: 0,
+            b: 0,
+        };
+        TraceRing {
+            inner: Mutex::new(RingInner {
+                slots: vec![blank; capacity].into_boxed_slice(),
+                next: 0,
+            }),
+        }
+    }
+
+    /// Record an event, timestamping it now.
+    pub fn record(&self, op: OpKind, a: u64, b: u64) {
+        let at_ns = crate::monotonic_ns();
+        let mut inner = self.inner.lock().expect("trace ring poisoned");
+        let seq = inner.next;
+        let cap = inner.slots.len() as u64;
+        inner.slots[(seq % cap) as usize] = TraceEvent {
+            seq,
+            at_ns,
+            op,
+            a,
+            b,
+        };
+        inner.next = seq + 1;
+    }
+
+    /// Total events recorded over the ring's lifetime (not the retained
+    /// count).
+    pub fn recorded(&self) -> u64 {
+        self.inner.lock().expect("trace ring poisoned").next
+    }
+
+    /// Slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().expect("trace ring poisoned").slots.len()
+    }
+
+    /// The retained events, oldest first. Allocates the return vector —
+    /// dumps are a post-mortem path, not a hot one.
+    pub fn dump(&self) -> Vec<TraceEvent> {
+        let inner = self.inner.lock().expect("trace ring poisoned");
+        let cap = inner.slots.len() as u64;
+        let retained = inner.next.min(cap);
+        let mut out = Vec::with_capacity(retained as usize);
+        for i in 0..retained {
+            let seq = inner.next - retained + i;
+            out.push(inner.slots[(seq % cap) as usize]);
+        }
+        out
+    }
+}
+
+impl fmt::Debug for TraceRing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceRing")
+            .field("capacity", &self.capacity())
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dump_returns_events_in_order() {
+        let ring = TraceRing::new(8);
+        ring.record(OpKind::Put, 4, 16);
+        ring.record(OpKind::Get, 4, 0);
+        let events = ring.dump();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].op, OpKind::Put);
+        assert_eq!(events[1].op, OpKind::Get);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 1);
+        assert!(events[1].at_ns >= events[0].at_ns);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let ring = TraceRing::new(4);
+        for i in 0..10 {
+            ring.record(OpKind::Put, i, 0);
+        }
+        let events = ring.dump();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].a, 6);
+        assert_eq!(events[3].a, 9);
+        assert_eq!(ring.recorded(), 10);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let ring = TraceRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.record(OpKind::Sync, 0, 0);
+        assert_eq!(ring.dump().len(), 1);
+    }
+
+    #[test]
+    fn event_display_mentions_op() {
+        let ring = TraceRing::new(2);
+        ring.record(OpKind::TxnCommit, 7, 0);
+        let text = ring.dump()[0].to_string();
+        assert!(text.contains("txn-commit"), "{text}");
+        assert!(text.contains("a=7"), "{text}");
+    }
+}

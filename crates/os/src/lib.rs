@@ -29,6 +29,8 @@ pub mod file;
 pub mod flash;
 #[cfg(feature = "inmem")]
 pub mod memory;
+#[cfg(feature = "obs")]
+pub mod observed;
 pub mod shared;
 
 pub use alloc::{AllocPolicy, FrameAllocator};
@@ -41,4 +43,6 @@ pub use file::FileDevice;
 pub use flash::{FlashConfig, FlashDevice};
 #[cfg(feature = "inmem")]
 pub use memory::InMemoryDevice;
+#[cfg(feature = "obs")]
+pub use observed::{IoTiming, IoTimingSnapshot, ObservedDevice};
 pub use shared::SharedDevice;

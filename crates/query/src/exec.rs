@@ -44,12 +44,41 @@ impl QueryOutput {
     }
 }
 
+/// Statistics feature: counters of what the executor did — how many rows
+/// each access path produced before residual filtering, and how often each
+/// plan shape was chosen.
+#[cfg(feature = "obs")]
+#[derive(Debug, Default)]
+pub struct QueryObs {
+    /// Rows fetched from the index by row-sourcing statements (before the
+    /// residual predicate drops non-matching ones).
+    pub rows_scanned: fame_obs::Counter,
+    /// Row-sourcing statements executed as a full leaf scan.
+    pub full_scans: fame_obs::Counter,
+    /// ... as a primary-key point lookup.
+    pub point_lookups: fame_obs::Counter,
+    /// ... as a primary-key range scan.
+    pub range_scans: fame_obs::Counter,
+}
+
+/// A point-in-time copy of [`QueryObs`].
+#[cfg(feature = "obs")]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryObsSnapshot {
+    pub rows_scanned: u64,
+    pub full_scans: u64,
+    pub point_lookups: u64,
+    pub range_scans: u64,
+}
+
 /// The SQL engine: parser + planner + executor over a [`Catalog`].
 pub struct SqlEngine {
     catalog: Catalog,
     /// Access-path labels of executed SELECT/UPDATE/DELETE statements
     /// (diagnostics for the optimizer ablation).
     last_path: Option<&'static str>,
+    #[cfg(feature = "obs")]
+    obs: QueryObs,
 }
 
 impl SqlEngine {
@@ -58,6 +87,8 @@ impl SqlEngine {
         SqlEngine {
             catalog,
             last_path: None,
+            #[cfg(feature = "obs")]
+            obs: QueryObs::default(),
         }
     }
 
@@ -74,6 +105,17 @@ impl SqlEngine {
     /// Access path chosen by the last row-sourcing statement.
     pub fn last_access_path(&self) -> Option<&'static str> {
         self.last_path
+    }
+
+    /// Statistics feature: executor counters.
+    #[cfg(feature = "obs")]
+    pub fn obs(&self) -> QueryObsSnapshot {
+        QueryObsSnapshot {
+            rows_scanned: self.obs.rows_scanned.get(),
+            full_scans: self.obs.full_scans.get(),
+            point_lookups: self.obs.point_lookups.get(),
+            range_scans: self.obs.range_scans.get(),
+        }
     }
 
     /// Parse and execute one statement.
@@ -256,6 +298,12 @@ impl SqlEngine {
         let plan = Plan::full_scan(predicate);
 
         self.last_path = Some(plan.path.label());
+        #[cfg(feature = "obs")]
+        match &plan.path {
+            AccessPath::FullScan => self.obs.full_scans.inc(),
+            AccessPath::Point(_) => self.obs.point_lookups.inc(),
+            AccessPath::Range { .. } => self.obs.range_scans.inc(),
+        }
         let tree = BTree::open(pager, info.slot)?;
         let candidates: Vec<(Vec<u8>, Vec<u8>)> = match &plan.path {
             AccessPath::FullScan => tree.scan(pager, None, None)?,
@@ -267,6 +315,8 @@ impl SqlEngine {
                 tree.scan(pager, start.as_deref(), end.as_deref())?
             }
         };
+        #[cfg(feature = "obs")]
+        self.obs.rows_scanned.add(candidates.len() as u64);
 
         let mut out = Vec::new();
         for (key, bytes) in candidates {
@@ -536,6 +586,25 @@ mod tests {
             "INSERT INTO users VALUES (1, 'alice', 30), (2, 'bob', 25), (3, 'carol', 35)",
         )
         .unwrap();
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn obs_counts_plans_and_rows_scanned() {
+        let (mut pg, mut e) = setup();
+        seed(&mut pg, &mut e);
+        // Full scan: all 3 rows are fetched.
+        e.execute(&mut pg, "SELECT * FROM users").unwrap();
+        // Point lookup: 1 row fetched.
+        e.execute(&mut pg, "SELECT name FROM users WHERE id = 2")
+            .unwrap();
+        // Residual predicate on a non-key column still scans every row.
+        e.execute(&mut pg, "SELECT name FROM users WHERE age > 28")
+            .unwrap();
+        let s = e.obs();
+        assert_eq!(s.point_lookups, 1);
+        assert!(s.full_scans >= 2, "full scans: {}", s.full_scans);
+        assert_eq!(s.rows_scanned, 3 + 1 + 3);
     }
 
     #[test]

@@ -28,5 +28,7 @@ pub mod sql;
 
 pub use catalog::{Catalog, TableInfo};
 pub use error::{QueryError, QueryResult as Result};
+#[cfg(feature = "obs")]
+pub use exec::{QueryObs, QueryObsSnapshot};
 pub use exec::{QueryOutput, SqlEngine};
 pub use plan::{AccessPath, Plan};

@@ -53,6 +53,8 @@ pub use page::{PageType, SlottedPage, PAGE_HEADER_SIZE};
 #[cfg(feature = "shared")]
 pub use pager::SharedPager;
 pub use pager::{PageRead, Pager};
+#[cfg(feature = "obs")]
+pub use pager::{PagerOps, PagerOpsSnapshot};
 #[cfg(feature = "queue")]
 pub use queue::Queue;
 pub use record::RecordId;

@@ -63,10 +63,46 @@ impl MetaCache {
     }
 }
 
+/// Statistics feature: logical pager operations (distinct from the pool's
+/// hit/miss counters — these count what the access methods *asked for*,
+/// not how the cache served it).
+#[cfg(feature = "obs")]
+#[derive(Debug, Default)]
+pub struct PagerOps {
+    pub page_reads: fame_obs::Counter,
+    pub page_writes: fame_obs::Counter,
+    pub allocs: fame_obs::Counter,
+    pub frees: fame_obs::Counter,
+}
+
+/// A point-in-time copy of [`PagerOps`].
+#[cfg(feature = "obs")]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PagerOpsSnapshot {
+    pub page_reads: u64,
+    pub page_writes: u64,
+    pub allocs: u64,
+    pub frees: u64,
+}
+
+#[cfg(feature = "obs")]
+impl PagerOps {
+    fn snapshot(&self) -> PagerOpsSnapshot {
+        PagerOpsSnapshot {
+            page_reads: self.page_reads.get(),
+            page_writes: self.page_writes.get(),
+            allocs: self.allocs.get(),
+            frees: self.frees.get(),
+        }
+    }
+}
+
 /// Page allocator and root directory over a [`BufferPool`].
 pub struct Pager {
     pool: BufferPool,
     meta: MetaCache,
+    #[cfg(feature = "obs")]
+    ops: PagerOps,
 }
 
 impl Pager {
@@ -100,6 +136,8 @@ impl Pager {
                     page_count: 1,
                     roots: [NO_PAGE; ROOT_SLOTS],
                 },
+                #[cfg(feature = "obs")]
+                ops: PagerOps::default(),
             });
         }
 
@@ -112,7 +150,12 @@ impl Pager {
             ok.then(|| MetaCache::load(buf))
         })?;
         match meta {
-            Some(meta) => Ok(Pager { pool, meta }),
+            Some(meta) => Ok(Pager {
+                pool,
+                meta,
+                #[cfg(feature = "obs")]
+                ops: PagerOps::default(),
+            }),
             None => Err(StorageError::NotFormatted),
         }
     }
@@ -145,6 +188,8 @@ impl Pager {
     /// Allocate a page: pop the free list or grow the device.
     /// The returned page's contents are unspecified; callers initialize it.
     pub fn allocate(&mut self) -> Result<PageId> {
+        #[cfg(feature = "obs")]
+        self.ops.allocs.inc();
         let head = self.meta.free_head;
         if head != NO_PAGE {
             let next = self.pool.with_page(head, |buf| {
@@ -167,6 +212,8 @@ impl Pager {
     /// free pages are recognizable (the integrity checker relies on this).
     pub fn free(&mut self, page: PageId) -> Result<()> {
         debug_assert_ne!(page, 0, "meta page cannot be freed");
+        #[cfg(feature = "obs")]
+        self.ops.frees.inc();
         let head = self.meta.free_head;
         self.pool.with_page_mut(page, |buf| {
             let mut pg = SlottedPage::init(buf, PageType::Free);
@@ -195,17 +242,27 @@ impl Pager {
 
     /// Run `f` over an immutable page view.
     pub fn with_page<R>(&mut self, page: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        #[cfg(feature = "obs")]
+        self.ops.page_reads.inc();
         Ok(self.pool.with_page(page, f)?)
     }
 
     /// Run `f` over a mutable page view (marks the page dirty).
     pub fn with_page_mut<R>(&mut self, page: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
+        #[cfg(feature = "obs")]
+        self.ops.page_writes.inc();
         Ok(self.pool.with_page_mut(page, f)?)
     }
 
     /// Flush dirty frames and issue a device durability barrier.
     pub fn sync(&mut self) -> Result<()> {
         Ok(self.pool.sync()?)
+    }
+
+    /// Statistics feature: logical operation counts of this pager.
+    #[cfg(feature = "obs")]
+    pub fn ops(&self) -> PagerOpsSnapshot {
+        self.ops.snapshot()
     }
 
     /// Access the underlying pool (statistics, tests).
@@ -469,5 +526,21 @@ mod tests {
     fn root_slot_bounds_checked() {
         let p = pager();
         let _ = p.root(ROOT_SLOTS);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn ops_count_logical_operations() {
+        let mut p = pager();
+        let a = p.allocate().unwrap();
+        p.with_page_mut(a, |buf| buf[20] = 1).unwrap();
+        p.with_page(a, |_| ()).unwrap();
+        p.with_page(a, |_| ()).unwrap();
+        p.free(a).unwrap();
+        let ops = p.ops();
+        assert_eq!(ops.allocs, 1);
+        assert_eq!(ops.frees, 1);
+        assert_eq!(ops.page_reads, 2);
+        assert_eq!(ops.page_writes, 1);
     }
 }

@@ -83,6 +83,16 @@ struct TxnState {
     undo: Vec<UndoAction>,
 }
 
+/// Statistics feature: timing the transaction layer keeps beyond its
+/// always-on `(committed, aborted)` counters.
+#[cfg(feature = "obs")]
+#[derive(Debug, Default)]
+pub struct TxnObs {
+    /// Wall time of [`TxnManager::commit`] — append plus whatever the
+    /// commit protocol syncs.
+    pub commit_latency: fame_obs::Histogram,
+}
+
 /// Transaction table + WAL + locks + commit protocol.
 pub struct TxnManager {
     log: LogWriter,
@@ -93,6 +103,8 @@ pub struct TxnManager {
     commits_since_sync: u32,
     committed: u64,
     aborted: u64,
+    #[cfg(feature = "obs")]
+    obs: TxnObs,
 }
 
 impl TxnManager {
@@ -107,6 +119,8 @@ impl TxnManager {
             commits_since_sync: 0,
             committed: 0,
             aborted: 0,
+            #[cfg(feature = "obs")]
+            obs: TxnObs::default(),
         }
     }
 
@@ -209,6 +223,8 @@ impl TxnManager {
         if !self.active.contains_key(&txn) {
             return Err(TxnError::UnknownTxn(txn));
         }
+        #[cfg(feature = "obs")]
+        let t0 = fame_obs::monotonic_ns();
         self.log.append(&LogRecord::Commit { txn })?;
         match self.policy {
             #[cfg(feature = "commit-force")]
@@ -228,6 +244,10 @@ impl TxnManager {
         self.active.remove(&txn);
         self.locks.release_all(txn);
         self.committed += 1;
+        #[cfg(feature = "obs")]
+        self.obs
+            .commit_latency
+            .record_ns(fame_obs::monotonic_ns() - t0);
         Ok(())
     }
 
@@ -276,6 +296,18 @@ impl TxnManager {
     /// Syncs issued on the log device so far (protocol comparison metric).
     pub fn log_syncs(&self) -> u64 {
         self.log_device_stats().syncs
+    }
+
+    /// Total bytes ever appended to the log (frames included) — the log
+    /// tail doubles as a volume counter because LSNs are byte offsets.
+    pub fn log_bytes(&self) -> u64 {
+        self.log.tail()
+    }
+
+    /// Statistics feature: the manager's latency observations.
+    #[cfg(feature = "obs")]
+    pub fn obs(&self) -> &TxnObs {
+        &self.obs
     }
 
     /// Raw device counters of the log device.
@@ -460,6 +492,21 @@ mod tests {
         let undo = m.abort(t).unwrap();
         assert_eq!(undo.len(), 1, "undo information survived the failed commit");
         assert_eq!(m.stats(), (0, 1));
+    }
+
+    #[cfg(all(feature = "commit-force", feature = "obs"))]
+    #[test]
+    fn commit_latency_recorded_per_successful_commit() {
+        let mut m = manager(CommitPolicy::Force);
+        for _ in 0..3 {
+            let t = m.begin().unwrap();
+            m.log_put(t, 0, b"k", None, b"v").unwrap();
+            m.commit(t).unwrap();
+        }
+        assert!(matches!(m.commit(99), Err(TxnError::UnknownTxn(99))));
+        let snap = m.obs().commit_latency.snapshot();
+        assert_eq!(snap.count, 3, "failed commits are not samples");
+        assert!(m.log_bytes() > 0);
     }
 
     #[cfg(feature = "commit-force")]

@@ -1,0 +1,63 @@
+//! A scaled-down Figure 1b loop that compiles in *any* product, used by
+//! the E9 zero-cost gate: run it in a build with `--features standard`
+//! (no `statistics`) and in one with `standard,statistics`, and compare —
+//! the two should be within run-to-run noise, and the statistics-off
+//! build must not even link `fame-obs` (ci.sh checks via `cargo tree`).
+//!
+//! Usage:
+//!   cargo run --release -p fame-dbms --no-default-features \
+//!       --features standard --example fig1b_micro
+
+use std::time::Instant;
+
+use fame_dbms::{Database, DbmsConfig};
+
+const RECORDS: u32 = 20_000;
+const QUERIES: u32 = 100_000;
+
+fn main() {
+    let mut config = DbmsConfig::in_memory();
+    config.page_size = 512;
+    if let Some(b) = &mut config.buffer {
+        b.frames = 2048;
+    }
+    let mut db = Database::open(config).expect("open");
+
+    for i in 0..RECORDS {
+        db.put(&i.to_be_bytes(), &i.to_le_bytes().repeat(4))
+            .expect("put");
+    }
+
+    // Uniform point lookups, same xorshift sampler as the E8 harness.
+    let mut x = 0x9e37_79b9u32;
+    let start = Instant::now();
+    let mut found = 0u32;
+    for _ in 0..QUERIES {
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        let k = x % RECORDS;
+        if db
+            .get_with(&k.to_be_bytes(), |v| v.len())
+            .expect("get")
+            .is_some()
+        {
+            found += 1;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(found, QUERIES, "every sampled key exists");
+
+    let qps = f64::from(QUERIES) / elapsed;
+    println!(
+        "fig1b_micro: {:.3} Mio q/s ({} records, {} queries, statistics {})",
+        qps / 1e6,
+        RECORDS,
+        QUERIES,
+        if cfg!(feature = "statistics") {
+            "composed"
+        } else {
+            "absent"
+        }
+    );
+}

@@ -178,3 +178,69 @@ fn shard_count_must_be_power_of_two() {
     cfg.concurrency = Concurrency::MultiReader { shards: 0 }; // 0 = default
     assert!(Database::open(cfg).is_ok());
 }
+
+/// Statistics feature: `Database::stats()` snapshots taken while reader
+/// threads hammer the sharded pool (and the writer keeps evicting) must be
+/// coherent — every counter monotonically non-decreasing across snapshots,
+/// never torn, and internally consistent.
+#[cfg(feature = "statistics")]
+#[test]
+fn stats_snapshot_coherent_under_reader_churn() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    const KEYS: u32 = 400;
+    // 8 frames: nearly every access misses, so evictions and write-backs
+    // run constantly while the snapshots are taken.
+    let mut db = Database::open(multi_config(8, 4)).unwrap();
+    for i in 0..KEYS {
+        db.put(&i.to_be_bytes(), &value_of(i)).unwrap();
+    }
+
+    let stop = AtomicBool::new(false);
+    let reader = db.reader().unwrap();
+    std::thread::scope(|s| {
+        for t in 0u32..4 {
+            let mut r = reader.clone();
+            let stop = &stop;
+            s.spawn(move || {
+                let mut x = 0xdead_beefu32 ^ (t + 1);
+                while !stop.load(Ordering::Relaxed) {
+                    x ^= x << 13;
+                    x ^= x >> 17;
+                    x ^= x << 5;
+                    let k = x % KEYS;
+                    assert!(r.get_with(&k.to_be_bytes(), |_| ()).unwrap().is_some());
+                }
+            });
+        }
+
+        // Writer interleaves puts (forcing dirty evictions) with
+        // snapshots; each snapshot must dominate the previous one.
+        let mut prev = db.stats().unwrap();
+        for round in 0u32..200 {
+            let k = round % KEYS;
+            db.put(&k.to_be_bytes(), &value_of(k)).unwrap();
+            let s = db.stats().unwrap();
+            for (name, now, before) in [
+                ("hits", s.pool.hits, prev.pool.hits),
+                ("misses", s.pool.misses, prev.pool.misses),
+                ("evictions", s.pool.evictions, prev.pool.evictions),
+                ("writebacks", s.pool.writebacks, prev.pool.writebacks),
+                ("latch_waits", s.pool.latch_waits, prev.pool.latch_waits),
+                ("ops_traced", s.ops_traced, prev.ops_traced),
+            ] {
+                assert!(
+                    now >= before,
+                    "{name} went backwards under churn: {now} < {before} (round {round})"
+                );
+            }
+            assert_eq!(s.frame_bytes, s.frames * s.page_size);
+            prev = s;
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let last = db.stats().unwrap();
+    assert!(last.pool.evictions > 0, "pool never churned");
+    assert!(last.pool.hits + last.pool.misses > 0);
+}
