@@ -14,6 +14,11 @@ cargo clippy -p fame-derivation --all-targets -- -D warnings
 echo "== clippy (fame-obs, warnings are errors)"
 cargo clippy -p fame-obs --all-targets -- -D warnings
 
+echo "== clippy (write-path crates, warnings are errors)"
+cargo clippy -p fame-txn -p fame-storage -p fame-buffer --all-targets -- -D warnings
+cargo clippy -p fame-dbms --features full --all-targets -- -D warnings
+cargo clippy -p fame-bench --all-targets -- -D warnings
+
 echo "== build --release"
 cargo build --release --workspace
 
@@ -41,5 +46,19 @@ if cargo tree -p fame-dbms --no-default-features --features standard -e normal |
     exit 1
 fi
 cargo run -q --release -p fame-dbms --no-default-features --features standard --example fig1b_micro
+
+echo "== write_tput smoke (E10 batched writes; asserts batch=512 >= 3x batch=1)"
+cargo run --release -p fame-bench --bin write_tput -- --quick | tail -n 4
+
+echo "== api-batch-off composition (E10 zero-cost gate: seed graph unchanged)"
+if cargo tree -p fame-dbms --no-default-features --features standard -f "{p} [{f}]" -e normal | grep -q "api-batch"; then
+    echo "FAIL: api-batch is active in a product that did not select it" >&2
+    exit 1
+fi
+if ! diff <(cargo tree -p fame-dbms --no-default-features --features standard -e normal) \
+          <(cargo tree -p fame-dbms --no-default-features --features standard,api-batch -e normal); then
+    echo "FAIL: composing api-batch in changed the crate dependency graph" >&2
+    exit 1
+fi
 
 echo "== CI OK"

@@ -32,11 +32,15 @@ use std::collections::BTreeMap;
 
 use fame_dbms::fame_os::{FaultDevice, FaultPlan, InMemoryDevice, SharedDevice};
 use fame_dbms::fame_txn::CommitPolicy;
-use fame_dbms::{BufferConfig, Database, DbmsConfig, IndexKind, TxnConfig};
+use fame_dbms::{BufferConfig, Database, DbmsConfig, DbmsError, IndexKind, TxnConfig, WriteBatch};
 
 /// Distinct keys the workload cycles through (reuse forces overwrites and
 /// removes of existing keys).
 const KEY_UNIVERSE: usize = 16;
+
+/// Key outside the workload universe: updating it poisons a batch, which
+/// must reject the whole batch before anything is logged or applied.
+const POISON_KEY: &[u8] = b"key-poison";
 
 type Dev = SharedDevice<FaultDevice<InMemoryDevice>>;
 type Model = BTreeMap<Vec<u8>, Vec<u8>>;
@@ -58,6 +62,10 @@ pub struct TortureSpec {
     pub ops_per_txn: usize,
     /// Sweep stride: test every `stride`-th write index (1 = all).
     pub stride: u64,
+    /// Issue each transaction as one [`WriteBatch`] via `apply_batch`
+    /// (E10) instead of per-record calls. Aborting slots become poisoned
+    /// batches that must be rejected without any effect.
+    pub batched: bool,
 }
 
 /// Index choice, decoupled from `IndexKind`'s cfg-gated constructors.
@@ -153,6 +161,24 @@ fn aborts(j: usize) -> bool {
     j % 5 == 4
 }
 
+/// Slot `j`'s operations as one batch; aborting slots carry the poison
+/// update that must reject the batch with no effect.
+fn build_batch(spec: &TortureSpec, j: usize) -> WriteBatch {
+    let mut b = WriteBatch::new();
+    for i in 0..spec.ops_per_txn {
+        let k = key(j * spec.ops_per_txn + i);
+        if is_remove(j, i) {
+            b.remove(&k);
+        } else {
+            b.put(&k, &value(j, i));
+        }
+    }
+    if aborts(j) {
+        b.update(POISON_KEY, b"never");
+    }
+    b
+}
+
 /// Is operation `i` of transaction `j` a remove?
 fn is_remove(j: usize, i: usize) -> bool {
     (j * 3 + i) % 5 == 4
@@ -187,7 +213,49 @@ fn committed_states(spec: &TortureSpec) -> Vec<Model> {
 /// is provably durable once the device's total exceeds it.
 fn run_workload(db: &mut Database, spec: &TortureSpec, log: &Dev, data: &Dev) -> Vec<u64> {
     let mut syncs_before_commit = Vec::new();
-    if spec.commit.is_some() {
+    if spec.batched && spec.commit.is_some() {
+        // Batched transactional workload: each slot is one WriteBatch =
+        // one transaction = one coalesced WAL append + one commit.
+        for j in 0..spec.txns {
+            let b = build_batch(spec, j);
+            if aborts(j) {
+                match db.apply_batch(b) {
+                    // Expected: the poison rejects the batch up front.
+                    Err(DbmsError::Config(_)) => {}
+                    // Device tripped during resolution — or, worse, the
+                    // poisoned batch applied. Either way the workload ends.
+                    _ => return syncs_before_commit,
+                }
+            } else {
+                let before = log.with(|d| d.syncs_done());
+                if db.apply_batch(b).is_err() {
+                    return syncs_before_commit;
+                }
+                syncs_before_commit.push(before);
+                // Periodic full barrier, as in the per-record workload.
+                if syncs_before_commit.len() % 3 == 0 && db.sync().is_err() {
+                    return syncs_before_commit;
+                }
+            }
+        }
+    } else if spec.batched {
+        // Batched non-transactional workload: bulk apply + explicit sync.
+        let _ = data;
+        for j in 0..spec.txns {
+            let b = build_batch(spec, j);
+            if aborts(j) {
+                match db.apply_batch(b) {
+                    Err(DbmsError::Config(_)) => {}
+                    _ => return syncs_before_commit,
+                }
+            } else if db.apply_batch(b).is_err() {
+                return syncs_before_commit;
+            }
+            if db.sync().is_err() {
+                return syncs_before_commit;
+            }
+        }
+    } else if spec.commit.is_some() {
         for j in 0..spec.txns {
             let Ok(t) = db.begin() else {
                 return syncs_before_commit;
@@ -282,14 +350,36 @@ pub fn record(spec: &TortureSpec) -> Recording {
     if spec.commit.is_none() {
         let mut model = Model::new();
         for j in 0..spec.txns {
-            for i in 0..spec.ops_per_txn {
-                let k = key(j * spec.ops_per_txn + i);
-                if is_remove(j, i) {
-                    model.remove(&k);
-                    db.remove(&k).expect("fault-free remove");
+            if spec.batched {
+                let mut draft = model.clone();
+                for i in 0..spec.ops_per_txn {
+                    let k = key(j * spec.ops_per_txn + i);
+                    if is_remove(j, i) {
+                        draft.remove(&k);
+                    } else {
+                        draft.insert(k, value(j, i));
+                    }
+                }
+                let b = build_batch(spec, j);
+                if aborts(j) {
+                    assert!(
+                        matches!(db.apply_batch(b), Err(DbmsError::Config(_))),
+                        "poisoned batch must be rejected up front"
+                    );
                 } else {
-                    model.insert(k.clone(), value(j, i));
-                    db.put(&k, &value(j, i)).expect("fault-free put");
+                    db.apply_batch(b).expect("fault-free batch");
+                    model = draft;
+                }
+            } else {
+                for i in 0..spec.ops_per_txn {
+                    let k = key(j * spec.ops_per_txn + i);
+                    if is_remove(j, i) {
+                        model.remove(&k);
+                        db.remove(&k).expect("fault-free remove");
+                    } else {
+                        model.insert(k.clone(), value(j, i));
+                        db.put(&k, &value(j, i)).expect("fault-free put");
+                    }
                 }
             }
             db.sync().expect("fault-free sync");
@@ -573,6 +663,7 @@ pub fn default_specs() -> Vec<TortureSpec> {
             txns: 10,
             ops_per_txn: 4,
             stride: 1,
+            batched: false,
         },
         TortureSpec {
             name: "btree/buffered/group3",
@@ -582,6 +673,7 @@ pub fn default_specs() -> Vec<TortureSpec> {
             txns: 10,
             ops_per_txn: 4,
             stride: 1,
+            batched: false,
         },
         TortureSpec {
             name: "list/buffered/force",
@@ -591,6 +683,7 @@ pub fn default_specs() -> Vec<TortureSpec> {
             txns: 8,
             ops_per_txn: 4,
             stride: 2,
+            batched: false,
         },
         TortureSpec {
             name: "hash/buffered/group2",
@@ -600,6 +693,7 @@ pub fn default_specs() -> Vec<TortureSpec> {
             txns: 8,
             ops_per_txn: 4,
             stride: 2,
+            batched: false,
         },
         TortureSpec {
             name: "btree/unbuffered/no-txn",
@@ -609,6 +703,7 @@ pub fn default_specs() -> Vec<TortureSpec> {
             txns: 8,
             ops_per_txn: 4,
             stride: 2,
+            batched: false,
         },
         TortureSpec {
             name: "list/unbuffered/no-txn",
@@ -618,6 +713,40 @@ pub fn default_specs() -> Vec<TortureSpec> {
             txns: 8,
             ops_per_txn: 4,
             stride: 2,
+            batched: false,
+        },
+        // E10: batched write path — each slot is one WriteBatch applied
+        // through the coalesced WAL commit; recovery must observe every
+        // batch entirely or not at all.
+        TortureSpec {
+            name: "btree/batched/force",
+            index: TortureIndex::BTree,
+            buffer_frames: Some(32),
+            commit: Some(CommitPolicy::Force),
+            txns: 10,
+            ops_per_txn: 6,
+            stride: 1,
+            batched: true,
+        },
+        TortureSpec {
+            name: "hash/batched/group3",
+            index: TortureIndex::Hash,
+            buffer_frames: Some(32),
+            commit: Some(CommitPolicy::Group { group_size: 3 }),
+            txns: 8,
+            ops_per_txn: 6,
+            stride: 2,
+            batched: true,
+        },
+        TortureSpec {
+            name: "list/batched/no-txn",
+            index: TortureIndex::List,
+            buffer_frames: None,
+            commit: None,
+            txns: 8,
+            ops_per_txn: 6,
+            stride: 2,
+            batched: true,
         },
     ]
 }
@@ -653,6 +782,33 @@ mod tests {
         );
         assert!(row.violations.is_empty(), "{:?}", row.violations);
         assert!(row.recovered.is_some());
+    }
+
+    #[test]
+    fn batched_force_survives_a_mid_log_crash() {
+        let spec = default_specs()
+            .into_iter()
+            .find(|s| s.name == "btree/batched/force")
+            .unwrap();
+        let rec = record(&spec);
+        // Coalescing means the batched run writes far fewer log pages than
+        // one per record: 10 slots (2 poisoned) ≈ a Begin + frame run +
+        // Commit each, not 6 records' worth of tail rewrites.
+        assert!(rec.log_writes > 4, "log writes: {}", rec.log_writes);
+        for k in [1, rec.log_writes / 2, rec.log_writes] {
+            let row = crash_once(
+                &spec,
+                &rec,
+                "log-clean",
+                k,
+                Some(FaultPlan {
+                    fail_after_writes: Some(k),
+                    ..FaultPlan::default()
+                }),
+                None,
+            );
+            assert!(row.violations.is_empty(), "@{k}: {:?}", row.violations);
+        }
     }
 
     #[test]

@@ -137,13 +137,23 @@ impl Exclusive {
 
     fn flush(&mut self) -> Result<(), OsError> {
         if let Mode::Cached(c) = &mut self.mode {
-            for fr in c.frames.iter_mut() {
-                if fr.dirty {
-                    let page = fr.page.expect("dirty frame holds a page");
-                    self.device.write_page(page, &fr.data)?;
-                    fr.dirty = false;
-                    self.stats.writebacks.inc();
-                }
+            // Write back in page-number order, not frame order: a batch
+            // of dirty pages leaves the pool as one sequential pass over
+            // the device instead of the random order eviction history
+            // happened to leave in the frame table.
+            let mut dirty: Vec<(PageId, usize)> = c
+                .frames
+                .iter()
+                .enumerate()
+                .filter(|(_, fr)| fr.dirty)
+                .map(|(idx, fr)| (fr.page.expect("dirty frame holds a page"), idx))
+                .collect();
+            dirty.sort_unstable();
+            for (page, idx) in dirty {
+                let fr = &mut c.frames[idx];
+                self.device.write_page(page, &fr.data)?;
+                fr.dirty = false;
+                self.stats.writebacks.inc();
             }
         }
         Ok(())
@@ -496,6 +506,60 @@ mod tests {
         p.flush().unwrap();
         p.flush().unwrap(); // second flush writes nothing
         assert_eq!(p.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn flush_writes_dirty_pages_in_page_order() {
+        use std::sync::{Arc, Mutex};
+
+        struct OrderRecorder {
+            inner: InMemoryDevice,
+            order: Arc<Mutex<Vec<PageId>>>,
+        }
+        impl fame_os::BlockDevice for OrderRecorder {
+            fn page_size(&self) -> usize {
+                self.inner.page_size()
+            }
+            fn num_pages(&self) -> u32 {
+                self.inner.num_pages()
+            }
+            fn read_page(&mut self, page: PageId, buf: &mut [u8]) -> Result<(), OsError> {
+                self.inner.read_page(page, buf)
+            }
+            fn write_page(&mut self, page: PageId, buf: &[u8]) -> Result<(), OsError> {
+                self.order.lock().unwrap().push(page);
+                self.inner.write_page(page, buf)
+            }
+            fn ensure_pages(&mut self, pages: u32) -> Result<(), OsError> {
+                self.inner.ensure_pages(pages)
+            }
+            fn sync(&mut self) -> Result<(), OsError> {
+                self.inner.sync()
+            }
+            fn stats(&self) -> fame_os::DeviceStats {
+                self.inner.stats()
+            }
+        }
+
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut dev = InMemoryDevice::new(128);
+        dev.ensure_pages(16).unwrap();
+        let mut p = BufferPool::new(
+            Box::new(OrderRecorder {
+                inner: dev,
+                order: Arc::clone(&order),
+            }),
+            ReplacementKind::Lru,
+            AllocPolicy::Static { frames: 8 },
+        );
+        // Dirty pages in shuffled order so frame order != page order.
+        for page in [11u32, 2, 7, 0, 14, 5] {
+            p.with_page_mut(page, |b| b[0] = page as u8).unwrap();
+        }
+        order.lock().unwrap().clear(); // ignore any loads/evictions so far
+        p.flush().unwrap();
+        let flushed = order.lock().unwrap().clone();
+        assert_eq!(flushed, vec![0, 2, 5, 7, 11, 14], "one sequential pass");
     }
 
     #[test]

@@ -406,18 +406,26 @@ impl SharedBufferPool {
         Ok(idx)
     }
 
-    /// Write back every dirty frame (no device sync).
+    /// Write back every dirty frame (no device sync). Within each shard,
+    /// frames go out in page-number order so a batch flush approaches one
+    /// sequential pass over the device.
     pub fn flush(&self) -> Result<(), OsError> {
         if let SharedMode::Cached { shards, .. } = &self.inner.mode {
             for shard in shards {
                 let mut s = shard.write();
-                for fr in s.frames.iter_mut() {
-                    if fr.dirty {
-                        let page = fr.page.expect("dirty frame holds a page");
-                        self.inner.device.write().write_page(page, &fr.data)?;
-                        fr.dirty = false;
-                        self.inner.stats.writebacks.inc();
-                    }
+                let mut dirty: Vec<(PageId, usize)> = s
+                    .frames
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, fr)| fr.dirty)
+                    .map(|(idx, fr)| (fr.page.expect("dirty frame holds a page"), idx))
+                    .collect();
+                dirty.sort_unstable();
+                for (page, idx) in dirty {
+                    let fr = &mut s.frames[idx];
+                    self.inner.device.write().write_page(page, &fr.data)?;
+                    fr.dirty = false;
+                    self.inner.stats.writebacks.inc();
                 }
             }
         }

@@ -60,6 +60,22 @@ pub struct Database {
     /// What the last [`Database::verify_integrity`] walk found.
     #[cfg(feature = "statistics")]
     last_integrity: Option<IntegritySummary>,
+    /// Batched-write counters + latency histogram (features `api-batch`
+    /// and `statistics`).
+    #[cfg(all(feature = "api-batch", feature = "statistics"))]
+    batch_obs: BatchObs,
+}
+
+/// Counters of the batched write path.
+#[cfg(all(feature = "api-batch", feature = "statistics"))]
+#[derive(Debug, Default)]
+struct BatchObs {
+    /// Batches applied.
+    batches: fame_obs::Counter,
+    /// Operations submitted across those batches.
+    batch_ops: fame_obs::Counter,
+    /// Whole-batch apply latency.
+    latency: fame_obs::Histogram,
 }
 
 #[cfg(feature = "transactions")]
@@ -182,6 +198,8 @@ impl Database {
             trace,
             #[cfg(feature = "statistics")]
             last_integrity: None,
+            #[cfg(all(feature = "api-batch", feature = "statistics"))]
+            batch_obs: BatchObs::default(),
         };
         #[cfg(feature = "transactions")]
         if let Some((records, resume)) = replay {
@@ -343,6 +361,185 @@ impl Database {
         Ok(true)
     }
 
+    // ---- batched writes (Fig. 2: Access -> API -> Batch) -----------------
+
+    /// Apply a [`WriteBatch`] as one unit (feature `api-batch`).
+    ///
+    /// The batch is normalized (last write per key wins) and pushed
+    /// through the bulk storage path ([`fame_storage::BTree::apply_sorted`]
+    /// / `insert_many`). With transactions configured the batch is one
+    /// transaction: every record is encoded into a single WAL frame run
+    /// (`LogWriter::append_many`) and committed with exactly one log sync,
+    /// so recovery observes the batch entirely or not at all. Without
+    /// transactions, record sizes are validated before any page is touched
+    /// but crash atomicity is — as for single-record writes — not provided.
+    ///
+    /// `update` entries fail the whole batch (nothing applied, nothing
+    /// logged) when their key does not exist at that point in the batch;
+    /// `remove` entries of absent keys are dropped, mirroring
+    /// [`remove`](Self::remove) returning `false`.
+    #[cfg(feature = "api-batch")]
+    pub fn apply_batch(&mut self, batch: WriteBatch) -> Result<()> {
+        #[cfg(feature = "statistics")]
+        let start = fame_obs::monotonic_ns();
+        let submitted = batch.ops.len() as u64;
+        if submitted == 0 {
+            return Ok(());
+        }
+        let resolved = self.resolve_batch(batch)?;
+        #[cfg(feature = "replication")]
+        let ship = resolved.clone();
+        #[cfg(feature = "transactions")]
+        {
+            if self.txn.is_some() {
+                self.apply_batch_txn(&resolved)?;
+            } else {
+                self.kv_apply_bulk(resolved)?;
+            }
+        }
+        #[cfg(not(feature = "transactions"))]
+        self.kv_apply_bulk(resolved)?;
+        #[cfg(feature = "replication")]
+        for (key, op) in ship {
+            match op {
+                Some(value) => self.ship_put(&key, &value)?,
+                None => self.ship_remove(&key)?,
+            }
+        }
+        #[cfg(feature = "statistics")]
+        {
+            self.batch_obs.batches.inc();
+            self.batch_obs.batch_ops.add(submitted);
+            self.batch_obs
+                .latency
+                .record_ns(fame_obs::monotonic_ns().saturating_sub(start));
+            self.trace.record(fame_obs::OpKind::Batch, submitted, 0);
+        }
+        Ok(())
+    }
+
+    /// Turn the submitted op sequence into the batch's *net* effect: one
+    /// `(key, Some(value) | None)` per distinct key. Update/remove
+    /// existence checks run against the pre-batch state overlaid with the
+    /// batch's own earlier ops — the same outcome as issuing the calls one
+    /// at a time — and happen before anything is logged or applied.
+    #[cfg(feature = "api-batch")]
+    fn resolve_batch(&mut self, batch: WriteBatch) -> Result<Vec<ResolvedOp>> {
+        let mut resolved: Vec<ResolvedOp> = Vec::with_capacity(batch.ops.len());
+        // key -> does it exist after the ops seen so far?
+        let mut overlay: std::collections::BTreeMap<Vec<u8>, bool> =
+            std::collections::BTreeMap::new();
+        for op in batch.ops {
+            match op {
+                BatchOp::Put { key, value } => {
+                    overlay.insert(key.clone(), true);
+                    resolved.push((key, Some(value)));
+                }
+                #[cfg(feature = "api-update")]
+                BatchOp::Update { key, value } => {
+                    let exists = match overlay.get(&key) {
+                        Some(e) => *e,
+                        None => self.kv_get(&key)?.is_some(),
+                    };
+                    if !exists {
+                        return Err(DbmsError::Config(
+                            "batch update of a missing key (batch not applied)".into(),
+                        ));
+                    }
+                    overlay.insert(key.clone(), true);
+                    resolved.push((key, Some(value)));
+                }
+                #[cfg(feature = "api-remove")]
+                BatchOp::Remove { key } => {
+                    let exists = match overlay.get(&key) {
+                        Some(e) => *e,
+                        None => self.kv_get(&key)?.is_some(),
+                    };
+                    overlay.insert(key.clone(), false);
+                    if exists {
+                        resolved.push((key, None));
+                    }
+                }
+            }
+        }
+        // Last write per key wins. The bulk appliers re-normalize, but the
+        // WAL must carry the same net op set as storage receives.
+        resolved.sort_by(|a, b| a.0.cmp(&b.0));
+        resolved.dedup_by(|next, prev| {
+            if next.0 == prev.0 {
+                prev.1 = next.1.take();
+                true
+            } else {
+                false
+            }
+        });
+        Ok(resolved)
+    }
+
+    /// Transactional arm of [`apply_batch`](Self::apply_batch): one txn,
+    /// one coalesced WAL append, one commit (= one sync under Force).
+    #[cfg(all(feature = "api-batch", feature = "transactions"))]
+    fn apply_batch_txn(&mut self, resolved: &[ResolvedOp]) -> Result<()> {
+        // Before-images for undo; removes whose key never existed have no
+        // net effect and are dropped from both the log and the apply set.
+        let mut writes = Vec::with_capacity(resolved.len());
+        let mut apply = Vec::with_capacity(resolved.len());
+        for (key, op) in resolved {
+            let old = self.kv_get(key)?;
+            match op {
+                Some(value) => {
+                    writes.push(fame_txn::BatchWrite::Put {
+                        index: 0,
+                        key: key.clone(),
+                        old,
+                        new: value.clone(),
+                    });
+                    apply.push((key.clone(), Some(value.clone())));
+                }
+                None => {
+                    let Some(old) = old else { continue };
+                    writes.push(fame_txn::BatchWrite::Remove {
+                        index: 0,
+                        key: key.clone(),
+                        old,
+                    });
+                    apply.push((key.clone(), None));
+                }
+            }
+        }
+        if writes.is_empty() {
+            return Ok(());
+        }
+        let mgr = self.txn.as_mut().expect("caller checked");
+        let txn_id = mgr.begin()?;
+        if let Err(e) = mgr.log_batch(txn_id, &writes) {
+            // Nothing was logged (locks are taken before the append);
+            // release whatever locks the conflicting acquisition left.
+            let _ = mgr.abort(txn_id);
+            return Err(e.into());
+        }
+        if let Err(e) = self.kv_apply_bulk(apply) {
+            // Roll the index back so a partial bulk apply is not visible.
+            let mgr = self.txn.as_mut().expect("caller checked");
+            if let Ok(undo) = mgr.abort(txn_id) {
+                for action in undo {
+                    match action.restore {
+                        Some(old) => {
+                            let _ = self.kv_put(&action.key, &old);
+                        }
+                        None => {
+                            let _ = self.kv_remove(&action.key);
+                        }
+                    }
+                }
+            }
+            return Err(e);
+        }
+        let mgr = self.txn.as_mut().expect("caller checked");
+        mgr.commit_batch(txn_id)?;
+        Ok(())
+    }
+
     /// Number of live keys.
     pub fn len(&mut self) -> Result<usize> {
         Ok(match &self.kv {
@@ -434,6 +631,35 @@ impl Database {
         }
     }
 
+    /// Bulk dispatch of a normalized `(key, Some(value) | None)` run to
+    /// the composed index (feature `api-batch`). Returns how many keys
+    /// were newly created.
+    #[cfg(feature = "api-batch")]
+    fn kv_apply_bulk(&mut self, ops: Vec<ResolvedOp>) -> Result<usize> {
+        match &mut self.kv {
+            #[cfg(feature = "index-btree")]
+            Kv::BTree(t) => {
+                #[cfg(feature = "btree-update")]
+                {
+                    #[cfg(not(feature = "btree-remove"))]
+                    if ops.iter().any(|(_, v)| v.is_none()) {
+                        return Err(DbmsError::FeatureNotCompiled("btree-remove"));
+                    }
+                    Ok(t.apply_sorted(&mut self.pager, ops)?)
+                }
+                #[cfg(not(feature = "btree-update"))]
+                {
+                    let _ = (t, ops);
+                    Err(DbmsError::FeatureNotCompiled("btree-update"))
+                }
+            }
+            #[cfg(feature = "index-list")]
+            Kv::List(l) => Ok(l.insert_many(&mut self.pager, ops)?),
+            #[cfg(feature = "index-hash")]
+            Kv::Hash(h) => Ok(h.insert_many(&mut self.pager, ops)?),
+        }
+    }
+
     // ---- statistics (Berkeley DB STATISTICS, §2.2) ------------------------
 
     /// A full statistics report of the running product (feature
@@ -469,6 +695,12 @@ impl Database {
             frame_bytes: frames * page_size,
             ops_traced: self.trace.recorded(),
             integrity: self.last_integrity,
+            #[cfg(feature = "api-batch")]
+            batches: self.batch_obs.batches.get(),
+            #[cfg(feature = "api-batch")]
+            batch_ops: self.batch_obs.batch_ops.get(),
+            #[cfg(feature = "api-batch")]
+            batch_latency: self.batch_obs.latency.snapshot(),
             #[cfg(feature = "transactions")]
             txn: self.txn.as_ref().map(|t| t.stats()),
             #[cfg(feature = "transactions")]
@@ -803,6 +1035,15 @@ pub struct StatsSnapshot {
     /// What the last [`Database::verify_integrity`] found; `None` until
     /// it has been run on this instance.
     pub integrity: Option<IntegritySummary>,
+    /// Batches applied via [`Database::apply_batch`].
+    #[cfg(feature = "api-batch")]
+    pub batches: u64,
+    /// Operations submitted across those batches.
+    #[cfg(feature = "api-batch")]
+    pub batch_ops: u64,
+    /// Whole-batch apply latency (resolve + log + bulk apply + commit).
+    #[cfg(feature = "api-batch")]
+    pub batch_latency: fame_obs::HistogramSnapshot,
     /// `(committed, aborted)`, when transactions are configured.
     #[cfg(feature = "transactions")]
     pub txn: Option<(u64, u64)>,
@@ -879,6 +1120,16 @@ impl StatsSnapshot {
         if let Some(i) = &self.integrity {
             put("integrity.violations", i.violations as u64);
             put("integrity.leaked_pages", u64::from(i.leaked_pages));
+        }
+        #[cfg(feature = "api-batch")]
+        {
+            put("batch.batches", self.batches);
+            put("batch.ops", self.batch_ops);
+            put("batch.latency.count", self.batch_latency.count);
+            put("batch.latency.mean_ns", self.batch_latency.mean_ns());
+            put("batch.latency.p50_ns", self.batch_latency.percentile_ns(50));
+            put("batch.latency.p99_ns", self.batch_latency.percentile_ns(99));
+            put("batch.latency.max_ns", self.batch_latency.max_ns);
         }
         #[cfg(feature = "transactions")]
         {
@@ -964,6 +1215,14 @@ impl std::fmt::Display for StatsSnapshot {
                 i.violations, i.leaked_pages
             )?;
         }
+        #[cfg(feature = "api-batch")]
+        if self.batches > 0 {
+            write!(
+                f,
+                "\nbatches:          {} applied ({} ops), latency {}",
+                self.batches, self.batch_ops, self.batch_latency
+            )?;
+        }
         #[cfg(feature = "transactions")]
         {
             if let Some((c, a)) = self.txn {
@@ -996,6 +1255,93 @@ impl std::fmt::Display for StatsSnapshot {
             write!(f, "\nreplication lag:  {lag}")?;
         }
         Ok(())
+    }
+}
+
+/// A batch's net effect on one key: `Some(value)` writes, `None` removes.
+#[cfg(feature = "api-batch")]
+type ResolvedOp = (Vec<u8>, Option<Vec<u8>>);
+
+/// An ordered set of writes applied as one unit by
+/// [`Database::apply_batch`] (feature `api-batch`).
+///
+/// Later operations on the same key supersede earlier ones — the same net
+/// effect as issuing the calls one at a time, but applied through the bulk
+/// storage path and (with transactions) committed with one log sync.
+#[cfg(feature = "api-batch")]
+#[derive(Debug, Default, Clone)]
+pub struct WriteBatch {
+    ops: Vec<BatchOp>,
+}
+
+/// One queued batch operation.
+#[cfg(feature = "api-batch")]
+#[derive(Debug, Clone)]
+enum BatchOp {
+    Put {
+        key: Vec<u8>,
+        value: Vec<u8>,
+    },
+    #[cfg(feature = "api-update")]
+    Update {
+        key: Vec<u8>,
+        value: Vec<u8>,
+    },
+    #[cfg(feature = "api-remove")]
+    Remove {
+        key: Vec<u8>,
+    },
+}
+
+#[cfg(feature = "api-batch")]
+impl WriteBatch {
+    /// An empty batch.
+    pub fn new() -> WriteBatch {
+        WriteBatch::default()
+    }
+
+    /// Queue an insert-or-overwrite.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> &mut Self {
+        self.ops.push(BatchOp::Put {
+            key: key.to_vec(),
+            value: value.to_vec(),
+        });
+        self
+    }
+
+    /// Queue an overwrite of an existing key (feature `api-update`).
+    /// Applying the batch fails — and applies nothing — if the key does
+    /// not exist at that point in the batch.
+    #[cfg(feature = "api-update")]
+    pub fn update(&mut self, key: &[u8], value: &[u8]) -> &mut Self {
+        self.ops.push(BatchOp::Update {
+            key: key.to_vec(),
+            value: value.to_vec(),
+        });
+        self
+    }
+
+    /// Queue a removal (feature `api-remove`); removing an absent key is
+    /// a no-op, as in [`Database::remove`].
+    #[cfg(feature = "api-remove")]
+    pub fn remove(&mut self, key: &[u8]) -> &mut Self {
+        self.ops.push(BatchOp::Remove { key: key.to_vec() });
+        self
+    }
+
+    /// Queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Drop all queued operations.
+    pub fn clear(&mut self) {
+        self.ops.clear();
     }
 }
 
@@ -1389,6 +1735,104 @@ mod tests {
         assert_eq!(d.get(b"a").unwrap(), Some(b"1".to_vec()), "abort restored");
         assert_eq!(d.get(b"b").unwrap(), None, "created key rolled back");
         assert_eq!(d.txn_stats(), Some((1, 1)));
+    }
+
+    #[cfg(all(feature = "api-batch", feature = "api-get", feature = "api-remove"))]
+    #[test]
+    fn batch_applies_net_effect() {
+        let mut d = db();
+        d.put(b"keep", b"0").unwrap();
+        d.put(b"gone", b"0").unwrap();
+        let mut b = WriteBatch::new();
+        b.put(b"a", b"1")
+            .put(b"b", b"2")
+            .remove(b"gone")
+            .put(b"a", b"3") // last write wins
+            .put(b"c", b"4")
+            .remove(b"c"); // net effect: nothing
+        assert_eq!(b.len(), 6);
+        d.apply_batch(b).unwrap();
+        assert_eq!(d.get(b"a").unwrap(), Some(b"3".to_vec()));
+        assert_eq!(d.get(b"b").unwrap(), Some(b"2".to_vec()));
+        assert_eq!(d.get(b"gone").unwrap(), None);
+        assert_eq!(d.get(b"c").unwrap(), None);
+        assert_eq!(d.get(b"keep").unwrap(), Some(b"0".to_vec()));
+        assert_eq!(d.len().unwrap(), 3);
+    }
+
+    #[cfg(all(feature = "api-batch", feature = "api-update", feature = "api-get"))]
+    #[test]
+    fn batch_update_of_missing_key_applies_nothing() {
+        let mut d = db();
+        let mut b = WriteBatch::new();
+        b.put(b"x", b"1").update(b"ghost", b"2");
+        assert!(d.apply_batch(b).is_err());
+        assert_eq!(d.get(b"x").unwrap(), None, "all-or-nothing");
+        // An update of a key created earlier in the same batch succeeds.
+        let mut b = WriteBatch::new();
+        b.put(b"y", b"1").update(b"y", b"2");
+        d.apply_batch(b).unwrap();
+        assert_eq!(d.get(b"y").unwrap(), Some(b"2".to_vec()));
+    }
+
+    #[cfg(all(
+        feature = "api-batch",
+        feature = "transactions",
+        feature = "commit-force",
+        feature = "api-get",
+        feature = "api-remove",
+        feature = "statistics"
+    ))]
+    #[test]
+    fn batch_commit_is_one_sync_and_counted() {
+        use crate::config::TxnConfig;
+        let mut cfg = DbmsConfig::default_for_build();
+        cfg.transactions = Some(TxnConfig {
+            commit: fame_txn::CommitPolicy::Force,
+        });
+        let mut d = Database::open(cfg).unwrap();
+        let syncs0 = d.log_syncs().unwrap();
+        let mut b = WriteBatch::new();
+        for i in 0u32..64 {
+            b.put(&i.to_be_bytes(), &[7u8; 8]);
+        }
+        d.apply_batch(b).unwrap();
+        assert_eq!(
+            d.log_syncs().unwrap() - syncs0,
+            1,
+            "64 writes, one log sync"
+        );
+        assert_eq!(d.len().unwrap(), 64);
+        let s = d.stats().unwrap();
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.batch_ops, 64);
+        assert_eq!(s.batch_latency.count, 1);
+        let tsv = s.to_tsv();
+        assert!(tsv.contains("batch.batches\t1"), "{tsv}");
+        assert!(tsv.contains("batch.ops\t64"), "{tsv}");
+        // The batch is one committed transaction.
+        assert_eq!(d.txn_stats(), Some((1, 0)));
+    }
+
+    #[cfg(all(
+        feature = "api-batch",
+        feature = "replication",
+        feature = "api-get",
+        feature = "api-remove",
+        feature = "index-btree"
+    ))]
+    #[test]
+    fn batch_ships_to_replicas() {
+        let mut cfg = DbmsConfig::default_for_build();
+        cfg.replication = Some(fame_repl::AckPolicy::Asynchronous);
+        let mut d = Database::open(cfg).unwrap();
+        let mut replica = d.attach_replica().unwrap();
+        d.put(b"x", b"1").unwrap();
+        let mut b = WriteBatch::new();
+        b.put(b"y", b"2").remove(b"x");
+        d.apply_batch(b).unwrap();
+        replica.poll();
+        assert_eq!(replica.state().digest(), d.state_digest().unwrap());
     }
 
     #[cfg(all(

@@ -24,6 +24,7 @@ pub fn active_features() -> Vec<&'static str> {
         "api-get",
         "api-remove",
         "api-update",
+        "api-batch",
         "sql",
         "optimizer",
         "index-btree",
@@ -84,6 +85,9 @@ pub fn model_configuration(
     }
     if cfg!(feature = "api-update") {
         select("Update");
+    }
+    if cfg!(feature = "api-batch") {
+        select("Batch");
     }
     if cfg!(feature = "sql") {
         select("SQLEngine");

@@ -74,6 +74,8 @@ pub use config::StatsConfig;
 pub use db::DbReader;
 #[cfg(feature = "transactions")]
 pub use db::TxnHandle;
+#[cfg(feature = "api-batch")]
+pub use db::WriteBatch;
 #[cfg(feature = "statistics")]
 pub use db::{DbStats, IntegritySummary, StatsSnapshot};
 #[cfg(feature = "buffer")]

@@ -39,6 +39,7 @@ use crate::model::{FeatureModel, GroupKind, ModelBuilder};
 /// │   └── DataTypes             (optional)
 /// ├── Access                    (mandatory)
 /// │   ├── API                   (mandatory; or: Put | Get | Remove | Update)
+/// │   │   └── Batch             (optional; requires Put)
 /// │   └── SQLEngine             (optional)
 /// ├── Optimizer                 (optional)
 /// └── Transaction               (optional)
@@ -49,6 +50,7 @@ use crate::model::{FeatureModel, GroupKind, ModelBuilder};
 /// * `Optimizer requires SQLEngine`
 /// * `SQLEngine -> (Get & Put)` — the SQL executor is built on the base API
 /// * `Transaction requires BufferManager` — steal/no-force needs frames
+/// * `Batch requires Put` — batching extends the single-record write path
 /// * `(NutOS & BufferManager) -> Static` — the deeply embedded target has
 ///   no dynamic allocator
 pub fn fame_dbms() -> FeatureModel {
@@ -180,6 +182,15 @@ pub fn fame_dbms() -> FeatureModel {
         let f = b.optional(api, name);
         b.attr(f, "rom_bytes", rom);
     }
+    // Batched writes (E10): a WriteBatch builder with an all-or-nothing
+    // bulk apply that coalesces the WAL append and log sync. Rides on the
+    // single-record write path, hence `Batch requires Put` below.
+    let batch = b.optional(api, "Batch");
+    b.attr(batch, "rom_bytes", 1_600.0);
+    b.doc(
+        batch,
+        "WriteBatch builder: all-or-nothing bulk apply, one log sync per batch",
+    );
     let sql = b.optional(access, "SQLEngine");
     b.attr(sql, "rom_bytes", 34_000.0);
     b.attr(sql, "ram_bytes", 8_192.0);
@@ -210,6 +221,7 @@ pub fn fame_dbms() -> FeatureModel {
     // --- Cross-tree constraints -------------------------------------------
     b.requires("Optimizer", "SQLEngine").unwrap();
     b.requires("Transaction", "BufferManager").unwrap();
+    b.requires("Batch", "Put").unwrap();
     {
         let sql = Prop::var(sql);
         let get = Prop::var(b.peek("Get").unwrap());

@@ -11,6 +11,7 @@ pub enum OpKind {
     Get,
     Remove,
     Update,
+    Batch,
     TxnBegin,
     TxnCommit,
     TxnAbort,
@@ -28,6 +29,7 @@ impl OpKind {
             OpKind::Get => "get",
             OpKind::Remove => "remove",
             OpKind::Update => "update",
+            OpKind::Batch => "batch",
             OpKind::TxnBegin => "txn-begin",
             OpKind::TxnCommit => "txn-commit",
             OpKind::TxnAbort => "txn-abort",

@@ -432,6 +432,163 @@ impl BTree {
         Ok(Ins::Split(promoted_key, right))
     }
 
+    // ---- batched writes (subfeature Batch) ----------------------------------
+
+    /// Apply a batch of writes (`Some(value)` = put, `None` = remove) as
+    /// one sorted run. Ops are stably sorted by key and deduplicated
+    /// last-wins, then applied in ascending order with a right-edge
+    /// descent cursor: the root-to-leaf path (with each subtree's upper
+    /// separator bound) is cached, and the next key re-descends only from
+    /// the deepest cached node still covering it instead of from the
+    /// root. Every page mutation goes through the same primitives as
+    /// [`BTree::insert`] / [`BTree::remove`], so the resulting tree is
+    /// byte-identical to applying the sorted run one at a time.
+    ///
+    /// Returns the number of keys that were newly created.
+    pub fn apply_sorted(
+        &mut self,
+        pager: &mut Pager,
+        mut ops: Vec<(Vec<u8>, Option<Vec<u8>>)>,
+    ) -> Result<usize> {
+        // Validate sizes up front so the batch fails before any mutation.
+        let max = Self::max_cell(pager);
+        for (key, value) in &ops {
+            if let Some(value) = value {
+                let size = 2 + key.len() + value.len();
+                if size > max {
+                    return Err(StorageError::RecordTooLarge { size, max });
+                }
+            }
+        }
+        ops.sort_by(|a, b| a.0.cmp(&b.0)); // stable: last op per key stays last
+        ops.dedup_by(|next, prev| {
+            if next.0 == prev.0 {
+                // `dedup_by` drops `next` (the later element) — keep its
+                // op by moving it into the surviving earlier slot.
+                prev.1 = next.1.take();
+                true
+            } else {
+                false
+            }
+        });
+
+        /// One level of the cached descent: a page and the upper
+        /// separator bound of its subtree (`None` = unbounded right edge).
+        struct PathEntry {
+            page: PageId,
+            upper: Option<Vec<u8>>,
+        }
+
+        let mut path: Vec<PathEntry> = Vec::new();
+        let mut new_keys = 0usize;
+        for (key, op) in ops {
+            let Some(value) = op else {
+                // Removes can merge and collapse nodes; the cached path
+                // cannot survive that, so take the plain descent.
+                path.clear();
+                self.remove(pager, &key)?;
+                continue;
+            };
+
+            // Pop levels whose subtree ends at or before `key`; what
+            // remains still covers it (keys ascend, so we never need to
+            // move left).
+            while path
+                .last()
+                .is_some_and(|e| e.upper.as_deref().is_some_and(|u| key.as_slice() >= u))
+            {
+                path.pop();
+            }
+            if path.is_empty() {
+                path.push(PathEntry {
+                    page: self.root,
+                    upper: None,
+                });
+            }
+
+            // Descend from the deepest still-valid node to the leaf.
+            loop {
+                let top = path.last().expect("path holds at least the root");
+                let page = top.page;
+                let inherited = top.upper.clone();
+                let step = pager.with_page(page, |buf| {
+                    let view = PageView::new(buf);
+                    if view.page_type() != Some(PageType::BTreeInternal) {
+                        return None;
+                    }
+                    let (child, idx) = descend_child(&view, &key);
+                    // The child's upper bound is the next separator; the
+                    // last child inherits this node's bound.
+                    let upper = match idx {
+                        None if view.slot_count() > 0 => Some(cell_key(view.cell_at(0)).to_vec()),
+                        Some(i) if i + 1 < view.slot_count() => {
+                            Some(cell_key(view.cell_at(i + 1)).to_vec())
+                        }
+                        _ => None,
+                    };
+                    Some((child, upper))
+                })?;
+                match step {
+                    Some((child, upper)) => path.push(PathEntry {
+                        page: child,
+                        upper: upper.or(inherited),
+                    }),
+                    None => break,
+                }
+            }
+
+            let leaf = path.last().expect("descent ends at a leaf").page;
+            let (mut ins, was_new) = self.leaf_insert(pager, leaf, &key, &value)?;
+            if was_new {
+                new_keys += 1;
+            }
+
+            // Propagate splits up the cached path — the same unwinding
+            // `insert_rec` performs, acting on the identical ancestors.
+            let had_split = matches!(ins, Ins::Split(..));
+            let mut level = path.len() - 1;
+            while let Ins::Split(sep, right) = ins {
+                if level == 0 {
+                    // Split reached the root: grow the tree.
+                    let new_root = pager.allocate()?;
+                    let old_root = self.root;
+                    pager.with_page_mut(new_root, |buf| {
+                        let mut p = SlottedPage::init(buf, PageType::BTreeInternal);
+                        p.set_aux(Some(old_root));
+                        let ok = p.insert_at(0, &int_cell(&sep, right));
+                        debug_assert!(ok, "fresh root holds one separator");
+                    })?;
+                    self.set_root(pager, new_root)?;
+                    ins = Ins::Fit;
+                    break;
+                }
+                level -= 1;
+                let parent = path[level].page;
+                let cell = int_cell(&sep, right);
+                let fit = pager.with_page_mut(parent, |buf| {
+                    let mut p = SlottedPage::new(buf);
+                    let idx = match search(&p.view(), &sep) {
+                        Ok(i) => i, // cannot happen with unique separators
+                        Err(i) => i,
+                    };
+                    p.insert_at(idx, &cell)
+                })?;
+                ins = if fit {
+                    Ins::Fit
+                } else {
+                    self.split_internal(pager, parent, &sep, right)?
+                };
+            }
+            let _ = ins;
+            if had_split {
+                // Splits restructured nodes and bounds along the descent;
+                // rebuild the path from the root for the next key.
+                path.clear();
+            }
+        }
+        Ok(new_keys)
+    }
+
     // ---- remove (subfeature BTreeRemove) ------------------------------------
 
     /// Remove a key. Returns `true` if it existed.
@@ -947,7 +1104,7 @@ mod tests {
             x ^= x >> 7;
             x ^= x << 17;
             let key = format!("k{:04}", x % 500).into_bytes();
-            if x % 3 == 0 {
+            if x.is_multiple_of(3) {
                 let removed = t.remove(&mut pg, &key).unwrap();
                 assert_eq!(removed, model.remove(&key).is_some(), "step {step}");
             } else {
@@ -1079,7 +1236,7 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+pub(crate) mod proptests {
     use super::*;
     use fame_buffer::{BufferPool, ReplacementKind};
     use fame_os::{AllocPolicy, InMemoryDevice};
@@ -1146,5 +1303,73 @@ mod proptests {
             prop_assert_eq!(scanned, expected);
             check_invariants(&tree, &mut pg).unwrap();
         }
+
+        /// `apply_sorted` over a random op sequence produces a tree that
+        /// is byte-identical (page for page) to applying the same sorted,
+        /// deduplicated run one at a time, and whose contents match
+        /// last-wins semantics over the original sequence.
+        #[test]
+        fn apply_sorted_is_byte_identical_to_loop(
+            ops in prop::collection::vec(batch_op_strategy(), 1..150)
+        ) {
+            let mut pg_batch = pager();
+            let mut t_batch = BTree::create(&mut pg_batch, 0).unwrap();
+            t_batch.apply_sorted(&mut pg_batch, ops.clone()).unwrap();
+
+            let mut pg_loop = pager();
+            let mut t_loop = BTree::create(&mut pg_loop, 0).unwrap();
+            for (k, op) in sort_dedup(ops.clone()) {
+                match op {
+                    Some(v) => { t_loop.insert(&mut pg_loop, &k, &v).unwrap(); }
+                    None => { t_loop.remove(&mut pg_loop, &k).unwrap(); }
+                }
+            }
+
+            prop_assert_eq!(t_batch.root_page(), t_loop.root_page());
+            let pages = pg_batch.allocated_pages().unwrap();
+            prop_assert_eq!(pages, pg_loop.allocated_pages().unwrap());
+            for p in 0..pages {
+                let a = pg_batch.with_page(p, |b| b.to_vec()).unwrap();
+                let b = pg_loop.with_page(p, |b| b.to_vec()).unwrap();
+                prop_assert!(a == b, "page {} differs", p);
+            }
+            check_invariants(&t_batch, &mut pg_batch).unwrap();
+
+            // Last-wins semantics over the original order.
+            let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+            for (k, op) in ops {
+                match op {
+                    Some(v) => { model.insert(k, v); }
+                    None => { model.remove(&k); }
+                }
+            }
+            let scanned = t_batch.scan(&mut pg_batch, None, None).unwrap();
+            prop_assert_eq!(scanned, model.into_iter().collect::<Vec<_>>());
+        }
+    }
+
+    /// Op shape shared by the batch-equivalence tests: puts and removes
+    /// over a small key space so updates, splits and merges all occur.
+    pub(crate) fn batch_op_strategy() -> impl Strategy<Value = (Vec<u8>, Option<Vec<u8>>)> {
+        let key = prop::collection::vec(any::<u8>(), 1..10);
+        let val = prop::option::of(prop::collection::vec(any::<u8>(), 0..24));
+        (key, val)
+    }
+
+    /// The exact normalization `apply_sorted`/`insert_many` perform:
+    /// stable sort by key, deduplicate last-wins.
+    pub(crate) fn sort_dedup(
+        mut ops: Vec<(Vec<u8>, Option<Vec<u8>>)>,
+    ) -> Vec<(Vec<u8>, Option<Vec<u8>>)> {
+        ops.sort_by(|a, b| a.0.cmp(&b.0));
+        ops.dedup_by(|next, prev| {
+            if next.0 == prev.0 {
+                prev.1 = next.1.take();
+                true
+            } else {
+                false
+            }
+        });
+        ops
     }
 }

@@ -194,7 +194,7 @@ fn checked_slots(ck: &mut Checker, page: PageId, buf: &[u8]) -> Option<Vec<(usiz
 }
 
 /// Parse the `[klen:u16][key]...` prefix shared by every cell encoding.
-fn cell_key<'a>(cell: &'a [u8]) -> Option<&'a [u8]> {
+fn cell_key(cell: &[u8]) -> Option<&[u8]> {
     if cell.len() < 2 {
         return None;
     }
@@ -462,7 +462,7 @@ pub fn check_pager(pager: &mut Pager) -> Result<IntegrityReport> {
         if !ck.enter(root, "root slot") {
             continue;
         }
-        let ty = pager.with_page(root, |b| page_type(b))?;
+        let ty = pager.with_page(root, page_type)?;
         match ty {
             Some(PageType::BTreeLeaf) | Some(PageType::BTreeInternal) => {
                 let mut leaves = Vec::new();

@@ -376,15 +376,15 @@ mod tests {
         let mut q = Queue::create(&mut pg, 0, 120).unwrap();
         let cap = q.capacity();
         for i in 0..cap {
-            q.push(&mut pg, &vec![i as u8; 120]).unwrap();
+            q.push(&mut pg, &[i as u8; 120]).unwrap();
         }
         assert!(matches!(
-            q.push(&mut pg, &vec![0u8; 120]),
+            q.push(&mut pg, &[0u8; 120]),
             Err(StorageError::CapacityExceeded(_))
         ));
         // Draining one record frees room.
         q.pop(&mut pg).unwrap();
-        q.push(&mut pg, &vec![9u8; 120]).unwrap();
+        q.push(&mut pg, &[9u8; 120]).unwrap();
     }
 
     #[test]
@@ -406,7 +406,7 @@ mod tests {
         let mut x: u64 = 12345;
         for _ in 0..500 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            if x % 3 != 0 {
+            if !x.is_multiple_of(3) {
                 if q.push(&mut pg, &rec(next)).is_ok() {
                     expect.push_back(next);
                 }

@@ -38,6 +38,6 @@ pub use locks::{LockManager, LockMode};
 pub use log::{LogReader, LogWriter, Lsn};
 #[cfg(feature = "obs")]
 pub use manager::TxnObs;
-pub use manager::{CommitPolicy, TxnError, TxnId, TxnManager, UndoAction};
+pub use manager::{BatchWrite, CommitPolicy, TxnError, TxnId, TxnManager, UndoAction};
 pub use recovery::{recover, recover_records, RecoveryStats, RecoveryTarget};
 pub use wal::LogRecord;

@@ -83,6 +83,42 @@ struct TxnState {
     undo: Vec<UndoAction>,
 }
 
+/// One operation of a write batch, in the same logical vocabulary as the
+/// WAL records: `old` carries what the key held before (for undo/redo),
+/// exactly like [`TxnManager::log_put`] / [`TxnManager::log_remove`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchWrite {
+    /// Insert or overwrite `key` in index `index`.
+    Put {
+        /// Which index of the product the operation targets.
+        index: u8,
+        /// The key.
+        key: Vec<u8>,
+        /// Previous value (`None` = key was absent), for undo.
+        old: Option<Vec<u8>>,
+        /// New value, for redo.
+        new: Vec<u8>,
+    },
+    /// Remove `key` from index `index`.
+    Remove {
+        /// Which index of the product the operation targets.
+        index: u8,
+        /// The key.
+        key: Vec<u8>,
+        /// The removed value, for undo.
+        old: Vec<u8>,
+    },
+}
+
+impl BatchWrite {
+    /// The key the operation touches.
+    pub fn key(&self) -> &[u8] {
+        match self {
+            BatchWrite::Put { key, .. } | BatchWrite::Remove { key, .. } => key,
+        }
+    }
+}
+
 /// Statistics feature: timing the transaction layer keeps beyond its
 /// always-on `(committed, aborted)` counters.
 #[cfg(feature = "obs")]
@@ -209,6 +245,79 @@ impl TxnManager {
             restore: Some(old),
         });
         Ok(lsn)
+    }
+
+    /// Log a whole batch of writes *before* the caller applies them to
+    /// storage (WAL rule), as one coalesced device pass.
+    ///
+    /// Every key is locked up front, so a conflict anywhere fails the
+    /// batch before a single record reaches the log — all-or-nothing at
+    /// the lock layer too. The records then go out via
+    /// [`LogWriter::append_many`]: one frame-buffer encode, one write
+    /// sequence that touches each log page once, instead of one tail-page
+    /// rewrite per record as a loop over [`TxnManager::log_put`] would
+    /// issue. Undo actions are recorded per operation, so an abort after
+    /// a partial storage apply compensates exactly as for single writes.
+    pub fn log_batch(&mut self, txn: TxnId, ops: &[BatchWrite]) -> Result<Lsn, TxnError> {
+        self.state(txn)?;
+        for op in ops {
+            self.locks.acquire(txn, op.key(), LockMode::Exclusive)?;
+        }
+        let records: Vec<LogRecord> = ops
+            .iter()
+            .map(|op| match op {
+                BatchWrite::Put {
+                    index,
+                    key,
+                    old,
+                    new,
+                } => LogRecord::Put {
+                    txn,
+                    index: *index,
+                    key: key.clone(),
+                    old: old.clone(),
+                    new: new.clone(),
+                },
+                BatchWrite::Remove { index, key, old } => LogRecord::Remove {
+                    txn,
+                    index: *index,
+                    key: key.clone(),
+                    old: old.clone(),
+                },
+            })
+            .collect();
+        let lsn = self.log.append_many(&records)?;
+        let state = self.state(txn)?;
+        for op in ops {
+            state.undo.push(match op {
+                BatchWrite::Put {
+                    index, key, old, ..
+                } => UndoAction {
+                    index: *index,
+                    key: key.clone(),
+                    restore: old.clone(),
+                },
+                BatchWrite::Remove { index, key, old } => UndoAction {
+                    index: *index,
+                    key: key.clone(),
+                    restore: Some(old.clone()),
+                },
+            });
+        }
+        Ok(lsn)
+    }
+
+    /// Commit a batch transaction previously logged with
+    /// [`TxnManager::log_batch`]: exactly one log sync acknowledges the
+    /// whole batch regardless of its size. Under `commit-force` that is
+    /// the commit's own sync; under `commit-group` the batch counts as a
+    /// single commit toward the group quota, so grouping still amortizes
+    /// across batches rather than being defeated by large ones.
+    pub fn commit_batch(&mut self, txn: TxnId) -> Result<(), TxnError> {
+        // One commit record + one protocol step — identical durability
+        // path to a single-operation commit, which is the point: batch
+        // size never multiplies syncs.
+        self.commit(txn)
     }
 
     /// Commit: append the commit record and sync per the protocol.
@@ -507,6 +616,128 @@ mod tests {
         let snap = m.obs().commit_latency.snapshot();
         assert_eq!(snap.count, 3, "failed commits are not samples");
         assert!(m.log_bytes() > 0);
+    }
+
+    fn batch(n: usize) -> Vec<BatchWrite> {
+        (0..n)
+            .map(|i| BatchWrite::Put {
+                index: 0,
+                key: format!("bk{i}").into_bytes(),
+                old: None,
+                new: vec![i as u8; 8],
+            })
+            .collect()
+    }
+
+    #[cfg(feature = "commit-force")]
+    #[test]
+    fn batch_commit_syncs_once_regardless_of_size() {
+        for n in [1usize, 8, 64] {
+            let mut m = manager(CommitPolicy::Force);
+            let t = m.begin().unwrap();
+            m.log_batch(t, &batch(n)).unwrap();
+            m.commit_batch(t).unwrap();
+            assert_eq!(m.log_device_stats().syncs, 1, "batch of {n}: one sync");
+            assert_eq!(m.stats(), (1, 0));
+            assert!(m.active().is_empty());
+        }
+    }
+
+    #[cfg(feature = "commit-group")]
+    #[test]
+    fn batch_counts_as_one_commit_toward_group_quota() {
+        let mut m = manager(CommitPolicy::Group { group_size: 4 });
+        for _ in 0..8 {
+            let t = m.begin().unwrap();
+            m.log_batch(t, &batch(16)).unwrap();
+            m.commit_batch(t).unwrap();
+        }
+        assert_eq!(
+            m.log_device_stats().syncs,
+            2,
+            "8 batches / group of 4, independent of the 16 ops per batch"
+        );
+    }
+
+    #[cfg(feature = "commit-force")]
+    #[test]
+    fn batch_conflict_fails_before_logging_anything() {
+        let mut m = manager(CommitPolicy::Force);
+        let t1 = m.begin().unwrap();
+        m.log_put(t1, 0, b"bk2", None, b"v").unwrap();
+        let t2 = m.begin().unwrap();
+        let bytes_before = m.log_bytes();
+        assert!(matches!(
+            m.log_batch(t2, &batch(4)),
+            Err(TxnError::Conflict(_))
+        ));
+        assert_eq!(
+            m.log_bytes(),
+            bytes_before,
+            "a conflicting batch logs no records"
+        );
+    }
+
+    #[cfg(feature = "commit-force")]
+    #[test]
+    fn batch_abort_returns_undo_in_reverse() {
+        let mut m = manager(CommitPolicy::Force);
+        let t = m.begin().unwrap();
+        let ops = vec![
+            BatchWrite::Put {
+                index: 0,
+                key: b"a".to_vec(),
+                old: None,
+                new: b"1".to_vec(),
+            },
+            BatchWrite::Remove {
+                index: 1,
+                key: b"b".to_vec(),
+                old: b"old-b".to_vec(),
+            },
+        ];
+        m.log_batch(t, &ops).unwrap();
+        let undo = m.abort(t).unwrap();
+        assert_eq!(undo.len(), 2);
+        assert_eq!(undo[0].key, b"b");
+        assert_eq!(undo[0].restore, Some(b"old-b".to_vec()));
+        assert_eq!(undo[1].key, b"a");
+        assert_eq!(undo[1].restore, None);
+    }
+
+    #[cfg(feature = "commit-force")]
+    #[test]
+    fn batch_log_records_match_per_record_path() {
+        use crate::log::LogReader;
+        // The coalesced path must leave a byte-identical log behind.
+        let ops = batch(5);
+        let mut a = manager(CommitPolicy::Force);
+        let t = a.begin().unwrap();
+        for op in &ops {
+            if let BatchWrite::Put {
+                index,
+                key,
+                old,
+                new,
+            } = op
+            {
+                a.log_put(t, *index, key, old.clone(), new).unwrap();
+            }
+        }
+        a.commit(t).unwrap();
+
+        let mut b = manager(CommitPolicy::Force);
+        let t = b.begin().unwrap();
+        b.log_batch(t, &ops).unwrap();
+        b.commit_batch(t).unwrap();
+
+        let (ra, _) = LogReader::new(a.into_log().into_device())
+            .read_all()
+            .unwrap();
+        let (rb, _) = LogReader::new(b.into_log().into_device())
+            .read_all()
+            .unwrap();
+        assert_eq!(ra, rb);
     }
 
     #[cfg(feature = "commit-force")]

@@ -75,11 +75,20 @@ impl LogRecord {
 
     /// Serialize the payload (without the length/checksum frame).
     pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Serialize the payload by appending to `out`, reusing its existing
+    /// allocation. This is the hot-path entry: [`crate::LogWriter`] keeps
+    /// one persistent frame buffer and encodes every record into it, so a
+    /// steady-state append performs no heap allocation.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
             out.extend_from_slice(&(b.len() as u32).to_le_bytes());
             out.extend_from_slice(b);
         }
-        let mut out = Vec::with_capacity(32);
         match self {
             LogRecord::Begin { txn } => {
                 out.push(1);
@@ -103,15 +112,15 @@ impl LogRecord {
                 out.push(4);
                 out.extend_from_slice(&txn.to_le_bytes());
                 out.push(*index);
-                put_bytes(&mut out, key);
+                put_bytes(out, key);
                 match old {
                     None => out.push(0),
                     Some(o) => {
                         out.push(1);
-                        put_bytes(&mut out, o);
+                        put_bytes(out, o);
                     }
                 }
-                put_bytes(&mut out, new);
+                put_bytes(out, new);
             }
             LogRecord::Remove {
                 txn,
@@ -122,12 +131,11 @@ impl LogRecord {
                 out.push(5);
                 out.extend_from_slice(&txn.to_le_bytes());
                 out.push(*index);
-                put_bytes(&mut out, key);
-                put_bytes(&mut out, old);
+                put_bytes(out, key);
+                put_bytes(out, old);
             }
             LogRecord::Checkpoint => out.push(6),
         }
-        out
     }
 
     /// Deserialize a payload produced by [`LogRecord::encode`].

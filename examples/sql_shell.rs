@@ -37,10 +37,7 @@ fn main() {
             "\\t" => {
                 // The engine initializes lazily; issuing any statement
                 // first would also work, but list via a throwaway query.
-                match db.sql("SELECT COUNT(*) FROM __nonexistent__") {
-                    Err(_) => {}
-                    Ok(_) => {}
-                }
+                let _ = db.sql("SELECT COUNT(*) FROM __nonexistent__");
                 println!("(use CREATE TABLE ...; catalog listing via SQL only)");
                 prompt(true);
                 continue;

@@ -17,14 +17,15 @@
 #![cfg(all(
     feature = "transactions",
     feature = "commit-force",
-    feature = "commit-group"
+    feature = "commit-group",
+    feature = "api-batch"
 ))]
 
 use std::collections::BTreeMap;
 
 use fame_dbms::fame_os::{BlockDevice, FaultDevice, FaultPlan, InMemoryDevice, SharedDevice};
 use fame_dbms::fame_txn::CommitPolicy;
-use fame_dbms::{BufferConfig, Database, DbmsConfig, IndexKind, TxnConfig};
+use fame_dbms::{BufferConfig, Database, DbmsConfig, DbmsError, IndexKind, TxnConfig, WriteBatch};
 
 type Dev = SharedDevice<FaultDevice<InMemoryDevice>>;
 type Model = BTreeMap<Vec<u8>, Vec<u8>>;
@@ -123,6 +124,37 @@ fn run_workload(db: &mut Database, log: &Dev) -> Vec<u64> {
     syncs_before_commit
 }
 
+/// Batched edition of the workload (E10): slot `j`'s puts as one
+/// `WriteBatch` — one coalesced WAL append, one commit, one sync under
+/// Force. The aborting slot becomes a poisoned batch (an `update` of a key
+/// that never exists) which must be rejected with no effect, standing in
+/// for the abort in [`committed_states`].
+fn run_workload_batched(db: &mut Database, log: &Dev) -> Vec<u64> {
+    let mut syncs_before_commit = Vec::new();
+    for j in 0..TXNS {
+        let mut b = WriteBatch::new();
+        for i in 0..OPS {
+            b.put(&key(j * OPS + i), &value(j, i));
+        }
+        if aborts(j) {
+            b.update(b"never-written", b"poison");
+            match db.apply_batch(b) {
+                // Rejected up front: nothing logged, nothing applied.
+                Err(DbmsError::Config(_)) => {}
+                // Device tripped mid-resolution (or the poison applied).
+                _ => return syncs_before_commit,
+            }
+        } else {
+            let before = log.with(|d| d.syncs_done());
+            if db.apply_batch(b).is_err() {
+                return syncs_before_commit;
+            }
+            syncs_before_commit.push(before);
+        }
+    }
+    syncs_before_commit
+}
+
 fn read_state(db: &mut Database) -> Model {
     let mut m = Model::new();
     for n in 0..KEYS {
@@ -138,6 +170,19 @@ fn read_state(db: &mut Database) -> Model {
 /// into the crash, heal, reopen, and judge durability + atomicity +
 /// integrity. Returns the matched committed prefix.
 fn crash_and_judge(commit: CommitPolicy, plan: FaultPlan, label: &str) -> usize {
+    crash_and_judge_with(commit, plan, label, false)
+}
+
+/// As [`crash_and_judge`], with the workload optionally issued as one
+/// `WriteBatch` per slot. The oracle is unchanged: a batch is one commit,
+/// so matching a committed prefix *is* batch atomicity — a half-applied
+/// batch matches no prefix.
+fn crash_and_judge_with(
+    commit: CommitPolicy,
+    plan: FaultPlan,
+    label: &str,
+    batched: bool,
+) -> usize {
     let states = committed_states();
     let data = fresh_dev();
     let log = fresh_dev();
@@ -145,7 +190,11 @@ fn crash_and_judge(commit: CommitPolicy, plan: FaultPlan, label: &str) -> usize 
 
     let (completed, durable) = match open(&data, &log, commit) {
         Ok(mut db) => {
-            let samples = run_workload(&mut db, &log);
+            let samples = if batched {
+                run_workload_batched(&mut db, &log)
+            } else {
+                run_workload(&mut db, &log)
+            };
             let final_syncs = log.with(|d| d.syncs_done());
             let durable = samples.iter().filter(|&&b| final_syncs > b).count();
             // One power supply: trip both devices before the buffer pool's
@@ -307,6 +356,75 @@ fn crash_sweep_force_torn() {
                 ..FaultPlan::default()
             },
             &format!("force/log-torn@{k}"),
+        );
+    }
+}
+
+/// E10 satellite: batched commits, Force policy — crash cleanly at every
+/// log write index. Zero tolerance: a batch must be observed entirely or
+/// not at all after recovery.
+#[test]
+fn batch_crash_sweep_force_clean() {
+    // The coalesced append writes far fewer log pages than the per-record
+    // path, so a tighter sweep still covers every write index.
+    for k in 1..60 {
+        crash_and_judge_with(
+            CommitPolicy::Force,
+            FaultPlan {
+                fail_after_writes: Some(k),
+                ..FaultPlan::default()
+            },
+            &format!("batch-force/log-clean@{k}"),
+            true,
+        );
+    }
+}
+
+/// E10 satellite: batched commits with a torn final log write. The tear
+/// can split the batch's frame run across the page boundary — recovery
+/// must still land on a whole-batch prefix.
+#[test]
+fn batch_crash_sweep_force_torn() {
+    for k in (1..60).step_by(2) {
+        crash_and_judge_with(
+            CommitPolicy::Force,
+            FaultPlan {
+                fail_after_writes: Some(k),
+                tear_offset: Some(1 + (k as usize * 37) % (PAGE - 1)),
+                ..FaultPlan::default()
+            },
+            &format!("batch-force/log-torn@{k}"),
+            true,
+        );
+    }
+}
+
+/// E10 satellite: batched commits under Group(2) — a batch counts as one
+/// commit toward the group quota, and failing barriers must not break
+/// batch atomicity.
+#[test]
+fn batch_crash_sweep_group_clean_and_sync_fail() {
+    let group = CommitPolicy::Group { group_size: 2 };
+    for k in (1..60).step_by(2) {
+        crash_and_judge_with(
+            group,
+            FaultPlan {
+                fail_after_writes: Some(k),
+                ..FaultPlan::default()
+            },
+            &format!("batch-group2/log-clean@{k}"),
+            true,
+        );
+    }
+    for s in 0..8 {
+        crash_and_judge_with(
+            group,
+            FaultPlan {
+                fail_after_syncs: Some(s),
+                ..FaultPlan::default()
+            },
+            &format!("batch-group2/log-sync-fail@{s}"),
+            true,
         );
     }
 }
