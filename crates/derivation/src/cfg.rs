@@ -192,7 +192,7 @@ fn scan_attribute(tokens: &[Token], open: usize) -> (usize, bool) {
 }
 
 /// Index of the `}` matching the `{` at `open` (or end of stream).
-fn match_brace(tokens: &[Token], open: usize) -> usize {
+pub fn match_brace(tokens: &[Token], open: usize) -> usize {
     let mut depth = 0i32;
     let mut j = open;
     while j < tokens.len() {
@@ -212,7 +212,7 @@ fn match_brace(tokens: &[Token], open: usize) -> usize {
 }
 
 /// Index of the `)` matching the `(` at `open`, if balanced.
-pub(crate) fn match_paren(tokens: &[Token], open: usize) -> Option<usize> {
+pub fn match_paren(tokens: &[Token], open: usize) -> Option<usize> {
     let mut depth = 0i32;
     let mut j = open;
     while j < tokens.len() {
@@ -383,8 +383,7 @@ impl<'a> NodeParser<'a> {
                             is_tail: false,
                         }));
                     }
-                    let body = self.braced_region(true);
-                    nodes.extend(body);
+                    nodes.extend(self.match_arms_region());
                 }
                 "switch" if t.kind == TokKind::Ident => {
                     self.i += 1;
@@ -604,6 +603,99 @@ impl<'a> NodeParser<'a> {
         let nodes = p.region(match_arms);
         self.i = (close + 1).min(self.tokens.len());
         nodes
+    }
+
+    /// Parse the `{ pat => body, .. }` of a `match`, lowering the arms to
+    /// a nested [`Node::If`] chain so each arm is an *alternative* branch:
+    /// facts established in one arm (e.g. a lock guard bound there) do not
+    /// flow into its siblings. Arm patterns/guards become the branch
+    /// condition tokens (they are evaluated; guards may call); a
+    /// `#[cfg(..)]`-gated arm lowers like a cfg-gated `if`.
+    fn match_arms_region(&mut self) -> Vec<Node> {
+        if !self.peek().is_some_and(|t| t.is_punct("{")) {
+            return Vec::new();
+        }
+        let close = match_brace(self.tokens, self.i);
+        let inner = &self.tokens[self.i + 1..close.min(self.tokens.len())];
+        self.i = (close + 1).min(self.tokens.len());
+        let mut p = NodeParser {
+            tokens: inner,
+            i: 0,
+            lang: self.lang,
+        };
+        let mut arms: Vec<(Cond, Vec<Token>, Vec<Node>)> = Vec::new();
+        let mut arm_gated = false;
+        while let Some(t) = p.peek() {
+            if (t.is_punct(",") || t.is_punct(";")) && t.kind == TokKind::Punct {
+                p.i += 1;
+                continue;
+            }
+            if t.is_punct("#") && p.tokens.get(p.i + 1).is_some_and(|x| x.is_punct("[")) {
+                let (end, has_cfg) = scan_attribute(p.tokens, p.i + 1);
+                p.i = end;
+                arm_gated = arm_gated || has_cfg;
+                continue;
+            }
+            let pat = p.arm_pattern();
+            let body = if p.peek().is_some_and(|x| x.is_punct("{")) {
+                p.braced_region(false)
+            } else {
+                let (tokens, _) = p.stmt_tokens(true);
+                if tokens.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![Node::Stmt(Stmt {
+                        tokens,
+                        is_return: false,
+                        is_tail: false,
+                    })]
+                }
+            };
+            if pat.is_empty() && body.is_empty() {
+                // No progress (malformed tail): bail rather than spin.
+                break;
+            }
+            // A `true`/`false` literal is a *pattern* here, not a constant
+            // condition — every arm stays Opaque (two-way) unless gated.
+            let cond = if arm_gated {
+                Cond::CfgGated
+            } else {
+                Cond::Opaque
+            };
+            arms.push((cond, pat, body));
+            arm_gated = false;
+        }
+        let mut chain: Vec<Node> = Vec::new();
+        for (cond, pat, body) in arms.into_iter().rev() {
+            chain = vec![Node::If {
+                cond,
+                cond_tokens: pat,
+                then_branch: body,
+                else_branch: chain,
+            }];
+        }
+        chain
+    }
+
+    /// Pattern (+ optional `if` guard) tokens of one match arm, up to the
+    /// depth-0 `=>` (consumed).
+    fn arm_pattern(&mut self) -> Vec<Token> {
+        let mut depth = 0i32;
+        let mut out = Vec::new();
+        while let Some(t) = self.peek() {
+            match t.text.as_str() {
+                "(" | "[" | "{" if t.kind == TokKind::Punct => depth += 1,
+                ")" | "]" | "}" if t.kind == TokKind::Punct => depth -= 1,
+                "=>" if depth == 0 && t.kind == TokKind::Punct => {
+                    self.i += 1;
+                    return out;
+                }
+                _ => {}
+            }
+            out.push(t.clone());
+            self.i += 1;
+        }
+        out
     }
 
     /// Accumulate one flat statement: until `;` at depth 0 (or `,` in

@@ -27,6 +27,11 @@ pub enum TokKind {
     Num,
     /// Punctuation / operator (possibly multi-character, e.g. `::`, `|=`).
     Punct,
+    /// String literal, only produced by [`lex_with_strings`]. The token
+    /// text *keeps* its surrounding quotes (`"\"lru\""`) so that text
+    /// comparisons against identifiers or punctuation can never collide
+    /// with string contents; use [`Token::str_content`] for the inside.
+    Str,
 }
 
 /// One lexed token with its 1-based source line.
@@ -50,6 +55,16 @@ impl Token {
     pub fn is_punct(&self, s: &str) -> bool {
         self.kind == TokKind::Punct && self.text == s
     }
+
+    /// For a [`TokKind::Str`] token, the literal contents without the
+    /// surrounding quotes (escapes left as written). `None` otherwise.
+    pub fn str_content(&self) -> Option<&str> {
+        if self.kind != TokKind::Str {
+            return None;
+        }
+        let t = self.text.as_str();
+        Some(t.strip_prefix('"')?.strip_suffix('"').unwrap_or(""))
+    }
 }
 
 /// Multi-character operators, longest first so maximal munch works.
@@ -69,6 +84,32 @@ const PREPROC: &[&str] = &[
 
 /// Lex a source text into tokens.
 pub fn lex(source: &str) -> Vec<Token> {
+    lex_impl(source, false)
+}
+
+/// Lex a source text into tokens, keeping string literals as
+/// [`TokKind::Str`] tokens instead of discarding them.
+///
+/// The derivation analysis wants strings gone (a flag name inside SQL
+/// text is not API usage), but `fame-lint`'s cfg-gate pass needs the
+/// feature names out of `#[cfg(feature = "lru")]`. Str token text keeps
+/// its surrounding quotes so the contents can never be mistaken for an
+/// identifier or punctuation by text-level matching (`match_brace` and
+/// friends compare token text).
+pub fn lex_with_strings(source: &str) -> Vec<Token> {
+    lex_impl(source, true)
+}
+
+fn str_token(source: &str, content_start: usize, end: usize, trailing: usize, line: u32) -> Token {
+    let content_end = end.saturating_sub(trailing).max(content_start);
+    Token {
+        kind: TokKind::Str,
+        text: format!("\"{}\"", &source[content_start..content_end]),
+        line,
+    }
+}
+
+fn lex_impl(source: &str, keep_strings: bool) -> Vec<Token> {
     let b = source.as_bytes();
     let mut toks = Vec::new();
     let mut i = 0usize;
@@ -110,7 +151,12 @@ pub fn lex(source: &str) -> Vec<Token> {
                 }
             }
             b'"' => {
-                i = skip_string(b, i, &mut line);
+                let start_line = line;
+                let j = skip_string(b, i, &mut line);
+                if keep_strings {
+                    toks.push(str_token(source, i + 1, j, 1, start_line));
+                }
+                i = j;
                 at_line_start = false;
             }
             b'\'' => {
@@ -137,7 +183,17 @@ pub fn lex(source: &str) -> Vec<Token> {
                 // String-literal prefixes: `b"..."`, `r"..."`, `r#"..."#`.
                 if matches!(text, "b" | "r" | "br") && matches!(b.get(i), Some(&b'"') | Some(&b'#'))
                 {
-                    i = skip_maybe_raw_string(b, i, &mut line);
+                    let start_line = line;
+                    let mut hashes = 0usize;
+                    while b.get(i + hashes) == Some(&b'#') {
+                        hashes += 1;
+                    }
+                    let is_str = b.get(i + hashes) == Some(&b'"');
+                    let j = skip_maybe_raw_string(b, i, &mut line);
+                    if keep_strings && is_str && j > i {
+                        toks.push(str_token(source, i + hashes + 1, j, 1 + hashes, start_line));
+                    }
+                    i = j;
                 } else {
                     toks.push(Token {
                         kind: TokKind::Ident,
@@ -151,8 +207,10 @@ pub fn lex(source: &str) -> Vec<Token> {
                 let start = i;
                 while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
                 {
-                    // Stop before a `..` range operator.
-                    if b[i] == b'.' && b.get(i + 1) == Some(&b'.') {
+                    // A `.` continues the literal only as a float point
+                    // (digit follows). Stop before `..` ranges and before
+                    // `.method()` / tuple-index chains like `self.0.load`.
+                    if b[i] == b'.' && !b.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
                         break;
                     }
                     i += 1;
@@ -343,6 +401,37 @@ mod tests {
             texts("let c = 'x'; foo::<'a>(y)"),
             ["let", "c", "=", ";", "foo", "::", "<", ">", "(", "y", ")"]
         );
+    }
+
+    #[test]
+    fn lex_with_strings_keeps_quoted_literals() {
+        let toks = lex_with_strings(r#"#[cfg(feature = "lru")] fn f() { g("{"); }"#);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, ["\"lru\"", "\"{\""]);
+        // Quotes stay in the text, so a "{" literal is never a brace.
+        assert!(toks.iter().all(|t| !t.is_punct("\"{\"")));
+        assert_eq!(toks[6].str_content(), Some("lru"));
+    }
+
+    #[test]
+    fn lex_with_strings_handles_raw_and_byte_strings() {
+        let toks = lex_with_strings(r###"let a = r#"raw "inner" text"#; let b = b"bytes";"###);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, ["\"raw \"inner\" text\"", "\"bytes\""]);
+    }
+
+    #[test]
+    fn lex_with_strings_matches_lex_elsewhere() {
+        let src = "fn f(x: u32) -> bool { x == 0 || x > 9 }";
+        assert_eq!(lex(src), lex_with_strings(src));
     }
 
     #[test]

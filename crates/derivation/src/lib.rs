@@ -36,10 +36,14 @@ pub mod solver;
 
 pub use advisor::{advise, IndexChoice, Recommendation, WorkloadProfile};
 pub use appmodel::{render_flow, AppModel, Confidence, Fact, FactInfo, FlowStep};
-pub use cfg::Lang;
+pub use cfg::{
+    match_brace, match_paren, parse_functions, parse_nodes, parse_program, Cfg, Cond, FnDef, Lang,
+    Node, Stmt,
+};
 pub use dataflow::{FactRecord, FlagSet};
 pub use detect::{detect_features, detect_features_at, Detection, Evidence, EvidenceFact};
 pub use feedback::FeedbackModel;
+pub use lexer::{lex, lex_with_strings, TokKind, Token};
 pub use nfp::{Property, PropertyStore};
 pub use queries::{standard_bdb_queries, standard_fame_queries, ModelQuery, Query};
 pub use solver::{exhaustive::solve_exhaustive, greedy::solve_greedy, Objective, SolveOutcome};
