@@ -1,0 +1,202 @@
+//! `lint_report` — run fame-lint over the workspace, print the report,
+//! write `bench-results/lint_run.tsv`, validate the E11 seeded-defect
+//! corpus, and (with `--deny violations`) gate CI.
+//!
+//! Usage: `cargo run -p fame-lint --bin lint_report -- [options]`
+//!
+//! * `--root <path>` — workspace root (default: `.`)
+//! * `--deny violations` — exit 1 if the self-run has violations
+//!   (warnings never fail the gate)
+//! * `--quick` — skip the E11 seeded-defect corpus only; the self-run
+//!   always executes
+//! * `--out <path>` — TSV destination (default:
+//!   `<root>/bench-results/lint_run.tsv`)
+//!
+//! Exit codes: 0 clean (or warnings only); 1 self-run violations under
+//! `--deny violations`; 2 corpus defect missed (harness failure, always
+//! fatal); 3 usage/config/io error.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use fame_lint::corpus;
+use fame_lint::report::{tsv_corpus_row, tsv_self_rows, CorpusOutcome, TSV_HEADER};
+use fame_lint::{gate_exit_code, LintConfig, Severity, Workspace};
+
+struct Args {
+    root: PathBuf,
+    deny_violations: bool,
+    quick: bool,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        deny_violations: false,
+        quick: false,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a path")?);
+            }
+            "--deny" => {
+                let what = it.next().ok_or("--deny needs an argument")?;
+                if what != "violations" {
+                    return Err(format!("unknown --deny target {what:?}"));
+                }
+                args.deny_violations = true;
+            }
+            "--quick" => args.quick = true,
+            "--out" => {
+                args.out = Some(PathBuf::from(it.next().ok_or("--out needs a path")?));
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("lint_report: {e}");
+            ExitCode::from(3)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let cfg_path = args.root.join("lint.toml");
+    let cfg_text =
+        fs::read_to_string(&cfg_path).map_err(|e| format!("{}: {e}", cfg_path.display()))?;
+    let cfg = LintConfig::parse(&cfg_text).map_err(|e| e.to_string())?;
+
+    // --- self-run (always) ---------------------------------------------
+    let ws = Workspace::load(&args.root).map_err(|e| format!("loading workspace: {e}"))?;
+    let (report, stats) = fame_lint::run_workspace(&ws, &cfg);
+
+    println!("== fame-lint self-run");
+    println!(
+        "   {} crates, {} files, {} functions; {} lock sites ({} unclassified)",
+        report.crates.len(),
+        report.files_analyzed,
+        report.fns_analyzed,
+        stats.sites,
+        stats.unclassified,
+    );
+    println!("   declared lock order: {}", cfg.lock_order.join(" -> "));
+    if stats.graph.is_empty() {
+        println!("   observed lock-order graph: (no held-while-acquiring edges)");
+    } else {
+        println!("   observed lock-order graph:");
+        for line in &stats.graph {
+            println!("     {line}");
+        }
+    }
+    let violations = report.violations().count();
+    let warnings = report.warnings().count();
+    println!("   violations: {violations}   warnings: {warnings}");
+    for d in &report.diagnostics {
+        println!("   {}", d.render().replace('\n', "\n   "));
+    }
+
+    // --- E11 seeded-defect corpus (skipped by --quick) ------------------
+    let mut corpus_rows: Vec<CorpusOutcome> = Vec::new();
+    let mut corpus_missed = 0usize;
+    if args.quick {
+        println!("== E11 seeded-defect corpus: skipped (--quick)");
+    } else {
+        let dir = args.root.join("crates/bench/corpus/lint");
+        let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+            .map_err(|e| format!("{}: {e}", dir.display()))?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+            .collect();
+        files.sort();
+        println!("== E11 seeded-defect corpus ({} files)", files.len());
+        for path in files {
+            let stem = path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let Some(class) = corpus::classify_defect(&stem) else {
+                return Err(format!(
+                    "corpus file {} has no lock_/cfg_/atomic_/clean_ prefix",
+                    path.display()
+                ));
+            };
+            let text = fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            let defect_report = corpus::run_defect(&cfg, &stem, &text);
+            let outcome = corpus::outcome(&stem, class, &defect_report);
+            println!(
+                "   {:<28} {:<10} {}",
+                stem,
+                outcome.pass_name,
+                if outcome.detected {
+                    format!("ok ({})", outcome.note)
+                } else {
+                    outcome.note.clone()
+                }
+            );
+            if !outcome.detected {
+                corpus_missed += 1;
+                for d in defect_report.diagnostics.iter() {
+                    println!("      {}", d.render().replace('\n', "\n      "));
+                }
+            }
+            corpus_rows.push(outcome);
+        }
+    }
+
+    // --- TSV -------------------------------------------------------------
+    let out_path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| args.root.join("bench-results/lint_run.tsv"));
+    let mut tsv = String::from(TSV_HEADER);
+    tsv.push('\n');
+    for row in tsv_self_rows(&report) {
+        tsv.push_str(&row);
+        tsv.push('\n');
+    }
+    for o in &corpus_rows {
+        tsv.push_str(&tsv_corpus_row(o));
+        tsv.push('\n');
+    }
+    if let Some(parent) = out_path.parent() {
+        fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
+    }
+    fs::write(&out_path, &tsv).map_err(|e| format!("{}: {e}", out_path.display()))?;
+    println!("== wrote {}", out_path.display());
+
+    // --- gate ------------------------------------------------------------
+    if corpus_missed > 0 {
+        eprintln!("lint_report: {corpus_missed} seeded defect(s) MISSED — analyzer regression");
+        return Ok(ExitCode::from(2));
+    }
+    if args.deny_violations && gate_exit_code(&report) != 0 {
+        eprintln!(
+            "lint_report: {violations} violation(s); warnings ({warnings}) never fail the gate"
+        );
+        return Ok(ExitCode::from(1));
+    }
+    // Exit-code contract: warnings alone always exit 0.
+    debug_assert!(
+        report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+            == warnings
+    );
+    let _ = Path::new("");
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,146 @@
+//! Seeded-defect corpus protocol (E11).
+//!
+//! Defect sources live as *non-compiled* text files under
+//! `crates/bench/corpus/lint/`; the expected defect class is encoded in
+//! the filename prefix so `lint_report`, `fame-bench`'s corpus module,
+//! and `tests/lint_self.rs` all derive the same expectations from the
+//! same convention:
+//!
+//! | prefix    | expected detection                                   |
+//! |-----------|------------------------------------------------------|
+//! | `lock_`   | ≥1 Pass A violation, `FlowConfirmed`, non-empty chain |
+//! | `cfg_`    | ≥1 Pass B violation, `FlowConfirmed`, non-empty chain |
+//! | `atomic_` | ≥1 Pass C violation, `FlowConfirmed`, non-empty chain |
+//! | `clean_`  | zero violations from every pass (negative control)    |
+
+use crate::config::LintConfig;
+use crate::report::{CorpusOutcome, Pass, Report, Severity};
+use crate::source::Workspace;
+
+/// What a corpus file is expected to trigger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefectClass {
+    /// Inverted lock order — Pass A.
+    LockOrder,
+    /// Phantom / conflicting feature gate — Pass B.
+    CfgGate,
+    /// Mis-relaxed published atomic — Pass C.
+    Atomics,
+    /// Negative control: must be violation-free.
+    Clean,
+}
+
+impl DefectClass {
+    /// The pass expected to fire (`None` for the clean control).
+    pub fn pass(self) -> Option<Pass> {
+        match self {
+            DefectClass::LockOrder => Some(Pass::LockOrder),
+            DefectClass::CfgGate => Some(Pass::CfgGate),
+            DefectClass::Atomics => Some(Pass::Atomics),
+            DefectClass::Clean => None,
+        }
+    }
+}
+
+/// Derive the expected class from a corpus file stem.
+pub fn classify_defect(stem: &str) -> Option<DefectClass> {
+    if stem.starts_with("lock_") {
+        Some(DefectClass::LockOrder)
+    } else if stem.starts_with("cfg_") {
+        Some(DefectClass::CfgGate)
+    } else if stem.starts_with("atomic_") {
+        Some(DefectClass::Atomics)
+    } else if stem.starts_with("clean_") {
+        Some(DefectClass::Clean)
+    } else {
+        None
+    }
+}
+
+/// Features the synthetic corpus crate declares — enough for the
+/// legitimate gates in the corpus to be *declared* (the defects are
+/// about order, groups and orderings, not about missing manifests,
+/// except where the defect is exactly an undeclared feature).
+pub const CORPUS_FEATURES: &[&str] = &["replace-lru", "replace-lfu", "obs"];
+
+/// Run the analyzer over one corpus file as a synthetic one-file crate.
+pub fn run_defect(cfg: &LintConfig, stem: &str, text: &str) -> Report {
+    let ws = Workspace::synthetic(
+        &format!("corpus-{stem}"),
+        CORPUS_FEATURES,
+        &[(&format!("{stem}.rs"), text)],
+    );
+    crate::run_workspace(&ws, cfg).0
+}
+
+/// Validate a corpus report against its expected class. `Ok` carries a
+/// short note for the TSV; `Err` a diagnosis of what was missed.
+pub fn validate(report: &Report, class: DefectClass) -> Result<String, String> {
+    let Some(pass) = class.pass() else {
+        let v: Vec<_> = report.violations().collect();
+        return if v.is_empty() {
+            Ok("clean".to_string())
+        } else {
+            Err(format!(
+                "clean control reported {} violation(s): {}",
+                v.len(),
+                v.iter().map(|d| d.code).collect::<Vec<_>>().join(",")
+            ))
+        };
+    };
+    let hits: Vec<_> = report.violations().filter(|d| d.pass == pass).collect();
+    if hits.is_empty() {
+        return Err(format!("no {} violation reported", pass.name()));
+    }
+    let confirmed: Vec<_> = hits
+        .iter()
+        .filter(|d| d.tier == fame_derivation::Confidence::FlowConfirmed && !d.chain.is_empty())
+        .collect();
+    if confirmed.is_empty() {
+        return Err(format!(
+            "{} violation(s) found, but none FlowConfirmed with a provenance chain",
+            hits.len()
+        ));
+    }
+    Ok(format!("detected:{}", confirmed[0].code))
+}
+
+/// Full outcome for the TSV corpus section.
+pub fn outcome(stem: &str, class: DefectClass, report: &Report) -> CorpusOutcome {
+    let (detected, note) = match validate(report, class) {
+        Ok(n) => (true, n),
+        Err(e) => (false, format!("MISSED: {e}")),
+    };
+    let (violations, flow_confirmed) = match class.pass() {
+        Some(pass) => {
+            let v: Vec<_> = report.violations().filter(|d| d.pass == pass).collect();
+            let fc = v
+                .iter()
+                .filter(|d| d.tier == fame_derivation::Confidence::FlowConfirmed)
+                .count();
+            (v.len(), fc)
+        }
+        None => (report.violations().count(), 0),
+    };
+    CorpusOutcome {
+        defect: stem.to_string(),
+        pass_name: class
+            .pass()
+            .map(|p| p.name().to_string())
+            .unwrap_or_else(|| "all".to_string()),
+        detected,
+        violations,
+        flow_confirmed,
+        note,
+    }
+}
+
+/// Warnings in a corpus run are fine; severities other than the
+/// expected violations must not leak into the gate. (Used by tests.)
+pub fn warning_count(report: &Report) -> usize {
+    report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Warning)
+        .count()
+}

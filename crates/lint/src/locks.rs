@@ -1,0 +1,691 @@
+//! Pass A — lock-order analysis.
+//!
+//! Acquisition sites (`.read()`, `.write()`, `.lock()`, `try_*`) are
+//! classified into the lock classes declared in `lint.toml` by their
+//! receiver path (fallback: file path). A forward may-analysis over the
+//! PR-1 CFG propagates the set of held locks per basic block — `=`
+//! kills the bound guard variable first (the miss-path upgrade in
+//! `SharedBufferPool` re-lets the same variable, so release-then-
+//! reacquire does not read as a nested self-edge), `drop(v)` releases —
+//! and interprocedural summaries carry both *may-acquire* sets and
+//! *returns-guard* facts (so `let s = self.shard_write(..)` through a
+//! helper still counts as holding the shard latch). Every observed
+//! `held -> acquired` pair becomes an edge in the global lock-order
+//! graph; edges contradicting the declared order, self-edges, and
+//! cycles are diagnostics, each with a def-use provenance chain.
+//!
+//! Known limitations (documented in DESIGN.md §12): guards scoped
+//! entirely inside a callee are invisible to its callers (a closure
+//! re-entering `with_page` under the shard latch is not seen), and the
+//! may-analysis never releases at scope end, which over-approximates
+//! hold durations but never misses an acquisition.
+
+use std::collections::BTreeMap;
+
+use fame_derivation::{Confidence, FlowStep, Stmt, TokKind, Token};
+
+use crate::analysis::{receiver_path, ParsedFn, ParsedWorkspace};
+use crate::config::LintConfig;
+use crate::report::{Diagnostic, Pass, Report, Severity};
+
+/// Zero-argument methods that acquire a lock or latch.
+const ACQ_METHODS: &[&str] = &["lock", "read", "write", "try_lock", "try_read", "try_write"];
+
+/// Provenance chains are capped so interprocedural witnesses stay
+/// readable.
+const MAX_CHAIN: usize = 8;
+
+/// One observed `from held while acquiring to` edge.
+#[derive(Debug, Clone)]
+pub struct EdgeObs {
+    /// Class held.
+    pub from: String,
+    /// Class acquired.
+    pub to: String,
+    /// Crate of the acquiring site.
+    pub krate: String,
+    /// File of the acquiring site.
+    pub file: String,
+    /// Line of the acquiring site.
+    pub line: u32,
+    /// `FlowConfirmed` iff both the hold and the acquisition sit on
+    /// live (reachable, un-gated) paths.
+    pub tier: Confidence,
+    /// `shards.write()@415 -> device.write()@426`-style witness.
+    pub chain: Vec<FlowStep>,
+}
+
+/// Aggregate numbers the report prints.
+#[derive(Debug, Default)]
+pub struct LockStats {
+    /// Acquisition sites seen.
+    pub sites: usize,
+    /// Sites no class pattern matched (tracked, but order-exempt).
+    pub unclassified: usize,
+    /// Distinct observed edges, rendered `from->to xN [tier]`.
+    pub graph: Vec<String>,
+}
+
+/// A held lock: its class and how it got held.
+#[derive(Debug, Clone, PartialEq)]
+struct Held {
+    class: String,
+    tier: Confidence,
+    chain: Vec<FlowStep>,
+}
+
+/// Variable -> locks its guard may hold.
+type Env = BTreeMap<String, Vec<Held>>;
+
+/// Interprocedural summary of one function name.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct FnSummary {
+    /// Classes the function may acquire internally (witness chain each).
+    acquires: BTreeMap<String, Vec<FlowStep>>,
+    /// Classes the returned value may hold (returns-guard helpers).
+    returns: BTreeMap<String, Vec<FlowStep>>,
+}
+
+type Summaries = BTreeMap<String, FnSummary>;
+
+fn join_env(into: &mut Env, other: &Env) -> bool {
+    let mut changed = false;
+    for (var, helds) in other {
+        let slot = into.entry(var.clone()).or_default();
+        for h in helds {
+            if !slot.iter().any(|e| e.class == h.class) {
+                slot.push(h.clone());
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+fn step(what: impl Into<String>, line: u32) -> FlowStep {
+    FlowStep {
+        what: what.into(),
+        line,
+    }
+}
+
+fn cap(mut chain: Vec<FlowStep>) -> Vec<FlowStep> {
+    chain.truncate(MAX_CHAIN);
+    chain
+}
+
+fn min_tier(a: Confidence, b: Confidence) -> Confidence {
+    if a == Confidence::Syntactic || b == Confidence::Syntactic {
+        Confidence::Syntactic
+    } else {
+        Confidence::FlowConfirmed
+    }
+}
+
+/// Classify an acquisition by receiver path, falling back to the file.
+fn classify(cfg: &LintConfig, path: &[String], file: &str) -> Option<String> {
+    // Declared-order classes first so the deterministic winner is the
+    // one the order speaks about.
+    let ordered = cfg.lock_order.iter().chain(
+        cfg.lock_patterns
+            .keys()
+            .filter(|k| !cfg.lock_order.contains(k)),
+    );
+    for class in ordered {
+        if let Some(pats) = cfg.lock_patterns.get(class) {
+            if path
+                .iter()
+                .any(|seg| pats.iter().any(|p| seg.contains(p.as_str())))
+            {
+                return Some(class.clone());
+            }
+        }
+    }
+    for (class, files) in &cfg.lock_files {
+        if files.iter().any(|f| file.contains(f.as_str())) {
+            return Some(class.clone());
+        }
+    }
+    None
+}
+
+/// Find the index of a top-level `=` (assignment), if any.
+fn find_assign(toks: &[Token]) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate() {
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            "=" if depth == 0 && t.kind == TokKind::Punct => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The variable an assignment binds (`let mut s = ..` → `s`,
+/// `if let Some(g) = ..` → `g`).
+fn lhs_var(toks: &[Token]) -> Option<String> {
+    toks.iter()
+        .rev()
+        .find(|t| t.kind == TokKind::Ident && !matches!(t.text.as_str(), "let" | "mut" | "ref"))
+        .map(|t| t.text.clone())
+}
+
+/// Is `toks[i]` a `.method()` acquisition (empty parens required, so a
+/// device `write(buf)` I/O call never matches)?
+fn is_acq(toks: &[Token], i: usize) -> bool {
+    toks[i].kind == TokKind::Ident
+        && ACQ_METHODS.contains(&toks[i].text.as_str())
+        && i > 0
+        && toks[i - 1].is_punct(".")
+        && toks.get(i + 1).is_some_and(|t| t.is_punct("("))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(")"))
+}
+
+/// May the name-keyed summary for the call at `toks[i]` be applied?
+/// True for free/path calls (`helper(..)`, `Type::helper(..)`) and for
+/// method calls whose receiver is a plain field path rooted at `self`
+/// (the token just before the final `.` must be an identifier segment,
+/// which rules out receivers produced by calls or indexing).
+fn summary_applies(toks: &[Token], i: usize) -> bool {
+    if i == 0 || !toks[i - 1].is_punct(".") {
+        return true;
+    }
+    let seg_ok = i >= 2
+        && matches!(toks[i - 2].kind, TokKind::Ident | TokKind::Num)
+        && receiver_path(toks, i - 1)
+            .first()
+            .is_some_and(|s| s == "self");
+    seg_ok
+}
+
+struct FnCtx<'a> {
+    cfg: &'a LintConfig,
+    summaries: &'a Summaries,
+    krate: &'a str,
+    file: &'a str,
+}
+
+/// Analyze one function; optionally collect edges.
+fn analyze_fn(
+    pf: &ParsedFn,
+    ctx: &FnCtx,
+    mut edges: Option<&mut Vec<EdgeObs>>,
+    mut stats: Option<&mut LockStats>,
+) -> FnSummary {
+    let nb = pf.cfg.blocks.len();
+    let preds = pf.cfg.preds();
+    let mut outv: Vec<Env> = vec![Env::new(); nb];
+    let mut summary = FnSummary::default();
+
+    // Env fixpoint (may-analysis: out-envs grow monotonically under
+    // join, so termination is structural; the round cap is belt and
+    // braces for degenerate CFGs).
+    let mut rounds = 0;
+    loop {
+        let mut changed = false;
+        for b in 0..nb {
+            let mut env = Env::new();
+            for &p in &preds[b] {
+                join_env(&mut env, &outv[p]);
+            }
+            let tier = pf.tier(b);
+            for stmt in &pf.cfg.blocks[b].stmts {
+                transfer(stmt, &mut env, tier, ctx, &mut summary, None, None);
+            }
+            if join_env(&mut outv[b], &env) {
+                changed = true;
+            }
+        }
+        rounds += 1;
+        if !changed || rounds > nb + 8 {
+            break;
+        }
+    }
+
+    // One emission sweep over the converged envs.
+    if edges.is_some() || stats.is_some() {
+        for (b, pred) in preds.iter().enumerate() {
+            let mut env = Env::new();
+            for &p in pred {
+                join_env(&mut env, &outv[p]);
+            }
+            let tier = pf.tier(b);
+            for stmt in &pf.cfg.blocks[b].stmts {
+                transfer(
+                    stmt,
+                    &mut env,
+                    tier,
+                    ctx,
+                    &mut summary,
+                    edges.as_deref_mut(),
+                    stats.as_deref_mut(),
+                );
+            }
+        }
+    }
+    summary
+}
+
+#[allow(clippy::too_many_arguments)]
+fn transfer(
+    stmt: &Stmt,
+    env: &mut Env,
+    block_tier: Confidence,
+    ctx: &FnCtx,
+    summary: &mut FnSummary,
+    mut edges: Option<&mut Vec<EdgeObs>>,
+    mut stats: Option<&mut LockStats>,
+) {
+    let toks = &stmt.tokens;
+    let assign = find_assign(toks);
+    let lhs = assign.and_then(|eq| lhs_var(&toks[..eq]));
+    if let Some(v) = &lhs {
+        env.remove(v);
+    }
+
+    // (held, expression-end token index) acquired within this statement.
+    let mut temps: Vec<(Held, usize)> = Vec::new();
+
+    let held_snapshot = |env: &Env, temps: &[(Held, usize)]| -> Vec<Held> {
+        let mut all: Vec<Held> = Vec::new();
+        for h in env.values().flatten().chain(temps.iter().map(|(h, _)| h)) {
+            if !all.iter().any(|e| e.class == h.class) {
+                all.push(h.clone());
+            }
+        }
+        all
+    };
+
+    // Bracket depth within the statement: a guard acquired at depth > 0
+    // (inside an `if`/`match` *expression* body or a nested block swallowed
+    // flat into this statement) is a temporary of that inner scope — it
+    // must not bind to the statement's LHS, which receives the block's
+    // value (`let idx = if .. { dev.write().write_page(..)?; victim }`
+    // binds a frame index, not the guard).
+    let mut depth = 0i32;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                _ => {}
+            }
+        }
+        if is_acq(toks, i) {
+            let path = receiver_path(toks, i - 1);
+            let class = classify(ctx.cfg, &path, ctx.file);
+            if let Some(s) = stats.as_deref_mut() {
+                s.sites += 1;
+                if class.is_none() {
+                    s.unclassified += 1;
+                }
+            }
+            if let Some(class) = class {
+                let what = format!("{}.{}()", path.join("."), t.text);
+                let site = step(what, t.line);
+                for h in held_snapshot(env, &temps) {
+                    if let Some(out) = edges.as_deref_mut() {
+                        let mut chain = h.chain.clone();
+                        chain.push(site.clone());
+                        out.push(EdgeObs {
+                            from: h.class.clone(),
+                            to: class.clone(),
+                            krate: ctx.krate.to_string(),
+                            file: ctx.file.to_string(),
+                            line: t.line,
+                            tier: min_tier(h.tier, block_tier),
+                            chain: cap(chain),
+                        });
+                    }
+                }
+                summary
+                    .acquires
+                    .entry(class.clone())
+                    .or_insert_with(|| vec![site.clone()]);
+                let held = Held {
+                    class,
+                    tier: block_tier,
+                    chain: vec![site],
+                };
+                let end = i + 2;
+                match (&lhs, assign) {
+                    (Some(v), Some(eq)) if i > eq && depth == 0 => {
+                        env.entry(v.clone()).or_default().push(held);
+                    }
+                    _ => temps.push((held, end)),
+                }
+            }
+            i += 3;
+            continue;
+        }
+        // `drop(v)` releases v's guard.
+        if t.is_ident("drop")
+            && toks.get(i + 1).is_some_and(|x| x.is_punct("("))
+            && toks.get(i + 3).is_some_and(|x| x.is_punct(")"))
+        {
+            if let Some(v) = toks.get(i + 2) {
+                if v.kind == TokKind::Ident {
+                    env.remove(&v.text);
+                }
+            }
+            i += 4;
+            continue;
+        }
+        // Workspace call: propagate may-acquire and returns-guard facts.
+        // Summaries are *name*-keyed, so they only apply where the name
+        // plausibly resolves to the workspace item: free calls (`helper(..)`,
+        // `Type::helper(..)`) and same-impl method calls rooted at a plain
+        // `self` field path. A method invoked on anything else — a local, a
+        // parameter, or a guard temporary (`device.read().num_pages()`) —
+        // dispatches on *that* value's type, which we cannot see; applying
+        // the summary there manufactures false self-edges.
+        if t.kind == TokKind::Ident
+            && toks.get(i + 1).is_some_and(|x| x.is_punct("("))
+            && !ctx.cfg.call_exclude.iter().any(|n| n == &t.text)
+            && summary_applies(toks, i)
+        {
+            if let Some(sum) = ctx.summaries.get(&t.text) {
+                let call = step(format!("{}(..)", t.text), t.line);
+                for (class, witness) in &sum.acquires {
+                    for h in held_snapshot(env, &temps) {
+                        if let Some(out) = edges.as_deref_mut() {
+                            let mut chain = h.chain.clone();
+                            chain.push(call.clone());
+                            chain.extend(witness.iter().cloned());
+                            out.push(EdgeObs {
+                                from: h.class.clone(),
+                                to: class.clone(),
+                                krate: ctx.krate.to_string(),
+                                file: ctx.file.to_string(),
+                                line: t.line,
+                                tier: min_tier(h.tier, block_tier),
+                                chain: cap(chain),
+                            });
+                        }
+                    }
+                    summary.acquires.entry(class.clone()).or_insert_with(|| {
+                        cap(std::iter::once(call.clone())
+                            .chain(witness.iter().cloned())
+                            .collect())
+                    });
+                }
+                if !sum.returns.is_empty() {
+                    // The callee hands back a live guard.
+                    let end = crate::analysis::call_end(toks, i + 1);
+                    for (class, witness) in &sum.returns {
+                        let held = Held {
+                            class: class.clone(),
+                            tier: block_tier,
+                            chain: cap(std::iter::once(call.clone())
+                                .chain(witness.iter().cloned())
+                                .collect()),
+                        };
+                        match (&lhs, assign) {
+                            (Some(v), Some(eq)) if i > eq && depth == 0 => {
+                                env.entry(v.clone()).or_default().push(held);
+                            }
+                            _ => temps.push((held, end)),
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+
+    // Returns-guard facts: the function returns a guard only when the
+    // returned expression *is* one — a bound guard variable (`return g`,
+    // possibly wrapped `Some(g)`), or an acquisition/returns-guard call
+    // in tail position.
+    if stmt.is_return || stmt.is_tail {
+        let expr: &[Token] = match toks.first() {
+            Some(t) if t.is_ident("return") => &toks[1..],
+            _ => toks,
+        };
+        let mut record = |helds: &[Held]| {
+            for h in helds {
+                summary
+                    .returns
+                    .entry(h.class.clone())
+                    .or_insert_with(|| h.chain.clone());
+            }
+        };
+        match expr {
+            [v] if v.kind == TokKind::Ident => {
+                if let Some(hs) = env.get(&v.text) {
+                    record(&hs.clone());
+                }
+            }
+            [w, p1, v, p2]
+                if w.kind == TokKind::Ident
+                    && p1.is_punct("(")
+                    && v.kind == TokKind::Ident
+                    && p2.is_punct(")") =>
+            {
+                if let Some(hs) = env.get(&v.text) {
+                    record(&hs.clone());
+                }
+            }
+            _ => {
+                // An acquisition or returns-guard call ending the expression.
+                for (h, end) in &temps {
+                    if *end + 1 >= toks.len() {
+                        record(std::slice::from_ref(h));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Run Pass A over the parsed workspace.
+pub fn run(parsed: &ParsedWorkspace, cfg: &LintConfig, report: &mut Report) -> LockStats {
+    // Interprocedural summary fixpoint (names merged across crates; the
+    // over-approximation is safe, never silent).
+    let mut summaries: Summaries = Summaries::new();
+    for _round in 0..8 {
+        let mut next = Summaries::new();
+        for krate in &parsed.crates {
+            for file in &krate.files {
+                for pf in &file.fns {
+                    let ctx = FnCtx {
+                        cfg,
+                        summaries: &summaries,
+                        krate: &krate.name,
+                        file: &file.path,
+                    };
+                    let sum = analyze_fn(pf, &ctx, None, None);
+                    let slot = next.entry(pf.name.clone()).or_default();
+                    for (k, v) in sum.acquires {
+                        slot.acquires.entry(k).or_insert(v);
+                    }
+                    for (k, v) in sum.returns {
+                        slot.returns.entry(k).or_insert(v);
+                    }
+                }
+            }
+        }
+        let stable = next == summaries;
+        summaries = next;
+        if stable {
+            break;
+        }
+    }
+
+    // Emission pass.
+    let mut edges: Vec<EdgeObs> = Vec::new();
+    let mut stats = LockStats::default();
+    for krate in &parsed.crates {
+        for file in &krate.files {
+            for pf in &file.fns {
+                let ctx = FnCtx {
+                    cfg,
+                    summaries: &summaries,
+                    krate: &krate.name,
+                    file: &file.path,
+                };
+                analyze_fn(pf, &ctx, Some(&mut edges), Some(&mut stats));
+            }
+        }
+    }
+
+    // Aggregate edges and judge them against the declared order.
+    let mut by_pair: BTreeMap<(String, String), Vec<&EdgeObs>> = BTreeMap::new();
+    for e in &edges {
+        by_pair
+            .entry((e.from.clone(), e.to.clone()))
+            .or_default()
+            .push(e);
+    }
+    let mut inverted: Vec<(String, String)> = Vec::new();
+    for ((from, to), obs) in &by_pair {
+        let best = obs
+            .iter()
+            .find(|o| o.tier == Confidence::FlowConfirmed)
+            .or(obs.first())
+            .expect("non-empty edge group");
+        stats.graph.push(format!(
+            "{from} -> {to}  x{}  [{}]",
+            obs.len(),
+            match best.tier {
+                Confidence::FlowConfirmed => "flow",
+                Confidence::Syntactic => "syntactic",
+            }
+        ));
+        let (code, bad) = if from == to {
+            ("lock-reentry", true)
+        } else {
+            match (cfg.order_index(from), cfg.order_index(to)) {
+                (Some(a), Some(b)) if a > b => ("lock-order-inversion", true),
+                _ => ("", false),
+            }
+        };
+        if !bad {
+            continue;
+        }
+        inverted.push((from.clone(), to.clone()));
+        let allow = cfg.allow_reason(from, to);
+        let (severity, suffix) = match (allow, best.tier) {
+            (Some(reason), _) => (Severity::Warning, format!(" (allowed: {reason})")),
+            (None, Confidence::Syntactic) => (
+                Severity::Warning,
+                " (syntactic only: not on a live path)".to_string(),
+            ),
+            (None, Confidence::FlowConfirmed) => (Severity::Violation, String::new()),
+        };
+        report.diagnostics.push(Diagnostic {
+            pass: Pass::LockOrder,
+            krate: best.krate.clone(),
+            file: best.file.clone(),
+            line: best.line,
+            severity,
+            tier: best.tier,
+            code,
+            message: format!(
+                "{code}: acquires `{to}` while holding `{from}` ({} site{}); declared order is {}{suffix}",
+                obs.len(),
+                if obs.len() == 1 { "" } else { "s" },
+                cfg.lock_order.join(" -> "),
+            ),
+            chain: best.chain.clone(),
+        });
+    }
+
+    // Cycle detection over the distinct-class graph, skipping allowlisted
+    // edges and pairs already reported as inversions.
+    let nodes: Vec<String> = {
+        let mut n: Vec<String> = by_pair
+            .keys()
+            .flat_map(|(a, b)| [a.clone(), b.clone()])
+            .collect();
+        n.sort();
+        n.dedup();
+        n
+    };
+    let adj: BTreeMap<&String, Vec<&String>> = nodes
+        .iter()
+        .map(|n| {
+            let succ = by_pair
+                .keys()
+                .filter(|(a, b)| {
+                    a == n
+                        && a != b
+                        && cfg.allow_reason(a, b).is_none()
+                        && !inverted.contains(&(a.clone(), b.clone()))
+                })
+                .map(|(_, b)| nodes.iter().find(|x| *x == b).expect("node set is closed"))
+                .collect();
+            (n, succ)
+        })
+        .collect();
+    if let Some(cycle) = find_cycle(&nodes, &adj) {
+        let key = (cycle[0].clone(), cycle[1].clone());
+        let best = by_pair[&key].first().expect("cycle edge has observations");
+        report.diagnostics.push(Diagnostic {
+            pass: Pass::LockOrder,
+            krate: best.krate.clone(),
+            file: best.file.clone(),
+            line: best.line,
+            severity: Severity::Violation,
+            tier: best.tier,
+            code: "lock-order-cycle",
+            message: format!(
+                "lock-order-cycle: potential deadlock {}",
+                cycle.join(" -> "),
+            ),
+            chain: best.chain.clone(),
+        });
+    }
+    stats
+}
+
+/// One cycle as `[a, b, .., a]`, if the graph has any.
+fn find_cycle<'a>(
+    nodes: &'a [String],
+    adj: &BTreeMap<&'a String, Vec<&'a String>>,
+) -> Option<Vec<String>> {
+    // 0 = white, 1 = on stack, 2 = done.
+    let mut color: BTreeMap<&String, u8> = nodes.iter().map(|n| (n, 0u8)).collect();
+    let mut stack: Vec<&String> = Vec::new();
+    fn dfs<'a>(
+        n: &'a String,
+        adj: &BTreeMap<&'a String, Vec<&'a String>>,
+        color: &mut BTreeMap<&'a String, u8>,
+        stack: &mut Vec<&'a String>,
+    ) -> Option<Vec<String>> {
+        color.insert(n, 1);
+        stack.push(n);
+        for &s in adj.get(n).into_iter().flatten() {
+            match color.get(s).copied().unwrap_or(0) {
+                0 => {
+                    if let Some(c) = dfs(s, adj, color, stack) {
+                        return Some(c);
+                    }
+                }
+                1 => {
+                    let start = stack.iter().position(|x| *x == s).unwrap_or(0);
+                    let mut cycle: Vec<String> =
+                        stack[start..].iter().map(|x| (*x).clone()).collect();
+                    cycle.push(s.clone());
+                    return Some(cycle);
+                }
+                _ => {}
+            }
+        }
+        stack.pop();
+        color.insert(n, 2);
+        None
+    }
+    for n in nodes {
+        if color.get(n).copied().unwrap_or(0) == 0 {
+            if let Some(c) = dfs(n, adj, &mut color, &mut stack) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,288 @@
+//! Diagnostics, the human report, and the pinned `lint_run.tsv` schema.
+//!
+//! Severity model: **violations** fail the `--deny violations` CI gate,
+//! **warnings** never do — allowlisted-but-audited facts (the documented
+//! latch upgrade, the relaxed statistics counters) stay visible in every
+//! run without blocking anyone. Each diagnostic carries the PR-1
+//! confidence tier: `FlowConfirmed` facts sit on a reachable un-gated
+//! path, `Syntactic` facts may live in dead or `#[cfg]`-gated code.
+
+use fame_derivation::{render_flow, Confidence, FlowStep};
+use std::fmt;
+
+/// Which analysis produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Pass {
+    /// Pass A: lock-order graph.
+    LockOrder,
+    /// Pass B: cfg-gate / feature-model consistency.
+    CfgGate,
+    /// Pass C: atomic-ordering audit.
+    Atomics,
+}
+
+impl Pass {
+    /// Stable name used in the TSV and the human report.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::LockOrder => "lock-order",
+            Pass::CfgGate => "cfg-gate",
+            Pass::Atomics => "atomics",
+        }
+    }
+
+    /// All passes, report order.
+    pub fn all() -> [Pass; 3] {
+        [Pass::LockOrder, Pass::CfgGate, Pass::Atomics]
+    }
+}
+
+impl fmt::Display for Pass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Does a diagnostic fail the gate?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Contract breach; `--deny violations` exits non-zero.
+    Violation,
+    /// Audited exception or low-confidence finding; never fails the gate.
+    Warning,
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Producing pass.
+    pub pass: Pass,
+    /// Crate the finding is in.
+    pub krate: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Gate impact.
+    pub severity: Severity,
+    /// PR-1 confidence tier.
+    pub tier: Confidence,
+    /// Stable machine-readable code (e.g. `lock-order-inversion`).
+    pub code: &'static str,
+    /// Human-readable description.
+    pub message: String,
+    /// Def-use provenance chain (may be empty for config-level findings).
+    pub chain: Vec<FlowStep>,
+}
+
+impl Diagnostic {
+    /// One-line rendering with the provenance chain.
+    pub fn render(&self) -> String {
+        let sev = match self.severity {
+            Severity::Violation => "violation",
+            Severity::Warning => "warning",
+        };
+        let tier = match self.tier {
+            Confidence::FlowConfirmed => "flow",
+            Confidence::Syntactic => "syntactic",
+        };
+        let mut s = format!(
+            "{sev}[{}/{}] {} {}:{} {}",
+            self.pass, tier, self.krate, self.file, self.line, self.message
+        );
+        if !self.chain.is_empty() {
+            s.push_str(&format!("\n    chain: {}", render_flow(&self.chain)));
+        }
+        s
+    }
+}
+
+/// The outcome of running the passes over one workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, in pass/crate/file/line order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Crates analyzed (TSV row set is crates x passes, zeros included,
+    /// so a pass silently analyzing nothing is visible as a schema change).
+    pub crates: Vec<String>,
+    /// Files parsed.
+    pub files_analyzed: usize,
+    /// Function bodies lowered to CFGs.
+    pub fns_analyzed: usize,
+}
+
+impl Report {
+    /// Sort diagnostics into the stable report order.
+    pub fn finish(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            (a.pass, &a.krate, &a.file, a.line, a.code)
+                .cmp(&(b.pass, &b.krate, &b.file, b.line, b.code))
+        });
+    }
+
+    /// All violations.
+    pub fn violations(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Violation)
+    }
+
+    /// All warnings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// Violations produced by one pass.
+    pub fn pass_violations(&self, pass: Pass) -> usize {
+        self.violations().filter(|d| d.pass == pass).count()
+    }
+
+    fn cell(&self, pass: Pass, krate: &str) -> (usize, usize, usize, usize) {
+        let mut v = 0;
+        let mut w = 0;
+        let mut fc = 0;
+        let mut sy = 0;
+        for d in &self.diagnostics {
+            if d.pass != pass || d.krate != krate {
+                continue;
+            }
+            match d.severity {
+                Severity::Violation => v += 1,
+                Severity::Warning => w += 1,
+            }
+            match d.tier {
+                Confidence::FlowConfirmed => fc += 1,
+                Confidence::Syntactic => sy += 1,
+            }
+        }
+        (v, w, fc, sy)
+    }
+}
+
+/// The pinned TSV header. `tests/lint_self.rs` holds the golden copy;
+/// changing columns means changing the golden file on purpose.
+pub const TSV_HEADER: &str =
+    "section\tpass\tcrate\tviolations\twarnings\tflow_confirmed\tsyntactic\tnote";
+
+/// The `section=self` rows: one per pass x analyzed crate.
+pub fn tsv_self_rows(report: &Report) -> Vec<String> {
+    let mut rows = Vec::new();
+    for pass in Pass::all() {
+        for krate in &report.crates {
+            let (v, w, fc, sy) = report.cell(pass, krate);
+            let mut codes: Vec<&str> = report
+                .diagnostics
+                .iter()
+                .filter(|d| d.pass == pass && &d.krate == krate)
+                .map(|d| d.code)
+                .collect();
+            codes.sort_unstable();
+            codes.dedup();
+            rows.push(format!(
+                "self\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                pass.name(),
+                krate,
+                v,
+                w,
+                fc,
+                sy,
+                codes.join(",")
+            ));
+        }
+    }
+    rows
+}
+
+/// One seeded-defect corpus result for the TSV.
+#[derive(Debug)]
+pub struct CorpusOutcome {
+    /// Defect file stem (e.g. `lock_inverted_order`).
+    pub defect: String,
+    /// Pass expected to catch it (`all` for the clean control).
+    pub pass_name: String,
+    /// Did the expected pass flag it at the required tier?
+    pub detected: bool,
+    /// Violations the expected pass reported.
+    pub violations: usize,
+    /// Flow-confirmed diagnostics among them.
+    pub flow_confirmed: usize,
+    /// `detected` / `MISSED` / `clean`, plus detail.
+    pub note: String,
+}
+
+/// The `section=corpus` row for one defect.
+pub fn tsv_corpus_row(o: &CorpusOutcome) -> String {
+    format!(
+        "corpus\t{}\t{}\t{}\t0\t{}\t0\t{}",
+        o.pass_name, o.defect, o.violations, o.flow_confirmed, o.note
+    )
+}
+
+/// Gate semantics for `--deny violations`: violations fail, warnings
+/// never do.
+pub fn gate_exit_code(report: &Report) -> i32 {
+    if report.violations().next().is_some() {
+        1
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(pass: Pass, sev: Severity, tier: Confidence) -> Diagnostic {
+        Diagnostic {
+            pass,
+            krate: "fame-x".into(),
+            file: "crates/x/src/lib.rs".into(),
+            line: 3,
+            severity: sev,
+            tier,
+            code: "test-code",
+            message: "m".into(),
+            chain: vec![],
+        }
+    }
+
+    #[test]
+    fn warnings_do_not_fail_the_gate() {
+        let mut r = Report {
+            crates: vec!["fame-x".into()],
+            ..Report::default()
+        };
+        r.diagnostics.push(diag(
+            Pass::Atomics,
+            Severity::Warning,
+            Confidence::FlowConfirmed,
+        ));
+        assert_eq!(gate_exit_code(&r), 0);
+        r.diagnostics.push(diag(
+            Pass::LockOrder,
+            Severity::Violation,
+            Confidence::FlowConfirmed,
+        ));
+        assert_eq!(gate_exit_code(&r), 1);
+    }
+
+    #[test]
+    fn tsv_rows_are_pass_times_crate() {
+        let mut r = Report {
+            crates: vec!["fame-b".into(), "fame-x".into()],
+            ..Report::default()
+        };
+        r.diagnostics.push(diag(
+            Pass::LockOrder,
+            Severity::Violation,
+            Confidence::FlowConfirmed,
+        ));
+        let rows = tsv_self_rows(&r);
+        assert_eq!(rows.len(), 6);
+        let cols = TSV_HEADER.split('\t').count();
+        assert!(rows.iter().all(|r| r.split('\t').count() == cols));
+        assert!(rows.iter().any(|r| r.contains("test-code")));
+    }
+}
