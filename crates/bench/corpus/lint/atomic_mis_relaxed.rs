@@ -1,0 +1,28 @@
+//! Seeded defect: mis-relaxed atomic on published state (E11, Pass C).
+//!
+//! `Meta.root_slot` is the recovery root pointer, published across
+//! threads via `Arc<Meta>`; both the store and the load use
+//! `Ordering::Relaxed`, so a reader may observe the new root before the
+//! pages it points at. Ground truth: `relaxed-atomic-published`
+//! violations, FlowConfirmed, with a chain from the field declaration
+//! through the publication to the access. Never compiled.
+
+pub struct Meta {
+    pub root_slot: AtomicU32,
+}
+
+pub struct Db {
+    pub meta: Arc<Meta>,
+}
+
+impl Db {
+    /// Publishes the new root — needs Release, uses Relaxed.
+    pub fn publish_root(&self, slot: u32) {
+        self.meta.root_slot.store(slot, Ordering::Relaxed);
+    }
+
+    /// Reads the current root — needs Acquire, uses Relaxed.
+    pub fn current_root(&self) -> u32 {
+        self.meta.root_slot.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,27 @@
+//! Seeded defect: phantom + conflicting feature gates (E11, Pass B).
+//!
+//! `telemetry` is declared by no crate manifest (phantom gate: the code
+//! under it can never be compiled in), and `all(replace-lru, replace-lfu)`
+//! requires two distinct members of the feature model's Replacement
+//! alternative group — dead under every valid configuration. Ground
+//! truth: an `undeclared-feature` violation and an `alt-group-conflict`
+//! violation, both FlowConfirmed. This file is analyzer input, never
+//! compiled.
+
+#[cfg(feature = "telemetry")]
+pub fn telemetry_hook() {
+    emit_sample();
+}
+
+pub fn policy_name() -> &'static str {
+    if cfg!(all(feature = "replace-lru", feature = "replace-lfu")) {
+        "both-policies"
+    } else {
+        "one-policy"
+    }
+}
+
+#[cfg(feature = "obs")]
+pub fn stats_hook() {
+    record_tick();
+}

@@ -1,0 +1,26 @@
+//! Negative control (E11): order-correct locking and a declared,
+//! model-mapped feature gate. Ground truth: zero violations from every
+//! pass — any diagnostic here is an analyzer false positive. This file
+//! is analyzer input, never compiled.
+
+pub struct Pool {
+    shards: Vec<RwLock<Shard>>,
+    device: RwLock<Dev>,
+}
+
+impl Pool {
+    /// Miss path in the declared order: shard latch, then device latch.
+    pub fn with_page(&self, idx: usize) -> u32 {
+        let s = self.shards[idx].read();
+        let dev = self.device.read();
+        let n = dev.num_pages();
+        drop(dev);
+        drop(s);
+        n
+    }
+}
+
+#[cfg(feature = "obs")]
+pub fn stats_hook() {
+    record_tick();
+}

@@ -1,0 +1,29 @@
+//! Seeded defect: interprocedural lock-order inversion (E11, Pass A).
+//!
+//! `lock_meta` is a returns-guard helper: its caller holds the meta
+//! latch without any acquisition visible at the call site. Acquiring a
+//! shard latch afterwards inverts the declared `shard -> device -> meta`
+//! order; detecting it requires the summary propagation, not a per-
+//! function scan. Ground truth: one `lock-order-inversion` violation,
+//! FlowConfirmed, chain passing through `lock_meta(..)`. Never compiled.
+
+pub struct Pool {
+    shards: Vec<RwLock<Shard>>,
+    meta: Mutex<MetaState>,
+}
+
+impl Pool {
+    /// Returns the meta guard — the acquisition is *inside* the helper.
+    fn lock_meta(&self) -> MutexGuard<MetaState> {
+        self.meta.lock()
+    }
+
+    /// Holds meta (via the helper), then takes a shard latch.
+    pub fn checkpoint_wrong(&self) {
+        let m = self.lock_meta();
+        let s = self.shards[0].read();
+        m.note(s.len());
+        drop(s);
+        drop(m);
+    }
+}

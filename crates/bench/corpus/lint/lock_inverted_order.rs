@@ -1,0 +1,23 @@
+//! Seeded defect: direct lock-order inversion (E11, Pass A).
+//!
+//! The declared order is `shard -> device -> meta`; `flush_wrong` takes
+//! the device latch first and a shard latch second. Ground truth: one
+//! `lock-order-inversion` violation, FlowConfirmed, with a chain naming
+//! both acquisition sites. This file is analyzer input, never compiled.
+
+pub struct Pool {
+    shards: Vec<RwLock<Shard>>,
+    device: RwLock<Dev>,
+}
+
+impl Pool {
+    /// Writes back frames while holding the device latch, then touches a
+    /// shard — the inverse of the declared order.
+    pub fn flush_wrong(&self) {
+        let dev = self.device.write();
+        let s = self.shards[0].write();
+        dev.sync();
+        drop(s);
+        drop(dev);
+    }
+}

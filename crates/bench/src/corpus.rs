@@ -224,6 +224,39 @@ int main(void) {
 /// involved in any infrastructure API usage within any application").
 pub const NON_API_FEATURES: &[&str] = &["Diagnostics", "Checksums", "FastMutexes"];
 
+/// The E11 seeded-defect corpus for `fame-lint` (see DESIGN.md §12).
+///
+/// Each entry is `(file stem, source text)`; the stem's prefix encodes
+/// the expected defect class per `fame_lint::corpus::classify_defect`
+/// (`lock_` / `cfg_` / `atomic_` / `clean_`). The sources live as
+/// non-compiled text under `crates/bench/corpus/lint/` so `lint_report`
+/// (filesystem) and `tests/lint_self.rs` (these `include_str!`s) analyze
+/// byte-identical inputs.
+pub fn lint_corpus() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "lock_inverted_order",
+            include_str!("../corpus/lint/lock_inverted_order.rs"),
+        ),
+        (
+            "lock_interprocedural",
+            include_str!("../corpus/lint/lock_interprocedural.rs"),
+        ),
+        (
+            "cfg_phantom_gate",
+            include_str!("../corpus/lint/cfg_phantom_gate.rs"),
+        ),
+        (
+            "atomic_mis_relaxed",
+            include_str!("../corpus/lint/atomic_mis_relaxed.rs"),
+        ),
+        (
+            "clean_control",
+            include_str!("../corpus/lint/clean_control.rs"),
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,6 +322,17 @@ mod tests {
         let loose = detect_at(app, Confidence::Syntactic);
         for fp in ["Crypto", "Transactions", "Replication"] {
             assert!(loose.contains(fp), "textual scan reports {fp}");
+        }
+    }
+
+    #[test]
+    fn lint_corpus_stems_classify() {
+        for (stem, text) in lint_corpus() {
+            assert!(
+                fame_lint::corpus::classify_defect(stem).is_some(),
+                "{stem} has no defect-class prefix"
+            );
+            assert!(!text.trim().is_empty(), "{stem} is empty");
         }
     }
 
