@@ -318,6 +318,15 @@ impl SharedBufferPool {
                         return Ok(r);
                     }
                 }
+                // Miss path: the read latch is RELEASED (block end above)
+                // before the write latch is taken — a release-then-
+                // reacquire upgrade, never a nested same-shard hold, so it
+                // cannot deadlock against another upgrader. fame-lint's
+                // may-analysis cannot see the scope end and reports the
+                // pair as a `shard -> shard` reentry; the `[lock-allow]`
+                // entry in lint.toml downgrades it to an audited warning.
+                // `frame_for` re-probes the map because another thread may
+                // have loaded the page between the two latches.
                 let mut s = self.shard_write(shard, shard_idx);
                 let idx = self.frame_for(&mut s, page)?;
                 Ok(f(&s.frames[idx].data))
