@@ -265,7 +265,7 @@ mod tests {
 
     #[test]
     fn eval_basic_connectives() {
-        let sel = |id: FeatureId| id.0 % 2 == 0; // even ids selected
+        let sel = |id: FeatureId| id.0.is_multiple_of(2); // even ids selected
         assert!(Prop::var(f(0)).eval(&sel));
         assert!(!Prop::var(f(1)).eval(&sel));
         assert!(Prop::not(Prop::var(f(1))).eval(&sel));

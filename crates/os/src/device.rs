@@ -159,7 +159,7 @@ mod tests {
 
     #[test]
     fn io_error_converts() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let io = std::io::Error::other("boom");
         let os: OsError = io.into();
         assert!(os.to_string().contains("boom"));
     }

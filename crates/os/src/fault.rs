@@ -315,7 +315,7 @@ mod tests {
     fn passes_through_without_plan() {
         let mut d = FaultDevice::new(InMemoryDevice::new(128), FaultPlan::default());
         d.ensure_pages(1).unwrap();
-        d.write_page(0, &vec![1u8; 128]).unwrap();
+        d.write_page(0, &[1u8; 128]).unwrap();
         let mut out = vec![0; 128];
         d.read_page(0, &mut out).unwrap();
         assert_eq!(out, vec![1u8; 128]);
@@ -350,8 +350,8 @@ mod tests {
         };
         let mut d = FaultDevice::new(InMemoryDevice::new(128), plan);
         d.ensure_pages(2).unwrap();
-        d.write_page(0, &vec![7u8; 128]).unwrap();
-        assert!(d.write_page(1, &vec![8u8; 128]).is_err());
+        d.write_page(0, &[7u8; 128]).unwrap();
+        assert!(d.write_page(1, &[8u8; 128]).is_err());
         d.heal();
         let mut out = vec![0; 128];
         d.read_page(0, &mut out).unwrap();
@@ -369,9 +369,9 @@ mod tests {
         };
         let mut inner = InMemoryDevice::new(128);
         inner.ensure_pages(1).unwrap();
-        inner.write_page(0, &vec![0xAAu8; 128]).unwrap();
+        inner.write_page(0, &[0xAAu8; 128]).unwrap();
         let mut d = FaultDevice::new(inner, plan);
-        assert!(d.write_page(0, &vec![0xBBu8; 128]).is_err());
+        assert!(d.write_page(0, &[0xBBu8; 128]).is_err());
         d.heal();
         let mut out = vec![0; 128];
         d.read_page(0, &mut out).unwrap();
@@ -389,9 +389,9 @@ mod tests {
             };
             let mut inner = InMemoryDevice::new(128);
             inner.ensure_pages(1).unwrap();
-            inner.write_page(0, &vec![0xAAu8; 128]).unwrap();
+            inner.write_page(0, &[0xAAu8; 128]).unwrap();
             let mut d = FaultDevice::new(inner, plan);
-            assert!(d.write_page(0, &vec![0xBBu8; 128]).is_err());
+            assert!(d.write_page(0, &[0xBBu8; 128]).is_err());
             d.heal();
             let mut out = vec![0; 128];
             d.read_page(0, &mut out).unwrap();
@@ -423,7 +423,7 @@ mod tests {
         };
         let mut d = FaultDevice::new(InMemoryDevice::new(128), plan);
         d.ensure_pages(1).unwrap();
-        d.write_page(0, &vec![3u8; 128]).unwrap();
+        d.write_page(0, &[3u8; 128]).unwrap();
         assert!(d.sync().is_err());
         assert!(d.is_tripped());
         assert_eq!(d.syncs_done(), 0);
@@ -447,9 +447,9 @@ mod tests {
     fn write_back_loses_unsynced_writes_on_trip() {
         let mut d = FaultDevice::write_back(InMemoryDevice::new(128), FaultPlan::default());
         d.ensure_pages(2).unwrap();
-        d.write_page(0, &vec![1u8; 128]).unwrap();
+        d.write_page(0, &[1u8; 128]).unwrap();
         d.sync().unwrap(); // page 0 durable
-        d.write_page(1, &vec![2u8; 128]).unwrap();
+        d.write_page(1, &[2u8; 128]).unwrap();
         // Cache serves the staged page before the crash...
         let mut out = vec![0; 128];
         d.read_page(1, &mut out).unwrap();
@@ -472,8 +472,8 @@ mod tests {
         };
         let mut d = FaultDevice::write_back(InMemoryDevice::new(128), plan);
         d.ensure_pages(3).unwrap();
-        d.write_page(2, &vec![9u8; 128]).unwrap();
-        d.write_page(0, &vec![5u8; 128]).unwrap();
+        d.write_page(2, &[9u8; 128]).unwrap();
+        d.write_page(0, &[5u8; 128]).unwrap();
         assert!(d.sync().is_err());
         d.heal();
         let mut out = vec![0; 128];
@@ -519,7 +519,7 @@ mod tests {
     fn heal_resets_counters() {
         let mut d = FaultDevice::new(InMemoryDevice::new(128), FaultPlan::default());
         d.ensure_pages(1).unwrap();
-        d.write_page(0, &vec![1u8; 128]).unwrap();
+        d.write_page(0, &[1u8; 128]).unwrap();
         d.sync().unwrap();
         assert_eq!((d.writes_done(), d.syncs_done()), (1, 1));
         d.heal();

@@ -154,7 +154,7 @@ mod tests {
         {
             let mut d = FileDevice::create(&path, 128).unwrap();
             d.ensure_pages(2).unwrap();
-            d.write_page(1, &vec![9u8; 128]).unwrap();
+            d.write_page(1, &[9u8; 128]).unwrap();
             d.sync().unwrap();
         }
         {
@@ -184,7 +184,7 @@ mod tests {
         let path = tmp("pread");
         let mut d = FileDevice::create(&path, 128).unwrap();
         d.ensure_pages(3).unwrap();
-        d.write_page(2, &vec![0x77; 128]).unwrap();
+        d.write_page(2, &[0x77; 128]).unwrap();
         assert!(d.supports_shared_read());
         let mut out = vec![0; 128];
         d.read_page_at(2, &mut out).unwrap();

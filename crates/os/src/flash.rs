@@ -235,7 +235,7 @@ mod tests {
     fn first_write_needs_no_erase() {
         let mut d = small();
         d.ensure_pages(4).unwrap();
-        d.write_page(0, &vec![1u8; 128]).unwrap();
+        d.write_page(0, &[1u8; 128]).unwrap();
         assert_eq!(d.stats().erases, 0);
     }
 
@@ -243,10 +243,10 @@ mod tests {
     fn overwrite_triggers_erase_and_preserves_siblings() {
         let mut d = small();
         d.ensure_pages(4).unwrap();
-        d.write_page(0, &vec![1u8; 128]).unwrap();
-        d.write_page(1, &vec![2u8; 128]).unwrap();
+        d.write_page(0, &[1u8; 128]).unwrap();
+        d.write_page(1, &[2u8; 128]).unwrap();
         // Overwrite page 0: block erased once, page 1 must survive.
-        d.write_page(0, &vec![3u8; 128]).unwrap();
+        d.write_page(0, &[3u8; 128]).unwrap();
         assert_eq!(d.stats().erases, 1);
         assert_eq!(d.max_wear(), 1);
         let mut out = vec![0; 128];
@@ -261,7 +261,7 @@ mod tests {
         let mut d = small();
         d.ensure_pages(8).unwrap();
         for i in 0..5 {
-            d.write_page(0, &vec![i as u8; 128]).unwrap();
+            d.write_page(0, &[i as u8; 128]).unwrap();
         }
         // 5 writes to the same page: first programs, the other 4 erase.
         assert_eq!(d.wear()[0], 4);
@@ -277,10 +277,10 @@ mod tests {
             erase_endurance: Some(2),
         });
         d.ensure_pages(4).unwrap();
-        d.write_page(0, &vec![0u8; 128]).unwrap();
-        d.write_page(0, &vec![1u8; 128]).unwrap(); // erase 1
-        d.write_page(0, &vec![2u8; 128]).unwrap(); // erase 2
-        let err = d.write_page(0, &vec![3u8; 128]).unwrap_err(); // would be erase 3
+        d.write_page(0, &[0u8; 128]).unwrap();
+        d.write_page(0, &[1u8; 128]).unwrap(); // erase 1
+        d.write_page(0, &[2u8; 128]).unwrap(); // erase 2
+        let err = d.write_page(0, &[3u8; 128]).unwrap_err(); // would be erase 3
         assert!(err.to_string().contains("worn out"));
     }
 

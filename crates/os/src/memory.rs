@@ -188,7 +188,7 @@ mod tests {
     fn shared_reads_match_exclusive_reads() {
         let mut d = InMemoryDevice::new(128);
         d.ensure_pages(2).unwrap();
-        d.write_page(1, &vec![0x42; 128]).unwrap();
+        d.write_page(1, &[0x42; 128]).unwrap();
         assert!(d.supports_shared_read());
         let mut out = vec![0; 128];
         d.read_page_at(1, &mut out).unwrap();

@@ -91,7 +91,7 @@ mod tests {
         let mut a = SharedDevice::new(InMemoryDevice::new(64));
         let mut b = a.clone();
         a.ensure_pages(1).unwrap();
-        a.write_page(0, &vec![9u8; 64]).unwrap();
+        a.write_page(0, &[9u8; 64]).unwrap();
         let mut out = vec![0u8; 64];
         b.read_page(0, &mut out).unwrap();
         assert_eq!(out, vec![9u8; 64]);

@@ -215,7 +215,7 @@ mod tests {
     fn digest_differs_when_states_diverge() {
         let mut p = Primary::new(AckPolicy::Asynchronous);
         let mut r1 = p.add_replica();
-        let mut r2 = p.add_replica();
+        let r2 = p.add_replica();
         p.ship(ShipOp::Put {
             index: 0,
             key: b"k".to_vec(),
