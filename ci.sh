@@ -19,11 +19,22 @@ cargo clippy -p fame-txn -p fame-storage -p fame-buffer --all-targets -- -D warn
 cargo clippy -p fame-dbms --features full --all-targets -- -D warnings
 cargo clippy -p fame-bench --all-targets -- -D warnings
 
+echo "== clippy (remaining workspace crates, warnings are errors)"
+# fame-dbms (crates/core) is covered above with --features full.
+cargo clippy -p fame-os -p fame-query -p fame-repl \
+    -p fame-crypto -p fame-feature-model --all-targets -- -D warnings
+cargo clippy -p fame-lint --all-targets -- -D warnings
+
 echo "== build --release"
 cargo build --release --workspace
 
 echo "== test"
 cargo test -q --workspace
+
+echo "== fame-lint self-run + E11 seeded-defect corpus (gate: violations fail, warnings pass)"
+# A faster variant for local iteration skips only the corpus, never the
+# self-run:  cargo run --release -p fame-lint --bin lint_report -- --quick
+cargo run --release -p fame-lint --bin lint_report -- --deny violations | tail -n 12
 
 echo "== fig3_derivation (§3.1 reproduction)"
 cargo run --release -p fame-bench --bin fig3_derivation | tail -n 20
