@@ -25,6 +25,7 @@ pub mod replacement;
 #[cfg(feature = "shared")]
 pub mod shared;
 pub mod stats;
+pub mod token;
 
 #[cfg(feature = "clock")]
 pub use replacement::clock;
@@ -38,6 +39,7 @@ pub use replacement::{FrameIdx, ReplacementKind, ReplacementPolicy};
 #[cfg(feature = "shared")]
 pub use shared::{SharedBufferPool, DEFAULT_SHARDS};
 pub use stats::{AtomicPoolStats, PoolStats};
+pub use token::PageToken;
 
 /// Feature *Buffer Manager → Concurrency* (this reproduction's extension
 /// to Figure 2): how many threads may work against one pool image.

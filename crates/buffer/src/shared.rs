@@ -1,41 +1,70 @@
-//! Sharded latch-based buffer pool: feature *Buffer Manager → Concurrency
-//! → MultiReader* of the (extended) Figure 2 diagram.
+//! Sharded buffer pool with a latch-free optimistic hit path: feature
+//! *Buffer Manager → Concurrency → MultiReader* of the (extended)
+//! Figure 2 diagram.
 //!
 //! [`SharedBufferPool`] is a cheap-clone `Send + Sync` handle onto one pool
 //! image shared by many threads. The page table and frame arena are split
-//! into `N` power-of-two shards, each behind its own `parking_lot::RwLock`,
-//! so point reads on different shards never contend:
+//! into `N` power-of-two shards; each shard keeps
 //!
-//! * a **hit** takes only the shard's *read* latch — many readers proceed
-//!   in parallel — and records recency/frequency in per-frame atomics;
-//! * a **miss** upgrades to the shard's *write* latch, picks a victim by
-//!   scanning the shard's (small) frame arena, writes back dirty victims,
-//!   and loads the page — via [`fame_os::BlockDevice::read_page_at`]
-//!   (pread-style, under the device's read latch) when the device supports
-//!   shared reads, else under the device's write latch;
-//! * **mutations** ([`SharedBufferPool::with_page_mut`]) take the shard's
-//!   write latch; the engine above remains single-writer.
+//! * a lock-free open-addressed **page table** (`page -> frame index`, one
+//!   `AtomicU64` per slot) probed by readers without any latch;
+//! * an append-only **frame arena** whose chunks are published through
+//!   `OnceLock`, so a frame's address is stable for the pool's lifetime
+//!   and readers may hold references without holding the shard latch;
+//! * the latched **core** (authoritative `HashMap`, free list, allocator)
+//!   behind a `parking_lot::RwLock`, used by misses and mutations only.
+//!
+//! # The seqlock hit protocol
+//!
+//! Every frame carries an even/odd `AtomicU64` *version*: **odd means a
+//! write is in progress**, even means the bytes are stable. A hit takes
+//! no latch at all:
+//!
+//! 1. probe the page table, load the frame's version (`Acquire`) — odd
+//!    aborts — and check the frame's page *tag*;
+//! 2. copy the page words (plain `Relaxed` atomic loads — racing copies
+//!    are well-defined and simply discarded) into a thread-local scratch
+//!    page;
+//! 3. re-check the version (`Acquire` fence, then `Relaxed` load): if it
+//!    still matches, the copy is a point-in-time-consistent snapshot and
+//!    the caller's closure runs on it; any mismatch falls back to the
+//!    latched path, which re-probes under the shard latch.
+//!
+//! Writers — page loads, evictions, [`SharedBufferPool::with_page_mut`],
+//! [`SharedBufferPool::discard`] — hold the shard *write* latch (so there
+//! is exactly one writer per frame) and bump the version to odd before
+//! touching the bytes and back to even after, making every concurrent
+//! optimistic copy invalidate itself. Validated snapshots are receipts:
+//! [`SharedBufferPool::with_page_token`] returns a [`PageToken`] naming
+//! the frame and version, and [`SharedBufferPool::validate_token`]
+//! re-checks it later — the primitive optimistic lock coupling in the
+//! B-tree descent builds on.
 //!
 //! Lock order is always shard latch → device latch; no path holds two
-//! shard latches, so the pool is deadlock-free by construction.
+//! shard latches. The miss path releases the shard *read* latch before
+//! re-acquiring the same latch for *write* (a release-then-reacquire
+//! upgrade, recognized as such by fame-lint's edge-aware lock pass).
+//!
+//! # Recency without a global clock
 //!
 //! The exclusive pool's heap-based [`crate::ReplacementPolicy`] objects
-//! need `&mut self` on every access and therefore cannot run under a read
-//! latch. The shared pool instead keeps an `AtomicU64` recency stamp and
-//! access count per frame (updated with relaxed stores on the hit path)
-//! and derives the victim at eviction time: minimum stamp for LRU/Clock,
-//! minimum `(count, stamp)` for LFU. The policies' *selection* behaviour is
-//! preserved; only the bookkeeping moved from heaps to per-frame atomics.
-//!
-//! Per-frame pin counts are an invariant guard: under the current protocol
-//! the shard latch already excludes eviction while a reader is inside the
-//! closure, and the victim scan additionally refuses pinned frames, so the
-//! pool stays correct if the latching is ever relaxed to per-frame locks.
+//! need `&mut self` and cannot run latch-free. The shared pool keeps an
+//! `AtomicU64` recency stamp and access count per frame and derives the
+//! victim at eviction time: minimum stamp for LRU/Clock, minimum
+//! `(count, stamp)` for LFU. The tick source is a **per-shard** clock
+//! (one cache line per shard, see [`ShardHot`]) rather than one global
+//! `fetch_add` every access — the E8 experiment showed the global clock's
+//! shared cache line flattening multi-thread scaling. Consecutive hits on
+//! the same frame skip the clock bump entirely (the frame is already the
+//! shard's most recent); LFU access counts still increment every hit so
+//! frequency is exact. Hit counts are per-shard for the same reason and
+//! summed into [`SharedBufferPool::stats`] on demand.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
-use std::sync::Arc;
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64};
+use std::sync::{Arc, OnceLock};
 
 use fame_os::{AllocPolicy, BlockDevice, DeviceStats, FrameAllocator, OsError, PageId};
 use parking_lot::RwLock;
@@ -44,46 +73,370 @@ use crate::replacement::ReplacementKind;
 #[cfg(feature = "obs")]
 use crate::stats::Counter;
 use crate::stats::{AtomicPoolStats, PoolStats};
+use crate::token::PageToken;
 
 /// Default shard count used when a product enables MultiReader without
 /// choosing one.
 pub const DEFAULT_SHARDS: usize = 8;
 
+/// Frames per arena chunk. Chunks are allocated whole so frame addresses
+/// never move; 16 frames keeps the step size small for tiny embedded
+/// budgets.
+const CHUNK: usize = 16;
+
+/// Arena chunk slots per shard; caps a shard at `CHUNK * MAX_CHUNKS`
+/// frames. A dynamic allocation policy that outgrows the cap simply
+/// starts evicting, it never fails.
+const MAX_CHUNKS: usize = 512;
+
+/// One page frame. Everything is interior-mutable so frames can live
+/// outside the shard latch; the *data-write* invariant is that page words,
+/// `tag`, and `dirty` change only while the owning shard's write latch is
+/// held **and** `version` is odd.
 struct SharedFrame {
-    page: Option<PageId>,
-    data: Box<[u8]>,
-    dirty: bool,
-    /// Tick of the most recent access (global clock); LRU victim = minimum.
+    /// Seqlock version: odd = write in progress, even = stable. Bumped
+    /// twice per write window.
+    version: AtomicU64,
+    /// `page + 1` of the resident page, `0` when vacant. Lets optimistic
+    /// readers confirm a (possibly stale) page-table entry against the
+    /// frame itself.
+    tag: AtomicU64,
+    /// Page bytes as whole words. Plain atomics make racing optimistic
+    /// copies well-defined; torn values are discarded by the version
+    /// re-check.
+    data: Box<[AtomicU64]>,
+    dirty: AtomicBool,
+    /// Tick of the most recent access (per-shard clock); LRU victim =
+    /// minimum.
     stamp: AtomicU64,
-    /// Number of accesses since load; LFU victim = minimum `(count, stamp)`.
+    /// Accesses since load; LFU victim = minimum `(count, stamp)`.
     count: AtomicU64,
-    /// Readers currently inside the access closure.
-    pins: AtomicU32,
 }
 
 impl SharedFrame {
-    fn new(page_size: usize) -> Self {
+    fn new(words: usize) -> Self {
         SharedFrame {
-            page: None,
-            data: vec![0u8; page_size].into_boxed_slice(),
-            dirty: false,
+            version: AtomicU64::new(0),
+            tag: AtomicU64::new(0),
+            data: (0..words).map(|_| AtomicU64::new(0)).collect(),
+            dirty: AtomicBool::new(false),
             stamp: AtomicU64::new(0),
             count: AtomicU64::new(0),
-            pins: AtomicU32::new(0),
         }
     }
 
-    fn touch(&self, clock: &AtomicU64) {
-        self.stamp.store(clock.fetch_add(1, Relaxed) + 1, Relaxed);
-        self.count.fetch_add(1, Relaxed);
+    /// Resident page id, derived from the tag.
+    fn page(&self) -> Option<PageId> {
+        match self.tag.load(Relaxed) {
+            0 => None,
+            t => Some((t - 1) as PageId),
+        }
+    }
+
+    /// Open a write window (caller holds the shard write latch): version
+    /// goes odd, and the `Release` fence orders the odd store before the
+    /// data stores that follow (the crossbeam seqlock idiom).
+    fn begin_write(&self) {
+        let prev = self.version.fetch_add(1, Acquire);
+        debug_assert!(prev.is_multiple_of(2), "nested write window");
+        fence(Release);
+    }
+
+    /// Close the write window: version back to even with `Release`, so a
+    /// reader that observes the new version also observes the new bytes.
+    fn end_write(&self) {
+        let v = self.version.load(Relaxed);
+        debug_assert!(!v.is_multiple_of(2), "end_write outside a window");
+        self.version.store(v.wrapping_add(1), Release);
+    }
+
+    /// First half of an optimistic read: the version to validate against.
+    fn read_begin(&self) -> u64 {
+        self.version.load(Acquire)
+    }
+
+    /// Second half: the `Acquire` fence orders the preceding data loads
+    /// before the re-check, so `true` proves no write window overlapped
+    /// the copy.
+    fn read_validate(&self, v1: u64) -> bool {
+        fence(Acquire);
+        self.version.load(Relaxed) == v1
+    }
+
+    /// Copy the page words into `dst` (`dst.len()` = page size). The
+    /// exact-chunk loop keeps the hot copy free of per-chunk length
+    /// branches; only a trailing partial word (page size not a multiple
+    /// of 8) takes the slow tail.
+    fn copy_out(&self, dst: &mut [u8]) {
+        let mut words = self.data.iter();
+        let mut chunks = dst.chunks_exact_mut(8);
+        for (chunk, w) in chunks.by_ref().zip(words.by_ref()) {
+            chunk.copy_from_slice(&w.load(Relaxed).to_ne_bytes());
+        }
+        let tail = chunks.into_remainder();
+        if let (false, Some(w)) = (tail.is_empty(), words.next()) {
+            let bytes = w.load(Relaxed).to_ne_bytes();
+            let n = tail.len();
+            tail.copy_from_slice(&bytes[..n]);
+        }
+    }
+
+    /// Overwrite the page words from `src`; caller must be inside a write
+    /// window.
+    fn fill_from(&self, src: &[u8]) {
+        let mut words = self.data.iter();
+        let mut chunks = src.chunks_exact(8);
+        for (chunk, w) in chunks.by_ref().zip(words.by_ref()) {
+            w.store(
+                u64::from_ne_bytes(chunk.try_into().expect("8 bytes")),
+                Relaxed,
+            );
+        }
+        let tail = chunks.remainder();
+        if let (false, Some(w)) = (tail.is_empty(), words.next()) {
+            let mut bytes = [0u8; 8];
+            bytes[..tail.len()].copy_from_slice(tail);
+            w.store(u64::from_ne_bytes(bytes), Relaxed);
+        }
+    }
+
+    /// Record an access. The stamp bump is skipped when this frame was
+    /// already the shard's most recent access (repeat hits on a hot frame
+    /// leave the shard clock line alone); LFU counts increment on every
+    /// access so frequency stays exact — `lfu_scan_keeps_hot_page`
+    /// depends on it. Concurrent unlatched touchers may tie on a tick;
+    /// ties only perturb victim choice.
+    fn touch(&self, hot: &ShardHot, track_count: bool) {
+        if track_count {
+            self.count.fetch_add(1, Relaxed);
+        }
+        let now = hot.clock.load(Relaxed);
+        if self.stamp.load(Relaxed) != now {
+            let tick = now.wrapping_add(1);
+            hot.clock.store(tick, Relaxed);
+            self.stamp.store(tick, Relaxed);
+        }
+    }
+
+    /// Unconditional stamp for a freshly loaded frame: a fresh frame's
+    /// stamp 0 may equal the shard clock, which would defeat the
+    /// last-toucher skip in [`SharedFrame::touch`] and leave the frame
+    /// looking ancient to the victim scan.
+    fn stamp_now(&self, hot: &ShardHot) {
+        let tick = hot.clock.load(Relaxed).wrapping_add(1);
+        hot.clock.store(tick, Relaxed);
+        self.stamp.store(tick, Relaxed);
     }
 }
 
-struct Shard {
-    frames: Vec<SharedFrame>,
+/// Lock-free `page -> frame index` table, open addressing with linear
+/// probing. All *mutation* happens under the shard write latch (so writers
+/// never race each other); readers probe latch-free and treat everything
+/// they find as a hint to be confirmed against the frame's tag and
+/// version. The latched `HashMap` stays authoritative — a full table
+/// silently skips inserts and those pages are simply served by the
+/// latched path.
+struct PageTable {
+    slots: Box<[AtomicU64]>,
+    mask: usize,
+    /// Tombstones currently in `slots`. Mutated only under the shard
+    /// write latch (like the slots themselves); atomic so the struct
+    /// stays `Sync` for the latch-free readers.
+    tombs: AtomicU64,
+}
+
+/// Vacant slot.
+const EMPTY: u64 = 0;
+/// Deleted slot; probing continues past it, inserts may reuse it.
+const TOMB: u64 = u64::MAX;
+
+/// `page` in the high half, `frame index + 1` in the low half (so the
+/// encoding never collides with [`EMPTY`]; it cannot reach [`TOMB`]
+/// because frame indices are far below `u32::MAX`).
+fn encode(page: PageId, idx: usize) -> u64 {
+    ((page as u64) << 32) | (idx as u64 + 1)
+}
+
+impl PageTable {
+    fn new(frames_hint: usize) -> Self {
+        let cap = (frames_hint.max(4) * 2)
+            .next_power_of_two()
+            .clamp(16, 16384);
+        PageTable {
+            slots: (0..cap).map(|_| AtomicU64::new(EMPTY)).collect(),
+            mask: cap - 1,
+            tombs: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket(&self, page: PageId) -> usize {
+        // Fibonacci hashing spreads the low page bits (the shard mask
+        // already consumed them).
+        ((page as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 32) as usize & self.mask
+    }
+
+    /// Latch-free probe. The result is a hint: the frame must still be
+    /// tag-checked.
+    fn lookup(&self, page: PageId) -> Option<usize> {
+        let mut i = self.bucket(page);
+        for _ in 0..=self.mask {
+            let e = self.slots[i].load(Relaxed);
+            if e == EMPTY {
+                return None;
+            }
+            if e != TOMB && (e >> 32) as u32 == page {
+                return Some((e & 0xFFFF_FFFF) as usize - 1);
+            }
+            i = (i + 1) & self.mask;
+        }
+        None
+    }
+
+    /// Insert or update (shard write latch held). A full table skips the
+    /// insert — readers fall back to the latched map.
+    fn insert(&self, page: PageId, idx: usize) {
+        let e = encode(page, idx);
+        let mut i = self.bucket(page);
+        let mut tomb: Option<usize> = None;
+        for _ in 0..=self.mask {
+            let cur = self.slots[i].load(Relaxed);
+            if cur == EMPTY {
+                if let Some(t) = tomb {
+                    self.slots[t].store(e, Release);
+                    self.tombs.fetch_sub(1, Relaxed);
+                } else {
+                    self.slots[i].store(e, Release);
+                }
+                return;
+            }
+            if cur == TOMB {
+                tomb.get_or_insert(i);
+            } else if (cur >> 32) as u32 == page {
+                self.slots[i].store(e, Release);
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+        if let Some(t) = tomb {
+            self.slots[t].store(e, Release);
+            self.tombs.fetch_sub(1, Relaxed);
+        }
+    }
+
+    /// Remove (shard write latch held). In-place tombstoning is safe for
+    /// concurrent readers: a stale hit fails the frame tag/version check
+    /// downstream.
+    fn remove(&self, page: PageId) {
+        let mut i = self.bucket(page);
+        for _ in 0..=self.mask {
+            let cur = self.slots[i].load(Relaxed);
+            if cur == EMPTY {
+                return;
+            }
+            if cur != TOMB && (cur >> 32) as u32 == page {
+                self.slots[i].store(TOMB, Release);
+                self.tombs.fetch_add(1, Relaxed);
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Have tombstones piled up past a quarter of capacity? Linear
+    /// probing never reclaims them in place, every one lengthens every
+    /// miss probe (a lookup only stops at `EMPTY`), and eviction churn
+    /// produces them monotonically — without a periodic sweep the table
+    /// degrades to whole-array scans.
+    fn needs_sweep(&self) -> bool {
+        self.tombs.load(Relaxed) * 4 > (self.mask as u64 + 1)
+    }
+
+    /// Rebuild from the authoritative map (shard write latch held):
+    /// reset every slot, reinsert the live entries. Latch-free readers
+    /// racing the sweep may transiently see `EMPTY` or a stale hint for
+    /// a live page; both just divert that access to the latched path.
+    fn sweep(&self, live: impl Iterator<Item = (PageId, usize)>) {
+        for s in self.slots.iter() {
+            s.store(EMPTY, Relaxed);
+        }
+        self.tombs.store(0, Relaxed);
+        for (page, idx) in live {
+            self.insert(page, idx);
+        }
+    }
+}
+
+/// Append-only frame storage: fixed chunk directory, chunks published via
+/// `OnceLock` (whose `get` is lock-free), so frame addresses are stable
+/// and optimistic readers can reach frames without the shard latch.
+struct FrameArena {
+    chunks: Box<[OnceLock<Box<[SharedFrame]>>]>,
+    words: usize,
+}
+
+impl FrameArena {
+    fn new(words: usize) -> Self {
+        FrameArena {
+            chunks: (0..MAX_CHUNKS).map(|_| OnceLock::new()).collect(),
+            words,
+        }
+    }
+
+    /// Latch-free: frame `idx`, if its chunk has been published.
+    fn get(&self, idx: usize) -> Option<&SharedFrame> {
+        self.chunks.get(idx / CHUNK)?.get().map(|c| &c[idx % CHUNK])
+    }
+
+    /// Materialize frame `idx`'s chunk (shard write latch held).
+    fn ensure(&self, idx: usize) -> &SharedFrame {
+        let words = self.words;
+        let chunk = self.chunks[idx / CHUNK]
+            .get_or_init(|| (0..CHUNK).map(|_| SharedFrame::new(words)).collect());
+        &chunk[idx % CHUNK]
+    }
+
+    fn capacity(&self) -> usize {
+        self.chunks.len() * CHUNK
+    }
+}
+
+/// Per-shard hot line: the recency clock and hit counter every access
+/// touches, cache-line aligned so two shards never false-share.
+#[repr(align(64))]
+struct ShardHot {
+    /// Per-shard access tick (the satellite fix for the E8 LFU
+    /// regression: the former pool-global clock was one contended cache
+    /// line shared by all threads).
+    clock: AtomicU64,
+    /// Hits served by this shard; summed into [`PoolStats::hits`].
+    hits: AtomicU64,
+}
+
+impl ShardHot {
+    fn new() -> Self {
+        ShardHot {
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The latched remainder of a shard: authoritative page map, free list,
+/// allocator, and the in-use prefix length of the arena.
+struct ShardCore {
     map: HashMap<PageId, usize>,
     free: Vec<usize>,
     allocator: FrameAllocator,
+    /// Frames materialized in the arena (`0..len` are valid indices).
+    len: usize,
+}
+
+/// One shard: latch-free structures beside the latched core.
+struct CachedShard {
+    core: RwLock<ShardCore>,
+    table: PageTable,
+    arena: FrameArena,
+    hot: ShardHot,
 }
 
 enum SharedMode {
@@ -92,11 +445,9 @@ enum SharedMode {
     /// Sharded cache.
     Cached {
         kind: ReplacementKind,
-        shards: Vec<RwLock<Shard>>,
+        shards: Vec<CachedShard>,
         /// `shards.len() - 1`; shard of page `p` is `p & mask`.
         mask: usize,
-        /// Global access tick for recency stamps.
-        clock: AtomicU64,
     },
 }
 
@@ -144,10 +495,39 @@ fn shard_alloc(alloc: AllocPolicy, shard: usize, n: usize) -> AllocPolicy {
     }
 }
 
+/// Should the access count be tracked for `kind`? Only LFU scores it; the
+/// other policies skip the extra read-modify-write on the hit path.
+fn track_count(kind: ReplacementKind) -> bool {
+    #[cfg(feature = "lfu")]
+    {
+        matches!(kind, ReplacementKind::Lfu)
+    }
+    #[cfg(not(feature = "lfu"))]
+    {
+        let _ = kind;
+        false
+    }
+}
+
 thread_local! {
-    /// Scratch page for unbuffered shared access. Thread-local because the
-    /// closure API hands out `&[u8]` without `&mut self` to borrow from.
+    /// Scratch page: optimistic copies validate into it, the unbuffered
+    /// mode reads into it. Taken out of the cell (not borrowed) around
+    /// user closures so a closure that re-enters the pool does not panic.
     static SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
+
+fn take_scratch(page_size: usize) -> Vec<u8> {
+    SCRATCH.with(|s| {
+        let mut buf = s.take();
+        buf.resize(page_size.div_ceil(8) * 8, 0);
+        buf
+    })
+}
+
+fn put_scratch(buf: Vec<u8>) {
+    SCRATCH.with(|s| {
+        *s.borrow_mut() = buf;
+    });
 }
 
 impl SharedBufferPool {
@@ -166,24 +546,33 @@ impl SharedBufferPool {
         );
         let page_size = device.page_size();
         let shared_read = device.supports_shared_read();
+        let words = page_size.div_ceil(8);
         let mut vec = Vec::with_capacity(shards);
         for i in 0..shards {
             let alloc = shard_alloc(alloc, i, shards);
+            let frames_hint = match alloc {
+                AllocPolicy::Static { frames } => frames,
+                AllocPolicy::Dynamic { max_frames } => max_frames.unwrap_or(256),
+            };
             let prealloc = alloc.preallocate();
             let mut allocator = FrameAllocator::new(alloc);
-            let mut frames = Vec::with_capacity(prealloc);
-            for _ in 0..prealloc {
+            let arena = FrameArena::new(words);
+            for idx in 0..prealloc {
                 let ok = allocator.try_acquire();
                 debug_assert!(ok, "preallocation within static arena");
-                frames.push(SharedFrame::new(page_size));
+                arena.ensure(idx);
             }
-            let free = (0..frames.len()).rev().collect();
-            vec.push(RwLock::new(Shard {
-                frames,
-                map: HashMap::new(),
-                free,
-                allocator,
-            }));
+            vec.push(CachedShard {
+                core: RwLock::new(ShardCore {
+                    map: HashMap::new(),
+                    free: (0..prealloc).rev().collect(),
+                    allocator,
+                    len: prealloc,
+                }),
+                table: PageTable::new(frames_hint),
+                arena,
+                hot: ShardHot::new(),
+            });
         }
         SharedBufferPool {
             inner: Arc::new(PoolInner {
@@ -194,7 +583,6 @@ impl SharedBufferPool {
                     kind,
                     mask: shards - 1,
                     shards: vec,
-                    clock: AtomicU64::new(0),
                 },
                 stats: AtomicPoolStats::default(),
                 #[cfg(feature = "obs")]
@@ -241,9 +629,9 @@ impl SharedBufferPool {
     /// `try_read`) costs the same compare-exchange the plain `read` does.
     fn shard_read<'a>(
         &self,
-        shard: &'a RwLock<Shard>,
+        shard: &'a RwLock<ShardCore>,
         idx: usize,
-    ) -> parking_lot::RwLockReadGuard<'a, Shard> {
+    ) -> parking_lot::RwLockReadGuard<'a, ShardCore> {
         #[cfg(feature = "obs")]
         {
             if let Some(g) = shard.try_read() {
@@ -260,9 +648,9 @@ impl SharedBufferPool {
     /// [`SharedBufferPool::shard_read`].
     fn shard_write<'a>(
         &self,
-        shard: &'a RwLock<Shard>,
+        shard: &'a RwLock<ShardCore>,
         idx: usize,
-    ) -> parking_lot::RwLockWriteGuard<'a, Shard> {
+    ) -> parking_lot::RwLockWriteGuard<'a, ShardCore> {
         #[cfg(feature = "obs")]
         {
             if let Some(g) = shard.try_write() {
@@ -285,56 +673,162 @@ impl SharedBufferPool {
         }
     }
 
-    /// Run `f` over an immutable view of the page. Hits take only the
-    /// shard's read latch.
-    pub fn with_page<R>(&self, page: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R, OsError> {
+    /// The latch-free hit path: probe, copy, validate (see the module
+    /// docs). `Some` hands back the validated snapshot (caller runs the
+    /// closure and returns the scratch buffer); `None` means "take the
+    /// latched path" — cold page, stale table hint, or a write window
+    /// overlapping the copy.
+    fn try_optimistic(
+        &self,
+        kind: ReplacementKind,
+        shard: &CachedShard,
+        shard_idx: usize,
+        page: PageId,
+    ) -> Option<(Vec<u8>, PageToken)> {
+        let idx = shard.table.lookup(page)?;
+        let fr = shard.arena.get(idx)?;
+        let v1 = fr.read_begin();
+        if !v1.is_multiple_of(2) || fr.tag.load(Relaxed) != page as u64 + 1 {
+            return None;
+        }
+        let mut buf = take_scratch(self.inner.page_size);
+        fr.copy_out(&mut buf);
+        if !fr.read_validate(v1) {
+            put_scratch(buf);
+            return None;
+        }
+        // The copy is consistent. Recency/statistics touches race with a
+        // possible eviction of this very frame, which at worst perturbs
+        // a victim choice.
+        fr.touch(&shard.hot, track_count(kind));
+        shard.hot.hits.fetch_add(1, Relaxed);
+        Some((buf, PageToken::new(shard_idx, idx, v1)))
+    }
+
+    /// Shared implementation of [`SharedBufferPool::with_page`] /
+    /// [`SharedBufferPool::with_page_token`].
+    fn access<R>(
+        &self,
+        page: PageId,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<(R, PageToken), OsError> {
+        let ps = self.inner.page_size;
         match &self.inner.mode {
             SharedMode::Unbuffered => {
                 self.inner.stats.misses.inc();
-                SCRATCH.with(|s| {
-                    let mut s = s.borrow_mut();
-                    s.resize(self.inner.page_size, 0);
-                    self.device_read(page, &mut s)?;
-                    Ok(f(&s))
-                })
+                let mut buf = take_scratch(ps);
+                let res = self.device_read(page, &mut buf);
+                let out = res.map(|()| f(&buf[..ps]));
+                put_scratch(buf);
+                // Pass-through reads have no frame to validate against;
+                // the sentinel keeps optimistic callers on the plain
+                // descent those products always had.
+                out.map(|r| (r, PageToken::ALWAYS_VALID))
             }
-            SharedMode::Cached {
-                shards,
-                mask,
-                clock,
-                ..
-            } => {
+            SharedMode::Cached { kind, shards, mask } => {
                 let shard_idx = page as usize & mask;
                 let shard = &shards[shard_idx];
+                if let Some((buf, token)) = self.try_optimistic(*kind, shard, shard_idx, page) {
+                    let r = f(&buf[..ps]);
+                    put_scratch(buf);
+                    return Ok((r, token));
+                }
+                // Latched fallback: probe under the read latch, copy, and
+                // release before running the closure. The frame cannot
+                // change under the read latch (all frame writers hold the
+                // write latch), so a plain copy plus the current version
+                // make a valid token.
+                let mut staged: Option<(Vec<u8>, PageToken)> = None;
                 {
-                    let s = self.shard_read(shard, shard_idx);
+                    let s = self.shard_read(&shard.core, shard_idx);
                     if let Some(&idx) = s.map.get(&page) {
-                        let fr = &s.frames[idx];
-                        fr.pins.fetch_add(1, Relaxed);
-                        fr.touch(clock);
-                        self.inner.stats.hits.inc();
-                        let r = f(&fr.data);
-                        fr.pins.fetch_sub(1, Relaxed);
-                        return Ok(r);
+                        let fr = shard.arena.get(idx).expect("mapped frame exists");
+                        fr.touch(&shard.hot, track_count(*kind));
+                        shard.hot.hits.fetch_add(1, Relaxed);
+                        let token = PageToken::new(shard_idx, idx, fr.version.load(Relaxed));
+                        let mut buf = take_scratch(ps);
+                        fr.copy_out(&mut buf);
+                        staged = Some((buf, token));
                     }
                 }
-                // Miss path: the read latch is RELEASED (block end above)
+                if let Some((buf, token)) = staged {
+                    let r = f(&buf[..ps]);
+                    put_scratch(buf);
+                    return Ok((r, token));
+                }
+                // Miss path: the read latch was RELEASED (block end above)
                 // before the write latch is taken — a release-then-
-                // reacquire upgrade, never a nested same-shard hold, so it
-                // cannot deadlock against another upgrader. fame-lint's
-                // may-analysis cannot see the scope end and reports the
-                // pair as a `shard -> shard` reentry; the `[lock-allow]`
-                // entry in lint.toml downgrades it to an audited warning.
+                // reacquire upgrade, never a nested same-shard hold.
                 // `frame_for` re-probes the map because another thread may
                 // have loaded the page between the two latches.
-                let mut s = self.shard_write(shard, shard_idx);
-                let idx = self.frame_for(&mut s, page)?;
-                Ok(f(&s.frames[idx].data))
+                let mut s = self.shard_write(&shard.core, shard_idx);
+                let idx = self.frame_for(shard, &mut s, page)?;
+                let fr = shard
+                    .arena
+                    .get(idx)
+                    .expect("frame_for materialized the frame");
+                let token = PageToken::new(shard_idx, idx, fr.version.load(Relaxed));
+                let mut buf = take_scratch(ps);
+                fr.copy_out(&mut buf);
+                drop(s);
+                let r = f(&buf[..ps]);
+                put_scratch(buf);
+                Ok((r, token))
             }
         }
     }
 
-    /// Run `f` over a mutable view of the page (shard write latch). The
+    /// Run `f` over an immutable view of the page. Hits are latch-free
+    /// (optimistic copy + version validation); only misses latch.
+    pub fn with_page<R>(&self, page: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R, OsError> {
+        self.access(page, f).map(|(r, _)| r)
+    }
+
+    /// Like [`SharedBufferPool::with_page`], additionally returning the
+    /// [`PageToken`] receipt of the snapshot `f` ran on.
+    pub fn with_page_token<R>(
+        &self,
+        page: PageId,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<(R, PageToken), OsError> {
+        self.access(page, f)
+    }
+
+    /// Has nothing invalidated the snapshot `token` came from? `true`
+    /// means no write window touched the frame since — every fact read
+    /// from that snapshot is still current.
+    pub fn validate_token(&self, token: PageToken) -> bool {
+        if token.is_always_valid() {
+            return true;
+        }
+        match &self.inner.mode {
+            SharedMode::Unbuffered => true,
+            SharedMode::Cached { shards, .. } => shards
+                .get(token.shard())
+                .and_then(|sh| sh.arena.get(token.frame()))
+                .is_some_and(|fr| fr.read_validate(token.version())),
+        }
+    }
+
+    /// Test seam: set every in-use frame's version to `to` (forced even),
+    /// so wraparound behaviour of the version counter can be exercised
+    /// without 2^63 write windows.
+    #[doc(hidden)]
+    pub fn wind_frame_versions(&self, to: u64) {
+        if let SharedMode::Cached { shards, .. } = &self.inner.mode {
+            for (i, shard) in shards.iter().enumerate() {
+                let s = self.shard_write(&shard.core, i);
+                for idx in 0..s.len {
+                    if let Some(fr) = shard.arena.get(idx) {
+                        fr.version.store(to & !1, Release);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run `f` over a mutable view of the page (shard write latch, with
+    /// the frame's seqlock window held across the byte stores). The
     /// engine above stays single-writer; this exists so the one writer can
     /// share the pool image with its readers.
     pub fn with_page_mut<R>(
@@ -342,76 +836,121 @@ impl SharedBufferPool {
         page: PageId,
         f: impl FnOnce(&mut [u8]) -> R,
     ) -> Result<R, OsError> {
+        let ps = self.inner.page_size;
         match &self.inner.mode {
             SharedMode::Unbuffered => {
                 self.inner.stats.misses.inc();
-                SCRATCH.with(|s| {
-                    let mut s = s.borrow_mut();
-                    s.resize(self.inner.page_size, 0);
-                    // Hold the device write latch across read-modify-write
-                    // so readers never observe a half-applied page.
-                    let mut dev = self.inner.device.write();
-                    dev.read_page(page, &mut s)?;
-                    let r = f(&mut s);
-                    dev.write_page(page, &s)?;
-                    Ok(r)
-                })
+                let mut buf = take_scratch(ps);
+                // Hold the device write latch across read-modify-write
+                // so readers never observe a half-applied page.
+                let mut dev = self.inner.device.write();
+                let res = dev.read_page(page, &mut buf[..ps]);
+                let out = res.and_then(|()| {
+                    let r = f(&mut buf[..ps]);
+                    dev.write_page(page, &buf[..ps]).map(|()| r)
+                });
+                drop(dev);
+                put_scratch(buf);
+                out
             }
             SharedMode::Cached { shards, mask, .. } => {
                 let shard_idx = page as usize & mask;
-                let mut s = self.shard_write(&shards[shard_idx], shard_idx);
-                let idx = self.frame_for(&mut s, page)?;
-                let fr = &mut s.frames[idx];
-                fr.dirty = true;
-                Ok(f(&mut fr.data))
+                let shard = &shards[shard_idx];
+                let mut s = self.shard_write(&shard.core, shard_idx);
+                let idx = self.frame_for(shard, &mut s, page)?;
+                let fr = shard
+                    .arena
+                    .get(idx)
+                    .expect("frame_for materialized the frame");
+                let mut buf = take_scratch(ps);
+                fr.copy_out(&mut buf);
+                let r = f(&mut buf[..ps]);
+                fr.begin_write();
+                fr.fill_from(&buf[..ps]);
+                fr.dirty.store(true, Relaxed);
+                fr.end_write();
+                put_scratch(buf);
+                Ok(r)
             }
         }
     }
 
     /// Locate (or load) the frame for `page` within its shard, with the
     /// shard write latch held.
-    fn frame_for(&self, s: &mut Shard, page: PageId) -> Result<usize, OsError> {
-        let SharedMode::Cached { kind, clock, .. } = &self.inner.mode else {
+    fn frame_for(
+        &self,
+        shard: &CachedShard,
+        s: &mut ShardCore,
+        page: PageId,
+    ) -> Result<usize, OsError> {
+        let SharedMode::Cached { kind, .. } = &self.inner.mode else {
             unreachable!("frame_for only called in cached mode");
         };
         // Re-check under the write latch: another thread may have loaded
         // the page between our read probe and here.
         if let Some(&idx) = s.map.get(&page) {
-            self.inner.stats.hits.inc();
-            s.frames[idx].touch(clock);
+            let fr = shard.arena.get(idx).expect("mapped frame exists");
+            fr.touch(&shard.hot, track_count(*kind));
+            shard.hot.hits.fetch_add(1, Relaxed);
             return Ok(idx);
         }
         self.inner.stats.misses.inc();
+        let ps = self.inner.page_size;
 
         let idx = if let Some(idx) = s.free.pop() {
             idx
-        } else if s.allocator.try_acquire() {
-            let idx = s.frames.len();
-            s.frames.push(SharedFrame::new(self.inner.page_size));
+        } else if s.len < shard.arena.capacity() && s.allocator.try_acquire() {
+            let idx = s.len;
+            shard.arena.ensure(idx);
+            s.len += 1;
             idx
         } else {
-            let victim = pick_victim(s, *kind)
+            let victim = pick_victim(shard, s, *kind)
                 .ok_or_else(|| OsError::Io("buffer shard has no evictable frame".to_string()))?;
-            let fr = &mut s.frames[victim];
-            if fr.dirty {
-                let old = fr.page.expect("victim frame holds a page");
-                self.inner.device.write().write_page(old, &fr.data)?;
+            let fr = shard.arena.get(victim).expect("victim frame exists");
+            let old = fr.page().expect("victim frame holds a page");
+            if fr.dirty.load(Relaxed) {
+                // The bytes are stable under our write latch; copy and
+                // write back before opening a write window.
+                let mut buf = take_scratch(ps);
+                fr.copy_out(&mut buf);
+                let res = self.inner.device.write().write_page(old, &buf[..ps]);
+                put_scratch(buf);
+                res?;
                 self.inner.stats.writebacks.inc();
             }
-            if let Some(old) = fr.page.take() {
-                s.map.remove(&old);
-            }
-            fr.dirty = false;
+            s.map.remove(&old);
+            shard.table.remove(old);
+            fr.begin_write();
+            fr.tag.store(0, Relaxed);
+            fr.dirty.store(false, Relaxed);
+            fr.end_write();
             self.inner.stats.evictions.inc();
             victim
         };
 
-        self.device_read(page, &mut s.frames[idx].data)?;
-        let fr = &mut s.frames[idx];
-        fr.page = Some(page);
-        fr.count.store(0, Relaxed);
-        fr.touch(clock);
+        let fr = shard.arena.get(idx).expect("frame index is materialized");
+        let mut buf = take_scratch(ps);
+        let res = self.device_read(page, &mut buf[..ps]);
+        if res.is_ok() {
+            fr.begin_write();
+            fr.fill_from(&buf[..ps]);
+            fr.tag.store(page as u64 + 1, Relaxed);
+            fr.dirty.store(false, Relaxed);
+            fr.end_write();
+        }
+        put_scratch(buf);
+        if let Err(e) = res {
+            s.free.push(idx);
+            return Err(e);
+        }
+        fr.count.store(u64::from(track_count(*kind)), Relaxed);
+        fr.stamp_now(&shard.hot);
         s.map.insert(page, idx);
+        shard.table.insert(page, idx);
+        if shard.table.needs_sweep() {
+            shard.table.sweep(s.map.iter().map(|(&p, &i)| (p, i)));
+        }
         Ok(idx)
     }
 
@@ -420,22 +959,31 @@ impl SharedBufferPool {
     /// sequential pass over the device.
     pub fn flush(&self) -> Result<(), OsError> {
         if let SharedMode::Cached { shards, .. } = &self.inner.mode {
+            let ps = self.inner.page_size;
+            let mut buf = vec![0u8; ps];
             for shard in shards {
-                let mut s = shard.write();
-                let mut dirty: Vec<(PageId, usize)> = s
-                    .frames
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, fr)| fr.dirty)
-                    .map(|(idx, fr)| (fr.page.expect("dirty frame holds a page"), idx))
+                // The write latch excludes frame writers; flushing only
+                // reads bytes and clears dirty flags, no version windows.
+                let s = shard.core.write();
+                let mut dirty: Vec<(PageId, usize)> = (0..s.len)
+                    .filter_map(|idx| {
+                        let fr = shard.arena.get(idx)?;
+                        if fr.dirty.load(Relaxed) {
+                            Some((fr.page().expect("dirty frame holds a page"), idx))
+                        } else {
+                            None
+                        }
+                    })
                     .collect();
                 dirty.sort_unstable();
                 for (page, idx) in dirty {
-                    let fr = &mut s.frames[idx];
-                    self.inner.device.write().write_page(page, &fr.data)?;
-                    fr.dirty = false;
+                    let fr = shard.arena.get(idx).expect("frame scanned above");
+                    fr.copy_out(&mut buf);
+                    self.inner.device.write().write_page(page, &buf[..ps])?;
+                    fr.dirty.store(false, Relaxed);
                     self.inner.stats.writebacks.inc();
                 }
+                drop(s);
             }
         }
         Ok(())
@@ -450,10 +998,15 @@ impl SharedBufferPool {
     /// Drop `page` from the cache without write-back.
     pub fn discard(&self, page: PageId) {
         if let SharedMode::Cached { shards, mask, .. } = &self.inner.mode {
-            let mut s = shards[page as usize & mask].write();
+            let shard = &shards[page as usize & mask];
+            let mut s = shard.core.write();
             if let Some(idx) = s.map.remove(&page) {
-                s.frames[idx].page = None;
-                s.frames[idx].dirty = false;
+                shard.table.remove(page);
+                let fr = shard.arena.get(idx).expect("mapped frame exists");
+                fr.begin_write();
+                fr.tag.store(0, Relaxed);
+                fr.dirty.store(false, Relaxed);
+                fr.end_write();
                 s.free.push(idx);
             }
         }
@@ -463,9 +1016,11 @@ impl SharedBufferPool {
     pub fn contains(&self, page: PageId) -> bool {
         match &self.inner.mode {
             SharedMode::Unbuffered => false,
-            SharedMode::Cached { shards, mask, .. } => {
-                shards[page as usize & mask].read().map.contains_key(&page)
-            }
+            SharedMode::Cached { shards, mask, .. } => shards[page as usize & mask]
+                .core
+                .read()
+                .map
+                .contains_key(&page),
         }
     }
 
@@ -473,7 +1028,7 @@ impl SharedBufferPool {
     pub fn frame_count(&self) -> usize {
         match &self.inner.mode {
             SharedMode::Unbuffered => 0,
-            SharedMode::Cached { shards, .. } => shards.iter().map(|s| s.read().frames.len()).sum(),
+            SharedMode::Cached { shards, .. } => shards.iter().map(|sh| sh.core.read().len).sum(),
         }
     }
 
@@ -487,8 +1042,13 @@ impl SharedBufferPool {
 
     /// Pool counters (aggregated over all threads and shards).
     pub fn stats(&self) -> PoolStats {
-        #[allow(unused_mut)]
         let mut s = self.inner.stats.snapshot();
+        if let SharedMode::Cached { shards, .. } = &self.inner.mode {
+            s.hits += shards
+                .iter()
+                .map(|sh| sh.hot.hits.load(Relaxed))
+                .sum::<u64>();
+        }
         #[cfg(feature = "obs")]
         {
             s.latch_waits = self.inner.latch_waits.iter().map(|c| c.get()).sum();
@@ -523,13 +1083,19 @@ impl Drop for PoolInner {
         // self` proves exclusivity, so plain lock calls cannot deadlock.
         if let SharedMode::Cached { shards, .. } = &mut self.mode {
             let dev = self.device.get_mut();
-            for shard in shards {
-                let s = shard.get_mut();
-                for fr in s.frames.iter_mut() {
-                    if fr.dirty {
-                        if let Some(page) = fr.page {
-                            let _ = dev.write_page(page, &fr.data);
-                            fr.dirty = false;
+            let ps = self.page_size;
+            let mut buf = vec![0u8; ps];
+            for shard in shards.iter_mut() {
+                let len = shard.core.get_mut().len;
+                for idx in 0..len {
+                    let Some(fr) = shard.arena.get(idx) else {
+                        continue;
+                    };
+                    if fr.dirty.load(Relaxed) {
+                        if let Some(page) = fr.page() {
+                            fr.copy_out(&mut buf);
+                            let _ = dev.write_page(page, &buf[..ps]);
+                            fr.dirty.store(false, Relaxed);
                         }
                     }
                 }
@@ -538,13 +1104,18 @@ impl Drop for PoolInner {
     }
 }
 
-/// Victim selection by scanning the shard's frames: LRU (and Clock, which
-/// approximates recency) evict the minimum stamp, LFU the minimum
-/// `(count, stamp)`. Pinned frames are never chosen.
-fn pick_victim(s: &Shard, kind: ReplacementKind) -> Option<usize> {
+/// Victim selection by scanning the shard's in-use frames: LRU (and Clock,
+/// which approximates recency) evict the minimum stamp, LFU the minimum
+/// `(count, stamp)`. Vacant frames (tag 0) are never chosen; in-flight
+/// optimistic readers need no pins — their version re-check rejects the
+/// copy if this frame is evicted under them.
+fn pick_victim(shard: &CachedShard, s: &ShardCore, kind: ReplacementKind) -> Option<usize> {
     let mut best: Option<(u128, usize)> = None;
-    for (i, fr) in s.frames.iter().enumerate() {
-        if fr.page.is_none() || fr.pins.load(Relaxed) != 0 {
+    for i in 0..s.len {
+        let Some(fr) = shard.arena.get(i) else {
+            continue;
+        };
+        if fr.tag.load(Relaxed) == 0 {
             continue;
         }
         let stamp = fr.stamp.load(Relaxed) as u128;
@@ -706,6 +1277,37 @@ mod tests {
         let mut out = vec![0u8; 128];
         side.with(|d| d.read_page(2, &mut out)).unwrap();
         assert_eq!(out[0], 77);
+    }
+
+    #[test]
+    fn token_survives_quiet_reads_and_dies_on_write() {
+        let p = pool(8, 2);
+        p.with_page_mut(3, |b| b[0] = 1).unwrap();
+        let ((), tok) = p.with_page_token(3, |_| ()).unwrap();
+        // More reads do not open a write window.
+        p.with_page(3, |_| ()).unwrap();
+        assert!(p.validate_token(tok));
+        // A mutation does.
+        p.with_page_mut(3, |b| b[0] = 2).unwrap();
+        assert!(!p.validate_token(tok));
+    }
+
+    #[test]
+    fn token_dies_on_eviction() {
+        let p = pool(2, 1);
+        let ((), tok) = p.with_page_token(0, |_| ()).unwrap();
+        p.with_page(1, |_| ()).unwrap();
+        p.with_page(2, |_| ()).unwrap(); // evicts 0
+        assert!(!p.contains(0));
+        assert!(!p.validate_token(tok));
+    }
+
+    #[test]
+    fn unbuffered_tokens_are_sentinels() {
+        let p = SharedBufferPool::unbuffered(device(8));
+        let ((), tok) = p.with_page_token(1, |_| ()).unwrap();
+        assert!(tok.is_always_valid());
+        assert!(p.validate_token(tok));
     }
 
     /// The satellite stress test at pool level: concurrent readers vs a

@@ -1,0 +1,68 @@
+//! Optimistic page-read tokens.
+//!
+//! A [`PageToken`] is the receipt of one optimistic page read: it names
+//! the frame the page was copied from and the (even) seqlock version the
+//! copy validated against. Holding a token, a caller can later ask the
+//! pool whether the underlying frame is *still* at that version — the
+//! cheap "did anything change since I looked?" primitive that optimistic
+//! lock coupling on the B-tree descent is built from.
+//!
+//! The type is compiled unconditionally (it is plain data with no
+//! concurrency machinery) so `PageRead` implementors that have no
+//! versioned frames — the exclusive pager, the pass-through pool — can
+//! hand out [`PageToken::ALWAYS_VALID`]: their snapshots cannot be
+//! invalidated by a concurrent writer the caller could race with, or
+//! (pass-through mode) there is no frame whose change could be observed,
+//! which degrades optimistic coupling to the plain descent those
+//! configurations always had.
+
+/// Receipt of one optimistic page read; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageToken {
+    shard: u32,
+    frame: u32,
+    version: u64,
+}
+
+impl PageToken {
+    /// The sentinel token of unversioned reads: validation always
+    /// succeeds. Real tokens can never equal it (no pool has `u32::MAX`
+    /// shards).
+    pub const ALWAYS_VALID: PageToken = PageToken {
+        shard: u32::MAX,
+        frame: u32::MAX,
+        version: u64::MAX,
+    };
+
+    // The constructor and accessors are only reachable from the shared
+    // pool; products without it still carry the type (plain data) but
+    // only ever see the sentinel.
+    #[cfg_attr(not(feature = "shared"), allow(dead_code))]
+    pub(crate) fn new(shard: usize, frame: usize, version: u64) -> Self {
+        PageToken {
+            shard: shard as u32,
+            frame: frame as u32,
+            version,
+        }
+    }
+
+    /// Is this the unversioned sentinel?
+    pub fn is_always_valid(&self) -> bool {
+        *self == Self::ALWAYS_VALID
+    }
+
+    #[cfg_attr(not(feature = "shared"), allow(dead_code))]
+    pub(crate) fn shard(&self) -> usize {
+        self.shard as usize
+    }
+
+    #[cfg_attr(not(feature = "shared"), allow(dead_code))]
+    pub(crate) fn frame(&self) -> usize {
+        self.frame as usize
+    }
+
+    #[cfg_attr(not(feature = "shared"), allow(dead_code))]
+    pub(crate) fn version(&self) -> u64 {
+        self.version
+    }
+}

@@ -1400,11 +1400,11 @@ impl DbReader {
         match self.kv {
             #[cfg(feature = "index-btree")]
             ReaderKv::BTree { root_slot } => {
-                let root = self
-                    .pager
-                    .root(root_slot)?
-                    .ok_or(fame_storage::StorageError::NotFound)?;
-                Ok(BTree::at_root(root, root_slot).get_with(&mut self.pager, key, f)?)
+                // Optimistic lock coupling: the descent resolves the
+                // root itself and chases child pointers on page-version
+                // checks, restarting if a concurrent split moves a node
+                // underneath it. No latch is taken on the hit path.
+                Ok(BTree::get_olc(&mut self.pager, root_slot, key, f)?)
             }
             #[cfg(feature = "index-list")]
             ReaderKv::List(l) => Ok(l.get_with(&mut self.pager, key, f)?),

@@ -335,6 +335,15 @@ lru = "LRU"
         let c = LintConfig::parse(text).unwrap();
         assert_eq!(c.lock_order, ["shard", "device", "meta"]);
         assert!(c.feature_map.contains_key("commit-group"));
-        assert!(c.atomic_allow_reason("SharedFrame", "pins").is_some());
+        // The seqlock protocol fields carry reasoned allowlist entries;
+        // `pins` was retired along with the field itself (version
+        // validation subsumes pinning on the hit path).
+        assert!(c.atomic_allow_reason("SharedFrame", "version").is_some());
+        assert!(c.atomic_allow_reason("PageTable", "slots").is_some());
+        assert!(c.atomic_allow_reason("SharedFrame", "pins").is_none());
+        // The former shard->shard upgrade allowlist entry is retired:
+        // Pass A's edge-aware joins prove the release-then-reacquire
+        // path holds one shard latch at a time.
+        assert!(c.lock_allow.is_empty());
     }
 }

@@ -14,6 +14,16 @@
 //! graph; edges contradicting the declared order, self-edges, and
 //! cycles are diagnostics, each with a def-use provenance chain.
 //!
+//! Joins are edge-aware, not a plain union of predecessor out-envs:
+//! a predecessor ending in `return` contributes nothing (its edge to
+//! the lowering's join block is an artifact no execution takes), and a
+//! predecessor whose branch condition is a fallible acquisition
+//! (`if let Some(g) = x.try_read()`) does not carry `g` along the
+//! non-match edge — on that path the acquisition by definition failed.
+//! This is what proves `try_*`-then-blocking fallbacks (the
+//! release-then-reacquire upgrade pattern) safe instead of relying on
+//! a `[lock-allow]` entry.
+//!
 //! Known limitations (documented in DESIGN.md §12): guards scoped
 //! entirely inside a callee are invisible to its callers (a closure
 //! re-entering `with_page` under the shard latch is not seen), and the
@@ -87,6 +97,58 @@ struct FnSummary {
 }
 
 type Summaries = BTreeMap<String, FnSummary>;
+
+/// The guard variable bound by a fallible-acquisition branch condition:
+/// `if let Some(g) = recv.try_read()` → `g`. Deliberately narrow — the
+/// LHS must be a refutable constructor pattern (a plain
+/// `let g = x.try_read()` binds the `Option` itself and is untouched)
+/// and the RHS must *end* at the `try_*` call (so
+/// `..try_read().unwrap()` stays a plain acquisition).
+fn fallible_cond_binding(stmt: &Stmt) -> Option<String> {
+    if stmt.is_return || stmt.is_tail {
+        return None;
+    }
+    let toks = &stmt.tokens;
+    if !toks.first().is_some_and(|t| t.is_ident("let")) {
+        return None;
+    }
+    let eq = find_assign(toks)?;
+    let n = toks.len();
+    if n < 4 || n < eq + 5 {
+        return None;
+    }
+    if !is_acq(toks, n - 3) || !toks[n - 3].text.starts_with("try_") {
+        return None;
+    }
+    if !toks[..eq].iter().any(|t| t.is_punct("(")) {
+        return None;
+    }
+    lhs_var(&toks[..eq])
+}
+
+/// Join predecessor `p`'s out-env into `env` along the edge `p -> b`.
+/// See the module docs: `return`-terminated predecessors contribute
+/// nothing, and a fallible-acquisition condition's guard binding is
+/// killed along the non-match (`succs[1]`) edge.
+fn join_edge(env: &mut Env, pf: &ParsedFn, p: usize, b: usize, out: &Env) {
+    let blk = &pf.cfg.blocks[p];
+    if blk.stmts.last().is_some_and(|s| s.is_return) {
+        return;
+    }
+    if let Some(var) = blk.stmts.last().and_then(fallible_cond_binding) {
+        // The lowering orders branch successors [match, non-match]; a
+        // single-successor block (constant-folded condition) keeps the
+        // conservative union.
+        if blk.succs.len() >= 2 && blk.succs[1] == b && blk.succs[0] != b && out.contains_key(&var)
+        {
+            let mut filtered = out.clone();
+            filtered.remove(&var);
+            join_env(env, &filtered);
+            return;
+        }
+    }
+    join_env(env, out);
+}
 
 fn join_env(into: &mut Env, other: &Env) -> bool {
     let mut changed = false;
@@ -228,7 +290,7 @@ fn analyze_fn(
         for b in 0..nb {
             let mut env = Env::new();
             for &p in &preds[b] {
-                join_env(&mut env, &outv[p]);
+                join_edge(&mut env, pf, p, b, &outv[p]);
             }
             let tier = pf.tier(b);
             for stmt in &pf.cfg.blocks[b].stmts {
@@ -249,7 +311,7 @@ fn analyze_fn(
         for (b, pred) in preds.iter().enumerate() {
             let mut env = Env::new();
             for &p in pred {
-                join_env(&mut env, &outv[p]);
+                join_edge(&mut env, pf, p, b, &outv[p]);
             }
             let tier = pf.tier(b);
             for stmt in &pf.cfg.blocks[b].stmts {

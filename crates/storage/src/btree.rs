@@ -198,6 +198,119 @@ impl BTree {
         }
     }
 
+    /// Optimistic lock coupling descent (the shared read path). Resolves
+    /// `root_slot` from the meta page and walks parent→child on
+    /// page-version checks instead of holding latches level to level:
+    /// every visited page yields a [`fame_buffer::PageToken`], and after
+    /// a child is read the *parent's* token is re-validated — if a
+    /// concurrent split or collapse moved the pointer that was just
+    /// chased, the whole descent restarts from the root. Sources without
+    /// versioned frames (the exclusive pager, pass-through pools) hand
+    /// out always-valid tokens, degrading this to the plain descent of
+    /// [`BTree::get_with`].
+    pub fn get_olc<P: PageRead, R>(
+        pager: &mut P,
+        root_slot: usize,
+        key: &[u8],
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<Option<R>> {
+        use crate::page::NO_PAGE;
+        use crate::pager::{OFF_ROOTS, ROOT_SLOTS};
+        assert!(root_slot < ROOT_SLOTS, "root slot out of range");
+
+        // Livelock insurance against pathological write churn, not a
+        // correctness requirement: past this many restarts the lookup
+        // falls back to the latched descent.
+        const MAX_RESTARTS: u32 = 64;
+
+        // The descent commits exactly one leaf, so `f` runs at most
+        // once; `Option` carries it through restarts into the closure.
+        let mut f = Some(f);
+        let mut restarts = 0u32;
+        loop {
+            let at = OFF_ROOTS + 4 * root_slot;
+            let (raw, meta_token) = pager.with_page_token(0, |buf| {
+                u32::from_le_bytes(buf[at..at + 4].try_into().expect("4 bytes"))
+            })?;
+            if raw == NO_PAGE {
+                return Err(StorageError::NotFound);
+            }
+            let root: PageId = raw;
+
+            enum Step<R> {
+                Descend(PageId),
+                Found(R),
+                Missing,
+                Garbage,
+            }
+            let mut page = root;
+            let mut parent = meta_token;
+            loop {
+                let (step, token) = pager.with_page_token(page, |buf| {
+                    let view = PageView::new(buf);
+                    match view.page_type() {
+                        Some(PageType::BTreeInternal) => Step::Descend(descend_child(&view, key).0),
+                        Some(PageType::BTreeLeaf) => match search(&view, key) {
+                            Ok(i) => {
+                                let f = f.take().expect("descent commits one leaf");
+                                Step::Found(f(leaf_value(view.cell_at(i))))
+                            }
+                            Err(_) => Step::Missing,
+                        },
+                        _ => Step::Garbage,
+                    }
+                })?;
+                match step {
+                    // The snapshot `f` ran over was validated by the
+                    // token protocol, so a hit is a committed value of
+                    // this page; no parent re-check can retract it (and
+                    // `f`, being `FnOnce`, is already consumed).
+                    Step::Found(v) => return Ok(Some(v)),
+                    Step::Descend(child) => {
+                        // Re-validate the pointer that was just chased:
+                        // if the parent changed underneath us, `child`
+                        // may name the wrong subtree.
+                        if !pager.validate_token(parent) {
+                            break;
+                        }
+                        parent = token;
+                        page = child;
+                    }
+                    Step::Missing => {
+                        // "Absent" is only trustworthy if the pointer
+                        // that led here was still current.
+                        if pager.validate_token(parent) {
+                            return Ok(None);
+                        }
+                        break;
+                    }
+                    Step::Garbage => {
+                        // A stale pointer can legitimately land on a
+                        // freed or reused page mid-split; only a stable
+                        // parent makes a bad page type real corruption.
+                        if pager.validate_token(parent) {
+                            panic!("page {page} has unexpected type during descent");
+                        }
+                        break;
+                    }
+                }
+            }
+
+            restarts += 1;
+            if restarts.is_multiple_of(16) {
+                std::thread::yield_now();
+            }
+            if restarts >= MAX_RESTARTS {
+                // Give up on optimism: the latched descent below makes
+                // progress regardless of writer churn (the pool serves
+                // `with_page` under the shard latch when validation
+                // keeps failing).
+                let f = f.take().expect("fallback runs before any commit");
+                return BTree::at_root(root, root_slot).get_with(pager, key, f);
+            }
+        }
+    }
+
     /// Does the key exist?
     pub fn contains<P: PageRead>(&self, pager: &mut P, key: &[u8]) -> Result<bool> {
         Ok(self.get_with(pager, key, |_| ())?.is_some())

@@ -45,6 +45,7 @@ pub use check::{check_pager, IntegrityReport, Violation};
 #[cfg(feature = "crypto")]
 pub use crypto::CryptoDevice;
 pub use error::{Result, StorageError};
+pub use fame_buffer::PageToken;
 #[cfg(feature = "hash")]
 pub use hash::HashIndex;
 #[cfg(feature = "list")]

@@ -19,7 +19,7 @@
 //! [`Pager::free`], and persist their root page numbers in one of the 16
 //! named root slots — which is how a database image is reopened.
 
-use fame_buffer::BufferPool;
+use fame_buffer::{BufferPool, PageToken};
 use fame_os::PageId;
 
 use crate::error::{Result, StorageError};
@@ -298,6 +298,28 @@ pub trait PageRead {
 
     /// Run `f` over an immutable page view.
     fn with_page<R>(&mut self, page: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R>;
+
+    /// Run `f` over an immutable page view and return the
+    /// [`PageToken`] receipt of the snapshot it ran on. The default
+    /// (exclusive pagers: nothing mutates pages while `&mut self` is
+    /// borrowed) hands out the always-valid sentinel, so optimistic
+    /// lock coupling degrades to the plain descent there.
+    fn with_page_token<R>(
+        &mut self,
+        page: PageId,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<(R, PageToken)> {
+        self.with_page(page, f)
+            .map(|r| (r, PageToken::ALWAYS_VALID))
+    }
+
+    /// Has nothing invalidated the snapshot `token` came from? The
+    /// default is `true` for the same reason `with_page_token` defaults
+    /// to the sentinel.
+    fn validate_token(&mut self, token: PageToken) -> bool {
+        let _ = token;
+        true
+    }
 }
 
 impl PageRead for Pager {
@@ -325,10 +347,25 @@ impl SharedPager {
         self.pool.page_size()
     }
 
-    /// Run `f` over an immutable page view (takes at most the page's
-    /// shard read latch on a cache hit).
+    /// Run `f` over an immutable page view (latch-free on a cache hit;
+    /// see the shared pool's seqlock protocol).
     pub fn with_page<R>(&self, page: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
         Ok(self.pool.with_page(page, f)?)
+    }
+
+    /// Like [`SharedPager::with_page`], also returning the frame-version
+    /// receipt the optimistic B-tree descent validates against.
+    pub fn with_page_token<R>(
+        &self,
+        page: PageId,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<(R, PageToken)> {
+        Ok(self.pool.with_page_token(page, f)?)
+    }
+
+    /// Is the snapshot `token` came from still current?
+    pub fn validate_token(&self, token: PageToken) -> bool {
+        self.pool.validate_token(token)
     }
 
     /// Read a named root pointer from the meta page. Unlike the exclusive
@@ -358,6 +395,18 @@ impl PageRead for SharedPager {
 
     fn with_page<R>(&mut self, page: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
         SharedPager::with_page(self, page, f)
+    }
+
+    fn with_page_token<R>(
+        &mut self,
+        page: PageId,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<(R, PageToken)> {
+        SharedPager::with_page_token(self, page, f)
+    }
+
+    fn validate_token(&mut self, token: PageToken) -> bool {
+        SharedPager::validate_token(self, token)
     }
 }
 

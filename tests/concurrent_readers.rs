@@ -179,6 +179,136 @@ fn shard_count_must_be_power_of_two() {
     assert!(Database::open(cfg).is_ok());
 }
 
+/// Seqlock torn-read stress: a writer flips every key between two
+/// same-length values whose bytes differ in every position, while reader
+/// threads race the optimistic hit path and eviction churn recycles
+/// frames. Any torn copy (a mix of old and new bytes) that escaped
+/// version validation is caught byte-by-byte.
+#[test]
+fn optimistic_reads_are_never_torn_under_updates() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    const KEYS: u32 = 64;
+    const VAL_LEN: usize = 16;
+    let a = |i: u32| vec![i as u8; VAL_LEN];
+    let b = |i: u32| vec![(i as u8) ^ 0xFF; VAL_LEN];
+
+    // 8 frames over 2 shards: updates, evictions and write-backs all
+    // race the latch-free reads.
+    let mut db = Database::open(multi_config(8, 2)).unwrap();
+    for i in 0..KEYS {
+        db.put(&i.to_be_bytes(), &a(i)).unwrap();
+    }
+
+    let stop = AtomicBool::new(false);
+    let reader = db.reader().unwrap();
+    std::thread::scope(|s| {
+        for t in 0u32..4 {
+            let mut r = reader.clone();
+            let stop = &stop;
+            s.spawn(move || {
+                let mut x = 0x1234_5678u32 ^ (t + 1);
+                while !stop.load(Ordering::Relaxed) {
+                    x ^= x << 13;
+                    x ^= x >> 17;
+                    x ^= x << 5;
+                    let k = x % KEYS;
+                    let got = r.get(&k.to_be_bytes()).unwrap().expect("key present");
+                    // Old value, new value — never a stitch of both.
+                    assert_eq!(got.len(), VAL_LEN, "reader {t} saw a truncated value");
+                    let first = got[0];
+                    assert!(
+                        first == k as u8 || first == (k as u8) ^ 0xFF,
+                        "reader {t} saw foreign byte {first:#x} for key {k}"
+                    );
+                    assert!(
+                        got.iter().all(|&byte| byte == first),
+                        "reader {t} saw a TORN value for key {k}: {got:?}"
+                    );
+                }
+            });
+        }
+
+        // The single writer flips each key A -> B -> A ...; updates keep
+        // the value length fixed so the cell is rewritten in place.
+        for round in 0u32..100 {
+            for i in 0..KEYS {
+                let v = if round % 2 == 0 { b(i) } else { a(i) };
+                db.update(&i.to_be_bytes(), &v).unwrap();
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let stats = reader.pool_stats();
+    assert!(stats.hits > 0, "stress never exercised the hit path");
+}
+
+/// Frame version counters must not suffer ABA: a token taken before an
+/// eviction (or before the u64 version wraps) can never validate again,
+/// even when the same page lands back in the same frame with identical
+/// bytes.
+#[test]
+fn frame_version_wraparound_and_eviction_kill_stale_tokens() {
+    use fame_dbms::fame_buffer::{ReplacementKind, SharedBufferPool};
+    use fame_dbms::fame_os::{AllocPolicy, BlockDevice, InMemoryDevice};
+
+    let device = || -> Box<dyn BlockDevice> {
+        let mut dev = InMemoryDevice::new(128);
+        dev.ensure_pages(8).unwrap();
+        Box::new(dev)
+    };
+
+    // Wraparound: wind every frame version to the top of the u64 range,
+    // then push one write through it. The counter wraps (odd MAX during
+    // the write window, even 0 after), and the pre-wrap token must die
+    // even though `0 < MAX-1` would look "older" to a naive comparison.
+    let p = SharedBufferPool::new(
+        device(),
+        ReplacementKind::Lru,
+        AllocPolicy::Static { frames: 2 },
+        1,
+    );
+    p.with_page(0, |_| ()).unwrap();
+    p.wind_frame_versions(u64::MAX - 1);
+    let ((), pre_wrap) = p.with_page_token(0, |_| ()).unwrap();
+    assert!(p.validate_token(pre_wrap), "token must be valid when taken");
+    p.with_page_mut(0, |buf| buf[0] = 1).unwrap();
+    assert!(
+        !p.validate_token(pre_wrap),
+        "token survived a version wraparound (ABA)"
+    );
+    let ((), post_wrap) = p.with_page_token(0, |b| assert_eq!(b[0], 1)).unwrap();
+    assert!(
+        p.validate_token(post_wrap),
+        "post-wrap reads validate again"
+    );
+
+    // Eviction ABA: evict page 0 from its frame, reload it with
+    // identical bytes. Same page, same bytes, possibly the same frame —
+    // the version history still invalidates the old receipt.
+    let p = SharedBufferPool::new(
+        device(),
+        ReplacementKind::Lru,
+        AllocPolicy::Static { frames: 2 },
+        1,
+    );
+    let ((), before) = p.with_page_token(0, |_| ()).unwrap();
+    p.with_page(1, |_| ()).unwrap();
+    p.with_page(2, |_| ()).unwrap(); // evicts page 0 (coldest)
+    p.with_page(3, |_| ()).unwrap(); // evicts page 1
+    assert!(!p.contains(0), "eviction setup broke");
+    assert!(
+        !p.validate_token(before),
+        "token survived eviction of its page"
+    );
+    p.with_page(0, |_| ()).unwrap(); // reload, bytes unchanged
+    assert!(
+        !p.validate_token(before),
+        "token revalidated after reload (ABA)"
+    );
+}
+
 /// Statistics feature: `Database::stats()` snapshots taken while reader
 /// threads hammer the sharded pool (and the writer keeps evicting) must be
 /// coherent — every counter monotonically non-decreasing across snapshots,
