@@ -45,6 +45,9 @@ cargo run --release -p fame-bench --bin crash_torture -- --quick | tail -n 10
 echo "== concurrent readers stress (E8 correctness + E9 snapshot coherence)"
 cargo test -q -p fame-dbms --features concurrency-multi,statistics --test concurrent_readers
 
+echo "== concurrent writers stress (E12 serializability + lock-stats surfacing)"
+cargo test -q -p fame-dbms --features concurrency-multi-writer,commit-force,commit-group,statistics --test concurrent_writers
+
 echo "== fig1b_mt smoke (E8 scalability; scaling asserts auto-skip below 2 cores)"
 cargo run --release -p fame-bench --bin fig1b_mt -- --quick --assert-scaling | tail -n 8
 
@@ -69,6 +72,27 @@ fi
 if ! diff <(cargo tree -p fame-dbms --no-default-features --features standard -e normal) \
           <(cargo tree -p fame-dbms --no-default-features --features standard,api-batch -e normal); then
     echo "FAIL: composing api-batch in changed the crate dependency graph" >&2
+    exit 1
+fi
+
+echo "== write_tput_mt smoke (E12 concurrent writers; concurrency gates auto-skip below 2 cores)"
+cargo run --release -p fame-bench --bin write_tput_mt -- --quick --assert-scaling | tail -n 8
+
+echo "== multi-writer-off composition (E12 zero-cost gate)"
+# A MultiReader + transactions product must not have the multi-writer
+# feature active, and composing MultiWriter in must add no crates — only
+# feature flags on crates the product already links.
+if cargo tree -p fame-dbms --no-default-features \
+        --features standard,transactions,commit-force,concurrency-multi \
+        -f "{p} [{f}]" -e normal | grep -q "multi-writer"; then
+    echo "FAIL: multi-writer is active in a product that did not select it" >&2
+    exit 1
+fi
+if ! diff <(cargo tree -p fame-dbms --no-default-features \
+                --features standard,transactions,commit-force,concurrency-multi -e normal) \
+          <(cargo tree -p fame-dbms --no-default-features \
+                --features standard,transactions,commit-force,concurrency-multi-writer -e normal); then
+    echo "FAIL: composing concurrency-multi-writer in changed the crate dependency graph" >&2
     exit 1
 fi
 

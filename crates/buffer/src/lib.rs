@@ -61,4 +61,15 @@ pub enum Concurrency {
         /// [`shared::DEFAULT_SHARDS`].
         shards: usize,
     },
+    /// Everything MultiReader has, plus concurrent *writer* transactions:
+    /// the facade hands out clone-cheap `DbWriter` handles whose
+    /// transactions serialize through a blocking block-lock table and a
+    /// cross-transaction group commit (`fame-txn`'s `multi-writer`
+    /// feature). Same shared pool underneath.
+    #[cfg(feature = "multi-writer")]
+    MultiWriter {
+        /// Page-table shards (power of two); 0 means
+        /// [`shared::DEFAULT_SHARDS`].
+        shards: usize,
+    },
 }

@@ -954,37 +954,43 @@ impl SharedBufferPool {
         Ok(idx)
     }
 
-    /// Write back every dirty frame (no device sync). Within each shard,
-    /// frames go out in page-number order so a batch flush approaches one
-    /// sequential pass over the device.
+    /// Write back every dirty frame (no device sync), in *global*
+    /// page-number order: because the shard of page `p` is `p & mask`,
+    /// consecutive pages live in different shards, so a per-shard pass
+    /// would interleave page ranges at the device. Instead every shard's
+    /// write latch is taken (in shard order — the only code path that ever
+    /// holds more than one), the pool-wide dirty set is collected as one
+    /// consistent snapshot, and a single ascending pass writes it back.
+    /// Holding all latches also serializes concurrent flushes: a second
+    /// flusher blocks at shard 0 and then finds clean frames, rather than
+    /// interleaving its write-backs with ours (MultiWriter products call
+    /// this from several commit paths).
     pub fn flush(&self) -> Result<(), OsError> {
         if let SharedMode::Cached { shards, .. } = &self.inner.mode {
             let ps = self.inner.page_size;
             let mut buf = vec![0u8; ps];
-            for shard in shards {
-                // The write latch excludes frame writers; flushing only
-                // reads bytes and clears dirty flags, no version windows.
-                let s = shard.core.write();
-                let mut dirty: Vec<(PageId, usize)> = (0..s.len)
-                    .filter_map(|idx| {
-                        let fr = shard.arena.get(idx)?;
+            // The write latches exclude frame writers; flushing only reads
+            // bytes and clears dirty flags, no version windows.
+            let guards: Vec<_> = shards.iter().map(|sh| sh.core.write()).collect();
+            let mut dirty: Vec<(PageId, usize, usize)> = Vec::new();
+            for (si, (shard, s)) in shards.iter().zip(&guards).enumerate() {
+                for idx in 0..s.len {
+                    if let Some(fr) = shard.arena.get(idx) {
                         if fr.dirty.load(Relaxed) {
-                            Some((fr.page().expect("dirty frame holds a page"), idx))
-                        } else {
-                            None
+                            dirty.push((fr.page().expect("dirty frame holds a page"), si, idx));
                         }
-                    })
-                    .collect();
-                dirty.sort_unstable();
-                for (page, idx) in dirty {
-                    let fr = shard.arena.get(idx).expect("frame scanned above");
-                    fr.copy_out(&mut buf);
-                    self.inner.device.write().write_page(page, &buf[..ps])?;
-                    fr.dirty.store(false, Relaxed);
-                    self.inner.stats.writebacks.inc();
+                    }
                 }
-                drop(s);
             }
+            dirty.sort_unstable();
+            for (page, si, idx) in dirty {
+                let fr = shards[si].arena.get(idx).expect("frame scanned above");
+                fr.copy_out(&mut buf);
+                self.inner.device.write().write_page(page, &buf[..ps])?;
+                fr.dirty.store(false, Relaxed);
+                self.inner.stats.writebacks.inc();
+            }
+            drop(guards);
         }
         Ok(())
     }

@@ -169,6 +169,12 @@ pub struct DbmsConfig {
     /// Transactions.
     #[cfg(feature = "transactions")]
     pub transactions: Option<TxnConfig>,
+    /// Block-lock wait budget of MultiWriter transactions (milliseconds):
+    /// a waiter that cannot be granted within this window gives up with
+    /// `LockError::Timeout`. Deadlock detection usually fires first; the
+    /// timeout is the liveness backstop.
+    #[cfg(feature = "concurrency-multi-writer")]
+    pub lock_timeout_ms: u64,
     /// Page encryption key.
     #[cfg(feature = "crypto")]
     pub crypto_key: Option<[u8; 16]>,
@@ -199,6 +205,8 @@ impl DbmsConfig {
             concurrency: fame_buffer::Concurrency::default(),
             #[cfg(feature = "transactions")]
             transactions: None,
+            #[cfg(feature = "concurrency-multi-writer")]
+            lock_timeout_ms: 1_000,
             #[cfg(feature = "crypto")]
             crypto_key: None,
             #[cfg(feature = "replication")]
@@ -263,13 +271,44 @@ impl DbmsConfig {
             }
         }
         #[cfg(feature = "concurrency-multi")]
-        if let fame_buffer::Concurrency::MultiReader { shards } = self.concurrency {
+        {
+            let shards = match self.concurrency {
+                fame_buffer::Concurrency::MultiReader { shards } => Some(shards),
+                #[cfg(feature = "concurrency-multi-writer")]
+                fame_buffer::Concurrency::MultiWriter { shards } => Some(shards),
+                #[allow(unreachable_patterns)]
+                _ => None,
+            };
             // 0 means "use the default"; anything else must be a power of
             // two so the page-to-shard map stays a mask.
-            if shards != 0 && !shards.is_power_of_two() {
-                return Err(format!(
-                    "shard count {shards} must be 0 (default) or a power of two"
-                ));
+            if let Some(shards) = shards {
+                if shards != 0 && !shards.is_power_of_two() {
+                    return Err(format!(
+                        "shard count {shards} must be 0 (default) or a power of two"
+                    ));
+                }
+            }
+        }
+        #[cfg(feature = "concurrency-multi-writer")]
+        if matches!(
+            self.concurrency,
+            fame_buffer::Concurrency::MultiWriter { .. }
+        ) {
+            #[cfg(feature = "transactions")]
+            if self.transactions.is_none() {
+                // Mirrors the model constraint `MultiWriter requires
+                // Transaction`: concurrent writers only make sense with
+                // block locks and a WAL to coordinate them.
+                return Err("Concurrency::MultiWriter requires transactions".into());
+            }
+            if self.lock_timeout_ms == 0 {
+                return Err("lock_timeout_ms must be non-zero".into());
+            }
+            #[cfg(feature = "replication")]
+            if self.replication.is_some() {
+                // The primary ships ops in facade order; with concurrent
+                // writer handles there is no such single order yet.
+                return Err("replication is not supported with Concurrency::MultiWriter".into());
             }
         }
         #[cfg(feature = "transactions")]

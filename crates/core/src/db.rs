@@ -4,6 +4,10 @@ use fame_buffer::BufferPool;
 use fame_os::BlockDevice;
 use fame_storage::Pager;
 
+use std::ops::{Deref, DerefMut};
+#[cfg(feature = "concurrency-multi-writer")]
+use std::sync::{Arc, Mutex};
+
 #[cfg(feature = "index-btree")]
 use fame_storage::BTree;
 #[cfg(feature = "index-hash")]
@@ -32,17 +36,452 @@ enum Kv {
     Hash(HashIndex),
 }
 
+/// The storage half of a product: the pager plus the composed primary
+/// index. Single products own it inline inside [`Database`]; MultiWriter
+/// products share one instance behind a mutex so [`DbWriter`] handles can
+/// reach it from other threads.
+struct StorageCore {
+    pager: Pager,
+    kv: Kv,
+}
+
+impl StorageCore {
+    #[cfg(any(feature = "api-put", feature = "api-update", feature = "transactions"))]
+    fn kv_put(&mut self, key: &[u8], value: &[u8]) -> Result<bool> {
+        match &mut self.kv {
+            #[cfg(feature = "index-btree")]
+            Kv::BTree(t) => {
+                #[cfg(feature = "btree-update")]
+                {
+                    Ok(t.insert(&mut self.pager, key, value)?)
+                }
+                #[cfg(not(feature = "btree-update"))]
+                {
+                    let _ = (t, key, value);
+                    Err(DbmsError::FeatureNotCompiled("btree-update"))
+                }
+            }
+            #[cfg(feature = "index-list")]
+            Kv::List(l) => Ok(l.insert(&mut self.pager, key, value)?),
+            #[cfg(feature = "index-hash")]
+            Kv::Hash(h) => Ok(h.insert(&mut self.pager, key, value)?),
+        }
+    }
+
+    fn kv_get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        match &self.kv {
+            #[cfg(feature = "index-btree")]
+            Kv::BTree(t) => Ok(t.get(&mut self.pager, key)?),
+            #[cfg(feature = "index-list")]
+            Kv::List(l) => Ok(l.get(&mut self.pager, key)?),
+            #[cfg(feature = "index-hash")]
+            Kv::Hash(h) => Ok(h.get(&mut self.pager, key)?),
+        }
+    }
+
+    #[cfg(any(feature = "api-remove", feature = "transactions"))]
+    fn kv_remove(&mut self, key: &[u8]) -> Result<bool> {
+        match &mut self.kv {
+            #[cfg(feature = "index-btree")]
+            Kv::BTree(t) => {
+                #[cfg(feature = "btree-remove")]
+                {
+                    Ok(t.remove(&mut self.pager, key)?)
+                }
+                #[cfg(not(feature = "btree-remove"))]
+                {
+                    let _ = (t, key);
+                    Err(DbmsError::FeatureNotCompiled("btree-remove"))
+                }
+            }
+            #[cfg(feature = "index-list")]
+            Kv::List(l) => Ok(l.remove(&mut self.pager, key)?),
+            #[cfg(feature = "index-hash")]
+            Kv::Hash(h) => Ok(h.remove(&mut self.pager, key)?),
+        }
+    }
+
+    /// Bulk dispatch of a normalized `(key, Some(value) | None)` run to
+    /// the composed index (feature `api-batch`). Returns how many keys
+    /// were newly created.
+    #[cfg(feature = "api-batch")]
+    fn kv_apply_bulk(&mut self, ops: Vec<ResolvedOp>) -> Result<usize> {
+        match &mut self.kv {
+            #[cfg(feature = "index-btree")]
+            Kv::BTree(t) => {
+                #[cfg(feature = "btree-update")]
+                {
+                    #[cfg(not(feature = "btree-remove"))]
+                    if ops.iter().any(|(_, v)| v.is_none()) {
+                        return Err(DbmsError::FeatureNotCompiled("btree-remove"));
+                    }
+                    Ok(t.apply_sorted(&mut self.pager, ops)?)
+                }
+                #[cfg(not(feature = "btree-update"))]
+                {
+                    let _ = (t, ops);
+                    Err(DbmsError::FeatureNotCompiled("btree-update"))
+                }
+            }
+            #[cfg(feature = "index-list")]
+            Kv::List(l) => Ok(l.insert_many(&mut self.pager, ops)?),
+            #[cfg(feature = "index-hash")]
+            Kv::Hash(h) => Ok(h.insert_many(&mut self.pager, ops)?),
+        }
+    }
+
+    fn len(&mut self) -> Result<usize> {
+        Ok(match &self.kv {
+            #[cfg(feature = "index-btree")]
+            Kv::BTree(t) => t.len(&mut self.pager)?,
+            #[cfg(feature = "index-list")]
+            Kv::List(l) => l.len(&mut self.pager)?,
+            #[cfg(feature = "index-hash")]
+            Kv::Hash(h) => h.len(&mut self.pager)?,
+        })
+    }
+}
+
+/// Where the storage core lives (*Concurrency* alternative, Fig. 2
+/// extension): owned inline for `Single`/`MultiReader` products — the seed
+/// layout, zero indirection — or behind `Arc<Mutex>` for `MultiWriter` so
+/// clone-cheap [`DbWriter`] handles share it across threads.
+///
+/// One instance per `Database`; boxing `Own` to shrink the enum would put
+/// a pointer chase on every sequential-product operation for no memory win.
+#[allow(clippy::large_enum_variant)]
+enum StorageCell {
+    /// The facade owns storage exclusively (`&mut` everywhere).
+    Own(StorageCore),
+    /// Shared with [`DbWriter`] handles (`Concurrency::MultiWriter`).
+    #[cfg(feature = "concurrency-multi-writer")]
+    Shared(Arc<Mutex<StorageCore>>),
+}
+
+impl StorageCell {
+    /// Mutable access to the core; locks the storage mutex in MultiWriter
+    /// products, a plain reborrow otherwise.
+    fn get(&mut self) -> CoreGuard<'_> {
+        match self {
+            StorageCell::Own(core) => CoreGuard::Own(core),
+            #[cfg(feature = "concurrency-multi-writer")]
+            StorageCell::Shared(arc) => {
+                CoreGuard::Shared(arc.lock().expect("storage mutex poisoned"))
+            }
+        }
+    }
+
+    /// Read access from `&self` receivers (stats, `reader()`).
+    fn peek(&self) -> CorePeek<'_> {
+        match self {
+            StorageCell::Own(core) => CorePeek::Own(core),
+            #[cfg(feature = "concurrency-multi-writer")]
+            StorageCell::Shared(arc) => {
+                CorePeek::Shared(arc.lock().expect("storage mutex poisoned"))
+            }
+        }
+    }
+}
+
+/// Mutable storage-core guard (see [`StorageCell::get`]).
+enum CoreGuard<'a> {
+    Own(&'a mut StorageCore),
+    #[cfg(feature = "concurrency-multi-writer")]
+    Shared(std::sync::MutexGuard<'a, StorageCore>),
+}
+
+impl Deref for CoreGuard<'_> {
+    type Target = StorageCore;
+    fn deref(&self) -> &StorageCore {
+        match self {
+            CoreGuard::Own(c) => c,
+            #[cfg(feature = "concurrency-multi-writer")]
+            CoreGuard::Shared(g) => g,
+        }
+    }
+}
+
+impl DerefMut for CoreGuard<'_> {
+    fn deref_mut(&mut self) -> &mut StorageCore {
+        match self {
+            CoreGuard::Own(c) => c,
+            #[cfg(feature = "concurrency-multi-writer")]
+            CoreGuard::Shared(g) => g,
+        }
+    }
+}
+
+/// Shared storage-core peek (see [`StorageCell::peek`]). In MultiWriter
+/// products this still takes the mutex — `&self` facade methods are rare
+/// (stats, reader setup) and exclusive access keeps snapshots coherent.
+enum CorePeek<'a> {
+    Own(&'a StorageCore),
+    #[cfg(feature = "concurrency-multi-writer")]
+    Shared(std::sync::MutexGuard<'a, StorageCore>),
+}
+
+impl Deref for CorePeek<'_> {
+    type Target = StorageCore;
+    fn deref(&self) -> &StorageCore {
+        match self {
+            CorePeek::Own(c) => c,
+            #[cfg(feature = "concurrency-multi-writer")]
+            CorePeek::Shared(g) => g,
+        }
+    }
+}
+
+/// Which transaction manager the product composed (*Transaction →
+/// Concurrency*): none at runtime, the single-writer manager owned inline
+/// (the seed path), or the shareable blocking-lock + group-commit manager
+/// of MultiWriter products.
+///
+/// One instance per `Database`; see [`StorageCell`] for why `Own` stays
+/// unboxed.
+#[cfg(feature = "transactions")]
+#[allow(clippy::large_enum_variant)]
+enum TxnSlot {
+    /// Transactions not configured at runtime.
+    None,
+    /// Single-writer manager owned inline.
+    Own(fame_txn::TxnManager),
+    /// Block-lock table + cross-writer group commit, shared with
+    /// [`DbWriter`] handles.
+    #[cfg(feature = "concurrency-multi-writer")]
+    Shared(Arc<fame_txn::SharedTxnManager>),
+}
+
+#[cfg(feature = "transactions")]
+impl TxnSlot {
+    fn is_configured(&self) -> bool {
+        !matches!(self, TxnSlot::None)
+    }
+
+    /// The single-writer manager, for paths the shared product reaches
+    /// through [`SharedTxnManager::with_inner`] instead.
+    fn own_mut(&mut self) -> &mut fame_txn::TxnManager {
+        match self {
+            TxnSlot::Own(m) => m,
+            _ => panic!("transactions not configured (caller must check)"),
+        }
+    }
+
+    fn begin(&mut self) -> std::result::Result<fame_txn::TxnId, fame_txn::TxnError> {
+        match self {
+            #[cfg(feature = "concurrency-multi-writer")]
+            TxnSlot::Shared(s) => s.begin(),
+            _ => self.own_mut().begin(),
+        }
+    }
+
+    /// Take the read lock for `key` (blocking block lock in MultiWriter
+    /// products, the no-wait key lock otherwise).
+    fn lock_read(
+        &mut self,
+        txn: fame_txn::TxnId,
+        key: &[u8],
+    ) -> std::result::Result<(), fame_txn::TxnError> {
+        match self {
+            #[cfg(feature = "concurrency-multi-writer")]
+            TxnSlot::Shared(s) => s.lock_read(txn, key),
+            _ => self.own_mut().lock_read(txn, key),
+        }
+    }
+
+    /// Take the exclusive block lock for `key` *before* reading the old
+    /// value. A no-op in single-writer products, whose no-wait lock is
+    /// taken inside `log_*`.
+    fn lock_write(
+        &mut self,
+        txn: fame_txn::TxnId,
+        key: &[u8],
+    ) -> std::result::Result<(), fame_txn::TxnError> {
+        match self {
+            #[cfg(feature = "concurrency-multi-writer")]
+            TxnSlot::Shared(s) => s.lock_write(txn, key),
+            _ => {
+                let _ = (txn, key);
+                Ok(())
+            }
+        }
+    }
+
+    fn log_put(
+        &mut self,
+        txn: fame_txn::TxnId,
+        index: u8,
+        key: &[u8],
+        old: Option<Vec<u8>>,
+        new: &[u8],
+    ) -> std::result::Result<fame_txn::Lsn, fame_txn::TxnError> {
+        match self {
+            #[cfg(feature = "concurrency-multi-writer")]
+            TxnSlot::Shared(s) => s.log_put(txn, index, key, old, new),
+            _ => self.own_mut().log_put(txn, index, key, old, new),
+        }
+    }
+
+    fn log_remove(
+        &mut self,
+        txn: fame_txn::TxnId,
+        index: u8,
+        key: &[u8],
+        old: Vec<u8>,
+    ) -> std::result::Result<fame_txn::Lsn, fame_txn::TxnError> {
+        match self {
+            #[cfg(feature = "concurrency-multi-writer")]
+            TxnSlot::Shared(s) => s.log_remove(txn, index, key, old),
+            _ => self.own_mut().log_remove(txn, index, key, old),
+        }
+    }
+
+    #[cfg(feature = "api-batch")]
+    fn log_batch(
+        &mut self,
+        txn: fame_txn::TxnId,
+        ops: &[fame_txn::BatchWrite],
+    ) -> std::result::Result<fame_txn::Lsn, fame_txn::TxnError> {
+        match self {
+            #[cfg(feature = "concurrency-multi-writer")]
+            TxnSlot::Shared(s) => s.log_batch(txn, ops),
+            _ => self.own_mut().log_batch(txn, ops),
+        }
+    }
+
+    /// Commit; in MultiWriter products this rides the cross-transaction
+    /// group-commit channel and releases the block locks on success.
+    fn commit(&mut self, txn: fame_txn::TxnId) -> std::result::Result<(), fame_txn::TxnError> {
+        match self {
+            #[cfg(feature = "concurrency-multi-writer")]
+            TxnSlot::Shared(s) => s.commit(txn),
+            _ => self.own_mut().commit(txn),
+        }
+    }
+
+    #[cfg(feature = "api-batch")]
+    fn commit_batch(
+        &mut self,
+        txn: fame_txn::TxnId,
+    ) -> std::result::Result<(), fame_txn::TxnError> {
+        match self {
+            // A group-commit drain already counts as one commit toward the
+            // Group quota, which is exactly the batch accounting.
+            #[cfg(feature = "concurrency-multi-writer")]
+            TxnSlot::Shared(s) => s.commit(txn),
+            _ => self.own_mut().commit_batch(txn),
+        }
+    }
+
+    fn abort(
+        &mut self,
+        txn: fame_txn::TxnId,
+    ) -> std::result::Result<Vec<fame_txn::UndoAction>, fame_txn::TxnError> {
+        match self {
+            #[cfg(feature = "concurrency-multi-writer")]
+            TxnSlot::Shared(s) => s.abort(txn),
+            _ => self.own_mut().abort(txn),
+        }
+    }
+
+    /// Drop `txn`'s block locks *after* its undo has been applied to
+    /// storage. No-op in single-writer products (their no-wait locks were
+    /// released inside `abort`).
+    fn release_locks(&mut self, txn: fame_txn::TxnId) {
+        match self {
+            #[cfg(feature = "concurrency-multi-writer")]
+            TxnSlot::Shared(s) => s.release_locks(txn),
+            _ => {
+                let _ = txn;
+            }
+        }
+    }
+
+    fn flush(&mut self) -> std::result::Result<(), fame_txn::TxnError> {
+        match self {
+            TxnSlot::None => Ok(()),
+            TxnSlot::Own(m) => m.flush(),
+            #[cfg(feature = "concurrency-multi-writer")]
+            TxnSlot::Shared(s) => s.flush(),
+        }
+    }
+
+    fn seal_recovery(
+        &mut self,
+        losers: &[fame_txn::TxnId],
+    ) -> std::result::Result<(), fame_txn::TxnError> {
+        match self {
+            TxnSlot::None => Ok(()),
+            TxnSlot::Own(m) => m.seal_recovery(losers),
+            #[cfg(feature = "concurrency-multi-writer")]
+            TxnSlot::Shared(s) => s.with_inner(|m| m.seal_recovery(losers)),
+        }
+    }
+
+    fn stats(&self) -> Option<(u64, u64)> {
+        match self {
+            TxnSlot::None => None,
+            TxnSlot::Own(m) => Some(m.stats()),
+            #[cfg(feature = "concurrency-multi-writer")]
+            TxnSlot::Shared(s) => Some(s.stats()),
+        }
+    }
+
+    fn log_syncs(&self) -> Option<u64> {
+        match self {
+            TxnSlot::None => None,
+            TxnSlot::Own(m) => Some(m.log_syncs()),
+            #[cfg(feature = "concurrency-multi-writer")]
+            TxnSlot::Shared(s) => Some(s.log_syncs()),
+        }
+    }
+
+    fn log_bytes(&self) -> Option<u64> {
+        match self {
+            TxnSlot::None => None,
+            TxnSlot::Own(m) => Some(m.log_bytes()),
+            #[cfg(feature = "concurrency-multi-writer")]
+            TxnSlot::Shared(s) => Some(s.log_bytes()),
+        }
+    }
+
+    #[cfg(feature = "statistics")]
+    fn commit_latency(&self) -> Option<fame_obs::HistogramSnapshot> {
+        match self {
+            TxnSlot::None => None,
+            TxnSlot::Own(m) => Some(m.obs().commit_latency.snapshot()),
+            #[cfg(feature = "concurrency-multi-writer")]
+            TxnSlot::Shared(s) => Some(s.with_inner(|m| m.obs().commit_latency.snapshot())),
+        }
+    }
+
+    /// Block-lock counters of the MultiWriter product.
+    #[cfg(all(feature = "concurrency-multi-writer", feature = "statistics"))]
+    fn lock_stats(&self) -> Option<LockStats> {
+        match self {
+            TxnSlot::Shared(s) => {
+                let obs = s.lock_table().obs();
+                Some(LockStats {
+                    waits: obs.waits.get(),
+                    wait_time: obs.wait_time.snapshot(),
+                    deadlock_aborts: obs.deadlock_aborts.get(),
+                    timeout_aborts: obs.timeout_aborts.get(),
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
 /// A running FAME-DBMS instance.
 ///
 /// The API surface follows the feature diagram: `put`/`get`/`remove`/
 /// `update` exist only when the corresponding `api-*` cargo feature is
 /// composed; SQL, transactions, replication, and the queue likewise.
 pub struct Database {
-    pager: Pager,
-    kv: Kv,
+    storage: StorageCell,
     config: DbmsConfig,
     #[cfg(feature = "transactions")]
-    txn: Option<fame_txn::TxnManager>,
+    txn: TxnSlot,
     #[cfg(feature = "transactions")]
     txn_pending_ship: std::collections::BTreeMap<fame_txn::TxnId, Vec<ShipOpBuf>>,
     #[cfg(feature = "transactions")]
@@ -178,9 +617,41 @@ impl Database {
 
         #[cfg(feature = "statistics")]
         let trace = fame_obs::TraceRing::new(config.stats.trace_capacity);
+
+        // MultiWriter products wrap storage and the transaction manager in
+        // their shareable forms *before* recovery: recovery then runs
+        // through the same cells (single-threaded at open, so the mutexes
+        // are uncontended) and `writer()` can clone out handles afterwards.
+        #[cfg(feature = "concurrency-multi-writer")]
+        let multi_writer = matches!(
+            config.concurrency,
+            fame_buffer::Concurrency::MultiWriter { .. }
+        );
+        let core = StorageCore { pager, kv };
+        #[cfg(feature = "concurrency-multi-writer")]
+        let storage = if multi_writer {
+            StorageCell::Shared(Arc::new(Mutex::new(core)))
+        } else {
+            StorageCell::Own(core)
+        };
+        #[cfg(not(feature = "concurrency-multi-writer"))]
+        let storage = StorageCell::Own(core);
+
+        #[cfg(feature = "transactions")]
+        let txn = match txn {
+            #[cfg(feature = "concurrency-multi-writer")]
+            Some(mgr) if multi_writer => {
+                TxnSlot::Shared(Arc::new(fame_txn::SharedTxnManager::new(
+                    mgr,
+                    std::time::Duration::from_millis(config.lock_timeout_ms),
+                )))
+            }
+            Some(mgr) => TxnSlot::Own(mgr),
+            None => TxnSlot::None,
+        };
+
         let mut db = Database {
-            pager,
-            kv,
+            storage,
             config,
             #[cfg(feature = "transactions")]
             txn,
@@ -222,10 +693,8 @@ impl Database {
     /// uncommitted effects recovery can no longer undo.
     pub fn sync(&mut self) -> Result<()> {
         #[cfg(feature = "transactions")]
-        if let Some(t) = &mut self.txn {
-            t.flush()?;
-        }
-        self.pager.sync()?;
+        self.txn.flush()?;
+        self.storage.get().pager.sync()?;
         #[cfg(feature = "statistics")]
         self.trace.record(fame_obs::OpKind::Sync, 0, 0);
         Ok(())
@@ -235,7 +704,7 @@ impl Database {
     /// invariant (meta page, free list, index structures). The crash-torture
     /// harness runs this after every simulated crash + recovery.
     pub fn verify_integrity(&mut self) -> Result<fame_storage::IntegrityReport> {
-        let report = fame_storage::check_pager(&mut self.pager)?;
+        let report = fame_storage::check_pager(&mut self.storage.get().pager)?;
         #[cfg(feature = "statistics")]
         {
             self.last_integrity = Some(IntegritySummary {
@@ -259,12 +728,13 @@ impl Database {
     /// then owns an exclusive pool with no latches to share.
     #[cfg(feature = "concurrency-multi")]
     pub fn reader(&self) -> Result<DbReader> {
-        let pager = self.pager.shared().ok_or_else(|| {
+        let core = self.storage.peek();
+        let pager = core.pager.shared().ok_or_else(|| {
             DbmsError::Config(
                 "reader() needs Concurrency::MultiReader in the runtime configuration".into(),
             )
         })?;
-        let kv = match &self.kv {
+        let kv = match &core.kv {
             #[cfg(feature = "index-btree")]
             Kv::BTree(_) => ReaderKv::BTree {
                 root_slot: KV_ROOT_SLOT,
@@ -277,14 +747,47 @@ impl Database {
         Ok(DbReader { pager, kv })
     }
 
+    /// A concurrent write handle (feature `concurrency-multi-writer`).
+    ///
+    /// The handle clones cheaply (two `Arc` bumps) and is `Send` — spawn
+    /// one clone per writer thread. Each handle runs full transactions
+    /// (`begin`/`put`/`get`/`remove`/`commit`/`abort`): conflicting key
+    /// accesses serialize through the blocking S/X block-lock table
+    /// (deadlock victims abort, waits time out), and every commit rides
+    /// the cross-transaction group channel — concurrent committers share
+    /// one coalesced WAL append and one protocol sync per drain.
+    ///
+    /// Errors unless this instance runs `Concurrency::MultiWriter` with
+    /// transactions configured.
+    #[cfg(feature = "concurrency-multi-writer")]
+    pub fn writer(&self) -> Result<DbWriter> {
+        let storage = match &self.storage {
+            StorageCell::Shared(arc) => Arc::clone(arc),
+            StorageCell::Own(_) => {
+                return Err(DbmsError::Config(
+                    "writer() needs Concurrency::MultiWriter in the runtime configuration".into(),
+                ))
+            }
+        };
+        let txn = match &self.txn {
+            TxnSlot::Shared(s) => Arc::clone(s),
+            _ => {
+                return Err(DbmsError::Config(
+                    "writer() needs transactions configured alongside MultiWriter".into(),
+                ))
+            }
+        };
+        Ok(DbWriter { storage, txn })
+    }
+
     /// Pager / buffer-pool statistics.
     pub fn pool_stats(&self) -> fame_buffer::PoolStats {
-        self.pager.pool().stats()
+        self.storage.peek().pager.pool().stats()
     }
 
     /// Device statistics of the data device.
     pub fn device_stats(&self) -> fame_os::DeviceStats {
-        self.pager.pool().device_stats()
+        self.storage.peek().pager.pool().device_stats()
     }
 
     // ---- raw byte-string API (Fig. 2: Access -> API, or-group) ----------
@@ -312,13 +815,15 @@ impl Database {
     /// [`get`](Self::get) is the `to_vec` wrapper over this.
     #[cfg(feature = "api-get")]
     pub fn get_with<R>(&mut self, key: &[u8], f: impl FnOnce(&[u8]) -> R) -> Result<Option<R>> {
-        let found = match &self.kv {
+        let mut core = self.storage.get();
+        let core = &mut *core;
+        let found = match &core.kv {
             #[cfg(feature = "index-btree")]
-            Kv::BTree(t) => t.get_with(&mut self.pager, key, f)?,
+            Kv::BTree(t) => t.get_with(&mut core.pager, key, f)?,
             #[cfg(feature = "index-list")]
-            Kv::List(l) => l.get_with(&mut self.pager, key, f)?,
+            Kv::List(l) => l.get_with(&mut core.pager, key, f)?,
             #[cfg(feature = "index-hash")]
-            Kv::Hash(h) => h.get_with(&mut self.pager, key, f)?,
+            Kv::Hash(h) => h.get_with(&mut core.pager, key, f)?,
         };
         #[cfg(feature = "statistics")]
         self.trace.record(
@@ -391,7 +896,7 @@ impl Database {
         let ship = resolved.clone();
         #[cfg(feature = "transactions")]
         {
-            if self.txn.is_some() {
+            if self.txn.is_configured() {
                 self.apply_batch_txn(&resolved)?;
             } else {
                 self.kv_apply_bulk(resolved)?;
@@ -510,18 +1015,17 @@ impl Database {
         if writes.is_empty() {
             return Ok(());
         }
-        let mgr = self.txn.as_mut().expect("caller checked");
-        let txn_id = mgr.begin()?;
-        if let Err(e) = mgr.log_batch(txn_id, &writes) {
+        let txn_id = self.txn.begin()?;
+        if let Err(e) = self.txn.log_batch(txn_id, &writes) {
             // Nothing was logged (locks are taken before the append);
             // release whatever locks the conflicting acquisition left.
-            let _ = mgr.abort(txn_id);
+            let _ = self.txn.abort(txn_id);
+            self.txn.release_locks(txn_id);
             return Err(e.into());
         }
         if let Err(e) = self.kv_apply_bulk(apply) {
             // Roll the index back so a partial bulk apply is not visible.
-            let mgr = self.txn.as_mut().expect("caller checked");
-            if let Ok(undo) = mgr.abort(txn_id) {
+            if let Ok(undo) = self.txn.abort(txn_id) {
                 for action in undo {
                     match action.restore {
                         Some(old) => {
@@ -533,23 +1037,16 @@ impl Database {
                     }
                 }
             }
+            self.txn.release_locks(txn_id);
             return Err(e);
         }
-        let mgr = self.txn.as_mut().expect("caller checked");
-        mgr.commit_batch(txn_id)?;
+        self.txn.commit_batch(txn_id)?;
         Ok(())
     }
 
     /// Number of live keys.
     pub fn len(&mut self) -> Result<usize> {
-        Ok(match &self.kv {
-            #[cfg(feature = "index-btree")]
-            Kv::BTree(t) => t.len(&mut self.pager)?,
-            #[cfg(feature = "index-list")]
-            Kv::List(l) => l.len(&mut self.pager)?,
-            #[cfg(feature = "index-hash")]
-            Kv::Hash(h) => h.len(&mut self.pager)?,
-        })
+        self.storage.get().len()
     }
 
     /// `true` when no keys exist.
@@ -565,8 +1062,10 @@ impl Database {
         start: Option<&[u8]>,
         end: Option<&[u8]>,
     ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        match &self.kv {
-            Kv::BTree(t) => Ok(t.scan(&mut self.pager, start, end)?),
+        let mut core = self.storage.get();
+        let core = &mut *core;
+        match &core.kv {
+            Kv::BTree(t) => Ok(t.scan(&mut core.pager, start, end)?),
             #[allow(unreachable_patterns)]
             _ => Err(DbmsError::Config(
                 "range scans need the B+-tree index".into(),
@@ -574,90 +1073,25 @@ impl Database {
         }
     }
 
-    // ---- internal index dispatch ---------------------------------------
+    // ---- internal index dispatch (delegates to [`StorageCore`]) ---------
 
     #[cfg(any(feature = "api-put", feature = "api-update", feature = "transactions"))]
     fn kv_put(&mut self, key: &[u8], value: &[u8]) -> Result<bool> {
-        match &mut self.kv {
-            #[cfg(feature = "index-btree")]
-            Kv::BTree(t) => {
-                #[cfg(feature = "btree-update")]
-                {
-                    Ok(t.insert(&mut self.pager, key, value)?)
-                }
-                #[cfg(not(feature = "btree-update"))]
-                {
-                    let _ = (t, key, value);
-                    Err(DbmsError::FeatureNotCompiled("btree-update"))
-                }
-            }
-            #[cfg(feature = "index-list")]
-            Kv::List(l) => Ok(l.insert(&mut self.pager, key, value)?),
-            #[cfg(feature = "index-hash")]
-            Kv::Hash(h) => Ok(h.insert(&mut self.pager, key, value)?),
-        }
+        self.storage.get().kv_put(key, value)
     }
 
     fn kv_get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        match &self.kv {
-            #[cfg(feature = "index-btree")]
-            Kv::BTree(t) => Ok(t.get(&mut self.pager, key)?),
-            #[cfg(feature = "index-list")]
-            Kv::List(l) => Ok(l.get(&mut self.pager, key)?),
-            #[cfg(feature = "index-hash")]
-            Kv::Hash(h) => Ok(h.get(&mut self.pager, key)?),
-        }
+        self.storage.get().kv_get(key)
     }
 
     #[cfg(any(feature = "api-remove", feature = "transactions"))]
     fn kv_remove(&mut self, key: &[u8]) -> Result<bool> {
-        match &mut self.kv {
-            #[cfg(feature = "index-btree")]
-            Kv::BTree(t) => {
-                #[cfg(feature = "btree-remove")]
-                {
-                    Ok(t.remove(&mut self.pager, key)?)
-                }
-                #[cfg(not(feature = "btree-remove"))]
-                {
-                    let _ = (t, key);
-                    Err(DbmsError::FeatureNotCompiled("btree-remove"))
-                }
-            }
-            #[cfg(feature = "index-list")]
-            Kv::List(l) => Ok(l.remove(&mut self.pager, key)?),
-            #[cfg(feature = "index-hash")]
-            Kv::Hash(h) => Ok(h.remove(&mut self.pager, key)?),
-        }
+        self.storage.get().kv_remove(key)
     }
 
-    /// Bulk dispatch of a normalized `(key, Some(value) | None)` run to
-    /// the composed index (feature `api-batch`). Returns how many keys
-    /// were newly created.
     #[cfg(feature = "api-batch")]
     fn kv_apply_bulk(&mut self, ops: Vec<ResolvedOp>) -> Result<usize> {
-        match &mut self.kv {
-            #[cfg(feature = "index-btree")]
-            Kv::BTree(t) => {
-                #[cfg(feature = "btree-update")]
-                {
-                    #[cfg(not(feature = "btree-remove"))]
-                    if ops.iter().any(|(_, v)| v.is_none()) {
-                        return Err(DbmsError::FeatureNotCompiled("btree-remove"));
-                    }
-                    Ok(t.apply_sorted(&mut self.pager, ops)?)
-                }
-                #[cfg(not(feature = "btree-update"))]
-                {
-                    let _ = (t, ops);
-                    Err(DbmsError::FeatureNotCompiled("btree-update"))
-                }
-            }
-            #[cfg(feature = "index-list")]
-            Kv::List(l) => Ok(l.insert_many(&mut self.pager, ops)?),
-            #[cfg(feature = "index-hash")]
-            Kv::Hash(h) => Ok(h.insert_many(&mut self.pager, ops)?),
-        }
+        self.storage.get().kv_apply_bulk(ops)
     }
 
     // ---- statistics (Berkeley DB STATISTICS, §2.2) ------------------------
@@ -670,26 +1104,31 @@ impl Database {
     /// monotonically non-decreasing and never torn.
     #[cfg(feature = "statistics")]
     pub fn stats(&mut self) -> Result<StatsSnapshot> {
-        let keys = self.len()?;
-        let pool = self.pool_stats();
-        let device = self.device_stats();
-        let frames = self.pager.pool().frame_count();
-        let page_size = self.pager.page_size();
+        let mut core = self.storage.get();
+        let keys = core.len()?;
+        let pool = core.pager.pool().stats();
+        let device = core.pager.pool().device_stats();
+        let frames = core.pager.pool().frame_count();
+        let page_size = core.pager.page_size();
+        let index = match &core.kv {
+            #[cfg(feature = "index-btree")]
+            Kv::BTree(_) => "B+-Tree",
+            #[cfg(feature = "index-list")]
+            Kv::List(_) => "List",
+            #[cfg(feature = "index-hash")]
+            Kv::Hash(_) => "Hash",
+        };
+        let allocated_pages = core.pager.allocated_pages()?;
+        let pager_ops = core.pager.ops();
+        drop(core);
         Ok(StatsSnapshot {
             keys,
-            index: match &self.kv {
-                #[cfg(feature = "index-btree")]
-                Kv::BTree(_) => "B+-Tree",
-                #[cfg(feature = "index-list")]
-                Kv::List(_) => "List",
-                #[cfg(feature = "index-hash")]
-                Kv::Hash(_) => "Hash",
-            },
-            allocated_pages: self.pager.allocated_pages()?,
+            index,
+            allocated_pages,
             page_size,
             pool,
             device,
-            pager_ops: self.pager.ops(),
+            pager_ops,
             io: self.io.snapshot(),
             frames,
             frame_bytes: frames * page_size,
@@ -702,13 +1141,15 @@ impl Database {
             #[cfg(feature = "api-batch")]
             batch_latency: self.batch_obs.latency.snapshot(),
             #[cfg(feature = "transactions")]
-            txn: self.txn.as_ref().map(|t| t.stats()),
+            txn: self.txn.stats(),
             #[cfg(feature = "transactions")]
-            log_syncs: self.txn.as_ref().map(|t| t.log_syncs()),
+            log_syncs: self.txn.log_syncs(),
             #[cfg(feature = "transactions")]
-            log_bytes: self.txn.as_ref().map(|t| t.log_bytes()),
+            log_bytes: self.txn.log_bytes(),
             #[cfg(feature = "transactions")]
-            commit_latency: self.txn.as_ref().map(|t| t.obs().commit_latency.snapshot()),
+            commit_latency: self.txn.commit_latency(),
+            #[cfg(feature = "concurrency-multi-writer")]
+            locks: self.txn.lock_stats(),
             #[cfg(feature = "transactions")]
             recovery_redo: self.last_recovery.as_ref().map_or(0, |r| r.redo_applied),
             #[cfg(feature = "transactions")]
@@ -732,9 +1173,10 @@ impl Database {
     /// Create or open the fixed-record queue (feature `index-queue`).
     #[cfg(feature = "index-queue")]
     pub fn queue(&mut self, record_len: usize) -> Result<QueueHandle<'_>> {
-        let q = match self.pager.root(QUEUE_ROOT_SLOT)? {
-            Some(_) => fame_storage::Queue::open(&mut self.pager, QUEUE_ROOT_SLOT)?,
-            None => fame_storage::Queue::create(&mut self.pager, QUEUE_ROOT_SLOT, record_len)?,
+        let mut core = self.storage.get();
+        let q = match core.pager.root(QUEUE_ROOT_SLOT)? {
+            Some(_) => fame_storage::Queue::open(&mut core.pager, QUEUE_ROOT_SLOT)?,
+            None => fame_storage::Queue::create(&mut core.pager, QUEUE_ROOT_SLOT, record_len)?,
         };
         if q.record_len() != record_len {
             return Err(DbmsError::Config(format!(
@@ -743,10 +1185,7 @@ impl Database {
                 record_len
             )));
         }
-        Ok(QueueHandle {
-            queue: q,
-            pager: &mut self.pager,
-        })
+        Ok(QueueHandle { queue: q, core })
     }
 
     // ---- SQL (Fig. 2: Access -> SQL Engine) ------------------------------
@@ -754,11 +1193,13 @@ impl Database {
     /// Execute a SQL statement (feature `sql`).
     #[cfg(feature = "sql")]
     pub fn sql(&mut self, statement: &str) -> Result<fame_query::QueryOutput> {
+        let mut core = self.storage.get();
         if self.sql.is_none() {
-            self.sql = Some(fame_query::SqlEngine::open_default(&mut self.pager)?);
+            self.sql = Some(fame_query::SqlEngine::open_default(&mut core.pager)?);
         }
         let engine = self.sql.as_mut().expect("just initialized");
-        let out = engine.execute(&mut self.pager, statement)?;
+        let out = engine.execute(&mut core.pager, statement)?;
+        drop(core);
         #[cfg(feature = "statistics")]
         self.trace
             .record(fame_obs::OpKind::Query, statement.len() as u64, 0);
@@ -777,23 +1218,27 @@ impl Database {
     /// Begin a transaction (feature `transactions`).
     #[cfg(feature = "transactions")]
     pub fn begin(&mut self) -> Result<TxnHandle> {
-        let mgr = self
-            .txn
-            .as_mut()
-            .ok_or_else(|| DbmsError::Config("transactions not enabled in config".into()))?;
-        let id = mgr.begin()?;
+        if !self.txn.is_configured() {
+            return Err(DbmsError::Config(
+                "transactions not enabled in config".into(),
+            ));
+        }
+        let id = self.txn.begin()?;
         self.txn_pending_ship.insert(id, Vec::new());
         #[cfg(feature = "statistics")]
         self.trace.record(fame_obs::OpKind::TxnBegin, id, 0);
         Ok(TxnHandle { id })
     }
 
-    /// Transactional put: WAL + lock first, then apply.
+    /// Transactional put: WAL + lock first, then apply. In MultiWriter
+    /// products the exclusive block lock is taken up front (blocking),
+    /// which is what makes the read-log-apply sequence atomic against
+    /// concurrent [`DbWriter`] transactions.
     #[cfg(all(feature = "transactions", feature = "api-put"))]
     pub fn txn_put(&mut self, txn: TxnHandle, key: &[u8], value: &[u8]) -> Result<()> {
+        self.txn.lock_write(txn.id, key)?;
         let old = self.kv_get(key)?;
-        let mgr = self.txn.as_mut().expect("begin() checked config");
-        mgr.log_put(txn.id, 0, key, old, value)?;
+        self.txn.log_put(txn.id, 0, key, old, value)?;
         self.kv_put(key, value)?;
         if let Some(pending) = self.txn_pending_ship.get_mut(&txn.id) {
             pending.push((key.to_vec(), Some(value.to_vec())));
@@ -804,20 +1249,19 @@ impl Database {
     /// Transactional get (takes a read lock).
     #[cfg(all(feature = "transactions", feature = "api-get"))]
     pub fn txn_get(&mut self, txn: TxnHandle, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        let mgr = self.txn.as_mut().expect("begin() checked config");
-        mgr.lock_read(txn.id, key)?;
+        self.txn.lock_read(txn.id, key)?;
         self.kv_get(key)
     }
 
     /// Transactional remove.
     #[cfg(all(feature = "transactions", feature = "api-remove"))]
     pub fn txn_remove(&mut self, txn: TxnHandle, key: &[u8]) -> Result<bool> {
+        self.txn.lock_write(txn.id, key)?;
         let old = self.kv_get(key)?;
         let Some(old) = old else {
             return Ok(false);
         };
-        let mgr = self.txn.as_mut().expect("begin() checked config");
-        mgr.log_remove(txn.id, 0, key, old)?;
+        self.txn.log_remove(txn.id, 0, key, old)?;
         self.kv_remove(key)?;
         if let Some(pending) = self.txn_pending_ship.get_mut(&txn.id) {
             pending.push((key.to_vec(), None));
@@ -826,11 +1270,11 @@ impl Database {
     }
 
     /// Commit (durability per the composed commit protocol); ships the
-    /// transaction's effects to replicas.
+    /// transaction's effects to replicas. MultiWriter products commit
+    /// through the cross-transaction group channel.
     #[cfg(feature = "transactions")]
     pub fn commit(&mut self, txn: TxnHandle) -> Result<()> {
-        let mgr = self.txn.as_mut().expect("begin() checked config");
-        mgr.commit(txn.id)?;
+        self.txn.commit(txn.id)?;
         let pending = self.txn_pending_ship.remove(&txn.id).unwrap_or_default();
         #[cfg(feature = "replication")]
         for (key, op) in pending {
@@ -846,21 +1290,27 @@ impl Database {
         Ok(())
     }
 
-    /// Abort: applies compensating actions to the index.
+    /// Abort: applies compensating actions to the index. In MultiWriter
+    /// products the block locks are released only *after* the undo is
+    /// applied, so no concurrent writer observes the un-undone value.
     #[cfg(feature = "transactions")]
     pub fn abort(&mut self, txn: TxnHandle) -> Result<()> {
-        let mgr = self.txn.as_mut().expect("begin() checked config");
-        let undo = mgr.abort(txn.id)?;
+        let undo = self.txn.abort(txn.id)?;
         self.txn_pending_ship.remove(&txn.id);
+        let mut first_err = None;
         for action in undo {
-            match action.restore {
-                Some(old) => {
-                    self.kv_put(&action.key, &old)?;
-                }
-                None => {
-                    self.kv_remove(&action.key)?;
-                }
+            let applied = match action.restore {
+                Some(old) => self.kv_put(&action.key, &old).map(|_| ()),
+                None => self.kv_remove(&action.key).map(|_| ()),
+            };
+            if let Err(e) = applied {
+                first_err = Some(e);
+                break;
             }
+        }
+        self.txn.release_locks(txn.id);
+        if let Some(e) = first_err {
+            return Err(e);
         }
         #[cfg(feature = "statistics")]
         self.trace.record(fame_obs::OpKind::TxnAbort, txn.id, 0);
@@ -870,13 +1320,13 @@ impl Database {
     /// Transaction statistics `(committed, aborted)`.
     #[cfg(feature = "transactions")]
     pub fn txn_stats(&self) -> Option<(u64, u64)> {
-        self.txn.as_ref().map(|t| t.stats())
+        self.txn.stats()
     }
 
     /// Log-device sync count (commit-protocol comparison metric).
     #[cfg(feature = "transactions")]
     pub fn log_syncs(&self) -> Option<u64> {
-        self.txn.as_ref().map(|t| t.log_syncs())
+        self.txn.log_syncs()
     }
 
     /// Replay captured WAL records against the store (run at open).
@@ -889,26 +1339,28 @@ impl Database {
         if records.is_empty() {
             return Ok(());
         }
-        let mut target = RecoverInto {
-            db: self,
-            error: None,
+        let stats = {
+            let mut core = self.storage.get();
+            let mut target = RecoverInto {
+                core: &mut core,
+                error: None,
+            };
+            let stats = fame_txn::recover_records(records, resume, &mut target);
+            if let Some(e) = target.error {
+                return Err(e);
+            }
+            // Seal the recovery: force the replayed pages to disk, then
+            // append terminal Aborts for the losers plus a checkpoint so
+            // the *next* open replays nothing. Without this, every reopen
+            // redoes winners and re-undoes losers — on a log that only
+            // grows, recovery time grows without bound.
+            core.pager.sync()?;
+            stats
         };
-        let stats = fame_txn::recover_records(records, resume, &mut target);
-        if let Some(e) = target.error {
-            return Err(e);
-        }
-        // Seal the recovery: force the replayed pages to disk, then append
-        // terminal Aborts for the losers plus a checkpoint so the *next*
-        // open replays nothing. Without this, every reopen redoes winners
-        // and re-undoes losers — on a log that only grows, recovery time
-        // grows without bound.
-        self.pager.sync()?;
         let sealed = matches!(records.last(), Some((_, fame_txn::LogRecord::Checkpoint)))
             && stats.losers.is_empty();
         if !sealed {
-            if let Some(t) = &mut self.txn {
-                t.seal_recovery(&stats.losers)?;
-            }
+            self.txn.seal_recovery(&stats.losers)?;
         }
         #[cfg(feature = "statistics")]
         self.trace.record(
@@ -952,9 +1404,11 @@ impl Database {
     /// (B+-tree index only — the digest needs a deterministic order).
     #[cfg(all(feature = "replication", feature = "index-btree"))]
     pub fn state_digest(&mut self) -> Result<u64> {
-        match &self.kv {
+        let mut core = self.storage.get();
+        let core = &mut *core;
+        match &core.kv {
             Kv::BTree(t) => {
-                let entries = t.scan(&mut self.pager, None, None)?;
+                let entries = t.scan(&mut core.pager, None, None)?;
                 Ok(fame_repl::digest_of(
                     entries
                         .iter()
@@ -1056,6 +1510,9 @@ pub struct StatsSnapshot {
     /// Commit-latency histogram of successful commits.
     #[cfg(feature = "transactions")]
     pub commit_latency: Option<fame_obs::HistogramSnapshot>,
+    /// Block-lock counters, when the instance runs MultiWriter.
+    #[cfg(feature = "concurrency-multi-writer")]
+    pub locks: Option<LockStats>,
     /// Redo operations applied by recovery at open (0 = clean open).
     #[cfg(feature = "transactions")]
     pub recovery_redo: usize,
@@ -1153,6 +1610,17 @@ impl StatsSnapshot {
             put("recovery.redo", self.recovery_redo as u64);
             put("recovery.undo", self.recovery_undo as u64);
         }
+        #[cfg(feature = "concurrency-multi-writer")]
+        if let Some(l) = &self.locks {
+            put("lock.waits", l.waits);
+            put("lock.wait.count", l.wait_time.count);
+            put("lock.wait.mean_ns", l.wait_time.mean_ns());
+            put("lock.wait.p50_ns", l.wait_time.percentile_ns(50));
+            put("lock.wait.p99_ns", l.wait_time.percentile_ns(99));
+            put("lock.wait.max_ns", l.wait_time.max_ns);
+            put("lock.deadlock_aborts", l.deadlock_aborts);
+            put("lock.timeout_aborts", l.timeout_aborts);
+        }
         #[cfg(feature = "sql")]
         if let Some(q) = &self.query {
             put("query.rows_scanned", q.rows_scanned);
@@ -1241,6 +1709,14 @@ impl std::fmt::Display for StatsSnapshot {
                     self.recovery_redo, self.recovery_undo
                 )?;
             }
+        }
+        #[cfg(feature = "concurrency-multi-writer")]
+        if let Some(l) = &self.locks {
+            write!(
+                f,
+                "\nlocks:            {} waits ({} deadlock aborts, {} timeouts), wait time {}",
+                l.waits, l.deadlock_aborts, l.timeout_aborts, l.wait_time
+            )?;
         }
         #[cfg(feature = "sql")]
         if let Some(q) = &self.query {
@@ -1424,50 +1900,175 @@ impl DbReader {
     }
 }
 
-/// Borrowed handle to the queue access method.
+/// A concurrent transactional write handle obtained from
+/// [`Database::writer`] (feature `concurrency-multi-writer`).
+///
+/// Clones share the same storage core and transaction manager; one clone
+/// per thread is the intended pattern. Every data access first takes the
+/// key's block lock (S for reads, X for writes) from the blocking lock
+/// table — transactions touching disjoint key ranges proceed in parallel,
+/// conflicting ones wait in FIFO order, and cycles abort the youngest
+/// transaction with [`fame_txn::LockError::Deadlock`]. Commits funnel
+/// through the cross-transaction group channel: one WAL append and one
+/// protocol sync cover every transaction in a drain.
+///
+/// Lock order (deadlock-free by construction): block-lock table, then the
+/// storage mutex, then the manager mutex — never the reverse.
+#[cfg(feature = "concurrency-multi-writer")]
+#[derive(Clone)]
+pub struct DbWriter {
+    storage: Arc<Mutex<StorageCore>>,
+    txn: Arc<fame_txn::SharedTxnManager>,
+}
+
+#[cfg(feature = "concurrency-multi-writer")]
+impl DbWriter {
+    fn storage(&self) -> std::sync::MutexGuard<'_, StorageCore> {
+        self.storage.lock().expect("storage mutex poisoned")
+    }
+
+    /// Start a transaction.
+    pub fn begin(&self) -> Result<TxnHandle> {
+        Ok(TxnHandle {
+            id: self.txn.begin()?,
+        })
+    }
+
+    /// Transactional put: block lock, WAL, then apply.
+    #[cfg(feature = "api-put")]
+    pub fn put(&self, txn: TxnHandle, key: &[u8], value: &[u8]) -> Result<()> {
+        self.txn.lock_write(txn.id, key)?;
+        let mut core = self.storage();
+        let old = core.kv_get(key)?;
+        self.txn.log_put(txn.id, 0, key, old, value)?;
+        core.kv_put(key, value)?;
+        Ok(())
+    }
+
+    /// Transactional get (takes the shared block lock).
+    #[cfg(feature = "api-get")]
+    pub fn get(&self, txn: TxnHandle, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.txn.lock_read(txn.id, key)?;
+        self.storage().kv_get(key)
+    }
+
+    /// Transactional remove; `false` if the key was absent.
+    #[cfg(feature = "api-remove")]
+    pub fn remove(&self, txn: TxnHandle, key: &[u8]) -> Result<bool> {
+        self.txn.lock_write(txn.id, key)?;
+        let mut core = self.storage();
+        let Some(old) = core.kv_get(key)? else {
+            return Ok(false);
+        };
+        self.txn.log_remove(txn.id, 0, key, old)?;
+        core.kv_remove(key)?;
+        Ok(true)
+    }
+
+    /// Commit through the group channel. On success the transaction's
+    /// block locks are released; on failure it stays active with locks
+    /// held, so the caller can retry the commit or abort.
+    pub fn commit(&self, txn: TxnHandle) -> Result<()> {
+        Ok(self.txn.commit(txn.id)?)
+    }
+
+    /// Abort: applies the undo under the storage mutex, then releases the
+    /// block locks (never the other way round — a waiter granted early
+    /// would read the un-undone value).
+    pub fn abort(&self, txn: TxnHandle) -> Result<()> {
+        let undo = self.txn.abort(txn.id)?;
+        let mut core = self.storage();
+        let mut first_err = None;
+        for action in undo {
+            let applied = match action.restore {
+                Some(old) => core.kv_put(&action.key, &old).map(|_| ()),
+                None => core.kv_remove(&action.key).map(|_| ()),
+            };
+            if let Err(e) = applied {
+                first_err = Some(e);
+                break;
+            }
+        }
+        drop(core);
+        self.txn.release_locks(txn.id);
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// `(committed, aborted)` counters of the shared manager.
+    pub fn txn_stats(&self) -> (u64, u64) {
+        self.txn.stats()
+    }
+
+    /// Log-device sync count (group-commit comparison metric).
+    pub fn log_syncs(&self) -> u64 {
+        self.txn.log_syncs()
+    }
+}
+
+/// Block-lock counters of a MultiWriter product (feature `statistics`):
+/// how often writers park, for how long, and why transactions died.
+#[cfg(all(feature = "concurrency-multi-writer", feature = "statistics"))]
+#[derive(Debug, Clone)]
+pub struct LockStats {
+    /// Acquisitions that had to park (at least one condvar wait).
+    pub waits: u64,
+    /// Time spent parked, per blocking acquisition.
+    pub wait_time: fame_obs::HistogramSnapshot,
+    /// Transactions aborted as deadlock victims.
+    pub deadlock_aborts: u64,
+    /// Acquisitions that gave up on timeout.
+    pub timeout_aborts: u64,
+}
+
+/// Borrowed handle to the queue access method. Holds the storage guard
+/// for its lifetime, so in MultiWriter products concurrent writers block
+/// until the handle is dropped.
 #[cfg(feature = "index-queue")]
 pub struct QueueHandle<'a> {
     queue: fame_storage::Queue,
-    pager: &'a mut Pager,
+    core: CoreGuard<'a>,
 }
 
 #[cfg(feature = "index-queue")]
 impl QueueHandle<'_> {
     /// Append a record; returns its record number.
     pub fn push(&mut self, record: &[u8]) -> Result<u64> {
-        Ok(self.queue.push(self.pager, record)?)
+        Ok(self.queue.push(&mut self.core.pager, record)?)
     }
 
     /// Remove and return the oldest record.
     pub fn pop(&mut self) -> Result<Option<Vec<u8>>> {
-        Ok(self.queue.pop(self.pager)?)
+        Ok(self.queue.pop(&mut self.core.pager)?)
     }
 
     /// Read the oldest record without consuming it.
     pub fn peek(&mut self) -> Result<Option<Vec<u8>>> {
-        Ok(self.queue.peek(self.pager)?)
+        Ok(self.queue.peek(&mut self.core.pager)?)
     }
 
     /// Random access by record number.
     pub fn get(&mut self, recno: u64) -> Result<Option<Vec<u8>>> {
-        Ok(self.queue.get(self.pager, recno)?)
+        Ok(self.queue.get(&mut self.core.pager, recno)?)
     }
 
     /// Live records.
     pub fn len(&mut self) -> Result<u64> {
-        Ok(self.queue.len(self.pager)?)
+        Ok(self.queue.len(&mut self.core.pager)?)
     }
 
     /// `true` when empty.
     pub fn is_empty(&mut self) -> Result<bool> {
-        Ok(self.queue.is_empty(self.pager)?)
+        Ok(self.queue.is_empty(&mut self.core.pager)?)
     }
 }
 
-/// Adapter implementing the recovery callback over the database.
+/// Adapter implementing the recovery callback over the storage core.
 #[cfg(feature = "transactions")]
 struct RecoverInto<'a> {
-    db: &'a mut Database,
+    core: &'a mut StorageCore,
     error: Option<DbmsError>,
 }
 
@@ -1475,7 +2076,7 @@ struct RecoverInto<'a> {
 impl fame_txn::RecoveryTarget for RecoverInto<'_> {
     fn apply_put(&mut self, _index: u8, key: &[u8], value: &[u8]) {
         if self.error.is_none() {
-            if let Err(e) = self.db.kv_put(key, value) {
+            if let Err(e) = self.core.kv_put(key, value) {
                 self.error = Some(e);
             }
         }
@@ -1483,7 +2084,7 @@ impl fame_txn::RecoveryTarget for RecoverInto<'_> {
 
     fn apply_remove(&mut self, _index: u8, key: &[u8]) {
         if self.error.is_none() {
-            if let Err(e) = self.db.kv_remove(key) {
+            if let Err(e) = self.core.kv_remove(key) {
                 self.error = Some(e);
             }
         }
@@ -1625,16 +2226,27 @@ fn make_pool(config: &DbmsConfig, device: Box<dyn BlockDevice>) -> BufferPool {
     #[cfg(feature = "buffer")]
     {
         #[cfg(feature = "concurrency-multi")]
-        if let fame_buffer::Concurrency::MultiReader { shards } = config.concurrency {
-            let shards = if shards == 0 {
-                fame_buffer::DEFAULT_SHARDS
-            } else {
-                shards
+        {
+            let shared_shards = match config.concurrency {
+                fame_buffer::Concurrency::MultiReader { shards } => Some(shards),
+                // MultiWriter runs on the same sharded pool; the writer
+                // coordination lives above it (block locks, group commit).
+                #[cfg(feature = "concurrency-multi-writer")]
+                fame_buffer::Concurrency::MultiWriter { shards } => Some(shards),
+                #[allow(unreachable_patterns)]
+                _ => None,
             };
-            return match &config.buffer {
-                Some(b) => BufferPool::new_shared(device, b.replacement, b.policy(), shards),
-                None => BufferPool::unbuffered_shared(device),
-            };
+            if let Some(shards) = shared_shards {
+                let shards = if shards == 0 {
+                    fame_buffer::DEFAULT_SHARDS
+                } else {
+                    shards
+                };
+                return match &config.buffer {
+                    Some(b) => BufferPool::new_shared(device, b.replacement, b.policy(), shards),
+                    None => BufferPool::unbuffered_shared(device),
+                };
+            }
         }
         match &config.buffer {
             Some(b) => BufferPool::new(device, b.replacement, b.policy()),
@@ -1735,6 +2347,74 @@ mod tests {
         assert_eq!(d.get(b"a").unwrap(), Some(b"1".to_vec()), "abort restored");
         assert_eq!(d.get(b"b").unwrap(), None, "created key rolled back");
         assert_eq!(d.txn_stats(), Some((1, 1)));
+    }
+
+    #[cfg(all(
+        feature = "concurrency-multi-writer",
+        feature = "commit-force",
+        feature = "api-put",
+        feature = "api-get",
+        feature = "api-remove"
+    ))]
+    #[test]
+    fn multi_writer_handles_commit_concurrently() {
+        use crate::config::TxnConfig;
+        fn assert_send<T: Send>(_: &T) {}
+
+        let mut cfg = DbmsConfig::default_for_build();
+        cfg.concurrency = fame_buffer::Concurrency::MultiWriter { shards: 0 };
+        cfg.transactions = Some(TxnConfig {
+            commit: fame_txn::CommitPolicy::Force,
+        });
+        let mut d = Database::open(cfg).unwrap();
+        let w = d.writer().unwrap();
+        assert_send(&w);
+
+        let threads = 4;
+        let per = 20;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let w = w.clone();
+                s.spawn(move || {
+                    for i in 0..per {
+                        let txn = w.begin().unwrap();
+                        let key = format!("w{t}-{i}").into_bytes();
+                        w.put(txn, &key, b"v").unwrap();
+                        assert_eq!(w.get(txn, &key).unwrap(), Some(b"v".to_vec()));
+                        w.commit(txn).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(w.txn_stats(), (threads * per, 0));
+        assert_eq!(d.len().unwrap(), (threads * per) as usize);
+
+        // The facade's own transactional API rides the same shared path.
+        let t = d.begin().unwrap();
+        d.txn_put(t, b"facade", b"1").unwrap();
+        d.commit(t).unwrap();
+        assert_eq!(d.get(b"facade").unwrap(), Some(b"1".to_vec()));
+
+        // Abort through a writer handle restores the old value.
+        let t = w.begin().unwrap();
+        let w2 = w.clone();
+        w2.put(t, b"facade", b"2").unwrap();
+        assert!(w2.remove(t, b"facade").unwrap());
+        w2.abort(t).unwrap();
+        assert_eq!(d.get(b"facade").unwrap(), Some(b"1".to_vec()));
+
+        assert!(d.verify_integrity().unwrap().violations.is_empty());
+    }
+
+    #[cfg(all(
+        feature = "concurrency-multi-writer",
+        feature = "api-put",
+        feature = "api-get"
+    ))]
+    #[test]
+    fn writer_requires_multi_writer_concurrency() {
+        let d = db();
+        assert!(d.writer().is_err(), "Single product has no write handles");
     }
 
     #[cfg(all(feature = "api-batch", feature = "api-get", feature = "api-remove"))]

@@ -38,6 +38,7 @@ pub fn active_features() -> Vec<&'static str> {
         "replace-lru",
         "replace-lfu",
         "concurrency-multi",
+        "concurrency-multi-writer",
         "alloc-static",
         "alloc-dynamic",
         "os-std",
@@ -157,6 +158,13 @@ pub fn model_configuration(
             select("Dynamic");
         }
         select("Concurrency");
+        #[cfg(feature = "concurrency-multi-writer")]
+        let multi_writer = matches!(
+            config.concurrency,
+            fame_buffer::Concurrency::MultiWriter { .. }
+        );
+        #[cfg(not(feature = "concurrency-multi-writer"))]
+        let multi_writer = false;
         #[cfg(feature = "concurrency-multi")]
         let multi = matches!(
             config.concurrency,
@@ -164,7 +172,9 @@ pub fn model_configuration(
         );
         #[cfg(not(feature = "concurrency-multi"))]
         let multi = false;
-        if multi {
+        if multi_writer {
+            select("MultiWriter");
+        } else if multi {
             select("MultiReader");
         } else {
             select("Single");
@@ -221,6 +231,28 @@ mod tests {
                 "exactly one replacement policy"
             );
         }
+    }
+
+    #[cfg(all(
+        feature = "concurrency-multi-writer",
+        feature = "commit-force",
+        feature = "buffer"
+    ))]
+    #[test]
+    fn multi_writer_instance_selects_alternative() {
+        use crate::config::TxnConfig;
+        let mut config = DbmsConfig::default_for_build();
+        config.concurrency = fame_buffer::Concurrency::MultiWriter { shards: 0 };
+        config.transactions = Some(TxnConfig {
+            commit: fame_txn::CommitPolicy::Force,
+        });
+        let (model, cfg) = model_configuration(&config).unwrap();
+        assert!(cfg.is_selected(model.id("MultiWriter")));
+        assert!(!cfg.is_selected(model.id("Single")));
+        assert!(
+            cfg.is_selected(model.id("Transaction")),
+            "MultiWriter requires Transaction (cross-tree constraint)"
+        );
     }
 
     #[cfg(all(feature = "transactions", feature = "commit-force", feature = "buffer"))]

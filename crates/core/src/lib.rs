@@ -72,6 +72,10 @@ pub use features::{active_features, model_configuration};
 pub use config::StatsConfig;
 #[cfg(feature = "concurrency-multi")]
 pub use db::DbReader;
+#[cfg(feature = "concurrency-multi-writer")]
+pub use db::DbWriter;
+#[cfg(all(feature = "concurrency-multi-writer", feature = "statistics"))]
+pub use db::LockStats;
 #[cfg(feature = "transactions")]
 pub use db::TxnHandle;
 #[cfg(feature = "api-batch")]

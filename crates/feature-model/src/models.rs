@@ -31,7 +31,7 @@ use crate::model::{FeatureModel, GroupKind, ModelBuilder};
 /// ├── BufferManager             (optional)
 /// │   ├── Replacement           (mandatory; alternative: LFU | LRU)
 /// │   ├── MemoryAlloc           (mandatory; alternative: Dynamic | Static)
-/// │   └── Concurrency           (mandatory; alternative: Single | MultiReader)
+/// │   └── Concurrency           (mandatory; alternative: Single | MultiReader | MultiWriter)
 /// ├── Storage                   (mandatory)
 /// │   ├── Index                 (mandatory; or: B+-Tree | List)
 /// │   │   ├── B+-Tree: BTreeSearch (mand.), BTreeUpdate, BTreeRemove (opt.)
@@ -136,6 +136,14 @@ pub fn fame_dbms() -> FeatureModel {
         multi,
         "Sharded latch-based pool: concurrent readers, single writer",
     );
+    let multi_writer = b.optional(conc, "MultiWriter");
+    b.attr(multi_writer, "rom_bytes", 5_400.0);
+    b.attr(multi_writer, "ram_bytes", 1_024.0);
+    b.doc(
+        multi_writer,
+        "MultiReader's pool plus concurrent writer transactions: \
+         blocking S/X block locks and cross-transaction group commit",
+    );
 
     // --- Storage ----------------------------------------------------------
     let storage = b.mandatory(root, "Storage");
@@ -222,6 +230,8 @@ pub fn fame_dbms() -> FeatureModel {
     b.requires("Optimizer", "SQLEngine").unwrap();
     b.requires("Transaction", "BufferManager").unwrap();
     b.requires("Batch", "Put").unwrap();
+    // Concurrent writers need block locks and a WAL to coordinate.
+    b.requires("MultiWriter", "Transaction").unwrap();
     {
         let sql = Prop::var(sql);
         let get = Prop::var(b.peek("Get").unwrap());

@@ -333,8 +333,9 @@ lru = "LRU"
         // Compile-time include so the unit test does not depend on cwd.
         let text = include_str!("../../../lint.toml");
         let c = LintConfig::parse(text).unwrap();
-        assert_eq!(c.lock_order, ["shard", "device", "meta"]);
+        assert_eq!(c.lock_order, ["lock_table", "shard", "device", "meta"]);
         assert!(c.feature_map.contains_key("commit-group"));
+        assert!(c.feature_map.contains_key("concurrency-multi-writer"));
         // The seqlock protocol fields carry reasoned allowlist entries;
         // `pins` was retired along with the field itself (version
         // validation subsumes pinning on the hit path).

@@ -19,6 +19,12 @@
 //!   No-wait means a conflicting request fails immediately — the classic
 //!   deadlock-*avoidance* choice for embedded engines, where blocking an
 //!   interrupt-driven task is worse than retrying;
+//! * [`lock_table`] — the *blocking* S/X block-lock table behind the
+//!   `Concurrency → MultiWriter` alternative: FIFO condvar parking, lock
+//!   timeout, waits-for deadlock detection aborting the youngest txn;
+//! * [`shared`] (feature `multi-writer`) — [`shared::SharedTxnManager`]:
+//!   `&self` transaction API over interior mutability plus leader-based
+//!   cross-transaction group commit;
 //! * [`recovery`] — redo winners / undo losers against a
 //!   [`recovery::RecoveryTarget`] (implemented by the database facade in
 //!   `fame-dbms`), so this crate stays independent of the storage layer.
@@ -28,16 +34,24 @@
 #[cfg(not(any(feature = "commit-force", feature = "commit-group")))]
 compile_error!("fame-txn needs a commit protocol feature: commit-force or commit-group");
 
+pub mod lock_table;
 pub mod locks;
 pub mod log;
 pub mod manager;
 pub mod recovery;
+#[cfg(feature = "multi-writer")]
+pub mod shared;
 pub mod wal;
 
+#[cfg(all(feature = "multi-writer", feature = "obs"))]
+pub use lock_table::LockObs;
+pub use lock_table::{block_of, BlockId, LockError, LockTable};
 pub use locks::{LockManager, LockMode};
 pub use log::{LogReader, LogWriter, Lsn};
 #[cfg(feature = "obs")]
 pub use manager::TxnObs;
 pub use manager::{BatchWrite, CommitPolicy, TxnError, TxnId, TxnManager, UndoAction};
 pub use recovery::{recover, recover_records, RecoveryStats, RecoveryTarget};
+#[cfg(feature = "multi-writer")]
+pub use shared::SharedTxnManager;
 pub use wal::LogRecord;

@@ -5,6 +5,12 @@
 //! can form, so the embedded engine needs neither a detector thread nor
 //! timeouts; callers retry or abort, which is the standard discipline for
 //! control-loop code.
+//!
+//! A per-transaction index (`owned`) mirrors the key table so that
+//! [`LockManager::release_all`] walks only the releasing transaction's own
+//! keys instead of scanning the whole table — commit/abort cost is
+//! proportional to the transaction's footprint, not to the number of live
+//! locks held by everyone else.
 
 use std::collections::HashMap;
 
@@ -26,14 +32,17 @@ pub struct LockConflict {
     pub key: Vec<u8>,
     /// The transaction that requested it.
     pub requester: TxnId,
+    /// Transactions holding the conflicting lock at request time, so
+    /// timeout/deadlock aborts name the txns they waited on in traces.
+    pub holders: Vec<TxnId>,
 }
 
 impl std::fmt::Display for LockConflict {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "lock conflict on key {:?} for txn {}",
-            self.key, self.requester
+            "lock conflict on key {:?} for txn {} (held by {:?})",
+            self.key, self.requester, self.holders
         )
     }
 }
@@ -51,6 +60,8 @@ struct Entry {
 #[derive(Debug, Default)]
 pub struct LockManager {
     table: HashMap<Vec<u8>, Entry>,
+    /// Per-transaction reverse index: which keys does each txn hold?
+    owned: HashMap<TxnId, Vec<Vec<u8>>>,
 }
 
 impl LockManager {
@@ -66,18 +77,16 @@ impl LockManager {
         let entry = self.table.entry(key.to_vec()).or_default();
         let held_by_me = entry.holders.contains(&txn);
 
-        match mode {
+        let granted = match mode {
             LockMode::Shared => {
                 if entry.exclusive && !held_by_me {
-                    return Err(LockConflict {
-                        key: key.to_vec(),
-                        requester: txn,
-                    });
+                    false
+                } else {
+                    if !held_by_me {
+                        entry.holders.push(txn);
+                    }
+                    true
                 }
-                if !held_by_me {
-                    entry.holders.push(txn);
-                }
-                Ok(())
             }
             LockMode::Exclusive => {
                 if held_by_me && entry.holders.len() == 1 {
@@ -87,30 +96,57 @@ impl LockManager {
                 if entry.holders.is_empty() {
                     entry.holders.push(txn);
                     entry.exclusive = true;
-                    return Ok(());
+                    true
+                } else {
+                    false
                 }
-                Err(LockConflict {
-                    key: key.to_vec(),
-                    requester: txn,
-                })
             }
+        };
+
+        if granted {
+            if !held_by_me {
+                self.owned.entry(txn).or_default().push(key.to_vec());
+            }
+            Ok(())
+        } else {
+            let holders: Vec<TxnId> = entry
+                .holders
+                .iter()
+                .copied()
+                .filter(|&h| h != txn)
+                .collect();
+            if entry.holders.is_empty() {
+                // `or_default` may have created an empty entry; don't leak it.
+                self.table.remove(key);
+            }
+            Err(LockConflict {
+                key: key.to_vec(),
+                requester: txn,
+                holders,
+            })
         }
     }
 
-    /// Release every lock of a transaction (commit/abort).
+    /// Release every lock of a transaction (commit/abort). Walks only the
+    /// transaction's own keys via the reverse index — O(keys held by `txn`),
+    /// not O(all live locks).
     pub fn release_all(&mut self, txn: TxnId) {
-        self.table.retain(|_, e| {
-            e.holders.retain(|&h| h != txn);
-            if e.holders.is_empty() {
-                false
-            } else {
-                // Exclusive implies a single holder; if that holder left,
-                // the entry was removed above. Remaining holders mean the
-                // lock was shared all along.
-                e.exclusive = e.exclusive && e.holders.len() == 1;
-                true
+        let Some(keys) = self.owned.remove(&txn) else {
+            return;
+        };
+        for key in keys {
+            if let Some(e) = self.table.get_mut(&key) {
+                e.holders.retain(|&h| h != txn);
+                if e.holders.is_empty() {
+                    self.table.remove(&key);
+                } else {
+                    // Exclusive implies a single holder; if that holder left,
+                    // the entry was removed above. Remaining holders mean the
+                    // lock was shared all along.
+                    e.exclusive = e.exclusive && e.holders.len() == 1;
+                }
             }
-        });
+        }
     }
 
     /// Who currently holds a key (tests/diagnostics).
@@ -124,6 +160,11 @@ impl LockManager {
     /// Number of keys with live locks.
     pub fn locked_keys(&self) -> usize {
         self.table.len()
+    }
+
+    /// Number of keys held by one transaction (O(1) via the reverse index).
+    pub fn keys_held_by(&self, txn: TxnId) -> usize {
+        self.owned.get(&txn).map(Vec::len).unwrap_or(0)
     }
 }
 
@@ -178,6 +219,7 @@ mod tests {
         assert!(lm.acquire(1, b"k", LockMode::Exclusive).is_ok());
         assert!(lm.acquire(1, b"k", LockMode::Shared).is_ok());
         assert_eq!(lm.holders(b"k"), vec![1]);
+        assert_eq!(lm.keys_held_by(1), 1, "re-acquire must not double-index");
     }
 
     #[test]
@@ -188,7 +230,33 @@ mod tests {
         lm.acquire(2, b"b", LockMode::Shared).unwrap();
         lm.release_all(1);
         assert_eq!(lm.locked_keys(), 1, "only b remains (held by 2)");
+        assert_eq!(lm.keys_held_by(1), 0);
         assert!(lm.acquire(3, b"a", LockMode::Exclusive).is_ok());
+    }
+
+    #[test]
+    fn conflict_names_the_holders() {
+        let mut lm = LockManager::new();
+        lm.acquire(1, b"k", LockMode::Shared).unwrap();
+        lm.acquire(2, b"k", LockMode::Shared).unwrap();
+        let err = lm.acquire(3, b"k", LockMode::Exclusive).unwrap_err();
+        assert_eq!(err.requester, 3);
+        let mut holders = err.holders.clone();
+        holders.sort_unstable();
+        assert_eq!(holders, vec![1, 2]);
+        // Upgrade conflict: the error must name the *other* reader only.
+        let err = lm.acquire(1, b"k", LockMode::Exclusive).unwrap_err();
+        assert_eq!(err.holders, vec![2]);
+    }
+
+    #[test]
+    fn failed_probe_leaves_no_trace() {
+        let mut lm = LockManager::new();
+        lm.acquire(1, b"k", LockMode::Exclusive).unwrap();
+        assert!(lm.acquire(2, b"k", LockMode::Shared).is_err());
+        assert_eq!(lm.keys_held_by(2), 0, "conflict must not index the key");
+        lm.release_all(2); // releasing a txn with no locks is a no-op
+        assert_eq!(lm.holders(b"k"), vec![1]);
     }
 
     #[test]

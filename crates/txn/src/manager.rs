@@ -39,6 +39,15 @@ pub enum TxnError {
     Conflict(LockConflict),
     /// Log device failure.
     Os(OsError),
+    /// A blocking lock acquisition failed: timeout, or this transaction
+    /// was chosen as a deadlock victim. The caller must abort it.
+    #[cfg(feature = "multi-writer")]
+    Lock(crate::lock_table::LockError),
+    /// The group-commit leader's append or sync failed. Every transaction
+    /// in the drained batch stays active and retriable; followers see the
+    /// leader's error rendered to text (device errors are not cloneable).
+    #[cfg(feature = "multi-writer")]
+    GroupCommit(String),
 }
 
 impl fmt::Display for TxnError {
@@ -47,6 +56,10 @@ impl fmt::Display for TxnError {
             TxnError::UnknownTxn(t) => write!(f, "unknown transaction {t}"),
             TxnError::Conflict(c) => write!(f, "{c}"),
             TxnError::Os(e) => write!(f, "{e}"),
+            #[cfg(feature = "multi-writer")]
+            TxnError::Lock(e) => write!(f, "{e}"),
+            #[cfg(feature = "multi-writer")]
+            TxnError::GroupCommit(e) => write!(f, "group commit failed: {e}"),
         }
     }
 }
@@ -62,6 +75,13 @@ impl From<OsError> for TxnError {
 impl From<LockConflict> for TxnError {
     fn from(e: LockConflict) -> Self {
         TxnError::Conflict(e)
+    }
+}
+
+#[cfg(feature = "multi-writer")]
+impl From<crate::lock_table::LockError> for TxnError {
+    fn from(e: crate::lock_table::LockError) -> Self {
+        TxnError::Lock(e)
     }
 }
 
@@ -357,6 +377,63 @@ impl TxnManager {
         self.obs
             .commit_latency
             .record_ns(fame_obs::monotonic_ns() - t0);
+        Ok(())
+    }
+
+    /// Split commit, phase 1 (MultiWriter group commit): append the commit
+    /// records for a whole drained batch in one coalesced device pass
+    /// ([`LogWriter::append_many`]), without syncing or releasing anything.
+    /// Fails atomically per the log's contract: on error no transaction in
+    /// the batch is committed and all stay active/retriable.
+    #[cfg(feature = "multi-writer")]
+    pub fn append_commits(&mut self, txns: &[TxnId]) -> Result<Lsn, TxnError> {
+        for &t in txns {
+            if !self.active.contains_key(&t) {
+                return Err(TxnError::UnknownTxn(t));
+            }
+        }
+        let records: Vec<LogRecord> = txns.iter().map(|&txn| LogRecord::Commit { txn }).collect();
+        Ok(self.log.append_many(&records)?)
+    }
+
+    /// Split commit, phase 2 (MultiWriter group commit): apply the commit
+    /// protocol's durability step for one *drained batch*. The batch counts
+    /// as a single commit toward a `Group` quota — exactly the accounting
+    /// [`TxnManager::commit_batch`] established for write batches — so
+    /// cross-transaction grouping amortizes syncs as writers rise instead
+    /// of being defeated by them. Returns whether a sync was issued.
+    #[cfg(feature = "multi-writer")]
+    pub fn sync_batch(&mut self) -> Result<bool, TxnError> {
+        match self.policy {
+            #[cfg(feature = "commit-force")]
+            CommitPolicy::Force => {
+                self.log.sync()?;
+                Ok(true)
+            }
+            #[cfg(feature = "commit-group")]
+            CommitPolicy::Group { group_size } => {
+                if self.commits_since_sync + 1 >= group_size {
+                    self.log.sync()?;
+                    self.commits_since_sync = 0;
+                    Ok(true)
+                } else {
+                    self.commits_since_sync += 1;
+                    Ok(false)
+                }
+            }
+        }
+    }
+
+    /// Split commit, phase 3 (MultiWriter group commit): the point of no
+    /// return for one transaction of a durable batch — leave the active
+    /// table, release internal locks, count the commit.
+    #[cfg(feature = "multi-writer")]
+    pub fn finish_commit(&mut self, txn: TxnId) -> Result<(), TxnError> {
+        if self.active.remove(&txn).is_none() {
+            return Err(TxnError::UnknownTxn(txn));
+        }
+        self.locks.release_all(txn);
+        self.committed += 1;
         Ok(())
     }
 

@@ -1,0 +1,444 @@
+//! Shareable transaction manager for the `Concurrency → MultiWriter`
+//! product: `&self` begin/log/commit over interior mutability, blocking
+//! block locks, and *cross-transaction* group commit.
+//!
+//! # Architecture
+//!
+//! [`SharedTxnManager`] wraps the single-writer [`TxnManager`] in a mutex
+//! and composes two concurrency mechanisms around it:
+//!
+//! * a blocking [`LockTable`] (S/X block locks, FIFO queues, timeout,
+//!   deadlock-abort-youngest) acquired **before** any storage or manager
+//!   mutex, so conflicting transactions serialize by waiting while
+//!   disjoint ones interleave freely;
+//! * a leader-based **group commit**: committers enqueue their `TxnId` and
+//!   the first one in becomes leader, draining the queue into one
+//!   [`TxnManager::append_commits`] (a single `append_many` device pass)
+//!   plus one protocol sync per drain — N concurrent writers cost ~one
+//!   fsync per drain instead of one each. Followers park on a condvar
+//!   until the leader posts their result.
+//!
+//! # Invariants
+//!
+//! 1. **Lock order**: `LockTable` → storage mutex → manager mutex. The
+//!    group-state mutex is held only while queueing/collecting, never
+//!    across the drain (the leader drops it before touching the manager).
+//! 2. **Grant superset**: the inner no-wait [`LockManager`](crate::locks)
+//!    stays active as a safety net; because every key's `LockTable` block
+//!    lock is taken first and released last, the no-wait acquire inside
+//!    `log_*` can never see a conflict from a live transaction — the
+//!    blocking table's grant set is a superset of the inner one's.
+//! 3. **Failed drains leave every transaction active**: if the leader's
+//!    append or sync fails, no transaction in the batch is finished,
+//!    all locks stay held, and each committer gets an error
+//!    ([`TxnError::GroupCommit`] for followers) so it can retry or abort.
+
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use crate::lock_table::LockTable;
+use crate::locks::LockMode;
+use crate::log::Lsn;
+use crate::manager::{BatchWrite, TxnError, TxnManager, UndoAction};
+use crate::wal::TxnId;
+
+#[derive(Debug, Default)]
+struct GroupState {
+    /// Commit requests awaiting the next drain.
+    queue: Vec<TxnId>,
+    /// A leader is currently draining.
+    leader_active: bool,
+    /// Per-transaction drain results (error text: device errors are not
+    /// cloneable across the batch).
+    done: HashMap<TxnId, Result<(), String>>,
+}
+
+/// `&self` transaction manager: blocking locks + cross-writer group commit.
+pub struct SharedTxnManager {
+    inner: Mutex<TxnManager>,
+    locks: LockTable,
+    group: Mutex<GroupState>,
+    group_cv: Condvar,
+}
+
+impl SharedTxnManager {
+    /// Wrap a manager; block-lock waits give up after `lock_timeout`.
+    pub fn new(manager: TxnManager, lock_timeout: Duration) -> Self {
+        SharedTxnManager {
+            inner: Mutex::new(manager),
+            locks: LockTable::new(lock_timeout),
+            group: Mutex::new(GroupState::default()),
+            group_cv: Condvar::new(),
+        }
+    }
+
+    fn inner(&self) -> std::sync::MutexGuard<'_, TxnManager> {
+        self.inner.lock().expect("txn manager poisoned")
+    }
+
+    /// The blocking block-lock table (diagnostics, lock-wait obs).
+    pub fn lock_table(&self) -> &LockTable {
+        &self.locks
+    }
+
+    /// Start a transaction.
+    pub fn begin(&self) -> Result<TxnId, TxnError> {
+        self.inner().begin()
+    }
+
+    /// Block until `txn` holds the shared block lock for `key`.
+    pub fn lock_read(&self, txn: TxnId, key: &[u8]) -> Result<(), TxnError> {
+        self.locks.acquire(txn, key, LockMode::Shared)?;
+        self.inner().lock_read(txn, key)
+    }
+
+    /// Block until `txn` holds the exclusive block lock for `key`. Call
+    /// *before* reading the old value under the storage mutex — the block
+    /// lock is what makes the read-log-apply sequence atomic.
+    pub fn lock_write(&self, txn: TxnId, key: &[u8]) -> Result<(), TxnError> {
+        self.locks.acquire(txn, key, LockMode::Exclusive)?;
+        Ok(())
+    }
+
+    /// Log a put (WAL rule: before the storage apply). The caller must
+    /// hold the exclusive block lock via [`SharedTxnManager::lock_write`];
+    /// the inner no-wait acquire then cannot conflict (invariant 2).
+    pub fn log_put(
+        &self,
+        txn: TxnId,
+        index: u8,
+        key: &[u8],
+        old: Option<Vec<u8>>,
+        new: &[u8],
+    ) -> Result<Lsn, TxnError> {
+        self.inner().log_put(txn, index, key, old, new)
+    }
+
+    /// Log a remove (WAL rule). Same locking contract as
+    /// [`SharedTxnManager::log_put`].
+    pub fn log_remove(
+        &self,
+        txn: TxnId,
+        index: u8,
+        key: &[u8],
+        old: Vec<u8>,
+    ) -> Result<Lsn, TxnError> {
+        self.inner().log_remove(txn, index, key, old)
+    }
+
+    /// Block-lock every key of a batch, then log it in one device pass.
+    pub fn log_batch(&self, txn: TxnId, ops: &[BatchWrite]) -> Result<Lsn, TxnError> {
+        for op in ops {
+            self.locks.acquire(txn, op.key(), LockMode::Exclusive)?;
+        }
+        self.inner().log_batch(txn, ops)
+    }
+
+    /// Commit through the group channel. The first committer to arrive
+    /// while no drain is running becomes leader and drains everyone
+    /// queued — including transactions that enqueue *during* its drain —
+    /// then steps down; followers park until their result is posted.
+    /// On success the transaction's block locks are released; on failure
+    /// it stays active with locks held (retry or abort).
+    pub fn commit(&self, txn: TxnId) -> Result<(), TxnError> {
+        #[cfg(feature = "obs")]
+        let t0 = fame_obs::monotonic_ns();
+
+        let mut group = self.group.lock().expect("group state poisoned");
+        group.queue.push(txn);
+        let result = loop {
+            if let Some(result) = group.done.remove(&txn) {
+                break result;
+            }
+            if group.leader_active {
+                // A drain is running; it (or a successor drain by the same
+                // leader) will pick our queued txn up and post the result.
+                group = self.group_cv.wait(group).expect("group state poisoned");
+                continue;
+            }
+            // Become leader: drain until the queue stays empty, posting
+            // each batch's results (including our own) as we go.
+            group.leader_active = true;
+            while !group.queue.is_empty() {
+                let batch = std::mem::take(&mut group.queue);
+                drop(group);
+                let outcome = self.drain(&batch);
+                group = self.group.lock().expect("group state poisoned");
+                match &outcome {
+                    Ok(()) => {
+                        for &t in &batch {
+                            group.done.insert(t, Ok(()));
+                        }
+                    }
+                    Err(e) => {
+                        let text = e.to_string();
+                        for &t in &batch {
+                            group.done.insert(t, Err(text.clone()));
+                        }
+                    }
+                }
+                self.group_cv.notify_all();
+            }
+            group.leader_active = false;
+            self.group_cv.notify_all();
+            // Loop: our own result is now in `done`.
+        };
+        drop(group);
+
+        match result {
+            Ok(()) => {
+                self.locks.release_all(txn);
+                #[cfg(feature = "obs")]
+                self.inner()
+                    .obs()
+                    .commit_latency
+                    .record_ns(fame_obs::monotonic_ns() - t0);
+                Ok(())
+            }
+            Err(text) => Err(TxnError::GroupCommit(text)),
+        }
+    }
+
+    /// One drain: a single coalesced commit-record append, one protocol
+    /// sync step, then the per-transaction point of no return.
+    fn drain(&self, batch: &[TxnId]) -> Result<(), TxnError> {
+        let mut inner = self.inner();
+        inner.append_commits(batch)?;
+        inner.sync_batch()?;
+        for &t in batch {
+            inner.finish_commit(t)?;
+        }
+        Ok(())
+    }
+
+    /// Abort: returns the compensating actions. The caller applies them to
+    /// storage (under the storage mutex) and only then calls
+    /// [`SharedTxnManager::release_locks`] — releasing the block locks
+    /// before the undo is applied would let a waiter read the un-undone
+    /// value.
+    pub fn abort(&self, txn: TxnId) -> Result<Vec<UndoAction>, TxnError> {
+        self.inner().abort(txn)
+    }
+
+    /// Drop `txn`'s block locks (after an abort's undo has been applied).
+    pub fn release_locks(&self, txn: TxnId) {
+        self.locks.release_all(txn);
+    }
+
+    /// Force any unsynced group-commit tail to the device.
+    pub fn flush(&self) -> Result<(), TxnError> {
+        self.inner().flush()
+    }
+
+    /// `(committed, aborted)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        self.inner().stats()
+    }
+
+    /// Ids of active transactions.
+    pub fn active(&self) -> Vec<TxnId> {
+        self.inner().active()
+    }
+
+    /// Syncs issued on the log device so far.
+    pub fn log_syncs(&self) -> u64 {
+        self.inner().log_syncs()
+    }
+
+    /// Total bytes ever appended to the log.
+    pub fn log_bytes(&self) -> u64 {
+        self.inner().log_bytes()
+    }
+
+    /// Raw device counters of the log device.
+    pub fn log_device_stats(&self) -> fame_os::DeviceStats {
+        self.inner().log_device_stats()
+    }
+
+    /// Run `f` against the wrapped manager (checkpoint, recovery seal,
+    /// obs snapshots — facade plumbing that needs the raw manager).
+    pub fn with_inner<R>(&self, f: impl FnOnce(&mut TxnManager) -> R) -> R {
+        f(&mut self.inner())
+    }
+
+    /// Unwrap (tests/recovery round trips). Panics if another handle is
+    /// still using the manager.
+    pub fn into_inner(self) -> TxnManager {
+        self.inner.into_inner().expect("txn manager poisoned")
+    }
+}
+
+impl std::fmt::Debug for SharedTxnManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedTxnManager").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::LogWriter;
+    use crate::manager::CommitPolicy;
+    use fame_os::InMemoryDevice;
+    use std::sync::Arc;
+
+    fn shared(policy: CommitPolicy) -> Arc<SharedTxnManager> {
+        let log = LogWriter::new(Box::new(InMemoryDevice::new(512)), 0).unwrap();
+        Arc::new(SharedTxnManager::new(
+            TxnManager::new(log, policy),
+            Duration::from_millis(500),
+        ))
+    }
+
+    #[cfg(feature = "commit-force")]
+    #[test]
+    fn single_writer_lifecycle() {
+        let m = shared(CommitPolicy::Force);
+        let t = m.begin().unwrap();
+        m.lock_write(t, b"k").unwrap();
+        m.log_put(t, 0, b"k", None, b"v").unwrap();
+        m.commit(t).unwrap();
+        assert_eq!(m.stats(), (1, 0));
+        assert!(m.active().is_empty());
+        assert_eq!(m.lock_table().locked_blocks(), 0, "commit released");
+    }
+
+    #[cfg(feature = "commit-force")]
+    #[test]
+    fn concurrent_disjoint_writers_all_commit() {
+        let m = shared(CommitPolicy::Force);
+        let threads = 4;
+        let per = 25;
+        std::thread::scope(|s| {
+            for w in 0..threads {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for i in 0..per {
+                        let t = m.begin().unwrap();
+                        let key = format!("w{w}-{i}").into_bytes();
+                        m.lock_write(t, &key).unwrap();
+                        m.log_put(t, 0, &key, None, b"v").unwrap();
+                        m.commit(t).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(m.stats(), (threads * per, 0));
+        assert_eq!(m.lock_table().locked_blocks(), 0);
+    }
+
+    #[cfg(feature = "commit-group")]
+    #[test]
+    fn group_commit_counts_each_drain_once() {
+        // Sequential commits through the group channel: each is its own
+        // drain (no concurrency), so Group{4} syncs every 4th commit —
+        // identical accounting to the single-writer path.
+        let m = shared(CommitPolicy::Group { group_size: 4 });
+        for i in 0..8u32 {
+            let t = m.begin().unwrap();
+            let key = i.to_be_bytes();
+            m.lock_write(t, &key).unwrap();
+            m.log_put(t, 0, &key, None, b"v").unwrap();
+            m.commit(t).unwrap();
+        }
+        assert_eq!(m.log_device_stats().syncs, 2, "8 drains / group of 4");
+    }
+
+    #[cfg(feature = "commit-force")]
+    #[test]
+    fn contended_key_serializes_with_consistent_history() {
+        let m = shared(CommitPolicy::Force);
+        let threads = 4;
+        let per = 10;
+        let aborted = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let m = Arc::clone(&m);
+                let aborted = &aborted;
+                s.spawn(move || {
+                    for _ in 0..per {
+                        let t = m.begin().unwrap();
+                        match m.lock_write(t, b"hot") {
+                            Ok(()) => {
+                                m.log_put(t, 0, b"hot", None, b"v").unwrap();
+                                m.commit(t).unwrap();
+                            }
+                            Err(_) => {
+                                // Timeout/deadlock: abort and move on.
+                                let _ = m.abort(t);
+                                m.release_locks(t);
+                                aborted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let (committed, ab) = m.stats();
+        assert_eq!(
+            committed + ab,
+            threads * per,
+            "every txn either committed or aborted"
+        );
+        assert_eq!(ab, aborted.load(std::sync::atomic::Ordering::Relaxed));
+        assert_eq!(m.lock_table().locked_blocks(), 0);
+    }
+
+    #[cfg(feature = "commit-force")]
+    #[test]
+    fn failed_drain_leaves_all_txns_active_and_retriable() {
+        use fame_os::{FaultDevice, FaultPlan, SharedDevice};
+        let plan = FaultPlan {
+            fail_after_syncs: Some(0),
+            ..Default::default()
+        };
+        let fault = SharedDevice::new(FaultDevice::new(InMemoryDevice::new(512), plan));
+        let handle = fault.clone();
+        let log = LogWriter::new(Box::new(fault), 0).unwrap();
+        let m = SharedTxnManager::new(
+            TxnManager::new(log, CommitPolicy::Force),
+            Duration::from_millis(200),
+        );
+
+        let t = m.begin().unwrap();
+        m.lock_write(t, b"k").unwrap();
+        m.log_put(t, 0, b"k", None, b"v").unwrap();
+        assert!(m.commit(t).is_err(), "sync fails");
+        assert_eq!(m.active(), vec![t]);
+        assert_eq!(m.stats(), (0, 0));
+        assert!(
+            !m.lock_table().holders(b"k").is_empty(),
+            "block lock still held after failed drain"
+        );
+
+        handle.with(|d| d.heal());
+        m.commit(t).unwrap();
+        assert_eq!(m.stats(), (1, 0));
+        assert_eq!(m.lock_table().locked_blocks(), 0);
+    }
+
+    #[cfg(feature = "commit-force")]
+    #[test]
+    fn deadlock_victim_can_abort_and_release() {
+        let m = shared(CommitPolicy::Force);
+        let t1 = m.begin().unwrap();
+        let t2 = m.begin().unwrap();
+        m.lock_write(t1, b"a").unwrap();
+        m.lock_write(t2, b"b").unwrap();
+        let m2 = Arc::clone(&m);
+        let h = std::thread::spawn(move || m2.lock_write(t2, b"a"));
+        std::thread::sleep(Duration::from_millis(30));
+        // t1 closes the cycle; t2 (youngest) gets the deadlock error.
+        let m1 = Arc::clone(&m);
+        let h1 = std::thread::spawn(move || m1.lock_write(t1, b"b"));
+        assert!(matches!(h.join().unwrap(), Err(TxnError::Lock(_))));
+        let undo = m.abort(t2).unwrap();
+        assert!(undo.is_empty());
+        m.release_locks(t2);
+        h1.join().unwrap().unwrap();
+        m.log_put(t1, 0, b"b", None, b"v").unwrap();
+        m.commit(t1).unwrap();
+        assert_eq!(m.stats(), (1, 1));
+    }
+}

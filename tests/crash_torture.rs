@@ -429,6 +429,227 @@ fn batch_crash_sweep_group_clean_and_sync_fail() {
     }
 }
 
+/// E12 satellite: multi-writer crash points. Two writer threads run
+/// transactions over txn-unique keys through cloned [`fame_dbms::DbWriter`]
+/// handles and rendezvous at every commit, so a group-commit leader drains
+/// a multi-transaction batch — and the armed fault lands *inside* that
+/// drain (between the coalesced append, the protocol sync, and the
+/// per-transaction finish). The judge enforces per-transaction atomicity
+/// (each transaction's keys survive together or not at all) and the
+/// policy's durability floor.
+#[cfg(feature = "concurrency-multi-writer")]
+mod multi_writer {
+    use super::*;
+    use fame_dbms::Concurrency;
+    use std::sync::Barrier;
+
+    const MT_WRITERS: usize = 2;
+    const MT_TXNS: usize = 4; // per writer
+    const MT_OPS: usize = 2;
+
+    fn mt_config(commit: CommitPolicy) -> DbmsConfig {
+        let mut cfg = config(commit);
+        cfg.concurrency = Concurrency::MultiWriter { shards: 0 };
+        cfg
+    }
+
+    fn mt_open(data: &Dev, log: &Dev, commit: CommitPolicy) -> Result<Database, DbmsError> {
+        Database::open_with_devices(
+            mt_config(commit),
+            Box::new(data.clone()),
+            Some(Box::new(log.clone()) as Box<dyn BlockDevice>),
+        )
+    }
+
+    fn mt_key(t: usize, j: usize, i: usize) -> Vec<u8> {
+        format!("t{t}-j{j}-i{i}").into_bytes()
+    }
+
+    fn mt_value(t: usize, j: usize, i: usize) -> Vec<u8> {
+        format!("v{t}-{j}-{i}-{}", "z".repeat(1 + (t * 7 + j * 3 + i) % 13)).into_bytes()
+    }
+
+    /// One crash point: run the two-writer workload into the armed fault,
+    /// crash, heal, reopen (recovery runs through the shared cells), and
+    /// judge. `force` = every acknowledged commit is durable by protocol;
+    /// under Group the floor is commits followed by a later sync.
+    fn mt_crash_and_judge(commit: CommitPolicy, force: bool, plan: FaultPlan, label: &str) {
+        let data = fresh_dev();
+        let log = fresh_dev();
+        log.with(|d| d.set_plan(plan));
+
+        // (writer, txn, log syncs sampled after commit returned Ok)
+        let mut committed: Vec<(usize, usize, u64)> = Vec::new();
+        let final_syncs = match mt_open(&data, &log, commit) {
+            Ok(db) => {
+                let writer = db.writer().expect("MultiWriter configured");
+                let barrier = Barrier::new(MT_WRITERS);
+                let results: Vec<Vec<(usize, usize, u64)>> = std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..MT_WRITERS)
+                        .map(|t| {
+                            let w = writer.clone();
+                            let barrier = &barrier;
+                            let log = log.clone();
+                            s.spawn(move || {
+                                let mut mine = Vec::new();
+                                // Every iteration reaches the barrier exactly
+                                // once, failed or not — a writer that bailed
+                                // early would strand its peer at the fence.
+                                for j in 0..MT_TXNS {
+                                    let txn = w.begin().ok();
+                                    let staged = txn.is_some_and(|txn| {
+                                        (0..MT_OPS).all(|i| {
+                                            w.put(txn, &mt_key(t, j, i), &mt_value(t, j, i)).is_ok()
+                                        })
+                                    });
+                                    // Rendezvous: both writers commit together,
+                                    // so one leader drains both transactions and
+                                    // the fault can trip inside the drain.
+                                    barrier.wait();
+                                    if staged && w.commit(txn.unwrap()).is_ok() {
+                                        mine.push((t, j, log.with(|d| d.syncs_done())));
+                                    }
+                                }
+                                mine
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                });
+                for r in results {
+                    committed.extend(r);
+                }
+                let final_syncs = log.with(|d| d.syncs_done());
+                // One power supply: trip both devices before Drop can flush.
+                log.with(|d| d.trip_now());
+                data.with(|d| d.trip_now());
+                drop(db);
+                final_syncs
+            }
+            Err(_) => {
+                log.with(|d| d.trip_now());
+                data.with(|d| d.trip_now());
+                0
+            }
+        };
+
+        data.with(|d| d.heal());
+        log.with(|d| d.heal());
+
+        let mut db = mt_open(&data, &log, commit).unwrap_or_else(|e| {
+            panic!("{label}: reopen after crash failed: {e:?}");
+        });
+        let report = db.verify_integrity().expect("integrity check runs");
+        assert!(report.is_ok(), "{label}: integrity violations: {report}");
+
+        // Per-transaction atomicity: each transaction's keys survive
+        // together (with the right bytes) or not at all.
+        let mut survived = std::collections::BTreeSet::new();
+        for t in 0..MT_WRITERS {
+            for j in 0..MT_TXNS {
+                let mut present = 0;
+                for i in 0..MT_OPS {
+                    if let Some(v) = db.get(&mt_key(t, j, i)).expect("post-recovery read") {
+                        assert_eq!(
+                            v,
+                            mt_value(t, j, i),
+                            "{label}: txn ({t},{j}) recovered a wrong value"
+                        );
+                        present += 1;
+                    }
+                }
+                assert!(
+                    present == 0 || present == MT_OPS,
+                    "{label}: txn ({t},{j}) recovered {present}/{MT_OPS} keys — \
+                     per-transaction atomicity broken"
+                );
+                if present == MT_OPS {
+                    survived.insert((t, j));
+                }
+            }
+        }
+
+        // Durability floor. Force: an acknowledged commit synced inside its
+        // own drain, so it must survive unconditionally. Group: the commit
+        // record is on the media once *any* later sync succeeded.
+        for &(t, j, syncs_after) in &committed {
+            let must_survive = force || final_syncs > syncs_after;
+            if must_survive {
+                assert!(
+                    survived.contains(&(t, j)),
+                    "{label}: acknowledged txn ({t},{j}) lost after crash \
+                     (durability broken)"
+                );
+            }
+        }
+    }
+
+    /// Force commits, clean crash at every log write index: the fault
+    /// sweeps through the coalesced `append_many` inside the drain.
+    #[test]
+    fn mt_crash_sweep_force_clean() {
+        for k in 1..48 {
+            mt_crash_and_judge(
+                CommitPolicy::Force,
+                true,
+                FaultPlan {
+                    fail_after_writes: Some(k),
+                    ..FaultPlan::default()
+                },
+                &format!("mt-force/log-clean@{k}"),
+            );
+        }
+    }
+
+    /// Force commits with a torn final log write: the tear can split a
+    /// drained batch's commit records across the page boundary.
+    #[test]
+    fn mt_crash_sweep_force_torn() {
+        for k in (1..48).step_by(2) {
+            mt_crash_and_judge(
+                CommitPolicy::Force,
+                true,
+                FaultPlan {
+                    fail_after_writes: Some(k),
+                    tear_offset: Some(1 + (k as usize * 37) % (PAGE - 1)),
+                    ..FaultPlan::default()
+                },
+                &format!("mt-force/log-torn@{k}"),
+            );
+        }
+    }
+
+    /// Group(2) commits: clean crashes through the drain plus failing
+    /// protocol syncs (the leader's sync errors; every transaction in the
+    /// batch must stay atomic and unacknowledged work may vanish).
+    #[test]
+    fn mt_crash_sweep_group_clean_and_sync_fail() {
+        let group = CommitPolicy::Group { group_size: 2 };
+        for k in (1..48).step_by(2) {
+            mt_crash_and_judge(
+                group,
+                false,
+                FaultPlan {
+                    fail_after_writes: Some(k),
+                    ..FaultPlan::default()
+                },
+                &format!("mt-group2/log-clean@{k}"),
+            );
+        }
+        for s in 0..8 {
+            mt_crash_and_judge(
+                group,
+                false,
+                FaultPlan {
+                    fail_after_syncs: Some(s),
+                    ..FaultPlan::default()
+                },
+                &format!("mt-group2/log-sync-fail@{s}"),
+            );
+        }
+    }
+}
+
 /// Bounded sweep, Group(2) commits: crash at every 4th log write and at
 /// every failing barrier.
 #[test]
