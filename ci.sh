@@ -12,11 +12,12 @@ echo "== clippy (fame-derivation, warnings are errors)"
 cargo clippy -p fame-derivation --all-targets -- -D warnings
 
 echo "== clippy (fame-obs, warnings are errors)"
-cargo clippy -p fame-obs --all-targets -- -D warnings
+cargo clippy -p fame-obs --all-features --all-targets -- -D warnings
 
 echo "== clippy (write-path crates, warnings are errors)"
 cargo clippy -p fame-txn -p fame-storage -p fame-buffer --all-targets -- -D warnings
 cargo clippy -p fame-dbms --features full --all-targets -- -D warnings
+cargo clippy -p fame-dbms --features full,obs-trace --all-targets -- -D warnings
 cargo clippy -p fame-bench --all-targets -- -D warnings
 
 echo "== clippy (remaining workspace crates, warnings are errors)"
@@ -47,6 +48,27 @@ cargo test -q -p fame-dbms --features concurrency-multi,statistics --test concur
 
 echo "== concurrent writers stress (E12 serializability + lock-stats surfacing)"
 cargo test -q -p fame-dbms --features concurrency-multi-writer,commit-force,commit-group,statistics --test concurrent_writers
+
+echo "== obs trace suite (E13 golden schema + windowed proptests + causal chain)"
+cargo test -q -p fame-dbms --features concurrency-multi-writer,commit-force,commit-group,obs-trace --test obs_trace
+
+echo "== obs_report smoke (E13 flight recorder; asserts a complete causal deadlock chain)"
+cargo run --release -p fame-bench --bin obs_report -- --quick | tail -n 10
+
+echo "== obs-trace-off composition (E13 zero-cost gate)"
+# A statistics-only product must not have the trace feature active, and
+# composing Tracing in must add no crates — fame-obs is already linked
+# under Statistics, the child only turns feature flags on.
+if cargo tree -p fame-dbms --no-default-features --features standard,statistics \
+        -f "{p} [{f}]" -e normal | grep -q "trace"; then
+    echo "FAIL: trace is active in a product that did not select obs-trace" >&2
+    exit 1
+fi
+if ! diff <(cargo tree -p fame-dbms --no-default-features --features standard,statistics -e normal) \
+          <(cargo tree -p fame-dbms --no-default-features --features standard,statistics,obs-trace -e normal); then
+    echo "FAIL: composing obs-trace in changed the crate dependency graph" >&2
+    exit 1
+fi
 
 echo "== fig1b_mt smoke (E8 scalability; scaling asserts auto-skip below 2 cores)"
 cargo run --release -p fame-bench --bin fig1b_mt -- --quick --assert-scaling | tail -n 8

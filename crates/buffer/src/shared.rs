@@ -462,6 +462,10 @@ struct PoolInner {
     /// held, one counter per shard (index = `page & mask`).
     #[cfg(feature = "obs")]
     latch_waits: Box<[Counter]>,
+    /// Tracing feature: causal span sink for the failure-path probes
+    /// (miss, eviction, token restart). Installed once by the facade.
+    #[cfg(feature = "trace")]
+    sink: std::sync::OnceLock<Arc<fame_obs::TraceSink>>,
 }
 
 /// The `Send + Sync` sharded pool handle. Cloning is cheap (one `Arc`);
@@ -587,6 +591,8 @@ impl SharedBufferPool {
                 stats: AtomicPoolStats::default(),
                 #[cfg(feature = "obs")]
                 latch_waits: (0..shards).map(|_| Counter::new()).collect(),
+                #[cfg(feature = "trace")]
+                sink: std::sync::OnceLock::new(),
             }),
         }
     }
@@ -605,7 +611,25 @@ impl SharedBufferPool {
                 stats: AtomicPoolStats::default(),
                 #[cfg(feature = "obs")]
                 latch_waits: std::iter::once(Counter::new()).collect(),
+                #[cfg(feature = "trace")]
+                sink: std::sync::OnceLock::new(),
             }),
+        }
+    }
+
+    /// Install the span sink (Tracing feature). First sink wins; later
+    /// calls are no-ops.
+    #[cfg(feature = "trace")]
+    pub fn set_trace_sink(&self, sink: Arc<fame_obs::TraceSink>) {
+        let _ = self.inner.sink.set(sink);
+    }
+
+    #[cfg(feature = "trace")]
+    fn emit(&self, kind: fame_obs::SpanKind, a: u64, b: u64) {
+        if let Some(s) = self.inner.sink.get() {
+            // Pool events have no transaction context; they join a trace
+            // by timestamp and ring, not by txn id.
+            s.emit(kind, 0, 0, a, b);
         }
     }
 
@@ -803,10 +827,23 @@ impl SharedBufferPool {
         }
         match &self.inner.mode {
             SharedMode::Unbuffered => true,
-            SharedMode::Cached { shards, .. } => shards
-                .get(token.shard())
-                .and_then(|sh| sh.arena.get(token.frame()))
-                .is_some_and(|fr| fr.read_validate(token.version())),
+            SharedMode::Cached { shards, .. } => {
+                let ok = shards
+                    .get(token.shard())
+                    .and_then(|sh| sh.arena.get(token.frame()))
+                    .is_some_and(|fr| fr.read_validate(token.version()));
+                // A failed validation means the caller restarts its
+                // optimistic descent — the contention signal E10 watches.
+                #[cfg(feature = "trace")]
+                if !ok {
+                    self.emit(
+                        fame_obs::SpanKind::TokenRestart,
+                        token.frame() as u64,
+                        token.shard() as u64,
+                    );
+                }
+                ok
+            }
         }
     }
 
@@ -895,6 +932,8 @@ impl SharedBufferPool {
             return Ok(idx);
         }
         self.inner.stats.misses.inc();
+        #[cfg(feature = "trace")]
+        self.emit(fame_obs::SpanKind::PoolMiss, page as u64, 0);
         let ps = self.inner.page_size;
 
         let idx = if let Some(idx) = s.free.pop() {
@@ -926,6 +965,8 @@ impl SharedBufferPool {
             fr.dirty.store(false, Relaxed);
             fr.end_write();
             self.inner.stats.evictions.inc();
+            #[cfg(feature = "trace")]
+            self.emit(fame_obs::SpanKind::PoolEviction, old as u64, victim as u64);
             victim
         };
 

@@ -5,6 +5,12 @@ use fame_os::BlockDevice;
 use fame_storage::Pager;
 
 use std::ops::{Deref, DerefMut};
+#[cfg(all(
+    feature = "concurrency-multi",
+    feature = "statistics",
+    not(feature = "concurrency-multi-writer")
+))]
+use std::sync::Arc;
 #[cfg(feature = "concurrency-multi-writer")]
 use std::sync::{Arc, Mutex};
 
@@ -257,6 +263,20 @@ impl TxnSlot {
         !matches!(self, TxnSlot::None)
     }
 
+    /// `true` when the shared MultiWriter manager drives this product —
+    /// it emits its own transaction spans, so the facade must not.
+    #[cfg(feature = "obs-trace")]
+    fn is_shared(&self) -> bool {
+        #[cfg(feature = "concurrency-multi-writer")]
+        {
+            matches!(self, TxnSlot::Shared(_))
+        }
+        #[cfg(not(feature = "concurrency-multi-writer"))]
+        {
+            false
+        }
+    }
+
     /// The single-writer manager, for paths the shared product reaches
     /// through [`SharedTxnManager::with_inner`] instead.
     fn own_mut(&mut self) -> &mut fame_txn::TxnManager {
@@ -496,6 +516,13 @@ pub struct Database {
     /// Fixed-capacity op-trace ring (feature `statistics`).
     #[cfg(feature = "statistics")]
     trace: fame_obs::TraceRing,
+    /// Causal span flight recorder (feature `obs-trace`). Owns the span
+    /// sink every probed layer holds an `Arc` of.
+    #[cfg(feature = "obs-trace")]
+    recorder: fame_obs::FlightRecorder,
+    /// Aggregate of dropped [`DbReader`] handles' local counters.
+    #[cfg(all(feature = "concurrency-multi", feature = "statistics"))]
+    reader_acc: std::sync::Arc<ReaderAccum>,
     /// What the last [`Database::verify_integrity`] walk found.
     #[cfg(feature = "statistics")]
     last_integrity: Option<IntegritySummary>,
@@ -618,6 +645,17 @@ impl Database {
         #[cfg(feature = "statistics")]
         let trace = fame_obs::TraceRing::new(config.stats.trace_capacity);
 
+        #[cfg(feature = "obs-trace")]
+        let recorder = fame_obs::FlightRecorder::new(
+            config.stats.span_rings,
+            config.stats.span_capacity,
+            config.stats.window_ms.max(1).saturating_mul(1_000_000),
+            fame_obs::AnomalyThresholds {
+                deadlocks_per_sec: config.stats.anomaly_deadlocks_per_sec,
+                lock_wait_p99_ns: config.stats.anomaly_lock_wait_p99_ns,
+            },
+        );
+
         // MultiWriter products wrap storage and the transaction manager in
         // their shareable forms *before* recovery: recovery then runs
         // through the same cells (single-threaded at open, so the mutexes
@@ -667,11 +705,34 @@ impl Database {
             io,
             #[cfg(feature = "statistics")]
             trace,
+            #[cfg(feature = "obs-trace")]
+            recorder,
+            #[cfg(all(feature = "concurrency-multi", feature = "statistics"))]
+            reader_acc: std::sync::Arc::new(ReaderAccum::default()),
             #[cfg(feature = "statistics")]
             last_integrity: None,
             #[cfg(all(feature = "api-batch", feature = "statistics"))]
             batch_obs: BatchObs::default(),
         };
+        // Install the span sink into every probed layer before recovery
+        // runs, so even the open-time recovery replay is traced.
+        #[cfg(feature = "obs-trace")]
+        {
+            let sink = db.recorder.sink();
+            #[cfg(feature = "concurrency-multi")]
+            if let Some(pool) = db.storage.peek().pager.pool().shared_handle() {
+                pool.set_trace_sink(std::sync::Arc::clone(sink));
+            }
+            #[cfg(feature = "concurrency-multi-writer")]
+            if let TxnSlot::Shared(mgr) = &db.txn {
+                mgr.set_trace_sink(std::sync::Arc::clone(sink));
+            }
+            #[cfg(feature = "replication")]
+            if let Some(p) = &mut db.replication {
+                p.set_trace_sink(std::sync::Arc::clone(sink));
+            }
+            let _ = sink;
+        }
         #[cfg(feature = "transactions")]
         if let Some((records, resume)) = replay {
             db.recover_from_records(&records, resume)?;
@@ -744,7 +805,16 @@ impl Database {
             #[cfg(feature = "index-hash")]
             Kv::Hash(h) => ReaderKv::Hash(*h),
         };
-        Ok(DbReader { pager, kv })
+        Ok(DbReader {
+            pager,
+            kv,
+            #[cfg(feature = "statistics")]
+            obs: ReaderObs {
+                acc: Arc::clone(&self.reader_acc),
+                gets: 0,
+                hits: 0,
+            },
+        })
     }
 
     /// A concurrent write handle (feature `concurrency-multi-writer`).
@@ -1133,6 +1203,18 @@ impl Database {
             frames,
             frame_bytes: frames * page_size,
             ops_traced: self.trace.recorded(),
+            #[cfg(feature = "obs-trace")]
+            windows: self.recorder.sink().windows(),
+            #[cfg(feature = "concurrency-multi")]
+            reader_gets: self
+                .reader_acc
+                .gets
+                .load(std::sync::atomic::Ordering::Relaxed),
+            #[cfg(feature = "concurrency-multi")]
+            reader_hits: self
+                .reader_acc
+                .hits
+                .load(std::sync::atomic::Ordering::Relaxed),
             integrity: self.last_integrity,
             #[cfg(feature = "api-batch")]
             batches: self.batch_obs.batches.get(),
@@ -1166,6 +1248,39 @@ impl Database {
     #[cfg(feature = "statistics")]
     pub fn op_trace(&self) -> Vec<fame_obs::TraceEvent> {
         self.trace.dump()
+    }
+
+    // ---- causal tracing (feature `obs-trace`) -----------------------------
+
+    /// Dump the flight recorder: every retained span event plus the
+    /// current windowed metrics, ready for
+    /// [`fame_obs::TraceDump::to_chrome_json`] / `to_tsv` export.
+    #[cfg(feature = "obs-trace")]
+    pub fn dump_trace(&self) -> fame_obs::TraceDump {
+        self.recorder.dump(None)
+    }
+
+    /// Check the anomaly thresholds (see
+    /// [`crate::config::StatsConfig`]); returns `Some` exactly once per
+    /// not-crossed → crossed transition. Callers typically follow up with
+    /// [`Database::dump_trace`] stamped with the anomaly's reason.
+    #[cfg(feature = "obs-trace")]
+    pub fn trace_anomaly(&self) -> Option<fame_obs::Anomaly> {
+        self.recorder.observe()
+    }
+
+    /// Current windowed metrics (merge-on-read snapshot of the rotating
+    /// histogram windows).
+    #[cfg(feature = "obs-trace")]
+    pub fn trace_windows(&self) -> fame_obs::WindowsSnapshot {
+        self.recorder.sink().windows()
+    }
+
+    /// The flight recorder itself (sink installation for embedders that
+    /// probe their own layers, anomaly-stamped dumps).
+    #[cfg(feature = "obs-trace")]
+    pub fn flight_recorder(&self) -> &fame_obs::FlightRecorder {
+        &self.recorder
     }
 
     // ---- queue access method (Berkeley DB QUEUE, §2.2) -------------------
@@ -1227,6 +1342,12 @@ impl Database {
         self.txn_pending_ship.insert(id, Vec::new());
         #[cfg(feature = "statistics")]
         self.trace.record(fame_obs::OpKind::TxnBegin, id, 0);
+        #[cfg(feature = "obs-trace")]
+        if !self.txn.is_shared() {
+            self.recorder
+                .sink()
+                .emit(fame_obs::SpanKind::TxnBegin, id, 0, 0, 0);
+        }
         Ok(TxnHandle { id })
     }
 
@@ -1274,7 +1395,19 @@ impl Database {
     /// through the cross-transaction group channel.
     #[cfg(feature = "transactions")]
     pub fn commit(&mut self, txn: TxnHandle) -> Result<()> {
+        #[cfg(feature = "obs-trace")]
+        let t0 = fame_obs::monotonic_ns();
         self.txn.commit(txn.id)?;
+        #[cfg(feature = "obs-trace")]
+        if !self.txn.is_shared() {
+            self.recorder.sink().emit(
+                fame_obs::SpanKind::TxnCommit,
+                txn.id,
+                0,
+                fame_obs::monotonic_ns() - t0,
+                0,
+            );
+        }
         let pending = self.txn_pending_ship.remove(&txn.id).unwrap_or_default();
         #[cfg(feature = "replication")]
         for (key, op) in pending {
@@ -1314,6 +1447,12 @@ impl Database {
         }
         #[cfg(feature = "statistics")]
         self.trace.record(fame_obs::OpKind::TxnAbort, txn.id, 0);
+        #[cfg(feature = "obs-trace")]
+        if !self.txn.is_shared() {
+            self.recorder
+                .sink()
+                .emit(fame_obs::SpanKind::TxnAbort, txn.id, 0, 0, 0);
+        }
         Ok(())
     }
 
@@ -1365,6 +1504,14 @@ impl Database {
         #[cfg(feature = "statistics")]
         self.trace.record(
             fame_obs::OpKind::Recovery,
+            stats.redo_applied as u64,
+            stats.undo_applied as u64,
+        );
+        #[cfg(feature = "obs-trace")]
+        self.recorder.sink().emit(
+            fame_obs::SpanKind::Recovery,
+            0,
+            0,
             stats.redo_applied as u64,
             stats.undo_applied as u64,
         );
@@ -1486,6 +1633,19 @@ pub struct StatsSnapshot {
     pub frame_bytes: usize,
     /// Events recorded into the op-trace ring since open.
     pub ops_traced: u64,
+    /// Windowed span metrics of the flight recorder (feature `obs-trace`):
+    /// per-window lock-wait / commit percentiles plus deadlock and
+    /// restart rates over the last rotation windows, not since boot.
+    #[cfg(feature = "obs-trace")]
+    pub windows: fame_obs::WindowsSnapshot,
+    /// Lookups served by dropped [`DbReader`] handles (handle-local
+    /// counters, merged when a handle drops — live handles' in-flight
+    /// counts are not included).
+    #[cfg(feature = "concurrency-multi")]
+    pub reader_gets: u64,
+    /// How many of those lookups found the key.
+    #[cfg(feature = "concurrency-multi")]
+    pub reader_hits: u64,
     /// What the last [`Database::verify_integrity`] found; `None` until
     /// it has been run on this instance.
     pub integrity: Option<IntegritySummary>,
@@ -1574,6 +1734,31 @@ impl StatsSnapshot {
             put(&format!("{name}.max_ns"), h.max_ns);
         }
         put("ops_traced", self.ops_traced);
+        #[cfg(feature = "concurrency-multi")]
+        {
+            put("reader.gets", self.reader_gets);
+            put("reader.hits", self.reader_hits);
+        }
+        #[cfg(feature = "obs-trace")]
+        {
+            let w = &self.windows;
+            put("trace.spans.recorded", w.recorded);
+            put("trace.spans.dropped", w.dropped);
+            put("trace.lock_wait.p99_ns", w.lock_wait_p99_ns());
+            put("trace.commit.p99_ns", w.commit_p99_ns());
+            put("trace.deadlocks.total", w.deadlocks.total());
+            put("trace.restarts.total", w.restarts.total());
+            // Rates as fixed-point thousandths: `put` (and the scrapers
+            // downstream) speak integers only.
+            put(
+                "trace.deadlocks_per_sec_x1000",
+                (w.deadlocks_per_sec() * 1000.0) as u64,
+            );
+            put(
+                "trace.restarts_per_sec_x1000",
+                (w.restarts_per_sec() * 1000.0) as u64,
+            );
+        }
         if let Some(i) = &self.integrity {
             put("integrity.violations", i.violations as u64);
             put("integrity.leaked_pages", u64::from(i.leaked_pages));
@@ -1676,6 +1861,31 @@ impl std::fmt::Display for StatsSnapshot {
         write!(f, "\nio write:         {}", self.io.write)?;
         write!(f, "\nio sync:          {}", self.io.sync)?;
         write!(f, "\nops traced:       {}", self.ops_traced)?;
+        #[cfg(feature = "concurrency-multi")]
+        if self.reader_gets > 0 {
+            write!(
+                f,
+                "\nreaders:          {} gets ({} hits, from dropped handles)",
+                self.reader_gets, self.reader_hits
+            )?;
+        }
+        #[cfg(feature = "obs-trace")]
+        {
+            let w = &self.windows;
+            write!(
+                f,
+                "\nspans:            {} recorded, {} dropped",
+                w.recorded, w.dropped
+            )?;
+            write!(
+                f,
+                "\nwindows:          lock-wait p99 {}ns, commit p99 {}ns, {:.1} deadlocks/s, {:.1} restarts/s",
+                w.lock_wait_p99_ns(),
+                w.commit_p99_ns(),
+                w.deadlocks_per_sec(),
+                w.restarts_per_sec()
+            )?;
+        }
         if let Some(i) = &self.integrity {
             write!(
                 f,
@@ -1850,6 +2060,51 @@ enum ReaderKv {
     Hash(HashIndex),
 }
 
+/// Shared accumulator for dropped [`DbReader`] handles' local counters
+/// (feature `statistics`). Live handles count into plain handle-local
+/// `u64`s — the read path writes no shared cache line, which is what
+/// keeps `fig1b_mt` scaling intact — and flush here exactly once, on
+/// drop.
+#[cfg(all(feature = "concurrency-multi", feature = "statistics"))]
+#[derive(Debug, Default)]
+struct ReaderAccum {
+    gets: std::sync::atomic::AtomicU64,
+    hits: std::sync::atomic::AtomicU64,
+}
+
+/// The handle-local half: plain counters plus the `Arc` they flush into.
+/// Cloning a handle starts the clone's counts at zero (the parent keeps
+/// its own); dropping flushes with two Relaxed `fetch_add`s.
+#[cfg(all(feature = "concurrency-multi", feature = "statistics"))]
+#[derive(Debug)]
+struct ReaderObs {
+    acc: Arc<ReaderAccum>,
+    gets: u64,
+    hits: u64,
+}
+
+#[cfg(all(feature = "concurrency-multi", feature = "statistics"))]
+impl Clone for ReaderObs {
+    fn clone(&self) -> Self {
+        ReaderObs {
+            acc: Arc::clone(&self.acc),
+            gets: 0,
+            hits: 0,
+        }
+    }
+}
+
+#[cfg(all(feature = "concurrency-multi", feature = "statistics"))]
+impl Drop for ReaderObs {
+    fn drop(&mut self) {
+        use std::sync::atomic::Ordering::Relaxed;
+        if self.gets > 0 {
+            self.acc.gets.fetch_add(self.gets, Relaxed);
+            self.acc.hits.fetch_add(self.hits, Relaxed);
+        }
+    }
+}
+
 /// A concurrent read handle obtained from [`Database::reader`] (feature
 /// `concurrency-multi`).
 ///
@@ -1862,6 +2117,11 @@ enum ReaderKv {
 pub struct DbReader {
     pager: SharedPager,
     kv: ReaderKv,
+    /// Handle-local lookup counters (feature `statistics`), merged into
+    /// [`Database::stats`]'s `reader_gets`/`reader_hits` when this handle
+    /// drops.
+    #[cfg(feature = "statistics")]
+    obs: ReaderObs,
 }
 
 #[cfg(feature = "concurrency-multi")]
@@ -1873,6 +2133,16 @@ impl DbReader {
 
     /// Allocation-free lookup: run `f` over the value bytes in place.
     pub fn get_with<R>(&mut self, key: &[u8], f: impl FnOnce(&[u8]) -> R) -> Result<Option<R>> {
+        let found = self.lookup(key, f)?;
+        #[cfg(feature = "statistics")]
+        {
+            self.obs.gets += 1;
+            self.obs.hits += u64::from(found.is_some());
+        }
+        Ok(found)
+    }
+
+    fn lookup<R>(&mut self, key: &[u8], f: impl FnOnce(&[u8]) -> R) -> Result<Option<R>> {
         match self.kv {
             #[cfg(feature = "index-btree")]
             ReaderKv::BTree { root_slot } => {
@@ -1931,6 +2201,18 @@ impl DbWriter {
     pub fn begin(&self) -> Result<TxnHandle> {
         Ok(TxnHandle {
             id: self.txn.begin()?,
+        })
+    }
+
+    /// Start a transaction that retries aborted transaction `parent`
+    /// (deadlock victim or lock timeout). Behaviorally identical to
+    /// [`DbWriter::begin`]; with the `obs-trace` feature the new
+    /// transaction's causal span chain is spliced onto the aborted one's
+    /// via a `retry` event — the link E13 asserts on when reconstructing
+    /// `lock-wait → deadlock-victim → retry → txn-commit`.
+    pub fn begin_retry(&self, parent: TxnHandle) -> Result<TxnHandle> {
+        Ok(TxnHandle {
+            id: self.txn.begin_retry(parent.id)?,
         })
     }
 

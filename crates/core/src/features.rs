@@ -50,6 +50,7 @@ pub fn active_features() -> Vec<&'static str> {
         "crypto",
         "replication",
         "statistics",
+        "obs-trace",
         "monolithic",
     );
     out
@@ -137,6 +138,9 @@ pub fn model_configuration(
     }
     if cfg!(feature = "statistics") {
         select("Statistics");
+    }
+    if cfg!(feature = "obs-trace") {
+        select("Tracing");
     }
 
     #[cfg(feature = "buffer")]

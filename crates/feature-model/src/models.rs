@@ -91,6 +91,18 @@ pub fn fame_dbms() -> FeatureModel {
         stats,
         "Atomic counters, latency histograms, op-trace ring (NFP feedback)",
     );
+    // Statistics -> Tracing (optional child): causal span rings, rotating
+    // windowed metrics, flight recorder + exporters. RAM cost is the span
+    // rings (span_rings * span_capacity * 64 B at defaults) — far too much
+    // for the deeply embedded products, which is exactly why it is its own
+    // composable feature instead of part of Statistics.
+    let tracing = b.optional(stats, "Tracing");
+    b.attr(tracing, "rom_bytes", 4_000.0);
+    b.attr(tracing, "ram_bytes", 262_144.0);
+    b.doc(
+        tracing,
+        "Causal span tracing, windowed p99s, flight recorder (diagnostics)",
+    );
 
     // --- Buffer manager --------------------------------------------------
     let buf = b.optional(root, "BufferManager");
@@ -402,6 +414,17 @@ mod tests {
         // Minimal config should not include the big optional subsystems.
         assert!(!c.is_selected(m.id("Transaction")));
         assert!(!c.is_selected(m.id("SQLEngine")));
+    }
+
+    #[test]
+    fn tracing_requires_statistics() {
+        let m = fame_dbms();
+        let mut c = m.minimal_configuration().unwrap();
+        // Tracing without its Statistics parent is structurally invalid.
+        c.select(m.id("Tracing"));
+        assert!(m.validate(&c).is_err());
+        c.select(m.id("Statistics"));
+        assert!(m.validate(&c).is_ok());
     }
 
     #[test]

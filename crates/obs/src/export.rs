@@ -1,0 +1,164 @@
+//! Exporters for the *Tracing* feature: chrome://tracing JSON and TSV.
+//!
+//! The JSON is hand-built (this crate stays dependency-free). Every span
+//! event becomes a chrome *instant* event (`"ph":"i"`, thread scope): the
+//! causal chain is carried in `args` (`span`, `txn`, `parent`), which the
+//! trace viewer shows on click and `obs_report`'s assertions parse back.
+//! The schema is pinned by a golden test in `tests/obs_trace.rs` — change
+//! it deliberately or not at all.
+
+use std::fmt::Write as _;
+
+use crate::ring::WindowsSnapshot;
+use crate::span::SpanEvent;
+
+/// A complete on-demand dump: the retained span events plus the windowed
+/// metrics at dump time, and the anomaly (if one) that triggered it.
+#[derive(Debug, Clone, Default)]
+pub struct TraceDump {
+    /// Retained span events, oldest first.
+    pub events: Vec<SpanEvent>,
+    /// Windowed metrics at dump time.
+    pub windows: WindowsSnapshot,
+    /// Why the flight recorder dumped, when anomaly-triggered.
+    pub anomaly: Option<String>,
+}
+
+impl TraceDump {
+    /// chrome://tracing JSON of the events (load via `about:tracing` or
+    /// [Perfetto](https://ui.perfetto.dev)).
+    pub fn to_chrome_json(&self) -> String {
+        chrome_trace_json(&self.events)
+    }
+
+    /// TSV of the events, one row per span.
+    pub fn to_tsv(&self) -> String {
+        spans_tsv(&self.events)
+    }
+
+    /// TSV of the windowed metrics, one row per (metric, window).
+    pub fn windows_tsv(&self) -> String {
+        let mut out = String::from("metric\twindow\tstart_ns\tcount\tp50_ns\tp99_ns\tmax_ns\n");
+        for (name, h) in [
+            ("lock_wait", &self.windows.lock_wait),
+            ("commit", &self.windows.commit),
+        ] {
+            for w in &h.windows {
+                let _ = writeln!(
+                    out,
+                    "{name}\t{}\t{}\t{}\t{}\t{}\t{}",
+                    w.index,
+                    w.start_ns,
+                    w.hist.count,
+                    w.hist.percentile_ns(50),
+                    w.hist.percentile_ns(99),
+                    w.hist.max_ns,
+                );
+            }
+        }
+        for (name, c) in [
+            ("deadlocks", &self.windows.deadlocks),
+            ("restarts", &self.windows.restarts),
+        ] {
+            for &(index, count) in &c.windows {
+                let _ = writeln!(
+                    out,
+                    "{name}\t{index}\t{}\t{count}\t0\t0\t0",
+                    index * c.window_ns,
+                );
+            }
+        }
+        out
+    }
+}
+
+/// chrome://tracing JSON array of instant events. `ts` is microseconds
+/// with nanosecond decimals (the viewer's native unit); `tid` is the
+/// recording ring.
+pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let us_whole = e.at_ns / 1_000;
+        let us_frac = e.at_ns % 1_000;
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"fame\",\"ph\":\"i\",\"s\":\"t\",\
+             \"ts\":{us_whole}.{us_frac:03},\"pid\":1,\"tid\":{},\
+             \"args\":{{\"span\":{},\"txn\":{},\"parent\":{},\"a\":{},\"b\":{}}}}}",
+            e.kind.label(),
+            e.ring,
+            e.span_id(),
+            e.txn,
+            e.parent,
+            e.a,
+            e.b,
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// TSV of span events: one row each, stable column order.
+pub fn spans_tsv(events: &[SpanEvent]) -> String {
+    let mut out = String::from("at_ns\tring\tseq\tspan\tkind\ttxn\tparent\ta\tb\n");
+    for e in events {
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            e.at_ns,
+            e.ring,
+            e.seq,
+            e.span_id(),
+            e.kind.label(),
+            e.txn,
+            e.parent,
+            e.a,
+            e.b,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanKind;
+
+    fn ev(at_ns: u64, kind: SpanKind, txn: u64, parent: u64) -> SpanEvent {
+        SpanEvent {
+            seq: 0,
+            ring: 0,
+            at_ns,
+            kind,
+            txn,
+            parent,
+            a: 0,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn chrome_json_is_wellformed_enough() {
+        let json = chrome_trace_json(&[
+            ev(1_500, SpanKind::LockWait, 3, 2),
+            ev(2_000, SpanKind::Retry, 4, 3),
+        ]);
+        assert!(json.starts_with('{') && json.ends_with("]}"));
+        assert!(json.contains("\"name\":\"lock-wait\""));
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"parent\":3"));
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), 2);
+    }
+
+    #[test]
+    fn tsv_row_per_event() {
+        let tsv = spans_tsv(&[ev(7, SpanKind::TxnCommit, 1, 0)]);
+        let mut lines = tsv.lines();
+        assert!(lines.next().unwrap().starts_with("at_ns\t"));
+        assert_eq!(lines.next().unwrap(), "7\t0\t0\t0\ttxn-commit\t1\t0\t0\t0");
+        assert!(lines.next().is_none());
+    }
+}

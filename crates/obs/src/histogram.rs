@@ -64,6 +64,20 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Zero every bucket and aggregate. Not atomic as a whole: a sample
+    /// recorded concurrently with a reset may survive in some fields and
+    /// vanish from others. The windowed-metrics rotation (feature `trace`)
+    /// accepts that — it resets a slot exactly once per window epoch, and
+    /// a handful of boundary samples only perturb one window's counts.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_ns.store(0, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+    }
+
     /// Copy the current state. Concurrent recording may leave the copy an
     /// instant stale; each field is itself untorn.
     pub fn snapshot(&self) -> HistogramSnapshot {

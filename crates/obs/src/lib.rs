@@ -21,14 +21,51 @@
 //! *without* the feature do not link this crate at all — `cargo tree`
 //! proves the absence, which is the composition-level half of the paper's
 //! "no overhead" claim (Fig. 1b).
+//!
+//! The optional `trace` cargo feature (the model's `Statistics → Tracing`
+//! child) grows this into a full tracing/metrics subsystem — still
+//! dependency-free and bounded:
+//!
+//! * [`SpanEvent`]/[`SpanKind`] — causal span events keyed on transaction
+//!   ids, recorded into lock-free per-thread rings ([`TraceSink`]);
+//! * [`WindowedHistogram`]/[`WindowedCounter`] — rotating N-second metric
+//!   windows with merge-on-read snapshots (p50/p99/max *now*, not
+//!   since-boot);
+//! * [`FlightRecorder`] — the bounded always-on recorder with
+//!   edge-triggered anomaly dumps;
+//! * [`TraceDump`] — chrome://tracing JSON and TSV exporters.
 
 mod counter;
+#[cfg(feature = "trace")]
+mod export;
 mod histogram;
+#[cfg(feature = "trace")]
+mod recorder;
+#[cfg(feature = "trace")]
+mod ring;
+#[cfg(feature = "trace")]
+mod span;
 mod trace;
+#[cfg(feature = "trace")]
+mod window;
 
 pub use counter::Counter;
 pub use histogram::{Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
 pub use trace::{OpKind, TraceEvent, TraceRing};
+
+#[cfg(feature = "trace")]
+pub use export::{chrome_trace_json, spans_tsv, TraceDump};
+#[cfg(feature = "trace")]
+pub use recorder::{Anomaly, AnomalyThresholds, FlightRecorder};
+#[cfg(feature = "trace")]
+pub use ring::{TraceSink, WindowsSnapshot};
+#[cfg(feature = "trace")]
+pub use span::{SpanEvent, SpanKind};
+#[cfg(feature = "trace")]
+pub use window::{
+    WindowSnapshot, WindowedCounter, WindowedCounterSnapshot, WindowedHistogram,
+    WindowedHistogramSnapshot, DEFAULT_WINDOWS,
+};
 
 use std::sync::OnceLock;
 use std::time::Instant;

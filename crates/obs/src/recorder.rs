@@ -1,0 +1,159 @@
+//! The flight recorder: a bounded, always-on trace buffer with anomaly
+//! triggering.
+//!
+//! The recorder owns the [`TraceSink`] and two optional thresholds. Every
+//! layer holds an `Arc` of the sink and records unconditionally (the
+//! rings are bounded, overwrite-oldest); [`FlightRecorder::observe`]
+//! compares the *current* windowed metrics against the thresholds and
+//! fires **edge-triggered**: it returns an [`Anomaly`] only on the
+//! not-crossed → crossed transition, then stays quiet until the metric
+//! drops back below and crosses again. That makes it safe to call from
+//! every `stats()` poll without spamming one dump per poll.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::export::TraceDump;
+use crate::ring::{TraceSink, WindowsSnapshot};
+
+/// Anomaly thresholds; `None` disables a trigger.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnomalyThresholds {
+    /// Fire when deadlock-victim aborts/second reach this rate.
+    pub deadlocks_per_sec: Option<f64>,
+    /// Fire when the windowed lock-wait p99 reaches this many ns.
+    pub lock_wait_p99_ns: Option<u64>,
+}
+
+/// A threshold crossing reported by [`FlightRecorder::observe`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Anomaly {
+    /// Human-readable trigger description (metric, value, threshold).
+    pub reason: String,
+    /// [`crate::monotonic_ns`] time of the observation.
+    pub at_ns: u64,
+}
+
+/// Bounded in-memory recorder: sink + thresholds + trigger latch.
+pub struct FlightRecorder {
+    sink: Arc<TraceSink>,
+    thresholds: AnomalyThresholds,
+    /// Latch for edge triggering: true while above threshold.
+    tripped: AtomicBool,
+}
+
+impl FlightRecorder {
+    /// Build a recorder and its sink. `rings`/`capacity`/`window_ns` are
+    /// the sink's (see [`TraceSink::new`] for clamping).
+    pub fn new(
+        rings: usize,
+        capacity: usize,
+        window_ns: u64,
+        thresholds: AnomalyThresholds,
+    ) -> Self {
+        FlightRecorder {
+            sink: Arc::new(TraceSink::new(rings, capacity, window_ns)),
+            thresholds,
+            tripped: AtomicBool::new(false),
+        }
+    }
+
+    /// The sink probes record into. Clone the `Arc` into each layer.
+    pub fn sink(&self) -> &Arc<TraceSink> {
+        &self.sink
+    }
+
+    /// Check thresholds at `now_ns`; `Some` exactly once per crossing.
+    pub fn observe_at(&self, now_ns: u64) -> Option<Anomaly> {
+        let w = self.sink.windows_at(now_ns);
+        let reason = self.breached(&w)?;
+        // swap() returns the previous latch state: only the first
+        // observer of this crossing gets the anomaly.
+        if self.tripped.swap(true, Ordering::AcqRel) {
+            return None;
+        }
+        Some(Anomaly {
+            reason,
+            at_ns: now_ns,
+        })
+    }
+
+    /// [`FlightRecorder::observe_at`] against the current clock. Also
+    /// re-arms the latch when the metrics have dropped below threshold.
+    pub fn observe(&self) -> Option<Anomaly> {
+        let now = crate::monotonic_ns();
+        let w = self.sink.windows_at(now);
+        if self.breached(&w).is_none() {
+            self.tripped.store(false, Ordering::Release);
+            return None;
+        }
+        self.observe_at(now)
+    }
+
+    /// Which threshold (if any) the snapshot breaches.
+    fn breached(&self, w: &WindowsSnapshot) -> Option<String> {
+        if let Some(limit) = self.thresholds.deadlocks_per_sec {
+            let rate = w.deadlocks_per_sec();
+            if rate >= limit {
+                return Some(format!("deadlocks/s {rate:.1} >= {limit:.1}"));
+            }
+        }
+        if let Some(limit) = self.thresholds.lock_wait_p99_ns {
+            let p99 = w.lock_wait_p99_ns();
+            if p99 >= limit {
+                return Some(format!("lock-wait p99 {p99}ns >= {limit}ns"));
+            }
+        }
+        None
+    }
+
+    /// Dump everything retained: events + windows, stamped with `anomaly`
+    /// when the caller is dumping because [`FlightRecorder::observe`]
+    /// fired.
+    pub fn dump(&self, anomaly: Option<String>) -> TraceDump {
+        TraceDump {
+            events: self.sink.events(),
+            windows: self.sink.windows(),
+            anomaly,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanKind;
+
+    #[test]
+    fn anomaly_fires_once_per_crossing() {
+        let r = FlightRecorder::new(
+            1,
+            16,
+            1_000_000_000,
+            AnomalyThresholds {
+                deadlocks_per_sec: Some(1.0),
+                lock_wait_p99_ns: None,
+            },
+        );
+        assert!(r.observe_at(100).is_none());
+        for _ in 0..5 {
+            r.sink().emit_at(200, SpanKind::DeadlockVictim, 1, 0, 0, 0);
+        }
+        let a = r.observe_at(300).expect("crossing fires");
+        assert!(a.reason.contains("deadlocks/s"), "{}", a.reason);
+        // Still above threshold: latched, no second anomaly.
+        assert!(r.observe_at(400).is_none());
+    }
+
+    #[test]
+    fn dump_carries_events_and_windows() {
+        let r = FlightRecorder::new(1, 16, 1_000_000_000, AnomalyThresholds::default());
+        r.sink().emit_at(10, SpanKind::LockGrant, 1, 0, 640, 3);
+        let d = r.dump(Some("test".into()));
+        assert_eq!(d.events.len(), 1);
+        assert!(d.windows.lock_wait_p99_ns() >= 640);
+        assert_eq!(d.anomaly.as_deref(), Some("test"));
+        assert!(d.to_chrome_json().contains("lock-grant"));
+        assert!(d.windows_tsv().contains("lock_wait"));
+    }
+}

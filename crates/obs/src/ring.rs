@@ -1,0 +1,406 @@
+//! Lock-free per-thread span rings and the [`TraceSink`] façade.
+//!
+//! Probe sites sit on paths we must not slow down or, worse, block: the
+//! lock table emits while holding its table mutex, the pool emits under a
+//! shard latch. So recording must be wait-free in practice and can never
+//! take a lock. The scheme:
+//!
+//! * The sink owns `R` rings. Each thread hashes to a *home ring* (a
+//!   round-robin thread-local hint), and a ring is owned by **at most one
+//!   writer at a time**: recording claims the ring's `busy` flag with a
+//!   single compare-exchange. On collision (two threads sharing a home
+//!   ring, mid-record) the writer simply probes the next ring; after `R`
+//!   failed probes the event is counted in `dropped` and abandoned —
+//!   recording never spins and never blocks the probe site.
+//! * Within a claimed ring the writer is exclusive, so each slot needs to
+//!   defend only against concurrent *readers*. Slots use the audited
+//!   seqlock idiom of `fame-buffer`'s frames: store odd ticket, Release
+//!   fence, payload stores, publish even ticket with Release; readers
+//!   re-validate after an Acquire fence and skip torn slots.
+//! * Rings overwrite oldest (slot = ticket % capacity), so memory is
+//!   bounded at init like every other fame-obs structure.
+//!
+//! Draining ([`TraceSink::events`]) is non-destructive: it copies every
+//! currently-valid slot and merges all rings by timestamp, so the flight
+//! recorder can dump repeatedly.
+//!
+//! The sink also routes a few event kinds into the rotating windows of
+//! [`crate::window`] (lock-wait latency, commit latency, deadlock and
+//! restart rates), so one `emit` feeds both the causal trace and the
+//! windowed metrics.
+
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+use crate::span::{SpanEvent, SpanKind};
+use crate::window::{
+    WindowedCounter, WindowedCounterSnapshot, WindowedHistogram, WindowedHistogramSnapshot,
+    DEFAULT_WINDOWS,
+};
+use crate::Counter;
+
+/// One seqlock slot: `seq` holds `2·(ticket+1)` once published,
+/// `2·(ticket+1) − 1` while the (single) ring writer is inside the write
+/// window, and 0 while never written.
+struct SpanSlot {
+    seq: AtomicU64,
+    at_ns: AtomicU64,
+    kind: AtomicU64,
+    txn: AtomicU64,
+    parent: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+impl SpanSlot {
+    const fn empty() -> Self {
+        SpanSlot {
+            seq: AtomicU64::new(0),
+            at_ns: AtomicU64::new(0),
+            kind: AtomicU64::new(0),
+            txn: AtomicU64::new(0),
+            parent: AtomicU64::new(0),
+            a: AtomicU64::new(0),
+            b: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A single-writer, multi-reader, overwrite-oldest span ring.
+struct SpanRing {
+    /// Writer-exclusivity claim; see the module docs.
+    busy: AtomicBool,
+    /// Next ticket. Only the `busy` owner advances it.
+    head: AtomicU64,
+    slots: Box<[SpanSlot]>,
+}
+
+impl SpanRing {
+    fn new(capacity: usize) -> Self {
+        SpanRing {
+            busy: AtomicBool::new(false),
+            head: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| SpanSlot::empty()).collect(),
+        }
+    }
+
+    /// Try to record; `false` means the ring is mid-record elsewhere.
+    fn try_record(
+        &self,
+        at_ns: u64,
+        kind: SpanKind,
+        txn: u64,
+        parent: u64,
+        a: u64,
+        b: u64,
+    ) -> bool {
+        if self
+            .busy
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return false;
+        }
+        // Exclusive from here to the Release store of `busy`.
+        let ticket = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
+        // Seqlock write window (crossbeam idiom, as in SharedFrame):
+        // odd marks the slot torn for readers racing the payload stores.
+        slot.seq.store(2 * (ticket + 1) - 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        slot.at_ns.store(at_ns, Ordering::Relaxed);
+        slot.kind.store(kind as u64, Ordering::Relaxed);
+        slot.txn.store(txn, Ordering::Relaxed);
+        slot.parent.store(parent, Ordering::Relaxed);
+        slot.a.store(a, Ordering::Relaxed);
+        slot.b.store(b, Ordering::Relaxed);
+        slot.seq.store(2 * (ticket + 1), Ordering::Release);
+        self.head.store(ticket + 1, Ordering::Relaxed);
+        self.busy.store(false, Ordering::Release);
+        true
+    }
+
+    /// Copy every currently-valid slot into `out` (ring index `ring`).
+    fn drain_into(&self, ring: u32, out: &mut Vec<SpanEvent>) {
+        for slot in self.slots.iter() {
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 == 0 || s1 % 2 == 1 {
+                continue;
+            }
+            let at_ns = slot.at_ns.load(Ordering::Relaxed);
+            let kind = slot.kind.load(Ordering::Relaxed);
+            let txn = slot.txn.load(Ordering::Relaxed);
+            let parent = slot.parent.load(Ordering::Relaxed);
+            let a = slot.a.load(Ordering::Relaxed);
+            let b = slot.b.load(Ordering::Relaxed);
+            fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) != s1 {
+                continue; // torn by a concurrent overwrite — skip
+            }
+            let Some(kind) = u8::try_from(kind).ok().and_then(SpanKind::from_u8) else {
+                continue;
+            };
+            out.push(SpanEvent {
+                seq: s1 / 2 - 1,
+                ring,
+                at_ns,
+                kind,
+                txn,
+                parent,
+                a,
+                b,
+            });
+        }
+    }
+}
+
+/// Round-robin home-ring hint for the calling thread. Purely a load
+/// balancer: correctness never depends on it (collisions fall through to
+/// probing), so a process-wide counter is fine even though sinks are
+/// per-database.
+fn ring_hint() -> usize {
+    use std::cell::Cell;
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static HINT: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    HINT.with(|h| {
+        let mut v = h.get();
+        if v == usize::MAX {
+            v = NEXT.fetch_add(1, Ordering::Relaxed);
+            h.set(v);
+        }
+        v
+    })
+}
+
+/// The per-database trace sink: span rings plus the windowed metrics the
+/// routed kinds feed. One instance per `Database`, shared by `Arc` with
+/// every probed layer.
+pub struct TraceSink {
+    rings: Box<[SpanRing]>,
+    /// Events abandoned because every ring was mid-record.
+    dropped: Counter,
+    /// Wait time of granted-after-queueing lock requests.
+    lock_wait: WindowedHistogram,
+    /// Commit latency of multi-writer transactions.
+    commit: WindowedHistogram,
+    /// Deadlock-victim aborts (the E12 retry-storm signal).
+    deadlocks: WindowedCounter,
+    /// Optimistic token-validation restarts.
+    restarts: WindowedCounter,
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSink")
+            .field("rings", &self.rings.len())
+            .field("recorded", &self.recorded())
+            .field("dropped", &self.dropped.get())
+            .finish_non_exhaustive()
+    }
+}
+
+impl TraceSink {
+    /// `rings` / `capacity` are clamped to ≥ 1 / ≥ 8; `window_ns` ≥ 1.
+    pub fn new(rings: usize, capacity: usize, window_ns: u64) -> Self {
+        let rings = rings.max(1);
+        let capacity = capacity.max(8);
+        TraceSink {
+            rings: (0..rings).map(|_| SpanRing::new(capacity)).collect(),
+            dropped: Counter::new(),
+            lock_wait: WindowedHistogram::new(window_ns, DEFAULT_WINDOWS),
+            commit: WindowedHistogram::new(window_ns, DEFAULT_WINDOWS),
+            deadlocks: WindowedCounter::new(window_ns, DEFAULT_WINDOWS),
+            restarts: WindowedCounter::new(window_ns, DEFAULT_WINDOWS),
+        }
+    }
+
+    /// Emit one span event with the current clock.
+    pub fn emit(&self, kind: SpanKind, txn: u64, parent: u64, a: u64, b: u64) {
+        self.emit_at(crate::monotonic_ns(), kind, txn, parent, a, b);
+    }
+
+    /// Emit at an explicit timestamp — the deterministic seam golden
+    /// tests drive. Also routes the windowed metrics (see the struct
+    /// field docs for which kinds feed which window).
+    pub fn emit_at(&self, at_ns: u64, kind: SpanKind, txn: u64, parent: u64, a: u64, b: u64) {
+        match kind {
+            SpanKind::LockGrant => self.lock_wait.record_at(at_ns, a),
+            SpanKind::TxnCommit => self.commit.record_at(at_ns, a),
+            SpanKind::DeadlockVictim => self.deadlocks.inc_at(at_ns),
+            SpanKind::TokenRestart => self.restarts.inc_at(at_ns),
+            _ => {}
+        }
+        let n = self.rings.len();
+        let start = ring_hint() % n;
+        for i in 0..n {
+            if self.rings[(start + i) % n].try_record(at_ns, kind, txn, parent, a, b) {
+                return;
+            }
+        }
+        self.dropped.inc();
+    }
+
+    /// Total events ever recorded (sum of ring tickets).
+    pub fn recorded(&self) -> u64 {
+        self.rings
+            .iter()
+            .map(|r| r.head.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Events abandoned because every ring was busy.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    /// Total retained-slot capacity across rings.
+    pub fn capacity(&self) -> usize {
+        self.rings.iter().map(|r| r.slots.len()).sum()
+    }
+
+    /// Non-destructive drain: every currently-valid slot of every ring,
+    /// merged and sorted by `(at_ns, ring, seq)`.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        let mut out = Vec::new();
+        for (i, ring) in self.rings.iter().enumerate() {
+            ring.drain_into(i as u32, &mut out);
+        }
+        out.sort_by_key(|e| (e.at_ns, e.ring, e.seq));
+        out
+    }
+
+    /// Copy the windowed metrics at `now_ns`.
+    pub fn windows_at(&self, now_ns: u64) -> WindowsSnapshot {
+        WindowsSnapshot {
+            lock_wait: self.lock_wait.snapshot_at(now_ns),
+            commit: self.commit.snapshot_at(now_ns),
+            deadlocks: self.deadlocks.snapshot_at(now_ns),
+            restarts: self.restarts.snapshot_at(now_ns),
+            recorded: self.recorded(),
+            dropped: self.dropped(),
+        }
+    }
+
+    /// Copy the windowed metrics against the current clock.
+    pub fn windows(&self) -> WindowsSnapshot {
+        self.windows_at(crate::monotonic_ns())
+    }
+}
+
+/// Merge-on-read copy of the sink's windowed metrics plus ring totals.
+#[derive(Debug, Clone, Default)]
+pub struct WindowsSnapshot {
+    /// Lock-wait latency per window (fed by `lock-grant` events).
+    pub lock_wait: WindowedHistogramSnapshot,
+    /// Commit latency per window (fed by `txn-commit` events).
+    pub commit: WindowedHistogramSnapshot,
+    /// Deadlock-victim aborts per window.
+    pub deadlocks: WindowedCounterSnapshot,
+    /// Token-validation restarts per window.
+    pub restarts: WindowedCounterSnapshot,
+    /// Total span events recorded since open.
+    pub recorded: u64,
+    /// Span events dropped (all rings busy).
+    pub dropped: u64,
+}
+
+impl WindowsSnapshot {
+    /// Deadlock-victim aborts per second, newest non-empty window.
+    pub fn deadlocks_per_sec(&self) -> f64 {
+        self.deadlocks.latest_rate_per_sec()
+    }
+
+    /// Token restarts per second, newest non-empty window.
+    pub fn restarts_per_sec(&self) -> f64 {
+        self.restarts.latest_rate_per_sec()
+    }
+
+    /// Lock-wait p99 (ns), newest non-empty window.
+    pub fn lock_wait_p99_ns(&self) -> u64 {
+        self.lock_wait.latest_percentile_ns(99)
+    }
+
+    /// Commit-latency p99 (ns), newest non-empty window.
+    pub fn commit_p99_ns(&self) -> u64 {
+        self.commit.latest_percentile_ns(99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sink() -> TraceSink {
+        TraceSink::new(2, 8, 1_000_000_000)
+    }
+
+    #[test]
+    fn emitted_events_come_back_sorted() {
+        let s = sink();
+        s.emit_at(30, SpanKind::TxnCommit, 2, 0, 10, 0);
+        s.emit_at(10, SpanKind::TxnBegin, 1, 0, 0, 0);
+        s.emit_at(20, SpanKind::Retry, 2, 1, 0, 0);
+        let ev = s.events();
+        assert_eq!(ev.len(), 3);
+        assert_eq!(
+            ev.iter().map(|e| e.kind).collect::<Vec<_>>(),
+            [SpanKind::TxnBegin, SpanKind::Retry, SpanKind::TxnCommit]
+        );
+        assert_eq!(ev[1].parent, 1);
+        assert_eq!(s.recorded(), 3);
+        assert_eq!(s.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let s = TraceSink::new(1, 8, 1_000_000_000);
+        for i in 0..20u64 {
+            s.emit_at(i, SpanKind::PoolMiss, 0, 0, i, 0);
+        }
+        let ev = s.events();
+        assert_eq!(ev.len(), 8);
+        assert_eq!(ev.first().unwrap().a, 12); // 20 - 8
+        assert_eq!(ev.last().unwrap().a, 19);
+        assert_eq!(s.recorded(), 20);
+    }
+
+    #[test]
+    fn routed_kinds_feed_windows() {
+        let s = sink();
+        s.emit_at(100, SpanKind::LockGrant, 1, 0, 500, 7);
+        s.emit_at(100, SpanKind::DeadlockVictim, 2, 0, 7, 0);
+        s.emit_at(100, SpanKind::TokenRestart, 0, 0, 0, 0);
+        s.emit_at(100, SpanKind::TxnCommit, 1, 0, 2_000, 0);
+        let w = s.windows_at(100);
+        assert!(w.lock_wait_p99_ns() >= 500);
+        assert!(w.commit_p99_ns() >= 2_000);
+        assert_eq!(w.deadlocks.total(), 1);
+        assert_eq!(w.restarts.total(), 1);
+        assert_eq!(w.recorded, 4);
+    }
+
+    #[test]
+    fn many_threads_never_block_and_rarely_drop() {
+        use std::sync::Arc;
+        let s = Arc::new(TraceSink::new(4, 64, 1_000_000_000));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000 {
+                    s.emit(SpanKind::PoolMiss, t, 0, i, 0);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.recorded() + s.dropped(), 8_000);
+        // Readers racing writers must only ever see well-formed events.
+        for e in s.events() {
+            assert_eq!(e.kind, SpanKind::PoolMiss);
+            assert!(e.txn < 8);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Causal span events for the *Tracing* feature (`Statistics → Tracing`).
+//!
+//! A span event is one edge in a transaction's causal chain:
+//!
+//! ```text
+//! txn-begin → lock-wait (holder txn id) → deadlock-victim → [abort]
+//!     retry (parent = victim txn id) → group-enqueue → leader-drain
+//!     → group-sync → txn-commit
+//! ```
+//!
+//! Causality is keyed on **transaction ids**, not thread-local context:
+//! every probe site already knows the acting transaction (the lock table
+//! knows requester *and* holders, the group commit knows the leader and
+//! its batch), so events from different threads join into one chain by
+//! their `txn` field, and chains broken by an abort are spliced by the
+//! `retry` event's `parent` field. That keeps the record path
+//! allocation-free — a [`SpanEvent`] is seven words, no strings, no
+//! boxing — which is what lets the per-thread rings stay lock-free.
+
+/// What happened. Discriminants are stable (they appear in TSV exports);
+/// append, never reorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum SpanKind {
+    /// A transaction started. `txn` = its id.
+    TxnBegin = 0,
+    /// A transaction committed. `txn` = its id, `a` = commit latency (ns).
+    TxnCommit = 1,
+    /// A transaction aborted. `txn` = its id.
+    TxnAbort = 2,
+    /// A new transaction retries an aborted one. `txn` = the new id,
+    /// `parent` = the aborted transaction's id — the splice that keeps a
+    /// causal chain whole across an abort.
+    Retry = 3,
+    /// A lock request queued behind a conflicting holder. `txn` =
+    /// requester, `parent` = first current holder (the wait-for edge),
+    /// `a` = block id, `b` = holder count.
+    LockWait = 4,
+    /// A queued request was granted. `txn` = requester, `a` = wait (ns),
+    /// `b` = block id.
+    LockGrant = 5,
+    /// A sole-holder S→X upgrade was granted. `txn` = holder, `a` = block.
+    LockUpgrade = 6,
+    /// Deadlock detection chose this transaction as the victim. `txn` =
+    /// victim, `a` = block id it was waiting for.
+    DeadlockVictim = 7,
+    /// A lock wait hit the timeout backstop. `txn` = requester, `a` = block.
+    TimeoutAbort = 8,
+    /// A committing transaction joined the group-commit queue. `txn` = it.
+    GroupEnqueue = 9,
+    /// The queue leader started draining. `txn` = leader, `a` = batch size.
+    LeaderDrain = 10,
+    /// The leader synced a drained batch. `txn` = leader, `a` = batch size.
+    GroupSync = 11,
+    /// Buffer-pool miss. `a` = page id, `b` = shard index.
+    PoolMiss = 12,
+    /// Buffer-pool eviction. `a` = evicted page id, `b` = frame index.
+    PoolEviction = 13,
+    /// An optimistic page-token validation failed, forcing a descent
+    /// restart. `a` = shard index, `b` = frame index.
+    TokenRestart = 14,
+    /// Recovery replayed the log. `a` = redo count, `b` = undo count.
+    Recovery = 15,
+    /// Replication shipped a committed operation batch. `a` = op count.
+    ReplShip = 16,
+}
+
+impl SpanKind {
+    /// Stable lower-case label (chrome trace event name, TSV column).
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::TxnBegin => "txn-begin",
+            SpanKind::TxnCommit => "txn-commit",
+            SpanKind::TxnAbort => "txn-abort",
+            SpanKind::Retry => "retry",
+            SpanKind::LockWait => "lock-wait",
+            SpanKind::LockGrant => "lock-grant",
+            SpanKind::LockUpgrade => "lock-upgrade",
+            SpanKind::DeadlockVictim => "deadlock-victim",
+            SpanKind::TimeoutAbort => "timeout-abort",
+            SpanKind::GroupEnqueue => "group-enqueue",
+            SpanKind::LeaderDrain => "leader-drain",
+            SpanKind::GroupSync => "group-sync",
+            SpanKind::PoolMiss => "pool-miss",
+            SpanKind::PoolEviction => "pool-eviction",
+            SpanKind::TokenRestart => "token-restart",
+            SpanKind::Recovery => "recovery",
+            SpanKind::ReplShip => "repl-ship",
+        }
+    }
+
+    /// Inverse of the `repr(u8)` discriminant; `None` for unknown values
+    /// (a ring slot torn past recognition never decodes to garbage).
+    pub fn from_u8(v: u8) -> Option<SpanKind> {
+        Some(match v {
+            0 => SpanKind::TxnBegin,
+            1 => SpanKind::TxnCommit,
+            2 => SpanKind::TxnAbort,
+            3 => SpanKind::Retry,
+            4 => SpanKind::LockWait,
+            5 => SpanKind::LockGrant,
+            6 => SpanKind::LockUpgrade,
+            7 => SpanKind::DeadlockVictim,
+            8 => SpanKind::TimeoutAbort,
+            9 => SpanKind::GroupEnqueue,
+            10 => SpanKind::LeaderDrain,
+            11 => SpanKind::GroupSync,
+            12 => SpanKind::PoolMiss,
+            13 => SpanKind::PoolEviction,
+            14 => SpanKind::TokenRestart,
+            15 => SpanKind::Recovery,
+            16 => SpanKind::ReplShip,
+            _ => return None,
+        })
+    }
+}
+
+/// One causal span event, as drained from the rings. Plain data — copying
+/// it is seven `u64` moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Ring-local ticket, monotonically increasing per ring from 0.
+    pub seq: u64,
+    /// Which ring recorded it (≈ which thread; the chrome export's `tid`).
+    pub ring: u32,
+    /// [`crate::monotonic_ns`] timestamp.
+    pub at_ns: u64,
+    /// The edge kind.
+    pub kind: SpanKind,
+    /// Acting transaction id; 0 when no transaction is involved
+    /// (pool/recovery events).
+    pub txn: u64,
+    /// Causal parent: the aborted predecessor for [`SpanKind::Retry`], the
+    /// first conflicting holder for [`SpanKind::LockWait`], else 0.
+    pub parent: u64,
+    /// Kind-specific payload (see [`SpanKind`] docs).
+    pub a: u64,
+    /// Second kind-specific payload.
+    pub b: u64,
+}
+
+impl SpanEvent {
+    /// Globally unique span id: ring index in the high bits, ring-local
+    /// ticket below. Derived, not stored — the rings stay allocation-free.
+    pub fn span_id(&self) -> u64 {
+        (u64::from(self.ring) << 48) | (self.seq & ((1 << 48) - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_roundtrips_through_u8() {
+        for v in 0..=u8::MAX {
+            if let Some(k) = SpanKind::from_u8(v) {
+                assert_eq!(k as u8, v);
+                assert!(!k.label().is_empty());
+            }
+        }
+        assert_eq!(SpanKind::from_u8(SpanKind::ReplShip as u8 + 1), None);
+    }
+
+    #[test]
+    fn span_id_separates_rings() {
+        let mut e = SpanEvent {
+            seq: 7,
+            ring: 0,
+            at_ns: 0,
+            kind: SpanKind::TxnBegin,
+            txn: 1,
+            parent: 0,
+            a: 0,
+            b: 0,
+        };
+        let id0 = e.span_id();
+        e.ring = 1;
+        assert_ne!(id0, e.span_id());
+    }
+}

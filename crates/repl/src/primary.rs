@@ -57,6 +57,9 @@ pub struct Primary {
     policy: AckPolicy,
     seq: u64,
     ack_timeout: Duration,
+    /// Tracing feature: one `repl-ship` span per shipped operation.
+    #[cfg(feature = "trace")]
+    sink: Option<std::sync::Arc<fame_obs::TraceSink>>,
 }
 
 impl Primary {
@@ -67,7 +70,15 @@ impl Primary {
             policy,
             seq: 0,
             ack_timeout: Duration::from_secs(5),
+            #[cfg(feature = "trace")]
+            sink: None,
         }
+    }
+
+    /// Install the span sink (Tracing feature).
+    #[cfg(feature = "trace")]
+    pub fn set_trace_sink(&mut self, sink: std::sync::Arc<fame_obs::TraceSink>) {
+        self.sink = Some(sink);
     }
 
     /// Ack timeout for the synchronous policy (default 5 s).
@@ -114,6 +125,16 @@ impl Primary {
         }
         if self.policy == AckPolicy::Synchronous {
             self.wait_for(seq)?;
+        }
+        #[cfg(feature = "trace")]
+        if let Some(s) = &self.sink {
+            s.emit(
+                fame_obs::SpanKind::ReplShip,
+                0,
+                0,
+                seq,
+                self.links.len() as u64,
+            );
         }
         Ok(seq)
     }

@@ -129,6 +129,15 @@ struct TableState {
     victims: Vec<TxnId>,
 }
 
+/// Did [`LockTable::try_grant`] grant, and how? The distinction feeds the
+/// Tracing feature (upgrade edges are their own span kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Grant {
+    Denied,
+    Granted,
+    Upgraded,
+}
+
 /// Blocking S/X lock table keyed by hashed block.
 #[derive(Debug)]
 pub struct LockTable {
@@ -139,6 +148,11 @@ pub struct LockTable {
     timeout: Duration,
     #[cfg(feature = "obs")]
     obs: LockObs,
+    /// Tracing feature: causal span sink, installed once by the facade
+    /// after open (the table is constructed deep inside the manager).
+    /// Emissions are lock-free, so holding `state` across them is fine.
+    #[cfg(feature = "trace")]
+    sink: std::sync::OnceLock<std::sync::Arc<fame_obs::TraceSink>>,
 }
 
 impl LockTable {
@@ -150,6 +164,22 @@ impl LockTable {
             timeout,
             #[cfg(feature = "obs")]
             obs: LockObs::default(),
+            #[cfg(feature = "trace")]
+            sink: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Install the span sink (Tracing feature). Later calls are no-ops —
+    /// the first sink wins, matching `OnceLock` semantics.
+    #[cfg(feature = "trace")]
+    pub fn set_trace_sink(&self, sink: std::sync::Arc<fame_obs::TraceSink>) {
+        let _ = self.sink.set(sink);
+    }
+
+    #[cfg(feature = "trace")]
+    fn emit(&self, kind: fame_obs::SpanKind, txn: TxnId, parent: u64, a: u64, b: u64) {
+        if let Some(s) = self.sink.get() {
+            s.emit(kind, txn, parent, a, b);
         }
     }
 
@@ -183,6 +213,14 @@ impl LockTable {
                 if let Some(t0) = wait_start {
                     self.obs.wait_time.record_ns(fame_obs::monotonic_ns() - t0);
                 }
+                #[cfg(feature = "trace")]
+                self.emit(
+                    fame_obs::SpanKind::DeadlockVictim,
+                    txn,
+                    holders.first().copied().unwrap_or(0),
+                    block,
+                    holders.len() as u64,
+                );
                 return Err(LockError::Deadlock {
                     block,
                     requester: txn,
@@ -190,17 +228,31 @@ impl LockTable {
                 });
             }
 
-            if Self::try_grant(&mut state, block, txn, mode, queued) {
-                if queued {
-                    // The next queued waiter may now be grantable too
-                    // (e.g. shared readers draining behind us).
-                    self.cv.notify_all();
+            match Self::try_grant(&mut state, block, txn, mode, queued) {
+                Grant::Denied => {}
+                granted => {
+                    if queued {
+                        // The next queued waiter may now be grantable too
+                        // (e.g. shared readers draining behind us).
+                        self.cv.notify_all();
+                    }
+                    #[cfg(feature = "obs")]
+                    if let Some(t0) = wait_start {
+                        let waited = fame_obs::monotonic_ns() - t0;
+                        self.obs.wait_time.record_ns(waited);
+                        // Grant-after-park: the wait edge resolves. Fresh
+                        // uncontended grants (the hot path) emit nothing.
+                        #[cfg(feature = "trace")]
+                        self.emit(fame_obs::SpanKind::LockGrant, txn, 0, waited, block);
+                    }
+                    #[cfg(feature = "trace")]
+                    if granted == Grant::Upgraded {
+                        self.emit(fame_obs::SpanKind::LockUpgrade, txn, 0, block, 0);
+                    }
+                    #[cfg(not(feature = "trace"))]
+                    let _ = granted;
+                    return Ok(());
                 }
-                #[cfg(feature = "obs")]
-                if let Some(t0) = wait_start {
-                    self.obs.wait_time.record_ns(fame_obs::monotonic_ns() - t0);
-                }
-                return Ok(());
             }
 
             if !queued {
@@ -217,6 +269,22 @@ impl LockTable {
                     self.obs.waits.inc();
                     wait_start = Some(fame_obs::monotonic_ns());
                 }
+                // The wait-for edge: requester behind the current holders.
+                #[cfg(feature = "trace")]
+                {
+                    let (first_holder, n) = state
+                        .table
+                        .get(&block)
+                        .map(|e| (e.holders.first().copied().unwrap_or(0), e.holders.len()))
+                        .unwrap_or((0, 0));
+                    self.emit(
+                        fame_obs::SpanKind::LockWait,
+                        txn,
+                        first_holder,
+                        block,
+                        n as u64,
+                    );
+                }
                 // Detect at block time: adding this edge is the only way a
                 // cycle can form.
                 if let Some(victim) = Self::find_deadlock_victim(&state, txn, block) {
@@ -228,6 +296,14 @@ impl LockTable {
                         if let Some(t0) = wait_start {
                             self.obs.wait_time.record_ns(fame_obs::monotonic_ns() - t0);
                         }
+                        #[cfg(feature = "trace")]
+                        self.emit(
+                            fame_obs::SpanKind::DeadlockVictim,
+                            txn,
+                            holders.first().copied().unwrap_or(0),
+                            block,
+                            holders.len() as u64,
+                        );
                         return Err(LockError::Deadlock {
                             block,
                             requester: txn,
@@ -253,6 +329,14 @@ impl LockTable {
                 if let Some(t0) = wait_start {
                     self.obs.wait_time.record_ns(fame_obs::monotonic_ns() - t0);
                 }
+                #[cfg(feature = "trace")]
+                self.emit(
+                    fame_obs::SpanKind::TimeoutAbort,
+                    txn,
+                    holders.first().copied().unwrap_or(0),
+                    block,
+                    holders.len() as u64,
+                );
                 return Err(LockError::Timeout {
                     block,
                     requester: txn,
@@ -325,14 +409,14 @@ impl LockTable {
         txn: TxnId,
         mode: LockMode,
         queued: bool,
-    ) -> bool {
+    ) -> Grant {
         let Some(entry) = state.table.get_mut(&block) else {
             // No entry at all: fresh uncontended grant.
             let e = state.table.entry(block).or_default();
             e.holders.push(txn);
             e.exclusive = mode == LockMode::Exclusive;
             state.owned.entry(txn).or_default().push(block);
-            return true;
+            return Grant::Granted;
         };
         let held_by_me = entry.holders.contains(&txn);
 
@@ -341,7 +425,7 @@ impl LockTable {
             if queued {
                 entry.queue.retain(|&(t, _)| t != txn);
             }
-            return true;
+            return Grant::Granted;
         }
         // Upgrade: sole holder S → X jumps the queue.
         if held_by_me && mode == LockMode::Exclusive {
@@ -350,9 +434,9 @@ impl LockTable {
                 if queued {
                     entry.queue.retain(|&(t, _)| t != txn);
                 }
-                return true;
+                return Grant::Upgraded;
             }
-            return false;
+            return Grant::Denied;
         }
         // Fresh grant: must be compatible AND first in line (or not queued
         // yet with an empty queue).
@@ -361,14 +445,14 @@ impl LockTable {
             Some(&(head, _)) => queued && head == txn,
         };
         if !fifo_ok {
-            return false;
+            return Grant::Denied;
         }
         let compatible = match mode {
             LockMode::Shared => !entry.exclusive,
             LockMode::Exclusive => entry.holders.is_empty(),
         };
         if !compatible {
-            return false;
+            return Grant::Denied;
         }
         entry.holders.push(txn);
         entry.exclusive = mode == LockMode::Exclusive;
@@ -376,7 +460,7 @@ impl LockTable {
             entry.queue.retain(|&(t, _)| t != txn);
         }
         state.owned.entry(txn).or_default().push(block);
-        true
+        Grant::Granted
     }
 
     /// Remove `txn` from `block`'s queue, returning the current holders

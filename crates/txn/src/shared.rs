@@ -60,6 +60,10 @@ pub struct SharedTxnManager {
     locks: LockTable,
     group: Mutex<GroupState>,
     group_cv: Condvar,
+    /// Tracing feature: causal span sink (group-commit edges). Installed
+    /// once by the facade; also forwarded into the lock table.
+    #[cfg(feature = "trace")]
+    sink: std::sync::OnceLock<std::sync::Arc<fame_obs::TraceSink>>,
 }
 
 impl SharedTxnManager {
@@ -70,6 +74,23 @@ impl SharedTxnManager {
             locks: LockTable::new(lock_timeout),
             group: Mutex::new(GroupState::default()),
             group_cv: Condvar::new(),
+            #[cfg(feature = "trace")]
+            sink: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Install the span sink (Tracing feature) on this manager and its
+    /// lock table. First sink wins; later calls are no-ops.
+    #[cfg(feature = "trace")]
+    pub fn set_trace_sink(&self, sink: std::sync::Arc<fame_obs::TraceSink>) {
+        self.locks.set_trace_sink(std::sync::Arc::clone(&sink));
+        let _ = self.sink.set(sink);
+    }
+
+    #[cfg(feature = "trace")]
+    fn emit(&self, kind: fame_obs::SpanKind, txn: TxnId, parent: u64, a: u64, b: u64) {
+        if let Some(s) = self.sink.get() {
+            s.emit(kind, txn, parent, a, b);
         }
     }
 
@@ -84,7 +105,25 @@ impl SharedTxnManager {
 
     /// Start a transaction.
     pub fn begin(&self) -> Result<TxnId, TxnError> {
-        self.inner().begin()
+        let txn = self.inner().begin()?;
+        #[cfg(feature = "trace")]
+        self.emit(fame_obs::SpanKind::TxnBegin, txn, 0, 0, 0);
+        Ok(txn)
+    }
+
+    /// Start a transaction that retries aborted transaction `parent`
+    /// (deadlock victim, lock timeout). Functionally identical to
+    /// [`SharedTxnManager::begin`]; with the Tracing feature the new
+    /// transaction's span chain is spliced onto the aborted one's via a
+    /// `retry` event, which is what lets a trace reconstruct
+    /// `lock-wait → deadlock-victim → retry → txn-commit` across ids.
+    pub fn begin_retry(&self, parent: TxnId) -> Result<TxnId, TxnError> {
+        let txn = self.inner().begin()?;
+        #[cfg(feature = "trace")]
+        self.emit(fame_obs::SpanKind::Retry, txn, parent, 0, 0);
+        #[cfg(not(feature = "trace"))]
+        let _ = parent;
+        Ok(txn)
     }
 
     /// Block until `txn` holds the shared block lock for `key`.
@@ -147,6 +186,14 @@ impl SharedTxnManager {
 
         let mut group = self.group.lock().expect("group state poisoned");
         group.queue.push(txn);
+        #[cfg(feature = "trace")]
+        self.emit(
+            fame_obs::SpanKind::GroupEnqueue,
+            txn,
+            0,
+            group.queue.len() as u64,
+            0,
+        );
         let result = loop {
             if let Some(result) = group.done.remove(&txn) {
                 break result;
@@ -163,7 +210,19 @@ impl SharedTxnManager {
             while !group.queue.is_empty() {
                 let batch = std::mem::take(&mut group.queue);
                 drop(group);
+                #[cfg(feature = "trace")]
+                self.emit(
+                    fame_obs::SpanKind::LeaderDrain,
+                    txn,
+                    0,
+                    batch.len() as u64,
+                    0,
+                );
                 let outcome = self.drain(&batch);
+                #[cfg(feature = "trace")]
+                if outcome.is_ok() {
+                    self.emit(fame_obs::SpanKind::GroupSync, txn, 0, batch.len() as u64, 0);
+                }
                 group = self.group.lock().expect("group state poisoned");
                 match &outcome {
                     Ok(()) => {
@@ -190,10 +249,12 @@ impl SharedTxnManager {
             Ok(()) => {
                 self.locks.release_all(txn);
                 #[cfg(feature = "obs")]
-                self.inner()
-                    .obs()
-                    .commit_latency
-                    .record_ns(fame_obs::monotonic_ns() - t0);
+                {
+                    let latency = fame_obs::monotonic_ns() - t0;
+                    self.inner().obs().commit_latency.record_ns(latency);
+                    #[cfg(feature = "trace")]
+                    self.emit(fame_obs::SpanKind::TxnCommit, txn, 0, latency, 0);
+                }
                 Ok(())
             }
             Err(text) => Err(TxnError::GroupCommit(text)),
@@ -218,7 +279,10 @@ impl SharedTxnManager {
     /// before the undo is applied would let a waiter read the un-undone
     /// value.
     pub fn abort(&self, txn: TxnId) -> Result<Vec<UndoAction>, TxnError> {
-        self.inner().abort(txn)
+        let undo = self.inner().abort(txn)?;
+        #[cfg(feature = "trace")]
+        self.emit(fame_obs::SpanKind::TxnAbort, txn, 0, undo.len() as u64, 0);
+        Ok(undo)
     }
 
     /// Drop `txn`'s block locks (after an abort's undo has been applied).

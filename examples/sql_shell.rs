@@ -16,7 +16,10 @@ fn main() {
     };
     let mut db = Database::open(config).expect("open database");
 
-    println!("FAME-DBMS SQL shell — end with ; — \\q quits, \\t lists tables, \\f lists features");
+    println!(
+        "FAME-DBMS SQL shell — end with ; — \\q quits, \\t lists tables, \\f lists features, \
+         .stats shows statistics, .trace <n> shows the last n trace events"
+    );
     let stdin = std::io::stdin();
     let mut buffer = String::new();
     prompt(buffer.is_empty());
@@ -39,6 +42,20 @@ fn main() {
                 // first would also work, but list via a throwaway query.
                 let _ = db.sql("SELECT COUNT(*) FROM __nonexistent__");
                 println!("(use CREATE TABLE ...; catalog listing via SQL only)");
+                prompt(true);
+                continue;
+            }
+            ".stats" => {
+                print_stats(&mut db);
+                prompt(true);
+                continue;
+            }
+            t if t == ".trace" || t.starts_with(".trace ") => {
+                let n = t
+                    .strip_prefix(".trace")
+                    .and_then(|rest| rest.trim().parse::<usize>().ok())
+                    .unwrap_or(16);
+                print_trace(&db, n);
                 prompt(true);
                 continue;
             }
@@ -66,6 +83,70 @@ fn main() {
     }
     db.sync().ok();
     println!("\nbye");
+}
+
+/// `.stats`: the statistics snapshot (with `obs-trace` it carries the
+/// windowed span metrics — lock-wait/commit p99s and deadlock/restart
+/// rates over the rotation windows, not since boot).
+#[cfg(feature = "statistics")]
+fn print_stats(db: &mut Database) {
+    match db.stats() {
+        Ok(s) => println!("{s}"),
+        Err(e) => println!("error: {e}"),
+    }
+}
+
+#[cfg(not(feature = "statistics"))]
+fn print_stats(_db: &mut Database) {
+    println!("(statistics feature not compiled into this product)");
+}
+
+/// `.trace <n>`: the last `n` causal span events of the flight recorder.
+#[cfg(feature = "obs-trace")]
+fn print_trace(db: &Database, n: usize) {
+    let dump = db.dump_trace();
+    if dump.events.is_empty() {
+        println!("(no span events recorded yet)");
+        return;
+    }
+    println!("at_ns            kind             txn    parent a          b");
+    for e in dump.events.iter().rev().take(n).rev() {
+        println!(
+            "{:<16} {:<16} {:<6} {:<6} {:<10} {}",
+            e.at_ns,
+            e.kind.label(),
+            e.txn,
+            e.parent,
+            e.a,
+            e.b
+        );
+    }
+    println!(
+        "({} shown of {} retained; {} recorded since open)",
+        dump.events.len().min(n),
+        dump.events.len(),
+        dump.windows.recorded
+    );
+}
+
+/// Without the Tracing child the op-trace ring (plain `statistics`) is
+/// the best available record.
+#[cfg(all(feature = "statistics", not(feature = "obs-trace")))]
+fn print_trace(db: &Database, n: usize) {
+    let events = db.op_trace();
+    if events.is_empty() {
+        println!("(no ops traced yet)");
+        return;
+    }
+    for e in events.iter().rev().take(n).rev() {
+        println!("{e:?}");
+    }
+    println!("(op-trace ring; compose the obs-trace feature in for causal spans)");
+}
+
+#[cfg(not(feature = "statistics"))]
+fn print_trace(_db: &Database, _n: usize) {
+    println!("(statistics feature not compiled into this product)");
 }
 
 fn prompt(fresh: bool) {
