@@ -20,6 +20,13 @@ cargo clippy -p fame-dbms --features full --all-targets -- -D warnings
 cargo clippy -p fame-dbms --features full,obs-trace --all-targets -- -D warnings
 cargo clippy -p fame-bench --all-targets -- -D warnings
 
+echo "== clippy (snapshot feature, warnings are errors)"
+cargo clippy -p fame-txn --features snapshot --all-targets -- -D warnings
+cargo clippy -p fame-buffer --features snapshot --all-targets -- -D warnings
+cargo clippy -p fame-storage --features snapshot --all-targets -- -D warnings
+cargo clippy -p fame-dbms --features full,concurrency-snapshot --all-targets -- -D warnings
+cargo clippy -p fame-bench --features snapshot --all-targets -- -D warnings
+
 echo "== clippy (remaining workspace crates, warnings are errors)"
 # fame-dbms (crates/core) is covered above with --features full.
 cargo clippy -p fame-os -p fame-query -p fame-repl \
@@ -115,6 +122,31 @@ if ! diff <(cargo tree -p fame-dbms --no-default-features \
           <(cargo tree -p fame-dbms --no-default-features \
                 --features standard,transactions,commit-force,concurrency-multi-writer -e normal); then
     echo "FAIL: composing concurrency-multi-writer in changed the crate dependency graph" >&2
+    exit 1
+fi
+
+echo "== snapshot suite (E14 isolation + refresh + cap stranding + serial-prefix proptest)"
+cargo test -q -p fame-dbms --features standard,transactions,commit-force,commit-group,concurrency-snapshot --test snapshot
+cargo test -q -p fame-buffer --features snapshot
+
+echo "== snapshot_tput smoke (E14 snapshot readers; isolation gates auto-skip below 2 cores)"
+cargo run --release -p fame-bench --features snapshot --bin snapshot_tput -- --quick --assert-scaling | tail -n 8
+
+echo "== snapshot-off composition (E14 zero-cost gate)"
+# A plain MultiWriter product must not have the snapshot feature active,
+# and composing Snapshot in must add no crates — only feature flags on
+# crates the product already links.
+if cargo tree -p fame-dbms --no-default-features \
+        --features standard,transactions,commit-force,concurrency-multi-writer \
+        -f "{p} [{f}]" -e normal | grep -q "snapshot"; then
+    echo "FAIL: snapshot is active in a product that did not select it" >&2
+    exit 1
+fi
+if ! diff <(cargo tree -p fame-dbms --no-default-features \
+                --features standard,transactions,commit-force,concurrency-multi-writer -e normal) \
+          <(cargo tree -p fame-dbms --no-default-features \
+                --features standard,transactions,commit-force,concurrency-snapshot -e normal); then
+    echo "FAIL: composing concurrency-snapshot in changed the crate dependency graph" >&2
     exit 1
 fi
 

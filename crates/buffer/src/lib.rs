@@ -26,6 +26,8 @@ pub mod replacement;
 pub mod shared;
 pub mod stats;
 pub mod token;
+#[cfg(feature = "snapshot")]
+pub mod versions;
 
 #[cfg(feature = "clock")]
 pub use replacement::clock;
@@ -40,6 +42,8 @@ pub use replacement::{FrameIdx, ReplacementKind, ReplacementPolicy};
 pub use shared::{SharedBufferPool, DEFAULT_SHARDS};
 pub use stats::{AtomicPoolStats, PoolStats};
 pub use token::PageToken;
+#[cfg(feature = "snapshot")]
+pub use versions::{TxnWriteScope, VersionStats, DEFAULT_CHAIN_CAP};
 
 /// Feature *Buffer Manager → Concurrency* (this reproduction's extension
 /// to Figure 2): how many threads may work against one pool image.

@@ -235,8 +235,9 @@ impl SharedFrame {
 /// they find as a hint to be confirmed against the frame's tag and
 /// version. The latched `HashMap` stays authoritative — a full table
 /// silently skips inserts and those pages are simply served by the
-/// latched path.
-struct PageTable {
+/// latched path. (The Snapshot feature's version directory reuses this
+/// type with its own authoritative map, hence the crate visibility.)
+pub(crate) struct PageTable {
     slots: Box<[AtomicU64]>,
     mask: usize,
     /// Tombstones currently in `slots`. Mutated only under the shard
@@ -258,7 +259,7 @@ fn encode(page: PageId, idx: usize) -> u64 {
 }
 
 impl PageTable {
-    fn new(frames_hint: usize) -> Self {
+    pub(crate) fn new(frames_hint: usize) -> Self {
         let cap = (frames_hint.max(4) * 2)
             .next_power_of_two()
             .clamp(16, 16384);
@@ -277,7 +278,7 @@ impl PageTable {
 
     /// Latch-free probe. The result is a hint: the frame must still be
     /// tag-checked.
-    fn lookup(&self, page: PageId) -> Option<usize> {
+    pub(crate) fn lookup(&self, page: PageId) -> Option<usize> {
         let mut i = self.bucket(page);
         for _ in 0..=self.mask {
             let e = self.slots[i].load(Relaxed);
@@ -294,7 +295,7 @@ impl PageTable {
 
     /// Insert or update (shard write latch held). A full table skips the
     /// insert — readers fall back to the latched map.
-    fn insert(&self, page: PageId, idx: usize) {
+    pub(crate) fn insert(&self, page: PageId, idx: usize) {
         let e = encode(page, idx);
         let mut i = self.bucket(page);
         let mut tomb: Option<usize> = None;
@@ -466,6 +467,10 @@ struct PoolInner {
     /// (miss, eviction, token restart). Installed once by the facade.
     #[cfg(feature = "trace")]
     sink: std::sync::OnceLock<Arc<fame_obs::TraceSink>>,
+    /// Snapshot feature: per-page pre-image chains, the stable watermark,
+    /// and the active-snapshot registry (see [`crate::versions`]).
+    #[cfg(feature = "snapshot")]
+    versions: crate::versions::VersionStore,
 }
 
 /// The `Send + Sync` sharded pool handle. Cloning is cheap (one `Arc`);
@@ -593,6 +598,8 @@ impl SharedBufferPool {
                 latch_waits: (0..shards).map(|_| Counter::new()).collect(),
                 #[cfg(feature = "trace")]
                 sink: std::sync::OnceLock::new(),
+                #[cfg(feature = "snapshot")]
+                versions: crate::versions::VersionStore::new(),
             }),
         }
     }
@@ -613,6 +620,8 @@ impl SharedBufferPool {
                 latch_waits: std::iter::once(Counter::new()).collect(),
                 #[cfg(feature = "trace")]
                 sink: std::sync::OnceLock::new(),
+                #[cfg(feature = "snapshot")]
+                versions: crate::versions::VersionStore::new(),
             }),
         }
     }
@@ -877,6 +886,26 @@ impl SharedBufferPool {
         match &self.inner.mode {
             SharedMode::Unbuffered => {
                 self.inner.stats.misses.inc();
+                // Snapshot capture runs *before* the device write latch is
+                // taken, so the pass-through writer never nests chain
+                // state under the device latch (snapshot readers resolve
+                // chain → device; nesting the other way would cycle).
+                #[cfg(feature = "snapshot")]
+                if crate::versions::VersionStore::current_txn() != 0 {
+                    let mut pre = take_scratch(ps);
+                    let res = self.device_read(page, &mut pre[..ps]);
+                    if res.is_ok() {
+                        let capped = self.inner.versions.note_write(page, &pre[..ps]);
+                        #[cfg(feature = "trace")]
+                        if capped > 0 {
+                            self.emit(fame_obs::SpanKind::SnapshotPrune, page as u64, capped);
+                        }
+                        #[cfg(not(feature = "trace"))]
+                        let _ = capped;
+                    }
+                    put_scratch(pre);
+                    res?;
+                }
                 let mut buf = take_scratch(ps);
                 // Hold the device write latch across read-modify-write
                 // so readers never observe a half-applied page.
@@ -901,6 +930,21 @@ impl SharedBufferPool {
                     .expect("frame_for materialized the frame");
                 let mut buf = take_scratch(ps);
                 fr.copy_out(&mut buf);
+                // `buf` still holds the pre-mutation image: a current
+                // transaction's first dirty of this page pushes it onto
+                // the version chain before the write window opens, so
+                // snapshot readers that see no chain state saw committed
+                // bytes.
+                #[cfg(feature = "snapshot")]
+                {
+                    let capped = self.inner.versions.note_write(page, &buf[..ps]);
+                    #[cfg(feature = "trace")]
+                    if capped > 0 {
+                        self.emit(fame_obs::SpanKind::SnapshotPrune, page as u64, capped);
+                    }
+                    #[cfg(not(feature = "trace"))]
+                    let _ = capped;
+                }
                 let r = f(&mut buf[..ps]);
                 fr.begin_write();
                 fr.fill_from(&buf[..ps]);
@@ -1121,6 +1165,207 @@ impl SharedBufferPool {
             SharedMode::Unbuffered => "none",
             SharedMode::Cached { kind, .. } => kind.name(),
         }
+    }
+}
+
+#[cfg(feature = "snapshot")]
+thread_local! {
+    /// Second scratch page for snapshot resolution: `with_page_at` holds
+    /// its output buffer across an inner `with_page` (which takes
+    /// [`SCRATCH`]), so it needs its own slot to stay allocation-free.
+    static SNAP_SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
+
+#[cfg(feature = "snapshot")]
+fn take_snap_scratch(page_size: usize) -> Vec<u8> {
+    SNAP_SCRATCH.with(|s| {
+        let mut buf = s.take();
+        buf.resize(page_size.div_ceil(8) * 8, 0);
+        buf
+    })
+}
+
+#[cfg(feature = "snapshot")]
+fn put_snap_scratch(buf: Vec<u8>) {
+    SNAP_SCRATCH.with(|s| {
+        *s.borrow_mut() = buf;
+    });
+}
+
+/// How many head-read rounds [`SharedBufferPool::with_page_at`] attempts
+/// before reporting the page unstable. Each failed round requires an
+/// eviction/reload write window to overlap the validated copy exactly;
+/// consecutive failures need an adversarially aligned eviction storm.
+#[cfg(feature = "snapshot")]
+const RESOLVE_ATTEMPTS: usize = 64;
+
+/// The Snapshot feature (`Concurrency → MultiWriter → Snapshot`):
+/// copy-on-write page versions resolved at a snapshot timestamp. See
+/// [`crate::versions`] for the protocol invariants.
+#[cfg(feature = "snapshot")]
+impl SharedBufferPool {
+    /// Register a snapshot at the stable watermark and return its
+    /// timestamp. Pair with [`SharedBufferPool::snapshot_end`].
+    pub fn snapshot_begin(&self) -> u64 {
+        let (ts, active) = self.inner.versions.snapshot_begin();
+        #[cfg(feature = "trace")]
+        self.emit(fame_obs::SpanKind::SnapshotBegin, ts, active);
+        #[cfg(not(feature = "trace"))]
+        let _ = active;
+        ts
+    }
+
+    /// Deregister a snapshot taken at `ts`; chains are swept against the
+    /// remaining low-water mark.
+    pub fn snapshot_end(&self, ts: u64) {
+        let pruned = self.inner.versions.snapshot_end(ts);
+        #[cfg(feature = "trace")]
+        for (page, dropped) in pruned {
+            self.emit(fame_obs::SpanKind::SnapshotPrune, page as u64, dropped);
+        }
+        #[cfg(not(feature = "trace"))]
+        drop(pruned);
+    }
+
+    /// Install a drained group-commit batch at commit timestamp `ts`
+    /// (called by the facade from the group-commit leader, after the
+    /// drain succeeded and outside every transaction-manager lock).
+    pub fn install_commits(&self, txns: &[u64], ts: u64) {
+        let pruned = self.inner.versions.install(txns, ts);
+        #[cfg(feature = "trace")]
+        for (page, dropped) in pruned {
+            self.emit(fame_obs::SpanKind::SnapshotPrune, page as u64, dropped);
+        }
+        #[cfg(not(feature = "trace"))]
+        drop(pruned);
+    }
+
+    /// Release an aborted transaction's version state (undo must already
+    /// be applied — the head holds restored bytes).
+    pub fn release_aborted_txn(&self, txn: u64) {
+        let pruned = self.inner.versions.release_aborted(txn);
+        #[cfg(feature = "trace")]
+        for (page, dropped) in pruned {
+            self.emit(fame_obs::SpanKind::SnapshotPrune, page as u64, dropped);
+        }
+        #[cfg(not(feature = "trace"))]
+        drop(pruned);
+    }
+
+    /// Bound version chains at `cap` entries (≥ 1); the oldest images
+    /// beyond it are truncated, stranding too-old snapshots.
+    pub fn set_version_chain_cap(&self, cap: usize) {
+        self.inner.versions.set_cap(cap);
+    }
+
+    /// Version-chain / snapshot counters.
+    pub fn version_stats(&self) -> crate::versions::VersionStats {
+        self.inner.versions.stats()
+    }
+
+    /// Run `f` over the page image a snapshot taken at `ts` observes: the
+    /// newest committed version ≤ `ts`. Never touches the lock table;
+    /// head reads go through the validated latch-free copy protocol and
+    /// chain images are immutable (no validation at all).
+    pub fn with_page_at<R>(
+        &self,
+        page: PageId,
+        ts: u64,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R, OsError> {
+        let ps = self.inner.page_size;
+        let vs = &self.inner.versions;
+        let unbuffered = matches!(&self.inner.mode, SharedMode::Unbuffered);
+        let mut f = Some(f);
+        for _ in 0..RESOLVE_ATTEMPTS {
+            let Some(vm) = vs.get(page) else {
+                // Never transactionally written: the head is the only
+                // version. A first-dirty capture publishes chain state
+                // *before* the frame's write window opens, so a validated
+                // copy that still sees none read committed bytes.
+                let mut out = take_snap_scratch(ps);
+                let res = self.with_page(page, |b| out[..ps].copy_from_slice(b));
+                if let Err(e) = res {
+                    put_snap_scratch(out);
+                    return Err(e);
+                }
+                if vs.get(page).is_none() {
+                    let r = (f.take().expect("resolved once"))(&out[..ps]);
+                    put_snap_scratch(out);
+                    return Ok(r);
+                }
+                put_snap_scratch(out);
+                continue;
+            };
+            // Latch-free head attempt (cached pools): pre-check, validated
+            // copy with its token receipt, post-check. A still-valid token
+            // proves no write window overlapped [copy, post-check], so the
+            // committed_ts read there belongs to the bytes copied.
+            if !unbuffered && vm.pending.load(Acquire) == 0 {
+                let c = vm.committed_ts.load(Acquire);
+                if c <= ts {
+                    let mut out = take_snap_scratch(ps);
+                    match self.with_page_token(page, |b| out[..ps].copy_from_slice(b)) {
+                        Err(e) => {
+                            put_snap_scratch(out);
+                            return Err(e);
+                        }
+                        Ok(((), token)) => {
+                            if vm.pending.load(Acquire) == 0
+                                && vm.committed_ts.load(Acquire) == c
+                                && self.validate_token(token)
+                            {
+                                let r = (f.take().expect("resolved once"))(&out[..ps]);
+                                put_snap_scratch(out);
+                                return Ok(r);
+                            }
+                            put_snap_scratch(out);
+                        }
+                    }
+                }
+            }
+            // Chain arm: pending/committed_ts are frozen under the chain
+            // lock. Pass-through pools serve the head right here (their
+            // device read cannot race a writer: captures precede the
+            // device write latch, so no streak can start or be in flight);
+            // cached pools bounce back to the token protocol above.
+            let mut out = take_snap_scratch(ps);
+            let res = vs.resolve_chain(vm, ts, &mut out[..ps], |dst| {
+                unbuffered.then(|| self.device_read(page, dst))
+            });
+            match res {
+                crate::versions::Resolution::Head => {
+                    let r = (f.take().expect("resolved once"))(&out[..ps]);
+                    put_snap_scratch(out);
+                    return Ok(r);
+                }
+                crate::versions::Resolution::Image(vts) => {
+                    #[cfg(feature = "trace")]
+                    self.emit(fame_obs::SpanKind::SnapshotResolve, page as u64, vts);
+                    #[cfg(not(feature = "trace"))]
+                    let _ = vts;
+                    let r = (f.take().expect("resolved once"))(&out[..ps]);
+                    put_snap_scratch(out);
+                    return Ok(r);
+                }
+                crate::versions::Resolution::HeadRetry => {
+                    put_snap_scratch(out);
+                }
+                crate::versions::Resolution::TooOld => {
+                    put_snap_scratch(out);
+                    return Err(OsError::Io(format!(
+                        "snapshot at ts {ts} is too old for page {page}: its version was pruned"
+                    )));
+                }
+                crate::versions::Resolution::HeadErr(e) => {
+                    put_snap_scratch(out);
+                    return Err(e);
+                }
+            }
+        }
+        Err(OsError::Io(format!(
+            "snapshot read of page {page} did not stabilize after {RESOLVE_ATTEMPTS} rounds"
+        )))
     }
 }
 
@@ -1355,6 +1600,183 @@ mod tests {
         let ((), tok) = p.with_page_token(1, |_| ()).unwrap();
         assert!(tok.is_always_valid());
         assert!(p.validate_token(tok));
+    }
+
+    #[cfg(feature = "snapshot")]
+    mod snapshot {
+        use super::*;
+        use crate::versions::TxnWriteScope;
+
+        #[test]
+        fn snapshot_sees_pre_image_through_commit() {
+            let p = pool(8, 2);
+            // Non-transactional init: no capture (CURRENT_TXN is 0).
+            p.with_page_mut(3, |b| b[0] = 1).unwrap();
+            let ts0 = p.snapshot_begin();
+            assert_eq!(ts0, 0);
+            {
+                let _scope = TxnWriteScope::new(7);
+                p.with_page_mut(3, |b| b[0] = 2).unwrap();
+            }
+            // Pending streak: the snapshot resolves from the chain.
+            assert_eq!(p.with_page_at(3, ts0, |b| b[0]).unwrap(), 1);
+            p.install_commits(&[7], 1);
+            // Still the old image after install; a new snapshot sees the
+            // committed head.
+            assert_eq!(p.with_page_at(3, ts0, |b| b[0]).unwrap(), 1);
+            let ts1 = p.snapshot_begin();
+            assert_eq!(ts1, 1);
+            assert_eq!(p.with_page_at(3, ts1, |b| b[0]).unwrap(), 2);
+            assert_eq!(p.version_stats().active, 2);
+            p.snapshot_end(ts0);
+            p.snapshot_end(ts1);
+            assert_eq!(p.version_stats().active, 0);
+        }
+
+        #[test]
+        fn abort_release_restores_head_coverage() {
+            let p = pool(8, 2);
+            {
+                let _scope = TxnWriteScope::new(1);
+                p.with_page_mut(0, |b| b[0] = 9).unwrap();
+            }
+            p.install_commits(&[1], 1);
+            let ts = p.snapshot_begin();
+            assert_eq!(ts, 1);
+            {
+                let _scope = TxnWriteScope::new(2);
+                p.with_page_mut(0, |b| b[0] = 5).unwrap();
+                // Undo (same scope, same page: no double capture).
+                p.with_page_mut(0, |b| b[0] = 9).unwrap();
+            }
+            p.release_aborted_txn(2);
+            assert_eq!(p.with_page_at(0, ts, |b| b[0]).unwrap(), 9);
+            assert_eq!(p.version_stats().pending_pages, 0);
+            p.snapshot_end(ts);
+        }
+
+        #[test]
+        fn chains_prune_once_last_straggler_drops() {
+            let p = pool(8, 2);
+            let ts0 = p.snapshot_begin();
+            for ts in 1..=20u64 {
+                let txn = 100 + ts;
+                {
+                    let _scope = TxnWriteScope::new(txn);
+                    p.with_page_mut(0, |b| b[0] = ts as u8).unwrap();
+                }
+                p.install_commits(&[txn], ts);
+            }
+            let s = p.version_stats();
+            // Eager pruning keeps only versions some snapshot (or the
+            // stable watermark) can still resolve to.
+            assert!(s.chain_max <= crate::versions::DEFAULT_CHAIN_CAP as u64);
+            assert!(s.live_entries >= 1, "straggler pins its version");
+            assert!(s.pruned > 0, "intermediate versions reclaimed eagerly");
+            // The straggler still reads the pre-history image.
+            assert_eq!(p.with_page_at(0, ts0, |b| b[0]).unwrap(), 0);
+            p.snapshot_end(ts0);
+            assert_eq!(
+                p.version_stats().live_entries,
+                0,
+                "dropping the last snapshot reclaims every chain entry"
+            );
+        }
+
+        #[test]
+        fn capped_chain_strands_too_old_snapshot() {
+            let p = pool(8, 2);
+            p.set_version_chain_cap(1);
+            {
+                let _scope = TxnWriteScope::new(1);
+                p.with_page_mut(0, |b| b[0] = 1).unwrap();
+            }
+            p.install_commits(&[1], 1);
+            let snap = p.snapshot_begin();
+            assert_eq!(snap, 1);
+            for ts in 2..=6u64 {
+                let txn = 100 + ts;
+                {
+                    let _scope = TxnWriteScope::new(txn);
+                    p.with_page_mut(0, |b| b[0] = ts as u8).unwrap();
+                }
+                p.install_commits(&[txn], ts);
+            }
+            let err = p.with_page_at(0, snap, |b| b[0]).unwrap_err();
+            assert!(
+                format!("{err:?}").contains("too old"),
+                "stranded snapshot reports too-old, got {err:?}"
+            );
+            assert!(p.version_stats().chain_max <= 2);
+            p.snapshot_end(snap);
+        }
+
+        #[test]
+        fn unbuffered_pool_serves_versions_too() {
+            let p = SharedBufferPool::unbuffered(device(8));
+            {
+                let _scope = TxnWriteScope::new(1);
+                p.with_page_mut(2, |b| b[0] = 3).unwrap();
+            }
+            p.install_commits(&[1], 1);
+            let ts = p.snapshot_begin();
+            {
+                let _scope = TxnWriteScope::new(2);
+                p.with_page_mut(2, |b| b[0] = 4).unwrap();
+            }
+            // Pending: chain serves the committed image.
+            assert_eq!(p.with_page_at(2, ts, |b| b[0]).unwrap(), 3);
+            p.install_commits(&[2], 2);
+            // Committed past the snapshot: still the old image.
+            assert_eq!(p.with_page_at(2, ts, |b| b[0]).unwrap(), 3);
+            p.snapshot_end(ts);
+        }
+
+        /// Concurrent writers + snapshot readers: every snapshot read of a
+        /// page must observe that snapshot's frozen value even while
+        /// writers churn the head.
+        #[test]
+        fn snapshot_reads_are_stable_under_write_churn() {
+            const PAGES: u32 = 16;
+            let p = pool(8, 2);
+            for page in 0..PAGES {
+                let _scope = TxnWriteScope::new(1);
+                p.with_page_mut(page, |b| b.fill(1)).unwrap();
+            }
+            p.install_commits(&[1], 1);
+            let ts = p.snapshot_begin();
+            assert_eq!(ts, 1);
+            thread::scope(|scope| {
+                let w = p.clone();
+                scope.spawn(move || {
+                    for round in 2..40u64 {
+                        let txn = 1000 + round;
+                        {
+                            let _scope = TxnWriteScope::new(txn);
+                            for page in 0..PAGES {
+                                w.with_page_mut(page, |b| b.fill(round as u8)).unwrap();
+                            }
+                        }
+                        w.install_commits(&[txn], round);
+                    }
+                });
+                for t in 0..3usize {
+                    let r = p.clone();
+                    scope.spawn(move || {
+                        let mut x: u64 = 0xDEADBEEF ^ t as u64;
+                        for _ in 0..2_000 {
+                            x ^= x << 13;
+                            x ^= x >> 7;
+                            x ^= x << 17;
+                            let page = (x % PAGES as u64) as u32;
+                            let v = r.with_page_at(page, ts, |b| b[0]).unwrap();
+                            assert_eq!(v, 1, "snapshot read drifted on page {page}");
+                        }
+                    });
+                }
+            });
+            p.snapshot_end(ts);
+        }
     }
 
     /// The satellite stress test at pool level: concurrent readers vs a

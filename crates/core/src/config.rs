@@ -204,6 +204,13 @@ pub struct DbmsConfig {
     /// timeout is the liveness backstop.
     #[cfg(feature = "concurrency-multi-writer")]
     pub lock_timeout_ms: u64,
+    /// Version-chain length cap of the Snapshot feature: how many
+    /// committed page versions a page retains for stragglers before the
+    /// oldest is reclaimed (a snapshot older than every surviving version
+    /// errors with "too old"). Bounds version memory at
+    /// `cap × page_size` per write-hot page.
+    #[cfg(feature = "concurrency-snapshot")]
+    pub snapshot_chain_cap: usize,
     /// Page encryption key.
     #[cfg(feature = "crypto")]
     pub crypto_key: Option<[u8; 16]>,
@@ -236,6 +243,8 @@ impl DbmsConfig {
             transactions: None,
             #[cfg(feature = "concurrency-multi-writer")]
             lock_timeout_ms: 1_000,
+            #[cfg(feature = "concurrency-snapshot")]
+            snapshot_chain_cap: fame_buffer::DEFAULT_CHAIN_CAP,
             #[cfg(feature = "crypto")]
             crypto_key: None,
             #[cfg(feature = "replication")]
@@ -332,6 +341,10 @@ impl DbmsConfig {
             }
             if self.lock_timeout_ms == 0 {
                 return Err("lock_timeout_ms must be non-zero".into());
+            }
+            #[cfg(feature = "concurrency-snapshot")]
+            if self.snapshot_chain_cap == 0 {
+                return Err("snapshot_chain_cap must be non-zero".into());
             }
             #[cfg(feature = "replication")]
             if self.replication.is_some() {

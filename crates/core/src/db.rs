@@ -733,6 +733,21 @@ impl Database {
             }
             let _ = sink;
         }
+        // Snapshot feature: apply the configured chain cap and wire the
+        // version-install hook into the group-commit leader, so every
+        // drained batch publishes its page versions at a fresh commit
+        // timestamp. Installed before recovery so replayed commits (which
+        // run single-threaded through the same manager) stay consistent.
+        #[cfg(feature = "concurrency-snapshot")]
+        if let TxnSlot::Shared(mgr) = &db.txn {
+            if let Some(pool) = db.storage.peek().pager.pool().shared_handle() {
+                pool.set_version_chain_cap(db.config.snapshot_chain_cap);
+                let hook_pool = pool.clone();
+                mgr.set_install_hook(Box::new(move |batch, ts| {
+                    hook_pool.install_commits(batch, ts);
+                }));
+            }
+        }
         #[cfg(feature = "transactions")]
         if let Some((records, resume)) = replay {
             db.recover_from_records(&records, resume)?;
@@ -847,7 +862,64 @@ impl Database {
                 ))
             }
         };
-        Ok(DbWriter { storage, txn })
+        #[cfg(feature = "concurrency-snapshot")]
+        let pool = self.storage.peek().pager.pool().shared_handle();
+        Ok(DbWriter {
+            storage,
+            txn,
+            #[cfg(feature = "concurrency-snapshot")]
+            pool,
+        })
+    }
+
+    /// A wait-free point-in-time read view (feature
+    /// `concurrency-snapshot`).
+    ///
+    /// The snapshot is pinned to the newest *stable* commit timestamp: it
+    /// observes every transaction whose group-commit drain completed
+    /// before the call and nothing that commits after. Its lookups run
+    /// the same optimistic B+-tree descent as [`Database::reader`] but
+    /// resolve every page through the pool's copy-on-write version
+    /// chains — they never touch the block-lock table and never write a
+    /// shared cache line, so snapshot throughput is independent of writer
+    /// contention (benchmark E14).
+    ///
+    /// The handle deregisters itself on drop; while it lives, the
+    /// versions it may still need survive pruning. A snapshot held across
+    /// more than `snapshot_chain_cap` commits to one page can be
+    /// stranded: its lookups then fail with a "too old" I/O error.
+    ///
+    /// Errors unless this instance runs `Concurrency::MultiWriter` with
+    /// transactions configured (versions are installed by the writers'
+    /// group commit).
+    #[cfg(feature = "concurrency-snapshot")]
+    pub fn snapshot(&self) -> Result<DbSnapshot> {
+        if !matches!(&self.txn, TxnSlot::Shared(_)) {
+            return Err(DbmsError::Config(
+                "snapshot() needs transactions configured alongside MultiWriter".into(),
+            ));
+        }
+        let core = self.storage.peek();
+        let shared = core.pager.shared().ok_or_else(|| {
+            DbmsError::Config(
+                "snapshot() needs Concurrency::MultiWriter in the runtime configuration".into(),
+            )
+        })?;
+        let kv = match &core.kv {
+            #[cfg(feature = "index-btree")]
+            Kv::BTree(_) => ReaderKv::BTree {
+                root_slot: KV_ROOT_SLOT,
+            },
+            #[cfg(feature = "index-list")]
+            Kv::List(l) => ReaderKv::List(*l),
+            #[cfg(feature = "index-hash")]
+            Kv::Hash(h) => ReaderKv::Hash(*h),
+        };
+        let ts = shared.pool().snapshot_begin();
+        Ok(DbSnapshot {
+            pager: shared.snapshot_at(ts),
+            kv,
+        })
     }
 
     /// Pager / buffer-pool statistics.
@@ -1190,6 +1262,8 @@ impl Database {
         };
         let allocated_pages = core.pager.allocated_pages()?;
         let pager_ops = core.pager.ops();
+        #[cfg(feature = "concurrency-snapshot")]
+        let versions = core.pager.pool().shared_handle().map(|p| p.version_stats());
         drop(core);
         Ok(StatsSnapshot {
             keys,
@@ -1232,6 +1306,8 @@ impl Database {
             commit_latency: self.txn.commit_latency(),
             #[cfg(feature = "concurrency-multi-writer")]
             locks: self.txn.lock_stats(),
+            #[cfg(feature = "concurrency-snapshot")]
+            versions,
             #[cfg(feature = "transactions")]
             recovery_redo: self.last_recovery.as_ref().map_or(0, |r| r.redo_applied),
             #[cfg(feature = "transactions")]
@@ -1673,6 +1749,11 @@ pub struct StatsSnapshot {
     /// Block-lock counters, when the instance runs MultiWriter.
     #[cfg(feature = "concurrency-multi-writer")]
     pub locks: Option<LockStats>,
+    /// Copy-on-write version-chain counters (feature
+    /// `concurrency-snapshot`): chain high-water, live snapshots,
+    /// reclaimed versions.
+    #[cfg(feature = "concurrency-snapshot")]
+    pub versions: Option<fame_buffer::VersionStats>,
     /// Redo operations applied by recovery at open (0 = clean open).
     #[cfg(feature = "transactions")]
     pub recovery_redo: usize,
@@ -1805,6 +1886,14 @@ impl StatsSnapshot {
             put("lock.wait.max_ns", l.wait_time.max_ns);
             put("lock.deadlock_aborts", l.deadlock_aborts);
             put("lock.timeout_aborts", l.timeout_aborts);
+        }
+        #[cfg(feature = "concurrency-snapshot")]
+        if let Some(v) = &self.versions {
+            put("snapshot.chain_max", v.chain_max);
+            put("snapshot.active", v.active);
+            put("snapshot.pruned", v.pruned);
+            put("snapshot.live_entries", v.live_entries);
+            put("snapshot.pending_pages", v.pending_pages);
         }
         #[cfg(feature = "sql")]
         if let Some(q) = &self.query {
@@ -2170,6 +2259,80 @@ impl DbReader {
     }
 }
 
+/// A wait-free point-in-time read view obtained from
+/// [`Database::snapshot`] (feature `concurrency-snapshot`).
+///
+/// Every lookup resolves pages to the newest committed version ≤ the
+/// snapshot's timestamp: concurrent writers are invisible, the lock
+/// table is never consulted, and the read path writes no shared cache
+/// line. The versions a live snapshot may need are protected from
+/// pruning; dropping the handle deregisters it and lets them go.
+///
+/// Not `Clone` — each snapshot registers exactly once. Take another
+/// [`Database::snapshot`] for a second (possibly newer) view.
+#[cfg(feature = "concurrency-snapshot")]
+pub struct DbSnapshot {
+    pager: fame_storage::SnapshotPager,
+    kv: ReaderKv,
+}
+
+#[cfg(feature = "concurrency-snapshot")]
+impl DbSnapshot {
+    /// The commit timestamp this view is pinned to.
+    pub fn ts(&self) -> u64 {
+        self.pager.ts()
+    }
+
+    /// Re-pin to the newest stable commit timestamp — equivalent to
+    /// dropping this handle and taking a fresh [`Database::snapshot`],
+    /// but callable from the owning thread (the handle is `Send`, the
+    /// facade is not): polling readers advance themselves without a
+    /// round-trip through `&Database`. Old versions only this snapshot
+    /// kept alive are pruned on the way.
+    pub fn refresh(&mut self) {
+        let pool = self.pager.pool().clone();
+        pool.snapshot_end(self.pager.ts());
+        self.pager.repin(pool.snapshot_begin());
+    }
+
+    /// Look up a key as of this snapshot.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.get_with(key, |v| v.to_vec())
+    }
+
+    /// Allocation-free snapshot lookup: run `f` over the value bytes.
+    pub fn get_with<R>(&mut self, key: &[u8], f: impl FnOnce(&[u8]) -> R) -> Result<Option<R>> {
+        match self.kv {
+            #[cfg(feature = "index-btree")]
+            ReaderKv::BTree { root_slot } => {
+                // Same optimistic descent as `DbReader`, but over the
+                // timestamp-pinned pager: every page token is the
+                // always-valid sentinel because the observed tree is
+                // frozen (see `SnapshotPager`).
+                Ok(BTree::get_olc(&mut self.pager, root_slot, key, f)?)
+            }
+            #[cfg(feature = "index-list")]
+            ReaderKv::List(l) => Ok(l.get_with(&mut self.pager, key, f)?),
+            #[cfg(feature = "index-hash")]
+            ReaderKv::Hash(h) => Ok(h.get_with(&mut self.pager, key, f)?),
+        }
+    }
+
+    /// `true` when the key exists in this snapshot.
+    pub fn contains(&mut self, key: &[u8]) -> Result<bool> {
+        Ok(self.get_with(key, |_| ())?.is_some())
+    }
+}
+
+#[cfg(feature = "concurrency-snapshot")]
+impl Drop for DbSnapshot {
+    fn drop(&mut self) {
+        // Deregister and let the pool prune whatever only this snapshot
+        // kept alive.
+        self.pager.pool().snapshot_end(self.pager.ts());
+    }
+}
+
 /// A concurrent transactional write handle obtained from
 /// [`Database::writer`] (feature `concurrency-multi-writer`).
 ///
@@ -2189,6 +2352,12 @@ impl DbReader {
 pub struct DbWriter {
     storage: Arc<Mutex<StorageCore>>,
     txn: Arc<fame_txn::SharedTxnManager>,
+    /// Snapshot feature: shared pool handle for tagging page writes with
+    /// the owning transaction (pre-image capture) and releasing the
+    /// versions of aborted transactions. `None` only if the pool somehow
+    /// isn't shared — impossible under `Concurrency::MultiWriter`.
+    #[cfg(feature = "concurrency-snapshot")]
+    pool: Option<fame_buffer::SharedBufferPool>,
 }
 
 #[cfg(feature = "concurrency-multi-writer")]
@@ -2223,6 +2392,10 @@ impl DbWriter {
         let mut core = self.storage();
         let old = core.kv_get(key)?;
         self.txn.log_put(txn.id, 0, key, old, value)?;
+        // Snapshot feature: tag the apply with the owning transaction so
+        // the pool captures pre-images for the version chains.
+        #[cfg(feature = "concurrency-snapshot")]
+        let _vscope = fame_buffer::TxnWriteScope::new(txn.id);
         core.kv_put(key, value)?;
         Ok(())
     }
@@ -2243,6 +2416,8 @@ impl DbWriter {
             return Ok(false);
         };
         self.txn.log_remove(txn.id, 0, key, old)?;
+        #[cfg(feature = "concurrency-snapshot")]
+        let _vscope = fame_buffer::TxnWriteScope::new(txn.id);
         core.kv_remove(key)?;
         Ok(true)
     }
@@ -2254,12 +2429,64 @@ impl DbWriter {
         Ok(self.txn.commit(txn.id)?)
     }
 
+    /// Run `body` inside `txn`, commit, and retry the whole transaction
+    /// on lock conflicts: a deadlock-victim or timeout abort rolls the
+    /// transaction back, sleeps a bounded exponential backoff (50 µs
+    /// doubling up to ~3.2 ms), and replays `body` under a fresh
+    /// transaction spliced onto the aborted one's span chain via
+    /// [`DbWriter::begin_retry`] — so E13's
+    /// `lock-wait → deadlock-victim → retry → txn-commit` causal
+    /// reconstruction keeps working across retries.
+    ///
+    /// Returns the handle of the transaction that finally committed.
+    /// After `max_retries` retries the last lock error is returned; any
+    /// non-lock error aborts and returns immediately. In every error
+    /// case the transaction has been rolled back and its locks released.
+    ///
+    /// `body` must be idempotent in the usual transactional sense: it is
+    /// re-run from scratch against the rolled-back state on each retry.
+    pub fn commit_with_retry(
+        &self,
+        txn: TxnHandle,
+        max_retries: u32,
+        mut body: impl FnMut(&DbWriter, TxnHandle) -> Result<()>,
+    ) -> Result<TxnHandle> {
+        let mut txn = txn;
+        let mut attempt = 0u32;
+        loop {
+            match body(self, txn).and_then(|()| self.commit(txn)) {
+                Ok(()) => return Ok(txn),
+                Err(e @ DbmsError::Txn(fame_txn::TxnError::Lock(_))) => {
+                    let _ = self.abort(txn);
+                    if attempt >= max_retries {
+                        return Err(e);
+                    }
+                    // Cap the shift so the backoff stays bounded (and the
+                    // shift defined) for any retry budget.
+                    std::thread::sleep(std::time::Duration::from_micros(50u64 << attempt.min(6)));
+                    txn = self.begin_retry(txn)?;
+                    attempt += 1;
+                }
+                Err(e) => {
+                    let _ = self.abort(txn);
+                    return Err(e);
+                }
+            }
+        }
+    }
+
     /// Abort: applies the undo under the storage mutex, then releases the
     /// block locks (never the other way round — a waiter granted early
     /// would read the un-undone value).
     pub fn abort(&self, txn: TxnHandle) -> Result<()> {
         let undo = self.txn.abort(txn.id)?;
         let mut core = self.storage();
+        // Snapshot feature: undo writes stay tagged with the aborting
+        // transaction — pages the undo touches for the first time (e.g. a
+        // split during the rollback) capture their pre-image under the
+        // same pending streak, released below in one step.
+        #[cfg(feature = "concurrency-snapshot")]
+        let vscope = fame_buffer::TxnWriteScope::new(txn.id);
         let mut first_err = None;
         for action in undo {
             let applied = match action.restore {
@@ -2272,6 +2499,14 @@ impl DbWriter {
             }
         }
         drop(core);
+        #[cfg(feature = "concurrency-snapshot")]
+        drop(vscope);
+        // The heads now hold the restored pre-state; mark the pages
+        // committed again so snapshot reads stop detouring to the chains.
+        #[cfg(feature = "concurrency-snapshot")]
+        if let Some(pool) = &self.pool {
+            pool.release_aborted_txn(txn.id);
+        }
         self.txn.release_locks(txn.id);
         match first_err {
             Some(e) => Err(e),

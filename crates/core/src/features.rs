@@ -39,6 +39,7 @@ pub fn active_features() -> Vec<&'static str> {
         "replace-lfu",
         "concurrency-multi",
         "concurrency-multi-writer",
+        "concurrency-snapshot",
         "alloc-static",
         "alloc-dynamic",
         "os-std",
@@ -178,6 +179,9 @@ pub fn model_configuration(
         let multi = false;
         if multi_writer {
             select("MultiWriter");
+            if cfg!(feature = "concurrency-snapshot") {
+                select("Snapshot");
+            }
         } else if multi {
             select("MultiReader");
         } else {

@@ -72,6 +72,8 @@ pub use features::{active_features, model_configuration};
 pub use config::StatsConfig;
 #[cfg(feature = "concurrency-multi")]
 pub use db::DbReader;
+#[cfg(feature = "concurrency-snapshot")]
+pub use db::DbSnapshot;
 #[cfg(feature = "concurrency-multi-writer")]
 pub use db::DbWriter;
 #[cfg(all(feature = "concurrency-multi-writer", feature = "statistics"))]

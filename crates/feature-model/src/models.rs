@@ -156,6 +156,17 @@ pub fn fame_dbms() -> FeatureModel {
         "MultiReader's pool plus concurrent writer transactions: \
          blocking S/X block locks and cross-transaction group commit",
     );
+    // MVCC-lite child of MultiWriter: copy-on-write page versions give
+    // wait-free snapshot reads; RAM is the version chains (bounded per
+    // write-hot page by the configured chain cap).
+    let snap = b.optional(multi_writer, "Snapshot");
+    b.attr(snap, "rom_bytes", 3_200.0);
+    b.attr(snap, "ram_bytes", 4_096.0);
+    b.doc(
+        snap,
+        "Copy-on-write page versions: wait-free snapshot reads that never \
+         touch the lock table; writers install versions at group commit",
+    );
 
     // --- Storage ----------------------------------------------------------
     let storage = b.mandatory(root, "Storage");

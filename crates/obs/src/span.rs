@@ -63,6 +63,15 @@ pub enum SpanKind {
     Recovery = 15,
     /// Replication shipped a committed operation batch. `a` = op count.
     ReplShip = 16,
+    /// A snapshot handle was created. `a` = its commit timestamp,
+    /// `b` = active snapshot count after registration.
+    SnapshotBegin = 17,
+    /// A snapshot read resolved through the version chain instead of the
+    /// head frame. `a` = page id, `b` = the chain entry's commit timestamp.
+    SnapshotResolve = 18,
+    /// Version-chain pruning reclaimed old page images. `a` = page id,
+    /// `b` = entries dropped.
+    SnapshotPrune = 19,
 }
 
 impl SpanKind {
@@ -86,6 +95,9 @@ impl SpanKind {
             SpanKind::TokenRestart => "token-restart",
             SpanKind::Recovery => "recovery",
             SpanKind::ReplShip => "repl-ship",
+            SpanKind::SnapshotBegin => "snapshot-begin",
+            SpanKind::SnapshotResolve => "snapshot-resolve",
+            SpanKind::SnapshotPrune => "snapshot-prune",
         }
     }
 
@@ -110,6 +122,9 @@ impl SpanKind {
             14 => SpanKind::TokenRestart,
             15 => SpanKind::Recovery,
             16 => SpanKind::ReplShip,
+            17 => SpanKind::SnapshotBegin,
+            18 => SpanKind::SnapshotResolve,
+            19 => SpanKind::SnapshotPrune,
             _ => return None,
         })
     }
@@ -159,7 +174,7 @@ mod tests {
                 assert!(!k.label().is_empty());
             }
         }
-        assert_eq!(SpanKind::from_u8(SpanKind::ReplShip as u8 + 1), None);
+        assert_eq!(SpanKind::from_u8(SpanKind::SnapshotPrune as u8 + 1), None);
     }
 
     #[test]

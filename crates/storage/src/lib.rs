@@ -53,6 +53,8 @@ pub use list::ListIndex;
 pub use page::{PageType, SlottedPage, PAGE_HEADER_SIZE};
 #[cfg(feature = "shared")]
 pub use pager::SharedPager;
+#[cfg(feature = "snapshot")]
+pub use pager::SnapshotPager;
 pub use pager::{PageRead, Pager};
 #[cfg(feature = "obs")]
 pub use pager::{PagerOps, PagerOpsSnapshot};

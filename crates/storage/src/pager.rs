@@ -385,6 +385,18 @@ impl SharedPager {
     pub fn pool(&self) -> &fame_buffer::SharedBufferPool {
         &self.pool
     }
+
+    /// A pager view pinned to snapshot timestamp `ts` (Snapshot feature).
+    /// The caller is responsible for having registered `ts` with the
+    /// pool's snapshot registry (the facade's `DbSnapshot` handles this,
+    /// including deregistration on drop).
+    #[cfg(feature = "snapshot")]
+    pub fn snapshot_at(&self, ts: u64) -> SnapshotPager {
+        SnapshotPager {
+            pool: self.pool.clone(),
+            ts,
+        }
+    }
 }
 
 #[cfg(feature = "shared")]
@@ -408,6 +420,80 @@ impl PageRead for SharedPager {
     fn validate_token(&mut self, token: PageToken) -> bool {
         SharedPager::validate_token(self, token)
     }
+}
+
+/// A `Send` pager view pinned to a snapshot timestamp (feature
+/// `Concurrency → MultiWriter → Snapshot`): every page read resolves to
+/// the newest committed version ≤ `ts`, never touching the lock table.
+///
+/// Implements [`PageRead`] with the *always-valid* token defaults
+/// deliberately: the state a snapshot observes is frozen — chain images
+/// are immutable once captured, and the pool re-validates head reads
+/// internally against the commit timestamp — so the optimistic B-tree
+/// descent over this pager needs no token validation at all. All pages at
+/// one timestamp form a single prefix-consistent tree; no concurrent
+/// split can become visible mid-descent.
+#[cfg(feature = "snapshot")]
+#[derive(Clone)]
+pub struct SnapshotPager {
+    pool: fame_buffer::SharedBufferPool,
+    ts: u64,
+}
+
+#[cfg(feature = "snapshot")]
+impl SnapshotPager {
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.pool.page_size()
+    }
+
+    /// The snapshot's commit timestamp.
+    pub fn ts(&self) -> u64 {
+        self.ts
+    }
+
+    /// Re-pin this view to timestamp `ts`. As with
+    /// [`SharedPager::snapshot_at`], registration of the new timestamp
+    /// (and deregistration of the old) is the caller's job.
+    pub fn repin(&mut self, ts: u64) {
+        self.ts = ts;
+    }
+
+    /// Run `f` over the page image this snapshot observes.
+    pub fn with_page<R>(&self, page: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        Ok(self.pool.with_page_at(page, self.ts, f)?)
+    }
+
+    /// Read a named root pointer as of this snapshot. Root moves (B+-tree
+    /// splits) committed after the snapshot's timestamp stay invisible —
+    /// the meta page is versioned like every other page.
+    pub fn root(&self, slot: usize) -> Result<Option<PageId>> {
+        assert!(slot < ROOT_SLOTS, "root slot out of range");
+        let v = self.with_page(0, |buf| {
+            let at = OFF_ROOTS + 4 * slot;
+            u32::from_le_bytes(buf[at..at + 4].try_into().unwrap())
+        })?;
+        Ok(if v == NO_PAGE { None } else { Some(v) })
+    }
+
+    /// The underlying shared pool (statistics).
+    pub fn pool(&self) -> &fame_buffer::SharedBufferPool {
+        &self.pool
+    }
+}
+
+#[cfg(feature = "snapshot")]
+impl PageRead for SnapshotPager {
+    fn page_size(&self) -> usize {
+        SnapshotPager::page_size(self)
+    }
+
+    fn with_page<R>(&mut self, page: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        SnapshotPager::with_page(self, page, f)
+    }
+
+    // with_page_token / validate_token: the defaults (always-valid
+    // sentinel) — see the type docs for why immutable versions need none.
 }
 
 #[cfg(test)]
@@ -575,6 +661,51 @@ mod tests {
     fn root_slot_bounds_checked() {
         let p = pager();
         let _ = p.root(ROOT_SLOTS);
+    }
+
+    #[cfg(feature = "snapshot")]
+    #[test]
+    fn snapshot_pager_pins_roots_and_pages() {
+        let pool = BufferPool::new_shared(
+            Box::new(InMemoryDevice::new(256)),
+            fame_buffer::ReplacementKind::Lru,
+            AllocPolicy::Dynamic {
+                max_frames: Some(8),
+            },
+            4,
+        );
+        let mut p = Pager::open(pool).unwrap();
+        let page = p.allocate().unwrap();
+        p.set_root(0, Some(page)).unwrap();
+        p.with_page_mut(page, |buf| buf[0] = 1).unwrap();
+
+        let shared = p.shared().unwrap();
+        let spool = shared.pool().clone();
+        let ts0 = spool.snapshot_begin();
+
+        // A writer transaction mutates the page and clears the root.
+        {
+            let _scope = fame_buffer::TxnWriteScope::new(9);
+            p.with_page_mut(page, |buf| buf[0] = 2).unwrap();
+            p.set_root(0, None).unwrap();
+        }
+        spool.install_commits(&[9], 1);
+
+        // The old snapshot still sees the pre-commit root and bytes.
+        let snap = shared.snapshot_at(ts0);
+        assert_eq!(snap.ts(), ts0);
+        assert_eq!(snap.root(0).unwrap(), Some(page));
+        assert_eq!(snap.with_page(page, |b| b[0]).unwrap(), 1);
+
+        // A fresh snapshot observes the committed state.
+        let ts1 = spool.snapshot_begin();
+        let now = shared.snapshot_at(ts1);
+        assert_eq!(now.root(0).unwrap(), None);
+        assert_eq!(now.with_page(page, |b| b[0]).unwrap(), 2);
+
+        spool.snapshot_end(ts0);
+        spool.snapshot_end(ts1);
+        assert_eq!(spool.version_stats().active, 0);
     }
 
     #[cfg(feature = "obs")]

@@ -43,6 +43,11 @@ use crate::log::Lsn;
 use crate::manager::{BatchWrite, TxnError, TxnManager, UndoAction};
 use crate::wal::TxnId;
 
+/// Version-install callback (Snapshot feature): `(drained batch,
+/// commit timestamp)`.
+#[cfg(feature = "snapshot")]
+pub type InstallHook = Box<dyn Fn(&[TxnId], u64) + Send + Sync>;
+
 #[derive(Debug, Default)]
 struct GroupState {
     /// Commit requests awaiting the next drain.
@@ -64,6 +69,17 @@ pub struct SharedTxnManager {
     /// once by the facade; also forwarded into the lock table.
     #[cfg(feature = "trace")]
     sink: std::sync::OnceLock<std::sync::Arc<fame_obs::TraceSink>>,
+    /// Snapshot feature: the global commit-timestamp clock. Every
+    /// successful drain gets the next timestamp; snapshot reads resolve
+    /// page versions against it.
+    #[cfg(feature = "snapshot")]
+    clock: std::sync::atomic::AtomicU64,
+    /// Snapshot feature: version-install hook, called by the leader after
+    /// each successful drain with `(batch, commit_ts)` — no manager or
+    /// group mutex held, so the hook may take buffer-pool chain locks
+    /// freely. Installed once by the facade.
+    #[cfg(feature = "snapshot")]
+    install: std::sync::OnceLock<InstallHook>,
 }
 
 impl SharedTxnManager {
@@ -76,7 +92,26 @@ impl SharedTxnManager {
             group_cv: Condvar::new(),
             #[cfg(feature = "trace")]
             sink: std::sync::OnceLock::new(),
+            #[cfg(feature = "snapshot")]
+            clock: std::sync::atomic::AtomicU64::new(0),
+            #[cfg(feature = "snapshot")]
+            install: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Install the version-install hook (Snapshot feature): called once
+    /// per successful drain with the batch's transaction ids and its
+    /// commit timestamp. First hook wins; later calls are no-ops.
+    #[cfg(feature = "snapshot")]
+    pub fn set_install_hook(&self, hook: InstallHook) {
+        let _ = self.install.set(hook);
+    }
+
+    /// Newest commit timestamp handed to a drained batch (Snapshot
+    /// feature); 0 before the first commit.
+    #[cfg(feature = "snapshot")]
+    pub fn commit_ts(&self) -> u64 {
+        self.clock.load(std::sync::atomic::Ordering::Acquire)
     }
 
     /// Install the span sink (Tracing feature) on this manager and its
@@ -222,6 +257,18 @@ impl SharedTxnManager {
                 #[cfg(feature = "trace")]
                 if outcome.is_ok() {
                     self.emit(fame_obs::SpanKind::GroupSync, txn, 0, batch.len() as u64, 0);
+                }
+                // Version install (Snapshot feature): the drained batch is
+                // durable and finished, so its page versions become the
+                // committed images at the next clock tick. Runs with no
+                // manager/group mutex held — the hook takes per-page chain
+                // locks in the buffer pool.
+                #[cfg(feature = "snapshot")]
+                if outcome.is_ok() {
+                    let ts = self.clock.fetch_add(1, std::sync::atomic::Ordering::AcqRel) + 1;
+                    if let Some(hook) = self.install.get() {
+                        hook(&batch, ts);
+                    }
                 }
                 group = self.group.lock().expect("group state poisoned");
                 match &outcome {
@@ -480,6 +527,32 @@ mod tests {
         m.commit(t).unwrap();
         assert_eq!(m.stats(), (1, 0));
         assert_eq!(m.lock_table().locked_blocks(), 0);
+    }
+
+    #[cfg(all(feature = "snapshot", feature = "commit-force"))]
+    #[test]
+    fn install_hook_gets_each_drain_at_a_fresh_timestamp() {
+        type Installs = Vec<(Vec<TxnId>, u64)>;
+        let m = shared(CommitPolicy::Force);
+        let seen: Arc<Mutex<Installs>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        m.set_install_hook(Box::new(move |batch, ts| {
+            sink.lock().unwrap().push((batch.to_vec(), ts));
+        }));
+        assert_eq!(m.commit_ts(), 0);
+        for i in 0..3u32 {
+            let t = m.begin().unwrap();
+            let key = i.to_be_bytes();
+            m.lock_write(t, &key).unwrap();
+            m.log_put(t, 0, &key, None, b"v").unwrap();
+            m.commit(t).unwrap();
+        }
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 3, "one install per drain");
+        let ts: Vec<u64> = seen.iter().map(|(_, t)| *t).collect();
+        assert_eq!(ts, vec![1, 2, 3], "timestamps are dense and monotonic");
+        assert!(seen.iter().all(|(b, _)| b.len() == 1));
+        assert_eq!(m.commit_ts(), 3);
     }
 
     #[cfg(feature = "commit-force")]
